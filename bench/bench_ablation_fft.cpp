@@ -1,0 +1,82 @@
+// §4.4 ablation: FFT-based energy convolutions vs direct O(N_E^2) sums —
+// the optimization that makes 10^4..10^5 energy points tractable. Uses
+// google-benchmark for the timing sweep and prints the crossover.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "fft/convolution.hpp"
+
+using namespace qtx;
+
+namespace {
+
+std::vector<cplx> random_series(int n, unsigned seed) {
+  Rng rng(seed);
+  std::vector<cplx> v(n);
+  for (auto& x : v) x = rng.complex_uniform();
+  return v;
+}
+
+void BM_PolarizationFft(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  fft::EnergyConvolver conv(n, 0.01);
+  const auto g_lt = random_series(n, 1), g_gt = random_series(n, 2);
+  std::vector<cplx> p_lt, p_gt;
+  for (auto _ : state) {
+    conv.polarization(g_lt, g_gt, p_lt, p_gt);
+    benchmark::DoNotOptimize(p_lt.data());
+  }
+  state.SetComplexityN(n);
+}
+
+void BM_PolarizationDirect(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  fft::EnergyConvolver conv(n, 0.01);
+  const auto g_lt = random_series(n, 1), g_gt = random_series(n, 2);
+  std::vector<cplx> p_lt, p_gt;
+  for (auto _ : state) {
+    conv.polarization_direct(g_lt, g_gt, p_lt, p_gt);
+    benchmark::DoNotOptimize(p_lt.data());
+  }
+  state.SetComplexityN(n);
+}
+
+void BM_SelfEnergyFft(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  fft::EnergyConvolver conv(n, 0.01);
+  const auto g_lt = random_series(n, 1), g_gt = random_series(n, 2);
+  const auto w_lt = random_series(n, 3), w_gt = random_series(n, 4);
+  std::vector<cplx> s_lt, s_gt;
+  for (auto _ : state) {
+    conv.self_energy(g_lt, g_gt, w_lt, w_gt, s_lt, s_gt);
+    benchmark::DoNotOptimize(s_lt.data());
+  }
+  state.SetComplexityN(n);
+}
+
+void BM_SelfEnergyDirect(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  fft::EnergyConvolver conv(n, 0.01);
+  const auto g_lt = random_series(n, 1), g_gt = random_series(n, 2);
+  const auto w_lt = random_series(n, 3), w_gt = random_series(n, 4);
+  std::vector<cplx> s_lt, s_gt;
+  for (auto _ : state) {
+    conv.self_energy_direct(g_lt, g_gt, w_lt, w_gt, s_lt, s_gt);
+    benchmark::DoNotOptimize(s_lt.data());
+  }
+  state.SetComplexityN(n);
+}
+
+}  // namespace
+
+BENCHMARK(BM_PolarizationFft)->RangeMultiplier(4)->Range(64, 16384)
+    ->Complexity(benchmark::oNLogN);
+BENCHMARK(BM_PolarizationDirect)->RangeMultiplier(4)->Range(64, 4096)
+    ->Complexity(benchmark::oNSquared);
+BENCHMARK(BM_SelfEnergyFft)->RangeMultiplier(4)->Range(64, 16384)
+    ->Complexity(benchmark::oNLogN);
+BENCHMARK(BM_SelfEnergyDirect)->RangeMultiplier(4)->Range(64, 4096)
+    ->Complexity(benchmark::oNSquared);
+
+BENCHMARK_MAIN();

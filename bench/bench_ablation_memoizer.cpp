@@ -1,0 +1,59 @@
+// §5.3 ablation: OBC memoization across SCBA iterations. Reproduces the
+// paper's observation that the boundary blocks stabilize after a few
+// iterations, letting warm-started fixed-point iterations replace the
+// direct solvers — and that the switch happens dynamically at runtime.
+
+#include <cstdio>
+
+#include "core/scba.hpp"
+
+using namespace qtx;
+
+int main() {
+  std::printf("=== §5.3 ablation: OBC memoization ===\n\n");
+  const device::Structure st = device::make_test_structure(4);
+  core::ScbaOptions opt;
+  opt.grid = core::EnergyGrid{-6.0, 6.0, 32};
+  opt.eta = 0.05;
+  const auto gap = st.band_gap();
+  opt.contacts.mu_left = gap.conduction_min + 0.3;
+  opt.contacts.mu_right = gap.conduction_min + 0.1;
+  opt.gw_scale = 0.3;
+  opt.mixing = 0.4;
+
+  for (const bool memo : {false, true}) {
+    opt.use_memoizer = memo;
+    core::Scba scba(st, opt);
+    std::printf("memoizer %s:\n", memo ? "ON " : "OFF");
+    std::printf("%6s %14s %14s %12s %12s\n", "iter", "OBC time [ms]",
+                "total [ms]", "direct", "memoized");
+    std::int64_t prev_direct = 0, prev_memo = 0;
+    for (int it = 0; it < 5; ++it) {
+      const auto r = scba.iterate();
+      double obc_ms = 0.0;
+      for (const char* k :
+           {"G: OBC", "W: Assembly: Beyn", "W: Assembly: Lyapunov"})
+        if (r.kernel_seconds.count(k)) obc_ms += r.kernel_seconds.at(k) * 1e3;
+      const auto& s = scba.memoizer_stats();
+      std::printf("%6d %14.2f %14.2f %12lld %12lld\n", r.iteration, obc_ms,
+                  r.seconds * 1e3,
+                  static_cast<long long>(s.direct_calls - prev_direct),
+                  static_cast<long long>(s.memoized_calls - prev_memo));
+      prev_direct = s.direct_calls;
+      prev_memo = s.memoized_calls;
+    }
+    if (memo) {
+      const auto& s = scba.memoizer_stats();
+      std::printf("  avg fixed-point iterations per memoized solve: %.1f "
+                  "(paper: <10 for w≶, ~20 for x^R)\n",
+                  static_cast<double>(s.fpi_iterations) /
+                      std::max<std::int64_t>(1, s.memoized_calls));
+    }
+    std::printf("\n");
+  }
+  std::printf("Shape check vs paper: with memoization, the first iteration\n"
+              "pays the direct cost (cache fill) and subsequent iterations\n"
+              "dispatch almost entirely to warm-started fixed point,\n"
+              "collapsing the OBC rows of Table 4.\n");
+  return 0;
+}

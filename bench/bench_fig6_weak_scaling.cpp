@@ -1,0 +1,93 @@
+// Fig. 6 reproduction: weak scaling in the number of energy points.
+//
+// Part A (measured): the real distributed pipeline (G-solve -> transpose ->
+// P-FFT -> transpose -> W-solve -> transpose -> Sigma-FFT) over the
+// thread-backed communicator, with both backends (*CCL-analogue zero-copy
+// vs host-staged MPI-analogue), rank counts 1..8, constant energies/rank.
+//
+// Part B (projected): the calibrated machine model over the paper's node
+// counts for NR-40 (Frontier) and NR-23 (Alps), annotated with the parallel
+// efficiency at the largest scale (paper: 82.0% / 84.7%).
+
+#include <cstdio>
+
+#include "core/distributed.hpp"
+#include "core/perf_model.hpp"
+
+using namespace qtx;
+using namespace qtx::core;
+
+int main() {
+  std::printf("=== Fig. 6 (A): measured weak scaling, thread ranks ===\n\n");
+  const device::Structure st = device::make_test_structure(4);
+  ScbaOptions opt;
+  opt.eta = 0.05;
+  const auto gap = st.band_gap();
+  opt.contacts.mu_left = gap.conduction_min + 0.3;
+  opt.contacts.mu_right = gap.conduction_min + 0.1;
+  opt.gw_scale = 0.3;
+  const int energies_per_rank = 8;
+  for (const auto backend :
+       {par::Backend::kDeviceDirect, par::Backend::kHostStaged}) {
+    std::printf("backend: %s\n", backend == par::Backend::kDeviceDirect
+                                     ? "*CCL-like (device direct)"
+                                     : "host-MPI-like (staged)");
+    std::printf("%6s %6s %12s %12s %12s %10s %12s\n", "ranks", "N_E",
+                "compute[s]", "comm[s]", "total[s]", "eff", "GB moved");
+    double t1 = 0.0;
+    for (const int ranks : {1, 2, 4, 8}) {
+      opt.grid = EnergyGrid{-6.0, 6.0, ranks * energies_per_rank};
+      par::CommWorld world(ranks, backend);
+      const DistributedStats s = distributed_iteration(world, st, opt);
+      if (ranks == 1) t1 = s.total_s;
+      std::printf("%6d %6d %12.3f %12.3f %12.3f %10.2f %12.3f\n", ranks,
+                  opt.grid.n, s.compute_s, s.comm_s, s.total_s,
+                  t1 / s.total_s, s.bytes_sent / 1e9);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "(one physical core serves all ranks here, so wall-clock efficiency\n"
+      "reflects serialized compute; the communication column and the\n"
+      "backend gap are the measured quantities of interest)\n\n");
+
+  std::printf("=== Fig. 6 (B): projected weak scaling (machine model) ===\n");
+  struct Series {
+    const char* label;
+    MachineSpec machine;
+    device::DeviceConfig dev;
+    int ps;
+    std::vector<int> nodes;
+  };
+  const std::vector<Series> series = {
+      {"Frontier NR-40 (PS=4)", frontier(), device::nr(40), 4,
+       {16, 64, 256, 1024, 4096, 9400}},
+      {"Frontier NR-24 (PS=2)", frontier(), device::nr(24), 2,
+       {16, 64, 256, 1024, 4096, 9400}},
+      {"Alps NR-23 (PS=1)", alps(), device::nr(23), 1,
+       {8, 32, 128, 512, 1024, 2350}},
+      {"Alps NR-44 (PS=2)", alps(), device::nr(44), 2,
+       {8, 32, 128, 512, 1024, 2350}},
+  };
+  for (const auto& s : series) {
+    for (const auto backend : {NetBackend::kCcl, NetBackend::kHostMpi}) {
+      ScalingConfig cfg;
+      cfg.ps = s.ps;
+      cfg.backend = backend;
+      const auto pts = project_weak_scaling(s.machine, s.dev, s.nodes, cfg);
+      std::printf("\n%s — %s\n", s.label,
+                  backend == NetBackend::kCcl ? "*CCL" : "host MPI");
+      std::printf("%8s %9s %12s %10s %10s %9s %10s\n", "nodes", "N_E",
+                  "compute[s]", "comm[s]", "total[s]", "eff", "Pflop/s");
+      for (const auto& p : pts)
+        std::printf("%8d %9d %12.2f %10.2f %10.2f %8.1f%% %10.1f\n", p.nodes,
+                    p.total_energies, p.compute_s, p.comm_s, p.total_s,
+                    100.0 * p.efficiency, p.pflops);
+    }
+  }
+  std::printf(
+      "\nPaper anchors: 82.0%% efficiency for NR-40 at 9,400 Frontier\n"
+      "nodes; 84.7%% for NR-23 on Alps; host MPI overtakes *CCL at scale\n"
+      "(the *CCL instability of §7.2).\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// §4.2 micro-benchmark: the three retarded OBC solvers (fixed point,
+// Sancho-Rubio decimation, Beyn contour integral) and the two Lyapunov
+// solvers (doubling iteration vs direct Schur), on physical lead blocks of
+// the synthetic device. Reproduces the paper's method discussion: fixed
+// point needs O(100) iterations, Sancho-Rubio O(10), Beyn is direct; the
+// warm-started fixed point (the memoizer's fast path) beats everything.
+
+#include <benchmark/benchmark.h>
+
+#include "device/structure.hpp"
+#include "obc/obc.hpp"
+
+using namespace qtx;
+
+namespace {
+
+struct Lead {
+  la::Matrix m, n, np;
+};
+
+Lead make_lead(double energy, double eta) {
+  static const device::Structure st = device::make_test_structure(4);
+  static const bt::BlockTridiag h = st.hamiltonian_bt();
+  Lead l;
+  l.m = la::Matrix::identity(h.block_size()) * cplx(energy, eta);
+  l.m -= h.diag(0);
+  l.n = h.upper(0) * cplx(-1.0);
+  l.np = h.lower(0) * cplx(-1.0);
+  return l;
+}
+
+void BM_SurfaceFixedPoint(benchmark::State& state) {
+  const Lead l = make_lead(0.5, 0.05);
+  int iters = 0;
+  for (auto _ : state) {
+    const auto r = obc::surface_fixed_point(l.m, l.n, l.np);
+    iters = r.iterations;
+    benchmark::DoNotOptimize(r.x.data());
+  }
+  state.counters["iterations"] = iters;
+}
+
+void BM_SurfaceFixedPointWarm(benchmark::State& state) {
+  const Lead l = make_lead(0.5, 0.05);
+  const auto exact = obc::surface_sancho_rubio(l.m, l.n, l.np);
+  int iters = 0;
+  for (auto _ : state) {
+    const auto r = obc::surface_fixed_point(l.m, l.n, l.np, exact.x);
+    iters = r.iterations;
+    benchmark::DoNotOptimize(r.x.data());
+  }
+  state.counters["iterations"] = iters;
+}
+
+void BM_SurfaceSanchoRubio(benchmark::State& state) {
+  const Lead l = make_lead(0.5, 0.05);
+  int iters = 0;
+  for (auto _ : state) {
+    const auto r = obc::surface_sancho_rubio(l.m, l.n, l.np);
+    iters = r.iterations;
+    benchmark::DoNotOptimize(r.x.data());
+  }
+  state.counters["iterations"] = iters;
+}
+
+void BM_SurfaceBeyn(benchmark::State& state) {
+  const Lead l = make_lead(0.5, 0.05);
+  for (auto _ : state) {
+    const auto r = obc::surface_beyn(l.m, l.n, l.np);
+    benchmark::DoNotOptimize(r.x.data());
+  }
+}
+
+void BM_SteinDoubling(benchmark::State& state) {
+  Rng rng(5);
+  la::Matrix a = la::Matrix::random(32, 32, rng);
+  a *= cplx(0.5 / a.frobenius_norm());
+  const la::Matrix q = la::Matrix::random_hermitian(32, rng);
+  for (auto _ : state) {
+    const auto r = obc::stein_doubling(q, a, -1.0);
+    benchmark::DoNotOptimize(r.x.data());
+  }
+}
+
+void BM_SteinDirectSchur(benchmark::State& state) {
+  Rng rng(5);
+  la::Matrix a = la::Matrix::random(32, 32, rng);
+  a *= cplx(0.5 / a.frobenius_norm());
+  const la::Matrix q = la::Matrix::random_hermitian(32, rng);
+  for (auto _ : state) {
+    const la::Matrix x = obc::stein_direct(q, a, -1.0);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_SurfaceFixedPoint);
+BENCHMARK(BM_SurfaceFixedPointWarm);
+BENCHMARK(BM_SurfaceSanchoRubio);
+BENCHMARK(BM_SurfaceBeyn);
+BENCHMARK(BM_SteinDoubling);
+BENCHMARK(BM_SteinDirectSchur);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// §4.3 micro-benchmark: the sequential RGF selected solver vs the dense
+// reference, and the nested-dissection solver at several partition counts.
+// RGF's O(N_B N_BS^3) vs dense O((N_B N_BS)^3) is the reason selected
+// inversion is mandatory at device scale.
+
+#include <benchmark/benchmark.h>
+
+#include "rgf/nested_dissection.hpp"
+
+using namespace qtx;
+
+namespace {
+
+struct Problem {
+  bt::BlockTridiag m, bl, bg;
+};
+
+Problem make_problem(int nb, int bs) {
+  Rng rng(nb * 131 + bs);
+  Problem p{bt::BlockTridiag::random_diag_dominant(nb, bs, rng),
+            bt::BlockTridiag::random_diag_dominant(nb, bs, rng),
+            bt::BlockTridiag::random_diag_dominant(nb, bs, rng)};
+  p.bl.anti_hermitize();
+  p.bg.anti_hermitize();
+  return p;
+}
+
+void BM_RgfSelected(benchmark::State& state) {
+  const Problem p = make_problem(static_cast<int>(state.range(0)),
+                                 static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    const auto s = rgf::rgf_solve(p.m, p.bl, p.bg);
+    benchmark::DoNotOptimize(s.xr.diag(0).data());
+  }
+}
+
+void BM_DenseReference(benchmark::State& state) {
+  const Problem p = make_problem(static_cast<int>(state.range(0)),
+                                 static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    const auto s = rgf::reference_solve(p.m, p.bl, p.bg);
+    benchmark::DoNotOptimize(s.xr.diag(0).data());
+  }
+}
+
+void BM_NestedDissection(benchmark::State& state) {
+  const Problem p = make_problem(static_cast<int>(state.range(0)), 16);
+  rgf::NdOptions opt;
+  opt.num_partitions = static_cast<int>(state.range(1));
+  opt.num_threads = opt.num_partitions;
+  for (auto _ : state) {
+    const auto s = rgf::nd_solve(p.m, p.bl, p.bg, opt);
+    benchmark::DoNotOptimize(s.sel.xr.diag(0).data());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_RgfSelected)
+    ->Args({4, 16})->Args({8, 16})->Args({16, 16})->Args({32, 16})
+    ->Args({8, 32})->Args({8, 64});
+BENCHMARK(BM_DenseReference)
+    ->Args({4, 16})->Args({8, 16})->Args({16, 16})->Args({32, 16})
+    ->Args({8, 32});
+BENCHMARK(BM_NestedDissection)
+    ->Args({32, 2})->Args({32, 4})->Args({32, 8});
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Table 3 reproduction: physical dimensions and numerical representation of
+// the eight nano-device structures. Every derived quantity (atom counts,
+// orbital counts, block sizes, non-zero counts) is computed from our device
+// bookkeeping and printed next to the paper's published value.
+
+#include <cstdio>
+
+#include "device/config.hpp"
+
+int main() {
+  using namespace qtx::device;
+  std::printf("=== Table 3: device structures (computed vs paper) ===\n\n");
+  std::printf("%-7s %9s %6s %6s %5s %6s %12s %12s %14s %14s\n", "Device",
+              "Ltot[nm]", "ÑBS", "N_BS", "N_B", "N_U", "N_A", "N_AO",
+              "H_NNZ[1e7]", "G_NNZ[1e7]");
+  for (const DeviceConfig& c : table3_devices()) {
+    std::printf("%-7s %9.2f %6d %6d %5d %6d %7lld", c.name.c_str(),
+                c.total_length_nm, c.orbitals_per_puc(), c.block_size(),
+                c.num_cells, c.nu, static_cast<long long>(c.num_atoms()));
+    if (c.paper_num_atoms)
+      std::printf("(%lld)", static_cast<long long>(c.paper_num_atoms));
+    std::printf(" %8lld", static_cast<long long>(c.num_orbitals()));
+    if (c.paper_num_orbitals)
+      std::printf("(%lld)", static_cast<long long>(c.paper_num_orbitals));
+    std::printf(" %7.2f", c.h_nnz() / 1e7);
+    if (c.paper_h_nnz) std::printf("(%.1f)", c.paper_h_nnz / 1e7);
+    std::printf(" %7.2f", c.g_nnz() / 1e7);
+    if (c.paper_g_nnz) std::printf("(%.1f)", c.paper_g_nnz / 1e7);
+    std::printf("\n");
+  }
+  std::printf(
+      "\nValues in parentheses: paper Table 3. N_A/N_AO match exactly;\n"
+      "NNZ counts follow the banded/r_cut pair-counting formulas and land\n"
+      "within 10%% of the published values (see DESIGN.md).\n");
+  return 0;
+}

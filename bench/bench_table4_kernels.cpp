@@ -1,0 +1,103 @@
+// Table 4 reproduction: per-kernel workload, time, and performance per SCBA
+// iteration, with and without OBC memoization, on scaled-down analogues of
+// the paper's NW-1 / NW-2 / NR-16 / NR-23 devices. The substrate here is a
+// CPU and a synthetic Hamiltonian, so absolute numbers differ from the
+// GH200/MI250X measurements — the reproduced *shape* is the kernel
+// decomposition and the memoizer's effect on the OBC-heavy rows (paper:
+// 2.00x / 3.77x per-energy speed-up on NW-1 / NW-2, and Beyn+Lyapunov times
+// collapsing when memoized).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/scba.hpp"
+
+using namespace qtx;
+
+namespace {
+
+struct MiniDevice {
+  const char* name;
+  const char* paper_note;
+  int num_cells;
+  int orbitals;  // per PUC; transport cell = 2 PUCs
+  int energies;
+};
+
+core::IterationResult measure(const device::Structure& st, int ne,
+                              bool memoizer) {
+  core::ScbaOptions opt;
+  opt.grid = core::EnergyGrid{-6.0, 6.0, ne};
+  opt.eta = 0.05;
+  const auto gap = st.band_gap();
+  opt.contacts.mu_left = gap.conduction_min + 0.3;
+  opt.contacts.mu_right = gap.conduction_min + 0.1;
+  opt.gw_scale = 0.3;
+  opt.use_memoizer = memoizer;
+  core::Scba scba(st, opt);
+  // Paper §6.3: discard the first iteration (JIT/warm-up analogue: direct
+  // OBC solves fill the caches); report the median-like steady iteration.
+  scba.iterate();
+  scba.iterate();
+  return scba.iterate();
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<MiniDevice> devices = {
+      {"NW-1*", "paper NW-1: 18 cells, NBS 416, 1.27x/2.00x", 9, 6, 24},
+      {"NW-2*", "paper NW-2: 16 cells, NBS 2016, 2.45x/3.77x", 16, 8, 16},
+      {"NR-16*", "paper NR-16: NBS 3408, 72.9% Rpeak w/ memo", 16, 10, 12},
+      {"NR-23*", "paper NR-23: 23 cells (Alps)", 23, 10, 12},
+  };
+  const std::vector<std::string> rows = {
+      "G: OBC",           "G: RGF",           "W: Assembly: Beyn",
+      "W: Assembly: Lyapunov", "W: Assembly: LHS", "W: Assembly: RHS",
+      "W: RGF",           "Other: P-FFT",     "Other: Sigma-FFT"};
+  std::printf("=== Table 4: per-kernel workload/time per SCBA iteration ===\n");
+  for (const MiniDevice& d : devices) {
+    device::StructureParams p;
+    p.num_cells = d.num_cells;
+    p.orbitals_per_puc = d.orbitals;
+    p.nu = 2;
+    p.nu_h = 2;
+    const device::Structure st{p};
+    std::printf("\n--- %s (%d cells x %d orbitals, %d energies) [%s]\n",
+                d.name, d.num_cells, 2 * d.orbitals, d.energies,
+                d.paper_note);
+    const auto off = measure(st, d.energies, false);
+    const auto on = measure(st, d.energies, true);
+    std::printf("%-24s %12s %12s %12s %9s\n", "Kernel", "Work[Gflop]",
+                "t_off[ms]", "t_on[ms]", "speedup");
+    double t_off_tot = 0.0, t_on_tot = 0.0, work_tot = 0.0;
+    for (const auto& row : rows) {
+      const double work =
+          (on.kernel_flops.count(row) ? on.kernel_flops.at(row) : 0) / 1e9;
+      const double toff =
+          (off.kernel_seconds.count(row) ? off.kernel_seconds.at(row) : 0) *
+          1e3;
+      const double ton =
+          (on.kernel_seconds.count(row) ? on.kernel_seconds.at(row) : 0) *
+          1e3;
+      std::printf("%-24s %12.3f %12.2f %12.2f %9.2f\n", row.c_str(), work,
+                  toff, ton, (ton > 0) ? toff / ton : 0.0);
+      t_off_tot += toff;
+      t_on_tot += ton;
+      work_tot += work;
+    }
+    std::printf("%-24s %12.3f %12.2f %12.2f %9.2f\n", "Total", work_tot,
+                t_off_tot, t_on_tot, t_off_tot / t_on_tot);
+    std::printf("per-energy: %.2f ms (off) / %.2f ms (on); "
+                "sustained %.2f Gflop/s\n",
+                t_off_tot / d.energies, t_on_tot / d.energies,
+                work_tot / (t_on_tot / 1e3));
+  }
+  std::printf(
+      "\nShape checks vs paper Table 4: (i) RGF rows dominate the workload,\n"
+      "(ii) Beyn/Lyapunov rows collapse with memoization while RGF rows are\n"
+      "unchanged, (iii) the memoizer's total speed-up grows with the OBC\n"
+      "share, as in the paper's NW-2 (3.77x) vs NW-1 (2.00x).\n");
+  return 0;
+}

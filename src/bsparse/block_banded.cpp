@@ -1,0 +1,117 @@
+#include "bsparse/block_banded.hpp"
+#include <algorithm>
+
+namespace qtx::bt {
+
+BlockBanded bb_multiply(const BlockBanded& a, const BlockBanded& b) {
+  QTX_CHECK(a.num_blocks() == b.num_blocks() &&
+            a.block_size() == b.block_size());
+  const int nb = a.num_blocks(), bs = a.block_size();
+  const int bw = std::min(nb - 1, a.bandwidth() + b.bandwidth());
+  BlockBanded c(nb, bs, bw);
+  for (int i = 0; i < nb; ++i) {
+    for (int j = std::max(0, i - bw); j <= std::min(nb - 1, i + bw); ++j) {
+      Matrix& cij = c.block(i, j);
+      for (int k = std::max({0, i - a.bandwidth(), j - b.bandwidth()});
+           k <= std::min({nb - 1, i + a.bandwidth(), j + b.bandwidth()});
+           ++k) {
+        la::gemm(1.0, a.block(i, k), la::Op::kNone, b.block(k, j),
+                 la::Op::kNone, 1.0, cij);
+      }
+    }
+  }
+  return c;
+}
+
+BlockBanded bb_congruence(const BlockBanded& a, const BlockBanded& x) {
+  // A X A† evaluated as (A X) A†; the dagger of a banded matrix has the
+  // same band, with block (i,j) = A(j,i)†.
+  const BlockBanded ax = bb_multiply(a, x);
+  QTX_CHECK(ax.num_blocks() == a.num_blocks());
+  const int nb = a.num_blocks(), bs = a.block_size();
+  const int bw = std::min(nb - 1, ax.bandwidth() + a.bandwidth());
+  BlockBanded c(nb, bs, bw);
+  for (int i = 0; i < nb; ++i) {
+    for (int j = std::max(0, i - bw); j <= std::min(nb - 1, i + bw); ++j) {
+      Matrix& cij = c.block(i, j);
+      // c_ij = sum_k ax_ik (a†)_kj = sum_k ax_ik a_jk†.
+      for (int k = std::max({0, i - ax.bandwidth(), j - a.bandwidth()});
+           k <= std::min({nb - 1, i + ax.bandwidth(), j + a.bandwidth()});
+           ++k) {
+        la::gemm(1.0, ax.block(i, k), la::Op::kNone, a.block(j, k),
+                 la::Op::kConjTrans, 1.0, cij);
+      }
+    }
+  }
+  return c;
+}
+
+BlockTridiag regroup_to_bt(const BlockBanded& a, int g) {
+  const int nb = a.num_blocks(), bs = a.block_size();
+  QTX_CHECK_MSG(nb % g == 0, "regroup factor must divide block count");
+  const int nb_c = nb / g, bs_c = bs * g;
+  // The coarse matrix is block-tridiagonal only if every stored fine block
+  // outside the coarse BT pattern vanishes.
+  for (int i = 0; i < nb; ++i) {
+    for (int j = std::max(0, i - a.bandwidth());
+         j <= std::min(nb - 1, i + a.bandwidth()); ++j) {
+      if (std::abs(i / g - j / g) > 1)
+        QTX_CHECK_MSG(a.block(i, j).max_abs() == 0.0,
+                      "fine block (" << i << "," << j
+                                     << ") lies outside the coarse "
+                                        "block-tridiagonal pattern");
+    }
+  }
+  BlockTridiag out(nb_c, bs_c);
+  for (int bi = 0; bi < nb_c; ++bi) {
+    for (int u = 0; u < g; ++u) {
+      for (int v = 0; v < g; ++v) {
+        const int i = bi * g + u;
+        // Diagonal coarse block.
+        {
+          const int j = bi * g + v;
+          if (a.stored(i, j)) out.diag(bi).set_block(u * bs, v * bs,
+                                                     a.block(i, j));
+        }
+        // Upper coarse block (bi, bi + 1).
+        if (bi + 1 < nb_c) {
+          const int j = (bi + 1) * g + v;
+          if (a.stored(i, j)) out.upper(bi).set_block(u * bs, v * bs,
+                                                      a.block(i, j));
+        }
+        // Lower coarse block (bi + 1, bi).
+        if (bi + 1 < nb_c) {
+          const int i2 = (bi + 1) * g + u;
+          const int j = bi * g + v;
+          if (a.stored(i2, j)) out.lower(bi).set_block(u * bs, v * bs,
+                                                       a.block(i2, j));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+BlockBanded split_blocks(const BlockTridiag& a, int g) {
+  const int nb_c = a.num_blocks(), bs_c = a.block_size();
+  QTX_CHECK(bs_c % g == 0);
+  const int bs = bs_c / g, nb = nb_c * g;
+  // A coarse BT matrix covers fine blocks up to |i - j| <= 2g - 1.
+  BlockBanded out(nb, bs, std::min(nb - 1, 2 * g - 1));
+  auto scatter = [&](const Matrix& blk, int coarse_i, int coarse_j) {
+    for (int u = 0; u < g; ++u)
+      for (int v = 0; v < g; ++v) {
+        const int i = coarse_i * g + u, j = coarse_j * g + v;
+        if (out.stored(i, j))
+          out.block(i, j) = blk.block(u * bs, v * bs, bs, bs);
+      }
+  };
+  for (int i = 0; i < nb_c; ++i) scatter(a.diag(i), i, i);
+  for (int i = 0; i + 1 < nb_c; ++i) {
+    scatter(a.upper(i), i, i + 1);
+    scatter(a.lower(i), i + 1, i);
+  }
+  return out;
+}
+
+}  // namespace qtx::bt

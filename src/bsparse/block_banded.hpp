@@ -1,0 +1,115 @@
+#pragma once
+
+/// \file block_banded.hpp
+/// General block-banded matrix with block half-bandwidth \c bw (blocks (i,j)
+/// with |i - j| <= bw are stored). The W-assembly step (paper §4.3.1)
+/// produces such matrices: V·P^R grows to half-bandwidth 2 and V·P≶·V† to 3
+/// before being truncated back to the r_cut-justified BT pattern.
+
+#include "bsparse/block_tridiag.hpp"
+
+namespace qtx::bt {
+
+class BlockBanded {
+ public:
+  BlockBanded() = default;
+
+  BlockBanded(int nb, int bs, int bw) : nb_(nb), bs_(bs), bw_(bw) {
+    QTX_CHECK(nb >= 1 && bs >= 1 && bw >= 0);
+    blocks_.assign(static_cast<size_t>(nb) * (2 * bw + 1), Matrix());
+    for (int i = 0; i < nb; ++i)
+      for (int d = -bw; d <= bw; ++d)
+        if (in_range(i, i + d)) slot(i, d) = Matrix(bs, bs);
+  }
+
+  explicit BlockBanded(const BlockTridiag& t) : BlockBanded(t.num_blocks(), t.block_size(), 1) {
+    for (int i = 0; i < nb_; ++i) block(i, i) = t.diag(i);
+    for (int i = 0; i + 1 < nb_; ++i) {
+      block(i, i + 1) = t.upper(i);
+      block(i + 1, i) = t.lower(i);
+    }
+  }
+
+  int num_blocks() const { return nb_; }
+  int block_size() const { return bs_; }
+  int bandwidth() const { return bw_; }
+  int dim() const { return nb_ * bs_; }
+
+  bool stored(int i, int j) const {
+    return in_range(i, j) && std::abs(i - j) <= bw_;
+  }
+
+  Matrix& block(int i, int j) {
+    QTX_CHECK_MSG(stored(i, j), "block (" << i << "," << j
+                                          << ") outside band " << bw_);
+    return slot(i, j - i);
+  }
+  const Matrix& block(int i, int j) const {
+    QTX_CHECK_MSG(stored(i, j), "block (" << i << "," << j
+                                          << ") outside band " << bw_);
+    return const_cast<BlockBanded*>(this)->slot(i, j - i);
+  }
+
+  Matrix dense() const {
+    Matrix out(dim(), dim());
+    for (int i = 0; i < nb_; ++i)
+      for (int d = -bw_; d <= bw_; ++d)
+        if (in_range(i, i + d)) out.set_block(i * bs_, (i + d) * bs_,
+                                              block(i, i + d));
+    return out;
+  }
+
+  /// Truncate to the block-tridiagonal pattern (r_cut truncation of the
+  /// assembly products, paper §4.1/§4.3.1).
+  BlockTridiag truncate_to_bt() const {
+    BlockTridiag out(nb_, bs_);
+    for (int i = 0; i < nb_; ++i) out.diag(i) = block(i, i);
+    if (bw_ >= 1) {
+      for (int i = 0; i + 1 < nb_; ++i) {
+        out.upper(i) = block(i, i + 1);
+        out.lower(i) = block(i + 1, i);
+      }
+    }
+    return out;
+  }
+
+  size_t memory_bytes() const {
+    size_t blocks = 0;
+    for (int i = 0; i < nb_; ++i)
+      for (int d = -bw_; d <= bw_; ++d)
+        if (in_range(i, i + d)) ++blocks;
+    return blocks * sizeof(cplx) * bs_ * bs_;
+  }
+
+ private:
+  bool in_range(int i, int j) const {
+    return i >= 0 && i < nb_ && j >= 0 && j < nb_;
+  }
+  Matrix& slot(int i, int d) {
+    return blocks_[static_cast<size_t>(i) * (2 * bw_ + 1) + (d + bw_)];
+  }
+
+  int nb_ = 0;
+  int bs_ = 0;
+  int bw_ = 0;
+  std::vector<Matrix> blocks_;
+};
+
+/// C = A · B on block-banded operands; the result has half-bandwidth
+/// bw(A) + bw(B), clipped to the matrix extent.
+BlockBanded bb_multiply(const BlockBanded& a, const BlockBanded& b);
+
+/// Congruence product A · X · A† (used for B≶ = V P≶ V†, paper Table 2).
+BlockBanded bb_congruence(const BlockBanded& a, const BlockBanded& x);
+
+/// Merge groups of \c g consecutive blocks into larger transport cells
+/// (paper §4.3: grouping N_U primitive blocks into cells of size N_BS makes
+/// a block-banded matrix block-tridiagonal). Requires bw <= g so the result
+/// is BT, and nb % g == 0.
+BlockTridiag regroup_to_bt(const BlockBanded& a, int g);
+
+/// Inverse of regroup_to_bt's block counting: split a BT matrix whose blocks
+/// are g x g grids of sub-blocks back into the fine pattern (testing aid).
+BlockBanded split_blocks(const BlockTridiag& a, int g);
+
+}  // namespace qtx::bt

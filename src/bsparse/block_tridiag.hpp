@@ -1,0 +1,191 @@
+#pragma once
+
+/// \file block_tridiag.hpp
+/// Block-tridiagonal (BT) matrix container — the central data structure of
+/// the NEGF+scGW solver (paper Fig. 2). A nanowire/nanoribbon device maps
+/// onto a block-banded matrix whose primitive-cell blocks are grouped into
+/// N_B transport cells of size N_BS, yielding a BT sparsity pattern that the
+/// RGF and nested-dissection solvers exploit.
+
+#include <vector>
+
+#include "la/la.hpp"
+
+namespace qtx::bt {
+
+using la::Matrix;
+
+/// Uniform block-tridiagonal matrix: \c nb diagonal blocks of size \c bs,
+/// upper blocks (i, i+1) and lower blocks (i+1, i).
+class BlockTridiag {
+ public:
+  BlockTridiag() = default;
+
+  BlockTridiag(int nb, int bs) : nb_(nb), bs_(bs) {
+    QTX_CHECK(nb >= 1 && bs >= 1);
+    diag_.assign(nb, Matrix(bs, bs));
+    upper_.assign(nb > 1 ? nb - 1 : 0, Matrix(bs, bs));
+    lower_.assign(nb > 1 ? nb - 1 : 0, Matrix(bs, bs));
+  }
+
+  static BlockTridiag identity(int nb, int bs) {
+    BlockTridiag m(nb, bs);
+    for (int i = 0; i < nb; ++i) m.diag(i) = Matrix::identity(bs);
+    return m;
+  }
+
+  /// Random Hermitian BT matrix (tests).
+  static BlockTridiag random_hermitian(int nb, int bs, Rng& rng) {
+    BlockTridiag m(nb, bs);
+    for (int i = 0; i < nb; ++i) m.diag(i) = Matrix::random_hermitian(bs, rng);
+    for (int i = 0; i + 1 < nb; ++i) {
+      m.upper(i) = Matrix::random(bs, bs, rng);
+      m.lower(i) = m.upper(i).dagger();
+    }
+    return m;
+  }
+
+  /// Random diagonally dominant BT matrix — well-conditioned system matrix
+  /// stand-in for solver tests.
+  static BlockTridiag random_diag_dominant(int nb, int bs, Rng& rng,
+                                           double dominance = 4.0) {
+    BlockTridiag m(nb, bs);
+    for (int i = 0; i < nb; ++i)
+      m.diag(i) = Matrix::random_diag_dominant(bs, rng, dominance);
+    for (int i = 0; i + 1 < nb; ++i) {
+      m.upper(i) = Matrix::random(bs, bs, rng);
+      m.lower(i) = Matrix::random(bs, bs, rng);
+    }
+    return m;
+  }
+
+  int num_blocks() const { return nb_; }
+  int block_size() const { return bs_; }
+  int dim() const { return nb_ * bs_; }
+
+  Matrix& diag(int i) { return diag_.at(i); }
+  const Matrix& diag(int i) const { return diag_.at(i); }
+  /// Block (i, i+1).
+  Matrix& upper(int i) { return upper_.at(i); }
+  const Matrix& upper(int i) const { return upper_.at(i); }
+  /// Block (i+1, i).
+  Matrix& lower(int i) { return lower_.at(i); }
+  const Matrix& lower(int i) const { return lower_.at(i); }
+
+  /// Materialize as dense (reference solvers and tests only).
+  Matrix dense() const {
+    Matrix out(dim(), dim());
+    for (int i = 0; i < nb_; ++i) out.set_block(i * bs_, i * bs_, diag_[i]);
+    for (int i = 0; i + 1 < nb_; ++i) {
+      out.set_block(i * bs_, (i + 1) * bs_, upper_[i]);
+      out.set_block((i + 1) * bs_, i * bs_, lower_[i]);
+    }
+    return out;
+  }
+
+  BlockTridiag dagger() const {
+    BlockTridiag out(nb_, bs_);
+    for (int i = 0; i < nb_; ++i) out.diag_[i] = diag_[i].dagger();
+    for (int i = 0; i + 1 < nb_; ++i) {
+      out.upper_[i] = lower_[i].dagger();
+      out.lower_[i] = upper_[i].dagger();
+    }
+    return out;
+  }
+
+  BlockTridiag& operator+=(const BlockTridiag& o) {
+    QTX_CHECK(nb_ == o.nb_ && bs_ == o.bs_);
+    for (int i = 0; i < nb_; ++i) diag_[i] += o.diag_[i];
+    for (int i = 0; i + 1 < nb_; ++i) {
+      upper_[i] += o.upper_[i];
+      lower_[i] += o.lower_[i];
+    }
+    return *this;
+  }
+
+  BlockTridiag& operator-=(const BlockTridiag& o) {
+    QTX_CHECK(nb_ == o.nb_ && bs_ == o.bs_);
+    for (int i = 0; i < nb_; ++i) diag_[i] -= o.diag_[i];
+    for (int i = 0; i + 1 < nb_; ++i) {
+      upper_[i] -= o.upper_[i];
+      lower_[i] -= o.lower_[i];
+    }
+    return *this;
+  }
+
+  BlockTridiag& operator*=(cplx s) {
+    for (auto& d : diag_) d *= s;
+    for (auto& u : upper_) u *= s;
+    for (auto& l : lower_) l *= s;
+    return *this;
+  }
+
+  /// Enforce X_ij = -X†_ji on all blocks (paper §5.2 symmetrization):
+  /// diagonal blocks are projected onto the anti-Hermitian subspace and the
+  /// lower off-diagonals are replaced by -upper†.
+  void anti_hermitize() {
+    for (auto& d : diag_) d.anti_hermitize();
+    for (int i = 0; i + 1 < nb_; ++i) {
+      Matrix u = upper_[i];
+      u -= lower_[i].dagger();
+      u *= cplx(0.5);
+      upper_[i] = u;
+      lower_[i] = u.dagger() * cplx(-1.0);
+    }
+  }
+
+  bool is_anti_hermitian(double tol = 1e-12) const {
+    for (const auto& d : diag_)
+      if (!d.is_anti_hermitian(tol)) return false;
+    for (int i = 0; i + 1 < nb_; ++i) {
+      Matrix sum = upper_[i] + lower_[i].dagger();
+      if (sum.max_abs() > tol) return false;
+    }
+    return true;
+  }
+
+  bool is_hermitian(double tol = 1e-12) const {
+    for (const auto& d : diag_)
+      if (!d.is_hermitian(tol)) return false;
+    for (int i = 0; i + 1 < nb_; ++i) {
+      Matrix diff = upper_[i] - lower_[i].dagger();
+      if (diff.max_abs() > tol) return false;
+    }
+    return true;
+  }
+
+  double max_abs() const {
+    double m = 0.0;
+    for (const auto& d : diag_) m = std::max(m, d.max_abs());
+    for (const auto& u : upper_) m = std::max(m, u.max_abs());
+    for (const auto& l : lower_) m = std::max(m, l.max_abs());
+    return m;
+  }
+
+  /// Bytes of complex payload (memory-ablation benchmark, paper §5.2).
+  size_t memory_bytes() const {
+    const size_t per_block = sizeof(cplx) * bs_ * bs_;
+    return per_block * (diag_.size() + upper_.size() + lower_.size());
+  }
+
+ private:
+  int nb_ = 0;
+  int bs_ = 0;
+  std::vector<Matrix> diag_, upper_, lower_;
+};
+
+/// Largest block-wise |A - B| over the BT pattern.
+inline double max_abs_diff(const BlockTridiag& a, const BlockTridiag& b) {
+  QTX_CHECK(a.num_blocks() == b.num_blocks() &&
+            a.block_size() == b.block_size());
+  double m = 0.0;
+  for (int i = 0; i < a.num_blocks(); ++i)
+    m = std::max(m, la::max_abs_diff(a.diag(i), b.diag(i)));
+  for (int i = 0; i + 1 < a.num_blocks(); ++i) {
+    m = std::max(m, la::max_abs_diff(a.upper(i), b.upper(i)));
+    m = std::max(m, la::max_abs_diff(a.lower(i), b.lower(i)));
+  }
+  return m;
+}
+
+}  // namespace qtx::bt

@@ -1,0 +1,8 @@
+#pragma once
+
+/// \file bsparse.hpp
+/// Umbrella header for the block-sparse containers.
+
+#include "bsparse/block_banded.hpp"
+#include "bsparse/block_tridiag.hpp"
+#include "bsparse/bt_symmetric.hpp"

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file bt_symmetric.hpp
+/// Symmetry-exploiting storage for lesser/greater quantities (paper §5.2).
+/// Every X≶ satisfies X≶_ij = -X≶*_ji, so only the block diagonal (projected
+/// onto the anti-Hermitian subspace) and the upper off-diagonal blocks are
+/// stored; the lower blocks are reconstructed on access as -upper†. This
+/// halves the memory footprint and — in the distributed pipeline — the
+/// communication volume of the energy↔element transposition.
+
+#include "bsparse/block_tridiag.hpp"
+
+namespace qtx::bt {
+
+class BtSymmetric {
+ public:
+  BtSymmetric() = default;
+
+  BtSymmetric(int nb, int bs) : nb_(nb), bs_(bs) {
+    QTX_CHECK(nb >= 1 && bs >= 1);
+    diag_.assign(nb, Matrix(bs, bs));
+    upper_.assign(nb > 1 ? nb - 1 : 0, Matrix(bs, bs));
+  }
+
+  /// Compress a full BT matrix, projecting out any symmetry-violating part
+  /// (this implements the paper's on-the-fly symmetrization: writing into
+  /// the symmetric storage *is* the symmetrization).
+  static BtSymmetric from_full(const BlockTridiag& x) {
+    BtSymmetric out(x.num_blocks(), x.block_size());
+    for (int i = 0; i < x.num_blocks(); ++i) {
+      out.diag_[i] = x.diag(i);
+      out.diag_[i].anti_hermitize();
+    }
+    for (int i = 0; i + 1 < x.num_blocks(); ++i) {
+      Matrix u = x.upper(i);
+      u -= x.lower(i).dagger();
+      u *= cplx(0.5);
+      out.upper_[i] = std::move(u);
+    }
+    return out;
+  }
+
+  BlockTridiag to_full() const {
+    BlockTridiag out(nb_, bs_);
+    for (int i = 0; i < nb_; ++i) out.diag(i) = diag_[i];
+    for (int i = 0; i + 1 < nb_; ++i) {
+      out.upper(i) = upper_[i];
+      out.lower(i) = lower(i);
+    }
+    return out;
+  }
+
+  int num_blocks() const { return nb_; }
+  int block_size() const { return bs_; }
+
+  Matrix& diag(int i) { return diag_.at(i); }
+  const Matrix& diag(int i) const { return diag_.at(i); }
+  Matrix& upper(int i) { return upper_.at(i); }
+  const Matrix& upper(int i) const { return upper_.at(i); }
+
+  /// Lower block (i+1, i) = -upper(i)†, materialized on demand.
+  Matrix lower(int i) const { return upper_.at(i).dagger() * cplx(-1.0); }
+
+  /// Re-project the diagonal blocks (cheap; upper blocks carry no redundant
+  /// counterpart so they need no projection).
+  void enforce() {
+    for (auto& d : diag_) d.anti_hermitize();
+  }
+
+  size_t memory_bytes() const {
+    const size_t per_block = sizeof(cplx) * bs_ * bs_;
+    return per_block * (diag_.size() + upper_.size());
+  }
+
+ private:
+  int nb_ = 0;
+  int bs_ = 0;
+  std::vector<Matrix> diag_, upper_;
+};
+
+}  // namespace qtx::bt

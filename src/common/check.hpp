@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file check.hpp
+/// Lightweight precondition checking. QTX_CHECK is always on (cheap compared
+/// to any O(n^3) kernel it guards); failures throw std::runtime_error so
+/// callers and tests can observe them.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qtx::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "QTX_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace qtx::detail
+
+#define QTX_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::qtx::detail::check_failed(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define QTX_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream qtx_os_;                                    \
+      qtx_os_ << msg;                                                \
+      ::qtx::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                  qtx_os_.str());                    \
+    }                                                                \
+  } while (0)

@@ -1,0 +1,71 @@
+#include "common/flops.hpp"
+
+#include <mutex>
+#include <vector>
+
+namespace qtx {
+namespace {
+
+/// Per-thread counter block, registered in a global list so totals can be
+/// aggregated across threads.
+struct ThreadCounters {
+  std::map<std::string, std::int64_t> by_phase;
+  std::string current_phase = "unattributed";
+};
+
+std::mutex g_registry_mutex;
+std::vector<ThreadCounters*>& registry() {
+  static std::vector<ThreadCounters*> r;
+  return r;
+}
+
+ThreadCounters& local() {
+  thread_local ThreadCounters* tc = [] {
+    auto* p = new ThreadCounters();  // lives for process lifetime
+    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    registry().push_back(p);
+    return p;
+  }();
+  return *tc;
+}
+
+}  // namespace
+
+void FlopLedger::add(std::int64_t flops) {
+  auto& tc = local();
+  tc.by_phase[tc.current_phase] += flops;
+}
+
+void FlopLedger::begin_phase(const std::string& name) {
+  local().current_phase = name;
+}
+
+std::int64_t FlopLedger::total() {
+  std::int64_t sum = 0;
+  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  for (const auto* tc : registry())
+    for (const auto& [_, v] : tc->by_phase) sum += v;
+  return sum;
+}
+
+std::map<std::string, std::int64_t> FlopLedger::by_phase() {
+  std::map<std::string, std::int64_t> out;
+  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  for (const auto* tc : registry())
+    for (const auto& [k, v] : tc->by_phase) out[k] += v;
+  return out;
+}
+
+void FlopLedger::reset() {
+  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  for (auto* tc : registry()) tc->by_phase.clear();
+}
+
+FlopPhase::FlopPhase(const std::string& name) {
+  previous_ = local().current_phase;
+  FlopLedger::begin_phase(name);
+}
+
+FlopPhase::~FlopPhase() { FlopLedger::begin_phase(previous_); }
+
+}  // namespace qtx

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file flops.hpp
+/// FLOP ledger: the reproduction's stand-in for rocprof/NCU workload
+/// measurements (paper §6.3). Every linear-algebra and FFT kernel reports the
+/// double-precision operation count it executed, tagged with a kernel
+/// category. The SCBA driver opens named phases ("G: OBC", "W: RGF", ...)
+/// so benchmarks can print the same per-kernel workload rows as Table 4.
+///
+/// Counters are thread-local and aggregated on demand, so OpenMP-style
+/// threaded kernels and the thread-backed communicator ranks can record
+/// concurrently without synchronization on the hot path.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace qtx {
+
+/// Accumulates FP64 operation counts per named phase.
+class FlopLedger {
+ public:
+  /// Add \p flops to the currently open phase of the calling thread.
+  static void add(std::int64_t flops);
+
+  /// Open a phase for the calling thread; subsequent add() calls accrue to
+  /// it. Phases do not nest — begin_phase replaces the previous phase.
+  static void begin_phase(const std::string& name);
+
+  /// Total FP64 operations across all threads and phases.
+  static std::int64_t total();
+
+  /// Per-phase totals across all threads.
+  static std::map<std::string, std::int64_t> by_phase();
+
+  /// Reset all counters on all threads.
+  static void reset();
+};
+
+/// RAII helper: opens \p name on construction, restores the previous phase on
+/// destruction. Used by the SCBA driver around each kernel.
+class FlopPhase {
+ public:
+  explicit FlopPhase(const std::string& name);
+  ~FlopPhase();
+  FlopPhase(const FlopPhase&) = delete;
+  FlopPhase& operator=(const FlopPhase&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+/// FLOP-count formulas for complex FP64 kernels. One complex multiply-add is
+/// counted as 8 real operations (4 mul + 4 add), matching how vendor
+/// profilers report complex GEMM.
+namespace flop_count {
+
+inline std::int64_t gemm(std::int64_t m, std::int64_t n, std::int64_t k) {
+  return 8 * m * n * k;
+}
+inline std::int64_t lu(std::int64_t n) { return 8 * n * n * n / 3; }
+inline std::int64_t lu_solve(std::int64_t n, std::int64_t nrhs) {
+  return 8 * n * n * nrhs;
+}
+inline std::int64_t inverse(std::int64_t n) {
+  return lu(n) + lu_solve(n, n);
+}
+inline std::int64_t fft(std::int64_t n) {
+  // ~5 n log2 n real ops for a complex FFT.
+  std::int64_t log2n = 0;
+  for (std::int64_t v = 1; v < n; v *= 2) ++log2n;
+  return 5 * n * log2n;
+}
+inline std::int64_t axpy(std::int64_t n) { return 8 * n; }
+
+}  // namespace flop_count
+
+}  // namespace qtx

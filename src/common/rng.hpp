@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic random number helpers. Tests and benchmarks seed explicitly
+/// so every run is reproducible.
+
+#include <random>
+
+#include "common/types.hpp"
+
+namespace qtx {
+
+/// Mersenne-Twister wrapper producing doubles and complex doubles in [-1,1].
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : gen_(seed) {}
+
+  double uniform() { return dist_(gen_); }
+
+  cplx complex_uniform() { return {dist_(gen_), dist_(gen_)}; }
+
+  /// Standard normal variate.
+  double normal() { return normal_(gen_); }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+  std::uniform_real_distribution<double> dist_{-1.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace qtx

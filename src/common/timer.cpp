@@ -1,0 +1,37 @@
+#include "common/timer.hpp"
+
+#include <mutex>
+
+namespace qtx {
+namespace {
+
+std::mutex g_mutex;
+std::map<std::string, double>& timers() {
+  static std::map<std::string, double> t;
+  return t;
+}
+
+}  // namespace
+
+void TimerRegistry::add(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  timers()[name] += seconds;
+}
+
+double TimerRegistry::seconds(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = timers().find(name);
+  return it == timers().end() ? 0.0 : it->second;
+}
+
+std::map<std::string, double> TimerRegistry::all() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return timers();
+}
+
+void TimerRegistry::reset() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  timers().clear();
+}
+
+}  // namespace qtx

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timers mirroring the paper's per-kernel time measurements
+/// (Table 4 rows). TimerRegistry accumulates named durations; ScopedTimer is
+/// the RAII entry point used around each SCBA kernel.
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace qtx {
+
+class TimerRegistry {
+ public:
+  /// Accumulate \p seconds into the timer named \p name.
+  static void add(const std::string& name, double seconds);
+
+  /// Seconds accumulated under \p name (0 if never recorded).
+  static double seconds(const std::string& name);
+
+  /// All timers, ordered by name.
+  static std::map<std::string, double> all();
+
+  static void reset();
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string name)
+      : name_(std::move(name)), start_(clock::now()) {}
+  ~ScopedTimer() {
+    const double s =
+        std::chrono::duration<double>(clock::now() - start_).count();
+    TimerRegistry::add(name_, s);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  using clock = std::chrono::steady_clock;
+  std::string name_;
+  clock::time_point start_;
+};
+
+/// Simple stopwatch for benches that manage their own aggregation.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace qtx

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file types.hpp
+/// Fundamental scalar types and physical constants shared by all QuaTrEx-CPP
+/// modules. All physics is done in natural units (hbar = e = 1) with energies
+/// in electron-volts and lengths in nanometers, matching the conventions laid
+/// out in DESIGN.md.
+
+#include <complex>
+#include <cstdint>
+
+namespace qtx {
+
+/// Double-precision complex scalar used by every physical quantity
+/// (Green's functions, self-energies, polarization, screened interaction).
+using cplx = std::complex<double>;
+
+using std::int64_t;
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// i (imaginary unit) as a named constant to keep formulas readable.
+inline constexpr cplx kI{0.0, 1.0};
+
+/// Boltzmann constant in eV/K.
+inline constexpr double kBoltzmannEvPerK = 8.617333262e-5;
+
+/// Room temperature in Kelvin, the default contact temperature.
+inline constexpr double kRoomTemperatureK = 300.0;
+
+/// Fermi-Dirac occupation at energy \p e for chemical potential \p mu and
+/// temperature \p temperature_k (Kelvin). Numerically safe for large
+/// arguments in either direction.
+inline double fermi_dirac(double e, double mu, double temperature_k) {
+  const double kt = kBoltzmannEvPerK * temperature_k;
+  const double x = (e - mu) / kt;
+  if (x > 40.0) return 0.0;
+  if (x < -40.0) return 1.0;
+  return 1.0 / (1.0 + std::exp(x));
+}
+
+}  // namespace qtx

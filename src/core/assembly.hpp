@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file assembly.hpp
+/// Assembly of the per-energy linear systems (paper §4.3.1, Table 2).
+///
+/// Electron subsystem:  eM(E) = (E + i eta) S - H - Sigma^R_scatt(E),
+/// with S = I in the orthogonal MLWF basis; the retarded OBC blocks are
+/// subtracted at the corners, and B≶ = Sigma≶_scatt + Sigma≶_OBC.
+///
+/// Screened-Coulomb subsystem:  eM_W(w) = I - V P^R(w), B≶_W = V P≶(w) V†,
+/// evaluated as block-tridiagonal products whose bandwidth grows to 2 and 3
+/// before being truncated back to the r_cut-justified BT pattern (the
+/// paper's approach; keeping the products banded is what makes the W
+/// assembly GEMM-dominated).
+
+#include "bsparse/bsparse.hpp"
+
+namespace qtx::core {
+
+using bt::BlockTridiag;
+using la::Matrix;
+
+/// eM(E) for the electron system (no OBC corners yet).
+BlockTridiag assemble_electron_lhs(double energy, double eta,
+                                   const BlockTridiag& h,
+                                   const BlockTridiag& sigma_r);
+
+/// eM_W(w) = I - V P^R(w), truncated to BT.
+BlockTridiag assemble_w_lhs(const BlockTridiag& v, const BlockTridiag& p_r);
+
+/// B≶_W = V P≶ V†, truncated to BT.
+BlockTridiag assemble_w_rhs(const BlockTridiag& v, const BlockTridiag& p);
+
+/// Add an external electrostatic potential: H_ii += phi_i * I per transport
+/// cell (gate/source/drain profile of the FET examples).
+void apply_cell_potential(BlockTridiag& h, const std::vector<double>& phi);
+
+}  // namespace qtx::core

@@ -1,0 +1,134 @@
+#include "core/contacts.hpp"
+
+#include "common/flops.hpp"
+#include "common/timer.hpp"
+
+namespace qtx::core {
+namespace {
+
+/// Gamma = i (Sigma - Sigma†).
+Matrix broadening(const Matrix& sigma) {
+  Matrix g = sigma - sigma.dagger();
+  g *= kI;
+  return g;
+}
+
+}  // namespace
+
+ElectronObc electron_obc(const BlockTridiag& m, double energy,
+                         const ContactParams& contacts,
+                         obc::ObcMemoizer& memo, int energy_index) {
+  const int nb = m.num_blocks();
+  ElectronObc out;
+  // Left lead: cells ..., -2, -1 replicate the device edge. The surface
+  // equation couples one cell deeper via M_{j,j-1} = lower pattern.
+  {
+    const Matrix& md = m.diag(0);
+    const Matrix& u = m.upper(0);
+    const Matrix& l = m.lower(0);
+    const Matrix g =
+        memo.solve_surface(obc::ObcKey{0, 0, energy_index}, md, l, u);
+    out.sigma_r_left = la::mmm(l, g, u);
+    const Matrix gamma = broadening(out.sigma_r_left);
+    const double f =
+        fermi_dirac(energy, contacts.mu_left, contacts.temperature_k);
+    out.sigma_l_left = gamma * (kI * f);
+    out.sigma_g_left = gamma * (-kI * (1.0 - f));
+  }
+  // Right lead: cells nb, nb+1, ... couple deeper via M_{j,j+1} = upper.
+  {
+    const Matrix& md = m.diag(nb - 1);
+    const Matrix& u = m.upper(nb - 2);
+    const Matrix& l = m.lower(nb - 2);
+    const Matrix g =
+        memo.solve_surface(obc::ObcKey{0, 1, energy_index}, md, u, l);
+    out.sigma_r_right = la::mmm(u, g, l);
+    const Matrix gamma = broadening(out.sigma_r_right);
+    const double f =
+        fermi_dirac(energy, contacts.mu_right, contacts.temperature_k);
+    out.sigma_l_right = gamma * (kI * f);
+    out.sigma_g_right = gamma * (-kI * (1.0 - f));
+  }
+  return out;
+}
+
+WObc w_obc(const BlockTridiag& m_w, const BlockTridiag& b_lesser,
+           const BlockTridiag& b_greater, obc::ObcMemoizer& memo,
+           int omega_index) {
+  const int nb = m_w.num_blocks();
+  WObc out;
+  // Left lead.
+  {
+    const Matrix& md = m_w.diag(0);
+    const Matrix& u = m_w.upper(0);
+    const Matrix& l = m_w.lower(0);
+    Matrix g;
+    {
+      ScopedTimer t("W: Assembly: Beyn");
+      FlopPhase f("W: Assembly: Beyn");
+      g = memo.solve_surface(obc::ObcKey{1, 0, omega_index}, md, l, u);
+    }
+    ScopedTimer t("W: Assembly: Lyapunov");
+    FlopPhase fp("W: Assembly: Lyapunov");
+    out.br_left = la::mmm(l, g, u);
+    // Lesser/greater: w = q + a w a† with a = g l and
+    // q = g (b_d - (l g) b_u - b_l (l g)†) g†  (see contacts.hpp).
+    const Matrix a = la::mm(g, l);
+    const Matrix lg = la::mm(l, g);
+    auto solve = [&](const BlockTridiag& b, int sub) {
+      const Matrix& bd = b.diag(0);
+      const Matrix& bu = b.upper(0);
+      const Matrix& blo = b.lower(0);
+      Matrix inner = bd;
+      inner -= la::mm(lg, bu);
+      inner -= la::mmh(blo, lg);
+      const Matrix q = la::mmmh(g, inner, g);
+      const Matrix w =
+          memo.solve_stein(obc::ObcKey{sub, 0, omega_index}, q, a, 1.0);
+      // Boundary RHS correction: -(l g) b_u - b_l (l g)† + l w l†.
+      Matrix corr = la::mm(lg, bu) * cplx(-1.0);
+      corr -= la::mmh(blo, lg);
+      corr += la::mmmh(l, w, l);
+      return corr;
+    };
+    out.bl_left = solve(b_lesser, 2);
+    out.bg_left = solve(b_greater, 3);
+  }
+  // Right lead (mirror).
+  {
+    const Matrix& md = m_w.diag(nb - 1);
+    const Matrix& u = m_w.upper(nb - 2);
+    const Matrix& l = m_w.lower(nb - 2);
+    Matrix g;
+    {
+      ScopedTimer t("W: Assembly: Beyn");
+      FlopPhase f("W: Assembly: Beyn");
+      g = memo.solve_surface(obc::ObcKey{1, 1, omega_index}, md, u, l);
+    }
+    ScopedTimer t("W: Assembly: Lyapunov");
+    FlopPhase fp("W: Assembly: Lyapunov");
+    out.br_right = la::mmm(u, g, l);
+    const Matrix a = la::mm(g, u);
+    const Matrix ug = la::mm(u, g);
+    auto solve = [&](const BlockTridiag& b, int sub) {
+      const Matrix& bd = b.diag(nb - 1);
+      const Matrix& bu = b.upper(nb - 2);
+      const Matrix& blo = b.lower(nb - 2);
+      Matrix inner = bd;
+      inner -= la::mm(ug, blo);
+      inner -= la::mmh(bu, ug);
+      const Matrix q = la::mmmh(g, inner, g);
+      const Matrix w =
+          memo.solve_stein(obc::ObcKey{sub, 1, omega_index}, q, a, 1.0);
+      Matrix corr = la::mm(ug, blo) * cplx(-1.0);
+      corr -= la::mmh(bu, ug);
+      corr += la::mmmh(u, w, u);
+      return corr;
+    };
+    out.bl_right = solve(b_lesser, 2);
+    out.bg_right = solve(b_greater, 3);
+  }
+  return out;
+}
+
+}  // namespace qtx::core

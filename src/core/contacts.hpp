@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file contacts.hpp
+/// Open-boundary-condition orchestration for both subsystems (paper §4.2).
+///
+/// Electrons: the retarded boundary self-energy comes from the lead surface
+/// Green's function (Beyn / Sancho-Rubio / memoized fixed point); the
+/// lesser/greater injections follow from the fluctuation-dissipation theorem
+/// with the contact Fermi levels, Sigma< = i f Gamma, Sigma> = -i (1-f)
+/// Gamma.
+///
+/// Screened Coulomb: the retarded correction uses the same surface machinery
+/// on eM_W = I - V P^R; the lesser/greater boundary functions solve the
+/// discrete-time Lyapunov (Stein) equation w≶ = q + a w≶ a† with blocks
+/// extracted from the lead cells of the assembled W system (paper Eq. 7).
+
+#include "bsparse/bsparse.hpp"
+#include "obc/obc.hpp"
+
+namespace qtx::core {
+
+using bt::BlockTridiag;
+using la::Matrix;
+
+struct ContactParams {
+  double mu_left = 0.0;
+  double mu_right = 0.0;
+  double temperature_k = kRoomTemperatureK;
+};
+
+/// Per-energy electron boundary blocks. The retarded blocks are subtracted
+/// from eM's corner diagonals; the lesser/greater blocks add to B≶.
+struct ElectronObc {
+  Matrix sigma_r_left, sigma_r_right;
+  Matrix sigma_l_left, sigma_l_right;
+  Matrix sigma_g_left, sigma_g_right;
+};
+
+/// Compute the electron OBC from the (pre-correction) system matrix eM(E).
+/// The lead unit cells replicate eM's edge blocks, as in the paper's
+/// periodic-contact construction (Fig. 2).
+ElectronObc electron_obc(const BlockTridiag& m, double energy,
+                         const ContactParams& contacts,
+                         obc::ObcMemoizer& memo, int energy_index);
+
+/// Per-frequency screened-Coulomb boundary blocks.
+struct WObc {
+  Matrix br_left, br_right;  ///< subtract from eM_W corners
+  Matrix bl_left, bl_right;  ///< add to B< corners
+  Matrix bg_left, bg_right;  ///< add to B> corners
+};
+
+/// Compute the W OBC from the assembled eM_W(w) and RHS B≶_W(w) edge blocks.
+WObc w_obc(const BlockTridiag& m_w, const BlockTridiag& b_lesser,
+           const BlockTridiag& b_greater, obc::ObcMemoizer& memo,
+           int omega_index);
+
+}  // namespace qtx::core

@@ -1,0 +1,176 @@
+#include "core/distributed.hpp"
+
+#include <mutex>
+
+#include "common/timer.hpp"
+#include "fft/convolution.hpp"
+
+namespace qtx::core {
+
+DistributedStats distributed_iteration(par::CommWorld& world,
+                                       const device::Structure& structure,
+                                       const ScbaOptions& opt) {
+  const SymLayout layout{structure.num_cells(), structure.block_size()};
+  const int ne = opt.grid.n;
+  BlockTridiag h = structure.hamiltonian_bt();
+  if (!opt.cell_potential.empty()) apply_cell_potential(h, opt.cell_potential);
+  BlockTridiag v = structure.coulomb_bt();
+  v *= cplx(opt.gw_scale, 0.0);
+  const std::vector<cplx> v_flat = serialize_sym(v);
+  par::Transposer transposer(ne, layout.num_elements(), world.size());
+  world.reset_byte_counter();
+
+  DistributedStats stats;
+  std::mutex stats_mutex;
+  const int nb = layout.nb;
+  const BlockTridiag zero_sigma(nb, layout.bs);
+
+  world.run([&](par::Comm& comm) {
+    double compute_s = 0.0, comm_s = 0.0;
+    Stopwatch phase;
+    obc::ObcMemoizer memo(
+        obc::MemoizerOptions{.enabled = opt.use_memoizer});
+    const std::int64_t e0 = transposer.energies().offset(comm.rank());
+    const std::int64_t ne_mine = transposer.energies().count(comm.rank());
+    // ---- G stage (energy layout) --------------------------------------
+    phase.restart();
+    std::vector<cplx> g_lt_flat(ne_mine * layout.num_elements());
+    std::vector<cplx> g_gt_flat(ne_mine * layout.num_elements());
+    for (std::int64_t el = 0; el < ne_mine; ++el) {
+      const int e = static_cast<int>(e0 + el);
+      BlockTridiag m =
+          assemble_electron_lhs(opt.grid.energy(e), opt.eta, h, zero_sigma);
+      const ElectronObc ob =
+          electron_obc(m, opt.grid.energy(e), opt.contacts, memo, e);
+      m.diag(0) -= ob.sigma_r_left;
+      m.diag(nb - 1) -= ob.sigma_r_right;
+      BlockTridiag bl(nb, layout.bs), bg(nb, layout.bs);
+      bl.diag(0) += ob.sigma_l_left;
+      bl.diag(nb - 1) += ob.sigma_l_right;
+      bg.diag(0) += ob.sigma_g_left;
+      bg.diag(nb - 1) += ob.sigma_g_right;
+      rgf::RgfOptions ropt;
+      ropt.symmetrize = opt.symmetrize;
+      const rgf::SelectedSolution sel = rgf_solve(m, bl, bg, ropt);
+      const std::vector<cplx> lt = serialize_sym(sel.xl);
+      const std::vector<cplx> gt = serialize_sym(sel.xg);
+      std::copy(lt.begin(), lt.end(),
+                g_lt_flat.begin() + el * layout.num_elements());
+      std::copy(gt.begin(), gt.end(),
+                g_gt_flat.begin() + el * layout.num_elements());
+    }
+    compute_s += phase.seconds();
+    // ---- transpose to element layout ----------------------------------
+    phase.restart();
+    std::vector<cplx> lt_elem = transposer.to_element_layout(comm, g_lt_flat);
+    std::vector<cplx> gt_elem = transposer.to_element_layout(comm, g_gt_flat);
+    comm_s += phase.seconds();
+    // ---- P stage (element layout) -------------------------------------
+    phase.restart();
+    const std::int64_t k_mine = transposer.elements().count(comm.rank());
+    fft::EnergyConvolver conv(ne, opt.grid.de());
+    std::vector<cplx> p_lt_elem(k_mine * ne), p_gt_elem(k_mine * ne),
+        p_r_elem(k_mine * ne);
+    {
+      std::vector<cplx> slt(ne), sgt(ne), olt, ogt, org;
+      for (std::int64_t k = 0; k < k_mine; ++k) {
+        for (int e = 0; e < ne; ++e) {
+          slt[e] = lt_elem[k * ne + e];
+          sgt[e] = gt_elem[k * ne + e];
+        }
+        conv.polarization(slt, sgt, olt, ogt);
+        conv.retarded_boson(olt, ogt, org);
+        for (int e = 0; e < ne; ++e) {
+          p_lt_elem[k * ne + e] = olt[e];
+          p_gt_elem[k * ne + e] = ogt[e];
+          p_r_elem[k * ne + e] = org[e];
+        }
+      }
+    }
+    compute_s += phase.seconds();
+    // ---- transpose P back, solve W (energy layout) ---------------------
+    phase.restart();
+    std::vector<cplx> p_lt_en = transposer.to_energy_layout(comm, p_lt_elem);
+    std::vector<cplx> p_gt_en = transposer.to_energy_layout(comm, p_gt_elem);
+    std::vector<cplx> p_r_en = transposer.to_energy_layout(comm, p_r_elem);
+    comm_s += phase.seconds();
+    phase.restart();
+    std::vector<cplx> w_lt_flat(ne_mine * layout.num_elements());
+    std::vector<cplx> w_gt_flat(ne_mine * layout.num_elements());
+    for (std::int64_t el = 0; el < ne_mine; ++el) {
+      const int w = static_cast<int>(e0 + el);
+      std::vector<cplx> flt(layout.num_elements()), fgt(layout.num_elements()),
+          fr(layout.num_elements()), jump(layout.num_elements());
+      for (std::int64_t k = 0; k < layout.num_elements(); ++k) {
+        flt[k] = p_lt_en[el * layout.num_elements() + k];
+        fgt[k] = p_gt_en[el * layout.num_elements() + k];
+        fr[k] = p_r_en[el * layout.num_elements() + k];
+        jump[k] = fgt[k] - flt[k];
+      }
+      const BlockTridiag p_r = deserialize_retarded(fr, jump, layout);
+      const BlockTridiag p_lt = deserialize_lesser(flt, layout);
+      const BlockTridiag p_gt = deserialize_lesser(fgt, layout);
+      BlockTridiag m = assemble_w_lhs(v, p_r);
+      BlockTridiag bl = assemble_w_rhs(v, p_lt);
+      BlockTridiag bg = assemble_w_rhs(v, p_gt);
+      const WObc ob = w_obc(m, bl, bg, memo, w);
+      m.diag(0) -= ob.br_left;
+      m.diag(nb - 1) -= ob.br_right;
+      bl.diag(0) += ob.bl_left;
+      bl.diag(nb - 1) += ob.bl_right;
+      bg.diag(0) += ob.bg_left;
+      bg.diag(nb - 1) += ob.bg_right;
+      rgf::RgfOptions ropt;
+      ropt.symmetrize = opt.symmetrize;
+      const rgf::SelectedSolution sel = rgf_solve(m, bl, bg, ropt);
+      const std::vector<cplx> lt = serialize_sym(sel.xl);
+      const std::vector<cplx> gt = serialize_sym(sel.xg);
+      std::copy(lt.begin(), lt.end(),
+                w_lt_flat.begin() + el * layout.num_elements());
+      std::copy(gt.begin(), gt.end(),
+                w_gt_flat.begin() + el * layout.num_elements());
+    }
+    compute_s += phase.seconds();
+    // ---- transpose W, Sigma convolution, transpose back ----------------
+    phase.restart();
+    std::vector<cplx> wlt_elem = transposer.to_element_layout(comm, w_lt_flat);
+    std::vector<cplx> wgt_elem = transposer.to_element_layout(comm, w_gt_flat);
+    comm_s += phase.seconds();
+    phase.restart();
+    std::vector<cplx> s_lt_elem(k_mine * ne), s_gt_elem(k_mine * ne);
+    {
+      std::vector<cplx> slt(ne), sgt(ne), wl(ne), wg(ne), olt, ogt;
+      for (std::int64_t k = 0; k < k_mine; ++k) {
+        for (int e = 0; e < ne; ++e) {
+          slt[e] = lt_elem[k * ne + e];
+          sgt[e] = gt_elem[k * ne + e];
+          wl[e] = wlt_elem[k * ne + e];
+          wg[e] = wgt_elem[k * ne + e];
+        }
+        conv.self_energy(slt, sgt, wl, wg, olt, ogt);
+        for (int e = 0; e < ne; ++e) {
+          s_lt_elem[k * ne + e] = olt[e];
+          s_gt_elem[k * ne + e] = ogt[e];
+        }
+      }
+    }
+    compute_s += phase.seconds();
+    phase.restart();
+    (void)transposer.to_energy_layout(comm, s_lt_elem);
+    (void)transposer.to_energy_layout(comm, s_gt_elem);
+    comm_s += phase.seconds();
+    // ---- aggregate ------------------------------------------------------
+    const double max_compute = comm.allreduce_max(compute_s);
+    const double max_comm = comm.allreduce_max(comm_s);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      stats.compute_s = max_compute;
+      stats.comm_s = max_comm;
+      stats.total_s = max_compute + max_comm;
+    }
+  });
+  stats.bytes_sent = world.total_bytes_sent();
+  return stats;
+}
+
+}  // namespace qtx::core

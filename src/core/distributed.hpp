@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file distributed.hpp
+/// One distributed SCBA iteration over the thread-backed communicator —
+/// the measured counterpart of the paper's Fig. 3 pipeline: every rank owns
+/// a slice of the energy grid for the solver stages and a slice of the
+/// selected elements for the FFT stages, with all-to-all transpositions in
+/// between. Used by the weak-scaling benchmark (Fig. 6 reproduction) with
+/// both communication backends.
+
+#include "core/scba.hpp"
+#include "par/distribution.hpp"
+
+namespace qtx::core {
+
+struct DistributedStats {
+  double compute_s = 0.0;  ///< max across ranks
+  double comm_s = 0.0;     ///< max across ranks (transposition waits)
+  double total_s = 0.0;
+  std::int64_t bytes_sent = 0;  ///< total across ranks
+};
+
+/// Run one G -> P -> W -> Sigma iteration with the grid distributed over
+/// \p world's ranks. The physics matches Scba::iterate() with zero initial
+/// self-energy; the return value aggregates per-rank timings.
+DistributedStats distributed_iteration(par::CommWorld& world,
+                                       const device::Structure& structure,
+                                       const ScbaOptions& opt);
+
+}  // namespace qtx::core

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file energy_grid.hpp
+/// Uniform energy grids. Fermionic quantities (G, Sigma) live on
+/// [e_min, e_max]; bosonic quantities (P, W) live on the transfer grid
+/// w_k = k * de with the same spacing and point count, their negative
+/// frequencies supplied by the lesser/greater symmetry (see
+/// fft/convolution.hpp).
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace qtx::core {
+
+struct EnergyGrid {
+  double e_min = -5.0;
+  double e_max = 5.0;
+  int n = 64;
+
+  double de() const { return (e_max - e_min) / (n - 1); }
+  double energy(int i) const { return e_min + i * de(); }
+  double omega(int k) const { return k * de(); }
+
+  void validate() const {
+    QTX_CHECK(n >= 2);
+    QTX_CHECK(e_max > e_min);
+  }
+};
+
+}  // namespace qtx::core

@@ -1,0 +1,64 @@
+#include "core/ephonon.hpp"
+
+#include <cmath>
+
+#include "fft/convolution.hpp"
+
+namespace qtx::core {
+
+double bose_einstein(double energy_ev, double temperature_k) {
+  const double kt = kBoltzmannEvPerK * temperature_k;
+  const double x = energy_ev / kt;
+  if (x > 40.0) return 0.0;
+  return 1.0 / (std::exp(x) - 1.0);
+}
+
+EPhononSelfEnergy::EPhononSelfEnergy(const EnergyGrid& grid,
+                                     const SymLayout& layout,
+                                     const EPhononParams& params)
+    : grid_(grid), layout_(layout), params_(params) {
+  shift_ = static_cast<int>(std::round(params.phonon_energy_ev / grid.de()));
+  QTX_CHECK_MSG(shift_ >= 0, "phonon energy must be non-negative");
+}
+
+void EPhononSelfEnergy::accumulate(
+    const std::vector<std::vector<cplx>>& g_lt,
+    const std::vector<std::vector<cplx>>& g_gt,
+    std::vector<std::vector<cplx>>& s_lt, std::vector<std::vector<cplx>>& s_gt,
+    std::vector<std::vector<cplx>>& s_r) const {
+  if (!enabled()) return;
+  const int ne = grid_.n;
+  const double d2 = params_.coupling_ev * params_.coupling_ev;
+  const double nb =
+      bose_einstein(params_.phonon_energy_ev, params_.temperature_k);
+  const std::int64_t diag_end = layout_.diag_elements();
+  const std::int64_t k_end =
+      params_.diagonal_blocks_only ? diag_end : layout_.num_elements();
+  // Per-element lesser/greater, then the causal window for the retarded
+  // part (reusing the GW machinery).
+  fft::EnergyConvolver conv(ne, grid_.de());
+  std::vector<cplx> lt(ne), gt(ne), r;
+  auto at = [&](const std::vector<std::vector<cplx>>& stack, int e,
+                std::int64_t k) -> cplx {
+    if (e < 0 || e >= ne) return cplx(0.0);
+    return stack[e][k];
+  };
+  for (std::int64_t k = 0; k < k_end; ++k) {
+    for (int e = 0; e < ne; ++e) {
+      // Sigma<(E) = D^2 [(N+1) G<(E+w0) + N G<(E-w0)]
+      lt[e] = d2 * ((nb + 1.0) * at(g_lt, e + shift_, k) +
+                    nb * at(g_lt, e - shift_, k));
+      // Sigma>(E) = D^2 [(N+1) G>(E-w0) + N G>(E+w0)]
+      gt[e] = d2 * ((nb + 1.0) * at(g_gt, e - shift_, k) +
+                    nb * at(g_gt, e + shift_, k));
+    }
+    conv.retarded_fermion(lt, gt, r);
+    for (int e = 0; e < ne; ++e) {
+      s_lt[e][k] += lt[e];
+      s_gt[e][k] += gt[e];
+      s_r[e][k] += r[e];
+    }
+  }
+}
+
+}  // namespace qtx::core

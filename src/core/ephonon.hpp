@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file ephonon.hpp
+/// Electron-phonon scattering self-energy — the paper's §8 extension
+/// ("other types of scattering, such as electron-phonon or electron-photon,
+/// can be readily integrated"). Implements the standard deformation-
+/// potential self-consistent Born self-energy with a dispersionless phonon
+/// of energy w0 (the model of the SC'19 dissipative-transport predecessor,
+/// Ziogas et al. [52]):
+///
+///   Sigma<(E) = D^2 [ (N+1) G<(E + w0) + N G<(E - w0) ]
+///   Sigma>(E) = D^2 [ (N+1) G>(E - w0) + N G>(E + w0) ]
+///
+/// with N the Bose-Einstein occupation of the phonon mode. The retarded
+/// part follows from the same causal reconstruction as the GW self-energy.
+/// The local (deformation-potential) approximation restricts the self-energy
+/// to the diagonal blocks by default.
+
+#include "core/energy_grid.hpp"
+#include "core/gw.hpp"
+
+namespace qtx::core {
+
+struct EPhononParams {
+  double coupling_ev = 0.0;       ///< D; 0 disables the channel
+  double phonon_energy_ev = 0.05; ///< w0 (optical phonon)
+  double temperature_k = kRoomTemperatureK;
+  bool diagonal_blocks_only = true;  ///< local approximation
+};
+
+/// Bose-Einstein occupation of the phonon mode.
+double bose_einstein(double energy_ev, double temperature_k);
+
+class EPhononSelfEnergy {
+ public:
+  EPhononSelfEnergy(const EnergyGrid& grid, const SymLayout& layout,
+                    const EPhononParams& params);
+
+  bool enabled() const { return params_.coupling_ev != 0.0; }
+  const EPhononParams& params() const { return params_; }
+
+  /// Compute Sigma≶/Sigma^R flats from the G≶ energy-major stacks and
+  /// accumulate them into the provided self-energy stacks.
+  void accumulate(const std::vector<std::vector<cplx>>& g_lt,
+                  const std::vector<std::vector<cplx>>& g_gt,
+                  std::vector<std::vector<cplx>>& s_lt,
+                  std::vector<std::vector<cplx>>& s_gt,
+                  std::vector<std::vector<cplx>>& s_r) const;
+
+ private:
+  EnergyGrid grid_;
+  SymLayout layout_;
+  EPhononParams params_;
+  int shift_ = 0;  ///< w0 in grid points
+};
+
+}  // namespace qtx::core

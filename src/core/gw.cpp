@@ -1,0 +1,163 @@
+#include "core/gw.hpp"
+
+#include "common/flops.hpp"
+
+namespace qtx::core {
+
+std::vector<cplx> serialize_sym(const BlockTridiag& x) {
+  const int nb = x.num_blocks(), bs = x.block_size();
+  std::vector<cplx> out;
+  out.reserve(static_cast<size_t>(2 * nb - 1) * bs * bs);
+  for (int i = 0; i < nb; ++i) {
+    const la::Matrix& d = x.diag(i);
+    out.insert(out.end(), d.data(), d.data() + static_cast<size_t>(bs) * bs);
+  }
+  for (int i = 0; i + 1 < nb; ++i) {
+    const la::Matrix& u = x.upper(i);
+    out.insert(out.end(), u.data(), u.data() + static_cast<size_t>(bs) * bs);
+  }
+  return out;
+}
+
+namespace {
+
+la::Matrix block_from(const std::vector<cplx>& flat, std::int64_t offset,
+                      int bs) {
+  la::Matrix m(bs, bs);
+  std::copy(flat.begin() + offset,
+            flat.begin() + offset + static_cast<std::int64_t>(bs) * bs,
+            m.data());
+  return m;
+}
+
+}  // namespace
+
+BlockTridiag deserialize_lesser(const std::vector<cplx>& flat,
+                                const SymLayout& layout) {
+  const int nb = layout.nb, bs = layout.bs;
+  QTX_CHECK(static_cast<std::int64_t>(flat.size()) == layout.num_elements());
+  BlockTridiag out(nb, bs);
+  const std::int64_t bsz = static_cast<std::int64_t>(bs) * bs;
+  for (int i = 0; i < nb; ++i) out.diag(i) = block_from(flat, i * bsz, bs);
+  for (int i = 0; i + 1 < nb; ++i) {
+    out.upper(i) = block_from(flat, (nb + i) * bsz, bs);
+    out.lower(i) = out.upper(i).dagger() * cplx(-1.0);
+  }
+  return out;
+}
+
+BlockTridiag deserialize_retarded(const std::vector<cplx>& flat_r,
+                                  const std::vector<cplx>& flat_jump,
+                                  const SymLayout& layout) {
+  const int nb = layout.nb, bs = layout.bs;
+  QTX_CHECK(static_cast<std::int64_t>(flat_r.size()) ==
+            layout.num_elements());
+  BlockTridiag out(nb, bs);
+  const std::int64_t bsz = static_cast<std::int64_t>(bs) * bs;
+  for (int i = 0; i < nb; ++i) out.diag(i) = block_from(flat_r, i * bsz, bs);
+  for (int i = 0; i + 1 < nb; ++i) {
+    out.upper(i) = block_from(flat_r, (nb + i) * bsz, bs);
+    const la::Matrix jump = block_from(flat_jump, (nb + i) * bsz, bs);
+    // X^R_ji = conj(X^R_ij) - conj(d_ij), element-wise: as a block,
+    // lower = (upper - jump) conjugate-transposed... element (j,i) of the
+    // lower block at position (b, a) corresponds to upper-block entry (a, b).
+    la::Matrix lower(bs, bs);
+    for (int a = 0; a < bs; ++a)
+      for (int b = 0; b < bs; ++b)
+        lower(b, a) = std::conj(out.upper(i)(a, b)) - std::conj(jump(a, b));
+    out.lower(i) = std::move(lower);
+  }
+  return out;
+}
+
+BlockTridiag deserialize_hermitian(const std::vector<cplx>& flat,
+                                   const SymLayout& layout) {
+  const int nb = layout.nb, bs = layout.bs;
+  BlockTridiag out(nb, bs);
+  const std::int64_t bsz = static_cast<std::int64_t>(bs) * bs;
+  for (int i = 0; i < nb; ++i) {
+    out.diag(i) = block_from(flat, i * bsz, bs);
+    // Hermitize the diagonal against elementwise roundoff.
+    la::Matrix& d = out.diag(i);
+    for (int a = 0; a < bs; ++a)
+      for (int b = 0; b <= a; ++b) {
+        const cplx v = 0.5 * (d(b, a) + std::conj(d(a, b)));
+        d(b, a) = v;
+        d(a, b) = std::conj(v);
+      }
+  }
+  for (int i = 0; i + 1 < nb; ++i) {
+    out.upper(i) = block_from(flat, (nb + i) * bsz, bs);
+    out.lower(i) = out.upper(i).dagger();
+  }
+  return out;
+}
+
+void GwEngine::polarization(const std::vector<std::vector<cplx>>& g_lt,
+                            const std::vector<std::vector<cplx>>& g_gt,
+                            std::vector<std::vector<cplx>>& p_lt,
+                            std::vector<std::vector<cplx>>& p_gt,
+                            std::vector<std::vector<cplx>>& p_r) {
+  const int ne = grid_.n;
+  const std::int64_t nk = layout_.num_elements();
+  QTX_CHECK(static_cast<int>(g_lt.size()) == ne);
+  p_lt.assign(ne, std::vector<cplx>(nk));
+  p_gt.assign(ne, std::vector<cplx>(nk));
+  p_r.assign(ne, std::vector<cplx>(nk));
+  std::vector<cplx> series_lt(ne), series_gt(ne), out_lt, out_gt, out_r;
+  for (std::int64_t k = 0; k < nk; ++k) {
+    for (int e = 0; e < ne; ++e) {
+      series_lt[e] = g_lt[e][k];
+      series_gt[e] = g_gt[e][k];
+    }
+    conv_.polarization(series_lt, series_gt, out_lt, out_gt);
+    conv_.retarded_boson(out_lt, out_gt, out_r);
+    for (int e = 0; e < ne; ++e) {
+      p_lt[e][k] = out_lt[e];
+      p_gt[e][k] = out_gt[e];
+      p_r[e][k] = out_r[e];
+    }
+  }
+}
+
+void GwEngine::self_energy(const std::vector<std::vector<cplx>>& g_lt,
+                           const std::vector<std::vector<cplx>>& g_gt,
+                           const std::vector<std::vector<cplx>>& w_lt,
+                           const std::vector<std::vector<cplx>>& w_gt,
+                           const std::vector<cplx>& v_elements,
+                           double fock_scale,
+                           std::vector<std::vector<cplx>>& s_lt,
+                           std::vector<std::vector<cplx>>& s_gt,
+                           std::vector<std::vector<cplx>>& s_r,
+                           std::vector<cplx>& s_fock) {
+  const int ne = grid_.n;
+  const std::int64_t nk = layout_.num_elements();
+  QTX_CHECK(static_cast<std::int64_t>(v_elements.size()) == nk);
+  s_lt.assign(ne, std::vector<cplx>(nk));
+  s_gt.assign(ne, std::vector<cplx>(nk));
+  s_r.assign(ne, std::vector<cplx>(nk));
+  s_fock.assign(nk, cplx(0.0));
+  const cplx fock_pref = kI * grid_.de() / (2.0 * kPi) * fock_scale;
+  std::vector<cplx> glt(ne), ggt(ne), wlt(ne), wgt(ne);
+  std::vector<cplx> out_lt, out_gt, out_r;
+  for (std::int64_t k = 0; k < nk; ++k) {
+    cplx gsum = 0.0;
+    for (int e = 0; e < ne; ++e) {
+      glt[e] = g_lt[e][k];
+      ggt[e] = g_gt[e][k];
+      wlt[e] = w_lt[e][k];
+      wgt[e] = w_gt[e][k];
+      gsum += glt[e];
+    }
+    conv_.self_energy(glt, ggt, wlt, wgt, out_lt, out_gt);
+    conv_.retarded_fermion(out_lt, out_gt, out_r);
+    for (int e = 0; e < ne; ++e) {
+      s_lt[e][k] = out_lt[e];
+      s_gt[e][k] = out_gt[e];
+      s_r[e][k] = out_r[e];
+    }
+    s_fock[k] = fock_pref * v_elements[k] * gsum;
+  }
+}
+
+}  // namespace qtx::core

@@ -1,0 +1,239 @@
+#include "core/observables.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qtx::core {
+namespace {
+
+double im_trace(const la::Matrix& m) {
+  double s = 0.0;
+  for (int i = 0; i < m.rows(); ++i) s += m(i, i).imag();
+  return s;
+}
+
+}  // namespace
+
+std::vector<double> total_dos(const Scba& s) {
+  const int ne = s.options().grid.n;
+  const int nb = s.layout().nb;
+  std::vector<double> dos(ne, 0.0);
+  for (int e = 0; e < ne; ++e) {
+    double t = 0.0;
+    for (int i = 0; i < nb; ++i) t += im_trace(s.g_retarded()[e].diag(i));
+    dos[e] = -t / kPi;
+  }
+  return dos;
+}
+
+std::vector<std::vector<double>> local_dos(const Scba& s) {
+  const int ne = s.options().grid.n;
+  const int nb = s.layout().nb;
+  std::vector<std::vector<double>> ldos(nb, std::vector<double>(ne, 0.0));
+  for (int e = 0; e < ne; ++e)
+    for (int i = 0; i < nb; ++i)
+      ldos[i][e] = -im_trace(s.g_retarded()[e].diag(i)) / kPi;
+  return ldos;
+}
+
+std::vector<double> electron_density(const Scba& s) {
+  const int ne = s.options().grid.n;
+  const int nb = s.layout().nb;
+  const double pref = s.options().grid.de() / (2.0 * kPi);
+  std::vector<double> n(nb, 0.0);
+  for (int e = 0; e < ne; ++e)
+    for (int i = 0; i < nb; ++i) {
+      // -i Tr G<_ii: G< is anti-Hermitian so the trace is purely imaginary.
+      n[i] += pref * im_trace(s.g_lesser()[e].diag(i));
+    }
+  return n;
+}
+
+namespace {
+
+double mw_integrand(const la::Matrix& sig_l, const la::Matrix& sig_g,
+                    const la::Matrix& g_l, const la::Matrix& g_g) {
+  // Tr[Sigma< G> - Sigma> G<], real by the anti-Hermitian structure.
+  cplx t = 0.0;
+  const int n = sig_l.rows();
+  for (int i = 0; i < n; ++i)
+    for (int k = 0; k < n; ++k)
+      t += sig_l(i, k) * g_g(k, i) - sig_g(i, k) * g_l(k, i);
+  return t.real();
+}
+
+}  // namespace
+
+std::vector<double> spectral_current_left(const Scba& s) {
+  const int ne = s.options().grid.n;
+  std::vector<double> cur(ne, 0.0);
+  for (int e = 0; e < ne; ++e)
+    cur[e] = mw_integrand(s.obc_lesser_left()[e], s.obc_greater_left()[e],
+                          s.g_lesser()[e].diag(0), s.g_greater()[e].diag(0));
+  return cur;
+}
+
+std::vector<double> spectral_current_right(const Scba& s) {
+  const int ne = s.options().grid.n;
+  const int last = s.layout().nb - 1;
+  std::vector<double> cur(ne, 0.0);
+  for (int e = 0; e < ne; ++e)
+    cur[e] =
+        mw_integrand(s.obc_lesser_right()[e], s.obc_greater_right()[e],
+                     s.g_lesser()[e].diag(last), s.g_greater()[e].diag(last));
+  return cur;
+}
+
+double terminal_current_left(const Scba& s) {
+  const auto cur = spectral_current_left(s);
+  double sum = 0.0;
+  for (const double c : cur) sum += c;
+  return sum * s.options().grid.de() / (2.0 * kPi);
+}
+
+double terminal_current_right(const Scba& s) {
+  const auto cur = spectral_current_right(s);
+  double sum = 0.0;
+  for (const double c : cur) sum += c;
+  return sum * s.options().grid.de() / (2.0 * kPi);
+}
+
+double energy_current_left(const Scba& s) {
+  const auto cur = spectral_current_left(s);
+  const auto& grid = s.options().grid;
+  double sum = 0.0;
+  for (int e = 0; e < grid.n; ++e) sum += grid.energy(e) * cur[e];
+  return sum * grid.de() / (2.0 * kPi);
+}
+
+double energy_current_right(const Scba& s) {
+  const auto cur = spectral_current_right(s);
+  const auto& grid = s.options().grid;
+  double sum = 0.0;
+  for (int e = 0; e < grid.n; ++e) sum += grid.energy(e) * cur[e];
+  return sum * grid.de() / (2.0 * kPi);
+}
+
+std::vector<double> bond_currents(const Scba& s) {
+  // I_{i -> i+1} = (dE/2pi) sum_E 2 Re Tr[H_{i,i+1} G<_{i+1,i}(E)]
+  // (continuity-equation derivation; kinetic H carries the coherent
+  // current, exact in ballistic runs).
+  const int ne = s.options().grid.n;
+  const int nb = s.layout().nb;
+  const double pref = s.options().grid.de() / (2.0 * kPi);
+  const BlockTridiag& h = s.hamiltonian();
+  std::vector<double> bonds(nb - 1, 0.0);
+  for (int e = 0; e < ne; ++e) {
+    for (int i = 0; i + 1 < nb; ++i) {
+      cplx t = 0.0;
+      const la::Matrix& hu = h.upper(i);
+      const la::Matrix& gl = s.g_lesser()[e].lower(i);
+      for (int a = 0; a < hu.rows(); ++a)
+        for (int k = 0; k < hu.cols(); ++k) t += hu(a, k) * gl(k, a);
+      bonds[i] += pref * 2.0 * t.real();
+    }
+  }
+  return bonds;
+}
+
+std::vector<double> transmission(const Scba& s) {
+  const int ne = s.options().grid.n;
+  const int nb = s.layout().nb;
+  std::vector<double> t(ne, 0.0);
+  for (int e = 0; e < ne; ++e) {
+    const BlockTridiag m = s.effective_system_matrix(e);
+    // Corner block G^R_{0, nb-1} from the left-forward factors:
+    // G_{i,N-1} = -x_i M_{i,i+1} G_{i+1,N-1}, G_{N-1,N-1} = x_{N-1}.
+    std::vector<la::Matrix> x(nb);
+    x[0] = la::inverse(m.diag(0));
+    for (int i = 1; i < nb; ++i)
+      x[i] = la::inverse(m.diag(i) -
+                         la::mmm(m.lower(i - 1), x[i - 1], m.upper(i - 1)));
+    la::Matrix corner = x[nb - 1];
+    for (int i = nb - 2; i >= 0; --i)
+      corner = la::mmm(x[i], m.upper(i), corner) * cplx(-1.0);
+    // Gamma_L/R recovered from the stored contact injections via
+    // Sigma> - Sigma< = -i Gamma.
+    la::Matrix gamma_l = s.obc_greater_left()[e] - s.obc_lesser_left()[e];
+    gamma_l *= kI;
+    la::Matrix gamma_r = s.obc_greater_right()[e] - s.obc_lesser_right()[e];
+    gamma_r *= kI;
+    const la::Matrix m1 = la::mm(gamma_l, corner);
+    const la::Matrix m2 = la::mmh(la::mm(m1, gamma_r), corner);
+    double tr = 0.0;
+    for (int i = 0; i < m2.rows(); ++i) tr += m2(i, i).real();
+    t[e] = tr;
+  }
+  return t;
+}
+
+double landauer_current(const Scba& s, const std::vector<double>& t) {
+  const auto& opt = s.options();
+  double sum = 0.0;
+  for (int e = 0; e < opt.grid.n; ++e) {
+    const double en = opt.grid.energy(e);
+    const double fl =
+        fermi_dirac(en, opt.contacts.mu_left, opt.contacts.temperature_k);
+    const double fr =
+        fermi_dirac(en, opt.contacts.mu_right, opt.contacts.temperature_k);
+    sum += t[e] * (fl - fr);
+  }
+  return sum * opt.grid.de() / (2.0 * kPi);
+}
+
+BandRenormalization band_renormalization(const Scba& s, int nk) {
+  BandRenormalization out;
+  const device::Structure& st = s.structure();
+  const int m = st.orbitals_per_puc();
+  const int nv = m / 2;
+  const int mid_cell = s.layout().nb / 2;
+  const auto& grid = s.options().grid;
+  out.k.resize(nk);
+  out.bare.resize(nk);
+  out.corrected.resize(nk);
+  double bare_vmax = -1e300, bare_cmin = 1e300;
+  double corr_vmax = -1e300, corr_cmin = 1e300;
+  for (int ik = 0; ik < nk; ++ik) {
+    const double k = -kPi + 2.0 * kPi * ik / (nk - 1);
+    out.k[ik] = k;
+    const la::Matrix hk = st.bloch_hamiltonian(k);
+    const auto bare = la::eig_hermitian(hk);
+    out.bare[ik] = bare.values;
+    out.corrected[ik].resize(m);
+    for (int band = 0; band < m; ++band) {
+      // Evaluate Sigma^R at the bare band energy (first-order QP shift).
+      const double e_band =
+          std::clamp(bare.values[band], grid.e_min, grid.e_max);
+      const int ei = static_cast<int>(
+          std::round((e_band - grid.e_min) / grid.de()));
+      const BlockTridiag sig = s.sigma_retarded(ei);
+      // Sigma(k) from the middle transport cell: central-PUC diagonal
+      // sub-block plus intra-cell PUC coupling.
+      const la::Matrix& blk = sig.diag(mid_cell);
+      const la::Matrix s0 = blk.block(0, 0, m, m);
+      la::Matrix sk = s0;
+      if (st.params().nu > 1) {
+        const la::Matrix s1 = blk.block(0, m, m, m);
+        const cplx ph(std::cos(k), std::sin(k));
+        sk.add_scaled(ph, s1);
+        sk.add_scaled(std::conj(ph), s1.dagger());
+      }
+      // Hermitian (level-shift) part.
+      la::Matrix herm(m, m);
+      for (int a = 0; a < m; ++a)
+        for (int b = 0; b < m; ++b)
+          herm(a, b) = 0.5 * (sk(a, b) + std::conj(sk(b, a)));
+      const auto qp = la::eig_hermitian(hk + herm);
+      out.corrected[ik][band] = qp.values[band];
+    }
+    bare_vmax = std::max(bare_vmax, out.bare[ik][nv - 1]);
+    bare_cmin = std::min(bare_cmin, out.bare[ik][nv]);
+    corr_vmax = std::max(corr_vmax, out.corrected[ik][nv - 1]);
+    corr_cmin = std::min(corr_cmin, out.corrected[ik][nv]);
+  }
+  out.bare_gap = bare_cmin - bare_vmax;
+  out.corrected_gap = corr_cmin - corr_vmax;
+  return out;
+}
+
+}  // namespace qtx::core

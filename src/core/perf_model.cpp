@@ -1,0 +1,176 @@
+#include "core/perf_model.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace qtx::core {
+
+MachineSpec alps() {
+  // Paper §6.1: 2,600 nodes x 4 GH200; FP64 tensor peak 67 Tflop/s;
+  // Rpeak/Rmax per superchip 55.3/41.8 Tflop/s; 96 GB HBM; 25 GB/s NIC.
+  return {"Alps", 2600, 4, 67.0, 55.3, 41.8, 96.0, 25.0, 0.76};
+}
+
+MachineSpec frontier() {
+  // 9,604 nodes x 4 MI250X (8 GCDs); per GCD: 47.9 peak, 26.8 Rpeak,
+  // 17.6 Rmax; 64 GB HBM; 25 GB/s NIC per MI250X -> 12.5 per GCD.
+  return {"Frontier", 9604, 8, 47.9, 26.8, 17.6, 64.0, 12.5, 0.674};
+}
+
+namespace {
+
+/// Two-point linear fits through the paper's measured NR-16 / NR-23
+/// per-energy workloads (Table 4, in Tflop): the length-dependent kernels
+/// scale linearly in the transport-cell count N_B, the OBC-type kernels are
+/// constant (they only see the cross-section).
+struct NrFit {
+  double g_obc, beyn, lyap, other;   // constants
+  double rgf_slope, rgf_icept;       // per-cell (applies to G and W RGF)
+  double lhs_slope, lhs_icept;
+  double rhs_slope, rhs_icept;
+};
+
+NrFit nr_fit(bool memoizer) {
+  if (memoizer) {
+    return {5.809, 5.809, 5.875, 1.338,
+            (244.077 - 167.704) / 7.0, 167.704 - 16.0 * (244.077 - 167.704) / 7.0,
+            (64.504 - 44.287) / 7.0, 44.287 - 16.0 * (64.504 - 44.287) / 7.0,
+            (261.904 - 181.056) / 7.0,
+            181.056 - 16.0 * (261.904 - 181.056) / 7.0};
+  }
+  return {9.686, 7.629, 8.486, 3.345,
+          (244.077 - 167.704) / 7.0, 167.704 - 16.0 * (244.077 - 167.704) / 7.0,
+          (64.504 - 44.287) / 7.0, 44.287 - 16.0 * (64.504 - 44.287) / 7.0,
+          (261.904 - 181.056) / 7.0,
+          181.056 - 16.0 * (261.904 - 181.056) / 7.0};
+}
+
+/// Domain-decomposition workload inflation (fill-in + reduced system),
+/// anchored to the paper's Table 5 per-energy totals: f(1) = 1,
+/// f(2) = 1010.078 / model(NR-24), f(4) = 2566.635 / model(NR-40).
+double dd_factor(int ps) {
+  if (ps <= 1) return 1.0;
+  const double x = ps - 1;
+  return 1.0 + 0.113 * x + 0.0478 * x * x;
+}
+
+}  // namespace
+
+DeviceWorkload nr_workload(int num_cells, bool memoizer, int ps) {
+  const NrFit f = nr_fit(memoizer);
+  DeviceWorkload w;
+  w.g_obc = f.g_obc;
+  w.g_rgf = f.rgf_slope * num_cells + f.rgf_icept;
+  w.w_rgf = w.g_rgf;
+  w.w_assembly = f.beyn + f.lyap + (f.lhs_slope * num_cells + f.lhs_icept) +
+                 (f.rhs_slope * num_cells + f.rhs_icept);
+  w.other = f.other;
+  const double fac = dd_factor(ps);
+  w.g_rgf *= fac;
+  w.w_rgf *= fac;
+  w.w_assembly *= fac;
+  return w;
+}
+
+namespace {
+
+/// Per-unit communication seconds for one SCBA iteration: six transposition
+/// passes (G≶ down, W≶ down, Sigma≶ back) of the symmetric selected
+/// elements, against an effective bandwidth degraded by network contention
+/// at scale. Host-staged MPI pays an extra HBM round trip per payload.
+double comm_seconds(const MachineSpec& m, const device::DeviceConfig& dev,
+                    int units, int energies_per_unit, int ps,
+                    NetBackend backend) {
+  const double bytes_per_energy =
+      0.5 * static_cast<double>(dev.g_nnz()) * 16.0;  // symmetric storage
+  const double volume_gb =
+      6.0 * bytes_per_energy * energies_per_unit / ps / 1e9;
+  double bw = m.nic_gbps;
+  // Contention model: all-to-all across N units degrades the effective
+  // per-unit bandwidth logarithmically (switch hops / congestion).
+  const double contention = 1.0 + 0.22 * std::log2(std::max(1.0, units / 8.0));
+  bw /= contention;
+  if (backend == NetBackend::kHostMpi) bw /= 1.8;  // staging round trip
+  // *CCL instability at extreme scale (paper §7.2): effective bandwidth
+  // collapses beyond ~2k units on Alps-like fabrics; modelled as an extra
+  // penalty that makes host MPI preferable there.
+  if (backend == NetBackend::kCcl && units > 2048)
+    bw /= 1.0 + 0.9 * std::log2(units / 2048.0);
+  return volume_gb / bw;
+}
+
+}  // namespace
+
+std::vector<ScalingPoint> project_weak_scaling(
+    const MachineSpec& machine, const device::DeviceConfig& dev,
+    const std::vector<int>& node_counts, const ScalingConfig& cfg) {
+  QTX_CHECK(!node_counts.empty());
+  std::vector<ScalingPoint> out;
+  const DeviceWorkload w = nr_workload(dev.num_cells, true, cfg.ps);
+  double t_base = 0.0;
+  const double eff = (cfg.kernel_efficiency > 0.0)
+                         ? cfg.kernel_efficiency
+                         : machine.sustained_fraction;
+  for (const int nodes : node_counts) {
+    const int units = nodes * machine.units_per_node;
+    const int total_e = units * cfg.energies_per_unit / cfg.ps;
+    ScalingPoint p;
+    p.nodes = nodes;
+    p.total_energies = total_e;
+    // Per-unit compute: its share of the per-energy workload, plus the FFT
+    // ("Other") term whose per-element cost grows with log of the global
+    // energy count.
+    const double fft_growth =
+        std::log2(std::max(2.0, static_cast<double>(total_e))) /
+        std::log2(std::max(2.0, static_cast<double>(
+                                    machine.units_per_node *
+                                    cfg.energies_per_unit / cfg.ps)));
+    const double per_unit_tflop =
+        (w.total() - w.other) * cfg.energies_per_unit / cfg.ps +
+        w.other * cfg.energies_per_unit / cfg.ps * fft_growth;
+    p.compute_s = per_unit_tflop / (machine.unit_rpeak_tflops * eff);
+    p.comm_s = comm_seconds(machine, dev, units, cfg.energies_per_unit,
+                            cfg.ps, cfg.backend);
+    p.total_s = p.compute_s + p.comm_s;
+    p.pflops = w.total() * total_e / p.total_s / 1e3;
+    if (t_base == 0.0) t_base = p.total_s;
+    p.efficiency = t_base / p.total_s;
+    out.push_back(p);
+  }
+  return out;
+}
+
+FullScaleRow project_full_scale(const MachineSpec& machine,
+                                const device::DeviceConfig& dev, int ps,
+                                int nodes, int total_energies,
+                                const ScalingConfig& cfg) {
+  FullScaleRow row;
+  row.machine = machine.name;
+  row.device = dev.name;
+  row.ps = ps;
+  row.nodes = nodes;
+  row.total_energies = total_energies;
+  const DeviceWorkload w = nr_workload(dev.num_cells, true, ps);
+  row.workload_pflop = w.total() * total_energies / 1e3;
+  const int units = nodes * machine.units_per_node;
+  const double eff = (cfg.kernel_efficiency > 0.0)
+                         ? cfg.kernel_efficiency
+                         : machine.sustained_fraction;
+  const double per_unit_tflop = w.total() * total_energies / units;
+  const double compute_s =
+      per_unit_tflop / (machine.unit_rpeak_tflops * eff);
+  const double comm_s =
+      comm_seconds(machine, dev, units,
+                   std::max(1, units > 0 ? total_energies * ps / units : 1),
+                   ps, cfg.backend);
+  row.time_s = compute_s + comm_s;
+  row.pflops = row.workload_pflop / row.time_s;
+  row.pct_rmax =
+      100.0 * row.pflops * 1e3 / (machine.unit_rmax_tflops * units);
+  row.pct_rpeak =
+      100.0 * row.pflops * 1e3 / (machine.unit_rpeak_tflops * units);
+  return row;
+}
+
+}  // namespace qtx::core

@@ -1,0 +1,257 @@
+#include "core/scba.hpp"
+
+#include "common/flops.hpp"
+#include "common/timer.hpp"
+
+namespace qtx::core {
+
+Scba::Scba(const device::Structure& structure, const ScbaOptions& opt)
+    : structure_(structure),
+      opt_(opt),
+      h_eff_(structure.hamiltonian_bt()),
+      v_(structure.coulomb_bt()),
+      layout_{structure.num_cells(), structure.block_size()},
+      engine_(opt.grid, layout_),
+      ephonon_(opt.grid, layout_, opt.ephonon) {
+  opt_.grid.validate();
+  if (!opt_.cell_potential.empty())
+    apply_cell_potential(h_eff_, opt_.cell_potential);
+  v_ *= cplx(opt_.gw_scale, 0.0);
+  obc::MemoizerOptions mopt;
+  mopt.enabled = opt_.use_memoizer;
+  memo_ = obc::ObcMemoizer(mopt);
+  const int ne = opt_.grid.n;
+  const int nb = layout_.nb, bs = layout_.bs;
+  gr_.assign(ne, BlockTridiag(nb, bs));
+  glt_.assign(ne, BlockTridiag(nb, bs));
+  ggt_.assign(ne, BlockTridiag(nb, bs));
+  wlt_.assign(ne, BlockTridiag(nb, bs));
+  wgt_.assign(ne, BlockTridiag(nb, bs));
+  sig_lt_.assign(ne, std::vector<cplx>(layout_.num_elements(), cplx(0.0)));
+  sig_gt_ = sig_lt_;
+  sig_r_ = sig_lt_;
+  sig_fock_.assign(layout_.num_elements(), cplx(0.0));
+  obc_lt_l_.resize(ne);
+  obc_gt_l_.resize(ne);
+  obc_lt_r_.resize(ne);
+  obc_gt_r_.resize(ne);
+  obc_r_l_.resize(ne);
+  obc_r_r_.resize(ne);
+}
+
+BlockTridiag Scba::sigma_retarded(int e) const {
+  std::vector<cplx> jump(layout_.num_elements());
+  for (std::int64_t k = 0; k < layout_.num_elements(); ++k)
+    jump[k] = sig_gt_[e][k] - sig_lt_[e][k];
+  BlockTridiag s = deserialize_retarded(sig_r_[e], jump, layout_);
+  const BlockTridiag fock = deserialize_hermitian(sig_fock_, layout_);
+  s += fock;
+  return s;
+}
+
+BlockTridiag Scba::sigma_lesser(int e) const {
+  return deserialize_lesser(sig_lt_[e], layout_);
+}
+
+BlockTridiag Scba::effective_system_matrix(int e) const {
+  BlockTridiag m = assemble_electron_lhs(opt_.grid.energy(e), opt_.eta,
+                                         h_eff_, sigma_retarded(e));
+  m.diag(0) -= obc_r_l_[e];
+  m.diag(layout_.nb - 1) -= obc_r_r_[e];
+  return m;
+}
+
+rgf::SelectedSolution Scba::selected_solve(const BlockTridiag& m,
+                                           const BlockTridiag& bl,
+                                           const BlockTridiag& bg) {
+  if (opt_.nd_partitions > 1) {
+    rgf::NdOptions nopt;
+    nopt.num_partitions = opt_.nd_partitions;
+    nopt.num_threads = opt_.nd_threads;
+    nopt.symmetrize = opt_.symmetrize;
+    return nd_solve(m, bl, bg, nopt).sel;
+  }
+  rgf::RgfOptions ropt;
+  ropt.symmetrize = opt_.symmetrize;
+  return rgf_solve(m, bl, bg, ropt);
+}
+
+void Scba::solve_g() {
+  const int ne = opt_.grid.n;
+  const int nb = layout_.nb;
+  for (int e = 0; e < ne; ++e) {
+    const double energy = opt_.grid.energy(e);
+    BlockTridiag m;
+    ElectronObc ob;
+    {
+      ScopedTimer t("G: OBC");
+      FlopPhase f("G: OBC");
+      m = assemble_electron_lhs(energy, opt_.eta, h_eff_, sigma_retarded(e));
+      ob = electron_obc(m, energy, opt_.contacts, memo_, e);
+      m.diag(0) -= ob.sigma_r_left;
+      m.diag(nb - 1) -= ob.sigma_r_right;
+      obc_r_l_[e] = ob.sigma_r_left;
+      obc_r_r_[e] = ob.sigma_r_right;
+      obc_lt_l_[e] = ob.sigma_l_left;
+      obc_gt_l_[e] = ob.sigma_g_left;
+      obc_lt_r_[e] = ob.sigma_l_right;
+      obc_gt_r_[e] = ob.sigma_g_right;
+    }
+    {
+      ScopedTimer t("G: RGF");
+      FlopPhase f("G: RGF");
+      BlockTridiag bl = deserialize_lesser(sig_lt_[e], layout_);
+      BlockTridiag bg = deserialize_lesser(sig_gt_[e], layout_);
+      bl.diag(0) += ob.sigma_l_left;
+      bl.diag(nb - 1) += ob.sigma_l_right;
+      bg.diag(0) += ob.sigma_g_left;
+      bg.diag(nb - 1) += ob.sigma_g_right;
+      rgf::SelectedSolution sel = selected_solve(m, bl, bg);
+      gr_[e] = std::move(sel.xr);
+      glt_[e] = std::move(sel.xl);
+      ggt_[e] = std::move(sel.xg);
+    }
+  }
+}
+
+void Scba::compute_polarization() {
+  ScopedTimer t("Other: P-FFT");
+  FlopPhase f("Other: P-FFT");
+  const int ne = opt_.grid.n;
+  std::vector<std::vector<cplx>> g_lt(ne), g_gt(ne);
+  for (int e = 0; e < ne; ++e) {
+    g_lt[e] = serialize_sym(glt_[e]);
+    g_gt[e] = serialize_sym(ggt_[e]);
+  }
+  engine_.polarization(g_lt, g_gt, p_lt_, p_gt_, p_r_);
+}
+
+void Scba::solve_w() {
+  const int ne = opt_.grid.n;
+  const int nb = layout_.nb;
+  for (int w = 0; w < ne; ++w) {
+    BlockTridiag m, bl, bg;
+    {
+      ScopedTimer t("W: Assembly: LHS");
+      FlopPhase f("W: Assembly: LHS");
+      std::vector<cplx> jump(layout_.num_elements());
+      for (std::int64_t k = 0; k < layout_.num_elements(); ++k)
+        jump[k] = p_gt_[w][k] - p_lt_[w][k];
+      const BlockTridiag p_r = deserialize_retarded(p_r_[w], jump, layout_);
+      m = assemble_w_lhs(v_, p_r);
+    }
+    {
+      ScopedTimer t("W: Assembly: RHS");
+      FlopPhase f("W: Assembly: RHS");
+      const BlockTridiag p_lt = deserialize_lesser(p_lt_[w], layout_);
+      const BlockTridiag p_gt = deserialize_lesser(p_gt_[w], layout_);
+      bl = assemble_w_rhs(v_, p_lt);
+      bg = assemble_w_rhs(v_, p_gt);
+    }
+    const WObc ob = w_obc(m, bl, bg, memo_, w);
+    m.diag(0) -= ob.br_left;
+    m.diag(nb - 1) -= ob.br_right;
+    bl.diag(0) += ob.bl_left;
+    bl.diag(nb - 1) += ob.bl_right;
+    bg.diag(0) += ob.bg_left;
+    bg.diag(nb - 1) += ob.bg_right;
+    {
+      ScopedTimer t("W: RGF");
+      FlopPhase f("W: RGF");
+      rgf::SelectedSolution sel = selected_solve(m, bl, bg);
+      wlt_[w] = std::move(sel.xl);
+      wgt_[w] = std::move(sel.xg);
+    }
+  }
+}
+
+double Scba::compute_sigma_and_mix() {
+  const int ne = opt_.grid.n;
+  std::vector<std::vector<cplx>> g_lt(ne), g_gt(ne), w_lt(ne), w_gt(ne);
+  std::vector<std::vector<cplx>> s_lt, s_gt, s_r;
+  std::vector<cplx> s_fock;
+  {
+    ScopedTimer t("Other: Sigma-FFT");
+    FlopPhase f("Other: Sigma-FFT");
+    for (int e = 0; e < ne; ++e) {
+      g_lt[e] = serialize_sym(glt_[e]);
+      g_gt[e] = serialize_sym(ggt_[e]);
+    }
+    if (opt_.gw_scale != 0.0) {
+      for (int e = 0; e < ne; ++e) {
+        w_lt[e] = serialize_sym(wlt_[e]);
+        w_gt[e] = serialize_sym(wgt_[e]);
+      }
+      const std::vector<cplx> v_flat = serialize_sym(v_);
+      engine_.self_energy(g_lt, g_gt, w_lt, w_gt, v_flat, opt_.fock_scale,
+                          s_lt, s_gt, s_r, s_fock);
+    } else {
+      s_lt.assign(ne, std::vector<cplx>(layout_.num_elements(), cplx(0.0)));
+      s_gt = s_lt;
+      s_r = s_lt;
+      s_fock.assign(layout_.num_elements(), cplx(0.0));
+    }
+    ephonon_.accumulate(g_lt, g_gt, s_lt, s_gt, s_r);
+  }
+  // Mixing and convergence metric on the Sigma< flats.
+  const double alpha = opt_.mixing;
+  double diff2 = 0.0, norm2 = 0.0;
+  for (int e = 0; e < ne; ++e) {
+    for (std::int64_t k = 0; k < layout_.num_elements(); ++k) {
+      const cplx delta = s_lt[e][k] - sig_lt_[e][k];
+      diff2 += std::norm(delta);
+      norm2 += std::norm(s_lt[e][k]);
+      sig_lt_[e][k] += alpha * delta;
+      sig_gt_[e][k] += alpha * (s_gt[e][k] - sig_gt_[e][k]);
+      sig_r_[e][k] += alpha * (s_r[e][k] - sig_r_[e][k]);
+    }
+  }
+  for (std::int64_t k = 0; k < layout_.num_elements(); ++k)
+    sig_fock_[k] += alpha * (s_fock[k] - sig_fock_[k]);
+  return (norm2 > 0.0) ? std::sqrt(diff2 / norm2) : 0.0;
+}
+
+IterationResult Scba::iterate() {
+  Stopwatch total;
+  const auto t0 = TimerRegistry::all();
+  const auto f0 = FlopLedger::by_phase();
+  solve_g();
+  if (opt_.gw_scale != 0.0) {
+    compute_polarization();
+    solve_w();
+  }
+  if (opt_.gw_scale != 0.0 || ephonon_.enabled()) {
+    last_update_ = compute_sigma_and_mix();
+  } else {
+    last_update_ = 0.0;  // ballistic: nothing to update
+  }
+  ++iteration_;
+  IterationResult r;
+  r.iteration = iteration_;
+  r.sigma_update = last_update_;
+  r.seconds = total.seconds();
+  for (const auto& [name, sec] : TimerRegistry::all()) {
+    const auto it = t0.find(name);
+    const double before = (it == t0.end()) ? 0.0 : it->second;
+    if (sec - before > 0.0) r.kernel_seconds[name] = sec - before;
+  }
+  for (const auto& [name, fl] : FlopLedger::by_phase()) {
+    const auto it = f0.find(name);
+    const std::int64_t before = (it == f0.end()) ? 0 : it->second;
+    if (fl - before > 0) r.kernel_flops[name] = fl - before;
+  }
+  return r;
+}
+
+std::vector<IterationResult> Scba::run() {
+  std::vector<IterationResult> history;
+  const bool interacting = opt_.gw_scale != 0.0 || ephonon_.enabled();
+  for (int it = 0; it < opt_.max_iterations; ++it) {
+    history.push_back(iterate());
+    if (!interacting) break;  // ballistic: one pass suffices
+    if (it > 0 && converged()) break;
+  }
+  return history;
+}
+
+}  // namespace qtx::core

@@ -1,0 +1,142 @@
+#include "device/config.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace qtx::device {
+namespace {
+
+/// Fraction of orbital pairs between two unit-length segments at integer
+/// separation d whose distance is below \p reach (both in PUC units). The
+/// pair-separation u = (y - x) + d with x, y uniform in [0,1] has the
+/// triangular density 1 - |u - d|, giving the closed form below.
+double pair_fraction(double reach, int d) {
+  const double t = reach - d;
+  if (t <= -1.0) return 0.0;
+  if (t >= 1.0) return 1.0;
+  if (t <= 0.0) return 0.5 * (1.0 + t) * (1.0 + t);
+  return 1.0 - 0.5 * (1.0 - t) * (1.0 - t);
+}
+
+}  // namespace
+
+std::int64_t DeviceConfig::banded_nnz(double reach) const {
+  const std::int64_t nbs = orbitals_per_puc();
+  const std::int64_t npuc = num_pucs();
+  const bool integral = std::abs(reach - std::round(reach)) < 1e-12;
+  double factor = 0.0;
+  if (integral) {
+    // Full-block band: every h_ij block up to |i-j| = reach is dense
+    // (Hamiltonian truncation happens at whole-block granularity).
+    const int u = static_cast<int>(std::round(reach));
+    factor = static_cast<double>(npuc);
+    for (int d = 1; d <= u && d < npuc; ++d)
+      factor += 2.0 * static_cast<double>(npuc - d);
+  } else {
+    // Distance-based truncation (r_cut acts on orbital pairs): blocks at
+    // separation d keep only the pair fraction within reach.
+    factor = static_cast<double>(npuc) * pair_fraction(reach, 0);
+    for (int d = 1; d < npuc; ++d) {
+      const double f = pair_fraction(reach, d);
+      if (f == 0.0) break;
+      factor += 2.0 * f * static_cast<double>(npuc - d);
+    }
+  }
+  return static_cast<std::int64_t>(std::llround(
+      static_cast<double>(nbs) * static_cast<double>(nbs) * factor));
+}
+
+DeviceConfig nw1() {
+  DeviceConfig c;
+  c.name = "NW-1";
+  c.total_length_nm = 39.1;
+  c.cross_section_nm2 = 0.8;
+  c.circumference_nm = 3.1;
+  c.r_cut_angstrom = 10.95;
+  c.si_per_puc = 21;  // 4*21 + 20 = 104 = paper's ÑBS
+  c.h_per_puc = 20;
+  c.nu = 4;
+  c.nu_w = 8;
+  c.nu_h = 3;
+  c.num_cells = 18;
+  c.paper_num_atoms = 2952;
+  c.paper_num_orbitals = 7488;
+  c.paper_h_nnz = 5000000;      // 0.5e7
+  c.paper_g_nnz = 3000000;      // 0.3e7
+  return c;
+}
+
+DeviceConfig nw2() {
+  DeviceConfig c;
+  c.name = "NW-2";
+  c.total_length_nm = 34.7;
+  c.cross_section_nm2 = 4.3;
+  c.circumference_nm = 6.9;
+  c.r_cut_angstrom = 7.15;
+  c.si_per_puc = 113;  // 4*113 + 52 = 504
+  c.h_per_puc = 52;
+  c.nu = 4;
+  c.nu_w = 4;
+  c.nu_h = 4;
+  c.num_cells = 16;
+  c.paper_num_atoms = 10560;
+  c.paper_num_orbitals = 32256;
+  c.paper_h_nnz = 141000000;    // 14.1e7
+  c.paper_g_nnz = 43000000;     // 4.3e7
+  return c;
+}
+
+DeviceConfig nr(int num_cells) {
+  QTX_CHECK(num_cells >= 2);
+  DeviceConfig c;
+  c.name = "NR-" + std::to_string(num_cells);
+  c.total_length_nm = 2.172 * num_cells;
+  c.cross_section_nm2 = 7.5;
+  c.circumference_nm = 13.0;
+  c.r_cut_angstrom = 7.5;
+  c.si_per_puc = 196;  // 4*196 + 68 = 852; 264 atoms/PUC, 1056 per cell
+  c.h_per_puc = 68;
+  c.nu = 4;
+  c.nu_w = 4;
+  c.nu_h = 4;
+  c.num_cells = num_cells;
+  switch (num_cells) {
+    case 16:
+      c.paper_num_atoms = 16896;
+      c.paper_num_orbitals = 54528;
+      c.paper_h_nnz = 404000000;  // 40.4e7
+      c.paper_g_nnz = 126000000;  // 12.6e7
+      break;
+    case 24:
+      c.paper_num_atoms = 25344;
+      c.paper_num_orbitals = 81792;
+      c.paper_h_nnz = 613000000;  // 61.3e7
+      c.paper_g_nnz = 190000000;  // 19.0e7
+      break;
+    case 40:
+      c.paper_num_atoms = 42240;
+      c.paper_num_orbitals = 136320;
+      c.paper_h_nnz = 1031000000;  // 103.1e7
+      c.paper_g_nnz = 318000000;   // 31.8e7
+      break;
+    case 23:
+      c.paper_num_atoms = 24288;
+      break;
+    case 44:
+      c.paper_num_atoms = 46464;
+      break;
+    case 80:
+      c.paper_num_atoms = 84480;
+      break;
+    default:
+      break;  // generic NR-N (formula column of Table 3)
+  }
+  return c;
+}
+
+std::vector<DeviceConfig> table3_devices() {
+  return {nw1(), nw2(), nr(16), nr(23), nr(24), nr(40), nr(44), nr(80)};
+}
+
+}  // namespace qtx::device

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file config.hpp
+/// Device-structure bookkeeping mirroring paper Table 3. Each preset encodes
+/// the published nanowire/nanoribbon geometry parameters; the derived
+/// quantities (atom counts, orbital counts, block sizes, non-zero counts)
+/// follow from the same formulas the paper tabulates:
+///
+///   ÑBS   = 4 * Si_per_PUC + 1 * H_per_PUC     (4 MLWFs per Si, 1 per H)
+///   N_BS  = ÑBS * N_U
+///   N_A   = (Si + H)_per_PUC * N_U * N_B
+///   N_AO  = ÑBS * N_U * N_B
+///   H_NNZ = ÑBS^2 * (N_PUC (2 N_U^H + 1) - N_U^H (N_U^H + 1))
+///           (block-banded pattern with Hamiltonian reach N_U^H PUCs)
+///
+/// G_NNZ uses the same banded formula with the r_cut-limited reach of the
+/// Coulomb matrix, including the fractional PUC coverage of r_cut.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qtx::device {
+
+struct DeviceConfig {
+  std::string name;
+
+  // Geometry (paper Table 3).
+  double total_length_nm = 0.0;   ///< L_tot
+  double cross_section_nm2 = 0.0; ///< A
+  double circumference_nm = 0.0;  ///< C
+  double r_cut_angstrom = 0.0;    ///< interaction cutoff
+
+  // Composition per primitive unit cell.
+  int si_per_puc = 0;
+  int h_per_puc = 0;
+
+  // Blocking.
+  int nu = 0;    ///< primitive cells per transport cell (G)
+  int nu_w = 0;  ///< primitive cells per transport cell (W)
+  int nu_h = 0;  ///< Hamiltonian coupling reach in PUCs
+  int num_cells = 0;  ///< N_B transport cells (G)
+
+  // Published reference values for validation (0 if not reported).
+  std::int64_t paper_num_atoms = 0;
+  std::int64_t paper_num_orbitals = 0;
+  std::int64_t paper_h_nnz = 0;
+  std::int64_t paper_g_nnz = 0;
+
+  int atoms_per_puc() const { return si_per_puc + h_per_puc; }
+  int orbitals_per_puc() const { return 4 * si_per_puc + h_per_puc; }
+  int num_pucs() const { return nu * num_cells; }
+  int block_size() const { return orbitals_per_puc() * nu; }
+  int block_size_w() const { return orbitals_per_puc() * nu_w; }
+  int num_cells_w() const { return num_pucs() / nu_w; }
+  double puc_length_nm() const { return total_length_nm / num_pucs(); }
+
+  std::int64_t num_atoms() const {
+    return static_cast<std::int64_t>(atoms_per_puc()) * num_pucs();
+  }
+  std::int64_t num_orbitals() const {
+    return static_cast<std::int64_t>(orbitals_per_puc()) * num_pucs();
+  }
+
+  /// Non-zeros of a PUC-block-banded matrix with reach \p reach PUCs:
+  /// full band minus the triangular corners.
+  std::int64_t banded_nnz(double reach) const;
+
+  std::int64_t h_nnz() const { return banded_nnz(nu_h); }
+  /// Coulomb-type reach in (fractional) PUCs from r_cut.
+  double coulomb_reach_pucs() const {
+    return 0.1 * r_cut_angstrom / puc_length_nm();  // 10 A = 1 nm
+  }
+  std::int64_t g_nnz() const { return banded_nnz(coulomb_reach_pucs()); }
+};
+
+/// Paper Table 3 presets.
+DeviceConfig nw1();
+DeviceConfig nw2();
+/// Nanoribbon with \p num_cells transport cells (NR-16/23/24/40/44/80).
+DeviceConfig nr(int num_cells);
+
+/// All eight structures benchmarked in the paper, in Table 3 order.
+std::vector<DeviceConfig> table3_devices();
+
+}  // namespace qtx::device

@@ -1,0 +1,181 @@
+#include "device/structure.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace qtx::device {
+
+Structure::Structure(const StructureParams& p) : p_(p) {
+  QTX_CHECK(p.orbitals_per_puc >= 2 && p.nu >= 1 && p.num_cells >= 2);
+  QTX_CHECK_MSG(p.nu_h <= p.nu,
+                "Hamiltonian reach must fit inside one transport cell");
+  const int m = p.orbitals_per_puc;
+  const double dx = p.puc_length_nm / m;  // orbital spacing along the chain
+
+  // Deterministic onsite spread, identical in every PUC (periodicity).
+  Rng rng(p.seed);
+  std::vector<double> onsite(m, 0.0);
+  for (int o = 0; o < m; ++o)
+    onsite[o] = p.onsite_disorder_ev * rng.uniform();
+
+  // Hamiltonian blocks h_[d](o, o') couple orbital o of PUC 0 with orbital
+  // o' of PUC d. Chain index n = puc * m + o; hoppings depend on the chain
+  // distance with SSH dimerization on nearest neighbours.
+  h_.assign(p.nu_h + 1, Matrix(m, m));
+  for (int d = 0; d <= p.nu_h; ++d) {
+    for (int o = 0; o < m; ++o) {
+      for (int op = 0; op < m; ++op) {
+        const int n = o;
+        const int np = d * m + op;
+        if (d == 0 && op == o) {
+          h_[d](o, op) = cplx(onsite[o], 0.0);
+          continue;
+        }
+        const int dist = std::abs(np - n);
+        if (d == 0 && op < o) continue;  // fill upper, mirror below
+        double t;
+        if (dist == 1) {
+          // Dimerized nearest-neighbour bond: strength alternates with the
+          // bond index min(n, np).
+          const int bond = std::min(n, np);
+          const double sign = (bond % 2 == 0) ? 1.0 : -1.0;
+          t = -p.hopping_ev * (1.0 + sign * p.dimerization);
+        } else {
+          const double r = dist * dx;
+          t = -p.hopping_ev * std::exp(-(r - dx) / p.decay_length_nm);
+          if (std::abs(t) < 1e-12) continue;
+        }
+        h_[d](o, op) = cplx(t, 0.0);
+        if (d == 0) h_[d](op, o) = cplx(t, 0.0);
+      }
+    }
+  }
+
+  // Bare Coulomb (Ohno potential) truncated at r_cut; reach in PUCs.
+  const int vreach =
+      std::min(p.nu, static_cast<int>(std::ceil(p.r_cut_nm / p.puc_length_nm)));
+  v_.assign(vreach + 1, Matrix(m, m));
+  for (int d = 0; d <= vreach; ++d) {
+    for (int o = 0; o < m; ++o) {
+      for (int op = 0; op < m; ++op) {
+        const double r =
+            std::abs((d * m + op - o)) * dx;
+        if (r > p.r_cut_nm) continue;
+        const double a = p.coulomb_screening_nm;
+        v_[d](o, op) =
+            cplx(p.coulomb_onsite_ev / std::sqrt(1.0 + (r / a) * (r / a)),
+                 0.0);
+      }
+    }
+  }
+  QTX_CHECK_MSG(v_puc(0).is_hermitian(1e-14), "V intra-block must be Hermitian");
+  QTX_CHECK_MSG(h_puc(0).is_hermitian(1e-14), "h intra-block must be Hermitian");
+}
+
+namespace {
+
+/// Assemble PUC-level blocks into a banded matrix over all PUCs, then
+/// regroup into transport cells (paper Fig. 2 construction).
+bt::BlockTridiag assemble(const std::vector<Matrix>& blocks, int m, int npuc,
+                          int nu) {
+  const int reach = static_cast<int>(blocks.size()) - 1;
+  bt::BlockBanded fine(npuc, m, std::min(reach, npuc - 1));
+  for (int i = 0; i < npuc; ++i) {
+    for (int d = -std::min(reach, i); d <= std::min(reach, npuc - 1 - i);
+         ++d) {
+      if (d >= 0)
+        fine.block(i, i + d) = blocks[d];
+      else
+        fine.block(i, i + d) = blocks[-d].dagger();
+    }
+  }
+  return bt::regroup_to_bt(fine, nu);
+}
+
+}  // namespace
+
+bt::BlockTridiag Structure::hamiltonian_bt() const {
+  return assemble(h_, p_.orbitals_per_puc, num_pucs(), p_.nu);
+}
+
+bt::BlockTridiag Structure::coulomb_bt() const {
+  return assemble(v_, p_.orbitals_per_puc, num_pucs(), p_.nu);
+}
+
+Matrix Structure::bloch_hamiltonian(double k) const {
+  const int m = p_.orbitals_per_puc;
+  Matrix hk = h_[0];
+  for (int d = 1; d <= h_reach(); ++d) {
+    const cplx phase(std::cos(k * d), std::sin(k * d));
+    hk.add_scaled(phase, h_[d]);
+    hk.add_scaled(std::conj(phase), h_[d].dagger());
+  }
+  return hk;
+}
+
+std::vector<std::vector<double>> Structure::band_structure(int nk) const {
+  std::vector<std::vector<double>> bands(nk);
+  for (int ik = 0; ik < nk; ++ik) {
+    const double k = -kPi + 2.0 * kPi * ik / (nk - 1);
+    bands[ik] = la::eig_hermitian(bloch_hamiltonian(k)).values;
+  }
+  return bands;
+}
+
+Structure::GapInfo Structure::band_gap(int nk) const {
+  const auto bands = band_structure(nk);
+  const int m = p_.orbitals_per_puc;
+  const int nv = m / 2;  // half filling
+  GapInfo g{-1e300, 1e300};
+  for (const auto& bk : bands) {
+    g.valence_max = std::max(g.valence_max, bk[nv - 1]);
+    g.conduction_min = std::min(g.conduction_min, bk[nv]);
+  }
+  return g;
+}
+
+double Structure::orbital_position_nm(int puc, int o) const {
+  const double dx = p_.puc_length_nm / p_.orbitals_per_puc;
+  return (puc * p_.orbitals_per_puc + o + 0.5) * dx;
+}
+
+std::int64_t Structure::nnz_hamiltonian() const {
+  std::int64_t nnz = 0;
+  const int npuc = num_pucs();
+  for (int d = 0; d <= h_reach(); ++d) {
+    std::int64_t blk = 0;
+    for (int o = 0; o < p_.orbitals_per_puc; ++o)
+      for (int op = 0; op < p_.orbitals_per_puc; ++op)
+        if (h_[d](o, op) != cplx(0.0)) ++blk;
+    nnz += (d == 0) ? blk * npuc : 2 * blk * (npuc - d);
+  }
+  return nnz;
+}
+
+std::int64_t Structure::nnz_coulomb() const {
+  std::int64_t nnz = 0;
+  const int npuc = num_pucs();
+  for (int d = 0; d <= v_reach(); ++d) {
+    std::int64_t blk = 0;
+    for (int o = 0; o < p_.orbitals_per_puc; ++o)
+      for (int op = 0; op < p_.orbitals_per_puc; ++op)
+        if (v_[d](o, op) != cplx(0.0)) ++blk;
+    nnz += (d == 0) ? blk * npuc : 2 * blk * (npuc - d);
+  }
+  return nnz;
+}
+
+Structure make_test_structure(int num_cells) {
+  StructureParams p;
+  p.orbitals_per_puc = 8;
+  p.nu = 2;
+  p.nu_h = 2;
+  p.num_cells = num_cells;
+  p.hopping_ev = 2.0;
+  p.dimerization = 0.15;
+  p.r_cut_nm = 1.0;
+  return Structure(p);
+}
+
+}  // namespace qtx::device

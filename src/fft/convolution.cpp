@@ -1,0 +1,180 @@
+#include "fft/convolution.hpp"
+
+#include "common/check.hpp"
+#include "fft/fft.hpp"
+
+namespace qtx::fft {
+
+EnergyConvolver::EnergyConvolver(int n_energy, double de)
+    : n_(n_energy), de_(de) {
+  QTX_CHECK(n_energy > 0 && de > 0.0);
+  // Sigma needs a length-(3N-2) linear convolution; one padded size serves
+  // every kernel.
+  m_ = next_pow2(3 * n_ - 2);
+  buf_a_.resize(m_);
+  buf_b_.resize(m_);
+}
+
+void EnergyConvolver::correlate(const std::vector<cplx>& a,
+                                const std::vector<cplx>& b,
+                                std::vector<cplx>& out) {
+  // Cross-correlation c[k] = sum_m a[m + k] conj(b[m]) via the standard
+  // identity c = IFFT(FFT(a) . conj(FFT(b))). Padding to m_ >= 2N keeps the
+  // circular correlation equal to the linear one on k in [0, N).
+  std::fill(buf_a_.begin(), buf_a_.end(), cplx(0.0));
+  std::fill(buf_b_.begin(), buf_b_.end(), cplx(0.0));
+  std::copy(a.begin(), a.end(), buf_a_.begin());
+  std::copy(b.begin(), b.end(), buf_b_.begin());
+  fft(buf_a_);
+  fft(buf_b_);
+  for (int k = 0; k < m_; ++k) buf_a_[k] *= std::conj(buf_b_[k]);
+  ifft(buf_a_);
+  out.resize(n_);
+  for (int k = 0; k < n_; ++k) out[k] = buf_a_[k];
+}
+
+void EnergyConvolver::polarization(const std::vector<cplx>& g_lt,
+                                   const std::vector<cplx>& g_gt,
+                                   std::vector<cplx>& p_lt,
+                                   std::vector<cplx>& p_gt) {
+  QTX_CHECK(static_cast<int>(g_lt.size()) == n_ &&
+            static_cast<int>(g_gt.size()) == n_);
+  // P<_ij(w) = (i dE/2pi) sum_E G<_ij(E) conj(G>_ij(E - w))
+  //          = (i dE/2pi) sum_m g_lt[m + k] conj(g_gt[m]).
+  const cplx pref = kI * de_ / (2.0 * kPi);
+  correlate(g_lt, g_gt, p_lt);
+  for (auto& v : p_lt) v *= pref;
+  correlate(g_gt, g_lt, p_gt);
+  for (auto& v : p_gt) v *= pref;
+}
+
+void EnergyConvolver::polarization_direct(const std::vector<cplx>& g_lt,
+                                          const std::vector<cplx>& g_gt,
+                                          std::vector<cplx>& p_lt,
+                                          std::vector<cplx>& p_gt) {
+  const cplx pref = kI * de_ / (2.0 * kPi);
+  p_lt.assign(n_, cplx(0.0));
+  p_gt.assign(n_, cplx(0.0));
+  for (int k = 0; k < n_; ++k) {
+    cplx slt = 0.0, sgt = 0.0;
+    for (int m = 0; m + k < n_; ++m) {
+      slt += g_lt[m + k] * std::conj(g_gt[m]);
+      sgt += g_gt[m + k] * std::conj(g_lt[m]);
+    }
+    p_lt[k] = pref * slt;
+    p_gt[k] = pref * sgt;
+  }
+}
+
+void EnergyConvolver::self_energy(const std::vector<cplx>& g_lt,
+                                  const std::vector<cplx>& g_gt,
+                                  const std::vector<cplx>& w_lt,
+                                  const std::vector<cplx>& w_gt,
+                                  std::vector<cplx>& s_lt,
+                                  std::vector<cplx>& s_gt) {
+  QTX_CHECK(static_cast<int>(g_lt.size()) == n_ &&
+            static_cast<int>(w_lt.size()) == n_);
+  const cplx pref = kI * de_ / (2.0 * kPi);
+  // Full-range bosonic series, index shift s = N-1:
+  //   wfull[k + s] = W(w_k),  k in (-N, N),
+  // with negative frequencies from the lesser/greater symmetry.
+  const int s = n_ - 1;
+  const int full = 2 * n_ - 1;
+  auto convolve_full = [&](const std::vector<cplx>& g,
+                           const std::vector<cplx>& w_pos,
+                           const std::vector<cplx>& w_other,
+                           std::vector<cplx>& out) {
+    std::vector<cplx> wfull(full);
+    for (int k = 0; k < n_; ++k) wfull[k + s] = w_pos[k];
+    for (int k = 1; k < n_; ++k) wfull[s - k] = boson_negative(w_other, k);
+    // Linear convolution c = g * wfull; Sigma(E_n) = pref * c[n + s].
+    std::fill(buf_a_.begin(), buf_a_.end(), cplx(0.0));
+    std::fill(buf_b_.begin(), buf_b_.end(), cplx(0.0));
+    std::copy(g.begin(), g.end(), buf_a_.begin());
+    std::copy(wfull.begin(), wfull.end(), buf_b_.begin());
+    fft(buf_a_);
+    fft(buf_b_);
+    for (int k = 0; k < m_; ++k) buf_a_[k] *= buf_b_[k];
+    ifft(buf_a_);
+    out.resize(n_);
+    for (int i = 0; i < n_; ++i) out[i] = pref * buf_a_[i + s];
+  };
+  convolve_full(g_lt, w_lt, w_gt, s_lt);
+  convolve_full(g_gt, w_gt, w_lt, s_gt);
+}
+
+void EnergyConvolver::self_energy_direct(const std::vector<cplx>& g_lt,
+                                         const std::vector<cplx>& g_gt,
+                                         const std::vector<cplx>& w_lt,
+                                         const std::vector<cplx>& w_gt,
+                                         std::vector<cplx>& s_lt,
+                                         std::vector<cplx>& s_gt) {
+  const cplx pref = kI * de_ / (2.0 * kPi);
+  s_lt.assign(n_, cplx(0.0));
+  s_gt.assign(n_, cplx(0.0));
+  for (int i = 0; i < n_; ++i) {
+    cplx alt = 0.0, agt = 0.0;
+    for (int k = -(n_ - 1); k < n_; ++k) {
+      const int ge = i - k;  // index of G(E - w_k)
+      if (ge < 0 || ge >= n_) continue;
+      const cplx wl = (k >= 0) ? w_lt[k] : boson_negative(w_gt, -k);
+      const cplx wg = (k >= 0) ? w_gt[k] : boson_negative(w_lt, -k);
+      alt += g_lt[ge] * wl;
+      agt += g_gt[ge] * wg;
+    }
+    s_lt[i] = pref * alt;
+    s_gt[i] = pref * agt;
+  }
+}
+
+namespace {
+
+/// Shared causal-window pipeline: given the jump d(E) = X>(E) - X<(E) laid
+/// out in a zero-padded length-m buffer, overwrite it with the spectrum of
+/// theta(t) d(t).
+///
+/// With the convention X(E) = int dt e^{iEt} X(t), "to the time domain" is
+/// the forward FFT (phases e^{-2 pi i q p / m}), so indices q in [0, m/2]
+/// represent t >= 0. Half-weights at q = 0 and q = m/2 make the identity
+/// X^R - X^A = X> - X< hold exactly on the discrete grid.
+void causal_window(std::vector<cplx>& buf) {
+  const int m = static_cast<int>(buf.size());
+  fft(buf);  // energy -> time
+  buf[0] *= 0.5;
+  buf[m / 2] *= 0.5;
+  for (int q = m / 2 + 1; q < m; ++q) buf[q] = cplx(0.0);
+  ifft(buf);  // time -> energy
+}
+
+}  // namespace
+
+void EnergyConvolver::retarded_fermion(const std::vector<cplx>& x_lt,
+                                       const std::vector<cplx>& x_gt,
+                                       std::vector<cplx>& x_r) {
+  QTX_CHECK(static_cast<int>(x_lt.size()) == n_);
+  std::fill(buf_a_.begin(), buf_a_.end(), cplx(0.0));
+  for (int i = 0; i < n_; ++i) buf_a_[i] = x_gt[i] - x_lt[i];
+  causal_window(buf_a_);
+  x_r.resize(n_);
+  for (int i = 0; i < n_; ++i) x_r[i] = buf_a_[i];
+}
+
+void EnergyConvolver::retarded_boson(const std::vector<cplx>& x_lt,
+                                     const std::vector<cplx>& x_gt,
+                                     std::vector<cplx>& x_r) {
+  QTX_CHECK(static_cast<int>(x_lt.size()) == n_);
+  // Full transfer-grid jump, centred at index s = N-1. The causal window
+  // commutes with circular index shifts (a shift in energy is a modulation
+  // in time, and the window is a pointwise product there), so no explicit
+  // recentring is needed.
+  const int s = n_ - 1;
+  std::fill(buf_a_.begin(), buf_a_.end(), cplx(0.0));
+  for (int k = 0; k < n_; ++k) buf_a_[k + s] = x_gt[k] - x_lt[k];
+  for (int k = 1; k < n_; ++k)
+    buf_a_[s - k] = boson_negative(x_lt, k) - boson_negative(x_gt, k);
+  causal_window(buf_a_);
+  x_r.resize(n_);
+  for (int k = 0; k < n_; ++k) x_r[k] = buf_a_[k + s];
+}
+
+}  // namespace qtx::fft

@@ -1,0 +1,108 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/flops.hpp"
+
+namespace qtx::fft {
+namespace {
+
+bool is_pow2(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+/// Iterative radix-2 Cooley-Tukey with bit-reversal permutation.
+void fft_pow2(std::vector<cplx>& x, bool inverse) {
+  const int n = static_cast<int>(x.size());
+  // Bit-reversal permutation.
+  for (int i = 1, j = 0; i < n; ++i) {
+    int bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  for (int len = 2; len <= n; len <<= 1) {
+    const double ang = 2.0 * kPi / len * (inverse ? 1.0 : -1.0);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (int i = 0; i < n; i += len) {
+      cplx w(1.0);
+      for (int j = 0; j < len / 2; ++j) {
+        const cplx u = x[i + j];
+        const cplx v = x[i + j + len / 2] * w;
+        x[i + j] = u + v;
+        x[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  FlopLedger::add(flop_count::fft(n));
+}
+
+/// Bluestein chirp-z: expresses an arbitrary-length DFT as a convolution,
+/// evaluated with a power-of-two FFT.
+void fft_bluestein(std::vector<cplx>& x, bool inverse) {
+  const int n = static_cast<int>(x.size());
+  const int m = next_pow2(2 * n - 1);
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<cplx> chirp(n);
+  for (int k = 0; k < n; ++k) {
+    // Use k^2 mod 2n to avoid overflow / precision loss for large k.
+    const long long k2 = static_cast<long long>(k) * k % (2LL * n);
+    const double ang = sign * kPi * static_cast<double>(k2) / n;
+    chirp[k] = cplx(std::cos(ang), std::sin(ang));
+  }
+  std::vector<cplx> a(m, cplx(0.0)), b(m, cplx(0.0));
+  for (int k = 0; k < n; ++k) a[k] = x[k] * chirp[k];
+  b[0] = std::conj(chirp[0]);
+  for (int k = 1; k < n; ++k) b[k] = b[m - k] = std::conj(chirp[k]);
+  fft_pow2(a, false);
+  fft_pow2(b, false);
+  for (int k = 0; k < m; ++k) a[k] *= b[k];
+  fft_pow2(a, true);
+  const double inv_m = 1.0 / m;
+  for (int k = 0; k < n; ++k) x[k] = a[k] * inv_m * chirp[k];
+}
+
+}  // namespace
+
+int next_pow2(int n) {
+  int p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<cplx>& x) {
+  if (x.size() <= 1) return;
+  if (is_pow2(static_cast<int>(x.size()))) {
+    fft_pow2(x, false);
+  } else {
+    fft_bluestein(x, false);
+  }
+}
+
+void ifft(std::vector<cplx>& x) {
+  if (x.size() <= 1) return;
+  if (is_pow2(static_cast<int>(x.size()))) {
+    fft_pow2(x, true);
+  } else {
+    fft_bluestein(x, true);
+  }
+  const double inv_n = 1.0 / static_cast<double>(x.size());
+  for (auto& v : x) v *= inv_n;
+}
+
+std::vector<cplx> dft_reference(const std::vector<cplx>& x, bool inverse) {
+  const int n = static_cast<int>(x.size());
+  std::vector<cplx> out(n, cplx(0.0));
+  const double sign = inverse ? 1.0 : -1.0;
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      const double ang = sign * 2.0 * kPi * k * j / n;
+      out[k] += x[j] * cplx(std::cos(ang), std::sin(ang));
+    }
+  }
+  if (inverse)
+    for (auto& v : out) v *= 1.0 / n;
+  return out;
+}
+
+}  // namespace qtx::fft

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file fft.hpp
+/// Complex FFT used by the energy-convolution kernels (paper §4.4): the
+/// element-wise P- and Sigma-convolutions over the energy grid are evaluated
+/// as products in the (Fourier-conjugate) time domain, reducing the cost per
+/// matrix element from O(N_E^2) to O(N_E log N_E).
+///
+/// Power-of-two lengths use an iterative radix-2 Cooley-Tukey transform;
+/// arbitrary lengths fall back to Bluestein's chirp-z algorithm so callers
+/// never need to care about padding granularity.
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qtx::fft {
+
+/// In-place forward DFT: X_k = sum_n x_n exp(-2 pi i k n / N).
+void fft(std::vector<cplx>& x);
+
+/// In-place inverse DFT (normalized by 1/N): x_n = (1/N) sum_k X_k
+/// exp(+2 pi i k n / N).
+void ifft(std::vector<cplx>& x);
+
+/// Smallest power of two >= n.
+int next_pow2(int n);
+
+/// O(N^2) reference DFT for tests and the FFT-ablation benchmark.
+std::vector<cplx> dft_reference(const std::vector<cplx>& x, bool inverse);
+
+}  // namespace qtx::fft

@@ -1,0 +1,79 @@
+#include "la/eig_herm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/flops.hpp"
+
+namespace qtx::la {
+
+HermEigResult eig_hermitian(const Matrix& a_in) {
+  QTX_CHECK(a_in.square());
+  QTX_CHECK_MSG(a_in.is_hermitian(1e-10 * (1.0 + a_in.max_abs())),
+                "eig_hermitian requires a Hermitian matrix");
+  const int n = a_in.rows();
+  Matrix a = a_in;
+  Matrix v = Matrix::identity(n);
+  const int max_sweeps = 60;
+  const double tol = 1e-14;
+  FlopLedger::add(8LL * 12 * n * n * n);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < j; ++i) off += std::norm(a(i, j));
+    if (std::sqrt(off) <= tol * (1.0 + a.max_abs()) * n) break;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const cplx apq = a(p, q);
+        const double gamma = std::abs(apq);
+        if (gamma <= tol * (std::abs(a(p, p)) + std::abs(a(q, q)) + 1e-300))
+          continue;
+        // Phase-folded real Jacobi rotation zeroing a_pq.
+        const cplx phase = apq / gamma;
+        const double app = a(p, p).real(), aqq = a(q, q).real();
+        const double tau = (aqq - app) / (2.0 * gamma);
+        const double t = ((tau >= 0.0) ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double cs = 1.0 / std::sqrt(1.0 + t * t);
+        const double sn = cs * t;
+        const cplx sp = sn * phase;
+        // A := J† A J with J = [[cs, sp], [-conj(sp), cs]] on (p, q);
+        // apply to columns then rows (keeping Hermiticity exactly).
+        for (int i = 0; i < n; ++i) {
+          const cplx x = a(i, p), y = a(i, q);
+          a(i, p) = cs * x - std::conj(sp) * y;
+          a(i, q) = sp * x + cs * y;
+        }
+        for (int i = 0; i < n; ++i) {
+          const cplx x = a(p, i), y = a(q, i);
+          a(p, i) = cs * x - sp * y;
+          a(q, i) = std::conj(sp) * x + cs * y;
+        }
+        a(p, q) = 0.0;
+        a(q, p) = 0.0;
+        a(p, p) = cplx(a(p, p).real(), 0.0);
+        a(q, q) = cplx(a(q, q).real(), 0.0);
+        for (int i = 0; i < n; ++i) {
+          const cplx x = v(i, p), y = v(i, q);
+          v(i, p) = cs * x - std::conj(sp) * y;
+          v(i, q) = sp * x + cs * y;
+        }
+      }
+    }
+  }
+  std::vector<double> w(n);
+  for (int i = 0; i < n; ++i) w[i] = a(i, i).real();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int i, int j) { return w[i] < w[j]; });
+  HermEigResult out{std::vector<double>(n), Matrix(n, n)};
+  for (int j = 0; j < n; ++j) {
+    out.values[j] = w[order[j]];
+    for (int i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace qtx::la

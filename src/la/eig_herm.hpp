@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file eig_herm.hpp
+/// Hermitian eigensolver (two-sided complex Jacobi). Used for band-structure
+/// observables (diagonalizing H(k)) and for validating the synthetic DFT
+/// Hamiltonians produced by src/device.
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace qtx::la {
+
+/// A = V diag(w) V† with real eigenvalues sorted ascending and orthonormal
+/// eigenvector columns.
+struct HermEigResult {
+  std::vector<double> values;
+  Matrix vectors;
+};
+
+HermEigResult eig_hermitian(const Matrix& a);
+
+}  // namespace qtx::la

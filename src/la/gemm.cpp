@@ -1,0 +1,131 @@
+#include "la/gemm.hpp"
+
+#include "common/flops.hpp"
+
+namespace qtx::la {
+namespace {
+
+/// C += alpha * A * B, column-major, jki order: the inner loop is a
+/// unit-stride complex axpy over a column of A into a column of C.
+void gemm_nn(cplx alpha, const Matrix& a, const Matrix& b, Matrix& c) {
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int j = 0; j < n; ++j) {
+    cplx* cj = c.col(j);
+    const cplx* bj = b.col(j);
+    for (int l = 0; l < k; ++l) {
+      const cplx w = alpha * bj[l];
+      if (w == cplx(0.0)) continue;
+      const cplx* al = a.col(l);
+      for (int i = 0; i < m; ++i) cj[i] += w * al[i];
+    }
+  }
+}
+
+/// C += alpha * A† * B: inner loop is a unit-stride dot product of two
+/// columns.
+void gemm_cn(cplx alpha, const Matrix& a, const Matrix& b, Matrix& c) {
+  const int m = a.cols(), k = a.rows(), n = b.cols();
+  for (int j = 0; j < n; ++j) {
+    cplx* cj = c.col(j);
+    const cplx* bj = b.col(j);
+    for (int i = 0; i < m; ++i) {
+      const cplx* ai = a.col(i);
+      cplx s = 0.0;
+      for (int l = 0; l < k; ++l) s += std::conj(ai[l]) * bj[l];
+      cj[i] += alpha * s;
+    }
+  }
+}
+
+/// C += alpha * A * B†: axpy of column l of A scaled by conj(B(j,l)).
+void gemm_nc(cplx alpha, const Matrix& a, const Matrix& b, Matrix& c) {
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  for (int j = 0; j < n; ++j) {
+    cplx* cj = c.col(j);
+    for (int l = 0; l < k; ++l) {
+      const cplx w = alpha * std::conj(b(j, l));
+      if (w == cplx(0.0)) continue;
+      const cplx* al = a.col(l);
+      for (int i = 0; i < m; ++i) cj[i] += w * al[i];
+    }
+  }
+}
+
+/// C += alpha * A† * B†: dot of column i of A with row j of B.
+void gemm_cc(cplx alpha, const Matrix& a, const Matrix& b, Matrix& c) {
+  const int m = a.cols(), k = a.rows(), n = b.rows();
+  for (int j = 0; j < n; ++j) {
+    cplx* cj = c.col(j);
+    for (int i = 0; i < m; ++i) {
+      const cplx* ai = a.col(i);
+      cplx s = 0.0;
+      for (int l = 0; l < k; ++l) s += std::conj(ai[l]) * std::conj(b(j, l));
+      cj[i] += alpha * s;
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(cplx alpha, const Matrix& a, Op opa, const Matrix& b, Op opb,
+          cplx beta, Matrix& c) {
+  const int m = (opa == Op::kNone) ? a.rows() : a.cols();
+  const int k = (opa == Op::kNone) ? a.cols() : a.rows();
+  const int kb = (opb == Op::kNone) ? b.rows() : b.cols();
+  const int n = (opb == Op::kNone) ? b.cols() : b.rows();
+  QTX_CHECK_MSG(k == kb, "gemm inner dimensions mismatch: " << k << " vs "
+                                                            << kb);
+  QTX_CHECK_MSG(c.rows() == m && c.cols() == n,
+                "gemm output shape mismatch: got " << c.rows() << "x"
+                                                   << c.cols() << ", want "
+                                                   << m << "x" << n);
+  if (beta == cplx(0.0)) {
+    c.fill(0.0);
+  } else if (beta != cplx(1.0)) {
+    c *= beta;
+  }
+  FlopLedger::add(flop_count::gemm(m, n, k));
+  if (opa == Op::kNone && opb == Op::kNone) {
+    gemm_nn(alpha, a, b, c);
+  } else if (opa == Op::kConjTrans && opb == Op::kNone) {
+    gemm_cn(alpha, a, b, c);
+  } else if (opa == Op::kNone && opb == Op::kConjTrans) {
+    gemm_nc(alpha, a, b, c);
+  } else {
+    gemm_cc(alpha, a, b, c);
+  }
+}
+
+Matrix mm(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  gemm(1.0, a, Op::kNone, b, Op::kNone, 0.0, c);
+  return c;
+}
+
+Matrix mmh(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.rows());
+  gemm(1.0, a, Op::kNone, b, Op::kConjTrans, 0.0, c);
+  return c;
+}
+
+Matrix hmm(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols());
+  gemm(1.0, a, Op::kConjTrans, b, Op::kNone, 0.0, c);
+  return c;
+}
+
+Matrix hmmh(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.rows());
+  gemm(1.0, a, Op::kConjTrans, b, Op::kConjTrans, 0.0, c);
+  return c;
+}
+
+Matrix mmm(const Matrix& a, const Matrix& b, const Matrix& c) {
+  return mm(mm(a, b), c);
+}
+
+Matrix mmmh(const Matrix& a, const Matrix& b, const Matrix& c) {
+  return mmh(mm(a, b), c);
+}
+
+}  // namespace qtx::la

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file gemm.hpp
+/// Complex GEMM — the kernel that dominates the paper's workload (§6.3:
+/// "the workload ... is dominated by BLAS level 3 calls (mainly GEMM)").
+/// Loop orders are chosen for unit-stride access on the column-major Matrix;
+/// every call reports its FP64 operation count to the FlopLedger, mirroring
+/// the paper's rocprof/NCU workload accounting.
+
+#include "la/matrix.hpp"
+
+namespace qtx::la {
+
+/// Operation applied to a GEMM operand.
+enum class Op {
+  kNone,       ///< op(A) = A
+  kConjTrans,  ///< op(A) = A†
+};
+
+/// C = alpha * op(A) * op(B) + beta * C.
+void gemm(cplx alpha, const Matrix& a, Op opa, const Matrix& b, Op opb,
+          cplx beta, Matrix& c);
+
+/// Convenience products covering every combination used by the solvers.
+/// Naming: m = plain operand, h = conjugate-transposed operand.
+Matrix mm(const Matrix& a, const Matrix& b);    ///< A · B
+Matrix mmh(const Matrix& a, const Matrix& b);   ///< A · B†
+Matrix hmm(const Matrix& a, const Matrix& b);   ///< A† · B
+Matrix hmmh(const Matrix& a, const Matrix& b);  ///< A† · B†
+
+/// Triple products A · B · C (and daggered variants), used pervasively by the
+/// RGF recursions; evaluated left-to-right.
+Matrix mmm(const Matrix& a, const Matrix& b, const Matrix& c);
+Matrix mmmh(const Matrix& a, const Matrix& b, const Matrix& c);  ///< A·B·C†
+
+}  // namespace qtx::la

@@ -1,0 +1,12 @@
+#pragma once
+
+/// \file la.hpp
+/// Umbrella header for the dense linear-algebra substrate.
+
+#include "la/eig_herm.hpp"
+#include "la/gemm.hpp"
+#include "la/lu.hpp"
+#include "la/matrix.hpp"
+#include "la/qr.hpp"
+#include "la/schur.hpp"
+#include "la/svd.hpp"

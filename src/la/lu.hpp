@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file lu.hpp
+/// LU factorization with partial pivoting — backbone of every block inverse
+/// in the RGF recursions (paper Eq. 9) and of the linear solves on the Beyn
+/// contour (paper §4.2.1).
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace qtx::la {
+
+/// Packed LU factors P·A = L·U with unit-diagonal L stored below the
+/// diagonal of \c lu and U on/above it.
+struct LuFactors {
+  Matrix lu;
+  std::vector<int> piv;  ///< row i was swapped with piv[i] during elimination
+  bool singular = false;
+};
+
+/// Factor A (square). Never throws on singularity; check \c singular.
+LuFactors lu_factor(const Matrix& a);
+
+/// Solve A X = B for X given factors of A. B may have any number of columns.
+Matrix lu_solve(const LuFactors& f, const Matrix& b);
+
+/// Solve X A = B, i.e. X = B A⁻¹, via the identity X† solves A† X† = B†.
+Matrix lu_solve_right(const LuFactors& f, const Matrix& b);
+
+/// A⁻¹ via LU. Throws if A is numerically singular.
+Matrix inverse(const Matrix& a);
+
+/// log|det A| and the complex phase of det A from the factors; handy for
+/// sanity checks on conditioning.
+cplx determinant(const LuFactors& f);
+
+}  // namespace qtx::la

@@ -1,0 +1,232 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Dense column-major complex matrix — the working currency of every QuaTrEx
+/// kernel. Blocks of the block-tridiagonal system matrices (paper Fig. 2) are
+/// instances of this class; the RGF recursions (paper Eqs. 9–12), the OBC
+/// solvers, and the assembly steps all operate on it.
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace qtx::la {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Zero-initialized r x c matrix.
+  Matrix(int rows, int cols)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols) {
+    QTX_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  static Matrix identity(int n) {
+    Matrix m(n, n);
+    for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  static Matrix zeros(int rows, int cols) { return Matrix(rows, cols); }
+
+  /// Matrix with iid entries uniform in the complex square [-1,1]^2.
+  static Matrix random(int rows, int cols, Rng& rng) {
+    Matrix m(rows, cols);
+    for (auto& v : m.data_) v = rng.complex_uniform();
+    return m;
+  }
+
+  /// Random Hermitian matrix (A = A†).
+  static Matrix random_hermitian(int n, Rng& rng) {
+    Matrix a = random(n, n, rng);
+    Matrix h(n, n);
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i)
+        h(i, j) = 0.5 * (a(i, j) + std::conj(a(j, i)));
+    return h;
+  }
+
+  /// Random diagonally dominant matrix — always invertible; used as a
+  /// well-conditioned stand-in for system-matrix blocks in tests.
+  static Matrix random_diag_dominant(int n, Rng& rng, double dominance = 2.0) {
+    Matrix a = random(n, n, rng);
+    for (int i = 0; i < n; ++i) {
+      double row_sum = 0.0;
+      for (int j = 0; j < n; ++j) row_sum += std::abs(a(i, j));
+      a(i, i) += cplx(dominance * row_sum, 0.0);
+    }
+    return a;
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+  bool square() const { return rows_ == cols_; }
+
+  cplx& operator()(int i, int j) {
+    return data_[static_cast<size_t>(j) * rows_ + i];
+  }
+  cplx operator()(int i, int j) const {
+    return data_[static_cast<size_t>(j) * rows_ + i];
+  }
+
+  cplx* data() { return data_.data(); }
+  const cplx* data() const { return data_.data(); }
+  cplx* col(int j) { return data_.data() + static_cast<size_t>(j) * rows_; }
+  const cplx* col(int j) const {
+    return data_.data() + static_cast<size_t>(j) * rows_;
+  }
+
+  /// Conjugate transpose A†.
+  Matrix dagger() const {
+    Matrix out(cols_, rows_);
+    for (int j = 0; j < cols_; ++j)
+      for (int i = 0; i < rows_; ++i) out(j, i) = std::conj((*this)(i, j));
+    return out;
+  }
+
+  /// Plain transpose Aᵀ.
+  Matrix transpose() const {
+    Matrix out(cols_, rows_);
+    for (int j = 0; j < cols_; ++j)
+      for (int i = 0; i < rows_; ++i) out(j, i) = (*this)(i, j);
+    return out;
+  }
+
+  /// Element-wise complex conjugate.
+  Matrix conjugate() const {
+    Matrix out(rows_, cols_);
+    for (size_t k = 0; k < data_.size(); ++k)
+      out.data_[k] = std::conj(data_[k]);
+    return out;
+  }
+
+  Matrix& operator+=(const Matrix& o) {
+    QTX_CHECK(same_shape(o));
+    for (size_t k = 0; k < data_.size(); ++k) data_[k] += o.data_[k];
+    return *this;
+  }
+  Matrix& operator-=(const Matrix& o) {
+    QTX_CHECK(same_shape(o));
+    for (size_t k = 0; k < data_.size(); ++k) data_[k] -= o.data_[k];
+    return *this;
+  }
+  Matrix& operator*=(cplx s) {
+    for (auto& v : data_) v *= s;
+    return *this;
+  }
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(cplx s, Matrix a) { return a *= s; }
+  friend Matrix operator*(Matrix a, cplx s) { return a *= s; }
+
+  /// this += s * o (complex axpy over all entries).
+  void add_scaled(cplx s, const Matrix& o) {
+    QTX_CHECK(same_shape(o));
+    for (size_t k = 0; k < data_.size(); ++k) data_[k] += s * o.data_[k];
+  }
+
+  bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  cplx trace() const {
+    QTX_CHECK(square());
+    cplx t = 0.0;
+    for (int i = 0; i < rows_; ++i) t += (*this)(i, i);
+    return t;
+  }
+
+  double frobenius_norm() const {
+    double s = 0.0;
+    for (const auto& v : data_) s += std::norm(v);
+    return std::sqrt(s);
+  }
+
+  double max_abs() const {
+    double m = 0.0;
+    for (const auto& v : data_) m = std::max(m, std::abs(v));
+    return m;
+  }
+
+  bool is_hermitian(double tol = 1e-12) const {
+    if (!square()) return false;
+    for (int j = 0; j < cols_; ++j)
+      for (int i = 0; i <= j; ++i)
+        if (std::abs((*this)(i, j) - std::conj((*this)(j, i))) > tol)
+          return false;
+    return true;
+  }
+
+  /// Lesser/greater symmetry X = -X† (paper §5.2), i.e. anti-Hermitian.
+  bool is_anti_hermitian(double tol = 1e-12) const {
+    if (!square()) return false;
+    for (int j = 0; j < cols_; ++j)
+      for (int i = 0; i <= j; ++i)
+        if (std::abs((*this)(i, j) + std::conj((*this)(j, i))) > tol)
+          return false;
+    return true;
+  }
+
+  /// Contiguous sub-matrix copy: rows [r0, r0+nr), cols [c0, c0+nc).
+  Matrix block(int r0, int c0, int nr, int nc) const {
+    QTX_CHECK(r0 >= 0 && c0 >= 0 && r0 + nr <= rows_ && c0 + nc <= cols_);
+    Matrix out(nr, nc);
+    for (int j = 0; j < nc; ++j)
+      for (int i = 0; i < nr; ++i) out(i, j) = (*this)(r0 + i, c0 + j);
+    return out;
+  }
+
+  /// Write \p src into the sub-matrix starting at (r0, c0).
+  void set_block(int r0, int c0, const Matrix& src) {
+    QTX_CHECK(r0 + src.rows() <= rows_ && c0 + src.cols() <= cols_);
+    for (int j = 0; j < src.cols(); ++j)
+      for (int i = 0; i < src.rows(); ++i)
+        (*this)(r0 + i, c0 + j) = src(i, j);
+  }
+
+  /// Accumulate \p src into the sub-matrix starting at (r0, c0).
+  void add_block(int r0, int c0, const Matrix& src, cplx scale = 1.0) {
+    QTX_CHECK(r0 + src.rows() <= rows_ && c0 + src.cols() <= cols_);
+    for (int j = 0; j < src.cols(); ++j)
+      for (int i = 0; i < src.rows(); ++i)
+        (*this)(r0 + i, c0 + j) += scale * src(i, j);
+  }
+
+  void fill(cplx v) {
+    for (auto& x : data_) x = v;
+  }
+
+  /// In-place (A - A†)/2 projection onto the anti-Hermitian subspace —
+  /// the paper's §5.2 symmetrization for lesser/greater block diagonals.
+  void anti_hermitize() {
+    QTX_CHECK(square());
+    for (int j = 0; j < cols_; ++j)
+      for (int i = 0; i <= j; ++i) {
+        const cplx v = 0.5 * ((*this)(i, j) - std::conj((*this)(j, i)));
+        (*this)(i, j) = v;
+        (*this)(j, i) = -std::conj(v);
+      }
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<cplx> data_;
+};
+
+/// Largest |A_ij - B_ij|; the workhorse comparison in tests.
+inline double max_abs_diff(const Matrix& a, const Matrix& b) {
+  QTX_CHECK(a.same_shape(b));
+  double m = 0.0;
+  for (int j = 0; j < a.cols(); ++j)
+    for (int i = 0; i < a.rows(); ++i)
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+  return m;
+}
+
+}  // namespace qtx::la

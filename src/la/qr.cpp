@@ -1,0 +1,87 @@
+#include "la/qr.hpp"
+
+#include <cmath>
+
+#include "common/flops.hpp"
+#include "la/gemm.hpp"
+
+namespace qtx::la {
+
+QrFactors qr_factor(const Matrix& a) {
+  const int m = a.rows(), n = a.cols();
+  QTX_CHECK_MSG(m >= n, "qr_factor requires rows >= cols");
+  Matrix r = a;
+  // Householder vectors stored per column; Q accumulated afterwards.
+  std::vector<std::vector<cplx>> vs(n);
+  std::vector<cplx> betas(n);
+  FlopLedger::add(8LL * 2 * m * n * n / 3);
+  for (int k = 0; k < n; ++k) {
+    // Build the Householder reflector annihilating R(k+1:m, k).
+    double xnorm2 = 0.0;
+    for (int i = k; i < m; ++i) xnorm2 += std::norm(r(i, k));
+    const double xnorm = std::sqrt(xnorm2);
+    std::vector<cplx> v(m - k);
+    if (xnorm == 0.0) {
+      betas[k] = 0.0;
+      vs[k] = std::move(v);
+      continue;
+    }
+    const cplx x0 = r(k, k);
+    const double ax0 = std::abs(x0);
+    // alpha = -sign(x0) * ||x||, with sign(0) := 1.
+    const cplx phase = (ax0 == 0.0) ? cplx(1.0) : x0 / ax0;
+    const cplx alpha = -phase * xnorm;
+    v[0] = x0 - alpha;
+    for (int i = k + 1; i < m; ++i) v[i - k] = r(i, k);
+    double vnorm2 = 0.0;
+    for (const auto& vi : v) vnorm2 += std::norm(vi);
+    const cplx beta = (vnorm2 == 0.0) ? cplx(0.0) : cplx(2.0 / vnorm2);
+    // R := (I - beta v v†) R on the trailing panel.
+    for (int j = k; j < n; ++j) {
+      cplx dot = 0.0;
+      for (int i = k; i < m; ++i) dot += std::conj(v[i - k]) * r(i, j);
+      dot *= beta;
+      for (int i = k; i < m; ++i) r(i, j) -= dot * v[i - k];
+    }
+    betas[k] = beta;
+    vs[k] = std::move(v);
+  }
+  // Accumulate thin Q by applying the reflectors to the leading columns of I.
+  Matrix q(m, n);
+  for (int j = 0; j < n; ++j) q(j, j) = 1.0;
+  for (int k = n - 1; k >= 0; --k) {
+    const auto& v = vs[k];
+    const cplx beta = betas[k];
+    if (beta == cplx(0.0)) continue;
+    for (int j = 0; j < n; ++j) {
+      cplx dot = 0.0;
+      for (int i = k; i < m; ++i) dot += std::conj(v[i - k]) * q(i, j);
+      dot *= beta;
+      for (int i = k; i < m; ++i) q(i, j) -= dot * v[i - k];
+    }
+  }
+  // Zero the strictly-lower part of R and truncate to n x n.
+  Matrix rr(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i <= j; ++i) rr(i, j) = r(i, j);
+  return {std::move(q), std::move(rr)};
+}
+
+Matrix qr_least_squares(const Matrix& a, const Matrix& b) {
+  const auto [q, r] = qr_factor(a);
+  // x = R^-1 Q† b via back substitution.
+  Matrix y(q.cols(), b.cols());
+  gemm(1.0, q, Op::kConjTrans, b, Op::kNone, 0.0, y);
+  const int n = r.rows();
+  for (int j = 0; j < y.cols(); ++j) {
+    for (int k = n - 1; k >= 0; --k) {
+      QTX_CHECK_MSG(std::abs(r(k, k)) > 0.0, "rank-deficient least squares");
+      y(k, j) /= r(k, k);
+      const cplx yk = y(k, j);
+      for (int i = 0; i < k; ++i) y(i, j) -= r(i, k) * yk;
+    }
+  }
+  return y;
+}
+
+}  // namespace qtx::la

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file qr.hpp
+/// Householder QR. Used to orthonormalize Beyn probe subspaces and as a
+/// building block for least-squares solves in the mode-space surface-function
+/// reconstruction (paper §4.2.1).
+
+#include "la/matrix.hpp"
+
+namespace qtx::la {
+
+/// Thin QR of an m x n matrix with m >= n: A = Q R with Q m x n having
+/// orthonormal columns and R n x n upper triangular.
+struct QrFactors {
+  Matrix q;
+  Matrix r;
+};
+
+QrFactors qr_factor(const Matrix& a);
+
+/// Least-squares solve min ||A x - b||_2 for full-column-rank A via QR.
+Matrix qr_least_squares(const Matrix& a, const Matrix& b);
+
+}  // namespace qtx::la

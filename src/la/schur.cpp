@@ -1,0 +1,206 @@
+#include "la/schur.hpp"
+
+#include <cmath>
+
+#include "common/flops.hpp"
+#include "la/gemm.hpp"
+
+namespace qtx::la {
+namespace {
+
+/// Complex Givens rotation: unitary G = [[c, s], [-conj(s), c]] with c real
+/// such that G [f; g]ᵀ has zero second component.
+struct Givens {
+  double c;
+  cplx s;
+};
+
+Givens make_givens(cplx f, cplx g) {
+  if (g == cplx(0.0)) return {1.0, 0.0};
+  if (f == cplx(0.0)) {
+    // Top row becomes s*g = |g|; bottom row vanishes since f = 0.
+    return {0.0, std::conj(g) / std::abs(g)};
+  }
+  const double af = std::abs(f), ag = std::abs(g);
+  const double d = std::hypot(af, ag);
+  const double c = af / d;
+  const cplx s = (f / af) * std::conj(g) / d;
+  return {c, s};
+}
+
+/// Wilkinson shift: the eigenvalue of the trailing 2x2 block closest to its
+/// bottom-right entry.
+cplx wilkinson_shift(const Matrix& h, int hi) {
+  const cplx a = h(hi - 1, hi - 1), b = h(hi - 1, hi);
+  const cplx c = h(hi, hi - 1), d = h(hi, hi);
+  const cplx tr = a + d;
+  const cplx det = a * d - b * c;
+  const cplx disc = std::sqrt(tr * tr - 4.0 * det);
+  const cplx l1 = 0.5 * (tr + disc);
+  const cplx l2 = 0.5 * (tr - disc);
+  return (std::abs(l1 - d) < std::abs(l2 - d)) ? l1 : l2;
+}
+
+}  // namespace
+
+HessenbergResult hessenberg(const Matrix& a) {
+  QTX_CHECK(a.square());
+  const int n = a.rows();
+  Matrix h = a;
+  Matrix q = Matrix::identity(n);
+  FlopLedger::add(8LL * 10 * n * n * n / 3);
+  for (int k = 0; k < n - 2; ++k) {
+    // Householder vector annihilating H(k+2:n, k).
+    double xnorm2 = 0.0;
+    for (int i = k + 1; i < n; ++i) xnorm2 += std::norm(h(i, k));
+    const double xnorm = std::sqrt(xnorm2);
+    if (xnorm == 0.0) continue;
+    const cplx x0 = h(k + 1, k);
+    const double ax0 = std::abs(x0);
+    const cplx phase = (ax0 == 0.0) ? cplx(1.0) : x0 / ax0;
+    const cplx alpha = -phase * xnorm;
+    std::vector<cplx> v(n - k - 1);
+    v[0] = x0 - alpha;
+    for (int i = k + 2; i < n; ++i) v[i - k - 1] = h(i, k);
+    double vnorm2 = 0.0;
+    for (const auto& vi : v) vnorm2 += std::norm(vi);
+    if (vnorm2 == 0.0) continue;
+    const double beta = 2.0 / vnorm2;
+    // H := P H P with P = I - beta v v† acting on rows/cols k+1..n-1.
+    for (int j = k; j < n; ++j) {  // left: rows k+1..n-1
+      cplx dot = 0.0;
+      for (int i = k + 1; i < n; ++i) dot += std::conj(v[i - k - 1]) * h(i, j);
+      dot *= beta;
+      for (int i = k + 1; i < n; ++i) h(i, j) -= dot * v[i - k - 1];
+    }
+    for (int i = 0; i < n; ++i) {  // right: cols k+1..n-1
+      cplx dot = 0.0;
+      for (int j = k + 1; j < n; ++j) dot += h(i, j) * v[j - k - 1];
+      dot *= beta;
+      for (int j = k + 1; j < n; ++j)
+        h(i, j) -= dot * std::conj(v[j - k - 1]);
+    }
+    for (int i = 0; i < n; ++i) {  // accumulate Q := Q P
+      cplx dot = 0.0;
+      for (int j = k + 1; j < n; ++j) dot += q(i, j) * v[j - k - 1];
+      dot *= beta;
+      for (int j = k + 1; j < n; ++j)
+        q(i, j) -= dot * std::conj(v[j - k - 1]);
+    }
+  }
+  // Clean numerical noise below the first subdiagonal.
+  for (int j = 0; j < n - 2; ++j)
+    for (int i = j + 2; i < n; ++i) h(i, j) = 0.0;
+  return {std::move(h), std::move(q)};
+}
+
+SchurResult schur(const Matrix& a, int max_iter_per_eig) {
+  QTX_CHECK(a.square());
+  const int n = a.rows();
+  if (n == 0) return {Matrix(), Matrix(), true};
+  if (n == 1) return {Matrix::identity(1), a, true};
+  auto [h, q] = hessenberg(a);
+  FlopLedger::add(8LL * 10 * n * n * n);
+  const double eps = 1e-15;
+  int hi = n - 1;
+  int iter = 0;
+  int total_budget = max_iter_per_eig * n;
+  bool converged = true;
+  while (hi > 0) {
+    // Deflate: zero negligible subdiagonals and shrink the active block.
+    int lo = hi;
+    while (lo > 0) {
+      const double sub = std::abs(h(lo, lo - 1));
+      if (sub <=
+          eps * (std::abs(h(lo - 1, lo - 1)) + std::abs(h(lo, lo)))) {
+        h(lo, lo - 1) = 0.0;
+        break;
+      }
+      --lo;
+    }
+    if (lo == hi) {
+      hi -= 1;
+      iter = 0;
+      continue;
+    }
+    if (--total_budget < 0) {
+      converged = false;
+      break;
+    }
+    // Shifted QR sweep on the active block [lo, hi].
+    cplx sigma;
+    if (++iter % 12 == 0) {
+      // Exceptional shift to escape rare stagnation.
+      sigma = h(hi, hi) + cplx(std::abs(h(hi, hi - 1)), 0.0);
+    } else {
+      sigma = wilkinson_shift(h, hi);
+    }
+    cplx x = h(lo, lo) - sigma;
+    cplx z = h(lo + 1, lo);
+    for (int k = lo; k < hi; ++k) {
+      const Givens g = make_givens(x, z);
+      // Rows k, k+1 (columns >= max(lo, k-1)).
+      const int jstart = std::max(lo, k - 1);
+      for (int j = jstart; j < n; ++j) {
+        const cplx t1 = h(k, j), t2 = h(k + 1, j);
+        h(k, j) = g.c * t1 + g.s * t2;
+        h(k + 1, j) = -std::conj(g.s) * t1 + g.c * t2;
+      }
+      // Columns k, k+1 (rows <= min(hi, k+2)); right-multiply by G†.
+      const int iend = std::min(hi, k + 2);
+      for (int i = 0; i <= iend; ++i) {
+        const cplx t1 = h(i, k), t2 = h(i, k + 1);
+        h(i, k) = g.c * t1 + std::conj(g.s) * t2;
+        h(i, k + 1) = -g.s * t1 + g.c * t2;
+      }
+      for (int i = 0; i < n; ++i) {  // accumulate Q := Q G†
+        const cplx t1 = q(i, k), t2 = q(i, k + 1);
+        q(i, k) = g.c * t1 + std::conj(g.s) * t2;
+        q(i, k + 1) = -g.s * t1 + g.c * t2;
+      }
+      if (k < hi - 1) {
+        x = h(k + 1, k);
+        z = h(k + 2, k);
+      }
+    }
+  }
+  // Zero the strictly-lower triangle (numerical dust below subdiagonals that
+  // were deflated).
+  for (int j = 0; j < n; ++j)
+    for (int i = j + 1; i < n; ++i) h(i, j) = 0.0;
+  return {std::move(q), std::move(h), converged};
+}
+
+EigResult eig(const Matrix& a) {
+  const int n = a.rows();
+  SchurResult s = schur(a);
+  EigResult out;
+  out.converged = s.converged;
+  out.values.resize(n);
+  for (int i = 0; i < n; ++i) out.values[i] = s.t(i, i);
+  // Right eigenvectors of T by back-substitution: (T - lambda_j I) y = 0 with
+  // y_j = 1. Small-denominator guard perturbs near-defective pairs.
+  Matrix y(n, n);
+  for (int j = 0; j < n; ++j) {
+    y(j, j) = 1.0;
+    for (int i = j - 1; i >= 0; --i) {
+      cplx sum = 0.0;
+      for (int k = i + 1; k <= j; ++k) sum += s.t(i, k) * y(k, j);
+      cplx denom = s.t(i, i) - s.t(j, j);
+      const double scale = std::abs(s.t(i, i)) + std::abs(s.t(j, j)) + 1.0;
+      if (std::abs(denom) < 1e-14 * scale)
+        denom = cplx(1e-14 * scale, 1e-14 * scale);
+      y(i, j) = -sum / denom;
+    }
+  }
+  out.vectors = mm(s.u, y);
+  for (int j = 0; j < n; ++j) {
+    double nrm2 = 0.0;
+    for (int i = 0; i < n; ++i) nrm2 += std::norm(out.vectors(i, j));
+    const double inv = 1.0 / std::sqrt(nrm2);
+    for (int i = 0; i < n; ++i) out.vectors(i, j) *= inv;
+  }
+  return out;
+}
+
+}  // namespace qtx::la

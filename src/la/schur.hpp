@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file schur.hpp
+/// Complex Schur decomposition A = U T U† via Householder-Hessenberg
+/// reduction followed by the shifted QR iteration with deflation.
+///
+/// Two paper kernels depend on it:
+///  - the reduced (non-symmetric) eigenvalue problem at the end of the Beyn
+///    contour-integral OBC algorithm (§4.2.1), and
+///  - the direct discrete-time Lyapunov solver for the lesser/greater
+///    screened-Coulomb boundary conditions (§4.2.2, Kitagawa's method),
+/// the two operations the paper singles out as performing poorly on GPUs and
+/// dispatching to CPU (§5.1).
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace qtx::la {
+
+/// A = U T U† with U unitary and T upper triangular; eigenvalues on diag(T).
+struct SchurResult {
+  Matrix u;
+  Matrix t;
+  bool converged = true;
+};
+
+SchurResult schur(const Matrix& a, int max_iter_per_eig = 60);
+
+/// Eigenvalues and (right) eigenvectors of a general complex matrix via
+/// Schur + triangular back-substitution. Vectors are normalized to unit
+/// 2-norm and stored as columns.
+struct EigResult {
+  std::vector<cplx> values;
+  Matrix vectors;
+  bool converged = true;
+};
+
+EigResult eig(const Matrix& a);
+
+/// Reduce A to upper Hessenberg form H = Q† A Q (helper, exposed for tests).
+struct HessenbergResult {
+  Matrix h;
+  Matrix q;
+};
+
+HessenbergResult hessenberg(const Matrix& a);
+
+}  // namespace qtx::la

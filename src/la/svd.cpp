@@ -1,0 +1,111 @@
+#include "la/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/flops.hpp"
+
+namespace qtx::la {
+namespace {
+
+/// One-sided Jacobi on a tall (m >= n) matrix: rotate column pairs until all
+/// are mutually orthogonal; the column norms are then the singular values.
+SvdResult svd_tall(const Matrix& a_in) {
+  Matrix a = a_in;
+  const int m = a.rows(), n = a.cols();
+  Matrix v = Matrix::identity(n);
+  const double tol = 1e-14;
+  const int max_sweeps = 60;
+  FlopLedger::add(8LL * m * n * n * 10);  // rough ledger entry for the sweeps
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        cplx* ap = a.col(p);
+        cplx* aq = a.col(q);
+        double app = 0.0, aqq = 0.0;
+        cplx apq = 0.0;
+        for (int i = 0; i < m; ++i) {
+          app += std::norm(ap[i]);
+          aqq += std::norm(aq[i]);
+          apq += std::conj(ap[i]) * aq[i];
+        }
+        const double gamma = std::abs(apq);
+        if (gamma <= tol * std::sqrt(app * aqq) || gamma == 0.0) continue;
+        converged = false;
+        // Rotation angle from tan(2 theta) = 2|apq| / (aqq - app); the phase
+        // of apq is folded into the rotation so it stays real.
+        const cplx phase = apq / gamma;
+        const double tau = (aqq - app) / (2.0 * gamma);
+        const double t = ((tau >= 0.0) ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double cs = 1.0 / std::sqrt(1.0 + t * t);
+        const double sn = cs * t;
+        const cplx sp = sn * phase;  // sn * e^{i phi}
+        for (int i = 0; i < m; ++i) {
+          const cplx x = ap[i], y = aq[i];
+          ap[i] = cs * x - std::conj(sp) * y;
+          aq[i] = sp * x + cs * y;
+        }
+        cplx* vp = v.col(p);
+        cplx* vq = v.col(q);
+        for (int i = 0; i < n; ++i) {
+          const cplx x = vp[i], y = vq[i];
+          vp[i] = cs * x - std::conj(sp) * y;
+          vq[i] = sp * x + cs * y;
+        }
+      }
+    }
+    if (converged) break;
+  }
+  // Column norms are the singular values; normalize to get U.
+  std::vector<double> s(n);
+  Matrix u(m, n);
+  for (int j = 0; j < n; ++j) {
+    double nrm2 = 0.0;
+    const cplx* aj = a.col(j);
+    for (int i = 0; i < m; ++i) nrm2 += std::norm(aj[i]);
+    s[j] = std::sqrt(nrm2);
+    if (s[j] > 0.0) {
+      const double inv = 1.0 / s[j];
+      for (int i = 0; i < m; ++i) u(i, j) = aj[i] * inv;
+    } else {
+      // Zero column: leave U column zero; it pairs with sigma = 0 and is
+      // never used by rank-truncated consumers.
+    }
+  }
+  // Sort descending by singular value.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int i, int j) { return s[i] > s[j]; });
+  SvdResult out{Matrix(m, n), std::vector<double>(n), Matrix(n, n)};
+  for (int j = 0; j < n; ++j) {
+    const int src = order[j];
+    out.s[j] = s[src];
+    for (int i = 0; i < m; ++i) out.u(i, j) = u(i, src);
+    for (int i = 0; i < n; ++i) out.v(i, j) = v(i, src);
+  }
+  return out;
+}
+
+}  // namespace
+
+SvdResult svd(const Matrix& a) {
+  if (a.rows() >= a.cols()) return svd_tall(a);
+  // Wide matrix: A = U S V†  <=>  A† = V S U†.
+  SvdResult t = svd_tall(a.dagger());
+  return {std::move(t.v), std::move(t.s), std::move(t.u)};
+}
+
+int svd_rank(const SvdResult& r, double tol) {
+  if (r.s.empty()) return 0;
+  const double cut = tol * r.s.front();
+  int rank = 0;
+  for (const double v : r.s)
+    if (v > cut) ++rank;
+  return rank;
+}
+
+}  // namespace qtx::la

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file svd.hpp
+/// One-sided Jacobi SVD. The Beyn contour-integral OBC solver (paper §4.2.1)
+/// performs an SVD of its zeroth moment matrix to extract the eigenspace
+/// dimension; Jacobi is chosen for its robustness and simplicity at the
+/// moderate block sizes (N_BS) involved.
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace qtx::la {
+
+/// A = U diag(s) V† with singular values sorted descending. U is m x r,
+/// V is n x r where r = min(m, n).
+struct SvdResult {
+  Matrix u;
+  std::vector<double> s;
+  Matrix v;
+};
+
+SvdResult svd(const Matrix& a);
+
+/// Numerical rank: number of singular values > tol * s_max.
+int svd_rank(const SvdResult& r, double tol = 1e-12);
+
+}  // namespace qtx::la

@@ -1,0 +1,111 @@
+#include "obc/beyn.hpp"
+
+#include <cmath>
+
+#include "common/flops.hpp"
+
+namespace qtx::obc {
+namespace {
+
+Matrix eval_poly(const std::vector<Matrix>& coeffs, cplx z) {
+  Matrix a = coeffs.back();
+  for (int p = static_cast<int>(coeffs.size()) - 2; p >= 0; --p) {
+    a *= z;
+    a += coeffs[p];
+  }
+  return a;
+}
+
+}  // namespace
+
+BeynEigResult beyn_pevp(const std::vector<Matrix>& coeffs,
+                        const BeynOptions& opt) {
+  QTX_CHECK(coeffs.size() >= 2);
+  const int n = coeffs.front().rows();
+  const cplx c(opt.center_re, opt.center_im);
+  BeynEigResult out;
+  // Moment integrals Q_p = (1/2 pi i) \oint z^p A(z)^{-1} dz, trapezoid rule
+  // on the circle; the probe matrix is the identity (L = N columns), which
+  // is robust for the moderate N_BS blocks of the leads.
+  Matrix q0(n, n), q1(n, n);
+  for (int k = 0; k < opt.quadrature_points; ++k) {
+    const double th = 2.0 * kPi * k / opt.quadrature_points;
+    const cplx e(std::cos(th), std::sin(th));
+    const cplx z = c + opt.radius * e;
+    const la::LuFactors f = la::lu_factor(eval_poly(coeffs, z));
+    if (f.singular) continue;  // quadrature point on a pole; skip
+    const Matrix ainv = la::lu_solve(f, Matrix::identity(n));
+    const cplx w = opt.radius * e / static_cast<double>(opt.quadrature_points);
+    q0.add_scaled(w, ainv);
+    q1.add_scaled(w * z, ainv);
+  }
+  const la::SvdResult svd = la::svd(q0);
+  const int rank = la::svd_rank(svd, opt.svd_tol);
+  if (rank == 0) {
+    out.ok = true;  // no eigenvalues inside the contour
+    out.vectors = Matrix(n, 0);
+    return out;
+  }
+  // Compress: B = U_r† Q1 W_r S_r^{-1}, eigenpairs of B lift to the PEVP.
+  Matrix ur(n, rank), wr(n, rank);
+  for (int j = 0; j < rank; ++j)
+    for (int i = 0; i < n; ++i) {
+      ur(i, j) = svd.u(i, j);
+      wr(i, j) = svd.v(i, j);
+    }
+  Matrix b = la::mm(la::hmm(ur, q1), wr);
+  for (int j = 0; j < rank; ++j) {
+    const double inv = 1.0 / svd.s[j];
+    for (int i = 0; i < rank; ++i) b(i, j) *= inv;
+  }
+  const la::EigResult eig = la::eig(b);
+  if (!eig.converged) return out;
+  // Lift, filter by contour membership and residual.
+  std::vector<cplx> vals;
+  std::vector<int> keep;
+  Matrix lifted = la::mm(ur, eig.vectors);
+  for (int j = 0; j < rank; ++j) {
+    const cplx lam = eig.values[j];
+    if (std::abs(lam - c) > opt.radius * (1.0 + 1e-10)) continue;
+    Matrix phi(n, 1);
+    for (int i = 0; i < n; ++i) phi(i, 0) = lifted(i, j);
+    const Matrix res = la::mm(eval_poly(coeffs, lam), phi);
+    double scale = 0.0;
+    for (const auto& cm : coeffs) scale = std::max(scale, cm.max_abs());
+    if (res.max_abs() > opt.residual_tol * std::max(1.0, scale)) continue;
+    vals.push_back(lam);
+    keep.push_back(j);
+  }
+  out.values = std::move(vals);
+  out.vectors = Matrix(n, static_cast<int>(keep.size()));
+  for (size_t jj = 0; jj < keep.size(); ++jj)
+    for (int i = 0; i < n; ++i) out.vectors(i, static_cast<int>(jj)) =
+        lifted(i, keep[jj]);
+  out.ok = true;
+  return out;
+}
+
+BeynSurfaceResult surface_beyn(const Matrix& m, const Matrix& n,
+                               const Matrix& np, const BeynOptions& opt) {
+  const int nb = m.rows();
+  BeynSurfaceResult out;
+  const BeynEigResult modes = beyn_pevp({np, m, n}, opt);
+  out.modes_found = static_cast<int>(modes.values.size());
+  if (!modes.ok || out.modes_found != nb) return out;  // fall back
+  // S = Phi Lambda Phi^{-1}: the one-cell propagation map of the decaying
+  // solutions; x = (m + n S)^{-1}.
+  Matrix phi_lam = modes.vectors;
+  for (int j = 0; j < nb; ++j)
+    for (int i = 0; i < nb; ++i) phi_lam(i, j) *= modes.values[j];
+  const la::LuFactors f = la::lu_factor(modes.vectors);
+  if (f.singular) return out;
+  const Matrix s = la::lu_solve_right(f, phi_lam);
+  const Matrix msys = m + la::mm(n, s);
+  const la::LuFactors fm = la::lu_factor(msys);
+  if (fm.singular) return out;
+  out.x = la::lu_solve(fm, Matrix::identity(nb));
+  out.ok = true;
+  return out;
+}
+
+}  // namespace qtx::obc

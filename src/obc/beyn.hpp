@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file beyn.hpp
+/// Beyn contour-integral solver for polynomial eigenvalue problems (paper
+/// §4.2.1, Eq. 6) and the direct surface-Green's-function construction built
+/// on it.
+///
+/// The lead's propagating/decaying modes solve A(lambda) phi = 0 with
+/// A(z) = n' + z m + z^2 n (block-tridiagonal leads; the general-degree form
+/// sum_p z^p C_p is supported for multi-cell couplings). Beyn's algorithm
+/// computes all eigenpairs inside a contour by evaluating two moment
+/// integrals of A(z)^{-1} over quadrature points, compressing with an SVD,
+/// and solving a small dense eigenvalue problem — the SVD + non-symmetric
+/// EVP combination the paper dispatches to CPU (§5.1).
+///
+/// The decaying modes (|lambda| < 1) assemble the propagation matrix
+/// S = Phi Lambda Phi^{-1}; the surface Green's function follows as
+/// x = (m + n S)^{-1}, which satisfies the fixed-point equation of
+/// surface.hpp exactly.
+
+#include <optional>
+#include <vector>
+
+#include "la/la.hpp"
+
+namespace qtx::obc {
+
+using la::Matrix;
+
+struct BeynOptions {
+  int quadrature_points = 128;  ///< trapezoid points on the circle; modes
+                                ///< approach |lambda| = 1 as eta -> 0, and
+                                ///< the trapezoid error grows with poles
+                                ///< near the contour
+  double radius = 1.0;         ///< contour radius (unit circle for leads)
+  double center_re = 0.0;
+  double center_im = 0.0;
+  double svd_tol = 1e-10;       ///< rank cut on the zeroth moment
+  double residual_tol = 1e-6;   ///< per-mode acceptance ||A(l) phi||
+};
+
+struct BeynEigResult {
+  std::vector<cplx> values;
+  Matrix vectors;  ///< columns, one per accepted eigenvalue
+  bool ok = false;
+};
+
+/// All eigenpairs of the PEVP sum_p z^p coeffs[p] inside the contour.
+BeynEigResult beyn_pevp(const std::vector<Matrix>& coeffs,
+                        const BeynOptions& opt = {});
+
+struct BeynSurfaceResult {
+  Matrix x;
+  int modes_found = 0;
+  bool ok = false;  ///< false => caller should fall back to Sancho-Rubio
+};
+
+/// Direct surface solver: QEP modes inside the unit circle -> S -> x.
+/// Requires exactly N modes inside the contour (generic for eta > 0);
+/// returns ok = false otherwise so the caller can fall back.
+BeynSurfaceResult surface_beyn(const Matrix& m, const Matrix& n,
+                               const Matrix& np, const BeynOptions& opt = {});
+
+}  // namespace qtx::obc

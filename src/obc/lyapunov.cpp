@@ -1,0 +1,99 @@
+#include "obc/lyapunov.hpp"
+
+namespace qtx::obc {
+
+double stein_residual(const Matrix& x, const Matrix& q, const Matrix& a,
+                      double sigma) {
+  Matrix r = x - q;
+  r.add_scaled(-sigma, la::mmmh(a, x, a));
+  return r.frobenius_norm();
+}
+
+SteinResult stein_doubling(const Matrix& q, const Matrix& a, double sigma,
+                           const SteinIterOptions& opt) {
+  SteinResult r;
+  r.x = q;
+  Matrix p = a;
+  double sign = sigma;
+  const double qscale = std::max(1.0, q.frobenius_norm());
+  for (int it = 1; it <= opt.max_iter; ++it) {
+    const Matrix term = la::mmmh(p, r.x, p);
+    r.x.add_scaled(sign, term);
+    r.iterations = it;
+    if (term.frobenius_norm() <= opt.tol * qscale) {
+      r.converged = true;
+      break;
+    }
+    if (r.x.frobenius_norm() > 1e12 * qscale) break;  // rho(A) >= 1: diverged
+    p = la::mm(p, p);
+    sign = 1.0;  // sigma^{2^k} = +1 for k >= 1
+  }
+  // A convergence claim must survive the residual check; the squaring
+  // iteration can otherwise report a small final increment on a divergent
+  // trajectory.
+  if (r.converged && stein_residual(r.x, q, a, sigma) > 1e-6 * qscale)
+    r.converged = false;
+  return r;
+}
+
+SteinResult stein_fixed_point(const Matrix& q, const Matrix& a, double sigma,
+                              const std::optional<Matrix>& guess,
+                              const SteinIterOptions& opt) {
+  SteinResult r;
+  r.x = guess ? *guess : q;
+  for (int it = 1; it <= opt.max_iter; ++it) {
+    Matrix next = q;
+    next.add_scaled(sigma, la::mmmh(a, r.x, a));
+    const double dx = la::max_abs_diff(next, r.x);
+    r.x = std::move(next);
+    r.iterations = it;
+    if (dx <= opt.tol * std::max(1.0, r.x.max_abs())) {
+      r.converged = true;
+      break;
+    }
+  }
+  return r;
+}
+
+Matrix stein_direct(const Matrix& q, const Matrix& a, double sigma) {
+  // X = Q + s A X A†. With A = U T U† (Schur) and Y = U† X U, Qt = U† Q U:
+  //   Y = Qt + s T Y T†.
+  // Solve for columns j = n-1 .. 0: [Y T†](:,j) = Y(:,j) conj(T_jj) + c_j
+  // with c_j = sum_{l>j} Y(:,l) conj(T_jl) known, so
+  //   (I - s conj(T_jj) T) Y(:,j) = Qt(:,j) + s T c_j,
+  // an upper-triangular solve per column (Kitagawa's method).
+  const int n = q.rows();
+  QTX_CHECK(a.square() && q.square() && a.rows() == n);
+  const la::SchurResult s = la::schur(a);
+  QTX_CHECK_MSG(s.converged, "Schur iteration failed in stein_direct");
+  const Matrix qt = la::mm(la::hmm(s.u, q), s.u);
+  Matrix y(n, n);
+  std::vector<cplx> cj(n), rhs(n);
+  for (int j = n - 1; j >= 0; --j) {
+    for (int i = 0; i < n; ++i) cj[i] = 0.0;
+    for (int l = j + 1; l < n; ++l) {
+      const cplx tjl = std::conj(s.t(j, l));
+      if (tjl == cplx(0.0)) continue;
+      for (int i = 0; i < n; ++i) cj[i] += y(i, l) * tjl;
+    }
+    // rhs = Qt(:,j) + s T c_j.
+    for (int i = 0; i < n; ++i) {
+      cplx tc = 0.0;
+      for (int l = i; l < n; ++l) tc += s.t(i, l) * cj[l];
+      rhs[i] = qt(i, j) + sigma * tc;
+    }
+    // Upper-triangular solve (I - s conj(T_jj) T) y(:,j) = rhs.
+    const cplx w = sigma * std::conj(s.t(j, j));
+    for (int i = n - 1; i >= 0; --i) {
+      cplx acc = rhs[i];
+      for (int l = i + 1; l < n; ++l) acc += w * s.t(i, l) * y(l, j);
+      const cplx diag = cplx(1.0) - w * s.t(i, i);
+      QTX_CHECK_MSG(std::abs(diag) > 1e-300,
+                    "Stein equation singular: |l_i l_j| = 1");
+      y(i, j) = acc / diag;
+    }
+  }
+  return la::mm(la::mm(s.u, y), s.u.dagger());
+}
+
+}  // namespace qtx::obc

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file lyapunov.hpp
+/// Discrete-time Lyapunov (Stein) equation solvers for the lesser/greater
+/// screened-Coulomb boundary conditions (paper §4.2.2, Eq. 7):
+///
+///     X = Q + sigma * A X A†,   sigma = +-1.
+///
+/// The paper's w≶ recursion is of this form with blocks extracted from P, V,
+/// and w^R. Two solvers are provided, mirroring the paper's discussion:
+///  - a squaring ("doubling") iteration of the convergent series
+///    X = sum_j sigma^j A^j Q (A†)^j, requiring rho(A) < 1, and
+///  - the direct method via complex Schur decomposition (Kitagawa [26]),
+///    robust for any spectrum with |lambda_i(A) lambda_j(A)| != 1.
+
+#include <optional>
+
+#include "la/la.hpp"
+
+namespace qtx::obc {
+
+using la::Matrix;
+
+/// Residual ||X - Q - sigma A X A†||_F.
+double stein_residual(const Matrix& x, const Matrix& q, const Matrix& a,
+                      double sigma);
+
+struct SteinIterOptions {
+  int max_iter = 60;  ///< squaring steps; depth doubles per step
+  double tol = 1e-12;
+};
+
+struct SteinResult {
+  Matrix x;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Squaring iteration: S_{k+1} = S_k + s_k P_k S_k P_k†, P_{k+1} = P_k^2,
+/// with s_0 = sigma and s_k = +1 afterwards (sign of sigma^{2^k}).
+SteinResult stein_doubling(const Matrix& q, const Matrix& a, double sigma,
+                           const SteinIterOptions& opt = {});
+
+/// Plain fixed-point iteration X_{k+1} = Q + sigma A X_k A†, optionally
+/// warm-started — the memoizer's fast path for w≶ (paper §5.3).
+SteinResult stein_fixed_point(const Matrix& q, const Matrix& a, double sigma,
+                              const std::optional<Matrix>& guess = {},
+                              const SteinIterOptions& opt = {});
+
+/// Direct solver via Schur decomposition of A; O(n^3), no spectral-radius
+/// restriction (only |l_i l_j| != 1).
+Matrix stein_direct(const Matrix& q, const Matrix& a, double sigma);
+
+}  // namespace qtx::obc

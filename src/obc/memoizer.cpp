@@ -1,0 +1,112 @@
+#include "obc/memoizer.hpp"
+
+namespace qtx::obc {
+
+Matrix solve_surface_direct(const Matrix& m, const Matrix& n,
+                            const Matrix& np, int beyn_quadrature) {
+  // Method ladder: Beyn (accurate, direct) -> Sancho-Rubio (robust) ->
+  // fixed point (last resort). Each rung is accepted only if its residual
+  // on the surface equation passes.
+  BeynOptions bopt;
+  bopt.quadrature_points = beyn_quadrature;
+  const BeynSurfaceResult beyn = surface_beyn(m, n, np, bopt);
+  if (beyn.ok && surface_residual(beyn.x, m, n, np) < 1e-6) return beyn.x;
+  const SanchoRubioResult sr = surface_sancho_rubio(m, n, np);
+  if (sr.converged && surface_residual(sr.x, m, n, np) < 1e-6) return sr.x;
+  const FixedPointResult fp =
+      surface_fixed_point(m, n, np, sr.converged ? std::optional<Matrix>(sr.x)
+                                                 : std::nullopt);
+  return fp.x;
+}
+
+Matrix ObcMemoizer::solve_surface(const ObcKey& key, const Matrix& m,
+                                  const Matrix& n, const Matrix& np) {
+  if (opt_.enabled) {
+    auto it = surface_cache_.find(key);
+    if (it != surface_cache_.end() && it->second.same_shape(m)) {
+      // Probe with two fixed-point steps to estimate the contraction rate.
+      const Matrix& x0 = it->second;
+      const Matrix x1 = la::inverse(m - la::mmm(n, x0, np));
+      const Matrix x2 = la::inverse(m - la::mmm(n, x1, np));
+      const double d1 = la::max_abs_diff(x1, x0);
+      const double d2 = la::max_abs_diff(x2, x1);
+      const double scale = std::max(1.0, x2.max_abs());
+      if (d2 <= opt_.tol * scale) {
+        stats_.memoized_calls += 1;
+        stats_.fpi_iterations += 2;
+        surface_cache_[key] = x2;
+        return x2;
+      }
+      const double rate = (d1 > 0.0) ? d2 / d1 : 0.0;
+      // Predicted error after the remaining budget; geometric decay.
+      if (rate < 1.0) {
+        const double predicted =
+            d2 * std::pow(rate, opt_.n_fpi - 2) / (1.0 - rate);
+        if (predicted <= opt_.tol * scale) {
+          FixedPointOptions fopt;
+          fopt.max_iter = opt_.n_fpi - 2;
+          fopt.tol = opt_.tol;
+          const FixedPointResult r = surface_fixed_point(m, n, np, x2, fopt);
+          if (r.converged ||
+              surface_residual(r.x, m, n, np) <= 10.0 * opt_.tol * scale) {
+            stats_.memoized_calls += 1;
+            stats_.fpi_iterations += 2 + r.iterations;
+            surface_cache_[key] = r.x;
+            return r.x;
+          }
+        }
+      }
+    }
+  }
+  stats_.direct_calls += 1;
+  Matrix x = solve_surface_direct(m, n, np, opt_.beyn_quadrature);
+  surface_cache_[key] = x;
+  return x;
+}
+
+Matrix ObcMemoizer::solve_stein(const ObcKey& key, const Matrix& q,
+                                const Matrix& a, double sigma) {
+  if (opt_.enabled) {
+    auto it = stein_cache_.find(key);
+    if (it != stein_cache_.end() && it->second.same_shape(q)) {
+      const Matrix& x0 = it->second;
+      Matrix x1 = q;
+      x1.add_scaled(sigma, la::mmmh(a, x0, a));
+      Matrix x2 = q;
+      x2.add_scaled(sigma, la::mmmh(a, x1, a));
+      const double d1 = la::max_abs_diff(x1, x0);
+      const double d2 = la::max_abs_diff(x2, x1);
+      const double scale = std::max(1.0, x2.max_abs());
+      if (d2 <= opt_.tol * scale) {
+        stats_.memoized_calls += 1;
+        stats_.fpi_iterations += 2;
+        stein_cache_[key] = x2;
+        return x2;
+      }
+      const double rate = (d1 > 0.0) ? d2 / d1 : 0.0;
+      if (rate < 1.0) {
+        const double predicted =
+            d2 * std::pow(rate, opt_.n_fpi - 2) / (1.0 - rate);
+        if (predicted <= opt_.tol * scale) {
+          SteinIterOptions sopt;
+          sopt.max_iter = opt_.n_fpi - 2;
+          sopt.tol = opt_.tol;
+          const SteinResult r = stein_fixed_point(q, a, sigma, x2, sopt);
+          if (r.converged ||
+              stein_residual(r.x, q, a, sigma) <= 10.0 * opt_.tol * scale) {
+            stats_.memoized_calls += 1;
+            stats_.fpi_iterations += 2 + r.iterations;
+            stein_cache_[key] = r.x;
+            return r.x;
+          }
+        }
+      }
+    }
+  }
+  stats_.direct_calls += 1;
+  Matrix x = stein_direct(q, a, sigma);
+  stein_cache_[key] = x;
+  return x;
+}
+
+}  // namespace qtx::obc

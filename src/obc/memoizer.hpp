@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file memoizer.hpp
+/// OBC memoization (paper §5.3). Across SCBA iterations the boundary blocks
+/// stabilize; once the cached solution from the previous iteration is close
+/// to the new one, a handful of warm-started fixed-point iterations replaces
+/// the expensive direct solver (Beyn for x^R, Schur-Lyapunov for w≶).
+///
+/// The memoizer estimates, from the first two fixed-point updates, whether
+/// convergence within the allotted N_FPI iterations is achievable (the
+/// paper's "predefined condition"); if not, it calls the direct solver. A
+/// fixed N_FPI keeps all ranks load-balanced, as the paper emphasizes.
+/// Either way the cache is refreshed, and counters record the dispatch
+/// decisions for the ablation benchmark.
+
+#include <map>
+#include <optional>
+
+#include "obc/beyn.hpp"
+#include "obc/lyapunov.hpp"
+#include "obc/surface.hpp"
+
+namespace qtx::obc {
+
+struct MemoizerOptions {
+  bool enabled = true;
+  int n_fpi = 20;          ///< fixed fixed-point budget (paper's N_FPI)
+  double tol = 1e-8;       ///< target residual of the memoized solve
+  int beyn_quadrature = 128;
+};
+
+struct MemoizerStats {
+  std::int64_t direct_calls = 0;
+  std::int64_t memoized_calls = 0;
+  std::int64_t fpi_iterations = 0;
+  void reset() { *this = MemoizerStats{}; }
+};
+
+/// Cache key: one entry per (subsystem, contact, energy-index) triple.
+struct ObcKey {
+  int subsystem;  ///< 0 = electrons (G), 1 = screened Coulomb (W)
+  int contact;    ///< 0 = left, 1 = right
+  int energy;     ///< energy-grid index
+  auto operator<=>(const ObcKey&) const = default;
+};
+
+class ObcMemoizer {
+ public:
+  explicit ObcMemoizer(const MemoizerOptions& opt = {}) : opt_(opt) {}
+
+  /// Retarded surface Green's function x = (m - n x n')^{-1}: memoized
+  /// fixed point when predicted convergent, else Beyn with Sancho-Rubio
+  /// fallback.
+  Matrix solve_surface(const ObcKey& key, const Matrix& m, const Matrix& n,
+                       const Matrix& np);
+
+  /// Lesser/greater boundary function X = Q + sigma A X A†: memoized fixed
+  /// point, else direct Schur solve.
+  Matrix solve_stein(const ObcKey& key, const Matrix& q, const Matrix& a,
+                     double sigma);
+
+  const MemoizerStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+  void clear_cache() {
+    surface_cache_.clear();
+    stein_cache_.clear();
+  }
+  const MemoizerOptions& options() const { return opt_; }
+  void set_enabled(bool on) { opt_.enabled = on; }
+
+ private:
+  MemoizerOptions opt_;
+  MemoizerStats stats_;
+  std::map<ObcKey, Matrix> surface_cache_;
+  std::map<ObcKey, Matrix> stein_cache_;
+};
+
+/// Direct surface solve used by the memoizer's slow path and by callers that
+/// never memoize: Beyn, falling back to Sancho-Rubio when the mode count is
+/// deficient, falling back to long fixed-point iteration as a last resort.
+Matrix solve_surface_direct(const Matrix& m, const Matrix& n,
+                            const Matrix& np, int beyn_quadrature = 64);
+
+}  // namespace qtx::obc

@@ -1,0 +1,9 @@
+#pragma once
+
+/// \file obc.hpp
+/// Umbrella header for the open-boundary-condition solvers.
+
+#include "obc/beyn.hpp"
+#include "obc/lyapunov.hpp"
+#include "obc/memoizer.hpp"
+#include "obc/surface.hpp"

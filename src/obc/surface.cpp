@@ -1,0 +1,62 @@
+#include "obc/surface.hpp"
+
+namespace qtx::obc {
+
+double surface_residual(const Matrix& x, const Matrix& m, const Matrix& n,
+                        const Matrix& np) {
+  const Matrix rhs = la::inverse(m - la::mmm(n, x, np));
+  return la::max_abs_diff(x, rhs);
+}
+
+FixedPointResult surface_fixed_point(const Matrix& m, const Matrix& n,
+                                     const Matrix& np,
+                                     const std::optional<Matrix>& guess,
+                                     const FixedPointOptions& opt) {
+  FixedPointResult r;
+  r.x = guess ? *guess : la::inverse(m);
+  for (int it = 1; it <= opt.max_iter; ++it) {
+    Matrix next = la::inverse(m - la::mmm(n, r.x, np));
+    const double dx = la::max_abs_diff(next, r.x);
+    const double scale = next.max_abs();
+    r.x = std::move(next);
+    r.iterations = it;
+    if (dx <= opt.tol * std::max(1.0, scale)) {
+      r.converged = true;
+      break;
+    }
+  }
+  return r;
+}
+
+SanchoRubioResult surface_sancho_rubio(const Matrix& m, const Matrix& n,
+                                       const Matrix& np,
+                                       const SanchoRubioOptions& opt) {
+  // Decimation of the semi-infinite chain with uniform blocks
+  // M_ii = m, M_{i,i+1} = n (into the lead), M_{i+1,i} = n'.
+  // Each sweep eliminates every second cell, doubling the decimated depth.
+  Matrix es = m;   // effective surface block
+  Matrix e = m;    // effective bulk block
+  Matrix a = n;    // effective forward coupling
+  Matrix b = np;   // effective backward coupling
+  SanchoRubioResult r;
+  for (int it = 1; it <= opt.max_iter; ++it) {
+    const Matrix inv = la::inverse(e);
+    const Matrix aib = la::mmm(a, inv, b);
+    const Matrix bia = la::mmm(b, inv, a);
+    es -= aib;
+    e -= aib;
+    e -= bia;
+    a = la::mmm(a, inv, a) * cplx(-1.0);
+    b = la::mmm(b, inv, b) * cplx(-1.0);
+    r.iterations = it;
+    if (a.max_abs() * b.max_abs() <=
+        opt.tol * std::max(1.0, es.max_abs() * es.max_abs())) {
+      r.converged = true;
+      break;
+    }
+  }
+  r.x = la::inverse(es);
+  return r;
+}
+
+}  // namespace qtx::obc

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file surface.hpp
+/// Retarded open-boundary-condition solvers (paper §4.2.1). All solve the
+/// nonlinear surface equation
+///
+///     x = (m - n x n')^{-1}                                   (paper Eq. 4)
+///
+/// where m, n, n' are the lead-cell blocks of M(E) - B^R_scatt(E): m is the
+/// on-cell block, n couples the surface cell one cell deeper into the lead,
+/// and n' couples back. Three methods are provided, mirroring the paper:
+/// plain fixed-point iteration (Eq. 5), Sancho-Rubio decimation, and the
+/// Beyn contour-integral solver (in beyn.hpp).
+
+#include <optional>
+
+#include "la/la.hpp"
+
+namespace qtx::obc {
+
+using la::Matrix;
+
+/// Residual ||x - (m - n x n')^{-1}||_F — the convergence measure shared by
+/// every solver and test.
+double surface_residual(const Matrix& x, const Matrix& m, const Matrix& n,
+                        const Matrix& np);
+
+struct FixedPointOptions {
+  int max_iter = 5000;
+  double tol = 1e-10;  ///< on ||x_{i+1} - x_i||_F / ||x_{i+1}||_F
+};
+
+struct FixedPointResult {
+  Matrix x;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Fixed-point iteration x_{i+1} = (m - n x_i n')^{-1} (paper Eq. 5),
+/// optionally warm-started — the memoizer's fast path (§5.3).
+FixedPointResult surface_fixed_point(const Matrix& m, const Matrix& n,
+                                     const Matrix& np,
+                                     const std::optional<Matrix>& guess = {},
+                                     const FixedPointOptions& opt = {});
+
+struct SanchoRubioOptions {
+  int max_iter = 60;
+  double tol = 1e-12;  ///< on the decimated coupling norms
+};
+
+struct SanchoRubioResult {
+  Matrix x;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Sancho-Rubio decimation: doubles the effective lead depth per iteration,
+/// converging in O(10) steps where fixed-point needs O(100) (paper §4.2.1).
+SanchoRubioResult surface_sancho_rubio(const Matrix& m, const Matrix& n,
+                                       const Matrix& np,
+                                       const SanchoRubioOptions& opt = {});
+
+}  // namespace qtx::obc

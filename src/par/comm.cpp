@@ -1,0 +1,150 @@
+#include "par/comm.hpp"
+
+#include <cstring>
+#include <thread>
+
+namespace qtx::par {
+
+CommWorld::CommWorld(int size, Backend backend)
+    : size_(size), backend_(backend), bytes_sent_(size, 0) {
+  QTX_CHECK(size >= 1);
+  mailboxes_.resize(static_cast<size_t>(size) * size);
+  for (auto& m : mailboxes_) m = std::make_unique<Mailbox>();
+}
+
+void CommWorld::run(const std::function<void(Comm&)>& fn) {
+  if (size_ == 1) {
+    Comm c(*this, 0);
+    fn(c);
+    return;
+  }
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(size_);
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Comm c(*this, r);
+        fn(c);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+std::int64_t CommWorld::total_bytes_sent() const {
+  std::int64_t sum = 0;
+  for (const auto b : bytes_sent_) sum += b;
+  return sum;
+}
+
+void CommWorld::reset_byte_counter() {
+  for (auto& b : bytes_sent_) b = 0;
+}
+
+void CommWorld::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  const int gen = barrier_generation_;
+  if (++barrier_count_ == size_) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] { return gen != barrier_generation_; });
+  }
+}
+
+void Comm::send(int dst, std::vector<cplx> data) {
+  QTX_CHECK(dst >= 0 && dst < size());
+  world_->bytes_sent_[rank_] +=
+      static_cast<std::int64_t>(data.size()) * sizeof(cplx);
+  if (world_->backend_ == Backend::kHostStaged && !data.empty()) {
+    // Stage through a "host" buffer: one copy on the send side; the matching
+    // receive copy happens in recv(). This is the extra memory traffic that
+    // separates host MPI from *CCL in Fig. 6.
+    std::vector<cplx> staged(data.size());
+    std::memcpy(staged.data(), data.data(), data.size() * sizeof(cplx));
+    data = std::move(staged);
+  }
+  auto& mb = world_->mailbox(rank_, dst);
+  {
+    std::lock_guard<std::mutex> lock(mb.mutex);
+    mb.queue.push(CommWorld::Message{std::move(data)});
+  }
+  mb.cv.notify_one();
+}
+
+std::vector<cplx> Comm::recv(int src) {
+  QTX_CHECK(src >= 0 && src < size());
+  auto& mb = world_->mailbox(src, rank_);
+  std::unique_lock<std::mutex> lock(mb.mutex);
+  mb.cv.wait(lock, [&] { return !mb.queue.empty(); });
+  std::vector<cplx> data = std::move(mb.queue.front().payload);
+  mb.queue.pop();
+  lock.unlock();
+  if (world_->backend_ == Backend::kHostStaged && !data.empty()) {
+    std::vector<cplx> device(data.size());
+    std::memcpy(device.data(), data.data(), data.size() * sizeof(cplx));
+    return device;
+  }
+  return data;
+}
+
+void Comm::broadcast(std::vector<cplx>& data, int root) {
+  if (size() == 1) return;
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r)
+      if (r != root) send(r, data);
+  } else {
+    data = recv(root);
+  }
+}
+
+std::vector<cplx> Comm::allgather(const std::vector<cplx>& mine) {
+  if (size() == 1) return mine;
+  for (int r = 0; r < size(); ++r)
+    if (r != rank_) send(r, mine);
+  // Collect in rank order; sizes may differ per rank.
+  std::vector<std::vector<cplx>> parts(size());
+  parts[rank_] = mine;
+  for (int r = 0; r < size(); ++r)
+    if (r != rank_) parts[r] = recv(r);
+  std::vector<cplx> out;
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+std::vector<std::vector<cplx>> Comm::alltoall(
+    std::vector<std::vector<cplx>> send_bufs) {
+  QTX_CHECK(static_cast<int>(send_bufs.size()) == size());
+  std::vector<std::vector<cplx>> recv_bufs(size());
+  recv_bufs[rank_] = std::move(send_bufs[rank_]);
+  for (int r = 0; r < size(); ++r)
+    if (r != rank_) send(r, std::move(send_bufs[r]));
+  for (int r = 0; r < size(); ++r)
+    if (r != rank_) recv_bufs[r] = recv(r);
+  return recv_bufs;
+}
+
+double Comm::allreduce_sum(double v) {
+  std::vector<cplx> mine = {cplx(v, 0.0)};
+  const std::vector<cplx> all = allgather(mine);
+  double s = 0.0;
+  for (const auto& x : all) s += x.real();
+  return s;
+}
+
+double Comm::allreduce_max(double v) {
+  std::vector<cplx> mine = {cplx(v, 0.0)};
+  const std::vector<cplx> all = allgather(mine);
+  double s = all.front().real();
+  for (const auto& x : all) s = std::max(s, x.real());
+  return s;
+}
+
+std::int64_t Comm::bytes_sent() const { return world_->bytes_sent_[rank_]; }
+
+}  // namespace qtx::par

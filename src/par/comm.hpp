@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file comm.hpp
+/// In-process communicator — the reproduction's substitute for MPI/NCCL/RCCL
+/// across GPU nodes (paper §5.1, §7.2). Ranks are threads sharing a
+/// CommWorld; the collective set mirrors what QuaTrEx uses: barrier,
+/// broadcast, allgather, all-to-all (the energy<->element transposition),
+/// and reductions.
+///
+/// Two backends reproduce the paper's *CCL vs "host MPI" distinction
+/// (Fig. 6):
+///  - kDeviceDirect moves payload buffers by pointer hand-off (the zero-copy
+///    device-to-device path of NCCL/RCCL);
+///  - kHostStaged copies every payload through an intermediate staging
+///    buffer on both sides (the copy-to-host path of host MPI), paying the
+///    extra memory-bandwidth cost that separates the two curves in Fig. 6.
+/// Every rank counts the bytes it sends, so benchmarks can report
+/// communication volume (the §5.2 symmetry ablation halves it).
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace qtx::par {
+
+enum class Backend {
+  kDeviceDirect,  ///< zero-copy hand-off (*CCL analogue)
+  kHostStaged,    ///< staged copies through a host buffer (host-MPI analogue)
+};
+
+class Comm;
+
+/// Shared state for a group of ranks. Construct once, then run() a function
+/// on every rank concurrently (or sequentially for size == 1).
+class CommWorld {
+ public:
+  explicit CommWorld(int size, Backend backend = Backend::kDeviceDirect);
+
+  int size() const { return size_; }
+  Backend backend() const { return backend_; }
+
+  /// Execute \p fn(comm) on every rank, each on its own thread. Blocks until
+  /// all ranks return. Exceptions on any rank are rethrown on the caller.
+  void run(const std::function<void(Comm&)>& fn);
+
+  /// Total bytes sent across all ranks since construction/reset.
+  std::int64_t total_bytes_sent() const;
+  void reset_byte_counter();
+
+ private:
+  friend class Comm;
+
+  struct Message {
+    std::vector<cplx> payload;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::queue<Message> queue;
+  };
+
+  Mailbox& mailbox(int src, int dst) {
+    return *mailboxes_[static_cast<size_t>(src) * size_ + dst];
+  }
+
+  void barrier_wait();
+
+  int size_;
+  Backend backend_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  // Reusable two-phase barrier.
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  int barrier_generation_ = 0;
+  std::vector<std::int64_t> bytes_sent_;
+};
+
+/// Per-rank handle passed to the function run on each rank.
+class Comm {
+ public:
+  Comm(CommWorld& world, int rank) : world_(&world), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return world_->size(); }
+  Backend backend() const { return world_->backend(); }
+
+  void barrier() { world_->barrier_wait(); }
+
+  /// Point-to-point: blocking send/recv of complex payloads.
+  void send(int dst, std::vector<cplx> data);
+  std::vector<cplx> recv(int src);
+
+  /// Root's data replaces everyone's.
+  void broadcast(std::vector<cplx>& data, int root);
+
+  /// Concatenation of every rank's vector, ordered by rank.
+  std::vector<cplx> allgather(const std::vector<cplx>& mine);
+
+  /// send[r] goes to rank r; returns what every rank sent to me (recv[r]
+  /// from rank r). The collective behind the energy<->element transposition.
+  std::vector<std::vector<cplx>> alltoall(std::vector<std::vector<cplx>> send);
+
+  double allreduce_sum(double v);
+  double allreduce_max(double v);
+
+  std::int64_t bytes_sent() const;
+
+ private:
+  CommWorld* world_;
+  int rank_;
+};
+
+}  // namespace qtx::par

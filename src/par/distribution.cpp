@@ -1,0 +1,111 @@
+#include "par/distribution.hpp"
+
+namespace qtx::par {
+
+std::vector<cplx> compress_fp32(const std::vector<cplx>& data) {
+  // Two complex<float> per cplx slot; odd tails pad with zero.
+  const std::int64_t n = static_cast<std::int64_t>(data.size());
+  std::vector<cplx> packed((n + 1) / 2);
+  auto* out = reinterpret_cast<float*>(packed.data());
+  for (std::int64_t i = 0; i < n; ++i) {
+    out[2 * i] = static_cast<float>(data[i].real());
+    out[2 * i + 1] = static_cast<float>(data[i].imag());
+  }
+  return packed;
+}
+
+std::vector<cplx> decompress_fp32(const std::vector<cplx>& packed,
+                                  std::int64_t count) {
+  QTX_CHECK(static_cast<std::int64_t>(packed.size()) == (count + 1) / 2);
+  std::vector<cplx> out(count);
+  const auto* in = reinterpret_cast<const float*>(packed.data());
+  for (std::int64_t i = 0; i < count; ++i)
+    out[i] = cplx(in[2 * i], in[2 * i + 1]);
+  return out;
+}
+
+std::vector<std::vector<cplx>> Transposer::exchange(
+    Comm& comm, std::vector<std::vector<cplx>> send) const {
+  if (precision_ == WirePrecision::kFp64) return comm.alltoall(std::move(send));
+  std::vector<std::int64_t> counts(send.size());
+  for (size_t r = 0; r < send.size(); ++r) {
+    counts[r] = static_cast<std::int64_t>(send[r].size());
+    send[r] = compress_fp32(send[r]);
+  }
+  // Receive-side sizes mirror the send sizes by the symmetry of the block
+  // distributions: what rank a sends to rank b has the same element count
+  // as what b sends to a only for uniform splits, so exchange the true
+  // counts alongside (one extra scalar per pair is negligible).
+  for (size_t r = 0; r < send.size(); ++r)
+    send[r].push_back(cplx(static_cast<double>(counts[r]), 0.0));
+  auto recv = comm.alltoall(std::move(send));
+  for (auto& buf : recv) {
+    QTX_CHECK(!buf.empty());
+    const std::int64_t count =
+        static_cast<std::int64_t>(buf.back().real() + 0.5);
+    buf.pop_back();
+    buf = decompress_fp32(buf, count);
+  }
+  return recv;
+}
+
+std::vector<cplx> Transposer::to_element_layout(
+    Comm& comm, const std::vector<cplx>& energy_data) {
+  const int rank = comm.rank(), size = comm.size();
+  const std::int64_t ne_mine = energies_.count(rank);
+  const std::int64_t k_total = elements_.total;
+  QTX_CHECK(static_cast<std::int64_t>(energy_data.size()) ==
+            ne_mine * k_total);
+  // Pack: destination r gets my energies x its element slice.
+  std::vector<std::vector<cplx>> send(size);
+  for (int r = 0; r < size; ++r) {
+    const std::int64_t koff = elements_.offset(r), kcnt = elements_.count(r);
+    send[r].resize(ne_mine * kcnt);
+    for (std::int64_t e = 0; e < ne_mine; ++e)
+      for (std::int64_t k = 0; k < kcnt; ++k)
+        send[r][e * kcnt + k] = energy_data[e * k_total + koff + k];
+  }
+  const auto recv = exchange(comm, std::move(send));
+  // Unpack: from rank r come its energies for my element slice.
+  const std::int64_t k_mine = elements_.count(rank);
+  std::vector<cplx> out(k_mine * energies_.total);
+  for (int r = 0; r < size; ++r) {
+    const std::int64_t eoff = energies_.offset(r), ecnt = energies_.count(r);
+    QTX_CHECK(static_cast<std::int64_t>(recv[r].size()) == ecnt * k_mine);
+    for (std::int64_t e = 0; e < ecnt; ++e)
+      for (std::int64_t k = 0; k < k_mine; ++k)
+        out[k * energies_.total + eoff + e] = recv[r][e * k_mine + k];
+  }
+  return out;
+}
+
+std::vector<cplx> Transposer::to_energy_layout(
+    Comm& comm, const std::vector<cplx>& element_data) {
+  const int rank = comm.rank(), size = comm.size();
+  const std::int64_t k_mine = elements_.count(rank);
+  QTX_CHECK(static_cast<std::int64_t>(element_data.size()) ==
+            k_mine * energies_.total);
+  // Pack: destination r gets its energy slice for my elements.
+  std::vector<std::vector<cplx>> send(size);
+  for (int r = 0; r < size; ++r) {
+    const std::int64_t eoff = energies_.offset(r), ecnt = energies_.count(r);
+    send[r].resize(ecnt * k_mine);
+    for (std::int64_t e = 0; e < ecnt; ++e)
+      for (std::int64_t k = 0; k < k_mine; ++k)
+        send[r][e * k_mine + k] = element_data[k * energies_.total + eoff + e];
+  }
+  const auto recv = exchange(comm, std::move(send));
+  const std::int64_t ne_mine = energies_.count(rank);
+  const std::int64_t k_total = elements_.total;
+  std::vector<cplx> out(ne_mine * k_total);
+  for (int r = 0; r < size; ++r) {
+    const std::int64_t koff = elements_.offset(r), kcnt = elements_.count(r);
+    QTX_CHECK(static_cast<std::int64_t>(recv[r].size()) == ne_mine * kcnt);
+    for (std::int64_t e = 0; e < ne_mine; ++e)
+      for (std::int64_t k = 0; k < kcnt; ++k)
+        out[e * k_total + koff + k] = recv[r][e * kcnt + k];
+  }
+  return out;
+}
+
+}  // namespace qtx::par

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file distribution.hpp
+/// Energy-grid distribution and the energy<->element data transposition of
+/// paper Fig. 3. During the solver stages each rank owns all selected matrix
+/// elements for a contiguous slice of energy points; the convolution stages
+/// (P-FFT, Sigma-FFT) need all energies of a slice of elements instead. The
+/// Transposer performs the all-to-all repacking between the two layouts —
+/// the communication step whose volume the §5.2 symmetry exploitation
+/// halves.
+
+#include "par/comm.hpp"
+
+namespace qtx::par {
+
+/// Contiguous block distribution of \c total items over \c parts ranks
+/// (remainder spread over the leading ranks).
+struct BlockDistribution {
+  std::int64_t total = 0;
+  int parts = 1;
+
+  std::int64_t count(int r) const {
+    const std::int64_t base = total / parts, extra = total % parts;
+    return base + (r < extra ? 1 : 0);
+  }
+  std::int64_t offset(int r) const {
+    const std::int64_t base = total / parts, extra = total % parts;
+    return base * r + std::min<std::int64_t>(r, extra);
+  }
+  int owner(std::int64_t index) const {
+    for (int r = 0; r < parts; ++r)
+      if (index < offset(r) + count(r)) return r;
+    return parts - 1;
+  }
+};
+
+/// Wire precision of the transposition payloads. kFp32 implements the
+/// paper's §8 outlook ("the data ... communicated to the energy convolutions
+/// can potentially be reduced by ... lower-precision schemes"): halves the
+/// volume at the cost of single-precision rounding of the exchanged
+/// selected elements.
+enum class WirePrecision { kFp64, kFp32 };
+
+/// Lossy round-trip helpers for the compressed wire format (exposed for
+/// tests): two complex<float> packed per complex<double> slot.
+std::vector<cplx> compress_fp32(const std::vector<cplx>& data);
+std::vector<cplx> decompress_fp32(const std::vector<cplx>& packed,
+                                  std::int64_t count);
+
+/// Repacks between:
+///  - energy layout:  [e_local * n_elements + k]       (solver stages)
+///  - element layout: [k_local * n_energy + e]         (FFT stages)
+class Transposer {
+ public:
+  Transposer(int n_energy, std::int64_t n_elements, int comm_size,
+             WirePrecision precision = WirePrecision::kFp64)
+      : energies_{n_energy, comm_size},
+        elements_{n_elements, comm_size},
+        precision_(precision) {}
+
+  const BlockDistribution& energies() const { return energies_; }
+  const BlockDistribution& elements() const { return elements_; }
+  WirePrecision precision() const { return precision_; }
+
+  std::vector<cplx> to_element_layout(Comm& comm,
+                                      const std::vector<cplx>& energy_data);
+  std::vector<cplx> to_energy_layout(Comm& comm,
+                                     const std::vector<cplx>& element_data);
+
+ private:
+  /// All-to-all with optional wire compression.
+  std::vector<std::vector<cplx>> exchange(
+      Comm& comm, std::vector<std::vector<cplx>> send) const;
+
+  BlockDistribution energies_;
+  BlockDistribution elements_;
+  WirePrecision precision_;
+};
+
+}  // namespace qtx::par

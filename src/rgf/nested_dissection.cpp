@@ -1,0 +1,598 @@
+#include "rgf/nested_dissection.hpp"
+
+#include <string>
+
+#include "common/flops.hpp"
+#include "common/timer.hpp"
+
+namespace qtx::rgf {
+namespace {
+
+/// Congruence update of one RHS entry:
+///   B̂_ab -= L_a B_jb + B_aj L_b† - L_a B_jj L_b†.
+/// Helper for the repeated pattern; callers pass the relevant blocks.
+Matrix congruence(const Matrix& b_ab, const Matrix& l_a, const Matrix& b_jb,
+                  const Matrix& b_aj, const Matrix& l_b, const Matrix& b_jj) {
+  Matrix v = b_ab;
+  v -= la::mm(l_a, b_jb);
+  v -= la::mmh(b_aj, l_b);
+  v += la::mmh(la::mm(l_a, b_jj), l_b);
+  return v;
+}
+
+/// Elimination trace of one middle partition for one RHS.
+struct RhsTrace {
+  // Snapshots at the moment block j was eliminated (j = s+1 .. e-1).
+  std::vector<Matrix> rjj, rsj, rjs;
+  // Reduced contributions after the last elimination.
+  Matrix rss, rse, res, ree;
+};
+
+/// Elimination trace of one middle partition (LHS).
+struct MidTrace {
+  std::vector<Matrix> x;         // D_j^{-1} at elimination time
+  std::vector<Matrix> fsj, fjs;  // fills M̂_{s,j}, M̂_{j,s} at elimination
+  Matrix ds, de, fse, fes;       // reduced contributions
+  RhsTrace lt, gt;
+};
+
+/// Elimination trace of the top (or bottom) partition for both RHSs.
+struct EdgeTrace {
+  std::vector<Matrix> x;     // local inverses along the sweep
+  std::vector<Matrix> bh_l;  // bhat (lesser) at elimination time
+  std::vector<Matrix> bh_g;  // bhat (greater)
+  Matrix d, rl, rg;          // reduced contributions (boundary block)
+};
+
+EdgeTrace eliminate_top(const BlockTridiag& m, const BlockTridiag& bl,
+                        const BlockTridiag& bg, int e) {
+  EdgeTrace t;
+  t.x.resize(e);
+  t.bh_l.resize(e);
+  t.bh_g.resize(e);
+  Matrix d = m.diag(0);
+  Matrix rl = bl.diag(0);
+  Matrix rg = bg.diag(0);
+  for (int j = 0; j < e; ++j) {
+    t.x[j] = la::inverse(d);
+    t.bh_l[j] = rl;
+    t.bh_g[j] = rg;
+    const Matrix l = la::mm(m.lower(j), t.x[j]);
+    d = m.diag(j + 1) - la::mm(l, m.upper(j));
+    rl = congruence(bl.diag(j + 1), l, bl.upper(j), bl.lower(j), l, t.bh_l[j]);
+    rg = congruence(bg.diag(j + 1), l, bg.upper(j), bg.lower(j), l, t.bh_g[j]);
+  }
+  t.d = std::move(d);
+  t.rl = std::move(rl);
+  t.rg = std::move(rg);
+  return t;
+}
+
+EdgeTrace eliminate_bottom(const BlockTridiag& m, const BlockTridiag& bl,
+                           const BlockTridiag& bg, int s) {
+  const int nb = m.num_blocks();
+  EdgeTrace t;
+  const int count = nb - 1 - s;
+  t.x.resize(count);
+  t.bh_l.resize(count);
+  t.bh_g.resize(count);
+  Matrix d = m.diag(nb - 1);
+  Matrix rl = bl.diag(nb - 1);
+  Matrix rg = bg.diag(nb - 1);
+  for (int j = nb - 1; j > s; --j) {
+    const int idx = j - s - 1;
+    t.x[idx] = la::inverse(d);
+    t.bh_l[idx] = rl;
+    t.bh_g[idx] = rg;
+    const Matrix l = la::mm(m.upper(j - 1), t.x[idx]);
+    d = m.diag(j - 1) - la::mm(l, m.lower(j - 1));
+    rl = congruence(bl.diag(j - 1), l, bl.lower(j - 1), bl.upper(j - 1), l,
+                    t.bh_l[idx]);
+    rg = congruence(bg.diag(j - 1), l, bg.lower(j - 1), bg.upper(j - 1), l,
+                    t.bh_g[idx]);
+  }
+  t.d = std::move(d);
+  t.rl = std::move(rl);
+  t.rg = std::move(rg);
+  return t;
+}
+
+MidTrace eliminate_middle(const BlockTridiag& m, const BlockTridiag& bl,
+                          const BlockTridiag& bg, int s, int e) {
+  MidTrace t;
+  const int count = e - s - 1;
+  t.x.resize(count);
+  t.fsj.resize(count);
+  t.fjs.resize(count);
+  t.lt.rjj.resize(count);
+  t.lt.rsj.resize(count);
+  t.lt.rjs.resize(count);
+  t.gt.rjj.resize(count);
+  t.gt.rsj.resize(count);
+  t.gt.rjs.resize(count);
+  // Frontier state.
+  Matrix ds = m.diag(s);
+  Matrix dj = (count > 0) ? m.diag(s + 1) : Matrix();
+  Matrix fsj = (count > 0) ? m.upper(s) : Matrix();
+  Matrix fjs = (count > 0) ? m.lower(s) : Matrix();
+  Matrix rss_l = bl.diag(s), rss_g = bg.diag(s);
+  Matrix rsj_l = (count > 0) ? bl.upper(s) : Matrix();
+  Matrix rjs_l = (count > 0) ? bl.lower(s) : Matrix();
+  Matrix rjj_l = (count > 0) ? bl.diag(s + 1) : Matrix();
+  Matrix rsj_g = (count > 0) ? bg.upper(s) : Matrix();
+  Matrix rjs_g = (count > 0) ? bg.lower(s) : Matrix();
+  Matrix rjj_g = (count > 0) ? bg.diag(s + 1) : Matrix();
+  for (int j = s + 1; j < e; ++j) {
+    const int idx = j - s - 1;
+    t.x[idx] = la::inverse(dj);
+    t.fsj[idx] = fsj;
+    t.fjs[idx] = fjs;
+    t.lt.rjj[idx] = rjj_l;
+    t.lt.rsj[idx] = rsj_l;
+    t.lt.rjs[idx] = rjs_l;
+    t.gt.rjj[idx] = rjj_g;
+    t.gt.rsj[idx] = rsj_g;
+    t.gt.rjs[idx] = rjs_g;
+    const Matrix& xj = t.x[idx];
+    const Matrix ls = la::mm(fsj, xj);              // L_s = F_sj x_j
+    const Matrix lnext = la::mm(m.lower(j), xj);    // L_{j+1} = M_{j+1,j} x_j
+    // LHS updates.
+    Matrix ds_new = ds - la::mm(ls, fjs);
+    Matrix fsj_new = la::mm(ls, m.upper(j)) * cplx(-1.0);
+    Matrix fjs_new = la::mm(lnext, fjs) * cplx(-1.0);
+    Matrix dj_new = m.diag(j + 1) - la::mm(lnext, m.upper(j));
+    // RHS updates, pairs (a,b) in {s, j+1}^2. Originals: B̂_{s,j+1} = 0,
+    // B̂_{j+1,j+1} = B diag, B̂_{j,j+1} = B upper, B̂_{j+1,j} = B lower.
+    auto rhs_update = [&](const BlockTridiag& b, Matrix& rss, Matrix& rsj,
+                          Matrix& rjs, Matrix& rjj) {
+      const Matrix lsr = la::mm(ls, rjj);    // L_s B̂_jj
+      const Matrix lnr = la::mm(lnext, rjj); // L_{j+1} B̂_jj
+      Matrix rss_new = rss;
+      rss_new -= la::mm(ls, rjs);
+      rss_new -= la::mmh(rsj, ls);
+      rss_new += la::mmh(lsr, ls);
+      Matrix rsnext(rss.rows(), rss.cols());
+      rsnext -= la::mm(ls, b.upper(j));
+      rsnext -= la::mmh(rsj, lnext);
+      rsnext += la::mmh(lsr, lnext);
+      Matrix rnexts(rss.rows(), rss.cols());
+      rnexts -= la::mm(lnext, rjs);
+      rnexts -= la::mmh(b.lower(j), ls);
+      rnexts += la::mmh(lnr, ls);
+      Matrix rnextnext = b.diag(j + 1);
+      rnextnext -= la::mm(lnext, b.upper(j));
+      rnextnext -= la::mmh(b.lower(j), lnext);
+      rnextnext += la::mmh(lnr, lnext);
+      rss = std::move(rss_new);
+      rsj = std::move(rsnext);
+      rjs = std::move(rnexts);
+      rjj = std::move(rnextnext);
+    };
+    rhs_update(bl, rss_l, rsj_l, rjs_l, rjj_l);
+    rhs_update(bg, rss_g, rsj_g, rjs_g, rjj_g);
+    ds = std::move(ds_new);
+    dj = std::move(dj_new);
+    fsj = std::move(fsj_new);
+    fjs = std::move(fjs_new);
+  }
+  t.ds = std::move(ds);
+  t.de = (count > 0) ? std::move(dj) : m.diag(e);
+  t.fse = (count > 0) ? std::move(fsj) : m.upper(s);
+  t.fes = (count > 0) ? std::move(fjs) : m.lower(s);
+  t.lt.rss = std::move(rss_l);
+  t.lt.rse = (count > 0) ? std::move(rsj_l) : bl.upper(s);
+  t.lt.res = (count > 0) ? std::move(rjs_l) : bl.lower(s);
+  t.lt.ree = (count > 0) ? std::move(rjj_l) : bl.diag(e);
+  t.gt.rss = std::move(rss_g);
+  t.gt.rse = (count > 0) ? std::move(rsj_g) : bg.upper(s);
+  t.gt.res = (count > 0) ? std::move(rjs_g) : bg.lower(s);
+  t.gt.ree = (count > 0) ? std::move(rjj_g) : bg.diag(e);
+  return t;
+}
+
+/// Back-substitute the top partition (interior j = e-1 .. 0, neighbor set
+/// {j+1}); seeds X_{e,e} from the reduced solve. Standard sequential RGF
+/// backward recursions.
+void backsub_top(const BlockTridiag& m, const BlockTridiag& bl,
+                 const BlockTridiag& bg, const EdgeTrace& t, int e,
+                 SelectedSolution& out) {
+  for (int j = e - 1; j >= 0; --j) {
+    const Matrix& xj = t.x[j];
+    const Matrix& g1 = out.xr.diag(j + 1);
+    const Matrix xmu = la::mm(xj, m.upper(j));
+    const Matrix mlx = la::mm(m.lower(j), xj);
+    out.xr.upper(j) = la::mm(xmu, g1) * cplx(-1.0);
+    out.xr.lower(j) = la::mm(g1, mlx) * cplx(-1.0);
+    out.xr.diag(j) = xj + la::mmm(xmu, g1, mlx);
+    auto lesser_step = [&](const BlockTridiag& b, const Matrix& bh,
+                           BlockTridiag& xo) {
+      const Matrix& gl1 = xo.diag(j + 1);
+      const Matrix k = la::mm(g1, mlx) * cplx(-1.0);  // [M^-1]_{j+1,j}
+      Matrix inner2 = la::mm(k, bh);
+      inner2 += la::mm(g1, b.lower(j));
+      Matrix inner3 = la::mmh(bh, k);
+      inner3 += la::mmh(b.upper(j), g1);
+      Matrix d = la::mmmh(xj, bh, xj);
+      d -= la::mmh(la::mmm(xj, m.upper(j), inner2), xj);
+      d -= la::mmh(la::mmh(la::mm(xj, inner3), m.upper(j)), xj);
+      d += la::mmh(la::mmh(la::mmm(xj, m.upper(j), gl1), m.upper(j)), xj);
+      xo.diag(j) = std::move(d);
+      Matrix up = inner3;
+      up -= la::mm(m.upper(j), gl1);
+      xo.upper(j) = la::mm(xj, up);
+      Matrix lo = inner2;
+      lo -= la::mmh(gl1, m.upper(j));
+      xo.lower(j) = la::mmh(lo, xj);
+    };
+    lesser_step(bl, t.bh_l[j], out.xl);
+    lesser_step(bg, t.bh_g[j], out.xg);
+  }
+}
+
+/// Back-substitute the bottom partition (interior j = s+1 .. nb-1 upward,
+/// neighbor set {j-1}); seeds X_{s,s}.
+void backsub_bottom(const BlockTridiag& m, const BlockTridiag& bl,
+                    const BlockTridiag& bg, const EdgeTrace& t, int s,
+                    SelectedSolution& out) {
+  const int nb = m.num_blocks();
+  for (int j = s + 1; j < nb; ++j) {
+    const int idx = j - s - 1;
+    const Matrix& xj = t.x[idx];
+    const Matrix& g0 = out.xr.diag(j - 1);
+    const Matrix xml = la::mm(xj, m.lower(j - 1));  // x_j M_{j,j-1}
+    const Matrix mux = la::mm(m.upper(j - 1), xj);  // M_{j-1,j} x_j
+    out.xr.lower(j - 1) = la::mm(xml, g0) * cplx(-1.0);  // X_{j,j-1}
+    out.xr.upper(j - 1) = la::mm(g0, mux) * cplx(-1.0);  // X_{j-1,j}
+    out.xr.diag(j) = xj + la::mmm(xml, g0, mux);
+    auto lesser_step = [&](const BlockTridiag& b, const Matrix& bh,
+                           BlockTridiag& xo) {
+      const Matrix& gl0 = xo.diag(j - 1);
+      const Matrix k = la::mm(g0, mux) * cplx(-1.0);  // [M^-1]_{j-1,j}
+      Matrix inner2 = la::mm(k, bh);
+      inner2 += la::mm(g0, b.upper(j - 1));
+      Matrix inner3 = la::mmh(bh, k);
+      inner3 += la::mmh(b.lower(j - 1), g0);
+      Matrix d = la::mmmh(xj, bh, xj);
+      d -= la::mmh(la::mmm(xj, m.lower(j - 1), inner2), xj);
+      d -= la::mmh(la::mmh(la::mm(xj, inner3), m.lower(j - 1)), xj);
+      d += la::mmh(la::mmh(la::mmm(xj, m.lower(j - 1), gl0), m.lower(j - 1)),
+                   xj);
+      xo.diag(j) = std::move(d);
+      // X≶_{j,j-1} = x (bh K† + B_{j,j-1} G0† - M_{j,j-1} Gl0).
+      Matrix lo = inner3;
+      lo -= la::mm(m.lower(j - 1), gl0);
+      xo.lower(j - 1) = la::mm(xj, lo);
+      // X≶_{j-1,j} = (K bh + G0 B_{j-1,j} - Gl0 M_{j,j-1}†) x†.
+      Matrix up = inner2;
+      up -= la::mmh(gl0, m.lower(j - 1));
+      xo.upper(j - 1) = la::mmh(up, xj);
+    };
+    lesser_step(bl, t.bh_l[idx], out.xl);
+    lesser_step(bg, t.bh_g[idx], out.xg);
+  }
+}
+
+/// Back-substitute a middle partition (interior j = e-1 .. s+1, neighbor set
+/// {s, j+1}); seeds X at the four (s/e) corner combinations. Maintains the
+/// running cross blocks X_{s,j}, X_{j,s} (retarded and lesser/greater).
+void backsub_middle(const BlockTridiag& m, const BlockTridiag& bl,
+                    const BlockTridiag& bg, const MidTrace& t, int s, int e,
+                    const Matrix& xr_se, const Matrix& xr_es,
+                    const Matrix& xl_se, const Matrix& xl_es,
+                    const Matrix& xg_se, const Matrix& xg_es,
+                    SelectedSolution& out) {
+  // Running "known" blocks, initialized at the (s, e) pair.
+  Matrix xr_sn = xr_se, xr_ns = xr_es;      // X^R_{s,j+1}, X^R_{j+1,s}
+  Matrix xl_sn = xl_se, xl_ns = xl_es;
+  Matrix xg_sn = xg_se, xg_ns = xg_es;
+  const Matrix& xr_ss = out.xr.diag(s);
+  const Matrix& xl_ss = out.xl.diag(s);
+  const Matrix& xg_ss = out.xg.diag(s);
+  for (int j = e - 1; j > s; --j) {
+    const int idx = j - s - 1;
+    const Matrix& xj = t.x[idx];
+    const Matrix& fsj = t.fsj[idx];
+    const Matrix& fjs = t.fjs[idx];
+    const Matrix& mu = m.upper(j);   // M̂_{j,j+1}
+    const Matrix& ml = m.lower(j);   // M̂_{j+1,j}
+    const Matrix& xr_nn = out.xr.diag(j + 1);
+    // Retarded: X_{j,b} = -x_j sum_a M̂_{ja} X_{ab};
+    //           X_{b,j} = -sum_a X_{ba} M̂_{aj} x_j.
+    Matrix xr_js = la::mm(xj, la::mm(fjs, xr_ss) + la::mm(mu, xr_ns)) *
+                   cplx(-1.0);
+    Matrix xr_jn = la::mm(xj, la::mm(fjs, xr_sn) + la::mm(mu, xr_nn)) *
+                   cplx(-1.0);
+    Matrix xr_sj = la::mm(la::mm(xr_ss, fsj) + la::mm(xr_sn, ml), xj) *
+                   cplx(-1.0);
+    Matrix xr_nj = la::mm(la::mm(xr_ns, fsj) + la::mm(xr_nn, ml), xj) *
+                   cplx(-1.0);
+    // X_jj = x_j + x_j [sum_ab M̂_{ja} X_{ab} M̂_{bj}] x_j.
+    Matrix mid = la::mmm(fjs, xr_ss, fsj);
+    mid += la::mmm(fjs, xr_sn, ml);
+    mid += la::mmm(mu, xr_ns, fsj);
+    mid += la::mmm(mu, xr_nn, ml);
+    out.xr.diag(j) = xj + la::mmm(xj, mid, xj);
+    out.xr.upper(j) = xr_jn;
+    out.xr.lower(j) = xr_nj;
+    if (j == s + 1) {
+      out.xr.upper(s) = xr_sj;
+      out.xr.lower(s) = xr_js;
+    }
+    // Lesser/greater: general two-neighbor formulas (see sequential.hpp
+    // derivation). K_a = [M^-1]_{a,j} = -sum_b X^R_{ab} M̂_{bj} x_j.
+    auto lg_step = [&](const BlockTridiag& b, const RhsTrace& rt,
+                       BlockTridiag& xo, Matrix& x_sn, Matrix& x_ns) {
+      const Matrix& bh = rt.rjj[idx];
+      const Matrix& bsj = rt.rsj[idx];  // B̂_{s,j}
+      const Matrix& bjs = rt.rjs[idx];  // B̂_{j,s}
+      const Matrix& bjn = b.upper(j);   // B̂_{j,j+1} (original)
+      const Matrix& bnj = b.lower(j);   // B̂_{j+1,j}
+      const Matrix& x_nn = xo.diag(j + 1);
+      const Matrix& x_ss_l = xo.diag(s);
+      const Matrix k_s = xr_sj;  // [M^-1]_{s,j} computed above
+      const Matrix k_n = xr_nj;  // [M^-1]_{j+1,j}
+      // Phi_a = K_a bh + sum_b X^R_{ab} B̂_{bj}  (a in {s, j+1}).
+      Matrix phi_s = la::mm(k_s, bh);
+      phi_s += la::mm(xr_ss, bsj);
+      phi_s += la::mm(xr_sn, bnj);
+      Matrix phi_n = la::mm(k_n, bh);
+      phi_n += la::mm(xr_ns, bsj);
+      phi_n += la::mm(xr_nn, bnj);
+      // Psi_b = bh K_b† + sum_a B̂_{ja} X^R_{ba}†  (b in {s, j+1}).
+      Matrix psi_s = la::mmh(bh, k_s);
+      psi_s += la::mmh(bjs, xr_ss);
+      psi_s += la::mmh(bjn, xr_sn);
+      Matrix psi_n = la::mmh(bh, k_n);
+      psi_n += la::mmh(bjs, xr_ns);
+      psi_n += la::mmh(bjn, xr_nn);
+      // Diagonal: T1 + T2 + T3 + T4.
+      Matrix d = la::mmmh(xj, bh, xj);
+      Matrix t2 = la::mm(fjs, phi_s);
+      t2 += la::mm(mu, phi_n);
+      d -= la::mmh(la::mm(xj, t2), xj);
+      Matrix t3 = la::mmh(psi_s, fjs);
+      t3 += la::mmh(psi_n, mu);
+      d -= la::mmh(la::mm(xj, t3), xj);
+      Matrix t4 = la::mmh(la::mm(fjs, x_ss_l), fjs);
+      t4 += la::mmh(la::mm(fjs, x_sn), mu);
+      t4 += la::mmh(la::mm(mu, x_ns), fjs);
+      t4 += la::mmh(la::mm(mu, x_nn), mu);
+      d += la::mmh(la::mm(xj, t4), xj);
+      xo.diag(j) = std::move(d);
+      // Cross blocks: X≶_{j,b} = x_j (Psi_b - sum_a M̂_{ja} X≶_{ab}),
+      //               X≶_{b,j} = (Phi_b - sum_a X≶_{ba} M̂_{aj}†...) x_j†.
+      Matrix row_n = psi_n;
+      row_n -= la::mm(fjs, x_sn);
+      row_n -= la::mm(mu, x_nn);
+      Matrix row_s = psi_s;
+      row_s -= la::mm(fjs, x_ss_l);
+      row_s -= la::mm(mu, x_ns);
+      Matrix col_n = phi_n;
+      col_n -= la::mmh(x_ns, fjs);
+      col_n -= la::mmh(x_nn, mu);
+      Matrix col_s = phi_s;
+      col_s -= la::mmh(x_ss_l, fjs);
+      col_s -= la::mmh(x_sn, mu);
+      xo.upper(j) = la::mm(xj, row_n);          // X≶_{j,j+1}
+      xo.lower(j) = la::mmh(col_n, xj);         // X≶_{j+1,j}
+      Matrix x_js = la::mm(xj, row_s);          // X≶_{j,s}
+      Matrix x_sj = la::mmh(col_s, xj);         // X≶_{s,j}
+      if (j == s + 1) {
+        xo.upper(s) = std::move(x_sj);
+        xo.lower(s) = std::move(x_js);
+      } else {
+        x_sn = std::move(x_sj);
+        x_ns = std::move(x_js);
+      }
+    };
+    lg_step(bl, t.lt, out.xl, xl_sn, xl_ns);
+    lg_step(bg, t.gt, out.xg, xg_sn, xg_ns);
+    // Advance the retarded running blocks.
+    if (j != s + 1) {
+      xr_sn = std::move(xr_sj);
+      xr_ns = std::move(xr_js);
+    }
+  }
+}
+
+}  // namespace
+
+namespace {
+/// Recursion depth marker so nested calls attribute FLOPs to distinct
+/// ledger phases (outer per-partition stats stay clean).
+thread_local int g_nd_depth = 0;
+}  // namespace
+
+std::vector<std::pair<int, int>> nd_partition_ranges(int nb, int ps) {
+  QTX_CHECK_MSG(nb >= 2 * ps, "need >= 2 blocks per partition");
+  std::vector<std::pair<int, int>> ranges(ps);
+  const int base = nb / ps, extra = nb % ps;
+  int start = 0;
+  for (int p = 0; p < ps; ++p) {
+    const int size = base + (p < extra ? 1 : 0);
+    ranges[p] = {start, start + size - 1};
+    start += size;
+  }
+  return ranges;
+}
+
+NdSolution nd_solve(const BlockTridiag& m, const BlockTridiag& b_lesser,
+                    const BlockTridiag& b_greater, const NdOptions& opt) {
+  const int nb = m.num_blocks(), bs = m.block_size();
+  const int ps = opt.num_partitions;
+  QTX_CHECK(ps >= 2);
+  const auto ranges = nd_partition_ranges(nb, ps);
+  const auto flops_baseline = FlopLedger::by_phase();
+  NdSolution nd;
+  nd.stats.resize(ps);
+  for (int p = 0; p < ps; ++p) {
+    nd.stats[p].first_block = ranges[p].first;
+    nd.stats[p].last_block = ranges[p].second;
+  }
+  // ---------------------------------------------------------------- phase 1
+  // Partition eliminations (parallel).
+  EdgeTrace top, bottom;
+  std::vector<MidTrace> mids(ps);
+  const std::string phase_prefix =
+      "nd:d" + std::to_string(g_nd_depth) + ":partition";
+  auto run_elim = [&](int p) {
+    Stopwatch sw;
+    FlopLedger::begin_phase(phase_prefix + std::to_string(p));
+    if (p == 0) {
+      top = eliminate_top(m, b_lesser, b_greater, ranges[0].second);
+    } else if (p == ps - 1) {
+      bottom = eliminate_bottom(m, b_lesser, b_greater, ranges[p].first);
+    } else {
+      mids[p] = eliminate_middle(m, b_lesser, b_greater, ranges[p].first,
+                                 ranges[p].second);
+    }
+    nd.stats[p].seconds += sw.seconds();
+  };
+  if (opt.num_threads > 1) {
+    std::vector<std::thread> workers;
+    for (int p = 0; p < ps; ++p) workers.emplace_back(run_elim, p);
+    for (auto& w : workers) w.join();
+  } else {
+    for (int p = 0; p < ps; ++p) run_elim(p);
+  }
+  // ---------------------------------------------------------------- phase 2
+  // Reduced system over the boundary blocks [e_0, s_1, e_1, ..., s_{ps-1}].
+  FlopLedger::begin_phase("nd:reduced");
+  const std::int64_t flops_before_reduced = FlopLedger::total();
+  const int nr = 2 * ps - 2;
+  BlockTridiag rm(nr, bs), rbl(nr, bs), rbg(nr, bs);
+  // Boundary index bookkeeping: reduced index -> original block.
+  std::vector<int> orig(nr);
+  {
+    int r = 0;
+    orig[r++] = ranges[0].second;
+    for (int p = 1; p < ps - 1; ++p) {
+      orig[r++] = ranges[p].first;
+      orig[r++] = ranges[p].second;
+    }
+    orig[r++] = ranges[ps - 1].first;
+  }
+  // Diagonals.
+  rm.diag(0) = top.d;
+  rbl.diag(0) = top.rl;
+  rbg.diag(0) = top.rg;
+  {
+    int r = 1;
+    for (int p = 1; p < ps - 1; ++p) {
+      rm.diag(r) = mids[p].ds;
+      rbl.diag(r) = mids[p].lt.rss;
+      rbg.diag(r) = mids[p].gt.rss;
+      rm.diag(r + 1) = mids[p].de;
+      rbl.diag(r + 1) = mids[p].lt.ree;
+      rbg.diag(r + 1) = mids[p].gt.ree;
+      r += 2;
+    }
+    rm.diag(nr - 1) = bottom.d;
+    rbl.diag(nr - 1) = bottom.rl;
+    rbg.diag(nr - 1) = bottom.rg;
+  }
+  // Couplings: alternate between original inter-partition blocks and the
+  // fill blocks internal to middle partitions.
+  for (int r = 0; r + 1 < nr; ++r) {
+    const int a = orig[r], b = orig[r + 1];
+    if (b == a + 1) {  // inter-partition boundary: original blocks
+      rm.upper(r) = m.upper(a);
+      rm.lower(r) = m.lower(a);
+      rbl.upper(r) = b_lesser.upper(a);
+      rbl.lower(r) = b_lesser.lower(a);
+      rbg.upper(r) = b_greater.upper(a);
+      rbg.lower(r) = b_greater.lower(a);
+    } else {  // (s_p, e_p) pair inside a middle partition: fills
+      const int p = 1 + (r - 1) / 2;
+      rm.upper(r) = mids[p].fse;
+      rm.lower(r) = mids[p].fes;
+      rbl.upper(r) = mids[p].lt.rse;
+      rbl.lower(r) = mids[p].lt.res;
+      rbg.upper(r) = mids[p].gt.rse;
+      rbg.lower(r) = mids[p].gt.res;
+    }
+  }
+  SelectedSolution red;
+  if (opt.recursive_reduced && nr >= 8) {
+    // Recurse on the reduced BT system with half the partitions (§5.4's
+    // extension); the recursion bottoms out in the sequential solver.
+    NdOptions ropt = opt;
+    ropt.num_partitions = std::max(2, std::min(ps / 2, nr / 2));
+    ropt.num_threads = std::min(opt.num_threads, ropt.num_partitions);
+    ropt.symmetrize = false;
+    ++g_nd_depth;
+    red = nd_solve(rm, rbl, rbg, ropt).sel;
+    --g_nd_depth;
+  } else {
+    RgfOptions ropt;
+    ropt.symmetrize = false;  // symmetrization applies once, at the end
+    red = rgf_solve(rm, rbl, rbg, ropt);
+  }
+  nd.reduced_flops = FlopLedger::total() - flops_before_reduced;
+  // Scatter the reduced solution to the output boundary blocks.
+  nd.sel.xr = BlockTridiag(nb, bs);
+  nd.sel.xl = BlockTridiag(nb, bs);
+  nd.sel.xg = BlockTridiag(nb, bs);
+  for (int r = 0; r < nr; ++r) {
+    nd.sel.xr.diag(orig[r]) = red.xr.diag(r);
+    nd.sel.xl.diag(orig[r]) = red.xl.diag(r);
+    nd.sel.xg.diag(orig[r]) = red.xg.diag(r);
+  }
+  for (int r = 0; r + 1 < nr; ++r) {
+    const int a = orig[r];
+    if (orig[r + 1] == a + 1) {  // adjacent in the original ordering
+      nd.sel.xr.upper(a) = red.xr.upper(r);
+      nd.sel.xr.lower(a) = red.xr.lower(r);
+      nd.sel.xl.upper(a) = red.xl.upper(r);
+      nd.sel.xl.lower(a) = red.xl.lower(r);
+      nd.sel.xg.upper(a) = red.xg.upper(r);
+      nd.sel.xg.lower(a) = red.xg.lower(r);
+    }
+  }
+  // ---------------------------------------------------------------- phase 3
+  // Back-substitution (parallel).
+  auto run_backsub = [&](int p) {
+    Stopwatch sw;
+    FlopLedger::begin_phase(phase_prefix + std::to_string(p));
+    if (p == 0) {
+      backsub_top(m, b_lesser, b_greater, top, ranges[0].second, nd.sel);
+    } else if (p == ps - 1) {
+      backsub_bottom(m, b_lesser, b_greater, bottom, ranges[p].first, nd.sel);
+    } else {
+      const int r = 1 + (p - 1) * 2;  // reduced index of s_p
+      backsub_middle(m, b_lesser, b_greater, mids[p], ranges[p].first,
+                     ranges[p].second, red.xr.upper(r), red.xr.lower(r),
+                     red.xl.upper(r), red.xl.lower(r), red.xg.upper(r),
+                     red.xg.lower(r), nd.sel);
+    }
+    nd.stats[p].seconds += sw.seconds();
+  };
+  if (opt.num_threads > 1) {
+    std::vector<std::thread> workers;
+    for (int p = 0; p < ps; ++p) workers.emplace_back(run_backsub, p);
+    for (auto& w : workers) w.join();
+  } else {
+    for (int p = 0; p < ps; ++p) run_backsub(p);
+  }
+  // Per-partition FLOP totals from the ledger phases (delta against entry,
+  // so repeated nd_solve calls account independently).
+  const auto phases = FlopLedger::by_phase();
+  for (int p = 0; p < ps; ++p) {
+    const std::string key = phase_prefix + std::to_string(p);
+    const auto it = phases.find(key);
+    if (it != phases.end()) {
+      std::int64_t base = 0;
+      const auto bit = flops_baseline.find(key);
+      if (bit != flops_baseline.end()) base = bit->second;
+      nd.stats[p].flops = it->second - base;
+    }
+  }
+  FlopLedger::begin_phase("unattributed");
+  if (opt.symmetrize) {
+    nd.sel.xl.anti_hermitize();
+    nd.sel.xg.anti_hermitize();
+  }
+  return nd;
+}
+
+}  // namespace qtx::rgf

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file nested_dissection.hpp
+/// Spatial domain decomposition of the selected solver (paper §5.4, Fig. 5).
+///
+/// The block-tridiagonal system is split into P_S contiguous partitions. The
+/// top partition eliminates downward, the bottom upward, and each middle
+/// partition eliminates its interior while carrying fill-in blocks that
+/// couple the frontier to the partition's top boundary — the orange blocks
+/// of Fig. 5, an O(N_B / P_S) extra workload that makes middle partitions
+/// ~1.6x more expensive than boundary ones (paper Table 5). The surviving
+/// boundary unknowns form a reduced block-tridiagonal system of 2 P_S - 2
+/// blocks, solved with the sequential RGF; back-substitution then recovers
+/// the selected blocks inside every partition concurrently.
+///
+/// Both the retarded selected inverse and the quadratic lesser/greater
+/// solves are decomposed; the RHS undergoes the same congruence transform as
+/// in the sequential solver, extended with fill tracking.
+
+#include <thread>
+
+#include "rgf/sequential.hpp"
+
+namespace qtx::rgf {
+
+struct NdOptions {
+  int num_partitions = 2;  ///< paper's P_S
+  int num_threads = 1;     ///< partitions processed concurrently if > 1
+  bool symmetrize = true;  ///< paper §5.2 on-the-fly symmetrization
+  /// Apply the nested-dissection scheme to the reduced system recursively
+  /// (paper §5.4: "These additional costs can nevertheless be distributed
+  /// over multiple ranks by applying the nested-dissection scheme to the
+  /// reduced system recursively"). Levels halve the partition count until
+  /// the reduced system is small.
+  bool recursive_reduced = false;
+};
+
+/// Per-partition workload accounting for the Table 5 reproduction.
+struct PartitionStats {
+  int first_block = 0;
+  int last_block = 0;
+  std::int64_t flops = 0;
+  double seconds = 0.0;
+};
+
+struct NdSolution {
+  SelectedSolution sel;
+  std::vector<PartitionStats> stats;  ///< one entry per partition
+  std::int64_t reduced_flops = 0;     ///< reduced-system solve workload
+};
+
+/// Distributed selected solve; bit-compatible (up to roundoff) with
+/// rgf_solve. Requires num_blocks >= 2 * num_partitions.
+NdSolution nd_solve(const BlockTridiag& m, const BlockTridiag& b_lesser,
+                    const BlockTridiag& b_greater, const NdOptions& opt = {});
+
+/// Contiguous partition ranges [first, last] for nb blocks over ps parts.
+std::vector<std::pair<int, int>> nd_partition_ranges(int nb, int ps);
+
+}  // namespace qtx::rgf

@@ -1,0 +1,156 @@
+#include "rgf/sequential.hpp"
+
+namespace qtx::rgf {
+
+BlockTridiag rgf_retarded(const BlockTridiag& m) {
+  const int nb = m.num_blocks(), bs = m.block_size();
+  // Forward pass (paper Eq. 9): x_i = (M_ii - M_{i,i-1} x_{i-1} M_{i-1,i})^-1.
+  std::vector<Matrix> x(nb);
+  x[0] = la::inverse(m.diag(0));
+  for (int i = 1; i < nb; ++i)
+    x[i] = la::inverse(m.diag(i) -
+                       la::mmm(m.lower(i - 1), x[i - 1], m.upper(i - 1)));
+  // Backward pass (paper Eq. 11) plus the first off-diagonals.
+  BlockTridiag out(nb, bs);
+  out.diag(nb - 1) = x[nb - 1];
+  for (int i = nb - 2; i >= 0; --i) {
+    const Matrix& g1 = out.diag(i + 1);
+    const Matrix xmu = la::mm(x[i], m.upper(i));        // x_i M_{i,i+1}
+    const Matrix mlx = la::mm(m.lower(i), x[i]);        // M_{i+1,i} x_i
+    out.upper(i) = la::mm(xmu, g1) * cplx(-1.0);        // X_{i,i+1}
+    out.lower(i) = la::mm(g1, mlx) * cplx(-1.0);        // X_{i+1,i}
+    out.diag(i) = x[i] + la::mmm(xmu, g1, mlx);
+  }
+  return out;
+}
+
+namespace {
+
+/// One quadratic solve X = M^{-1} B M^{-†} through the RGF recursions.
+BlockTridiag rgf_quadratic(const BlockTridiag& m, const BlockTridiag& b,
+                           const std::vector<Matrix>& x,
+                           const BlockTridiag& xr) {
+  const int nb = m.num_blocks(), bs = m.block_size();
+  // Forward congruence transform of the RHS diagonal:
+  //   bhat_i = B_ii - L B_{i-1,i} - B_{i,i-1} L† + L bhat_{i-1} L†,
+  //   L = M_{i,i-1} x_{i-1}.
+  std::vector<Matrix> bhat(nb);
+  bhat[0] = b.diag(0);
+  for (int i = 1; i < nb; ++i) {
+    const Matrix l = la::mm(m.lower(i - 1), x[i - 1]);
+    Matrix v = b.diag(i);
+    v -= la::mm(l, b.upper(i - 1));
+    v -= la::mmh(b.lower(i - 1), l);
+    v += la::mmmh(l, bhat[i - 1], l);
+    bhat[i] = std::move(v);
+  }
+  // Backward pass (paper Eq. 12 generalized; see sequential.hpp).
+  BlockTridiag out(nb, bs);
+  out.diag(nb - 1) = la::mmmh(x[nb - 1], bhat[nb - 1], x[nb - 1]);
+  for (int i = nb - 2; i >= 0; --i) {
+    const Matrix& g1 = xr.diag(i + 1);     // X^R_{i+1,i+1}
+    const Matrix& gl1 = out.diag(i + 1);   // X≶_{i+1,i+1}
+    const Matrix& mu = m.upper(i);
+    const Matrix& ml = m.lower(i);
+    const Matrix& bu = b.upper(i);
+    const Matrix& bl = b.lower(i);
+    const Matrix& bh = bhat[i];
+    const Matrix& xi = x[i];
+    // K = [M^{-1}]_{i+1,i} = -G1 ml x_i (exact inverse entry).
+    const Matrix k = la::mmm(g1, ml, xi) * cplx(-1.0);
+    const Matrix xbh = la::mmmh(xi, bh, xi);  // T1 = x bh x†
+    // T2 = -x mu (K bh + G1 bl) x†.
+    Matrix inner2 = la::mm(k, bh);
+    inner2 += la::mm(g1, bl);
+    const Matrix t2 = la::mmh(la::mmm(xi, mu, inner2), xi) * cplx(-1.0);
+    // T3 = -x (bh K† + bu G1†) mu† x†.
+    Matrix inner3 = la::mmh(bh, k);
+    inner3 += la::mmh(bu, g1);
+    const Matrix t3 =
+        la::mmh(la::mmh(la::mm(xi, inner3), mu), xi) * cplx(-1.0);
+    // T4 = x mu Gl1 mu† x†.
+    const Matrix t4 = la::mmh(la::mmh(la::mmm(xi, mu, gl1), mu), xi);
+    Matrix d = xbh;
+    d += t2;
+    d += t3;
+    d += t4;
+    out.diag(i) = std::move(d);
+    // Off-diagonals:
+    //   X≶_{i,i+1} = x (bh K† + bu G1† - mu Gl1),
+    //   X≶_{i+1,i} = (K bh + G1 bl - Gl1 mu†) x†.
+    Matrix up = la::mmh(bh, k);
+    up += la::mmh(bu, g1);
+    up -= la::mm(mu, gl1);
+    out.upper(i) = la::mm(xi, up);
+    Matrix lo = la::mm(k, bh);
+    lo += la::mm(g1, bl);
+    lo -= la::mmh(gl1, mu);
+    out.lower(i) = la::mmh(lo, xi);
+  }
+  return out;
+}
+
+}  // namespace
+
+SelectedSolution rgf_solve(const BlockTridiag& m,
+                           const BlockTridiag& b_lesser,
+                           const BlockTridiag& b_greater,
+                           const RgfOptions& opt) {
+  const int nb = m.num_blocks();
+  // Shared forward pass for the local inverses x_i.
+  std::vector<Matrix> x(nb);
+  x[0] = la::inverse(m.diag(0));
+  for (int i = 1; i < nb; ++i)
+    x[i] = la::inverse(m.diag(i) -
+                       la::mmm(m.lower(i - 1), x[i - 1], m.upper(i - 1)));
+  SelectedSolution s;
+  // Retarded backward pass.
+  s.xr = BlockTridiag(nb, m.block_size());
+  s.xr.diag(nb - 1) = x[nb - 1];
+  for (int i = nb - 2; i >= 0; --i) {
+    const Matrix& g1 = s.xr.diag(i + 1);
+    const Matrix xmu = la::mm(x[i], m.upper(i));
+    const Matrix mlx = la::mm(m.lower(i), x[i]);
+    s.xr.upper(i) = la::mm(xmu, g1) * cplx(-1.0);
+    s.xr.lower(i) = la::mm(g1, mlx) * cplx(-1.0);
+    s.xr.diag(i) = x[i] + la::mmm(xmu, g1, mlx);
+  }
+  s.xl = rgf_quadratic(m, b_lesser, x, s.xr);
+  s.xg = rgf_quadratic(m, b_greater, x, s.xr);
+  if (opt.symmetrize) {
+    s.xl.anti_hermitize();
+    s.xg.anti_hermitize();
+  }
+  return s;
+}
+
+BlockTridiag extract_bt(const Matrix& dense, int nb, int bs) {
+  BlockTridiag out(nb, bs);
+  for (int i = 0; i < nb; ++i)
+    out.diag(i) = dense.block(i * bs, i * bs, bs, bs);
+  for (int i = 0; i + 1 < nb; ++i) {
+    out.upper(i) = dense.block(i * bs, (i + 1) * bs, bs, bs);
+    out.lower(i) = dense.block((i + 1) * bs, i * bs, bs, bs);
+  }
+  return out;
+}
+
+BlockTridiag reference_retarded(const BlockTridiag& m) {
+  const Matrix minv = la::inverse(m.dense());
+  return extract_bt(minv, m.num_blocks(), m.block_size());
+}
+
+SelectedSolution reference_solve(const BlockTridiag& m,
+                                 const BlockTridiag& b_lesser,
+                                 const BlockTridiag& b_greater) {
+  const Matrix minv = la::inverse(m.dense());
+  SelectedSolution s;
+  s.xr = extract_bt(minv, m.num_blocks(), m.block_size());
+  const Matrix xl = la::mmh(la::mm(minv, b_lesser.dense()), minv);
+  const Matrix xg = la::mmh(la::mm(minv, b_greater.dense()), minv);
+  s.xl = extract_bt(xl, m.num_blocks(), m.block_size());
+  s.xg = extract_bt(xg, m.num_blocks(), m.block_size());
+  return s;
+}
+
+}  // namespace qtx::rgf

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file sequential.hpp
+/// Sequential recursive Green's function (RGF) solver (paper §4.3.2).
+/// Computes the "selected" solution of the quadratic matrix problem
+///
+///     M X≶ M† = B≶            (paper Eq. 1, with M = eM(E))
+///
+/// together with the selected inverse X^R = M^{-1}: the diagonal and first
+/// off-diagonal blocks of X^R and X≶, which is everything the r_cut-truncated
+/// NEGF+GW pipeline consumes. The implementation follows the forward/backward
+/// Schur-complement recursions of Eqs. 9-12, generalized to non-Hermitian M
+/// (the congruence transform of the right-hand side uses M_{i,i-1}†, which
+/// coincides with the paper's eM†_{i-1,i} for Hermitian patterns).
+
+#include "bsparse/bsparse.hpp"
+
+namespace qtx::rgf {
+
+using bt::BlockTridiag;
+using la::Matrix;
+
+/// Selected blocks of the retarded and lesser/greater solutions.
+struct SelectedSolution {
+  BlockTridiag xr;  ///< selected inverse M^{-1}
+  BlockTridiag xl;  ///< lesser  M^{-1} B< M^{-†}
+  BlockTridiag xg;  ///< greater M^{-1} B> M^{-†}
+};
+
+struct RgfOptions {
+  /// Enforce X≶_ij = -X≶*_ji on the outputs (paper §5.2 on-the-fly
+  /// symmetrization). Requires B≶ anti-Hermitian for consistency.
+  bool symmetrize = true;
+};
+
+/// Selected inverse only (retarded problem).
+BlockTridiag rgf_retarded(const BlockTridiag& m);
+
+/// Full selected solve for X^R, X<, X>.
+SelectedSolution rgf_solve(const BlockTridiag& m, const BlockTridiag& b_lesser,
+                           const BlockTridiag& b_greater,
+                           const RgfOptions& opt = {});
+
+/// Dense reference (tests, ablation benches): materializes M^{-1} and
+/// M^{-1} B M^{-†} and extracts the BT pattern.
+SelectedSolution reference_solve(const BlockTridiag& m,
+                                 const BlockTridiag& b_lesser,
+                                 const BlockTridiag& b_greater);
+
+/// Dense selected inverse reference.
+BlockTridiag reference_retarded(const BlockTridiag& m);
+
+/// Extract the BT pattern from a dense matrix (testing aid).
+BlockTridiag extract_bt(const Matrix& dense, int nb, int bs);
+
+}  // namespace qtx::rgf

@@ -1,0 +1,378 @@
+// Integration tests for the NEGF+scGW core (src/core). The ballistic mode
+// (gw_scale = 0) admits exact identities — Meir-Wingreen == Landauer ==
+// bond currents, and equilibrium detailed balance — that validate every
+// sign and prefactor in the pipeline. The GW mode checks the SCBA loop's
+// convergence behaviour and the structural invariants of all quantities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/observables.hpp"
+#include "core/scba.hpp"
+
+namespace qtx::core {
+namespace {
+
+ScbaOptions base_options(const device::Structure& st) {
+  ScbaOptions opt;
+  opt.grid = EnergyGrid{-6.0, 6.0, 48};
+  opt.eta = 0.05;
+  const auto gap = st.band_gap();
+  // n-type contacts: chemical potential slightly above the conduction edge.
+  opt.contacts.mu_left = gap.conduction_min + 0.3;
+  opt.contacts.mu_right = gap.conduction_min + 0.1;
+  opt.contacts.temperature_k = 300.0;
+  opt.gw_scale = 0.0;  // ballistic unless overridden
+  return opt;
+}
+
+class BallisticFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    structure_ = new device::Structure(device::make_test_structure(4));
+    auto opt = base_options(*structure_);
+    scba_ = new Scba(*structure_, opt);
+    scba_->run();
+  }
+  static void TearDownTestSuite() {
+    delete scba_;
+    delete structure_;
+    scba_ = nullptr;
+    structure_ = nullptr;
+  }
+  static device::Structure* structure_;
+  static Scba* scba_;
+};
+
+device::Structure* BallisticFixture::structure_ = nullptr;
+Scba* BallisticFixture::scba_ = nullptr;
+
+TEST_F(BallisticFixture, DosIsNonNegative) {
+  for (const double d : total_dos(*scba_)) EXPECT_GE(d, -1e-10);
+}
+
+TEST_F(BallisticFixture, DosShowsGap) {
+  const auto gap = structure_->band_gap();
+  const auto dos = total_dos(*scba_);
+  const auto& grid = scba_->options().grid;
+  double in_gap = 0.0, in_band = 0.0;
+  int n_gap = 0, n_band = 0;
+  for (int e = 0; e < grid.n; ++e) {
+    const double en = grid.energy(e);
+    if (en > gap.valence_max + 0.1 && en < gap.conduction_min - 0.1) {
+      in_gap += dos[e];
+      ++n_gap;
+    } else if (en > gap.conduction_min + 0.3 && en < gap.conduction_min + 1.0) {
+      in_band += dos[e];
+      ++n_band;
+    }
+  }
+  if (n_gap > 0 && n_band > 0)
+    EXPECT_LT(in_gap / n_gap, 0.25 * in_band / n_band)
+        << "gap DOS must be strongly suppressed";
+}
+
+TEST_F(BallisticFixture, LesserGreaterAreAntiHermitian) {
+  for (int e = 0; e < scba_->options().grid.n; e += 7) {
+    EXPECT_TRUE(scba_->g_lesser()[e].is_anti_hermitian(1e-10));
+    EXPECT_TRUE(scba_->g_greater()[e].is_anti_hermitian(1e-10));
+  }
+}
+
+TEST_F(BallisticFixture, SpectralFunctionSplitsIntoLesserGreater) {
+  // Exact finite-eta identity: G> - G< = (G^R - G^A) + 2 i eta G^R G^A
+  // (the eta term is the artificial absorption of the complex-energy
+  // broadening). Verified densely to machine precision.
+  const double eta = scba_->options().eta;
+  const int nb = scba_->layout().nb, bs = scba_->layout().bs;
+  for (int e = 0; e < scba_->options().grid.n; e += 11) {
+    const la::Matrix gr = la::inverse(scba_->effective_system_matrix(e).dense());
+    la::Matrix rhs = gr - gr.dagger();
+    rhs += la::mmh(gr, gr) * (2.0 * kI * eta);
+    for (int i = 0; i < nb; ++i) {
+      la::Matrix lhs = scba_->g_greater()[e].diag(i);
+      lhs -= scba_->g_lesser()[e].diag(i);
+      const la::Matrix rhs_blk = rhs.block(i * bs, i * bs, bs, bs);
+      EXPECT_LT(la::max_abs_diff(lhs, rhs_blk), 1e-9) << "e=" << e
+                                                      << " i=" << i;
+    }
+  }
+}
+
+TEST_F(BallisticFixture, MeirWingreenMatchesLandauerExactly) {
+  const auto t = transmission(*scba_);
+  const auto il = spectral_current_left(*scba_);
+  const auto& opt = scba_->options();
+  for (int e = 0; e < opt.grid.n; ++e) {
+    const double en = opt.grid.energy(e);
+    const double fl =
+        fermi_dirac(en, opt.contacts.mu_left, opt.contacts.temperature_k);
+    const double fr =
+        fermi_dirac(en, opt.contacts.mu_right, opt.contacts.temperature_k);
+    EXPECT_NEAR(il[e], t[e] * (fl - fr), 1e-8 * (1.0 + std::abs(t[e])))
+        << "Caroli identity at E=" << en;
+  }
+}
+
+TEST_F(BallisticFixture, CurrentIsConservedAcrossContacts) {
+  const double il = terminal_current_left(*scba_);
+  const double ir = terminal_current_right(*scba_);
+  EXPECT_NEAR(il + ir, 0.0, 1e-10 * (1.0 + std::abs(il)));
+  EXPECT_GT(il, 0.0) << "mu_L > mu_R must drive positive current";
+}
+
+TEST_F(BallisticFixture, TransmissionIsNonNegative) {
+  const auto t = transmission(*scba_);
+  for (const double v : t) EXPECT_GE(v, -1e-10);
+  EXPECT_LE(*std::max_element(t.begin(), t.end()),
+            scba_->layout().bs + 1e-6);
+}
+
+TEST(BallisticSmallEta, BondCurrentsBecomeUniformAsEtaVanishes) {
+  // Finite eta absorbs carriers in every cell, so the continuity equation
+  // (uniform bond currents == terminal current) is only restored as
+  // eta -> 0; the deviation must shrink linearly with eta.
+  const device::Structure st = device::make_test_structure(4);
+  auto opt = base_options(st);
+  auto deviation = [&](double eta) {
+    opt.eta = eta;
+    Scba s(st, opt);
+    s.run();
+    const auto bonds = bond_currents(s);
+    const double il = terminal_current_left(s);
+    double dev = 0.0;
+    for (const double b : bonds) dev = std::max(dev, std::abs(b - il));
+    return std::pair{dev, il};
+  };
+  const auto [dev_small, il_small] = deviation(1e-5);
+  EXPECT_LT(dev_small, 0.01 * std::abs(il_small))
+      << "bond currents must match the Meir-Wingreen terminal current";
+  const auto [dev_large, il_large] = deviation(1e-3);
+  (void)il_large;
+  // Measured scaling is linear in eta (100x here); demand at least 20x.
+  EXPECT_GT(dev_large, 20.0 * dev_small)
+      << "the absorption artifact must scale with eta";
+}
+
+TEST(BallisticSmallEta, TransmissionShowsOpenChannelPlateau) {
+  // A perfectly periodic device between matched leads transmits every
+  // propagating mode: T -> (number of open channels) as eta -> 0.
+  const device::Structure st = device::make_test_structure(4);
+  auto opt = base_options(st);
+  opt.eta = 1e-4;
+  Scba s(st, opt);
+  s.run();
+  const auto t = transmission(s);
+  const double tmax = *std::max_element(t.begin(), t.end());
+  EXPECT_GT(tmax, 0.9) << "at least one fully open channel in the band";
+  EXPECT_LE(tmax, s.layout().bs + 1e-6);
+}
+
+TEST(BallisticEquilibrium, DetailedBalanceHoldsExactly) {
+  // At zero bias, G< = -f (G^R - G^A) - 2 i f eta G^R G^A is an exact
+  // identity of the ballistic solution (the last term is the finite-eta
+  // absorption; see SpectralFunctionSplitsIntoLesserGreater).
+  const device::Structure st = device::make_test_structure(3);
+  auto opt = base_options(st);
+  opt.contacts.mu_right = opt.contacts.mu_left;  // equilibrium
+  Scba s(st, opt);
+  s.run();
+  const int bs = s.layout().bs;
+  for (int e = 0; e < opt.grid.n; e += 3) {
+    const double f = fermi_dirac(opt.grid.energy(e), opt.contacts.mu_left,
+                                 opt.contacts.temperature_k);
+    const la::Matrix gr = la::inverse(s.effective_system_matrix(e).dense());
+    la::Matrix want = gr - gr.dagger();
+    want += la::mmh(gr, gr) * (2.0 * kI * opt.eta);
+    want *= cplx(-f, 0.0);
+    for (int i = 0; i < s.layout().nb; ++i) {
+      EXPECT_LT(la::max_abs_diff(s.g_lesser()[e].diag(i),
+                                 want.block(i * bs, i * bs, bs, bs)),
+                1e-9)
+          << "e=" << e << " cell=" << i;
+    }
+  }
+  EXPECT_NEAR(terminal_current_left(s), 0.0, 1e-10);
+}
+
+TEST(BallisticEquilibrium, DensityIncreasesWithChemicalPotential) {
+  const device::Structure st = device::make_test_structure(3);
+  auto opt = base_options(st);
+  opt.contacts.mu_right = opt.contacts.mu_left;
+  Scba low(st, opt);
+  low.run();
+  opt.contacts.mu_left += 0.5;
+  opt.contacts.mu_right += 0.5;
+  Scba high(st, opt);
+  high.run();
+  const auto n_low = electron_density(low);
+  const auto n_high = electron_density(high);
+  double sum_low = std::accumulate(n_low.begin(), n_low.end(), 0.0);
+  double sum_high = std::accumulate(n_high.begin(), n_high.end(), 0.0);
+  EXPECT_GT(sum_high, sum_low);
+  for (const double n : n_low) EXPECT_GE(n, -1e-10);
+}
+
+class GwFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    structure_ = new device::Structure(device::make_test_structure(4));
+    auto opt = base_options(*structure_);
+    opt.gw_scale = 0.3;
+    opt.mixing = 0.4;
+    opt.max_iterations = 5;
+    opt.tol = 1e-6;  // run all 5 iterations
+    scba_ = new Scba(*structure_, opt);
+    history_ = scba_->run();
+  }
+  static void TearDownTestSuite() {
+    delete scba_;
+    delete structure_;
+    scba_ = nullptr;
+    structure_ = nullptr;
+  }
+  static device::Structure* structure_;
+  static Scba* scba_;
+  static std::vector<IterationResult> history_;
+};
+
+device::Structure* GwFixture::structure_ = nullptr;
+Scba* GwFixture::scba_ = nullptr;
+std::vector<IterationResult> GwFixture::history_;
+
+TEST_F(GwFixture, SigmaUpdateShrinksAcrossIterations) {
+  ASSERT_GE(history_.size(), 3u);
+  // Allow transient growth on iteration 2 (Sigma goes 0 -> finite), then
+  // require contraction.
+  const double late = history_.back().sigma_update;
+  const double early = history_[1].sigma_update;
+  EXPECT_LT(late, early) << "SCBA must contract";
+  EXPECT_LT(late, 0.5);
+}
+
+TEST_F(GwFixture, AllQuantitiesKeepLesserSymmetry) {
+  for (int e = 0; e < scba_->options().grid.n; e += 9) {
+    EXPECT_TRUE(scba_->g_lesser()[e].is_anti_hermitian(1e-9));
+    EXPECT_TRUE(scba_->g_greater()[e].is_anti_hermitian(1e-9));
+    EXPECT_TRUE(scba_->sigma_lesser(e).is_anti_hermitian(1e-9));
+  }
+}
+
+TEST_F(GwFixture, KernelTimersCoverPaperRows) {
+  const auto& ks = history_.back().kernel_seconds;
+  for (const char* name :
+       {"G: OBC", "G: RGF", "W: Assembly: Beyn", "W: Assembly: Lyapunov",
+        "W: Assembly: LHS", "W: Assembly: RHS", "W: RGF", "Other: P-FFT",
+        "Other: Sigma-FFT"}) {
+    EXPECT_TRUE(ks.count(name)) << "missing kernel timer " << name;
+  }
+}
+
+TEST_F(GwFixture, MemoizerKicksInAfterFirstIteration) {
+  const auto& stats = scba_->memoizer_stats();
+  EXPECT_GT(stats.memoized_calls, 0) << "stabilized OBCs must be memoized";
+  // Direct solves happen at least once per (subsystem, contact, energy).
+  EXPECT_GT(stats.direct_calls, 0);
+  EXPECT_GT(stats.memoized_calls, stats.direct_calls)
+      << "after 5 iterations the memoized path must dominate";
+}
+
+TEST_F(GwFixture, ScatteringBroadensTheSpectrum) {
+  // Electron-electron scattering adds lifetime broadening: the in-gap DOS
+  // must grow relative to the ballistic solution, and the current stays
+  // the same order of magnitude (it may shift either way at fixed mu as
+  // exchange moves the band edges; the I-V example studies the reduction).
+  auto opt = scba_->options();
+  opt.gw_scale = 0.0;
+  Scba ball(*structure_, opt);
+  ball.run();
+  const auto gap = structure_->band_gap();
+  const auto dos_gw = total_dos(*scba_);
+  const auto dos_ball = total_dos(ball);
+  const auto& grid = scba_->options().grid;
+  double gap_gw = 0.0, gap_ball = 0.0;
+  for (int e = 0; e < grid.n; ++e) {
+    const double en = grid.energy(e);
+    if (en > gap.valence_max + 0.05 && en < gap.conduction_min - 0.05) {
+      gap_gw += dos_gw[e];
+      gap_ball += dos_ball[e];
+    }
+  }
+  EXPECT_GT(gap_gw, gap_ball) << "GW must add in-gap spectral weight";
+  const double i_ball = terminal_current_left(ball);
+  const double i_gw = terminal_current_left(*scba_);
+  EXPECT_GT(i_ball, 0.0);
+  EXPECT_LT(std::abs(i_gw), 10.0 * std::abs(i_ball));
+}
+
+TEST_F(GwFixture, FockTermIsHermitian) {
+  // The static exchange part of Sigma^R is Hermitian by construction.
+  const BlockTridiag sig = scba_->sigma_retarded(scba_->options().grid.n / 2);
+  // Its anti-Hermitian part comes only from the dynamic (dissipative)
+  // contribution, which must vanish deep outside the spectral support...
+  // here we simply check that Sigma^R is not wildly non-analytic: finite
+  // entries everywhere.
+  EXPECT_LT(sig.max_abs(), 1e3);
+}
+
+TEST_F(GwFixture, BandGapRenormalizationIsComputable) {
+  const auto bands = band_renormalization(*scba_, 17);
+  EXPECT_GT(bands.bare_gap, 0.0);
+  EXPECT_GT(bands.corrected_gap, 0.0);
+  // GW must actually do something.
+  EXPECT_NE(bands.bare_gap, bands.corrected_gap);
+}
+
+TEST(GwModes, NestedDissectionMatchesSequentialInsideScba) {
+  const device::Structure st = device::make_test_structure(6);
+  auto opt = base_options(st);
+  opt.gw_scale = 0.25;
+  opt.max_iterations = 2;
+  opt.grid.n = 24;
+  Scba seq(st, opt);
+  seq.run();
+  opt.nd_partitions = 3;
+  Scba nd(st, opt);
+  nd.run();
+  for (int e = 0; e < opt.grid.n; e += 5) {
+    EXPECT_LT(bt::max_abs_diff(seq.g_lesser()[e], nd.g_lesser()[e]), 1e-7)
+        << "e=" << e;
+  }
+  EXPECT_NEAR(terminal_current_left(seq), terminal_current_left(nd), 1e-8);
+}
+
+TEST(GwModes, MemoizerOnOffGiveSamePhysics) {
+  const device::Structure st = device::make_test_structure(3);
+  auto opt = base_options(st);
+  opt.gw_scale = 0.25;
+  opt.max_iterations = 3;
+  opt.grid.n = 24;
+  opt.use_memoizer = true;
+  Scba with(st, opt);
+  with.run();
+  opt.use_memoizer = false;
+  Scba without(st, opt);
+  without.run();
+  EXPECT_NEAR(terminal_current_left(with), terminal_current_left(without),
+              1e-5 * (1.0 + std::abs(terminal_current_left(without))));
+}
+
+TEST(GwModes, GatePotentialModulatesCurrent) {
+  // A crude FET: lowering the middle-cell barrier turns the device on.
+  const device::Structure st = device::make_test_structure(4);
+  auto opt = base_options(st);
+  opt.cell_potential = {0.0, 0.8, 0.8, 0.0};  // barrier (off state)
+  Scba off(st, opt);
+  off.run();
+  opt.cell_potential = {0.0, 0.0, 0.0, 0.0};  // no barrier (on state)
+  Scba on(st, opt);
+  on.run();
+  const double i_off = terminal_current_left(off);
+  const double i_on = terminal_current_left(on);
+  EXPECT_GT(i_on, i_off * 2.0) << "barrier must suppress current";
+}
+
+}  // namespace
+}  // namespace qtx::core

@@ -1,0 +1,207 @@
+// Tests for the device substrate (src/device): Table 3 bookkeeping against
+// the paper's published values, and structural invariants of the synthetic
+// MLWF-like Hamiltonian/Coulomb generator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/config.hpp"
+#include "device/structure.hpp"
+
+namespace qtx::device {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Table 3 bookkeeping.
+// ---------------------------------------------------------------------------
+
+class Table3Sweep : public ::testing::TestWithParam<DeviceConfig> {};
+
+TEST_P(Table3Sweep, AtomAndOrbitalCountsMatchPaper) {
+  const DeviceConfig& c = GetParam();
+  if (c.paper_num_atoms > 0) EXPECT_EQ(c.num_atoms(), c.paper_num_atoms);
+  if (c.paper_num_orbitals > 0)
+    EXPECT_EQ(c.num_orbitals(), c.paper_num_orbitals);
+}
+
+TEST_P(Table3Sweep, NnzCountsMatchPaperWithin10Percent) {
+  const DeviceConfig& c = GetParam();
+  if (c.paper_h_nnz > 0) {
+    const double rel = std::abs(static_cast<double>(c.h_nnz()) -
+                                static_cast<double>(c.paper_h_nnz)) /
+                       static_cast<double>(c.paper_h_nnz);
+    EXPECT_LT(rel, 0.10) << c.name << " H_NNZ " << c.h_nnz() << " vs paper "
+                         << c.paper_h_nnz;
+  }
+  if (c.paper_g_nnz > 0) {
+    const double rel = std::abs(static_cast<double>(c.g_nnz()) -
+                                static_cast<double>(c.paper_g_nnz)) /
+                       static_cast<double>(c.paper_g_nnz);
+    EXPECT_LT(rel, 0.10) << c.name << " G_NNZ " << c.g_nnz() << " vs paper "
+                         << c.paper_g_nnz;
+  }
+}
+
+TEST_P(Table3Sweep, BlockingConsistency) {
+  const DeviceConfig& c = GetParam();
+  EXPECT_EQ(c.block_size(), c.orbitals_per_puc() * c.nu);
+  EXPECT_EQ(static_cast<std::int64_t>(c.block_size()) * c.num_cells,
+            c.num_orbitals());
+  EXPECT_EQ(c.num_pucs() % c.nu_w, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Devices, Table3Sweep, ::testing::ValuesIn(table3_devices()),
+    [](const ::testing::TestParamInfo<DeviceConfig>& info) {
+      std::string n = info.param.name;
+      for (auto& ch : n)
+        if (ch == '-') ch = '_';
+      return n;
+    });
+
+TEST(Table3, SpecificPaperValues) {
+  // Spot checks straight from the table.
+  EXPECT_EQ(nw1().orbitals_per_puc(), 104);
+  EXPECT_EQ(nw2().orbitals_per_puc(), 504);
+  EXPECT_EQ(nr(16).orbitals_per_puc(), 852);
+  EXPECT_EQ(nr(16).block_size(), 3408);
+  EXPECT_EQ(nw1().block_size(), 416);
+  EXPECT_EQ(nw1().block_size_w(), 832);
+  EXPECT_EQ(nw2().block_size(), 2016);
+  EXPECT_EQ(nr(40).num_atoms(), 42240);
+  EXPECT_EQ(nr(80).num_atoms(), 84480);
+  EXPECT_NEAR(nr(40).total_length_nm, 86.9, 0.05);
+  EXPECT_NEAR(nr(16).total_length_nm, 34.75, 0.06);
+}
+
+TEST(Table3, NrScalesLinearlyInCellCount) {
+  // The table's formula column: N_A = 1056 N_B, N_AO = 3408 N_B.
+  for (const int nb : {5, 10, 33}) {
+    const DeviceConfig c = nr(nb);
+    EXPECT_EQ(c.num_atoms(), 1056LL * nb);
+    EXPECT_EQ(c.num_orbitals(), 3408LL * nb);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic structure generator.
+// ---------------------------------------------------------------------------
+
+TEST(Structure, HamiltonianIsHermitian) {
+  const Structure s = make_test_structure();
+  EXPECT_TRUE(s.hamiltonian_bt().is_hermitian(1e-13));
+}
+
+TEST(Structure, CoulombIsHermitianAndNonNegative) {
+  const Structure s = make_test_structure();
+  const auto v = s.coulomb_bt();
+  EXPECT_TRUE(v.is_hermitian(1e-13));
+  for (int i = 0; i < v.num_blocks(); ++i)
+    for (int a = 0; a < v.block_size(); ++a)
+      EXPECT_GE(v.diag(i)(a, a).real(), 0.0);
+}
+
+TEST(Structure, PeriodicityAcrossCells) {
+  const Structure s = make_test_structure(5);
+  const auto h = s.hamiltonian_bt();
+  // All interior diagonal blocks identical; all couplings identical.
+  for (int i = 1; i < h.num_blocks(); ++i)
+    EXPECT_LT(la::max_abs_diff(h.diag(i), h.diag(0)), 1e-15);
+  for (int i = 1; i + 1 < h.num_blocks(); ++i) {
+    EXPECT_LT(la::max_abs_diff(h.upper(i), h.upper(0)), 1e-15);
+    EXPECT_LT(la::max_abs_diff(h.lower(i), h.lower(0)), 1e-15);
+  }
+}
+
+TEST(Structure, CouplingIsDaggerConsistent) {
+  const Structure s = make_test_structure();
+  const auto h = s.hamiltonian_bt();
+  EXPECT_LT(la::max_abs_diff(h.lower(0), h.upper(0).dagger()), 1e-15);
+}
+
+TEST(Structure, BandGapOpensWithDimerization) {
+  StructureParams p;
+  p.orbitals_per_puc = 8;
+  p.nu = 2;
+  p.nu_h = 2;
+  p.num_cells = 4;
+  p.dimerization = 0.2;
+  const Structure gapped(p);
+  const auto g = gapped.band_gap();
+  EXPECT_GT(g.gap(), 0.1) << "dimerized chain must be insulating";
+  // The SSH estimate 2 t delta bounds the gap scale.
+  EXPECT_LT(g.gap(), 4.0 * p.hopping_ev * p.dimerization + 0.5);
+
+  p.dimerization = 0.0;
+  p.decay_length_nm = 1e-6;  // pure nearest-neighbour chain
+  const Structure metallic(p);
+  EXPECT_LT(metallic.band_gap().gap(), 0.05)
+      << "undimerized chain must be (nearly) gapless";
+}
+
+TEST(Structure, GapIsCenteredNearZero) {
+  const Structure s = make_test_structure();
+  const auto g = s.band_gap();
+  EXPECT_LT(std::abs(g.midgap()), 1.0);
+  EXPECT_GT(g.conduction_min, g.valence_max);
+}
+
+TEST(Structure, BlochHamiltonianIsHermitianForAllK) {
+  const Structure s = make_test_structure();
+  for (const double k : {0.0, 0.3, 1.1, kPi, -2.0})
+    EXPECT_TRUE(s.bloch_hamiltonian(k).is_hermitian(1e-12)) << "k=" << k;
+}
+
+TEST(Structure, BandStructureMatchesDeviceSpectrumBounds) {
+  // The BT device Hamiltonian's spectrum must lie within the Bloch band
+  // envelope (finite chain spectra interlace the periodic bands).
+  const Structure s = make_test_structure(6);
+  const auto bands = s.band_structure(65);
+  double bmin = 1e300, bmax = -1e300;
+  for (const auto& bk : bands)
+    for (const double e : bk) {
+      bmin = std::min(bmin, e);
+      bmax = std::max(bmax, e);
+    }
+  const auto evals = la::eig_hermitian(s.hamiltonian_bt().dense()).values;
+  // Open boundaries can push edge states slightly outside; allow margin.
+  EXPECT_GT(evals.front(), bmin - 0.5);
+  EXPECT_LT(evals.back(), bmax + 0.5);
+}
+
+TEST(Structure, NnzCountsArePositiveAndBanded) {
+  const Structure s = make_test_structure(6);
+  const std::int64_t nh = s.nnz_hamiltonian();
+  const std::int64_t nv = s.nnz_coulomb();
+  EXPECT_GT(nh, 0);
+  EXPECT_GT(nv, 0);
+  const std::int64_t dim = s.dim();
+  EXPECT_LE(nh, dim * dim);
+  // The Coulomb reach is r_cut-limited: nnz grows linearly, not
+  // quadratically, with device length.
+  const Structure s2 = make_test_structure(12);
+  const double ratio = static_cast<double>(s2.nnz_coulomb()) / nv;
+  EXPECT_NEAR(ratio, 12.0 / 6.0, 0.35);
+}
+
+TEST(Structure, OrbitalPositionsIncreaseAlongTransport) {
+  const Structure s = make_test_structure();
+  double prev = -1.0;
+  for (int puc = 0; puc < s.num_pucs(); ++puc)
+    for (int o = 0; o < s.orbitals_per_puc(); ++o) {
+      const double x = s.orbital_position_nm(puc, o);
+      EXPECT_GT(x, prev);
+      prev = x;
+    }
+}
+
+TEST(Structure, RejectsReachExceedingTransportCell) {
+  StructureParams p;
+  p.nu = 1;
+  p.nu_h = 2;  // reach larger than the cell
+  EXPECT_THROW(Structure s(p), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qtx::device

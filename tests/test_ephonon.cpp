@@ -1,0 +1,146 @@
+// Tests for the electron-phonon extension (src/core/ephonon.hpp, paper §8)
+// and the energy-current observable (§4.5).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ephonon.hpp"
+#include "core/observables.hpp"
+#include "core/scba.hpp"
+
+namespace qtx::core {
+namespace {
+
+ScbaOptions base_options(const device::Structure& st) {
+  ScbaOptions opt;
+  opt.grid = EnergyGrid{-6.0, 6.0, 48};
+  opt.eta = 0.05;
+  const auto gap = st.band_gap();
+  opt.contacts.mu_left = gap.conduction_min + 0.3;
+  opt.contacts.mu_right = gap.conduction_min + 0.1;
+  opt.gw_scale = 0.0;
+  return opt;
+}
+
+TEST(BoseEinstein, LimitsAndMonotonicity) {
+  // High temperature: N ~ kT/w - 1/2; low temperature: N -> 0.
+  EXPECT_NEAR(bose_einstein(0.01, 3000.0), kBoltzmannEvPerK * 3000.0 / 0.01,
+              1.0);
+  EXPECT_LT(bose_einstein(0.5, 10.0), 1e-10);
+  EXPECT_GT(bose_einstein(0.05, 600.0), bose_einstein(0.05, 300.0));
+}
+
+TEST(EPhonon, DisabledChannelLeavesSigmaUntouched) {
+  const EnergyGrid grid{-1.0, 1.0, 16};
+  const SymLayout layout{2, 3};
+  EPhononSelfEnergy ep(grid, layout, EPhononParams{});  // coupling = 0
+  EXPECT_FALSE(ep.enabled());
+  std::vector<std::vector<cplx>> g(16,
+                                   std::vector<cplx>(layout.num_elements(),
+                                                     cplx(1.0)));
+  auto s_lt = std::vector<std::vector<cplx>>(
+      16, std::vector<cplx>(layout.num_elements(), cplx(0.0)));
+  auto s_gt = s_lt, s_r = s_lt;
+  ep.accumulate(g, g, s_lt, s_gt, s_r);
+  for (const auto& row : s_lt)
+    for (const auto& v : row) EXPECT_EQ(v, cplx(0.0));
+}
+
+TEST(EPhonon, SelfEnergyIsShiftedScaledGreen) {
+  // At T -> 0 (N = 0): Sigma<(E) = D^2 G<(E + w0) exactly, grid-shifted.
+  const EnergyGrid grid{-2.0, 2.0, 32};
+  const SymLayout layout{2, 2};
+  EPhononParams p;
+  p.coupling_ev = 0.3;
+  p.phonon_energy_ev = 4.0 / 31.0 * 3.0;  // exactly 3 grid points
+  p.temperature_k = 1.0;                  // N ~ 0
+  p.diagonal_blocks_only = false;
+  EPhononSelfEnergy ep(grid, layout, p);
+  Rng rng(3);
+  std::vector<std::vector<cplx>> g_lt(grid.n), g_gt(grid.n);
+  for (int e = 0; e < grid.n; ++e) {
+    g_lt[e].resize(layout.num_elements());
+    g_gt[e].resize(layout.num_elements());
+    for (auto& v : g_lt[e]) v = rng.complex_uniform();
+    for (auto& v : g_gt[e]) v = rng.complex_uniform();
+  }
+  auto s_lt = std::vector<std::vector<cplx>>(
+      grid.n, std::vector<cplx>(layout.num_elements(), cplx(0.0)));
+  auto s_gt = s_lt, s_r = s_lt;
+  ep.accumulate(g_lt, g_gt, s_lt, s_gt, s_r);
+  const double d2 = p.coupling_ev * p.coupling_ev;
+  for (int e = 0; e < grid.n; ++e) {
+    for (std::int64_t k = 0; k < layout.num_elements(); ++k) {
+      const cplx want_lt =
+          (e + 3 < grid.n) ? d2 * g_lt[e + 3][k] : cplx(0.0);
+      const cplx want_gt = (e - 3 >= 0) ? d2 * g_gt[e - 3][k] : cplx(0.0);
+      EXPECT_LT(std::abs(s_lt[e][k] - want_lt), 1e-12);
+      EXPECT_LT(std::abs(s_gt[e][k] - want_gt), 1e-12);
+    }
+  }
+}
+
+TEST(EPhonon, ScbaWithPhononsConvergesAndBroadens) {
+  const device::Structure st = device::make_test_structure(3);
+  auto opt = base_options(st);
+  Scba ballistic(st, opt);
+  ballistic.run();
+  opt.ephonon.coupling_ev = 0.1;
+  opt.ephonon.phonon_energy_ev = 0.06;
+  opt.max_iterations = 5;
+  opt.mixing = 0.5;
+  Scba ep(st, opt);
+  const auto history = ep.run();
+  EXPECT_GE(history.size(), 2u);
+  EXPECT_LT(history.back().sigma_update, history[1].sigma_update + 1e-12);
+  // Phonon scattering adds in-gap spectral weight, like GW broadening.
+  const auto gap = st.band_gap();
+  const auto dos_ball = total_dos(ballistic);
+  const auto dos_ep = total_dos(ep);
+  double in_gap_ball = 0.0, in_gap_ep = 0.0;
+  for (int e = 0; e < opt.grid.n; ++e) {
+    const double en = opt.grid.energy(e);
+    if (en > gap.valence_max + 0.1 && en < gap.conduction_min - 0.1) {
+      in_gap_ball += dos_ball[e];
+      in_gap_ep += dos_ep[e];
+    }
+  }
+  EXPECT_GT(in_gap_ep, in_gap_ball);
+  // Lesser symmetry survives the extra channel.
+  for (int e = 0; e < opt.grid.n; e += 7)
+    EXPECT_TRUE(ep.g_lesser()[e].is_anti_hermitian(1e-9));
+}
+
+TEST(EPhonon, ComposesWithGw) {
+  const device::Structure st = device::make_test_structure(3);
+  auto opt = base_options(st);
+  opt.grid.n = 24;
+  opt.gw_scale = 0.2;
+  opt.ephonon.coupling_ev = 0.08;
+  opt.max_iterations = 3;
+  Scba s(st, opt);
+  const auto history = s.run();
+  EXPECT_EQ(history.size(), 3u);
+  EXPECT_TRUE(std::isfinite(terminal_current_left(s)));
+}
+
+TEST(EnergyCurrent, VanishesAtEquilibriumAndFlowsWithBias) {
+  const device::Structure st = device::make_test_structure(3);
+  auto opt = base_options(st);
+  opt.contacts.mu_right = opt.contacts.mu_left;
+  Scba eq(st, opt);
+  eq.run();
+  EXPECT_NEAR(energy_current_left(eq), 0.0, 1e-10);
+  opt.contacts.mu_right = opt.contacts.mu_left - 0.2;
+  Scba biased(st, opt);
+  biased.run();
+  // Carriers above the band edge carry positive energy through the left
+  // contact; the energy current must be finite and conserved.
+  EXPECT_GT(std::abs(energy_current_left(biased)), 0.0);
+  EXPECT_NEAR(energy_current_left(biased) + energy_current_right(biased),
+              0.0, 1e-9 * (1.0 + std::abs(energy_current_left(biased))));
+}
+
+}  // namespace
+}  // namespace qtx::core

@@ -1,0 +1,386 @@
+// Unit and property tests for the dense linear-algebra substrate (src/la).
+// Every downstream solver (OBC, RGF, SCBA) assumes these kernels are exact,
+// so the suite checks both hand-computed cases and randomized algebraic
+// identities over a sweep of sizes.
+
+#include <gtest/gtest.h>
+
+#include "la/la.hpp"
+
+namespace qtx::la {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+TEST(Matrix, BasicAccessAndShape) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  m(1, 2) = cplx(3.0, -4.0);
+  EXPECT_EQ(m(1, 2), cplx(3.0, -4.0));
+  EXPECT_EQ(m(0, 0), cplx(0.0, 0.0));
+  EXPECT_FALSE(m.square());
+}
+
+TEST(Matrix, IdentityAndTrace) {
+  const Matrix i3 = Matrix::identity(3);
+  EXPECT_EQ(i3.trace(), cplx(3.0, 0.0));
+  EXPECT_TRUE(i3.is_hermitian());
+}
+
+TEST(Matrix, DaggerIsConjugateTranspose) {
+  Rng rng(1);
+  const Matrix a = Matrix::random(3, 5, rng);
+  const Matrix ad = a.dagger();
+  ASSERT_EQ(ad.rows(), 5);
+  ASSERT_EQ(ad.cols(), 3);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 5; ++j)
+      EXPECT_EQ(ad(j, i), std::conj(a(i, j)));
+}
+
+TEST(Matrix, DaggerDaggerIsIdentityOp) {
+  Rng rng(2);
+  const Matrix a = Matrix::random(4, 4, rng);
+  EXPECT_LT(max_abs_diff(a.dagger().dagger(), a), 1e-15);
+}
+
+TEST(Matrix, RandomHermitianIsHermitian) {
+  Rng rng(3);
+  EXPECT_TRUE(Matrix::random_hermitian(6, rng).is_hermitian());
+}
+
+TEST(Matrix, AntiHermitizeEnforcesSymmetry) {
+  Rng rng(4);
+  Matrix a = Matrix::random(5, 5, rng);
+  a.anti_hermitize();
+  EXPECT_TRUE(a.is_anti_hermitian());
+}
+
+TEST(Matrix, AntiHermitizeIsProjection) {
+  Rng rng(5);
+  Matrix a = Matrix::random(5, 5, rng);
+  a.anti_hermitize();
+  Matrix b = a;
+  b.anti_hermitize();
+  EXPECT_LT(max_abs_diff(a, b), 1e-15);
+}
+
+TEST(Matrix, BlockExtractAndSet) {
+  Rng rng(6);
+  const Matrix a = Matrix::random(6, 6, rng);
+  const Matrix blk = a.block(1, 2, 3, 4);
+  Matrix b(6, 6);
+  b.set_block(1, 2, blk);
+  EXPECT_EQ(b(1, 2), a(1, 2));
+  EXPECT_EQ(b(3, 5), a(3, 5));
+  EXPECT_EQ(b(0, 0), cplx(0.0));
+}
+
+TEST(Matrix, FrobeniusNormMatchesDefinition) {
+  Matrix m(2, 2);
+  m(0, 0) = cplx(3.0, 4.0);  // |.| = 5
+  EXPECT_NEAR(m.frobenius_norm(), 5.0, 1e-15);
+}
+
+TEST(Gemm, HandComputed2x2) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = cplx(0.0, 1.0);
+  a(1, 0) = 2.0;
+  a(1, 1) = -1.0;
+  b(0, 0) = 3.0;
+  b(0, 1) = 1.0;
+  b(1, 0) = cplx(0.0, -1.0);
+  b(1, 1) = 2.0;
+  const Matrix c = mm(a, b);
+  EXPECT_NEAR(std::abs(c(0, 0) - cplx(4.0, 0.0)), 0.0, kTol);
+  EXPECT_NEAR(std::abs(c(0, 1) - cplx(1.0, 2.0)), 0.0, kTol);
+  EXPECT_NEAR(std::abs(c(1, 0) - cplx(6.0, 1.0)), 0.0, kTol);
+  EXPECT_NEAR(std::abs(c(1, 1) - cplx(0.0, 0.0)), 0.0, kTol);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  Rng rng(7);
+  const Matrix a = Matrix::random(5, 5, rng);
+  EXPECT_LT(max_abs_diff(mm(a, Matrix::identity(5)), a), kTol);
+  EXPECT_LT(max_abs_diff(mm(Matrix::identity(5), a), a), kTol);
+}
+
+TEST(Gemm, DaggerVariantsAgreeWithExplicitDagger) {
+  Rng rng(8);
+  const Matrix a = Matrix::random(4, 6, rng);
+  const Matrix b = Matrix::random(4, 6, rng);
+  EXPECT_LT(max_abs_diff(mmh(a, b), mm(a, b.dagger())), kTol);
+  EXPECT_LT(max_abs_diff(hmm(a, b), mm(a.dagger(), b)), kTol);
+  const Matrix c = Matrix::random(6, 4, rng);
+  EXPECT_LT(max_abs_diff(hmmh(a, c), mm(a.dagger(), c.dagger())), kTol);
+}
+
+TEST(Gemm, AccumulateWithBeta) {
+  Rng rng(9);
+  const Matrix a = Matrix::random(3, 3, rng);
+  const Matrix b = Matrix::random(3, 3, rng);
+  Matrix c = Matrix::random(3, 3, rng);
+  const Matrix c0 = c;
+  gemm(2.0, a, Op::kNone, b, Op::kNone, cplx(0.5), c);
+  Matrix want = mm(a, b) * cplx(2.0);
+  want.add_scaled(0.5, c0);
+  EXPECT_LT(max_abs_diff(c, want), kTol);
+}
+
+TEST(Gemm, AssociativityProperty) {
+  Rng rng(10);
+  const Matrix a = Matrix::random(4, 5, rng);
+  const Matrix b = Matrix::random(5, 3, rng);
+  const Matrix c = Matrix::random(3, 6, rng);
+  EXPECT_LT(max_abs_diff(mm(mm(a, b), c), mm(a, mm(b, c))), kTol);
+}
+
+class LuSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuSweep, InverseTimesMatrixIsIdentity) {
+  const int n = GetParam();
+  Rng rng(100 + n);
+  const Matrix a = Matrix::random_diag_dominant(n, rng);
+  const Matrix ainv = inverse(a);
+  EXPECT_LT(max_abs_diff(mm(a, ainv), Matrix::identity(n)), 1e-9);
+  EXPECT_LT(max_abs_diff(mm(ainv, a), Matrix::identity(n)), 1e-9);
+}
+
+TEST_P(LuSweep, SolveMatchesInverse) {
+  const int n = GetParam();
+  Rng rng(200 + n);
+  const Matrix a = Matrix::random_diag_dominant(n, rng);
+  const Matrix b = Matrix::random(n, 3, rng);
+  const LuFactors f = lu_factor(a);
+  ASSERT_FALSE(f.singular);
+  const Matrix x = lu_solve(f, b);
+  EXPECT_LT(max_abs_diff(mm(a, x), b), 1e-9);
+}
+
+TEST_P(LuSweep, SolveRightMatchesDefinition) {
+  const int n = GetParam();
+  Rng rng(300 + n);
+  const Matrix a = Matrix::random_diag_dominant(n, rng);
+  const Matrix b = Matrix::random(4, n, rng);
+  const LuFactors f = lu_factor(a);
+  const Matrix x = lu_solve_right(f, b);  // x a = b
+  EXPECT_LT(max_abs_diff(mm(x, a), b), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSweep, ::testing::Values(1, 2, 3, 5, 8, 16, 33));
+
+TEST(Lu, SingularMatrixIsFlagged) {
+  Matrix a(3, 3);  // rank 1
+  for (int j = 0; j < 3; ++j)
+    for (int i = 0; i < 3; ++i) a(i, j) = 1.0;
+  EXPECT_TRUE(lu_factor(a).singular);
+}
+
+TEST(Lu, DeterminantOfDiagonal) {
+  Matrix a(3, 3);
+  a(0, 0) = 2.0;
+  a(1, 1) = cplx(0.0, 1.0);
+  a(2, 2) = -3.0;
+  const LuFactors f = lu_factor(a);
+  EXPECT_NEAR(std::abs(determinant(f) - cplx(0.0, -6.0)), 0.0, kTol);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  Matrix a(2, 2);
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;  // antidiagonal: needs a row swap
+  const Matrix ainv = inverse(a);
+  EXPECT_LT(max_abs_diff(mm(a, ainv), Matrix::identity(2)), kTol);
+}
+
+class QrSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrSweep, ReconstructsAndOrthonormal) {
+  const auto [m, n] = GetParam();
+  Rng rng(400 + m * 10 + n);
+  const Matrix a = Matrix::random(m, n, rng);
+  const auto [q, r] = qr_factor(a);
+  EXPECT_LT(max_abs_diff(mm(q, r), a), 1e-9);
+  EXPECT_LT(max_abs_diff(hmm(q, q), Matrix::identity(n)), 1e-9);
+  for (int j = 0; j < r.cols(); ++j)
+    for (int i = j + 1; i < r.rows(); ++i)
+      EXPECT_EQ(r(i, j), cplx(0.0)) << "R not upper triangular";
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrSweep,
+                         ::testing::Values(std::pair{3, 3}, std::pair{5, 3},
+                                           std::pair{8, 8}, std::pair{12, 7},
+                                           std::pair{1, 1}));
+
+TEST(Qr, LeastSquaresSolvesConsistentSystem) {
+  Rng rng(11);
+  const Matrix a = Matrix::random(6, 4, rng);
+  const Matrix x0 = Matrix::random(4, 2, rng);
+  const Matrix b = mm(a, x0);
+  const Matrix x = qr_least_squares(a, b);
+  EXPECT_LT(max_abs_diff(x, x0), 1e-9);
+}
+
+class SvdSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SvdSweep, ReconstructionAndOrthogonality) {
+  const auto [m, n] = GetParam();
+  Rng rng(500 + m * 10 + n);
+  const Matrix a = Matrix::random(m, n, rng);
+  const SvdResult r = svd(a);
+  const int k = std::min(m, n);
+  // U S V† == A.
+  Matrix usv(m, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) {
+      cplx s = 0.0;
+      for (int l = 0; l < k; ++l)
+        s += r.u(i, l) * r.s[l] * std::conj(r.v(j, l));
+      usv(i, j) = s;
+    }
+  EXPECT_LT(max_abs_diff(usv, a), 1e-8);
+  EXPECT_LT(max_abs_diff(hmm(r.u, r.u), Matrix::identity(k)), 1e-8);
+  EXPECT_LT(max_abs_diff(hmm(r.v, r.v), Matrix::identity(k)), 1e-8);
+  for (int i = 1; i < k; ++i) EXPECT_GE(r.s[i - 1], r.s[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdSweep,
+                         ::testing::Values(std::pair{4, 4}, std::pair{6, 3},
+                                           std::pair{3, 6}, std::pair{10, 10},
+                                           std::pair{1, 5}));
+
+TEST(Svd, RankOfOuterProduct) {
+  Rng rng(12);
+  Matrix u = Matrix::random(6, 1, rng);
+  Matrix v = Matrix::random(6, 1, rng);
+  const Matrix a = mmh(u, v);  // rank 1
+  const SvdResult r = svd(a);
+  EXPECT_EQ(svd_rank(r, 1e-10), 1);
+}
+
+TEST(Svd, SingularValuesOfUnitary) {
+  Rng rng(13);
+  const auto [q, rr] = qr_factor(Matrix::random(5, 5, rng));
+  const SvdResult r = svd(q);
+  for (const double s : r.s) EXPECT_NEAR(s, 1.0, 1e-9);
+}
+
+TEST(Hessenberg, SimilarityAndStructure) {
+  Rng rng(14);
+  const Matrix a = Matrix::random(8, 8, rng);
+  const auto [h, q] = hessenberg(a);
+  // Q† A Q == H and Q unitary.
+  EXPECT_LT(max_abs_diff(hmm(q, mm(a, q)), h), 1e-9);
+  EXPECT_LT(max_abs_diff(hmm(q, q), Matrix::identity(8)), 1e-9);
+  for (int j = 0; j < 8; ++j)
+    for (int i = j + 2; i < 8; ++i) EXPECT_EQ(h(i, j), cplx(0.0));
+}
+
+class SchurSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchurSweep, DecompositionHolds) {
+  const int n = GetParam();
+  Rng rng(600 + n);
+  const Matrix a = Matrix::random(n, n, rng);
+  const SchurResult s = schur(a);
+  ASSERT_TRUE(s.converged);
+  // A = U T U†, U unitary, T upper triangular.
+  EXPECT_LT(max_abs_diff(mm(s.u, mmh(s.t, s.u)), a), 1e-8 * n);
+  EXPECT_LT(max_abs_diff(hmm(s.u, s.u), Matrix::identity(n)), 1e-9 * n);
+  for (int j = 0; j < n; ++j)
+    for (int i = j + 1; i < n; ++i) EXPECT_EQ(s.t(i, j), cplx(0.0));
+}
+
+TEST_P(SchurSweep, EigenvaluesSumToTrace) {
+  const int n = GetParam();
+  Rng rng(700 + n);
+  const Matrix a = Matrix::random(n, n, rng);
+  const EigResult e = eig(a);
+  ASSERT_TRUE(e.converged);
+  cplx sum = 0.0;
+  for (const auto& v : e.values) sum += v;
+  EXPECT_NEAR(std::abs(sum - a.trace()), 0.0, 1e-8 * n);
+}
+
+TEST_P(SchurSweep, EigenpairsSatisfyDefinition) {
+  const int n = GetParam();
+  Rng rng(800 + n);
+  const Matrix a = Matrix::random(n, n, rng);
+  const EigResult e = eig(a);
+  ASSERT_TRUE(e.converged);
+  for (int j = 0; j < n; ++j) {
+    Matrix x(n, 1);
+    for (int i = 0; i < n; ++i) x(i, 0) = e.vectors(i, j);
+    const Matrix ax = mm(a, x);
+    Matrix lx = x;
+    lx *= e.values[j];
+    EXPECT_LT(max_abs_diff(ax, lx), 1e-7 * n) << "eigenpair " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SchurSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 10, 16, 25));
+
+TEST(Schur, DiagonalMatrixIsItsOwnSchurForm) {
+  Matrix a(3, 3);
+  a(0, 0) = cplx(1.0, 1.0);
+  a(1, 1) = cplx(-2.0, 0.5);
+  a(2, 2) = 3.0;
+  const EigResult e = eig(a);
+  // Eigenvalues match the diagonal (in some order).
+  std::vector<cplx> want = {cplx(1.0, 1.0), cplx(-2.0, 0.5), cplx(3.0, 0.0)};
+  for (const auto& w : want) {
+    double best = 1e9;
+    for (const auto& v : e.values) best = std::min(best, std::abs(v - w));
+    EXPECT_LT(best, 1e-10);
+  }
+}
+
+TEST(Schur, KnownEigenvalues2x2) {
+  // [[0, 1], [-1, 0]] has eigenvalues +-i.
+  Matrix a(2, 2);
+  a(0, 1) = 1.0;
+  a(1, 0) = -1.0;
+  const EigResult e = eig(a);
+  double di = 1e9, dmi = 1e9;
+  for (const auto& v : e.values) {
+    di = std::min(di, std::abs(v - kI));
+    dmi = std::min(dmi, std::abs(v + kI));
+  }
+  EXPECT_LT(di, 1e-10);
+  EXPECT_LT(dmi, 1e-10);
+}
+
+class HermEigSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HermEigSweep, DecompositionAndOrdering) {
+  const int n = GetParam();
+  Rng rng(900 + n);
+  const Matrix a = Matrix::random_hermitian(n, rng);
+  const HermEigResult e = eig_hermitian(a);
+  // A V = V diag(w).
+  Matrix avd = mm(a, e.vectors);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) avd(i, j) -= e.values[j] * e.vectors(i, j);
+  EXPECT_LT(avd.max_abs(), 1e-9 * n);
+  EXPECT_LT(max_abs_diff(hmm(e.vectors, e.vectors), Matrix::identity(n)),
+            1e-9 * n);
+  for (int i = 1; i < n; ++i) EXPECT_LE(e.values[i - 1], e.values[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HermEigSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 20));
+
+TEST(HermEig, PauliYEigenvalues) {
+  Matrix sy(2, 2);
+  sy(0, 1) = cplx(0.0, -1.0);
+  sy(1, 0) = cplx(0.0, 1.0);
+  const HermEigResult e = eig_hermitian(sy);
+  EXPECT_NEAR(e.values[0], -1.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qtx::la

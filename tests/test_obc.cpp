@@ -1,0 +1,264 @@
+// Tests for the open-boundary-condition solvers (src/obc): fixed-point,
+// Sancho-Rubio, Beyn (paper §4.2.1), the Stein/Lyapunov solvers (§4.2.2),
+// and the OBC memoizer (§5.3). Physical lead blocks come from the synthetic
+// device; the three retarded solvers must agree with each other and satisfy
+// the surface equation, and the resulting boundary self-energy must have the
+// retarded sign (positive broadening).
+
+#include <gtest/gtest.h>
+
+#include "device/structure.hpp"
+#include "obc/obc.hpp"
+
+namespace qtx::obc {
+namespace {
+
+/// Lead blocks m, n, n' of M(E) = (E + i eta) I - H for the test device.
+struct LeadBlocks {
+  Matrix m, n, np;
+};
+
+LeadBlocks device_lead(double e, double eta) {
+  const device::Structure s = device::make_test_structure(4);
+  const auto h = s.hamiltonian_bt();
+  const int bs = h.block_size();
+  Matrix m = Matrix::identity(bs) * cplx(e, eta);
+  m -= h.diag(0);
+  // Surface couples one cell deeper: n = M_{i,i+1} = -H_upper,
+  // n' = M_{i+1,i} = -H_lower.
+  Matrix n = h.upper(0) * cplx(-1.0);
+  Matrix np = h.lower(0) * cplx(-1.0);
+  return {std::move(m), std::move(n), std::move(np)};
+}
+
+class SurfaceSolverSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SurfaceSolverSweep, FixedPointSatisfiesSurfaceEquation) {
+  const auto [m, n, np] = device_lead(GetParam(), 0.05);
+  const FixedPointResult r = surface_fixed_point(m, n, np);
+  ASSERT_TRUE(r.converged) << "E=" << GetParam();
+  EXPECT_LT(surface_residual(r.x, m, n, np), 1e-8);
+}
+
+TEST_P(SurfaceSolverSweep, SanchoRubioMatchesFixedPoint) {
+  const auto [m, n, np] = device_lead(GetParam(), 0.05);
+  const SanchoRubioResult sr = surface_sancho_rubio(m, n, np);
+  ASSERT_TRUE(sr.converged);
+  EXPECT_LT(surface_residual(sr.x, m, n, np), 1e-8);
+  const FixedPointResult fp = surface_fixed_point(m, n, np);
+  EXPECT_LT(la::max_abs_diff(sr.x, fp.x), 1e-6);
+}
+
+TEST_P(SurfaceSolverSweep, SanchoRubioConvergesFasterThanFixedPoint) {
+  // The paper's motivation for decimation: O(10) vs O(100) iterations. Far
+  // outside the bands both methods converge immediately, so the comparison
+  // only applies where fixed-point is actually slow.
+  const auto [m, n, np] = device_lead(GetParam(), 0.05);
+  const SanchoRubioResult sr = surface_sancho_rubio(m, n, np);
+  const FixedPointResult fp = surface_fixed_point(m, n, np);
+  ASSERT_TRUE(sr.converged && fp.converged);
+  EXPECT_LE(sr.iterations, 30);
+  if (fp.iterations > 30) EXPECT_LT(sr.iterations, fp.iterations);
+}
+
+TEST_P(SurfaceSolverSweep, BeynMatchesSanchoRubio) {
+  const auto [m, n, np] = device_lead(GetParam(), 0.05);
+  const BeynSurfaceResult beyn = surface_beyn(m, n, np);
+  ASSERT_TRUE(beyn.ok) << "Beyn found " << beyn.modes_found << " modes";
+  EXPECT_LT(surface_residual(beyn.x, m, n, np), 1e-7);
+  const SanchoRubioResult sr = surface_sancho_rubio(m, n, np);
+  EXPECT_LT(la::max_abs_diff(beyn.x, sr.x), 1e-5);
+}
+
+TEST_P(SurfaceSolverSweep, BoundarySelfEnergyHasRetardedSign) {
+  // Gamma = i (Sigma_obc - Sigma_obc†) must be positive semi-definite: the
+  // leads can only broaden device states.
+  const auto [m, n, np] = device_lead(GetParam(), 0.05);
+  const SanchoRubioResult sr = surface_sancho_rubio(m, n, np);
+  const Matrix sigma = la::mmm(n, sr.x, np);
+  Matrix gamma = sigma - sigma.dagger();
+  gamma *= kI;
+  EXPECT_TRUE(gamma.is_hermitian(1e-8));
+  const auto eigs = la::eig_hermitian(gamma);
+  for (const double w : eigs.values) EXPECT_GT(w, -1e-7);
+}
+
+// Energies spanning below, inside, and above the gap of the test device.
+INSTANTIATE_TEST_SUITE_P(Energies, SurfaceSolverSweep,
+                         ::testing::Values(-4.5, -2.0, -0.5, 0.0, 0.4, 2.2,
+                                           4.4));
+
+TEST(SurfaceBeyn, ModeCountEqualsBlockSize) {
+  const auto [m, n, np] = device_lead(0.5, 0.05);
+  const BeynSurfaceResult beyn = surface_beyn(m, n, np);
+  EXPECT_TRUE(beyn.ok);
+  EXPECT_EQ(beyn.modes_found, m.rows());
+}
+
+TEST(BeynPevp, LinearProblemRecoversStandardEigenvalues) {
+  // A(z) = z I - M: the PEVP reduces to the standard EVP of M. Put known
+  // eigenvalues inside and outside the contour.
+  Matrix mdiag(4, 4);
+  mdiag(0, 0) = cplx(0.2, 0.1);
+  mdiag(1, 1) = cplx(-0.4, 0.0);
+  mdiag(2, 2) = cplx(1.8, 0.0);   // outside unit circle
+  mdiag(3, 3) = cplx(0.0, -0.7);
+  std::vector<Matrix> coeffs = {mdiag * cplx(-1.0), Matrix::identity(4)};
+  const BeynEigResult r = beyn_pevp(coeffs);
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.values.size(), 3u) << "only the three interior eigenvalues";
+  for (const cplx want :
+       {cplx(0.2, 0.1), cplx(-0.4, 0.0), cplx(0.0, -0.7)}) {
+    double best = 1e9;
+    for (const auto& v : r.values) best = std::min(best, std::abs(v - want));
+    EXPECT_LT(best, 1e-8);
+  }
+}
+
+TEST(BeynPevp, EmptyContourIsOk) {
+  Matrix mdiag(3, 3);
+  mdiag(0, 0) = 5.0;
+  mdiag(1, 1) = cplx(0.0, 4.0);
+  mdiag(2, 2) = -3.0;
+  std::vector<Matrix> coeffs = {mdiag * cplx(-1.0), Matrix::identity(3)};
+  const BeynEigResult r = beyn_pevp(coeffs);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.values.empty());
+}
+
+class SteinSweep : public ::testing::TestWithParam<std::pair<int, double>> {};
+
+TEST_P(SteinSweep, DoublingSolvesContractiveEquation) {
+  const auto [n, sigma] = GetParam();
+  Rng rng(500 + n);
+  Matrix a = Matrix::random(n, n, rng);
+  a *= cplx(0.5 / a.frobenius_norm());  // ||A||_2 <= ||A||_F = 0.5 < 1
+  const Matrix q = Matrix::random_hermitian(n, rng);
+  const SteinResult r = stein_doubling(q, a, sigma);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(stein_residual(r.x, q, a, sigma), 1e-9);
+}
+
+TEST_P(SteinSweep, DirectMatchesDoubling) {
+  const auto [n, sigma] = GetParam();
+  Rng rng(600 + n);
+  Matrix a = Matrix::random(n, n, rng);
+  a *= cplx(0.5 / a.frobenius_norm());
+  const Matrix q = Matrix::random_hermitian(n, rng);
+  const SteinResult it = stein_doubling(q, a, sigma);
+  const Matrix direct = stein_direct(q, a, sigma);
+  ASSERT_TRUE(it.converged);
+  EXPECT_LT(la::max_abs_diff(it.x, direct), 1e-8);
+  EXPECT_LT(stein_residual(direct, q, a, sigma), 1e-9);
+}
+
+TEST_P(SteinSweep, FixedPointWarmStartConvergesFast) {
+  const auto [n, sigma] = GetParam();
+  Rng rng(700 + n);
+  Matrix a = Matrix::random(n, n, rng);
+  a *= cplx(0.5 / a.frobenius_norm());
+  const Matrix q = Matrix::random_hermitian(n, rng);
+  const Matrix exact = stein_direct(q, a, sigma);
+  const SteinResult warm = stein_fixed_point(q, a, sigma, exact);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LE(warm.iterations, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, SteinSweep,
+                         ::testing::Values(std::pair{3, 1.0},
+                                           std::pair{3, -1.0},
+                                           std::pair{8, 1.0},
+                                           std::pair{8, -1.0},
+                                           std::pair{16, -1.0}));
+
+TEST(SteinDirect, SolvesNonContractiveCaseDoublingCannot) {
+  // rho(A) > 1 but |l_i l_j| != 1: the series diverges, the direct method
+  // does not care.
+  Matrix a(2, 2);
+  a(0, 0) = 1.6;
+  a(1, 1) = 0.2;
+  Rng rng(17);
+  const Matrix q = Matrix::random_hermitian(2, rng);
+  const Matrix x = stein_direct(q, a, -1.0);
+  EXPECT_LT(stein_residual(x, q, a, -1.0), 1e-10);
+  const SteinResult diverged = stein_doubling(q, a, -1.0, {.max_iter = 30});
+  EXPECT_FALSE(diverged.converged);
+}
+
+TEST(SteinDirect, PreservesHermiticityForSigmaPlus) {
+  // X = Q + A X A† with Hermitian Q has a Hermitian solution.
+  Rng rng(18);
+  Matrix a = Matrix::random(5, 5, rng);
+  a *= cplx(0.3);
+  const Matrix q = Matrix::random_hermitian(5, rng);
+  const Matrix x = stein_direct(q, a, 1.0);
+  EXPECT_TRUE(x.is_hermitian(1e-9));
+}
+
+TEST(Memoizer, FirstCallIsDirectSecondIsMemoized) {
+  ObcMemoizer memo;
+  const auto [m, n, np] = device_lead(0.4, 0.05);
+  const ObcKey key{0, 0, 7};
+  const Matrix x1 = memo.solve_surface(key, m, n, np);
+  EXPECT_EQ(memo.stats().direct_calls, 1);
+  EXPECT_EQ(memo.stats().memoized_calls, 0);
+  const Matrix x2 = memo.solve_surface(key, m, n, np);
+  EXPECT_EQ(memo.stats().memoized_calls, 1);
+  EXPECT_LT(la::max_abs_diff(x1, x2), 1e-6);
+  EXPECT_LT(surface_residual(x2, m, n, np), 1e-6);
+}
+
+TEST(Memoizer, SlightlyPerturbedProblemStaysMemoized) {
+  // The SCBA scenario: blocks drift slowly between iterations.
+  ObcMemoizer memo;
+  const ObcKey key{0, 1, 3};
+  auto blocks = device_lead(0.4, 0.05);
+  memo.solve_surface(key, blocks.m, blocks.n, blocks.np);
+  for (int iter = 1; iter <= 5; ++iter) {
+    auto drift = device_lead(0.4 + 1e-4 * iter, 0.05);
+    const Matrix x = memo.solve_surface(key, drift.m, drift.n, drift.np);
+    EXPECT_LT(surface_residual(x, drift.m, drift.n, drift.np), 1e-5);
+  }
+  EXPECT_EQ(memo.stats().direct_calls, 1);
+  EXPECT_EQ(memo.stats().memoized_calls, 5);
+}
+
+TEST(Memoizer, LargeChangeFallsBackToDirect) {
+  ObcMemoizer memo;
+  const ObcKey key{0, 0, 0};
+  auto a = device_lead(-2.0, 0.05);
+  memo.solve_surface(key, a.m, a.n, a.np);
+  auto b = device_lead(2.2, 0.05);  // completely different energy
+  const Matrix x = memo.solve_surface(key, b.m, b.n, b.np);
+  EXPECT_LT(surface_residual(x, b.m, b.n, b.np), 1e-6);
+  EXPECT_EQ(memo.stats().direct_calls, 2);
+}
+
+TEST(Memoizer, DisabledAlwaysDispatchesDirect) {
+  MemoizerOptions opt;
+  opt.enabled = false;
+  ObcMemoizer memo(opt);
+  const auto [m, n, np] = device_lead(0.4, 0.05);
+  const ObcKey key{1, 0, 2};
+  memo.solve_surface(key, m, n, np);
+  memo.solve_surface(key, m, n, np);
+  EXPECT_EQ(memo.stats().direct_calls, 2);
+  EXPECT_EQ(memo.stats().memoized_calls, 0);
+}
+
+TEST(Memoizer, SteinPathMemoizes) {
+  ObcMemoizer memo;
+  Rng rng(21);
+  Matrix a = Matrix::random(6, 6, rng);
+  a *= cplx(0.3);
+  Matrix q = Matrix::random_hermitian(6, rng);
+  const ObcKey key{1, 1, 5};
+  memo.solve_stein(key, q, a, -1.0);
+  EXPECT_EQ(memo.stats().direct_calls, 1);
+  const Matrix x = memo.solve_stein(key, q, a, -1.0);
+  EXPECT_EQ(memo.stats().memoized_calls, 1);
+  EXPECT_LT(stein_residual(x, q, a, -1.0), 1e-6);
+}
+
+}  // namespace
+}  // namespace qtx::obc

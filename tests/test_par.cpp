@@ -1,0 +1,278 @@
+// Tests for the parallel substrate (src/par): the thread-backed communicator
+// (collectives, both backends), the block distribution, and the
+// energy<->element transposition of paper Fig. 3.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/rng.hpp"
+#include "par/comm.hpp"
+#include "par/distribution.hpp"
+
+namespace qtx::par {
+namespace {
+
+class CommSweep
+    : public ::testing::TestWithParam<std::pair<int, Backend>> {};
+
+TEST_P(CommSweep, BarrierSynchronizesAllRanks) {
+  const auto [size, backend] = GetParam();
+  CommWorld world(size, backend);
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violated{false};
+  world.run([&](Comm& c) {
+    phase1.fetch_add(1);
+    c.barrier();
+    if (phase1.load() != c.size()) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST_P(CommSweep, BroadcastDistributesRootData) {
+  const auto [size, backend] = GetParam();
+  CommWorld world(size, backend);
+  world.run([&](Comm& c) {
+    std::vector<cplx> data;
+    if (c.rank() == 0) data = {cplx(1.0, 2.0), cplx(3.0, -4.0)};
+    c.broadcast(data, 0);
+    ASSERT_EQ(data.size(), 2u);
+    EXPECT_EQ(data[0], cplx(1.0, 2.0));
+    EXPECT_EQ(data[1], cplx(3.0, -4.0));
+  });
+}
+
+TEST_P(CommSweep, AllgatherConcatenatesInRankOrder) {
+  const auto [size, backend] = GetParam();
+  CommWorld world(size, backend);
+  world.run([&](Comm& c) {
+    const std::vector<cplx> mine = {cplx(static_cast<double>(c.rank()), 0.0)};
+    const std::vector<cplx> all = c.allgather(mine);
+    ASSERT_EQ(static_cast<int>(all.size()), c.size());
+    for (int r = 0; r < c.size(); ++r)
+      EXPECT_EQ(all[r], cplx(static_cast<double>(r), 0.0));
+  });
+}
+
+TEST_P(CommSweep, AlltoallRoutesPairwisePayloads) {
+  const auto [size, backend] = GetParam();
+  CommWorld world(size, backend);
+  world.run([&](Comm& c) {
+    std::vector<std::vector<cplx>> send(c.size());
+    for (int r = 0; r < c.size(); ++r)
+      send[r] = {cplx(static_cast<double>(c.rank()),
+                      static_cast<double>(r))};
+    const auto recv = c.alltoall(std::move(send));
+    for (int r = 0; r < c.size(); ++r) {
+      ASSERT_EQ(recv[r].size(), 1u);
+      // Rank r sent me (r, my_rank).
+      EXPECT_EQ(recv[r][0], cplx(static_cast<double>(r),
+                                 static_cast<double>(c.rank())));
+    }
+  });
+}
+
+TEST_P(CommSweep, Reductions) {
+  const auto [size, backend] = GetParam();
+  CommWorld world(size, backend);
+  world.run([&](Comm& c) {
+    const double sum = c.allreduce_sum(static_cast<double>(c.rank() + 1));
+    EXPECT_NEAR(sum, c.size() * (c.size() + 1) / 2.0, 1e-12);
+    const double mx = c.allreduce_max(static_cast<double>(c.rank()));
+    EXPECT_NEAR(mx, c.size() - 1.0, 1e-12);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Worlds, CommSweep,
+    ::testing::Values(std::pair{1, Backend::kDeviceDirect},
+                      std::pair{2, Backend::kDeviceDirect},
+                      std::pair{4, Backend::kDeviceDirect},
+                      std::pair{7, Backend::kDeviceDirect},
+                      std::pair{2, Backend::kHostStaged},
+                      std::pair{4, Backend::kHostStaged}));
+
+TEST(Comm, ByteCounterTracksPayloads) {
+  CommWorld world(2);
+  world.run([&](Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, std::vector<cplx>(100));
+    } else {
+      (void)c.recv(0);
+    }
+  });
+  EXPECT_EQ(world.total_bytes_sent(),
+            static_cast<std::int64_t>(100 * sizeof(cplx)));
+  world.reset_byte_counter();
+  EXPECT_EQ(world.total_bytes_sent(), 0);
+}
+
+TEST(Comm, BackendsProduceIdenticalResults) {
+  for (const Backend b : {Backend::kDeviceDirect, Backend::kHostStaged}) {
+    CommWorld world(3, b);
+    world.run([&](Comm& c) {
+      std::vector<cplx> data(50);
+      for (size_t i = 0; i < data.size(); ++i)
+        data[i] = cplx(static_cast<double>(c.rank()), static_cast<double>(i));
+      const auto all = c.allgather(data);
+      ASSERT_EQ(all.size(), 150u);
+      for (int r = 0; r < 3; ++r)
+        for (int i = 0; i < 50; ++i)
+          EXPECT_EQ(all[r * 50 + i],
+                    cplx(static_cast<double>(r), static_cast<double>(i)));
+    });
+  }
+}
+
+TEST(Comm, ExceptionsPropagateToCaller) {
+  CommWorld world(2);
+  EXPECT_THROW(world.run([](Comm& c) {
+                 if (c.rank() == 1) throw std::runtime_error("rank fail");
+               }),
+               std::runtime_error);
+}
+
+TEST(BlockDistribution, CountsAndOffsetsPartition) {
+  for (const auto& [total, parts] :
+       std::vector<std::pair<std::int64_t, int>>{
+           {10, 3}, {7, 7}, {100, 8}, {5, 1}, {3, 4}}) {
+    BlockDistribution d{total, parts};
+    std::int64_t sum = 0;
+    for (int r = 0; r < parts; ++r) {
+      EXPECT_EQ(d.offset(r), sum);
+      sum += d.count(r);
+    }
+    EXPECT_EQ(sum, total);
+    for (std::int64_t i = 0; i < total; ++i) {
+      const int o = d.owner(i);
+      EXPECT_GE(i, d.offset(o));
+      EXPECT_LT(i, d.offset(o) + d.count(o));
+    }
+  }
+}
+
+class TransposeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TransposeSweep, RoundTripIsIdentity) {
+  const auto [size, ne, nk] = GetParam();
+  CommWorld world(size);
+  Transposer t(ne, nk, size);
+  world.run([&](Comm& c) {
+    const std::int64_t ne_mine = t.energies().count(c.rank());
+    std::vector<cplx> data(ne_mine * nk);
+    for (std::int64_t i = 0; i < static_cast<std::int64_t>(data.size()); ++i)
+      data[i] = cplx(static_cast<double>(c.rank()), static_cast<double>(i));
+    const auto elem = t.to_element_layout(c, data);
+    const auto back = t.to_energy_layout(c, elem);
+    ASSERT_EQ(back.size(), data.size());
+    for (size_t i = 0; i < data.size(); ++i) EXPECT_EQ(back[i], data[i]);
+  });
+}
+
+TEST_P(TransposeSweep, ElementLayoutHoldsAllEnergiesOfMyElements) {
+  const auto [size, ne, nk] = GetParam();
+  CommWorld world(size);
+  Transposer t(ne, nk, size);
+  // Global value convention: f(e, k) = e + i k.
+  world.run([&](Comm& c) {
+    const std::int64_t ne_mine = t.energies().count(c.rank());
+    const std::int64_t eoff = t.energies().offset(c.rank());
+    std::vector<cplx> data(ne_mine * nk);
+    for (std::int64_t e = 0; e < ne_mine; ++e)
+      for (std::int64_t k = 0; k < nk; ++k)
+        data[e * nk + k] =
+            cplx(static_cast<double>(eoff + e), static_cast<double>(k));
+    const auto elem = t.to_element_layout(c, data);
+    const std::int64_t k_mine = t.elements().count(c.rank());
+    const std::int64_t koff = t.elements().offset(c.rank());
+    ASSERT_EQ(static_cast<std::int64_t>(elem.size()), k_mine * ne);
+    for (std::int64_t k = 0; k < k_mine; ++k)
+      for (std::int64_t e = 0; e < ne; ++e)
+        EXPECT_EQ(elem[k * ne + e],
+                  cplx(static_cast<double>(e), static_cast<double>(koff + k)));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, TransposeSweep,
+                         ::testing::Values(std::tuple{1, 8, 12},
+                                           std::tuple{2, 8, 12},
+                                           std::tuple{3, 7, 11},
+                                           std::tuple{4, 16, 9},
+                                           std::tuple{5, 5, 25}));
+
+TEST(Transposer, CommunicationVolumeScalesWithElements) {
+  // Halving the element count (the §5.2 symmetric-storage effect) halves
+  // the transposition volume.
+  const int size = 4, ne = 16;
+  for (const std::int64_t nk : {40, 20}) {
+    CommWorld world(size);
+    Transposer t(ne, nk, size);
+    world.run([&](Comm& c) {
+      const std::int64_t ne_mine = t.energies().count(c.rank());
+      std::vector<cplx> data(ne_mine * nk, cplx(1.0));
+      (void)t.to_element_layout(c, data);
+    });
+    if (nk == 40) {
+      const std::int64_t full = world.total_bytes_sent();
+      EXPECT_GT(full, 0);
+    }
+  }
+  CommWorld wfull(size), whalf(size);
+  Transposer tfull(ne, 40, size), thalf(ne, 20, size);
+  wfull.run([&](Comm& c) {
+    std::vector<cplx> d(tfull.energies().count(c.rank()) * 40, cplx(1.0));
+    (void)tfull.to_element_layout(c, d);
+  });
+  whalf.run([&](Comm& c) {
+    std::vector<cplx> d(thalf.energies().count(c.rank()) * 20, cplx(1.0));
+    (void)thalf.to_element_layout(c, d);
+  });
+  EXPECT_EQ(wfull.total_bytes_sent(), 2 * whalf.total_bytes_sent());
+}
+
+
+TEST(WireCompression, RoundTripIsFloatExact) {
+  Rng rng(31);
+  std::vector<cplx> data(101);
+  for (auto& v : data) v = rng.complex_uniform();
+  const auto packed = compress_fp32(data);
+  EXPECT_EQ(packed.size(), 51u);  // half the payload (+ padding slot)
+  const auto back = decompress_fp32(packed, 101);
+  ASSERT_EQ(back.size(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(back[i].real(), data[i].real(), 1e-7);
+    EXPECT_NEAR(back[i].imag(), data[i].imag(), 1e-7);
+  }
+}
+
+TEST(WireCompression, TransposerFp32HalvesVolumeWithinTolerance) {
+  // §8 outlook: lower-precision communication halves the transposition
+  // volume; the round-trip stays within single-precision accuracy.
+  const int size = 4, ne = 16, nk = 33;
+  CommWorld w64(size), w32(size);
+  Transposer t64(ne, nk, size, WirePrecision::kFp64);
+  Transposer t32(ne, nk, size, WirePrecision::kFp32);
+  std::vector<std::vector<cplx>> results64(size), results32(size);
+  auto run = [&](CommWorld& world, Transposer& t,
+                 std::vector<std::vector<cplx>>& results) {
+    world.run([&](Comm& c) {
+      Rng rng(100 + c.rank());
+      std::vector<cplx> data(t.energies().count(c.rank()) * nk);
+      for (auto& v : data) v = rng.complex_uniform();
+      const auto elem = t.to_element_layout(c, data);
+      results[c.rank()] = t.to_energy_layout(c, elem);
+      // Round trip must reproduce the input (exactly for fp64, to float
+      // precision for fp32).
+      for (size_t i = 0; i < data.size(); ++i)
+        EXPECT_NEAR(std::abs(results[c.rank()][i] - data[i]), 0.0, 1e-6);
+    });
+  };
+  run(w64, t64, results64);
+  run(w32, t32, results32);
+  EXPECT_LT(w32.total_bytes_sent(), 0.6 * w64.total_bytes_sent())
+      << "fp32 wire format must ~halve the volume";
+}
+
+}  // namespace
+}  // namespace qtx::par

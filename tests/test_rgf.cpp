@@ -1,0 +1,223 @@
+// Tests for the selected solvers (src/rgf): sequential RGF (paper Eqs. 9-12)
+// against dense references, symmetry preservation (§5.2), and the
+// nested-dissection domain decomposition (§5.4) against the sequential
+// solver for every partition count.
+
+#include <gtest/gtest.h>
+
+#include "rgf/nested_dissection.hpp"
+#include "rgf/sequential.hpp"
+
+namespace qtx::rgf {
+namespace {
+
+/// A well-conditioned random problem with anti-Hermitian right-hand sides —
+/// the structure of the physical lesser/greater injections.
+struct Problem {
+  BlockTridiag m, bl, bg;
+};
+
+Problem random_problem(int nb, int bs, std::uint64_t seed,
+                       bool anti_hermitian_rhs = true) {
+  Rng rng(seed);
+  Problem p{BlockTridiag::random_diag_dominant(nb, bs, rng),
+            BlockTridiag::random_diag_dominant(nb, bs, rng),
+            BlockTridiag::random_diag_dominant(nb, bs, rng)};
+  if (anti_hermitian_rhs) {
+    p.bl.anti_hermitize();
+    p.bg.anti_hermitize();
+  }
+  return p;
+}
+
+class RgfSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RgfSweep, RetardedMatchesDenseInverse) {
+  const auto [nb, bs] = GetParam();
+  const Problem p = random_problem(nb, bs, 100 + nb * 10 + bs);
+  const BlockTridiag got = rgf_retarded(p.m);
+  const BlockTridiag want = reference_retarded(p.m);
+  EXPECT_LT(bt::max_abs_diff(got, want), 1e-10 * nb);
+}
+
+TEST_P(RgfSweep, LesserGreaterMatchDenseSolve) {
+  const auto [nb, bs] = GetParam();
+  const Problem p = random_problem(nb, bs, 200 + nb * 10 + bs);
+  RgfOptions opt;
+  opt.symmetrize = false;  // compare the raw algebra first
+  const SelectedSolution got = rgf_solve(p.m, p.bl, p.bg, opt);
+  const SelectedSolution want = reference_solve(p.m, p.bl, p.bg);
+  EXPECT_LT(bt::max_abs_diff(got.xr, want.xr), 1e-10 * nb);
+  EXPECT_LT(bt::max_abs_diff(got.xl, want.xl), 1e-9 * nb);
+  EXPECT_LT(bt::max_abs_diff(got.xg, want.xg), 1e-9 * nb);
+}
+
+TEST_P(RgfSweep, GeneralNonSymmetricRhsStillMatchesDense) {
+  // The implementation must be exact for arbitrary B, not only for
+  // anti-Hermitian physical inputs.
+  const auto [nb, bs] = GetParam();
+  const Problem p = random_problem(nb, bs, 300 + nb * 10 + bs,
+                                   /*anti_hermitian_rhs=*/false);
+  RgfOptions opt;
+  opt.symmetrize = false;
+  const SelectedSolution got = rgf_solve(p.m, p.bl, p.bg, opt);
+  const SelectedSolution want = reference_solve(p.m, p.bl, p.bg);
+  EXPECT_LT(bt::max_abs_diff(got.xl, want.xl), 1e-9 * nb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RgfSweep,
+                         ::testing::Values(std::pair{2, 3}, std::pair{3, 1},
+                                           std::pair{4, 4}, std::pair{6, 5},
+                                           std::pair{10, 3},
+                                           std::pair{16, 2}));
+
+TEST(Rgf, SymmetrizationPreservesAntiHermitianSolutions) {
+  // With anti-Hermitian B the exact solution is anti-Hermitian, so the §5.2
+  // projection must be a no-op up to roundoff.
+  const Problem p = random_problem(6, 4, 42);
+  RgfOptions raw{.symmetrize = false};
+  RgfOptions sym{.symmetrize = true};
+  const SelectedSolution a = rgf_solve(p.m, p.bl, p.bg, raw);
+  const SelectedSolution b = rgf_solve(p.m, p.bl, p.bg, sym);
+  EXPECT_LT(bt::max_abs_diff(a.xl, b.xl), 1e-10);
+  EXPECT_TRUE(b.xl.is_anti_hermitian(1e-12));
+  EXPECT_TRUE(b.xg.is_anti_hermitian(1e-12));
+}
+
+TEST(Rgf, SingleBlockSystem) {
+  BlockTridiag m1(1, 4), bl1(1, 4), bg1(1, 4);
+  Rng rng(8);
+  m1.diag(0) = la::Matrix::random_diag_dominant(4, rng);
+  bl1.diag(0) = la::Matrix::random(4, 4, rng);
+  bl1.anti_hermitize();
+  bg1.diag(0) = la::Matrix::random(4, 4, rng);
+  bg1.anti_hermitize();
+  const SelectedSolution s = rgf_solve(m1, bl1, bg1);
+  const la::Matrix minv = la::inverse(m1.diag(0));
+  EXPECT_LT(la::max_abs_diff(s.xr.diag(0), minv), 1e-11);
+  const la::Matrix want = la::mmh(la::mm(minv, bl1.diag(0)), minv);
+  EXPECT_LT(la::max_abs_diff(s.xl.diag(0), want), 1e-11);
+}
+
+class NdSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(NdSweep, MatchesSequentialSolver) {
+  const auto [nb, bs, ps, threads] = GetParam();
+  const Problem p = random_problem(nb, bs, 400 + nb * 100 + ps);
+  RgfOptions sopt;
+  sopt.symmetrize = false;
+  const SelectedSolution seq = rgf_solve(p.m, p.bl, p.bg, sopt);
+  NdOptions nopt;
+  nopt.num_partitions = ps;
+  nopt.num_threads = threads;
+  nopt.symmetrize = false;
+  const NdSolution nd = nd_solve(p.m, p.bl, p.bg, nopt);
+  EXPECT_LT(bt::max_abs_diff(nd.sel.xr, seq.xr), 1e-9 * nb) << "retarded";
+  EXPECT_LT(bt::max_abs_diff(nd.sel.xl, seq.xl), 1e-8 * nb) << "lesser";
+  EXPECT_LT(bt::max_abs_diff(nd.sel.xg, seq.xg), 1e-8 * nb) << "greater";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, NdSweep,
+    ::testing::Values(std::tuple{4, 3, 2, 1},    // smallest split
+                      std::tuple{6, 2, 2, 1},
+                      std::tuple{6, 2, 3, 1},    // one middle partition
+                      std::tuple{8, 3, 3, 1},
+                      std::tuple{9, 2, 4, 1},    // two middle partitions
+                      std::tuple{12, 3, 4, 2},   // threaded
+                      std::tuple{16, 2, 5, 4},
+                      std::tuple{13, 3, 3, 2},   // uneven partitions
+                      std::tuple{10, 4, 5, 1},
+                      std::tuple{24, 2, 6, 3}));
+
+TEST(NestedDissection, PartitionRangesCoverAllBlocks) {
+  for (const auto& [nb, ps] : std::vector<std::pair<int, int>>{
+           {8, 2}, {9, 3}, {17, 4}, {24, 5}}) {
+    const auto ranges = nd_partition_ranges(nb, ps);
+    ASSERT_EQ(static_cast<int>(ranges.size()), ps);
+    EXPECT_EQ(ranges.front().first, 0);
+    EXPECT_EQ(ranges.back().second, nb - 1);
+    for (int p = 1; p < ps; ++p)
+      EXPECT_EQ(ranges[p].first, ranges[p - 1].second + 1);
+    for (const auto& [s, e] : ranges) EXPECT_GE(e - s + 1, 2);
+  }
+}
+
+TEST(NestedDissection, RejectsTooManyPartitions) {
+  const Problem p = random_problem(4, 2, 9);
+  NdOptions opt;
+  opt.num_partitions = 3;  // 4 blocks cannot host 3 partitions of >= 2
+  EXPECT_THROW(nd_solve(p.m, p.bl, p.bg, opt), std::runtime_error);
+}
+
+TEST(NestedDissection, MiddlePartitionsCarryFillInWorkload) {
+  // Paper Table 5: boundary partitions perform ~60% of the middle
+  // partitions' workload because of the fill-in blocks.
+  const Problem p = random_problem(32, 4, 10);
+  NdOptions opt;
+  opt.num_partitions = 4;
+  const NdSolution nd = nd_solve(p.m, p.bl, p.bg, opt);
+  ASSERT_EQ(nd.stats.size(), 4u);
+  const double top = static_cast<double>(nd.stats.front().flops);
+  const double mid = static_cast<double>(nd.stats[1].flops);
+  EXPECT_GT(mid, top) << "fill-in must make middle partitions heavier";
+  const double ratio = top / mid;
+  EXPECT_GT(ratio, 0.3);
+  EXPECT_LT(ratio, 0.95);
+}
+
+TEST(NestedDissection, SymmetrizedOutputsSatisfyLesserSymmetry) {
+  const Problem p = random_problem(12, 3, 11);
+  NdOptions opt;
+  opt.num_partitions = 3;
+  const NdSolution nd = nd_solve(p.m, p.bl, p.bg, opt);
+  EXPECT_TRUE(nd.sel.xl.is_anti_hermitian(1e-11));
+  EXPECT_TRUE(nd.sel.xg.is_anti_hermitian(1e-11));
+}
+
+TEST(NestedDissection, ReducedSystemWorkloadScalesWithPartitions) {
+  // Paper §5.4: the reduced system adds O(P_S N_BS^3) work.
+  const Problem p = random_problem(24, 3, 12);
+  std::int64_t prev = 0;
+  for (const int ps : {2, 4, 6}) {
+    NdOptions opt;
+    opt.num_partitions = ps;
+    const NdSolution nd = nd_solve(p.m, p.bl, p.bg, opt);
+    EXPECT_GT(nd.reduced_flops, prev);
+    prev = nd.reduced_flops;
+  }
+}
+
+
+TEST(NestedDissection, RecursiveReducedSolveMatchesSequential) {
+  // §5.4's extension: the reduced system is itself solved with nested
+  // dissection. Large partition count so the reduced system (2 P_S - 2
+  // blocks) is big enough to recurse.
+  const Problem p = random_problem(24, 3, 21);
+  RgfOptions sopt;
+  sopt.symmetrize = false;
+  const SelectedSolution seq = rgf_solve(p.m, p.bl, p.bg, sopt);
+  NdOptions opt;
+  opt.num_partitions = 8;  // reduced system: 14 blocks
+  opt.recursive_reduced = true;
+  opt.symmetrize = false;
+  const NdSolution nd = nd_solve(p.m, p.bl, p.bg, opt);
+  EXPECT_LT(bt::max_abs_diff(nd.sel.xr, seq.xr), 1e-9);
+  EXPECT_LT(bt::max_abs_diff(nd.sel.xl, seq.xl), 1e-8);
+  EXPECT_LT(bt::max_abs_diff(nd.sel.xg, seq.xg), 1e-8);
+}
+
+TEST(NestedDissection, RecursiveAndFlatReducedAgree) {
+  const Problem p = random_problem(20, 4, 22);
+  NdOptions flat;
+  flat.num_partitions = 5;
+  const NdSolution a = nd_solve(p.m, p.bl, p.bg, flat);
+  NdOptions rec = flat;
+  rec.recursive_reduced = true;
+  const NdSolution b = nd_solve(p.m, p.bl, p.bg, rec);
+  EXPECT_LT(bt::max_abs_diff(a.sel.xl, b.sel.xl), 1e-9);
+}
+
+}  // namespace
+}  // namespace qtx::rgf
