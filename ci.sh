@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI entry point: runs the tier-1 verify (configure, build, ctest) in Debug
+# and Release configurations with warnings treated as errors, plus the
+# standalone-header compile check. Exits non-zero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+
+for config in Debug Release; do
+  build_dir="build-ci-${config,,}"
+  echo "=== [$config] configure ==="
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE="$config" \
+    -DQTX_WERROR=ON
+  echo "=== [$config] build ==="
+  cmake --build "$build_dir" -j "$JOBS"
+  echo "=== [$config] header self-sufficiency check ==="
+  cmake --build "$build_dir" --target qtx_header_check -j "$JOBS"
+  echo "=== [$config] ctest ==="
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+done
+
+echo "CI passed: Debug + Release builds, header check, and all tests green."

@@ -6,6 +6,9 @@
 /// produces such matrices: V·P^R grows to half-bandwidth 2 and V·P≶·V† to 3
 /// before being truncated back to the r_cut-justified BT pattern.
 
+#include <cmath>
+#include <vector>
+
 #include "bsparse/block_tridiag.hpp"
 
 namespace qtx::bt {

@@ -8,6 +8,9 @@
 /// halves the memory footprint and — in the distributed pipeline — the
 /// communication volume of the energy↔element transposition.
 
+#include <utility>
+#include <vector>
+
 #include "bsparse/block_tridiag.hpp"
 
 namespace qtx::bt {

@@ -4,6 +4,7 @@
 /// Deterministic random number helpers. Tests and benchmarks seed explicitly
 /// so every run is reproducible.
 
+#include <cstdint>
 #include <random>
 
 #include "common/types.hpp"

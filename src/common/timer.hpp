@@ -8,6 +8,7 @@
 #include <chrono>
 #include <map>
 #include <string>
+#include <utility>
 
 namespace qtx {
 

@@ -6,6 +6,7 @@
 /// in electron-volts and lengths in nanometers, matching the conventions laid
 /// out in DESIGN.md.
 
+#include <cmath>
 #include <complex>
 #include <cstdint>
 

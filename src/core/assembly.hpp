@@ -13,6 +13,8 @@
 /// paper's approach; keeping the products banded is what makes the W
 /// assembly GEMM-dominated).
 
+#include <vector>
+
 #include "bsparse/bsparse.hpp"
 
 namespace qtx::core {

@@ -8,6 +8,8 @@
 /// between. Used by the weak-scaling benchmark (Fig. 6 reproduction) with
 /// both communication backends.
 
+#include <cstdint>
+
 #include "core/scba.hpp"
 #include "par/distribution.hpp"
 

@@ -16,6 +16,8 @@
 /// The local (deformation-potential) approximation restricts the self-energy
 /// to the diagonal blocks by default.
 
+#include <vector>
+
 #include "core/energy_grid.hpp"
 #include "core/gw.hpp"
 

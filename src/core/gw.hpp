@@ -12,6 +12,9 @@
 ///     X^R_ji(E) = conj(X^R_ij(E)) - conj(X>_ij(E) - X<_ij(E)),
 /// the discrete retarded-minus-advanced identity of the causal window.
 
+#include <cstdint>
+#include <vector>
+
 #include "bsparse/bsparse.hpp"
 #include "core/energy_grid.hpp"
 #include "fft/convolution.hpp"

@@ -6,6 +6,8 @@
 /// and terminal currents (Meir-Wingreen), bond currents (continuity check),
 /// ballistic transmission, and the GW-renormalized band structure.
 
+#include <vector>
+
 #include "core/scba.hpp"
 
 namespace qtx::core {

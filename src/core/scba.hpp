@@ -8,7 +8,10 @@
 /// (G: OBC, G: RGF, W: Assembly {Beyn, Lyapunov, LHS, RHS}, W: RGF, Other),
 /// so the benchmark harnesses can print directly comparable tables.
 
+#include <cstdint>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "core/assembly.hpp"
 #include "core/contacts.hpp"

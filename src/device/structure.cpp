@@ -104,7 +104,6 @@ bt::BlockTridiag Structure::coulomb_bt() const {
 }
 
 Matrix Structure::bloch_hamiltonian(double k) const {
-  const int m = p_.orbitals_per_puc;
   Matrix hk = h_[0];
   for (int d = 1; d <= h_reach(); ++d) {
     const cplx phase(std::cos(k * d), std::sin(k * d));

@@ -21,6 +21,9 @@
 /// Every NEGF+GW kernel downstream consumes only this structure, so swapping
 /// in real Wannier data would be a pure I/O change.
 
+#include <cstdint>
+#include <vector>
+
 #include "bsparse/bsparse.hpp"
 
 namespace qtx::device {

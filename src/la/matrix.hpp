@@ -6,6 +6,7 @@
 /// instances of this class; the RGF recursions (paper Eqs. 9–12), the OBC
 /// solvers, and the assembly steps all operate on it.
 
+#include <cmath>
 #include <vector>
 
 #include "common/check.hpp"

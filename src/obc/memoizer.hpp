@@ -13,6 +13,8 @@
 /// Either way the cache is refreshed, and counters record the dispatch
 /// decisions for the ablation benchmark.
 
+#include <compare>
+#include <cstdint>
 #include <map>
 #include <optional>
 

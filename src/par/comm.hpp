@@ -18,6 +18,7 @@
 /// communication volume (the §5.2 symmetry ablation halves it).
 
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>

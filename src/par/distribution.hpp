@@ -9,6 +9,9 @@
 /// the communication step whose volume the §5.2 symmetry exploitation
 /// halves.
 
+#include <cstdint>
+#include <vector>
+
 #include "par/comm.hpp"
 
 namespace qtx::par {

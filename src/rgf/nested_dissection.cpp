@@ -286,8 +286,6 @@ void backsub_middle(const BlockTridiag& m, const BlockTridiag& bl,
   Matrix xl_sn = xl_se, xl_ns = xl_es;
   Matrix xg_sn = xg_se, xg_ns = xg_es;
   const Matrix& xr_ss = out.xr.diag(s);
-  const Matrix& xl_ss = out.xl.diag(s);
-  const Matrix& xg_ss = out.xg.diag(s);
   for (int j = e - 1; j > s; --j) {
     const int idx = j - s - 1;
     const Matrix& xj = t.x[idx];

@@ -17,7 +17,10 @@
 /// solves are decomposed; the RHS undergoes the same congruence transform as
 /// in the sequential solver, extended with fill tracking.
 
+#include <cstdint>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "rgf/sequential.hpp"
 

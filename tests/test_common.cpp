@@ -1,0 +1,258 @@
+/// \file test_common.cpp
+/// Unit tests for the src/common layer: deterministic RNG, wall-clock timers,
+/// the FLOP ledger, and QTX_CHECK failure behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/flops.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+namespace qtx {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, SameSeedSameComplexSequence) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.complex_uniform(), b.complex_uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int identical = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++identical;
+  }
+  EXPECT_LT(identical, 100);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform();
+    EXPECT_GE(x, -1.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(Rng, ComplexUniformInUnitSquare) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const cplx z = rng.complex_uniform();
+    EXPECT_GE(z.real(), -1.0);
+    EXPECT_LE(z.real(), 1.0);
+    EXPECT_GE(z.imag(), -1.0);
+    EXPECT_LE(z.imag(), 1.0);
+  }
+}
+
+TEST(Rng, NormalHasReasonableMoments) {
+  Rng rng(5);
+  const int n = 20000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Rng, EngineIsReseedable) {
+  Rng rng(11);
+  const double first = rng.uniform();
+  rng.engine().seed(11);
+  EXPECT_EQ(rng.uniform(), first);
+}
+
+// ---------------------------------------------------------------------------
+// Timer
+// ---------------------------------------------------------------------------
+
+TEST(Timer, StopwatchIsMonotonic) {
+  Stopwatch sw;
+  double prev = sw.seconds();
+  EXPECT_GE(prev, 0.0);
+  for (int i = 0; i < 10; ++i) {
+    const double now = sw.seconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(Timer, StopwatchRestartResets) {
+  Stopwatch sw;
+  // Long enough that a post-restart reading below `before` proves a reset
+  // even when the scheduler preempts between restart() and seconds().
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const double before = sw.seconds();
+  EXPECT_GT(before, 0.0);
+  sw.restart();
+  EXPECT_LT(sw.seconds(), before);
+}
+
+TEST(Timer, RegistryAccumulates) {
+  TimerRegistry::reset();
+  TimerRegistry::add("phase_a", 1.5);
+  TimerRegistry::add("phase_a", 0.5);
+  TimerRegistry::add("phase_b", 2.0);
+  EXPECT_DOUBLE_EQ(TimerRegistry::seconds("phase_a"), 2.0);
+  EXPECT_DOUBLE_EQ(TimerRegistry::seconds("phase_b"), 2.0);
+  EXPECT_DOUBLE_EQ(TimerRegistry::seconds("never_recorded"), 0.0);
+  const auto all = TimerRegistry::all();
+  EXPECT_EQ(all.size(), 2u);
+  TimerRegistry::reset();
+  EXPECT_DOUBLE_EQ(TimerRegistry::seconds("phase_a"), 0.0);
+  EXPECT_TRUE(TimerRegistry::all().empty());
+}
+
+TEST(Timer, ScopedTimerRecordsElapsedTime) {
+  TimerRegistry::reset();
+  {
+    ScopedTimer t("scoped_test");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(TimerRegistry::seconds("scoped_test"), 0.0);
+  TimerRegistry::reset();
+}
+
+// ---------------------------------------------------------------------------
+// FlopLedger
+// ---------------------------------------------------------------------------
+
+TEST(Flops, LedgerAccumulatesPerPhase) {
+  FlopLedger::reset();
+  FlopLedger::begin_phase("phase1");
+  FlopLedger::add(100);
+  FlopLedger::add(50);
+  FlopLedger::begin_phase("phase2");
+  FlopLedger::add(25);
+  EXPECT_EQ(FlopLedger::total(), 175);
+  const auto by_phase = FlopLedger::by_phase();
+  EXPECT_EQ(by_phase.at("phase1"), 150);
+  EXPECT_EQ(by_phase.at("phase2"), 25);
+  FlopLedger::reset();
+  EXPECT_EQ(FlopLedger::total(), 0);
+}
+
+TEST(Flops, PhaseRaiiRestoresPreviousPhase) {
+  FlopLedger::reset();
+  FlopLedger::begin_phase("outer");
+  FlopLedger::add(10);
+  {
+    FlopPhase inner("inner");
+    FlopLedger::add(20);
+  }
+  FlopLedger::add(30);
+  const auto by_phase = FlopLedger::by_phase();
+  EXPECT_EQ(by_phase.at("outer"), 40);
+  EXPECT_EQ(by_phase.at("inner"), 20);
+  FlopLedger::reset();
+}
+
+TEST(Flops, ThreadsAccumulateConcurrently) {
+  FlopLedger::reset();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([t] {
+      FlopLedger::begin_phase("worker" + std::to_string(t));
+      for (int i = 0; i < 1000; ++i) FlopLedger::add(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(FlopLedger::total(), 4000);
+  FlopLedger::reset();
+}
+
+TEST(Flops, CountFormulas) {
+  // One complex multiply-add = 8 real ops.
+  EXPECT_EQ(flop_count::gemm(2, 3, 4), 8 * 2 * 3 * 4);
+  EXPECT_EQ(flop_count::lu(6), 8 * 6 * 6 * 6 / 3);
+  EXPECT_EQ(flop_count::lu_solve(5, 3), 8 * 5 * 5 * 3);
+  EXPECT_EQ(flop_count::inverse(5),
+            flop_count::lu(5) + flop_count::lu_solve(5, 5));
+  EXPECT_EQ(flop_count::axpy(7), 56);
+  // fft(8): log2(8) = 3 -> 5 * 8 * 3.
+  EXPECT_EQ(flop_count::fft(8), 5 * 8 * 3);
+  // Non-power-of-two rounds the log up: log2(9) -> 4.
+  EXPECT_EQ(flop_count::fft(9), 5 * 9 * 4);
+}
+
+// ---------------------------------------------------------------------------
+// QTX_CHECK
+// ---------------------------------------------------------------------------
+
+TEST(Check, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(QTX_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(QTX_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Check, FailingCheckThrowsRuntimeError) {
+  EXPECT_THROW(QTX_CHECK(false), std::runtime_error);
+}
+
+TEST(Check, FailureMessageContainsExpressionAndLocation) {
+  try {
+    QTX_CHECK(2 > 3);
+    FAIL() << "QTX_CHECK(2 > 3) did not throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, MsgVariantIncludesStreamedMessage) {
+  try {
+    QTX_CHECK_MSG(false, "n=" << 42 << " out of range");
+    FAIL() << "QTX_CHECK_MSG did not throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("n=42 out of range"), std::string::npos) << what;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// types.hpp helpers
+// ---------------------------------------------------------------------------
+
+TEST(Types, FermiDiracLimits) {
+  // Deep below mu -> 1, far above -> 0, at mu -> 1/2.
+  EXPECT_DOUBLE_EQ(fermi_dirac(-10.0, 0.0, kRoomTemperatureK), 1.0);
+  EXPECT_DOUBLE_EQ(fermi_dirac(10.0, 0.0, kRoomTemperatureK), 0.0);
+  EXPECT_NEAR(fermi_dirac(0.0, 0.0, kRoomTemperatureK), 0.5, 1e-12);
+}
+
+TEST(Types, FermiDiracMonotoneDecreasing) {
+  double prev = 1.0;
+  for (double e = -1.0; e <= 1.0; e += 0.05) {
+    const double f = fermi_dirac(e, 0.0, kRoomTemperatureK);
+    EXPECT_LE(f, prev + 1e-15);
+    prev = f;
+  }
+}
+
+}  // namespace
+}  // namespace qtx

@@ -69,9 +69,10 @@ TEST_F(BallisticFixture, DosShowsGap) {
       ++n_band;
     }
   }
-  if (n_gap > 0 && n_band > 0)
+  if (n_gap > 0 && n_band > 0) {
     EXPECT_LT(in_gap / n_gap, 0.25 * in_band / n_band)
         << "gap DOS must be strongly suppressed";
+  }
 }
 
 TEST_F(BallisticFixture, LesserGreaterAreAntiHermitian) {

@@ -20,9 +20,12 @@ class Table3Sweep : public ::testing::TestWithParam<DeviceConfig> {};
 
 TEST_P(Table3Sweep, AtomAndOrbitalCountsMatchPaper) {
   const DeviceConfig& c = GetParam();
-  if (c.paper_num_atoms > 0) EXPECT_EQ(c.num_atoms(), c.paper_num_atoms);
-  if (c.paper_num_orbitals > 0)
+  if (c.paper_num_atoms > 0) {
+    EXPECT_EQ(c.num_atoms(), c.paper_num_atoms);
+  }
+  if (c.paper_num_orbitals > 0) {
     EXPECT_EQ(c.num_orbitals(), c.paper_num_orbitals);
+  }
 }
 
 TEST_P(Table3Sweep, NnzCountsMatchPaperWithin10Percent) {

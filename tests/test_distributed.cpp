@@ -30,7 +30,9 @@ TEST_P(DistributedSweep, RunsAndAccountsTime) {
   EXPECT_GT(stats.compute_s, 0.0);
   EXPECT_GE(stats.comm_s, 0.0);
   EXPECT_NEAR(stats.total_s, stats.compute_s + stats.comm_s, 1e-12);
-  if (GetParam() > 1) EXPECT_GT(stats.bytes_sent, 0);
+  if (GetParam() > 1) {
+    EXPECT_GT(stats.bytes_sent, 0);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Ranks, DistributedSweep, ::testing::Values(1, 2, 4));

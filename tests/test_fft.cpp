@@ -52,8 +52,11 @@ TEST(Fft, SingleToneLandsInOneBin) {
   }
   fft(x);
   EXPECT_NEAR(std::abs(x[tone] - cplx(static_cast<double>(n))), 0.0, 1e-10);
-  for (int k = 0; k < n; ++k)
-    if (k != tone) EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-10);
+  for (int k = 0; k < n; ++k) {
+    if (k != tone) {
+      EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-10);
+    }
+  }
 }
 
 class FftSizes : public ::testing::TestWithParam<int> {};

@@ -58,7 +58,9 @@ TEST_P(SurfaceSolverSweep, SanchoRubioConvergesFasterThanFixedPoint) {
   const FixedPointResult fp = surface_fixed_point(m, n, np);
   ASSERT_TRUE(sr.converged && fp.converged);
   EXPECT_LE(sr.iterations, 30);
-  if (fp.iterations > 30) EXPECT_LT(sr.iterations, fp.iterations);
+  if (fp.iterations > 30) {
+    EXPECT_LT(sr.iterations, fp.iterations);
+  }
 }
 
 TEST_P(SurfaceSolverSweep, BeynMatchesSanchoRubio) {
