@@ -5,36 +5,37 @@
 
 #include <cstdio>
 
-#include "core/scba.hpp"
+#include "core/simulation.hpp"
 
 using namespace qtx;
 
 int main() {
   std::printf("=== §5.3 ablation: OBC memoization ===\n\n");
   const device::Structure st = device::make_test_structure(4);
-  core::ScbaOptions opt;
-  opt.grid = core::EnergyGrid{-6.0, 6.0, 32};
-  opt.eta = 0.05;
   const auto gap = st.band_gap();
-  opt.contacts.mu_left = gap.conduction_min + 0.3;
-  opt.contacts.mu_right = gap.conduction_min + 0.1;
-  opt.gw_scale = 0.3;
-  opt.mixing = 0.4;
+  const core::SimulationBuilder base =
+      core::SimulationBuilder(st)
+          .grid(-6.0, 6.0, 32)
+          .eta(0.05)
+          .contacts(gap.conduction_min + 0.3, gap.conduction_min + 0.1)
+          .gw(0.3)
+          .mixing(0.4);
 
   for (const bool memo : {false, true}) {
-    opt.use_memoizer = memo;
-    core::Scba scba(st, opt);
+    core::Simulation sim = core::SimulationBuilder(base)
+                               .obc_backend(memo ? "memoized" : "beyn")
+                               .build();
     std::printf("memoizer %s:\n", memo ? "ON " : "OFF");
     std::printf("%6s %14s %14s %12s %12s\n", "iter", "OBC time [ms]",
                 "total [ms]", "direct", "memoized");
     std::int64_t prev_direct = 0, prev_memo = 0;
     for (int it = 0; it < 5; ++it) {
-      const auto r = scba.iterate();
+      const auto r = sim.iterate();
       double obc_ms = 0.0;
       for (const char* k :
            {"G: OBC", "W: Assembly: Beyn", "W: Assembly: Lyapunov"})
         if (r.kernel_seconds.count(k)) obc_ms += r.kernel_seconds.at(k) * 1e3;
-      const auto& s = scba.memoizer_stats();
+      const auto& s = sim.memoizer_stats();
       std::printf("%6d %14.2f %14.2f %12lld %12lld\n", r.iteration, obc_ms,
                   r.seconds * 1e3,
                   static_cast<long long>(s.direct_calls - prev_direct),
@@ -43,7 +44,7 @@ int main() {
       prev_memo = s.memoized_calls;
     }
     if (memo) {
-      const auto& s = scba.memoizer_stats();
+      const auto& s = sim.memoizer_stats();
       std::printf("  avg fixed-point iterations per memoized solve: %.1f "
                   "(paper: <10 for w≶, ~20 for x^R)\n",
                   static_cast<double>(s.fpi_iterations) /

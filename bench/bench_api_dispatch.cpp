@@ -1,0 +1,140 @@
+// Micro-bench for the Simulation facade's registry dispatch: the stage
+// backends (ObcSolver / GreensSolver / SelfEnergyChannel) are resolved by
+// string key once per Simulation and then invoked through a virtual call per
+// energy point. This bench quantifies that indirection against the
+// direct-call baseline and reports it as a fraction of one SCBA iteration on
+// the quickstart device — the acceptance bar is < 1%.
+//
+// Emits BENCH_api_dispatch.json (current working directory) and exits
+// non-zero if the overhead bound is violated.
+//
+//   ./bench_api_dispatch
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/timer.hpp"
+#include "core/simulation.hpp"
+
+using namespace qtx;
+
+namespace {
+
+/// Minimal backend: the solve body is a counter bump, so the measured loop
+/// time is dominated by the call mechanism itself (conservative bound on the
+/// dispatch overhead — any real solve amortizes it further).
+class CountingSolver final : public core::GreensSolver {
+ public:
+  std::string_view name() const override { return "counting"; }
+  rgf::SelectedSolution solve(const bt::BlockTridiag&, const bt::BlockTridiag&,
+                              const bt::BlockTridiag&) override {
+    ++calls;
+    return {};
+  }
+  std::int64_t calls = 0;
+};
+
+std::int64_t direct_calls = 0;
+
+rgf::SelectedSolution counting_direct(const bt::BlockTridiag&,
+                                      const bt::BlockTridiag&,
+                                      const bt::BlockTridiag&) {
+  ++direct_calls;
+  return {};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== API dispatch overhead vs direct-call baseline ===\n\n");
+
+  // --- 1. Per-call dispatch cost ------------------------------------------
+  const std::int64_t reps = 2'000'000;
+  const bt::BlockTridiag dummy;
+  core::StageRegistry registry = core::StageRegistry::with_builtins();
+  registry.register_greens("counting", [](const core::SimulationOptions&) {
+    return std::make_unique<CountingSolver>();
+  });
+  core::SimulationOptions dummy_opt;
+  std::unique_ptr<core::GreensSolver> via_registry =
+      registry.make_greens("counting", dummy_opt);
+
+  Stopwatch sw;
+  for (std::int64_t i = 0; i < reps; ++i)
+    (void)counting_direct(dummy, dummy, dummy);
+  const double direct_s = sw.seconds();
+  sw.restart();
+  for (std::int64_t i = 0; i < reps; ++i)
+    (void)via_registry->solve(dummy, dummy, dummy);
+  const double virtual_s = sw.seconds();
+  const double direct_ns = direct_s / reps * 1e9;
+  const double virtual_ns = virtual_s / reps * 1e9;
+  const double overhead_ns = std::max(0.0, virtual_ns - direct_ns);
+  std::printf("per-call: direct %.2f ns, via registry backend %.2f ns "
+              "(overhead %.2f ns over %lld calls)\n",
+              direct_ns, virtual_ns, overhead_ns,
+              static_cast<long long>(reps));
+
+  // --- 2. Registry key resolution (paid once per Simulation) --------------
+  sw.restart();
+  const int lookups = 100'000;
+  for (int i = 0; i < lookups; ++i)
+    (void)registry.make_greens("rgf", dummy_opt);
+  const double make_ns = sw.seconds() / lookups * 1e9;
+  std::printf("make_greens(\"rgf\"): %.1f ns per construction "
+              "(3 constructions per Simulation)\n\n",
+              make_ns);
+
+  // --- 3. One SCBA iteration on the quickstart device ---------------------
+  const device::Structure st = device::make_test_structure(4);
+  const auto gap = st.band_gap();
+  core::Simulation sim =
+      core::SimulationBuilder(st)
+          .grid(-6.0, 6.0, 64)
+          .eta(0.02)
+          .contacts(gap.conduction_min + 0.3, gap.conduction_min + 0.1)
+          .gw(0.3)
+          .mixing(0.4)
+          .build();
+  sim.iterate();  // warm-up: fill OBC caches
+  const core::IterationResult steady = sim.iterate();
+  // Virtual-call sites per iteration: per energy point, 2 surface solves in
+  // the G stage plus 2 surface + 4 Stein solves in the W stage, and one
+  // GreensSolver::solve per G and W system.
+  const int ne = sim.options().grid.n;
+  const std::int64_t dispatches = static_cast<std::int64_t>(ne) * 10;
+  const double overhead_s = dispatches * overhead_ns / 1e9;
+  const double fraction = overhead_s / steady.seconds;
+  const bool pass = fraction < 0.01;
+  std::printf("SCBA iteration (quickstart device, %d energies): %.3f s\n",
+              ne, steady.seconds);
+  std::printf("%lld dispatches/iteration -> %.2e s overhead "
+              "(%.2e%% of the iteration) [%s]\n",
+              static_cast<long long>(dispatches), overhead_s,
+              100.0 * fraction, pass ? "PASS < 1%" : "FAIL >= 1%");
+
+  FILE* json = std::fopen("BENCH_api_dispatch.json", "w");
+  if (json) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"api_dispatch\",\n"
+                 "  \"direct_ns_per_call\": %.3f,\n"
+                 "  \"registry_ns_per_call\": %.3f,\n"
+                 "  \"overhead_ns_per_call\": %.3f,\n"
+                 "  \"make_greens_ns\": %.1f,\n"
+                 "  \"dispatches_per_iteration\": %lld,\n"
+                 "  \"scba_iteration_seconds\": %.6f,\n"
+                 "  \"overhead_fraction_of_iteration\": %.3e,\n"
+                 "  \"threshold\": 0.01,\n"
+                 "  \"pass\": %s\n"
+                 "}\n",
+                 direct_ns, virtual_ns, overhead_ns, make_ns,
+                 static_cast<long long>(dispatches), steady.seconds, fraction,
+                 pass ? "true" : "false");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_api_dispatch.json\n");
+  }
+  return pass ? 0 : 1;
+}

@@ -20,7 +20,7 @@ using namespace qtx::core;
 int main() {
   std::printf("=== Fig. 6 (A): measured weak scaling, thread ranks ===\n\n");
   const device::Structure st = device::make_test_structure(4);
-  ScbaOptions opt;
+  SimulationOptions opt;
   opt.eta = 0.05;
   const auto gap = st.band_gap();
   opt.contacts.mu_left = gap.conduction_min + 0.3;

@@ -8,10 +8,11 @@
 // collapsing when memoized).
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
-#include "core/scba.hpp"
+#include "core/simulation.hpp"
 
 using namespace qtx;
 
@@ -25,22 +26,38 @@ struct MiniDevice {
   int energies;
 };
 
-core::IterationResult measure(const device::Structure& st, int ne,
-                              bool memoizer) {
-  core::ScbaOptions opt;
-  opt.grid = core::EnergyGrid{-6.0, 6.0, ne};
-  opt.eta = 0.05;
+/// Per-kernel ledger of one steady-state iteration, collected through the
+/// streaming on_kernel_timing observer — the bench never touches driver
+/// internals.
+struct KernelLedger {
+  std::map<std::string, double> seconds;
+  std::map<std::string, std::int64_t> flops;
+};
+
+KernelLedger measure(const device::Structure& st, int ne, bool memoizer) {
   const auto gap = st.band_gap();
-  opt.contacts.mu_left = gap.conduction_min + 0.3;
-  opt.contacts.mu_right = gap.conduction_min + 0.1;
-  opt.gw_scale = 0.3;
-  opt.use_memoizer = memoizer;
-  core::Scba scba(st, opt);
-  // Paper §6.3: discard the first iteration (JIT/warm-up analogue: direct
+  KernelLedger ledger;
+  core::Simulation sim =
+      core::SimulationBuilder(st)
+          .grid(-6.0, 6.0, ne)
+          .eta(0.05)
+          .contacts(gap.conduction_min + 0.3, gap.conduction_min + 0.1)
+          .gw(0.3)
+          .obc_backend(memoizer ? "memoized" : "beyn")
+          .on_kernel_timing([&ledger](const core::KernelTiming& sample) {
+            // Keep only the steady iteration (see below).
+            if (sample.iteration == 3) {
+              ledger.seconds[sample.kernel] = sample.seconds;
+              ledger.flops[sample.kernel] = sample.flops;
+            }
+          })
+          .build();
+  // Paper §6.3: discard the first iterations (JIT/warm-up analogue: direct
   // OBC solves fill the caches); report the median-like steady iteration.
-  scba.iterate();
-  scba.iterate();
-  return scba.iterate();
+  sim.iterate();
+  sim.iterate();
+  sim.iterate();
+  return ledger;
 }
 
 }  // namespace
@@ -74,13 +91,11 @@ int main() {
     double t_off_tot = 0.0, t_on_tot = 0.0, work_tot = 0.0;
     for (const auto& row : rows) {
       const double work =
-          (on.kernel_flops.count(row) ? on.kernel_flops.at(row) : 0) / 1e9;
+          (on.flops.count(row) ? on.flops.at(row) : 0) / 1e9;
       const double toff =
-          (off.kernel_seconds.count(row) ? off.kernel_seconds.at(row) : 0) *
-          1e3;
+          (off.seconds.count(row) ? off.seconds.at(row) : 0) * 1e3;
       const double ton =
-          (on.kernel_seconds.count(row) ? on.kernel_seconds.at(row) : 0) *
-          1e3;
+          (on.seconds.count(row) ? on.seconds.at(row) : 0) * 1e3;
       std::printf("%-24s %12.3f %12.2f %12.2f %9.2f\n", row.c_str(), work,
                   toff, ton, (ton > 0) ? toff / ton : 0.0);
       t_off_tot += toff;

@@ -18,7 +18,12 @@ for config in Debug Release; do
   cmake --build "$build_dir" -j "$JOBS"
   echo "=== [$config] header self-sufficiency check ==="
   cmake --build "$build_dir" --target qtx_header_check -j "$JOBS"
-  echo "=== [$config] ctest ==="
+  echo "=== [$config] deprecated Scba shim compile check ==="
+  # The legacy API must keep compiling under -Werror with only the
+  # deprecation warning itself waived (-Wno-deprecated-declarations is set
+  # on the target), proving both API paths stay buildable.
+  cmake --build "$build_dir" --target scba_compat -j "$JOBS"
+  echo "=== [$config] ctest (includes the -L api facade suite) ==="
   ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
 done
 

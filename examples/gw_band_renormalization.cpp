@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "core/observables.hpp"
-#include "core/scba.hpp"
+#include "core/simulation.hpp"
 
 int main() {
   using namespace qtx;
@@ -16,20 +16,21 @@ int main() {
   const device::Structure structure = device::make_test_structure(4);
   const auto gap = structure.band_gap();
 
-  core::ScbaOptions opt;
-  opt.grid = core::EnergyGrid{-6.0, 6.0, 64};
-  opt.eta = 0.02;
-  opt.contacts.mu_left = gap.midgap();  // equilibrium, intrinsic
-  opt.contacts.mu_right = gap.midgap();
-  opt.gw_scale = 0.4;
-  opt.mixing = 0.4;
-  opt.max_iterations = 8;
-  opt.tol = 1e-3;
+  core::Simulation sim =
+      core::SimulationBuilder(structure)
+          .grid(-6.0, 6.0, 64)
+          .eta(0.02)
+          .contacts(gap.midgap(), gap.midgap())  // equilibrium, intrinsic
+          .gw(0.4)
+          .mixing(0.4)
+          .max_iterations(8)
+          .tolerance(1e-3)
+          .build();
+  const core::TransportResult res = sim.run();
+  std::printf("# SCBA stopped after %d iterations (%s)\n", res.iterations,
+              core::to_string(res.stop_reason));
 
-  core::Scba scba(structure, opt);
-  scba.run();
-
-  const auto bands = core::band_renormalization(scba, 25);
+  const auto bands = core::band_renormalization(sim, 25);
   const int m = structure.orbitals_per_puc();
   const int nv = m / 2;
   std::printf("# k, valence/conduction band edges: bare vs GW-corrected\n");

@@ -5,12 +5,16 @@
 // targets: gap renormalization and lifetime broadening that soften the
 // turn-on characteristics of ultra-scaled devices.
 //
+// The sweep forks one SimulationBuilder per scenario: the base configuration
+// is copied, the gate potential applied, and the interaction channel
+// switched per run — no option struct plumbing.
+//
 //   ./nanoribbon_iv
 
 #include <cstdio>
 
 #include "core/observables.hpp"
-#include "core/scba.hpp"
+#include "core/simulation.hpp"
 
 int main() {
   using namespace qtx;
@@ -19,14 +23,15 @@ int main() {
   const device::Structure structure = device::make_test_structure(6);
   const auto gap = structure.band_gap();
 
-  core::ScbaOptions base;
-  base.grid = core::EnergyGrid{-6.0, 6.0, 48};
-  base.eta = 0.02;
-  base.contacts.mu_left = gap.conduction_min + 0.25;   // doped source
-  base.contacts.mu_right = gap.conduction_min - 0.05;  // V_DS = 0.3 V
-  base.mixing = 0.4;
-  base.max_iterations = 6;
-  base.tol = 1e-3;
+  const core::SimulationBuilder base =
+      core::SimulationBuilder(structure)
+          .grid(-6.0, 6.0, 48)
+          .eta(0.02)
+          .contacts(gap.conduction_min + 0.25,   // doped source
+                    gap.conduction_min - 0.05)   // V_DS = 0.3 V
+          .mixing(0.4)
+          .max_iterations(6)
+          .tolerance(1e-3);
 
   std::printf("# NRFET transfer characteristic (V_DS = 0.30 V)\n");
   std::printf("%10s %16s %16s %10s\n", "V_G [V]", "I_ballistic", "I_GW",
@@ -34,17 +39,17 @@ int main() {
   for (double vg = 0.0; vg <= 0.81; vg += 0.2) {
     // The gate shifts the channel cells; 0.8 V barrier at V_G = 0.
     const double barrier = 0.8 - vg;
-    core::ScbaOptions opt = base;
-    opt.cell_potential = {0.0, 0.0, barrier, barrier, 0.0, 0.0};
+    const std::vector<double> phi = {0.0, 0.0, barrier, barrier, 0.0, 0.0};
 
-    opt.gw_scale = 0.0;
-    core::Scba ballistic(structure, opt);
+    core::Simulation ballistic =
+        core::SimulationBuilder(base).cell_potential(phi).ballistic().build();
     ballistic.run();
     const double i_bal = core::terminal_current_left(ballistic);
 
-    opt.gw_scale = 0.3;
-    opt.fock_scale = 0.0;  // isolate the dissipative (lifetime) effect
-    core::Scba gw(structure, opt);
+    core::Simulation gw = core::SimulationBuilder(base)
+                              .cell_potential(phi)
+                              .gw(0.3, 0.0)  // isolate the lifetime effect
+                              .build();
     gw.run();
     const double i_gw = core::terminal_current_left(gw);
 

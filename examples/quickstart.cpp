@@ -1,13 +1,14 @@
 // Quickstart: build a synthetic silicon-like nanowire device, run the
-// NEGF+scGW SCBA loop to convergence, and print the observables the paper's
-// §4.5 lists: DOS, charge density, spectral current, and terminal current.
+// NEGF+scGW SCBA loop to convergence through the qtx::core::Simulation
+// facade, and print the observables the paper's §4.5 lists: DOS, charge
+// density, spectral current, and terminal current.
 //
 //   ./quickstart
 
 #include <cstdio>
 
 #include "core/observables.hpp"
-#include "core/scba.hpp"
+#include "core/simulation.hpp"
 
 int main() {
   using namespace qtx;
@@ -20,39 +21,45 @@ int main() {
               structure.num_cells(), structure.block_size(), gap.gap(),
               gap.valence_max, gap.conduction_min);
 
-  // 2. Solver options: energy grid, contacts (n-type, 0.2 V bias), GW on.
-  core::ScbaOptions opt;
-  opt.grid = core::EnergyGrid{-6.0, 6.0, 64};
-  opt.eta = 0.02;
-  opt.contacts.mu_left = gap.conduction_min + 0.3;
-  opt.contacts.mu_right = gap.conduction_min + 0.1;
-  opt.gw_scale = 0.3;   // scaled-down e-e interaction for fast convergence
-  opt.mixing = 0.4;
-  opt.max_iterations = 8;
-  opt.tol = 1e-3;
+  // 2. Solver: energy grid, contacts (n-type, 0.2 V bias), GW on. Backends
+  //    are selected by registry key; per-iteration results stream through
+  //    the observer instead of being materialized by run().
+  core::Simulation sim =
+      core::SimulationBuilder(structure)
+          .grid(-6.0, 6.0, 64)
+          .eta(0.02)
+          .contacts(gap.conduction_min + 0.3, gap.conduction_min + 0.1)
+          .gw(0.3)  // scaled-down e-e interaction for fast convergence
+          .mixing(0.4)
+          .max_iterations(8)
+          .tolerance(1e-3)
+          .obc_backend("memoized")  // paper §5.3; "beyn" / "lyapunov" also work
+          .greens_backend("rgf")    // or "nested-dissection"
+          .on_iteration([](const core::IterationResult& it) {
+            std::printf("  SCBA iter %d: |dSigma|/|Sigma| = %.3e  (%.2f s)\n",
+                        it.iteration, it.sigma_update, it.seconds);
+          })
+          .build();
 
   // 3. Run the self-consistent Born loop.
-  core::Scba scba(structure, opt);
-  for (const auto& it : scba.run())
-    std::printf("  SCBA iter %d: |dSigma|/|Sigma| = %.3e  (%.2f s)\n",
-                it.iteration, it.sigma_update, it.seconds);
+  const core::TransportResult res = sim.run();
   std::printf("converged: %s after %d iterations\n",
-              scba.converged() ? "yes" : "no", scba.iteration());
+              res.converged ? "yes" : "no", res.iterations);
 
   // 4. Observables.
-  const auto dos = core::total_dos(scba);
-  const auto density = core::electron_density(scba);
-  const auto spectral = core::spectral_current_left(scba);
+  const auto dos = core::total_dos(sim);
+  const auto density = core::electron_density(sim);
+  const auto spectral = core::spectral_current_left(sim);
+  const auto& grid = sim.options().grid;
   std::printf("\n%8s %12s %14s\n", "E [eV]", "DOS", "I_spectral");
-  for (int e = 0; e < opt.grid.n; e += 4)
-    std::printf("%8.2f %12.4f %14.6e\n", opt.grid.energy(e), dos[e],
-                spectral[e]);
+  for (int e = 0; e < grid.n; e += 4)
+    std::printf("%8.2f %12.4f %14.6e\n", grid.energy(e), dos[e], spectral[e]);
   std::printf("\nelectron density per cell:");
   for (const double n : density) std::printf(" %.4f", n);
   std::printf("\nterminal current I_L = %.6e (e/hbar per spin)\n",
-              core::terminal_current_left(scba));
+              core::terminal_current_left(sim));
   std::printf("memoizer: %lld direct, %lld memoized OBC solves\n",
-              static_cast<long long>(scba.memoizer_stats().direct_calls),
-              static_cast<long long>(scba.memoizer_stats().memoized_calls));
+              static_cast<long long>(sim.memoizer_stats().direct_calls),
+              static_cast<long long>(sim.memoizer_stats().memoized_calls));
   return 0;
 }

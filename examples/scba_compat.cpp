@@ -1,0 +1,43 @@
+// Compatibility check for the deprecated `qtx::core::Scba` shim: the
+// pre-facade quickstart, verbatim. This target is built by ci.sh with
+// -Werror minus -Wdeprecated-declarations to prove the legacy API keeps
+// compiling (and running) alongside the Simulation facade for one release.
+//
+//   ./scba_compat
+
+#include <cstdio>
+
+#include "core/observables.hpp"
+#include "core/scba.hpp"
+
+int main() {
+  using namespace qtx;
+
+  const device::Structure structure = device::make_test_structure(4);
+  const auto gap = structure.band_gap();
+
+  // Old-style flat options; ScbaOptions is now an alias of
+  // SimulationOptions, so validation and backend keys work here too.
+  core::ScbaOptions opt;
+  opt.grid = core::EnergyGrid{-6.0, 6.0, 64};
+  opt.eta = 0.02;
+  opt.contacts.mu_left = gap.conduction_min + 0.3;
+  opt.contacts.mu_right = gap.conduction_min + 0.1;
+  opt.gw_scale = 0.3;
+  opt.mixing = 0.4;
+  opt.max_iterations = 8;
+  opt.tol = 1e-3;
+
+  core::Scba scba(structure, opt);
+  const std::vector<core::IterationResult> history = scba.run();
+  for (const auto& it : history)
+    std::printf("  SCBA iter %d: |dSigma|/|Sigma| = %.3e\n", it.iteration,
+                it.sigma_update);
+  // The final IterationResult now records why the loop stopped.
+  std::printf("converged: %s after %d iterations (stop: %s)\n",
+              scba.converged() ? "yes" : "no", scba.iteration(),
+              core::to_string(history.back().stop));
+  std::printf("terminal current I_L = %.6e (e/hbar per spin)\n",
+              core::terminal_current_left(scba));
+  return 0;
+}

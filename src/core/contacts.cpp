@@ -17,7 +17,7 @@ Matrix broadening(const Matrix& sigma) {
 
 ElectronObc electron_obc(const BlockTridiag& m, double energy,
                          const ContactParams& contacts,
-                         obc::ObcMemoizer& memo, int energy_index) {
+                         ObcSolver& solver, int energy_index) {
   const int nb = m.num_blocks();
   ElectronObc out;
   // Left lead: cells ..., -2, -1 replicate the device edge. The surface
@@ -27,7 +27,7 @@ ElectronObc electron_obc(const BlockTridiag& m, double energy,
     const Matrix& u = m.upper(0);
     const Matrix& l = m.lower(0);
     const Matrix g =
-        memo.solve_surface(obc::ObcKey{0, 0, energy_index}, md, l, u);
+        solver.solve_surface(obc::ObcKey{0, 0, energy_index}, md, l, u);
     out.sigma_r_left = la::mmm(l, g, u);
     const Matrix gamma = broadening(out.sigma_r_left);
     const double f =
@@ -41,7 +41,7 @@ ElectronObc electron_obc(const BlockTridiag& m, double energy,
     const Matrix& u = m.upper(nb - 2);
     const Matrix& l = m.lower(nb - 2);
     const Matrix g =
-        memo.solve_surface(obc::ObcKey{0, 1, energy_index}, md, u, l);
+        solver.solve_surface(obc::ObcKey{0, 1, energy_index}, md, u, l);
     out.sigma_r_right = la::mmm(u, g, l);
     const Matrix gamma = broadening(out.sigma_r_right);
     const double f =
@@ -53,7 +53,7 @@ ElectronObc electron_obc(const BlockTridiag& m, double energy,
 }
 
 WObc w_obc(const BlockTridiag& m_w, const BlockTridiag& b_lesser,
-           const BlockTridiag& b_greater, obc::ObcMemoizer& memo,
+           const BlockTridiag& b_greater, ObcSolver& solver,
            int omega_index) {
   const int nb = m_w.num_blocks();
   WObc out;
@@ -66,7 +66,7 @@ WObc w_obc(const BlockTridiag& m_w, const BlockTridiag& b_lesser,
     {
       ScopedTimer t("W: Assembly: Beyn");
       FlopPhase f("W: Assembly: Beyn");
-      g = memo.solve_surface(obc::ObcKey{1, 0, omega_index}, md, l, u);
+      g = solver.solve_surface(obc::ObcKey{1, 0, omega_index}, md, l, u);
     }
     ScopedTimer t("W: Assembly: Lyapunov");
     FlopPhase fp("W: Assembly: Lyapunov");
@@ -84,7 +84,7 @@ WObc w_obc(const BlockTridiag& m_w, const BlockTridiag& b_lesser,
       inner -= la::mmh(blo, lg);
       const Matrix q = la::mmmh(g, inner, g);
       const Matrix w =
-          memo.solve_stein(obc::ObcKey{sub, 0, omega_index}, q, a, 1.0);
+          solver.solve_stein(obc::ObcKey{sub, 0, omega_index}, q, a, 1.0);
       // Boundary RHS correction: -(l g) b_u - b_l (l g)† + l w l†.
       Matrix corr = la::mm(lg, bu) * cplx(-1.0);
       corr -= la::mmh(blo, lg);
@@ -103,7 +103,7 @@ WObc w_obc(const BlockTridiag& m_w, const BlockTridiag& b_lesser,
     {
       ScopedTimer t("W: Assembly: Beyn");
       FlopPhase f("W: Assembly: Beyn");
-      g = memo.solve_surface(obc::ObcKey{1, 1, omega_index}, md, u, l);
+      g = solver.solve_surface(obc::ObcKey{1, 1, omega_index}, md, u, l);
     }
     ScopedTimer t("W: Assembly: Lyapunov");
     FlopPhase fp("W: Assembly: Lyapunov");
@@ -119,7 +119,7 @@ WObc w_obc(const BlockTridiag& m_w, const BlockTridiag& b_lesser,
       inner -= la::mmh(bu, ug);
       const Matrix q = la::mmmh(g, inner, g);
       const Matrix w =
-          memo.solve_stein(obc::ObcKey{sub, 1, omega_index}, q, a, 1.0);
+          solver.solve_stein(obc::ObcKey{sub, 1, omega_index}, q, a, 1.0);
       Matrix corr = la::mm(ug, blo) * cplx(-1.0);
       corr -= la::mmh(bu, ug);
       corr += la::mmmh(u, w, u);

@@ -13,20 +13,19 @@
 /// on eM_W = I - V P^R; the lesser/greater boundary functions solve the
 /// discrete-time Lyapunov (Stein) equation w≶ = q + a w≶ a† with blocks
 /// extracted from the lead cells of the assembled W system (paper Eq. 7).
+///
+/// Both orchestrators dispatch the lead-level solves through the abstract
+/// `ObcSolver` stage (core/stages.hpp), so the memoized, direct-Beyn, and
+/// Lyapunov backends are interchangeable at runtime.
 
 #include "bsparse/bsparse.hpp"
-#include "obc/obc.hpp"
+#include "core/options.hpp"
+#include "core/stages.hpp"
 
 namespace qtx::core {
 
 using bt::BlockTridiag;
 using la::Matrix;
-
-struct ContactParams {
-  double mu_left = 0.0;
-  double mu_right = 0.0;
-  double temperature_k = kRoomTemperatureK;
-};
 
 /// Per-energy electron boundary blocks. The retarded blocks are subtracted
 /// from eM's corner diagonals; the lesser/greater blocks add to B≶.
@@ -40,8 +39,8 @@ struct ElectronObc {
 /// The lead unit cells replicate eM's edge blocks, as in the paper's
 /// periodic-contact construction (Fig. 2).
 ElectronObc electron_obc(const BlockTridiag& m, double energy,
-                         const ContactParams& contacts,
-                         obc::ObcMemoizer& memo, int energy_index);
+                         const ContactParams& contacts, ObcSolver& solver,
+                         int energy_index);
 
 /// Per-frequency screened-Coulomb boundary blocks.
 struct WObc {
@@ -52,7 +51,6 @@ struct WObc {
 
 /// Compute the W OBC from the assembled eM_W(w) and RHS B≶_W(w) edge blocks.
 WObc w_obc(const BlockTridiag& m_w, const BlockTridiag& b_lesser,
-           const BlockTridiag& b_greater, obc::ObcMemoizer& memo,
-           int omega_index);
+           const BlockTridiag& b_greater, ObcSolver& solver, int omega_index);
 
 }  // namespace qtx::core

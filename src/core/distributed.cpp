@@ -3,13 +3,18 @@
 #include <mutex>
 
 #include "common/timer.hpp"
+#include "core/assembly.hpp"
+#include "core/contacts.hpp"
+#include "core/gw.hpp"
+#include "core/stage_registry.hpp"
 #include "fft/convolution.hpp"
 
 namespace qtx::core {
 
 DistributedStats distributed_iteration(par::CommWorld& world,
                                        const device::Structure& structure,
-                                       const ScbaOptions& opt) {
+                                       const SimulationOptions& opt) {
+  opt.validate(structure.num_cells());
   const SymLayout layout{structure.num_cells(), structure.block_size()};
   const int ne = opt.grid.n;
   BlockTridiag h = structure.hamiltonian_bt();
@@ -28,8 +33,13 @@ DistributedStats distributed_iteration(par::CommWorld& world,
   world.run([&](par::Comm& comm) {
     double compute_s = 0.0, comm_s = 0.0;
     Stopwatch phase;
-    obc::ObcMemoizer memo(
-        obc::MemoizerOptions{.enabled = opt.use_memoizer});
+    // Per-rank stage backends, resolved from the same registry keys as the
+    // Simulation facade (each rank owns private OBC caches).
+    std::unique_ptr<ObcSolver> obc_solver =
+        StageRegistry::global().make_obc(opt.resolved_obc_backend(), opt);
+    std::unique_ptr<GreensSolver> greens =
+        StageRegistry::global().make_greens(opt.resolved_greens_backend(),
+                                            opt);
     const std::int64_t e0 = transposer.energies().offset(comm.rank());
     const std::int64_t ne_mine = transposer.energies().count(comm.rank());
     // ---- G stage (energy layout) --------------------------------------
@@ -41,7 +51,7 @@ DistributedStats distributed_iteration(par::CommWorld& world,
       BlockTridiag m =
           assemble_electron_lhs(opt.grid.energy(e), opt.eta, h, zero_sigma);
       const ElectronObc ob =
-          electron_obc(m, opt.grid.energy(e), opt.contacts, memo, e);
+          electron_obc(m, opt.grid.energy(e), opt.contacts, *obc_solver, e);
       m.diag(0) -= ob.sigma_r_left;
       m.diag(nb - 1) -= ob.sigma_r_right;
       BlockTridiag bl(nb, layout.bs), bg(nb, layout.bs);
@@ -49,9 +59,7 @@ DistributedStats distributed_iteration(par::CommWorld& world,
       bl.diag(nb - 1) += ob.sigma_l_right;
       bg.diag(0) += ob.sigma_g_left;
       bg.diag(nb - 1) += ob.sigma_g_right;
-      rgf::RgfOptions ropt;
-      ropt.symmetrize = opt.symmetrize;
-      const rgf::SelectedSolution sel = rgf_solve(m, bl, bg, ropt);
+      const rgf::SelectedSolution sel = greens->solve(m, bl, bg);
       const std::vector<cplx> lt = serialize_sym(sel.xl);
       const std::vector<cplx> gt = serialize_sym(sel.xg);
       std::copy(lt.begin(), lt.end(),
@@ -113,16 +121,14 @@ DistributedStats distributed_iteration(par::CommWorld& world,
       BlockTridiag m = assemble_w_lhs(v, p_r);
       BlockTridiag bl = assemble_w_rhs(v, p_lt);
       BlockTridiag bg = assemble_w_rhs(v, p_gt);
-      const WObc ob = w_obc(m, bl, bg, memo, w);
+      const WObc ob = w_obc(m, bl, bg, *obc_solver, w);
       m.diag(0) -= ob.br_left;
       m.diag(nb - 1) -= ob.br_right;
       bl.diag(0) += ob.bl_left;
       bl.diag(nb - 1) += ob.bl_right;
       bg.diag(0) += ob.bg_left;
       bg.diag(nb - 1) += ob.bg_right;
-      rgf::RgfOptions ropt;
-      ropt.symmetrize = opt.symmetrize;
-      const rgf::SelectedSolution sel = rgf_solve(m, bl, bg, ropt);
+      const rgf::SelectedSolution sel = greens->solve(m, bl, bg);
       const std::vector<cplx> lt = serialize_sym(sel.xl);
       const std::vector<cplx> gt = serialize_sym(sel.xg);
       std::copy(lt.begin(), lt.end(),

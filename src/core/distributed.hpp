@@ -10,7 +10,8 @@
 
 #include <cstdint>
 
-#include "core/scba.hpp"
+#include "core/options.hpp"
+#include "device/structure.hpp"
 #include "par/distribution.hpp"
 
 namespace qtx::core {
@@ -23,10 +24,12 @@ struct DistributedStats {
 };
 
 /// Run one G -> P -> W -> Sigma iteration with the grid distributed over
-/// \p world's ranks. The physics matches Scba::iterate() with zero initial
-/// self-energy; the return value aggregates per-rank timings.
+/// \p world's ranks. The physics matches Simulation::iterate() with zero
+/// initial self-energy; the return value aggregates per-rank timings. Each
+/// rank instantiates its own OBC / Green's-function stage backends from the
+/// global StageRegistry, resolved from \p opt's backend keys.
 DistributedStats distributed_iteration(par::CommWorld& world,
                                        const device::Structure& structure,
-                                       const ScbaOptions& opt);
+                                       const SimulationOptions& opt);
 
 }  // namespace qtx::core

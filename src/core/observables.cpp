@@ -14,7 +14,7 @@ double im_trace(const la::Matrix& m) {
 
 }  // namespace
 
-std::vector<double> total_dos(const Scba& s) {
+std::vector<double> total_dos(const Simulation& s) {
   const int ne = s.options().grid.n;
   const int nb = s.layout().nb;
   std::vector<double> dos(ne, 0.0);
@@ -26,7 +26,7 @@ std::vector<double> total_dos(const Scba& s) {
   return dos;
 }
 
-std::vector<std::vector<double>> local_dos(const Scba& s) {
+std::vector<std::vector<double>> local_dos(const Simulation& s) {
   const int ne = s.options().grid.n;
   const int nb = s.layout().nb;
   std::vector<std::vector<double>> ldos(nb, std::vector<double>(ne, 0.0));
@@ -36,7 +36,7 @@ std::vector<std::vector<double>> local_dos(const Scba& s) {
   return ldos;
 }
 
-std::vector<double> electron_density(const Scba& s) {
+std::vector<double> electron_density(const Simulation& s) {
   const int ne = s.options().grid.n;
   const int nb = s.layout().nb;
   const double pref = s.options().grid.de() / (2.0 * kPi);
@@ -64,7 +64,7 @@ double mw_integrand(const la::Matrix& sig_l, const la::Matrix& sig_g,
 
 }  // namespace
 
-std::vector<double> spectral_current_left(const Scba& s) {
+std::vector<double> spectral_current_left(const Simulation& s) {
   const int ne = s.options().grid.n;
   std::vector<double> cur(ne, 0.0);
   for (int e = 0; e < ne; ++e)
@@ -73,7 +73,7 @@ std::vector<double> spectral_current_left(const Scba& s) {
   return cur;
 }
 
-std::vector<double> spectral_current_right(const Scba& s) {
+std::vector<double> spectral_current_right(const Simulation& s) {
   const int ne = s.options().grid.n;
   const int last = s.layout().nb - 1;
   std::vector<double> cur(ne, 0.0);
@@ -84,21 +84,21 @@ std::vector<double> spectral_current_right(const Scba& s) {
   return cur;
 }
 
-double terminal_current_left(const Scba& s) {
+double terminal_current_left(const Simulation& s) {
   const auto cur = spectral_current_left(s);
   double sum = 0.0;
   for (const double c : cur) sum += c;
   return sum * s.options().grid.de() / (2.0 * kPi);
 }
 
-double terminal_current_right(const Scba& s) {
+double terminal_current_right(const Simulation& s) {
   const auto cur = spectral_current_right(s);
   double sum = 0.0;
   for (const double c : cur) sum += c;
   return sum * s.options().grid.de() / (2.0 * kPi);
 }
 
-double energy_current_left(const Scba& s) {
+double energy_current_left(const Simulation& s) {
   const auto cur = spectral_current_left(s);
   const auto& grid = s.options().grid;
   double sum = 0.0;
@@ -106,7 +106,7 @@ double energy_current_left(const Scba& s) {
   return sum * grid.de() / (2.0 * kPi);
 }
 
-double energy_current_right(const Scba& s) {
+double energy_current_right(const Simulation& s) {
   const auto cur = spectral_current_right(s);
   const auto& grid = s.options().grid;
   double sum = 0.0;
@@ -114,7 +114,7 @@ double energy_current_right(const Scba& s) {
   return sum * grid.de() / (2.0 * kPi);
 }
 
-std::vector<double> bond_currents(const Scba& s) {
+std::vector<double> bond_currents(const Simulation& s) {
   // I_{i -> i+1} = (dE/2pi) sum_E 2 Re Tr[H_{i,i+1} G<_{i+1,i}(E)]
   // (continuity-equation derivation; kinetic H carries the coherent
   // current, exact in ballistic runs).
@@ -136,7 +136,7 @@ std::vector<double> bond_currents(const Scba& s) {
   return bonds;
 }
 
-std::vector<double> transmission(const Scba& s) {
+std::vector<double> transmission(const Simulation& s) {
   const int ne = s.options().grid.n;
   const int nb = s.layout().nb;
   std::vector<double> t(ne, 0.0);
@@ -167,7 +167,7 @@ std::vector<double> transmission(const Scba& s) {
   return t;
 }
 
-double landauer_current(const Scba& s, const std::vector<double>& t) {
+double landauer_current(const Simulation& s, const std::vector<double>& t) {
   const auto& opt = s.options();
   double sum = 0.0;
   for (int e = 0; e < opt.grid.n; ++e) {
@@ -181,7 +181,7 @@ double landauer_current(const Scba& s, const std::vector<double>& t) {
   return sum * opt.grid.de() / (2.0 * kPi);
 }
 
-BandRenormalization band_renormalization(const Scba& s, int nk) {
+BandRenormalization band_renormalization(const Simulation& s, int nk) {
   BandRenormalization out;
   const device::Structure& st = s.structure();
   const int m = st.orbitals_per_puc();

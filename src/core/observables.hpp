@@ -8,44 +8,44 @@
 
 #include <vector>
 
-#include "core/scba.hpp"
+#include "core/simulation.hpp"
 
 namespace qtx::core {
 
 /// Total DOS(E) = -1/pi Im Tr G^R(E), one value per grid point.
-std::vector<double> total_dos(const Scba& s);
+std::vector<double> total_dos(const Simulation& s);
 
 /// Local DOS per transport cell: ldos[cell][e].
-std::vector<std::vector<double>> local_dos(const Scba& s);
+std::vector<std::vector<double>> local_dos(const Simulation& s);
 
 /// Electron density per transport cell: n_i = -i (dE/2pi) sum_E Tr G<_ii.
-std::vector<double> electron_density(const Scba& s);
+std::vector<double> electron_density(const Simulation& s);
 
 /// Spectral current at the left contact (Meir-Wingreen integrand):
 ///   i_L(E) = Tr[Sigma<_L(E) G>_00(E) - Sigma>_L(E) G<_00(E)].
 /// Real and positive for f_L > f_R in a conducting window.
-std::vector<double> spectral_current_left(const Scba& s);
-std::vector<double> spectral_current_right(const Scba& s);
+std::vector<double> spectral_current_left(const Simulation& s);
+std::vector<double> spectral_current_right(const Simulation& s);
 
 /// Terminal current I_L = (dE/2pi) sum_E i_L(E) (units: e/hbar per spin).
-double terminal_current_left(const Scba& s);
-double terminal_current_right(const Scba& s);
+double terminal_current_left(const Simulation& s);
+double terminal_current_right(const Simulation& s);
 
 /// Energy current I^E_L = (dE/2pi) sum_E E i_L(E) (paper §4.5's I_dE):
 /// the energy flux carried into the device through the left contact.
-double energy_current_left(const Scba& s);
-double energy_current_right(const Scba& s);
+double energy_current_left(const Simulation& s);
+double energy_current_right(const Simulation& s);
 
 /// Bond current through interface i -> i+1 from the off-diagonal lesser
 /// blocks; constant across i in steady state (exactly so in ballistic runs).
-std::vector<double> bond_currents(const Scba& s);
+std::vector<double> bond_currents(const Simulation& s);
 
 /// Ballistic transmission T(E) = Tr[Gamma_L G^R_{0,N-1} Gamma_R G^A_{N-1,0}]
 /// evaluated from the current self-energy state.
-std::vector<double> transmission(const Scba& s);
+std::vector<double> transmission(const Simulation& s);
 
 /// Landauer current from a transmission curve: (dE/2pi) sum T (f_L - f_R).
-double landauer_current(const Scba& s, const std::vector<double>& t);
+double landauer_current(const Simulation& s, const std::vector<double>& t);
 
 /// GW band-structure renormalization: quasiparticle energies from
 /// H(k) + Re Sigma^R(E~band) along the 1D Brillouin zone. Returns bands
@@ -57,6 +57,6 @@ struct BandRenormalization {
   double bare_gap = 0.0;
   double corrected_gap = 0.0;
 };
-BandRenormalization band_renormalization(const Scba& s, int nk = 33);
+BandRenormalization band_renormalization(const Simulation& s, int nk = 33);
 
 }  // namespace qtx::core

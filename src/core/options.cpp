@@ -1,0 +1,116 @@
+#include "core/options.hpp"
+
+namespace qtx::core {
+
+std::string SimulationOptions::resolved_obc_backend() const {
+  if (obc_backend != kAutoBackend) return obc_backend;
+  return use_memoizer ? "memoized" : "beyn";
+}
+
+std::string SimulationOptions::resolved_greens_backend() const {
+  if (greens_backend != kAutoBackend) return greens_backend;
+  return (nd_partitions > 1) ? "nested-dissection" : "rgf";
+}
+
+std::vector<std::string> SimulationOptions::resolved_channels() const {
+  if (!(self_energy_channels.size() == 1 &&
+        self_energy_channels[0] == kAutoBackend)) {
+    return self_energy_channels;
+  }
+  std::vector<std::string> keys;
+  if (gw_scale != 0.0) keys.push_back("gw");
+  if (ephonon.coupling_ev != 0.0) keys.push_back("ephonon");
+  return keys;
+}
+
+void SimulationOptions::validate(int num_cells) const {
+  QTX_CHECK_MSG(num_cells >= 2,
+                "the device must have at least 2 transport cells (got "
+                    << num_cells << ")");
+  QTX_CHECK_MSG(grid.n >= 2, "the energy grid must have at least 2 points "
+                             "(got grid.n = "
+                                 << grid.n << "); set grid = EnergyGrid{"
+                                              "e_min, e_max, n}");
+  QTX_CHECK_MSG(grid.e_max > grid.e_min,
+                "the energy grid is empty: e_max ("
+                    << grid.e_max << ") must exceed e_min (" << grid.e_min
+                    << ")");
+  QTX_CHECK_MSG(eta > 0.0, "eta (retarded broadening) must be > 0, got "
+                               << eta
+                               << "; a non-positive eta breaks causality of "
+                                  "G^R and every OBC solver");
+  QTX_CHECK_MSG(mixing > 0.0 && mixing <= 1.0,
+                "mixing (Sigma damping) must lie in (0, 1], got " << mixing);
+  QTX_CHECK_MSG(max_iterations >= 1,
+                "max_iterations must be >= 1, got " << max_iterations);
+  QTX_CHECK_MSG(tol > 0.0, "tol (SCBA convergence threshold) must be > 0, "
+                           "got "
+                               << tol);
+  QTX_CHECK_MSG(gw_scale >= 0.0,
+                "gw_scale must be >= 0 (0 disables the GW channel), got "
+                    << gw_scale);
+  QTX_CHECK_MSG(contacts.temperature_k > 0.0,
+                "contacts.temperature_k must be > 0 K, got "
+                    << contacts.temperature_k);
+  QTX_CHECK_MSG(cell_potential.empty() ||
+                    static_cast<int>(cell_potential.size()) == num_cells,
+                "cell_potential has " << cell_potential.size()
+                                      << " entries but the device has "
+                                      << num_cells
+                                      << " transport cells; provide one "
+                                         "potential per cell (or leave it "
+                                         "empty)");
+  QTX_CHECK_MSG(nd_threads >= 1,
+                "nd_threads must be >= 1, got " << nd_threads);
+  if (resolved_greens_backend() == "nested-dissection") {
+    QTX_CHECK_MSG(nd_partitions >= 2,
+                  "the nested-dissection Green's solver needs nd_partitions "
+                  ">= 2, got "
+                      << nd_partitions
+                      << "; use greens_backend = \"rgf\" for a sequential "
+                         "solve");
+    QTX_CHECK_MSG(num_cells % nd_partitions == 0,
+                  "nd_partitions (" << nd_partitions
+                                    << ") must divide the cell count ("
+                                    << num_cells
+                                    << ") for load-balanced partitions "
+                                       "(paper §5.4)");
+    QTX_CHECK_MSG(num_cells >= 2 * nd_partitions,
+                  "nested dissection needs at least 2 cells per partition: "
+                  "nd_partitions = "
+                      << nd_partitions << " but the device has only "
+                      << num_cells << " cells");
+  }
+  QTX_CHECK_MSG(ephonon.coupling_ev >= 0.0,
+                "ephonon.coupling_ev must be >= 0, got "
+                    << ephonon.coupling_ev);
+  if (ephonon.coupling_ev != 0.0) {
+    QTX_CHECK_MSG(ephonon.phonon_energy_ev > 0.0,
+                  "ephonon.phonon_energy_ev must be > 0 when the channel is "
+                  "enabled, got "
+                      << ephonon.phonon_energy_ev);
+    QTX_CHECK_MSG(ephonon.temperature_k > 0.0,
+                  "ephonon.temperature_k must be > 0 K, got "
+                      << ephonon.temperature_k);
+  }
+  QTX_CHECK_MSG(!resolved_obc_backend().empty(),
+                "obc_backend must not be empty");
+  QTX_CHECK_MSG(!resolved_greens_backend().empty(),
+                "greens_backend must not be empty");
+  const std::vector<std::string> channels = resolved_channels();
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    const std::string& key = channels[i];
+    QTX_CHECK_MSG(!key.empty() && key != kAutoBackend,
+                  "self_energy_channels may use the single-entry {\"auto\"} "
+                  "sentinel or explicit keys, not a mix");
+    for (std::size_t j = 0; j < i; ++j) {
+      QTX_CHECK_MSG(channels[j] != key,
+                    "self_energy_channels lists \""
+                        << key << "\" twice; channels accumulate "
+                                  "additively, so a duplicate would double "
+                                  "its Sigma contribution");
+    }
+  }
+}
+
+}  // namespace qtx::core

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file options.hpp
+/// Validated solver options for the `qtx::core::Simulation` facade.
+///
+/// `SimulationOptions` carries every physics and backend knob of the SCBA
+/// driver (paper §3.2, Fig. 3). Backends are selected by *string key* —
+/// resolved against a `StageRegistry` at construction time — so examples and
+/// benchmarks can switch OBC / Green's-function / self-energy implementations
+/// at runtime instead of recompiling option combinations:
+///
+///   - `obc_backend`:    "memoized" (§5.3), "beyn", "lyapunov"
+///   - `greens_backend`: "rgf" (§4.3.2), "nested-dissection" (§5.4)
+///   - `self_energy_channels`: any combination of "gw", "fock", "ephonon"
+///
+/// The sentinel `kAutoBackend` ("auto", the default) picks the backend the
+/// legacy flat options imply: `use_memoizer`, `nd_partitions`, `gw_scale`,
+/// and `ephonon.coupling_ev`, which keeps the deprecated `Scba` shim
+/// bit-compatible with the pre-facade driver.
+///
+/// `validate()` rejects inconsistent inputs with actionable messages
+/// (thrown as std::runtime_error via QTX_CHECK_MSG) *before* any O(n^3)
+/// work starts; every constructor of `Simulation` calls it.
+
+#include <string>
+#include <vector>
+
+#include "core/energy_grid.hpp"
+#include "core/ephonon.hpp"
+
+namespace qtx::core {
+
+/// Contact (lead) parameters shared by both subsystems (paper §4.2).
+struct ContactParams {
+  double mu_left = 0.0;   ///< left chemical potential (eV)
+  double mu_right = 0.0;  ///< right chemical potential (eV)
+  double temperature_k = kRoomTemperatureK;
+};
+
+/// Sentinel backend key: resolve from the legacy flat options.
+inline constexpr const char* kAutoBackend = "auto";
+
+/// Full option set of the SCBA driver. Plain aggregate so callers can still
+/// fill fields directly; `SimulationBuilder` provides the fluent spelling.
+struct SimulationOptions {
+  // --- physics ------------------------------------------------------------
+  EnergyGrid grid;
+  double eta = 0.05;  ///< retarded broadening (eV); must be > 0
+  ContactParams contacts;
+  double mixing = 0.5;  ///< Sigma update damping, in (0, 1]
+  int max_iterations = 15;
+  double tol = 1e-4;      ///< on the relative Sigma< update; must be > 0
+  double gw_scale = 1.0;  ///< scales V in the GW loop; 0 = ballistic NEGF
+  double fock_scale = 1.0;
+  std::vector<double> cell_potential;  ///< optional gate/bias profile
+  /// Electron-phonon channel (paper §8 extension); composes with GW.
+  EPhononParams ephonon;
+
+  // --- legacy backend knobs (consumed by the "auto" resolution) -----------
+  bool use_memoizer = true;  ///< paper §5.3
+  bool symmetrize = true;    ///< paper §5.2
+  int nd_partitions = 1;     ///< P_S; 1 = sequential RGF (paper §5.4)
+  int nd_threads = 1;
+
+  // --- backend selection by registry key ----------------------------------
+  std::string obc_backend = kAutoBackend;
+  std::string greens_backend = kAutoBackend;
+  /// Self-energy channels, composed additively. {"auto"} resolves from
+  /// gw_scale / ephonon.coupling_ev; an explicit empty list is ballistic.
+  std::vector<std::string> self_energy_channels = {kAutoBackend};
+
+  /// Resolve the "auto" sentinels against the legacy flat knobs.
+  std::string resolved_obc_backend() const;
+  std::string resolved_greens_backend() const;
+  std::vector<std::string> resolved_channels() const;
+
+  /// Reject inconsistent inputs with actionable messages (throws
+  /// std::runtime_error). \p num_cells is the device's transport-cell count,
+  /// needed to check cell_potential length and nested-dissection geometry.
+  void validate(int num_cells) const;
+};
+
+/// Historic name of the option struct; kept as a plain alias so existing
+/// option-building code compiles unchanged against the new facade.
+using ScbaOptions = SimulationOptions;
+
+}  // namespace qtx::core

@@ -1,127 +1,42 @@
 #pragma once
 
 /// \file scba.hpp
-/// Self-consistent Born approximation driver (paper §3.2, Fig. 3): the
-/// G -> P -> W -> Sigma cycle evaluated over the energy grid until the GW
-/// self-energy stops changing. Per-kernel wall times and FLOP counts are
-/// recorded under the same kernel names as the paper's Table 4 rows
-/// (G: OBC, G: RGF, W: Assembly {Beyn, Lyapunov, LHS, RHS}, W: RGF, Other),
-/// so the benchmark harnesses can print directly comparable tables.
+/// Deprecated compatibility shim over the `qtx::core::Simulation` facade.
+///
+/// The monolithic `Scba` driver of the pre-facade releases was redesigned
+/// into `Simulation` + `SimulationBuilder` + `StageRegistry` (see
+/// core/simulation.hpp and the README "Public API" section). `Scba` remains
+/// for one release as a thin deprecated subclass that preserves the historic
+/// constructor and the materialize-everything `run()` contract.
+///
+/// Migration:
+///   - `ScbaOptions` is now an alias of `SimulationOptions` (core/options.hpp)
+///     and gained string-keyed backend selection plus `validate()`.
+///   - `Scba scba(st, opt); scba.run();` becomes
+///     `SimulationBuilder(st).options(opt).build().run()` — the returned
+///     `TransportResult` carries the converged flag, stop reason, kernel
+///     ledgers, and the full iteration history.
+///   - Streaming consumers register `on_iteration` / `on_kernel_timing`
+///     observers instead of polling the history vector.
 
-#include <cstdint>
-#include <map>
-#include <string>
-#include <vector>
-
-#include "core/assembly.hpp"
-#include "core/contacts.hpp"
-#include "core/energy_grid.hpp"
-#include "core/ephonon.hpp"
-#include "core/gw.hpp"
-#include "device/structure.hpp"
-#include "rgf/nested_dissection.hpp"
+#include "core/simulation.hpp"
 
 namespace qtx::core {
 
-struct ScbaOptions {
-  EnergyGrid grid;
-  double eta = 0.05;  ///< retarded broadening (eV)
-  ContactParams contacts;
-  double mixing = 0.5;        ///< Sigma update damping
-  int max_iterations = 15;
-  double tol = 1e-4;          ///< on the relative Sigma< update
-  bool use_memoizer = true;   ///< paper §5.3
-  bool symmetrize = true;     ///< paper §5.2
-  int nd_partitions = 1;      ///< P_S; 1 = sequential RGF (paper §5.4)
-  int nd_threads = 1;
-  double gw_scale = 1.0;  ///< scales V in the GW loop; 0 = ballistic NEGF
-  double fock_scale = 1.0;
-  std::vector<double> cell_potential;  ///< optional gate/bias profile
-  /// Electron-phonon channel (paper §8 extension); composes with GW.
-  EPhononParams ephonon;
-};
-
-/// Timing/convergence record of one SCBA iteration.
-struct IterationResult {
-  int iteration = 0;
-  double sigma_update = 0.0;  ///< ||dSigma<|| / ||Sigma<||
-  double seconds = 0.0;
-  std::map<std::string, double> kernel_seconds;
-  std::map<std::string, std::int64_t> kernel_flops;
-};
-
-class Scba {
+/// Deprecated: construct a `Simulation` (ideally via `SimulationBuilder`)
+/// instead. All accessors are inherited from `Simulation`; only the historic
+/// vector-returning `run()` differs.
+class [[deprecated(
+    "Scba is a compatibility shim; use qtx::core::Simulation / "
+    "SimulationBuilder (core/simulation.hpp)")]] Scba : public Simulation {
  public:
-  Scba(const device::Structure& structure, const ScbaOptions& opt);
+  Scba(const device::Structure& structure, const ScbaOptions& opt)
+      : Simulation(structure, opt) {}
 
-  /// One SCBA iteration (G -> P -> W -> Sigma -> mix).
-  IterationResult iterate();
-
-  /// Iterate until the Sigma update falls below tol or the budget runs out.
-  std::vector<IterationResult> run();
-
-  bool converged() const { return last_update_ <= opt_.tol; }
-  int iteration() const { return iteration_; }
-  double last_update() const { return last_update_; }
-
-  // --- state accessors (energy-major) -----------------------------------
-  const std::vector<BlockTridiag>& g_retarded() const { return gr_; }
-  const std::vector<BlockTridiag>& g_lesser() const { return glt_; }
-  const std::vector<BlockTridiag>& g_greater() const { return ggt_; }
-  /// Scattering self-energy, materialized for energy index \p e.
-  BlockTridiag sigma_retarded(int e) const;
-  BlockTridiag sigma_lesser(int e) const;
-  /// Boundary (contact) injections stored during the last G solve.
-  const std::vector<la::Matrix>& obc_lesser_left() const { return obc_lt_l_; }
-  const std::vector<la::Matrix>& obc_greater_left() const { return obc_gt_l_; }
-  const std::vector<la::Matrix>& obc_lesser_right() const { return obc_lt_r_; }
-  const std::vector<la::Matrix>& obc_greater_right() const {
-    return obc_gt_r_;
-  }
-  /// Assembled eM(E) including OBC corner corrections (for observables).
-  BlockTridiag effective_system_matrix(int e) const;
-  const obc::MemoizerStats& memoizer_stats() const { return memo_.stats(); }
-
-  const ScbaOptions& options() const { return opt_; }
-  const device::Structure& structure() const { return structure_; }
-  const SymLayout& layout() const { return layout_; }
-  const BlockTridiag& hamiltonian() const { return h_eff_; }
-
- private:
-  void solve_g();
-  void compute_polarization();
-  void solve_w();
-  double compute_sigma_and_mix();
-
-  rgf::SelectedSolution selected_solve(const BlockTridiag& m,
-                                       const BlockTridiag& bl,
-                                       const BlockTridiag& bg);
-
-  device::Structure structure_;
-  ScbaOptions opt_;
-  BlockTridiag h_eff_;  ///< Hamiltonian + external potential
-  BlockTridiag v_;      ///< bare Coulomb, scaled by gw_scale
-  SymLayout layout_;
-  GwEngine engine_;
-  EPhononSelfEnergy ephonon_;
-  obc::ObcMemoizer memo_;
-
-  // Green's functions (energy-major BT).
-  std::vector<BlockTridiag> gr_, glt_, ggt_;
-  // Screened interaction stacks for the W stage (bosonic grid).
-  std::vector<BlockTridiag> wlt_, wgt_;
-  // Polarization flats (element layout along the second index).
-  std::vector<std::vector<cplx>> p_lt_, p_gt_, p_r_;
-  // GW self-energy, stored as flats (primary storage; BT materialized on
-  // demand). sig_r_ holds the dynamic part only; Fock is separate.
-  std::vector<std::vector<cplx>> sig_lt_, sig_gt_, sig_r_;
-  std::vector<cplx> sig_fock_;
-  // Contact injections per energy (for Meir-Wingreen currents).
-  std::vector<la::Matrix> obc_lt_l_, obc_gt_l_, obc_lt_r_, obc_gt_r_;
-  std::vector<la::Matrix> obc_r_l_, obc_r_r_;
-
-  int iteration_ = 0;
-  double last_update_ = 1e300;
+  /// Old contract: iterate until convergence or budget exhaustion and
+  /// materialize the whole history. The final element records why the loop
+  /// stopped (IterationResult::stop / ::converged).
+  std::vector<IterationResult> run() { return Simulation::run().history; }
 };
 
 }  // namespace qtx::core

@@ -1,0 +1,262 @@
+#pragma once
+
+/// \file simulation.hpp
+/// The public solver facade: `Simulation`, built fluently through
+/// `SimulationBuilder`, running the paper's Fig. 3 pipeline
+/// (G -> P -> W -> Sigma) with pluggable stage backends (core/stages.hpp),
+/// validated options (core/options.hpp), streaming observers, and a
+/// structured `TransportResult`.
+///
+/// Quickstart:
+///
+///     auto sim = qtx::core::SimulationBuilder(structure)
+///                    .grid(-6.0, 6.0, 64)
+///                    .eta(0.02)
+///                    .contacts(mu_left, mu_right)
+///                    .gw(0.3)
+///                    .obc_backend("memoized")     // or "beyn", "lyapunov"
+///                    .greens_backend("rgf")       // or "nested-dissection"
+///                    .on_iteration([](const qtx::core::IterationResult& r) {
+///                      std::printf("iter %d: %.3e\n", r.iteration,
+///                                  r.sigma_update);
+///                    })
+///                    .build();                    // validates options
+///     qtx::core::TransportResult res = sim.run();
+///
+/// Per-kernel wall times and FLOP counts are recorded under the paper's
+/// Table 4 row names (G: OBC, G: RGF, W: Assembly {Beyn, Lyapunov, LHS,
+/// RHS}, W: RGF, Other) and streamed through `on_kernel_timing` so bench
+/// harnesses never reach into driver internals.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/assembly.hpp"
+#include "core/contacts.hpp"
+#include "core/stage_registry.hpp"
+#include "device/structure.hpp"
+
+namespace qtx::core {
+
+/// Why `Simulation::run()` stopped iterating (satellite of the SCBA
+/// convergence contract: callers no longer diff iteration() against
+/// max_iterations).
+enum class StopReason {
+  kNone = 0,            ///< not a final iteration (e.g. manual iterate())
+  kConverged,           ///< sigma_update fell below tol
+  kBudgetExhausted,     ///< max_iterations reached without convergence
+  kNonInteracting,      ///< ballistic run: one pass is exact
+};
+
+/// Human-readable stop reason (for logs and benches).
+const char* to_string(StopReason reason);
+
+/// Timing/convergence record of one SCBA iteration.
+struct IterationResult {
+  int iteration = 0;
+  double sigma_update = 0.0;  ///< ||dSigma<|| / ||Sigma<||
+  double seconds = 0.0;
+  /// Final-iteration annotations, set by run(): whether the loop had
+  /// converged at this point and why it stopped (kNone mid-run).
+  bool converged = false;
+  StopReason stop = StopReason::kNone;
+  std::map<std::string, double> kernel_seconds;
+  std::map<std::string, std::int64_t> kernel_flops;
+};
+
+/// One per-kernel timing sample, streamed after every iteration (Table 4
+/// ledger feed).
+struct KernelTiming {
+  std::string kernel;        ///< Table 4 row name, e.g. "G: RGF"
+  int iteration = 0;         ///< SCBA iteration the sample belongs to
+  double seconds = 0.0;
+  std::int64_t flops = 0;
+};
+
+/// Structured outcome of a `Simulation::run()`.
+struct TransportResult {
+  bool converged = false;
+  int iterations = 0;
+  StopReason stop_reason = StopReason::kNone;
+  double final_update = 0.0;   ///< last ||dSigma<|| / ||Sigma<||
+  double total_seconds = 0.0;  ///< wall time of the whole loop
+  /// Per-kernel ledgers summed over all iterations (Table 4 rows).
+  std::map<std::string, double> kernel_seconds;
+  std::map<std::string, std::int64_t> kernel_flops;
+  /// Every IterationResult, in order; back() carries the stop annotation.
+  std::vector<IterationResult> history;
+};
+
+/// SCBA driver facade (paper §3.2): owns the device state, resolves its
+/// stage backends from a `StageRegistry` at construction (validating the
+/// options first), and exposes the converged Green's functions and
+/// self-energies to the observables layer (core/observables.hpp).
+class Simulation {
+ public:
+  using IterationCallback = std::function<void(const IterationResult&)>;
+  using KernelTimingCallback = std::function<void(const KernelTiming&)>;
+
+  /// Validates \p opt (throws std::runtime_error on inconsistent input) and
+  /// resolves the configured backends against \p registry.
+  Simulation(const device::Structure& structure, const SimulationOptions& opt,
+             const StageRegistry& registry = StageRegistry::global());
+
+  Simulation(Simulation&&) = default;
+  Simulation& operator=(Simulation&&) = default;
+
+  /// One SCBA iteration (G -> P -> W -> Sigma -> mix). Streams per-kernel
+  /// timings to the kernel observers; iteration observers fire from run().
+  IterationResult iterate();
+
+  /// Iterate until the Sigma update falls below tol or the budget runs out,
+  /// streaming each IterationResult to the iteration observers as it
+  /// completes. The final IterationResult (and the returned TransportResult)
+  /// record whether the loop converged and why it stopped.
+  TransportResult run();
+
+  /// Streaming observers; may be registered repeatedly (all fire, in
+  /// registration order).
+  void on_iteration(IterationCallback cb);
+  void on_kernel_timing(KernelTimingCallback cb);
+
+  bool converged() const { return last_update_ <= opt_.tol; }
+  int iteration() const { return iteration_; }
+  double last_update() const { return last_update_; }
+
+  // --- backends ----------------------------------------------------------
+  const ObcSolver& obc_solver() const { return *obc_; }
+  const GreensSolver& greens_solver() const { return *greens_; }
+  const std::vector<std::unique_ptr<SelfEnergyChannel>>& channels() const {
+    return channels_;
+  }
+  /// OBC dispatch counters of the active backend (kept under the historic
+  /// name; valid for every backend, not just "memoized").
+  const obc::MemoizerStats& memoizer_stats() const { return obc_->stats(); }
+
+  // --- state accessors (energy-major) ------------------------------------
+  const std::vector<BlockTridiag>& g_retarded() const { return gr_; }
+  const std::vector<BlockTridiag>& g_lesser() const { return glt_; }
+  const std::vector<BlockTridiag>& g_greater() const { return ggt_; }
+  /// Scattering self-energy, materialized for energy index \p e.
+  BlockTridiag sigma_retarded(int e) const;
+  BlockTridiag sigma_lesser(int e) const;
+  /// Boundary (contact) injections stored during the last G solve.
+  const std::vector<la::Matrix>& obc_lesser_left() const { return obc_lt_l_; }
+  const std::vector<la::Matrix>& obc_greater_left() const { return obc_gt_l_; }
+  const std::vector<la::Matrix>& obc_lesser_right() const { return obc_lt_r_; }
+  const std::vector<la::Matrix>& obc_greater_right() const {
+    return obc_gt_r_;
+  }
+  /// Assembled eM(E) including OBC corner corrections (for observables).
+  BlockTridiag effective_system_matrix(int e) const;
+
+  const SimulationOptions& options() const { return opt_; }
+  const device::Structure& structure() const { return structure_; }
+  const SymLayout& layout() const { return layout_; }
+  const BlockTridiag& hamiltonian() const { return h_eff_; }
+
+ private:
+  void solve_g();
+  void compute_polarization();
+  void solve_w();
+  double compute_sigma_and_mix();
+
+  device::Structure structure_;
+  SimulationOptions opt_;
+  BlockTridiag h_eff_;  ///< Hamiltonian + external potential
+  BlockTridiag v_;      ///< bare Coulomb, scaled by gw_scale
+  SymLayout layout_;
+  GwEngine engine_;  ///< element-wise P stage (paper §4.4)
+
+  // Pluggable stage backends (resolved from the registry).
+  std::unique_ptr<ObcSolver> obc_;
+  std::unique_ptr<GreensSolver> greens_;
+  std::vector<std::unique_ptr<SelfEnergyChannel>> channels_;
+  bool needs_w_ = false;  ///< some channel consumes W≶
+
+  // Streaming observers.
+  std::vector<IterationCallback> iteration_observers_;
+  std::vector<KernelTimingCallback> kernel_observers_;
+
+  // Green's functions (energy-major BT).
+  std::vector<BlockTridiag> gr_, glt_, ggt_;
+  // Screened interaction stacks for the W stage (bosonic grid).
+  std::vector<BlockTridiag> wlt_, wgt_;
+  // Polarization flats (element layout along the second index).
+  std::vector<std::vector<cplx>> p_lt_, p_gt_, p_r_;
+  // Scattering self-energy, stored as flats (primary storage; BT
+  // materialized on demand). sig_r_ holds the dynamic part only; the static
+  // (Fock) part is separate.
+  std::vector<std::vector<cplx>> sig_lt_, sig_gt_, sig_r_;
+  std::vector<cplx> sig_fock_;
+  // Contact injections per energy (for Meir-Wingreen currents).
+  std::vector<la::Matrix> obc_lt_l_, obc_gt_l_, obc_lt_r_, obc_gt_r_;
+  std::vector<la::Matrix> obc_r_l_, obc_r_r_;
+
+  int iteration_ = 0;
+  double last_update_ = 1e300;
+};
+
+/// Fluent builder for `Simulation`. Collects options and observers, then
+/// `build()` validates and constructs. The builder is copyable, so a base
+/// configuration can be forked per scenario (see examples/nanoribbon_iv).
+class SimulationBuilder {
+ public:
+  explicit SimulationBuilder(const device::Structure& structure)
+      : structure_(&structure) {}
+
+  /// Bulk-replace the option struct (observers are kept).
+  SimulationBuilder& options(const SimulationOptions& opt);
+
+  // --- physics ------------------------------------------------------------
+  SimulationBuilder& grid(double e_min, double e_max, int n);
+  SimulationBuilder& grid(const EnergyGrid& g);
+  SimulationBuilder& eta(double value);
+  SimulationBuilder& contacts(double mu_left, double mu_right,
+                              double temperature_k = kRoomTemperatureK);
+  SimulationBuilder& mixing(double value);
+  SimulationBuilder& max_iterations(int value);
+  SimulationBuilder& tolerance(double value);
+  /// Enable the GW channel: scales V by \p scale (0 = ballistic) and the
+  /// static exchange by \p fock_scale.
+  SimulationBuilder& gw(double scale, double fock_scale = 1.0);
+  /// Ballistic NEGF: no interaction channels, single exact pass.
+  SimulationBuilder& ballistic();
+  SimulationBuilder& cell_potential(std::vector<double> phi);
+  SimulationBuilder& ephonon(const EPhononParams& params);
+
+  // --- backend selection --------------------------------------------------
+  SimulationBuilder& memoizer(bool enabled);
+  SimulationBuilder& symmetrize(bool enabled);
+  SimulationBuilder& obc_backend(std::string key);
+  SimulationBuilder& greens_backend(std::string key);
+  /// Select "nested-dissection" with P_S = \p partitions (paper §5.4).
+  SimulationBuilder& nested_dissection(int partitions, int threads = 1);
+  SimulationBuilder& self_energy_channels(std::vector<std::string> keys);
+  SimulationBuilder& add_channel(std::string key);
+  /// Resolve backends against \p registry instead of StageRegistry::global().
+  SimulationBuilder& registry(const StageRegistry& reg);
+
+  // --- observers ----------------------------------------------------------
+  SimulationBuilder& on_iteration(Simulation::IterationCallback cb);
+  SimulationBuilder& on_kernel_timing(Simulation::KernelTimingCallback cb);
+
+  const SimulationOptions& peek_options() const { return opt_; }
+
+  /// Validate and construct. Throws std::runtime_error on invalid options
+  /// or unknown backend keys.
+  Simulation build() const;
+
+ private:
+  const device::Structure* structure_;
+  SimulationOptions opt_;
+  const StageRegistry* registry_ = nullptr;
+  std::vector<Simulation::IterationCallback> iteration_observers_;
+  std::vector<Simulation::KernelTimingCallback> kernel_observers_;
+};
+
+}  // namespace qtx::core

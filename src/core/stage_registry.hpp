@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file stage_registry.hpp
+/// String-keyed factories for the pluggable pipeline stages of
+/// core/stages.hpp. A `Simulation` resolves its backends against one
+/// registry at construction; `StageRegistry::global()` comes with the
+/// built-in backends pre-registered:
+///
+///   - ObcSolver:         "memoized" (§5.3), "beyn", "lyapunov"
+///   - GreensSolver:      "rgf" (§4.3.2), "nested-dissection" (§5.4)
+///   - SelfEnergyChannel: "gw", "fock", "ephonon"
+///
+/// Unknown keys fail fast with the list of known keys. New backends
+/// register with `register_obc` / `register_greens` / `register_channel`
+/// on a local registry (or on `global()` for process-wide availability) —
+/// no recompilation of the driver required.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/stages.hpp"
+
+namespace qtx::core {
+
+/// String-keyed factories for the three stage kinds. A `Simulation` resolves
+/// its backends against one registry at construction; `global()` comes with
+/// the built-in backends pre-registered.
+class StageRegistry {
+ public:
+  using ObcFactory =
+      std::function<std::unique_ptr<ObcSolver>(const SimulationOptions&)>;
+  using GreensFactory =
+      std::function<std::unique_ptr<GreensSolver>(const SimulationOptions&)>;
+  using ChannelFactory = std::function<std::unique_ptr<SelfEnergyChannel>(
+      const SimulationOptions&, const SymLayout&)>;
+
+  /// Empty registry (no backends). Most callers want `with_builtins()`.
+  StageRegistry() = default;
+
+  /// A registry pre-populated with the built-in backends listed above.
+  static StageRegistry with_builtins();
+
+  /// Process-wide registry with the built-ins; custom backends registered
+  /// here are visible to every Simulation that uses the default registry.
+  static StageRegistry& global();
+
+  /// Register a backend under \p key (re-registering replaces, so tests can
+  /// shadow built-ins). Keys must be non-empty and not "auto".
+  void register_obc(const std::string& key, ObcFactory factory);
+  void register_greens(const std::string& key, GreensFactory factory);
+  void register_channel(const std::string& key, ChannelFactory factory);
+
+  /// Instantiate a backend; throws with the known-key list on unknown keys.
+  std::unique_ptr<ObcSolver> make_obc(const std::string& key,
+                                      const SimulationOptions& opt) const;
+  std::unique_ptr<GreensSolver> make_greens(const std::string& key,
+                                            const SimulationOptions& opt) const;
+  std::unique_ptr<SelfEnergyChannel> make_channel(
+      const std::string& key, const SimulationOptions& opt,
+      const SymLayout& layout) const;
+
+  /// Registered keys, sorted (for docs, error messages, and tests).
+  std::vector<std::string> obc_keys() const;
+  std::vector<std::string> greens_keys() const;
+  std::vector<std::string> channel_keys() const;
+
+ private:
+  std::map<std::string, ObcFactory> obc_;
+  std::map<std::string, GreensFactory> greens_;
+  std::map<std::string, ChannelFactory> channels_;
+};
+
+}  // namespace qtx::core

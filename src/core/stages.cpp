@@ -1,0 +1,343 @@
+#include "core/stage_registry.hpp"
+
+#include "rgf/nested_dissection.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace qtx::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// OBC backends
+// ---------------------------------------------------------------------------
+
+/// §5.3 memoizer adapter: warm-started fixed point with direct fallback.
+class MemoizedObcSolver final : public ObcSolver {
+ public:
+  explicit MemoizedObcSolver(const obc::MemoizerOptions& opt) : memo_(opt) {}
+  std::string_view name() const override { return "memoized"; }
+  la::Matrix solve_surface(const obc::ObcKey& key, const la::Matrix& m,
+                           const la::Matrix& n,
+                           const la::Matrix& np) override {
+    return memo_.solve_surface(key, m, n, np);
+  }
+  la::Matrix solve_stein(const obc::ObcKey& key, const la::Matrix& q,
+                         const la::Matrix& a, double sigma) override {
+    return memo_.solve_stein(key, q, a, sigma);
+  }
+  const obc::MemoizerStats& stats() const override { return memo_.stats(); }
+  void reset() override {
+    memo_.clear_cache();
+    memo_.reset_stats();
+  }
+
+ private:
+  obc::ObcMemoizer memo_;
+};
+
+/// Direct adapter over obc/beyn.hpp: contour-integral surface solves (with
+/// the Sancho-Rubio / fixed-point safety ladder) and Schur Stein solves,
+/// every time — no cross-iteration state.
+class BeynObcSolver final : public ObcSolver {
+ public:
+  explicit BeynObcSolver(int quadrature) : quadrature_(quadrature) {}
+  std::string_view name() const override { return "beyn"; }
+  la::Matrix solve_surface(const obc::ObcKey&, const la::Matrix& m,
+                           const la::Matrix& n,
+                           const la::Matrix& np) override {
+    stats_.direct_calls += 1;
+    return obc::solve_surface_direct(m, n, np, quadrature_);
+  }
+  la::Matrix solve_stein(const obc::ObcKey&, const la::Matrix& q,
+                         const la::Matrix& a, double sigma) override {
+    stats_.direct_calls += 1;
+    return obc::stein_direct(q, a, sigma);
+  }
+  const obc::MemoizerStats& stats() const override { return stats_; }
+  void reset() override { stats_.reset(); }
+
+ private:
+  int quadrature_;
+  obc::MemoizerStats stats_;
+};
+
+/// Iterative adapter over obc/lyapunov.hpp and the Sancho-Rubio decimation:
+/// surface solves by decimation, Stein solves by the doubling ("squaring")
+/// iteration, each falling back to the direct solver when not convergent.
+class LyapunovObcSolver final : public ObcSolver {
+ public:
+  std::string_view name() const override { return "lyapunov"; }
+  la::Matrix solve_surface(const obc::ObcKey&, const la::Matrix& m,
+                           const la::Matrix& n,
+                           const la::Matrix& np) override {
+    const obc::SanchoRubioResult sr = obc::surface_sancho_rubio(m, n, np);
+    if (sr.converged && obc::surface_residual(sr.x, m, n, np) < 1e-6) {
+      stats_.memoized_calls += 1;
+      stats_.fpi_iterations += sr.iterations;
+      return sr.x;
+    }
+    stats_.direct_calls += 1;
+    return obc::solve_surface_direct(m, n, np);
+  }
+  la::Matrix solve_stein(const obc::ObcKey&, const la::Matrix& q,
+                         const la::Matrix& a, double sigma) override {
+    const obc::SteinResult r = obc::stein_doubling(q, a, sigma);
+    if (r.converged) {
+      stats_.memoized_calls += 1;
+      stats_.fpi_iterations += r.iterations;
+      return r.x;
+    }
+    stats_.direct_calls += 1;
+    return obc::stein_direct(q, a, sigma);
+  }
+  const obc::MemoizerStats& stats() const override { return stats_; }
+  void reset() override { stats_.reset(); }
+
+ private:
+  obc::MemoizerStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Green's-function backends
+// ---------------------------------------------------------------------------
+
+class SequentialRgfSolver final : public GreensSolver {
+ public:
+  explicit SequentialRgfSolver(bool symmetrize) {
+    opt_.symmetrize = symmetrize;
+  }
+  std::string_view name() const override { return "rgf"; }
+  rgf::SelectedSolution solve(const bt::BlockTridiag& m,
+                              const bt::BlockTridiag& bl,
+                              const bt::BlockTridiag& bg) override {
+    return rgf::rgf_solve(m, bl, bg, opt_);
+  }
+
+ private:
+  rgf::RgfOptions opt_;
+};
+
+class NestedDissectionSolver final : public GreensSolver {
+ public:
+  explicit NestedDissectionSolver(const rgf::NdOptions& opt) : opt_(opt) {}
+  std::string_view name() const override { return "nested-dissection"; }
+  rgf::SelectedSolution solve(const bt::BlockTridiag& m,
+                              const bt::BlockTridiag& bl,
+                              const bt::BlockTridiag& bg) override {
+    return rgf::nd_solve(m, bl, bg, opt_).sel;
+  }
+
+ private:
+  rgf::NdOptions opt_;
+};
+
+// ---------------------------------------------------------------------------
+// Self-energy channels
+// ---------------------------------------------------------------------------
+
+/// Dynamic GW self-energy plus static Fock exchange (paper §4.4).
+class GwChannel final : public SelfEnergyChannel {
+ public:
+  GwChannel(const SimulationOptions& opt, const SymLayout& layout)
+      : engine_(opt.grid, layout), fock_scale_(opt.fock_scale) {}
+  std::string_view name() const override { return "gw"; }
+  bool needs_screened_interaction() const override { return true; }
+  void accumulate(const SelfEnergyInput& in,
+                  SelfEnergyAccumulator& out) override {
+    QTX_CHECK_MSG(in.w_lesser != nullptr && in.w_greater != nullptr,
+                  "the \"gw\" channel needs the screened-interaction stacks; "
+                  "the driver must run the P and W stages first");
+    std::vector<std::vector<cplx>> s_lt, s_gt, s_r;
+    std::vector<cplx> s_fock;
+    engine_.self_energy(*in.g_lesser, *in.g_greater, *in.w_lesser,
+                        *in.w_greater, *in.v_elements, fock_scale_, s_lt,
+                        s_gt, s_r, s_fock);
+    const int ne = static_cast<int>(s_lt.size());
+    for (int e = 0; e < ne; ++e) {
+      const std::int64_t nk = static_cast<std::int64_t>(s_lt[e].size());
+      for (std::int64_t k = 0; k < nk; ++k) {
+        (*out.s_lesser)[e][k] += s_lt[e][k];
+        (*out.s_greater)[e][k] += s_gt[e][k];
+        (*out.s_retarded)[e][k] += s_r[e][k];
+      }
+    }
+    for (std::size_t k = 0; k < s_fock.size(); ++k)
+      (*out.s_fock)[k] += s_fock[k];
+  }
+
+ private:
+  GwEngine engine_;
+  double fock_scale_;
+};
+
+/// Static (Hartree-Fock) exchange only: Sigma^F_ij = (i dE / 2 pi) V_ij
+/// sum_E G<_ij(E), no screened interaction required.
+class FockChannel final : public SelfEnergyChannel {
+ public:
+  explicit FockChannel(double fock_scale) : fock_scale_(fock_scale) {}
+  std::string_view name() const override { return "fock"; }
+  void accumulate(const SelfEnergyInput& in,
+                  SelfEnergyAccumulator& out) override {
+    const int ne = in.grid->n;
+    const std::int64_t nk = in.layout->num_elements();
+    const cplx pref = kI * in.grid->de() / (2.0 * kPi) * fock_scale_;
+    for (std::int64_t k = 0; k < nk; ++k) {
+      cplx gsum = 0.0;
+      for (int e = 0; e < ne; ++e) gsum += (*in.g_lesser)[e][k];
+      (*out.s_fock)[k] += pref * (*in.v_elements)[k] * gsum;
+    }
+  }
+
+ private:
+  double fock_scale_;
+};
+
+/// Electron-phonon SCBA channel (paper §8) — adapter over core/ephonon.hpp.
+class EPhononChannel final : public SelfEnergyChannel {
+ public:
+  EPhononChannel(const SimulationOptions& opt, const SymLayout& layout)
+      : ep_(opt.grid, layout, opt.ephonon) {}
+  std::string_view name() const override { return "ephonon"; }
+  void accumulate(const SelfEnergyInput& in,
+                  SelfEnergyAccumulator& out) override {
+    ep_.accumulate(*in.g_lesser, *in.g_greater, *out.s_lesser,
+                   *out.s_greater, *out.s_retarded);
+  }
+
+ private:
+  EPhononSelfEnergy ep_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry plumbing
+// ---------------------------------------------------------------------------
+
+template <class Map>
+std::vector<std::string> sorted_keys(const Map& m) {
+  std::vector<std::string> keys;
+  keys.reserve(m.size());
+  for (const auto& [k, v] : m) keys.push_back(k);
+  return keys;  // std::map iterates sorted
+}
+
+template <class Map>
+std::string key_list(const Map& m) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) os << ", ";
+    os << '"' << k << '"';
+    first = false;
+  }
+  return os.str();
+}
+
+void check_key(const std::string& key) {
+  QTX_CHECK_MSG(!key.empty() && key != kAutoBackend,
+                "backend keys must be non-empty and not \"auto\", got \""
+                    << key << "\"");
+}
+
+}  // namespace
+
+void StageRegistry::register_obc(const std::string& key, ObcFactory factory) {
+  check_key(key);
+  obc_[key] = std::move(factory);
+}
+
+void StageRegistry::register_greens(const std::string& key,
+                                    GreensFactory factory) {
+  check_key(key);
+  greens_[key] = std::move(factory);
+}
+
+void StageRegistry::register_channel(const std::string& key,
+                                     ChannelFactory factory) {
+  check_key(key);
+  channels_[key] = std::move(factory);
+}
+
+std::unique_ptr<ObcSolver> StageRegistry::make_obc(
+    const std::string& key, const SimulationOptions& opt) const {
+  const auto it = obc_.find(key);
+  QTX_CHECK_MSG(it != obc_.end(), "unknown OBC backend \""
+                                      << key << "\"; registered keys: "
+                                      << key_list(obc_));
+  return it->second(opt);
+}
+
+std::unique_ptr<GreensSolver> StageRegistry::make_greens(
+    const std::string& key, const SimulationOptions& opt) const {
+  const auto it = greens_.find(key);
+  QTX_CHECK_MSG(it != greens_.end(), "unknown Green's-function backend \""
+                                         << key << "\"; registered keys: "
+                                         << key_list(greens_));
+  return it->second(opt);
+}
+
+std::unique_ptr<SelfEnergyChannel> StageRegistry::make_channel(
+    const std::string& key, const SimulationOptions& opt,
+    const SymLayout& layout) const {
+  const auto it = channels_.find(key);
+  QTX_CHECK_MSG(it != channels_.end(), "unknown self-energy channel \""
+                                           << key << "\"; registered keys: "
+                                           << key_list(channels_));
+  return it->second(opt, layout);
+}
+
+std::vector<std::string> StageRegistry::obc_keys() const {
+  return sorted_keys(obc_);
+}
+std::vector<std::string> StageRegistry::greens_keys() const {
+  return sorted_keys(greens_);
+}
+std::vector<std::string> StageRegistry::channel_keys() const {
+  return sorted_keys(channels_);
+}
+
+StageRegistry StageRegistry::with_builtins() {
+  StageRegistry reg;
+  reg.register_obc("memoized", [](const SimulationOptions&) {
+    obc::MemoizerOptions mopt;
+    mopt.enabled = true;
+    return std::make_unique<MemoizedObcSolver>(mopt);
+  });
+  reg.register_obc("beyn", [](const SimulationOptions&) {
+    return std::make_unique<BeynObcSolver>(obc::MemoizerOptions{}
+                                               .beyn_quadrature);
+  });
+  reg.register_obc("lyapunov", [](const SimulationOptions&) {
+    return std::make_unique<LyapunovObcSolver>();
+  });
+  reg.register_greens("rgf", [](const SimulationOptions& opt) {
+    return std::make_unique<SequentialRgfSolver>(opt.symmetrize);
+  });
+  reg.register_greens("nested-dissection", [](const SimulationOptions& opt) {
+    rgf::NdOptions nopt;
+    nopt.num_partitions = opt.nd_partitions;
+    nopt.num_threads = opt.nd_threads;
+    nopt.symmetrize = opt.symmetrize;
+    return std::make_unique<NestedDissectionSolver>(nopt);
+  });
+  reg.register_channel(
+      "gw", [](const SimulationOptions& opt, const SymLayout& layout) {
+        return std::make_unique<GwChannel>(opt, layout);
+      });
+  reg.register_channel(
+      "fock", [](const SimulationOptions& opt, const SymLayout&) {
+        return std::make_unique<FockChannel>(opt.fock_scale);
+      });
+  reg.register_channel(
+      "ephonon", [](const SimulationOptions& opt, const SymLayout& layout) {
+        return std::make_unique<EPhononChannel>(opt, layout);
+      });
+  return reg;
+}
+
+StageRegistry& StageRegistry::global() {
+  static StageRegistry reg = with_builtins();
+  return reg;
+}
+
+}  // namespace qtx::core

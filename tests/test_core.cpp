@@ -10,13 +10,13 @@
 #include <numeric>
 
 #include "core/observables.hpp"
-#include "core/scba.hpp"
+#include "core/simulation.hpp"
 
 namespace qtx::core {
 namespace {
 
-ScbaOptions base_options(const device::Structure& st) {
-  ScbaOptions opt;
+SimulationOptions base_options(const device::Structure& st) {
+  SimulationOptions opt;
   opt.grid = EnergyGrid{-6.0, 6.0, 48};
   opt.eta = 0.05;
   const auto gap = st.band_gap();
@@ -33,7 +33,7 @@ class BallisticFixture : public ::testing::Test {
   static void SetUpTestSuite() {
     structure_ = new device::Structure(device::make_test_structure(4));
     auto opt = base_options(*structure_);
-    scba_ = new Scba(*structure_, opt);
+    scba_ = new Simulation(*structure_, opt);
     scba_->run();
   }
   static void TearDownTestSuite() {
@@ -43,11 +43,11 @@ class BallisticFixture : public ::testing::Test {
     structure_ = nullptr;
   }
   static device::Structure* structure_;
-  static Scba* scba_;
+  static Simulation* scba_;
 };
 
 device::Structure* BallisticFixture::structure_ = nullptr;
-Scba* BallisticFixture::scba_ = nullptr;
+Simulation* BallisticFixture::scba_ = nullptr;
 
 TEST_F(BallisticFixture, DosIsNonNegative) {
   for (const double d : total_dos(*scba_)) EXPECT_GE(d, -1e-10);
@@ -139,7 +139,7 @@ TEST(BallisticSmallEta, BondCurrentsBecomeUniformAsEtaVanishes) {
   auto opt = base_options(st);
   auto deviation = [&](double eta) {
     opt.eta = eta;
-    Scba s(st, opt);
+    Simulation s(st, opt);
     s.run();
     const auto bonds = bond_currents(s);
     const double il = terminal_current_left(s);
@@ -163,7 +163,7 @@ TEST(BallisticSmallEta, TransmissionShowsOpenChannelPlateau) {
   const device::Structure st = device::make_test_structure(4);
   auto opt = base_options(st);
   opt.eta = 1e-4;
-  Scba s(st, opt);
+  Simulation s(st, opt);
   s.run();
   const auto t = transmission(s);
   const double tmax = *std::max_element(t.begin(), t.end());
@@ -178,7 +178,7 @@ TEST(BallisticEquilibrium, DetailedBalanceHoldsExactly) {
   const device::Structure st = device::make_test_structure(3);
   auto opt = base_options(st);
   opt.contacts.mu_right = opt.contacts.mu_left;  // equilibrium
-  Scba s(st, opt);
+  Simulation s(st, opt);
   s.run();
   const int bs = s.layout().bs;
   for (int e = 0; e < opt.grid.n; e += 3) {
@@ -202,11 +202,11 @@ TEST(BallisticEquilibrium, DensityIncreasesWithChemicalPotential) {
   const device::Structure st = device::make_test_structure(3);
   auto opt = base_options(st);
   opt.contacts.mu_right = opt.contacts.mu_left;
-  Scba low(st, opt);
+  Simulation low(st, opt);
   low.run();
   opt.contacts.mu_left += 0.5;
   opt.contacts.mu_right += 0.5;
-  Scba high(st, opt);
+  Simulation high(st, opt);
   high.run();
   const auto n_low = electron_density(low);
   const auto n_high = electron_density(high);
@@ -225,8 +225,8 @@ class GwFixture : public ::testing::Test {
     opt.mixing = 0.4;
     opt.max_iterations = 5;
     opt.tol = 1e-6;  // run all 5 iterations
-    scba_ = new Scba(*structure_, opt);
-    history_ = scba_->run();
+    scba_ = new Simulation(*structure_, opt);
+    history_ = scba_->run().history;
   }
   static void TearDownTestSuite() {
     delete scba_;
@@ -235,12 +235,12 @@ class GwFixture : public ::testing::Test {
     structure_ = nullptr;
   }
   static device::Structure* structure_;
-  static Scba* scba_;
+  static Simulation* scba_;
   static std::vector<IterationResult> history_;
 };
 
 device::Structure* GwFixture::structure_ = nullptr;
-Scba* GwFixture::scba_ = nullptr;
+Simulation* GwFixture::scba_ = nullptr;
 std::vector<IterationResult> GwFixture::history_;
 
 TEST_F(GwFixture, SigmaUpdateShrinksAcrossIterations) {
@@ -287,7 +287,7 @@ TEST_F(GwFixture, ScatteringBroadensTheSpectrum) {
   // exchange moves the band edges; the I-V example studies the reduction).
   auto opt = scba_->options();
   opt.gw_scale = 0.0;
-  Scba ball(*structure_, opt);
+  Simulation ball(*structure_, opt);
   ball.run();
   const auto gap = structure_->band_gap();
   const auto dos_gw = total_dos(*scba_);
@@ -332,10 +332,10 @@ TEST(GwModes, NestedDissectionMatchesSequentialInsideScba) {
   opt.gw_scale = 0.25;
   opt.max_iterations = 2;
   opt.grid.n = 24;
-  Scba seq(st, opt);
+  Simulation seq(st, opt);
   seq.run();
   opt.nd_partitions = 3;
-  Scba nd(st, opt);
+  Simulation nd(st, opt);
   nd.run();
   for (int e = 0; e < opt.grid.n; e += 5) {
     EXPECT_LT(bt::max_abs_diff(seq.g_lesser()[e], nd.g_lesser()[e]), 1e-7)
@@ -351,13 +351,101 @@ TEST(GwModes, MemoizerOnOffGiveSamePhysics) {
   opt.max_iterations = 3;
   opt.grid.n = 24;
   opt.use_memoizer = true;
-  Scba with(st, opt);
+  Simulation with(st, opt);
   with.run();
   opt.use_memoizer = false;
-  Scba without(st, opt);
+  Simulation without(st, opt);
   without.run();
   EXPECT_NEAR(terminal_current_left(with), terminal_current_left(without),
               1e-5 * (1.0 + std::abs(terminal_current_left(without))));
+}
+
+// --- §5.2 symmetry serialization (core/gw.hpp) ----------------------------
+// Property tests: serialize_sym keeps only diag + upper blocks; the
+// deserializers must reconstruct the dropped lower blocks exactly from the
+// lesser/greater symmetry and the retarded/advanced identity.
+
+class SymSerialization : public ::testing::TestWithParam<std::pair<int, int>> {
+};
+
+TEST_P(SymSerialization, LesserRoundTripsAndRestoresSymmetry) {
+  const auto [nb, bs] = GetParam();
+  const SymLayout layout{nb, bs};
+  for (unsigned seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    BlockTridiag x = BlockTridiag::random_diag_dominant(nb, bs, rng);
+    x.anti_hermitize();  // lesser/greater quantities are anti-Hermitian
+    const std::vector<cplx> flat = serialize_sym(x);
+    ASSERT_EQ(static_cast<std::int64_t>(flat.size()), layout.num_elements());
+    const BlockTridiag back = deserialize_lesser(flat, layout);
+    EXPECT_LT(bt::max_abs_diff(back, x), 1e-14);
+    // Serializing the reconstruction is the identity on the flat storage.
+    const std::vector<cplx> flat2 = serialize_sym(back);
+    for (std::int64_t k = 0; k < layout.num_elements(); ++k)
+      EXPECT_EQ(flat[k], flat2[k]) << "k=" << k;
+    // The reconstructed lower blocks obey X_ji = -X_ij†.
+    for (int i = 0; i + 1 < nb; ++i)
+      EXPECT_LT(la::max_abs_diff(back.lower(i),
+                                 back.upper(i).dagger() * cplx(-1.0)),
+                1e-14);
+  }
+}
+
+TEST_P(SymSerialization, RetardedRoundTripsViaJump) {
+  const auto [nb, bs] = GetParam();
+  const SymLayout layout{nb, bs};
+  for (unsigned seed = 4; seed <= 6; ++seed) {
+    Rng rng(seed);
+    // Random lesser/greater pair -> jump d = X> - X<; random retarded
+    // upper/diag elements stored in the same flat layout.
+    BlockTridiag xl = BlockTridiag::random_diag_dominant(nb, bs, rng);
+    BlockTridiag xg = BlockTridiag::random_diag_dominant(nb, bs, rng);
+    xl.anti_hermitize();
+    xg.anti_hermitize();
+    const std::vector<cplx> flat_l = serialize_sym(xl);
+    const std::vector<cplx> flat_g = serialize_sym(xg);
+    std::vector<cplx> jump(layout.num_elements());
+    for (std::int64_t k = 0; k < layout.num_elements(); ++k)
+      jump[k] = flat_g[k] - flat_l[k];
+    std::vector<cplx> flat_r(layout.num_elements());
+    for (auto& v : flat_r) v = rng.complex_uniform();
+    const BlockTridiag xr = deserialize_retarded(flat_r, jump, layout);
+    // Diag + upper are verbatim; serializing is again the identity.
+    const std::vector<cplx> flat_r2 = serialize_sym(xr);
+    for (std::int64_t k = 0; k < layout.num_elements(); ++k)
+      EXPECT_EQ(flat_r2[k], flat_r[k]) << "k=" << k;
+    // Lower blocks satisfy the element-wise R/A identity
+    // X^R_ji = conj(X^R_ij) - conj(X>_ij - X<_ij).
+    for (int i = 0; i + 1 < nb; ++i) {
+      const la::Matrix jump_blk =
+          xg.upper(i) - xl.upper(i);
+      for (int a = 0; a < bs; ++a)
+        for (int b = 0; b < bs; ++b)
+          EXPECT_LT(std::abs(xr.lower(i)(b, a) -
+                             (std::conj(xr.upper(i)(a, b)) -
+                              std::conj(jump_blk(a, b)))),
+                    1e-14)
+              << "i=" << i << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+// nb == 1 exercises the no-upper-blocks edge case: the flat layout is the
+// single diagonal block and both deserializers must not touch upper/lower.
+INSTANTIATE_TEST_SUITE_P(Shapes, SymSerialization,
+                         ::testing::Values(std::pair{1, 3}, std::pair{2, 2},
+                                           std::pair{4, 3}, std::pair{6, 5}));
+
+TEST(SymSerialization, HermitianRoundTripHermitizesDiagonal) {
+  const SymLayout layout{3, 2};
+  Rng rng(11);
+  std::vector<cplx> flat(layout.num_elements());
+  for (auto& v : flat) v = rng.complex_uniform();
+  const BlockTridiag h = deserialize_hermitian(flat, layout);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_LT(la::max_abs_diff(h.diag(i), h.diag(i).dagger()), 1e-14);
+  for (int i = 0; i + 1 < 3; ++i)
+    EXPECT_LT(la::max_abs_diff(h.lower(i), h.upper(i).dagger()), 1e-14);
 }
 
 TEST(GwModes, GatePotentialModulatesCurrent) {
@@ -365,10 +453,10 @@ TEST(GwModes, GatePotentialModulatesCurrent) {
   const device::Structure st = device::make_test_structure(4);
   auto opt = base_options(st);
   opt.cell_potential = {0.0, 0.8, 0.8, 0.0};  // barrier (off state)
-  Scba off(st, opt);
+  Simulation off(st, opt);
   off.run();
   opt.cell_potential = {0.0, 0.0, 0.0, 0.0};  // no barrier (on state)
-  Scba on(st, opt);
+  Simulation on(st, opt);
   on.run();
   const double i_off = terminal_current_left(off);
   const double i_on = terminal_current_left(on);

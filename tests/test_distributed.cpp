@@ -9,8 +9,8 @@
 namespace qtx::core {
 namespace {
 
-ScbaOptions small_options(const device::Structure& st) {
-  ScbaOptions opt;
+SimulationOptions small_options(const device::Structure& st) {
+  SimulationOptions opt;
   opt.grid = EnergyGrid{-6.0, 6.0, 24};
   opt.eta = 0.05;
   const auto gap = st.band_gap();
@@ -24,7 +24,7 @@ class DistributedSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(DistributedSweep, RunsAndAccountsTime) {
   const device::Structure st = device::make_test_structure(3);
-  const ScbaOptions opt = small_options(st);
+  const SimulationOptions opt = small_options(st);
   par::CommWorld world(GetParam());
   const DistributedStats stats = distributed_iteration(world, st, opt);
   EXPECT_GT(stats.compute_s, 0.0);
@@ -39,7 +39,7 @@ INSTANTIATE_TEST_SUITE_P(Ranks, DistributedSweep, ::testing::Values(1, 2, 4));
 
 TEST(Distributed, CommunicationVolumeScalesWithRanksAndBackend) {
   const device::Structure st = device::make_test_structure(3);
-  const ScbaOptions opt = small_options(st);
+  const SimulationOptions opt = small_options(st);
   par::CommWorld w2(2);
   const DistributedStats s2 = distributed_iteration(w2, st, opt);
   par::CommWorld w4(4);

@@ -7,13 +7,13 @@
 
 #include "core/ephonon.hpp"
 #include "core/observables.hpp"
-#include "core/scba.hpp"
+#include "core/simulation.hpp"
 
 namespace qtx::core {
 namespace {
 
-ScbaOptions base_options(const device::Structure& st) {
-  ScbaOptions opt;
+SimulationOptions base_options(const device::Structure& st) {
+  SimulationOptions opt;
   opt.grid = EnergyGrid{-6.0, 6.0, 48};
   opt.eta = 0.05;
   const auto gap = st.band_gap();
@@ -84,14 +84,14 @@ TEST(EPhonon, SelfEnergyIsShiftedScaledGreen) {
 TEST(EPhonon, ScbaWithPhononsConvergesAndBroadens) {
   const device::Structure st = device::make_test_structure(3);
   auto opt = base_options(st);
-  Scba ballistic(st, opt);
+  Simulation ballistic(st, opt);
   ballistic.run();
   opt.ephonon.coupling_ev = 0.1;
   opt.ephonon.phonon_energy_ev = 0.06;
   opt.max_iterations = 5;
   opt.mixing = 0.5;
-  Scba ep(st, opt);
-  const auto history = ep.run();
+  Simulation ep(st, opt);
+  const auto history = ep.run().history;
   EXPECT_GE(history.size(), 2u);
   EXPECT_LT(history.back().sigma_update, history[1].sigma_update + 1e-12);
   // Phonon scattering adds in-gap spectral weight, like GW broadening.
@@ -119,8 +119,8 @@ TEST(EPhonon, ComposesWithGw) {
   opt.gw_scale = 0.2;
   opt.ephonon.coupling_ev = 0.08;
   opt.max_iterations = 3;
-  Scba s(st, opt);
-  const auto history = s.run();
+  Simulation s(st, opt);
+  const auto history = s.run().history;
   EXPECT_EQ(history.size(), 3u);
   EXPECT_TRUE(std::isfinite(terminal_current_left(s)));
 }
@@ -129,11 +129,11 @@ TEST(EnergyCurrent, VanishesAtEquilibriumAndFlowsWithBias) {
   const device::Structure st = device::make_test_structure(3);
   auto opt = base_options(st);
   opt.contacts.mu_right = opt.contacts.mu_left;
-  Scba eq(st, opt);
+  Simulation eq(st, opt);
   eq.run();
   EXPECT_NEAR(energy_current_left(eq), 0.0, 1e-10);
   opt.contacts.mu_right = opt.contacts.mu_left - 0.2;
-  Scba biased(st, opt);
+  Simulation biased(st, opt);
   biased.run();
   // Carriers above the band edge carry positive energy through the left
   // contact; the energy current must be finite and conserved.
