@@ -84,7 +84,8 @@ int main() {
     (void)registry.make_greens("rgf", dummy_opt);
   const double make_ns = sw.seconds() / lookups * 1e9;
   std::printf("make_greens(\"rgf\"): %.1f ns per construction "
-              "(3 constructions per Simulation)\n\n",
+              "(one OBC + one Green's construction per energy batch at "
+              "Simulation build)\n\n",
               make_ns);
 
   // --- 3. One SCBA iteration on the quickstart device ---------------------

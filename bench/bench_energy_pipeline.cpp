@@ -1,0 +1,155 @@
+// Scaling bench for the parallel energy pipeline: runs the tier-1
+// (quickstart) device through Simulation::run() at 1/2/4/8 energy-loop
+// workers, reports the speedup over the sequential path, and verifies the
+// engine's headline guarantee — bit-identical observables for every thread
+// count (hash compare, always enforced).
+//
+// The >= 2x-at-4-threads acceptance gate is enforced when the machine
+// actually has >= 4 hardware threads; on smaller machines (or under
+// sanitizers) the speedup is reported but the gate is recorded as skipped —
+// a wall-clock speedup cannot exist without cores to run on.
+//
+// Emits BENCH_energy_pipeline.json (current working directory) and exits
+// non-zero if determinism or an enforced gate fails.
+//
+//   ./bench_energy_pipeline
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/observables.hpp"
+#include "core/simulation.hpp"
+#include "par/thread_pool.hpp"
+
+using namespace qtx;
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xffu;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::uint64_t mix(std::uint64_t hash, double value) {
+  return fnv1a(hash, std::bit_cast<std::uint64_t>(value));
+}
+
+core::SimulationBuilder tier1_builder(const device::Structure& st) {
+  const auto gap = st.band_gap();
+  return core::SimulationBuilder(st)
+      .grid(-6.0, 6.0, 64)
+      .eta(0.02)
+      .contacts(gap.conduction_min + 0.3, gap.conduction_min + 0.1)
+      .gw(0.3)
+      .mixing(0.4)
+      .max_iterations(2)     // fixed two-iteration workload
+      .tolerance(1e-12);
+}
+
+struct Sample {
+  int threads = 0;
+  double seconds = 0.0;
+  double speedup = 1.0;
+  std::uint64_t hash = 0;
+};
+
+Sample measure(const device::Structure& st, int threads, int reps) {
+  Sample s;
+  s.threads = threads;
+  s.seconds = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    core::Simulation sim = tier1_builder(st).num_threads(threads).build();
+    Stopwatch sw;
+    const core::TransportResult res = sim.run();
+    s.seconds = std::min(s.seconds, sw.seconds());
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const auto& it : res.history) h = mix(h, it.sigma_update);
+    for (const double v : core::transmission(sim)) h = mix(h, v);
+    for (const double v : core::electron_density(sim)) h = mix(h, v);
+    h = mix(h, core::terminal_current_left(sim));
+    s.hash = h;
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Energy-pipeline scaling (tier-1 device, 64 energies, "
+              "2 SCBA iterations) ===\n\n");
+  const device::Structure st = device::make_test_structure(4);
+  const int hw = par::ThreadPool::hardware_threads();
+  const int reps = 2;
+
+  std::vector<Sample> samples;
+  for (const int threads : {1, 2, 4, 8})
+    samples.push_back(measure(st, threads, reps));
+  for (Sample& s : samples) s.speedup = samples[0].seconds / s.seconds;
+
+  bool deterministic = true;
+  for (const Sample& s : samples)
+    deterministic = deterministic && (s.hash == samples[0].hash);
+
+  std::printf("%8s %10s %9s %18s\n", "threads", "seconds", "speedup",
+              "observable hash");
+  for (const Sample& s : samples)
+    std::printf("%8d %10.3f %8.2fx %018llx\n", s.threads, s.seconds,
+                s.speedup, static_cast<unsigned long long>(s.hash));
+  std::printf("\nhardware threads: %d\n", hw);
+  std::printf("determinism across thread counts: %s\n",
+              deterministic ? "bit-identical [PASS]" : "DIVERGED [FAIL]");
+
+  // Gate: >= 2x at 4 workers, enforceable only where 4 cores exist.
+  const double speedup4 = samples[2].speedup;
+  const bool enforced = hw >= 4;
+  const bool speedup_ok = !enforced || speedup4 >= 2.0;
+  if (enforced) {
+    std::printf("speedup gate (>= 2.0x at 4 threads): %.2fx [%s]\n", speedup4,
+                speedup_ok ? "PASS" : "FAIL");
+  } else {
+    std::printf("speedup gate (>= 2.0x at 4 threads): skipped — only %d "
+                "hardware thread%s (measured %.2fx)\n",
+                hw, hw == 1 ? "" : "s", speedup4);
+  }
+
+  const bool pass = deterministic && speedup_ok;
+  FILE* json = std::fopen("BENCH_energy_pipeline.json", "w");
+  if (json) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"energy_pipeline\",\n"
+                 "  \"device\": \"quickstart (4 cells)\",\n"
+                 "  \"n_energies\": 64,\n"
+                 "  \"scba_iterations\": 2,\n"
+                 "  \"hardware_threads\": %d,\n"
+                 "  \"samples\": [\n",
+                 hw);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const Sample& s = samples[i];
+      std::fprintf(json,
+                   "    {\"threads\": %d, \"seconds\": %.6f, "
+                   "\"speedup\": %.3f}%s\n",
+                   s.threads, s.seconds, s.speedup,
+                   i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n"
+                 "  \"deterministic_across_thread_counts\": %s,\n"
+                 "  \"speedup_at_4_threads\": %.3f,\n"
+                 "  \"speedup_threshold\": 2.0,\n"
+                 "  \"speedup_gate_enforced\": %s,\n"
+                 "  \"pass\": %s\n"
+                 "}\n",
+                 deterministic ? "true" : "false", speedup4,
+                 enforced ? "true" : "false", pass ? "true" : "false");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_energy_pipeline.json\n");
+  }
+  return pass ? 0 : 1;
+}

@@ -1,30 +1,69 @@
 #!/usr/bin/env bash
-# CI entry point: runs the tier-1 verify (configure, build, ctest) in Debug
-# and Release configurations with warnings treated as errors, plus the
-# standalone-header compile check. Exits non-zero on the first failure.
+# CI entry point.
+#
+#   ./ci.sh              # all stages
+#   ./ci.sh build-test   # tier-1 verify: Debug + Release, -Werror, ctest
+#   ./ci.sh tsan         # ThreadSanitizer build running the "api" and
+#                        # "parallel" ctest labels (the suites that exercise
+#                        # the energy pipeline's threading)
+#
+# Exits non-zero on the first failure.
 set -euo pipefail
 
 cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
+STAGE="${1:-all}"
 
-for config in Debug Release; do
-  build_dir="build-ci-${config,,}"
-  echo "=== [$config] configure ==="
+build_test() {
+  for config in Debug Release; do
+    build_dir="build-ci-${config,,}"
+    echo "=== [$config] configure ==="
+    cmake -B "$build_dir" -S . \
+      -DCMAKE_BUILD_TYPE="$config" \
+      -DQTX_WERROR=ON
+    echo "=== [$config] build ==="
+    cmake --build "$build_dir" -j "$JOBS"
+    echo "=== [$config] header self-sufficiency check ==="
+    cmake --build "$build_dir" --target qtx_header_check -j "$JOBS"
+    echo "=== [$config] deprecated Scba shim compile check ==="
+    # The legacy API must keep compiling under -Werror with only the
+    # deprecation warning itself waived (-Wno-deprecated-declarations is set
+    # on the target), proving both API paths stay buildable.
+    cmake --build "$build_dir" --target scba_compat -j "$JOBS"
+    echo "=== [$config] ctest (includes the -L api facade suite) ==="
+    ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+  done
+}
+
+tsan() {
+  build_dir="build-ci-tsan"
+  echo "=== [TSan] configure ==="
   cmake -B "$build_dir" -S . \
-    -DCMAKE_BUILD_TYPE="$config" \
-    -DQTX_WERROR=ON
-  echo "=== [$config] build ==="
-  cmake --build "$build_dir" -j "$JOBS"
-  echo "=== [$config] header self-sufficiency check ==="
-  cmake --build "$build_dir" --target qtx_header_check -j "$JOBS"
-  echo "=== [$config] deprecated Scba shim compile check ==="
-  # The legacy API must keep compiling under -Werror with only the
-  # deprecation warning itself waived (-Wno-deprecated-declarations is set
-  # on the target), proving both API paths stay buildable.
-  cmake --build "$build_dir" --target scba_compat -j "$JOBS"
-  echo "=== [$config] ctest (includes the -L api facade suite) ==="
-  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
-done
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+    -DQTX_BUILD_BENCHES=OFF \
+    -DQTX_BUILD_EXAMPLES=OFF
+  echo "=== [TSan] build (api + parallel suites) ==="
+  cmake --build "$build_dir" -j "$JOBS" --target test_api test_parallel
+  echo "=== [TSan] ctest -L 'api|parallel' ==="
+  # The race-sensitive suites: the facade (observers, registry) and the
+  # energy pipeline (thread pool, work stealing, determinism at 8 workers).
+  ctest --test-dir "$build_dir" -L "api|parallel" --output-on-failure \
+    -j "$JOBS"
+}
 
-echo "CI passed: Debug + Release builds, header check, and all tests green."
+case "$STAGE" in
+  build-test) build_test ;;
+  tsan) tsan ;;
+  all)
+    build_test
+    tsan
+    ;;
+  *)
+    echo "unknown stage '$STAGE' (expected: build-test, tsan, all)" >&2
+    exit 2
+    ;;
+esac
+
+echo "CI passed (stage: $STAGE)."

@@ -5,6 +5,7 @@
 #include "common/timer.hpp"
 #include "core/assembly.hpp"
 #include "core/contacts.hpp"
+#include "core/energy_pipeline.hpp"
 #include "core/gw.hpp"
 #include "core/stage_registry.hpp"
 #include "fft/convolution.hpp"
@@ -33,25 +34,25 @@ DistributedStats distributed_iteration(par::CommWorld& world,
   world.run([&](par::Comm& comm) {
     double compute_s = 0.0, comm_s = 0.0;
     Stopwatch phase;
-    // Per-rank stage backends, resolved from the same registry keys as the
-    // Simulation facade (each rank owns private OBC caches).
-    std::unique_ptr<ObcSolver> obc_solver =
-        StageRegistry::global().make_obc(opt.resolved_obc_backend(), opt);
-    std::unique_ptr<GreensSolver> greens =
-        StageRegistry::global().make_greens(opt.resolved_greens_backend(),
-                                            opt);
     const std::int64_t e0 = transposer.energies().offset(comm.rank());
     const std::int64_t ne_mine = transposer.energies().count(comm.rank());
+    // Per-rank energy pipeline over this rank's grid slice — the same
+    // engine (batching, executor policy, per-batch OBC caches) that backs
+    // Simulation, resolved from the same registry keys. With the default
+    // num_threads = 1 each rank runs its slice sequentially; > 1 nests
+    // shared-memory workers inside every rank.
+    EnergyPipeline pipeline(static_cast<int>(ne_mine), opt,
+                            StageRegistry::global());
     // ---- G stage (energy layout) --------------------------------------
     phase.restart();
     std::vector<cplx> g_lt_flat(ne_mine * layout.num_elements());
     std::vector<cplx> g_gt_flat(ne_mine * layout.num_elements());
-    for (std::int64_t el = 0; el < ne_mine; ++el) {
+    pipeline.for_each_energy([&](int el, int ws) {
       const int e = static_cast<int>(e0 + el);
       BlockTridiag m =
           assemble_electron_lhs(opt.grid.energy(e), opt.eta, h, zero_sigma);
-      const ElectronObc ob =
-          electron_obc(m, opt.grid.energy(e), opt.contacts, *obc_solver, e);
+      const ElectronObc ob = electron_obc(m, opt.grid.energy(e), opt.contacts,
+                                          pipeline.obc(ws), e);
       m.diag(0) -= ob.sigma_r_left;
       m.diag(nb - 1) -= ob.sigma_r_right;
       BlockTridiag bl(nb, layout.bs), bg(nb, layout.bs);
@@ -59,14 +60,14 @@ DistributedStats distributed_iteration(par::CommWorld& world,
       bl.diag(nb - 1) += ob.sigma_l_right;
       bg.diag(0) += ob.sigma_g_left;
       bg.diag(nb - 1) += ob.sigma_g_right;
-      const rgf::SelectedSolution sel = greens->solve(m, bl, bg);
+      const rgf::SelectedSolution sel = pipeline.greens(ws).solve(m, bl, bg);
       const std::vector<cplx> lt = serialize_sym(sel.xl);
       const std::vector<cplx> gt = serialize_sym(sel.xg);
       std::copy(lt.begin(), lt.end(),
                 g_lt_flat.begin() + el * layout.num_elements());
       std::copy(gt.begin(), gt.end(),
                 g_gt_flat.begin() + el * layout.num_elements());
-    }
+    });
     compute_s += phase.seconds();
     // ---- transpose to element layout ----------------------------------
     phase.restart();
@@ -105,7 +106,7 @@ DistributedStats distributed_iteration(par::CommWorld& world,
     phase.restart();
     std::vector<cplx> w_lt_flat(ne_mine * layout.num_elements());
     std::vector<cplx> w_gt_flat(ne_mine * layout.num_elements());
-    for (std::int64_t el = 0; el < ne_mine; ++el) {
+    pipeline.for_each_energy([&](int el, int ws) {
       const int w = static_cast<int>(e0 + el);
       std::vector<cplx> flt(layout.num_elements()), fgt(layout.num_elements()),
           fr(layout.num_elements()), jump(layout.num_elements());
@@ -121,21 +122,21 @@ DistributedStats distributed_iteration(par::CommWorld& world,
       BlockTridiag m = assemble_w_lhs(v, p_r);
       BlockTridiag bl = assemble_w_rhs(v, p_lt);
       BlockTridiag bg = assemble_w_rhs(v, p_gt);
-      const WObc ob = w_obc(m, bl, bg, *obc_solver, w);
+      const WObc ob = w_obc(m, bl, bg, pipeline.obc(ws), w);
       m.diag(0) -= ob.br_left;
       m.diag(nb - 1) -= ob.br_right;
       bl.diag(0) += ob.bl_left;
       bl.diag(nb - 1) += ob.bl_right;
       bg.diag(0) += ob.bg_left;
       bg.diag(nb - 1) += ob.bg_right;
-      const rgf::SelectedSolution sel = greens->solve(m, bl, bg);
+      const rgf::SelectedSolution sel = pipeline.greens(ws).solve(m, bl, bg);
       const std::vector<cplx> lt = serialize_sym(sel.xl);
       const std::vector<cplx> gt = serialize_sym(sel.xg);
       std::copy(lt.begin(), lt.end(),
                 w_lt_flat.begin() + el * layout.num_elements());
       std::copy(gt.begin(), gt.end(),
                 w_gt_flat.begin() + el * layout.num_elements());
-    }
+    });
     compute_s += phase.seconds();
     // ---- transpose W, Sigma convolution, transpose back ----------------
     phase.restart();

@@ -26,8 +26,10 @@ struct DistributedStats {
 /// Run one G -> P -> W -> Sigma iteration with the grid distributed over
 /// \p world's ranks. The physics matches Simulation::iterate() with zero
 /// initial self-energy; the return value aggregates per-rank timings. Each
-/// rank instantiates its own OBC / Green's-function stage backends from the
-/// global StageRegistry, resolved from \p opt's backend keys.
+/// rank runs its grid slice through its own EnergyPipeline (the same
+/// batching / executor / per-batch-workspace engine that backs Simulation),
+/// resolved from \p opt's backend keys against the global StageRegistry;
+/// opt.num_threads > 1 nests shared-memory workers inside every rank.
 DistributedStats distributed_iteration(par::CommWorld& world,
                                        const device::Structure& structure,
                                        const SimulationOptions& opt);

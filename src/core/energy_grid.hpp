@@ -7,6 +7,9 @@
 /// frequencies supplied by the lesser/greater symmetry (see
 /// fft/convolution.hpp).
 
+#include <algorithm>
+#include <vector>
+
 #include "common/check.hpp"
 #include "common/types.hpp"
 
@@ -26,5 +29,32 @@ struct EnergyGrid {
     QTX_CHECK(e_max > e_min);
   }
 };
+
+/// One contiguous shard of the energy grid, scheduled as a unit by the
+/// parallel energy pipeline (core/energy_pipeline.hpp).
+struct EnergyBatch {
+  int begin = 0;  ///< first energy index (inclusive)
+  int end = 0;    ///< one past the last energy index
+  int index = 0;  ///< batch ordinal; keys the pipeline's per-batch workspace
+  int size() const { return end - begin; }
+};
+
+/// Shard [0, n_energies) into contiguous batches of \p batch_size points;
+/// the last batch is ragged when batch_size does not divide n_energies.
+/// batch_size <= 0 selects the auto policy of one point per batch (maximum
+/// work-stealing granularity). The layout depends only on
+/// (n_energies, batch_size) — never on the worker count — so per-batch
+/// solver state (OBC caches) is schedule-independent and results stay
+/// bit-identical for every thread count.
+inline std::vector<EnergyBatch> make_energy_batches(int n_energies,
+                                                    int batch_size) {
+  QTX_CHECK(n_energies >= 0);
+  if (batch_size <= 0) batch_size = 1;
+  std::vector<EnergyBatch> batches;
+  batches.reserve((n_energies + batch_size - 1) / std::max(batch_size, 1));
+  for (int b = 0, i = 0; b < n_energies; b += batch_size, ++i)
+    batches.push_back({b, std::min(n_energies, b + batch_size), i});
+  return batches;
+}
 
 }  // namespace qtx::core

@@ -12,6 +12,11 @@ std::string SimulationOptions::resolved_greens_backend() const {
   return (nd_partitions > 1) ? "nested-dissection" : "rgf";
 }
 
+std::string SimulationOptions::resolved_executor() const {
+  if (executor != kAutoBackend) return executor;
+  return (num_threads > 1) ? "omp" : "sequential";
+}
+
 std::vector<std::string> SimulationOptions::resolved_channels() const {
   if (!(self_energy_channels.size() == 1 &&
         self_energy_channels[0] == kAutoBackend)) {
@@ -62,6 +67,34 @@ void SimulationOptions::validate(int num_cells) const {
                                          "empty)");
   QTX_CHECK_MSG(nd_threads >= 1,
                 "nd_threads must be >= 1, got " << nd_threads);
+  QTX_CHECK_MSG(num_threads >= 1,
+                "num_threads must be >= 1 (1 = sequential energy loop), got "
+                    << num_threads
+                    << "; use par::ThreadPool::hardware_threads() for one "
+                       "worker per core");
+  QTX_CHECK_MSG(energy_batch >= 0,
+                "energy_batch must be >= 0 (0 = auto: one energy point per "
+                "batch), got "
+                    << energy_batch);
+  QTX_CHECK_MSG(nd_partitions <= 1 ||
+                    resolved_greens_backend() == "nested-dissection",
+                "nd_partitions = "
+                    << nd_partitions << " has no effect: greens_backend \""
+                    << resolved_greens_backend()
+                    << "\" never partitions the device; set greens_backend = "
+                       "\"nested-dissection\" to shard the transport cells, "
+                       "or leave nd_partitions at 1");
+  QTX_CHECK_MSG(num_threads == 1 || nd_threads == 1 ||
+                    resolved_greens_backend() != "nested-dissection",
+                "num_threads ("
+                    << num_threads
+                    << ") > 1 runs energy batches on parallel workers; "
+                       "combining it with nd_threads ("
+                    << nd_threads
+                    << ") > 1 would oversubscribe every worker with nested "
+                       "spatial threads — parallelize over energies "
+                       "(num_threads) or over partitions (nd_threads), not "
+                       "both");
   if (resolved_greens_backend() == "nested-dissection") {
     QTX_CHECK_MSG(nd_partitions >= 2,
                   "the nested-dissection Green's solver needs nd_partitions "
@@ -97,6 +130,8 @@ void SimulationOptions::validate(int num_cells) const {
                 "obc_backend must not be empty");
   QTX_CHECK_MSG(!resolved_greens_backend().empty(),
                 "greens_backend must not be empty");
+  QTX_CHECK_MSG(!resolved_executor().empty(),
+                "executor must not be empty; use \"sequential\" or \"omp\"");
   const std::vector<std::string> channels = resolved_channels();
   for (std::size_t i = 0; i < channels.size(); ++i) {
     const std::string& key = channels[i];

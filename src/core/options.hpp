@@ -62,17 +62,31 @@ struct SimulationOptions {
   int nd_partitions = 1;     ///< P_S; 1 = sequential RGF (paper §5.4)
   int nd_threads = 1;
 
+  // --- parallel energy-loop execution (core/energy_pipeline.hpp) ----------
+  /// Worker threads of the energy pipeline; 1 = sequential energy loop.
+  /// Use par::ThreadPool::hardware_threads() for one worker per core.
+  int num_threads = 1;
+  /// Energy points per scheduled batch (each batch owns a private stage
+  /// workspace). 0 = auto: one point per batch. The batch layout never
+  /// depends on num_threads, so results are bit-identical for every
+  /// thread count.
+  int energy_batch = 0;
+
   // --- backend selection by registry key ----------------------------------
   std::string obc_backend = kAutoBackend;
   std::string greens_backend = kAutoBackend;
   /// Self-energy channels, composed additively. {"auto"} resolves from
   /// gw_scale / ephonon.coupling_ev; an explicit empty list is ballistic.
   std::vector<std::string> self_energy_channels = {kAutoBackend};
+  /// Energy-loop execution policy: "sequential" or "omp" (fork-join over
+  /// the work-stealing thread pool). "auto" picks "omp" iff num_threads > 1.
+  std::string executor = kAutoBackend;
 
   /// Resolve the "auto" sentinels against the legacy flat knobs.
   std::string resolved_obc_backend() const;
   std::string resolved_greens_backend() const;
   std::vector<std::string> resolved_channels() const;
+  std::string resolved_executor() const;
 
   /// Reject inconsistent inputs with actionable messages (throws
   /// std::runtime_error). \p num_cells is the device's transport-cell count,

@@ -42,9 +42,8 @@ Simulation::Simulation(const device::Structure& structure,
       h_eff_(structure.hamiltonian_bt()),
       v_(structure.coulomb_bt()),
       layout_{structure.num_cells(), structure.block_size()},
-      engine_(opt.grid, layout_) {
-  obc_ = registry.make_obc(opt_.resolved_obc_backend(), opt_);
-  greens_ = registry.make_greens(opt_.resolved_greens_backend(), opt_);
+      engine_(opt.grid, layout_),
+      pipeline_(opt_.grid.n, opt_, registry) {
   for (const std::string& key : opt_.resolved_channels())
     channels_.push_back(registry.make_channel(key, opt_, layout_));
   for (const auto& ch : channels_)
@@ -102,9 +101,11 @@ BlockTridiag Simulation::effective_system_matrix(int e) const {
 }
 
 void Simulation::solve_g() {
-  const int ne = opt_.grid.n;
   const int nb = layout_.nb;
-  for (int e = 0; e < ne; ++e) {
+  // Assemble -> OBC -> RGF per energy, batches possibly concurrent. Every
+  // write lands in this energy's own slot and every solver call uses this
+  // batch's private workspace, so the schedule cannot change the result.
+  pipeline_.for_each_energy([&](int e, int batch) {
     const double energy = opt_.grid.energy(e);
     BlockTridiag m;
     ElectronObc ob;
@@ -112,7 +113,7 @@ void Simulation::solve_g() {
       ScopedTimer t("G: OBC");
       FlopPhase f("G: OBC");
       m = assemble_electron_lhs(energy, opt_.eta, h_eff_, sigma_retarded(e));
-      ob = electron_obc(m, energy, opt_.contacts, *obc_, e);
+      ob = electron_obc(m, energy, opt_.contacts, pipeline_.obc(batch), e);
       m.diag(0) -= ob.sigma_r_left;
       m.diag(nb - 1) -= ob.sigma_r_right;
       obc_r_l_[e] = ob.sigma_r_left;
@@ -131,12 +132,12 @@ void Simulation::solve_g() {
       bl.diag(nb - 1) += ob.sigma_l_right;
       bg.diag(0) += ob.sigma_g_left;
       bg.diag(nb - 1) += ob.sigma_g_right;
-      rgf::SelectedSolution sel = greens_->solve(m, bl, bg);
+      rgf::SelectedSolution sel = pipeline_.greens(batch).solve(m, bl, bg);
       gr_[e] = std::move(sel.xr);
       glt_[e] = std::move(sel.xl);
       ggt_[e] = std::move(sel.xg);
     }
-  }
+  });
 }
 
 void Simulation::compute_polarization() {
@@ -144,17 +145,16 @@ void Simulation::compute_polarization() {
   FlopPhase f("Other: P-FFT");
   const int ne = opt_.grid.n;
   std::vector<std::vector<cplx>> g_lt(ne), g_gt(ne);
-  for (int e = 0; e < ne; ++e) {
+  pipeline_.for_each_energy([&](int e, int) {
     g_lt[e] = serialize_sym(glt_[e]);
     g_gt[e] = serialize_sym(ggt_[e]);
-  }
+  });
   engine_.polarization(g_lt, g_gt, p_lt_, p_gt_, p_r_);
 }
 
 void Simulation::solve_w() {
-  const int ne = opt_.grid.n;
   const int nb = layout_.nb;
-  for (int w = 0; w < ne; ++w) {
+  pipeline_.for_each_energy([&](int w, int batch) {
     BlockTridiag m, bl, bg;
     {
       ScopedTimer t("W: Assembly: LHS");
@@ -173,7 +173,7 @@ void Simulation::solve_w() {
       bl = assemble_w_rhs(v_, p_lt);
       bg = assemble_w_rhs(v_, p_gt);
     }
-    const WObc ob = w_obc(m, bl, bg, *obc_, w);
+    const WObc ob = w_obc(m, bl, bg, pipeline_.obc(batch), w);
     m.diag(0) -= ob.br_left;
     m.diag(nb - 1) -= ob.br_right;
     bl.diag(0) += ob.bl_left;
@@ -183,11 +183,11 @@ void Simulation::solve_w() {
     {
       ScopedTimer t("W: RGF");
       FlopPhase f("W: RGF");
-      rgf::SelectedSolution sel = greens_->solve(m, bl, bg);
+      rgf::SelectedSolution sel = pipeline_.greens(batch).solve(m, bl, bg);
       wlt_[w] = std::move(sel.xl);
       wgt_[w] = std::move(sel.xg);
     }
-  }
+  });
 }
 
 double Simulation::compute_sigma_and_mix() {
@@ -198,10 +198,10 @@ double Simulation::compute_sigma_and_mix() {
   {
     ScopedTimer t("Other: Sigma-FFT");
     FlopPhase f("Other: Sigma-FFT");
-    for (int e = 0; e < ne; ++e) {
+    pipeline_.for_each_energy([&](int e, int) {
       g_lt[e] = serialize_sym(glt_[e]);
       g_gt[e] = serialize_sym(ggt_[e]);
-    }
+    });
     s_lt.assign(ne, std::vector<cplx>(layout_.num_elements(), cplx(0.0)));
     s_gt = s_lt;
     s_r = s_lt;
@@ -216,10 +216,10 @@ double Simulation::compute_sigma_and_mix() {
     if (needs_w_) {
       w_lt.resize(ne);
       w_gt.resize(ne);
-      for (int e = 0; e < ne; ++e) {
+      pipeline_.for_each_energy([&](int e, int) {
         w_lt[e] = serialize_sym(wlt_[e]);
         w_gt[e] = serialize_sym(wgt_[e]);
-      }
+      });
       in.w_lesser = &w_lt;
       in.w_greater = &w_gt;
     }
@@ -230,22 +230,29 @@ double Simulation::compute_sigma_and_mix() {
     acc.s_fock = &s_fock;
     for (const auto& ch : channels_) ch->accumulate(in, acc);
   }
-  // Mixing and convergence metric on the Sigma< flats.
+  // Mixing and convergence metric on the Sigma< flats. Each energy mixes
+  // into its own Sigma slot and records its scalar partials; the partials
+  // are then folded in ascending energy order (ordered_sum), so the metric
+  // is bit-stable for every thread count and batch layout.
   const double alpha = opt_.mixing;
-  double diff2 = 0.0, norm2 = 0.0;
-  for (int e = 0; e < ne; ++e) {
+  std::vector<double> diff2(ne, 0.0), norm2(ne, 0.0);
+  pipeline_.for_each_energy([&](int e, int) {
+    double d2 = 0.0, n2 = 0.0;
     for (std::int64_t k = 0; k < layout_.num_elements(); ++k) {
       const cplx delta = s_lt[e][k] - sig_lt_[e][k];
-      diff2 += std::norm(delta);
-      norm2 += std::norm(s_lt[e][k]);
+      d2 += std::norm(delta);
+      n2 += std::norm(s_lt[e][k]);
       sig_lt_[e][k] += alpha * delta;
       sig_gt_[e][k] += alpha * (s_gt[e][k] - sig_gt_[e][k]);
       sig_r_[e][k] += alpha * (s_r[e][k] - sig_r_[e][k]);
     }
-  }
+    diff2[e] = d2;
+    norm2[e] = n2;
+  });
   for (std::int64_t k = 0; k < layout_.num_elements(); ++k)
     sig_fock_[k] += alpha * (s_fock[k] - sig_fock_[k]);
-  return (norm2 > 0.0) ? std::sqrt(diff2 / norm2) : 0.0;
+  const double dsum = ordered_sum(diff2), nsum = ordered_sum(norm2);
+  return (nsum > 0.0) ? std::sqrt(dsum / nsum) : 0.0;
 }
 
 IterationResult Simulation::iterate() {
@@ -394,6 +401,21 @@ SimulationBuilder& SimulationBuilder::cell_potential(
 
 SimulationBuilder& SimulationBuilder::ephonon(const EPhononParams& params) {
   opt_.ephonon = params;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::num_threads(int value) {
+  opt_.num_threads = value;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::energy_batch(int value) {
+  opt_.energy_batch = value;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::executor(std::string key) {
+  opt_.executor = std::move(key);
   return *this;
 }
 

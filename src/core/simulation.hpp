@@ -14,6 +14,8 @@
 ///                    .eta(0.02)
 ///                    .contacts(mu_left, mu_right)
 ///                    .gw(0.3)
+///                    .num_threads(8)              // parallel energy loop;
+///                                                 // bit-identical results
 ///                    .obc_backend("memoized")     // or "beyn", "lyapunov"
 ///                    .greens_backend("rgf")       // or "nested-dissection"
 ///                    .on_iteration([](const qtx::core::IterationResult& r) {
@@ -37,6 +39,7 @@
 
 #include "core/assembly.hpp"
 #include "core/contacts.hpp"
+#include "core/energy_pipeline.hpp"
 #include "core/stage_registry.hpp"
 #include "device/structure.hpp"
 
@@ -128,14 +131,20 @@ class Simulation {
   double last_update() const { return last_update_; }
 
   // --- backends ----------------------------------------------------------
-  const ObcSolver& obc_solver() const { return *obc_; }
-  const GreensSolver& greens_solver() const { return *greens_; }
+  /// First batch workspace's backends (every batch runs the same backend
+  /// kind; per-batch instances only isolate mutable solver state).
+  const ObcSolver& obc_solver() const { return pipeline_.obc(0); }
+  const GreensSolver& greens_solver() const { return pipeline_.greens(0); }
   const std::vector<std::unique_ptr<SelfEnergyChannel>>& channels() const {
     return channels_;
   }
-  /// OBC dispatch counters of the active backend (kept under the historic
-  /// name; valid for every backend, not just "memoized").
-  const obc::MemoizerStats& memoizer_stats() const { return obc_->stats(); }
+  /// OBC dispatch counters of the active backend, summed over all batch
+  /// workspaces (kept under the historic name; valid for every backend,
+  /// not just "memoized"). Returned by value: the aggregate is a snapshot,
+  /// so successive calls never alias each other.
+  obc::MemoizerStats memoizer_stats() const { return pipeline_.obc_stats(); }
+  /// The parallel energy-loop engine (executor policy, batch layout).
+  const EnergyPipeline& pipeline() const { return pipeline_; }
 
   // --- state accessors (energy-major) ------------------------------------
   const std::vector<BlockTridiag>& g_retarded() const { return gr_; }
@@ -172,9 +181,11 @@ class Simulation {
   SymLayout layout_;
   GwEngine engine_;  ///< element-wise P stage (paper §4.4)
 
-  // Pluggable stage backends (resolved from the registry).
-  std::unique_ptr<ObcSolver> obc_;
-  std::unique_ptr<GreensSolver> greens_;
+  // Parallel energy-loop engine: executor policy plus per-batch OBC /
+  // Green's-function workspaces (resolved from the registry).
+  EnergyPipeline pipeline_;
+  // Self-energy channels (shared across batches; they run in the global
+  // sequential reduction stage, never on pipeline workers).
   std::vector<std::unique_ptr<SelfEnergyChannel>> channels_;
   bool needs_w_ = false;  ///< some channel consumes W≶
 
@@ -228,6 +239,16 @@ class SimulationBuilder {
   SimulationBuilder& ballistic();
   SimulationBuilder& cell_potential(std::vector<double> phi);
   SimulationBuilder& ephonon(const EPhononParams& params);
+
+  // --- parallel execution -------------------------------------------------
+  /// Energy-loop worker threads (1 = sequential). Results are bit-identical
+  /// for every value; see core/energy_pipeline.hpp for the guarantee.
+  SimulationBuilder& num_threads(int value);
+  /// Energy points per scheduled batch (0 = auto: one point per batch).
+  SimulationBuilder& energy_batch(int value);
+  /// Execution policy key ("sequential", "omp"); default "auto" resolves
+  /// from num_threads.
+  SimulationBuilder& executor(std::string key);
 
   // --- backend selection --------------------------------------------------
   SimulationBuilder& memoizer(bool enabled);

@@ -6,14 +6,15 @@
 /// registry at construction; `StageRegistry::global()` comes with the
 /// built-in backends pre-registered:
 ///
-///   - ObcSolver:         "memoized" (§5.3), "beyn", "lyapunov"
-///   - GreensSolver:      "rgf" (§4.3.2), "nested-dissection" (§5.4)
-///   - SelfEnergyChannel: "gw", "fock", "ephonon"
+///   - ObcSolver:          "memoized" (§5.3), "beyn", "lyapunov"
+///   - GreensSolver:       "rgf" (§4.3.2), "nested-dissection" (§5.4)
+///   - SelfEnergyChannel:  "gw", "fock", "ephonon"
+///   - EnergyLoopExecutor: "sequential", "omp" (work-stealing thread pool)
 ///
 /// Unknown keys fail fast with the list of known keys. New backends
-/// register with `register_obc` / `register_greens` / `register_channel`
-/// on a local registry (or on `global()` for process-wide availability) —
-/// no recompilation of the driver required.
+/// register with `register_obc` / `register_greens` / `register_channel` /
+/// `register_executor` on a local registry (or on `global()` for
+/// process-wide availability) — no recompilation of the driver required.
 
 #include <functional>
 #include <map>
@@ -37,6 +38,8 @@ class StageRegistry {
       std::function<std::unique_ptr<GreensSolver>(const SimulationOptions&)>;
   using ChannelFactory = std::function<std::unique_ptr<SelfEnergyChannel>(
       const SimulationOptions&, const SymLayout&)>;
+  using ExecutorFactory = std::function<std::unique_ptr<EnergyLoopExecutor>(
+      const SimulationOptions&)>;
 
   /// Empty registry (no backends). Most callers want `with_builtins()`.
   StageRegistry() = default;
@@ -53,6 +56,7 @@ class StageRegistry {
   void register_obc(const std::string& key, ObcFactory factory);
   void register_greens(const std::string& key, GreensFactory factory);
   void register_channel(const std::string& key, ChannelFactory factory);
+  void register_executor(const std::string& key, ExecutorFactory factory);
 
   /// Instantiate a backend; throws with the known-key list on unknown keys.
   std::unique_ptr<ObcSolver> make_obc(const std::string& key,
@@ -62,16 +66,20 @@ class StageRegistry {
   std::unique_ptr<SelfEnergyChannel> make_channel(
       const std::string& key, const SimulationOptions& opt,
       const SymLayout& layout) const;
+  std::unique_ptr<EnergyLoopExecutor> make_executor(
+      const std::string& key, const SimulationOptions& opt) const;
 
   /// Registered keys, sorted (for docs, error messages, and tests).
   std::vector<std::string> obc_keys() const;
   std::vector<std::string> greens_keys() const;
   std::vector<std::string> channel_keys() const;
+  std::vector<std::string> executor_keys() const;
 
  private:
   std::map<std::string, ObcFactory> obc_;
   std::map<std::string, GreensFactory> greens_;
   std::map<std::string, ChannelFactory> channels_;
+  std::map<std::string, ExecutorFactory> executors_;
 };
 
 }  // namespace qtx::core

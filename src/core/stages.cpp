@@ -1,5 +1,6 @@
 #include "core/stage_registry.hpp"
 
+#include "par/thread_pool.hpp"
 #include "rgf/nested_dissection.hpp"
 
 #include <sstream>
@@ -133,6 +134,42 @@ class NestedDissectionSolver final : public GreensSolver {
 };
 
 // ---------------------------------------------------------------------------
+// Energy-loop execution policies
+// ---------------------------------------------------------------------------
+
+/// One batch after the other on the calling thread — the reference schedule
+/// every parallel policy must reproduce bit-identically.
+class SequentialExecutor final : public EnergyLoopExecutor {
+ public:
+  std::string_view name() const override { return "sequential"; }
+  int concurrency() const override { return 1; }
+  void for_each_batch(
+      const std::vector<EnergyBatch>& batches,
+      const std::function<void(const EnergyBatch&)>& fn) override {
+    for (const EnergyBatch& b : batches) fn(b);
+  }
+};
+
+/// OpenMP-style fork-join over the work-stealing thread pool: every
+/// for_each_batch scatters the batches across the workers and joins before
+/// returning (the implicit barrier of an `omp parallel for`).
+class OmpExecutor final : public EnergyLoopExecutor {
+ public:
+  explicit OmpExecutor(int num_threads) : pool_(num_threads) {}
+  std::string_view name() const override { return "omp"; }
+  int concurrency() const override { return pool_.size(); }
+  void for_each_batch(
+      const std::vector<EnergyBatch>& batches,
+      const std::function<void(const EnergyBatch&)>& fn) override {
+    pool_.parallel_for(static_cast<int>(batches.size()),
+                       [&](int i) { fn(batches[i]); });
+  }
+
+ private:
+  par::ThreadPool pool_;
+};
+
+// ---------------------------------------------------------------------------
 // Self-energy channels
 // ---------------------------------------------------------------------------
 
@@ -258,6 +295,12 @@ void StageRegistry::register_channel(const std::string& key,
   channels_[key] = std::move(factory);
 }
 
+void StageRegistry::register_executor(const std::string& key,
+                                      ExecutorFactory factory) {
+  check_key(key);
+  executors_[key] = std::move(factory);
+}
+
 std::unique_ptr<ObcSolver> StageRegistry::make_obc(
     const std::string& key, const SimulationOptions& opt) const {
   const auto it = obc_.find(key);
@@ -286,6 +329,15 @@ std::unique_ptr<SelfEnergyChannel> StageRegistry::make_channel(
   return it->second(opt, layout);
 }
 
+std::unique_ptr<EnergyLoopExecutor> StageRegistry::make_executor(
+    const std::string& key, const SimulationOptions& opt) const {
+  const auto it = executors_.find(key);
+  QTX_CHECK_MSG(it != executors_.end(), "unknown energy-loop executor \""
+                                            << key << "\"; registered keys: "
+                                            << key_list(executors_));
+  return it->second(opt);
+}
+
 std::vector<std::string> StageRegistry::obc_keys() const {
   return sorted_keys(obc_);
 }
@@ -294,6 +346,9 @@ std::vector<std::string> StageRegistry::greens_keys() const {
 }
 std::vector<std::string> StageRegistry::channel_keys() const {
   return sorted_keys(channels_);
+}
+std::vector<std::string> StageRegistry::executor_keys() const {
+  return sorted_keys(executors_);
 }
 
 StageRegistry StageRegistry::with_builtins() {
@@ -332,6 +387,12 @@ StageRegistry StageRegistry::with_builtins() {
       "ephonon", [](const SimulationOptions& opt, const SymLayout& layout) {
         return std::make_unique<EPhononChannel>(opt, layout);
       });
+  reg.register_executor("sequential", [](const SimulationOptions&) {
+    return std::make_unique<SequentialExecutor>();
+  });
+  reg.register_executor("omp", [](const SimulationOptions& opt) {
+    return std::make_unique<OmpExecutor>(opt.num_threads);
+  });
   return reg;
 }
 

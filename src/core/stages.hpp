@@ -32,9 +32,11 @@
 /// string-keyed `StageRegistry` that instantiates backends lives in
 /// core/stage_registry.hpp.
 
+#include <functional>
 #include <string_view>
 #include <vector>
 
+#include "core/energy_grid.hpp"
 #include "core/gw.hpp"
 #include "obc/memoizer.hpp"
 #include "rgf/sequential.hpp"
@@ -107,6 +109,30 @@ struct SelfEnergyAccumulator {
   std::vector<std::vector<cplx>>* s_greater = nullptr;
   std::vector<std::vector<cplx>>* s_retarded = nullptr;  ///< dynamic part
   std::vector<cplx>* s_fock = nullptr;  ///< static (Hermitian) part
+};
+
+/// Execution policy of the per-energy stage chain (assemble -> OBC -> RGF):
+/// the seam the parallel energy pipeline (core/energy_pipeline.hpp) plugs
+/// into. Backends: "sequential" (one batch after the other on the calling
+/// thread) and "omp" (fork-join over the work-stealing par::ThreadPool —
+/// the shared-memory analogue of the paper's per-rank energy parallelism).
+class EnergyLoopExecutor {
+ public:
+  virtual ~EnergyLoopExecutor() = default;
+
+  /// Registry key of this policy (e.g. "omp").
+  virtual std::string_view name() const = 0;
+
+  /// Worker count the policy schedules onto (1 for sequential).
+  virtual int concurrency() const = 0;
+
+  /// Invoke fn(batch) exactly once per batch. Implementations may run
+  /// batches concurrently and in any order; fn must touch only per-batch
+  /// workspaces and the per-energy output slots of its own batch, which is
+  /// what makes the result schedule-independent.
+  virtual void for_each_batch(
+      const std::vector<EnergyBatch>& batches,
+      const std::function<void(const EnergyBatch&)>& fn) = 0;
 };
 
 /// One additive scattering self-energy (paper Fig. 3d; §8 for extensions).

@@ -1,0 +1,143 @@
+#include "par/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "common/check.hpp"
+
+namespace qtx::par {
+
+/// Completion state of one parallel_for call, shared by its tasks. Lives on
+/// the calling thread's stack — parallel_for does not return before
+/// remaining hits zero, so the pointer in Task never dangles.
+struct ThreadPool::Job {
+  const std::function<void(int)>* fn = nullptr;
+  std::atomic<int> remaining{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;         // guarded by done_mutex; the waiter's predicate
+  std::exception_ptr error;  // guarded by done_mutex; first exception wins
+};
+
+ThreadPool::ThreadPool(int num_threads) {
+  QTX_CHECK_MSG(num_threads >= 1,
+                "ThreadPool needs at least 1 worker, got " << num_threads);
+  queues_.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t)
+    workers_.emplace_back([this, t] { worker_loop(t); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+void ThreadPool::execute(const Task& task) {
+  Job& job = *task.job;
+  if (!job.cancelled.load(std::memory_order_relaxed)) {
+    try {
+      (*job.fn)(task.index);
+    } catch (...) {
+      job.cancelled.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(job.done_mutex);
+      if (!job.error) job.error = std::current_exception();
+    }
+  }
+  if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // The waiter's predicate only reads `done` under the mutex, so it
+    // cannot observe completion (and destroy the stack-allocated Job)
+    // before this critical section — including the notify — has released
+    // the lock; after that the worker never touches the Job again.
+    std::lock_guard<std::mutex> lock(job.done_mutex);
+    job.done = true;
+    job.done_cv.notify_all();
+  }
+}
+
+bool ThreadPool::find_task(int self, Task& out) {
+  const int n = static_cast<int>(queues_.size());
+  // Own deque first, front-out: submission order, warm caches.
+  {
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      out = q.tasks.front();
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  // Steal from the back of the other deques (round-robin from self+1).
+  for (int d = 1; d < n; ++d) {
+    WorkerQueue& q = *queues_[(self + d) % n];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      out = q.tasks.back();
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(int self) {
+  for (;;) {
+    Task task;
+    if (find_task(self, task)) {
+      {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        --queued_;
+      }
+      execute(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (stop_) return;
+  }
+}
+
+void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  Job job;
+  job.fn = &fn;
+  job.remaining.store(n, std::memory_order_relaxed);
+  // Deal contiguous index ranges onto the workers so a worker draining its
+  // own deque walks ascending indices; stealing takes from the far end.
+  const int workers = size();
+  const int per = n / workers, extra = n % workers;
+  // Raise the wake counter before publishing any task: queued_ then always
+  // bounds the deque population from above, so a worker that sees
+  // queued_ > 0 with empty deques only spins for the duration of the push
+  // below, never indefinitely.
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    queued_ += n;
+  }
+  int next = 0;
+  for (int w = 0; w < workers; ++w) {
+    const int count = per + (w < extra ? 1 : 0);
+    if (count == 0) continue;
+    WorkerQueue& q = *queues_[w];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    for (int i = 0; i < count; ++i) q.tasks.push_back(Task{&job, next++});
+  }
+  wake_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(job.done_mutex);
+  job.done_cv.wait(lock, [&job] { return job.done; });
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace qtx::par

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Work-stealing thread pool — the shared-memory substrate of the parallel
+/// energy pipeline (core/energy_pipeline.hpp). The paper's sustained-exascale
+/// claim rests on the embarrassing parallelism of the energy grid: every SCBA
+/// iteration solves independent Green's-function/OBC problems per energy
+/// point. This pool schedules those per-batch solves onto worker threads.
+///
+/// Design: every worker owns a deque. `parallel_for` pushes contiguous index
+/// ranges onto the workers round-robin; a worker drains its own deque from
+/// the front (preserving the submission order for cache locality) and steals
+/// from the back of a victim's deque when it runs dry, so ragged per-task
+/// costs (e.g. memoized vs direct OBC solves) rebalance automatically.
+///
+/// Exceptions thrown by tasks cancel the remaining tasks of the same
+/// parallel_for and are rethrown (first one wins) on the calling thread, so
+/// QTX_CHECK diagnostics fired inside a worker surface exactly like in the
+/// sequential loop.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qtx::par {
+
+class ThreadPool {
+ public:
+  /// Spawns \p num_threads workers (must be >= 1). The workers idle on a
+  /// condition variable between parallel_for calls.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count.
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Run fn(i) for every i in [0, n), distributed over the workers; blocks
+  /// until all n tasks finished. The calling thread only waits (the pool's
+  /// size is the concurrency). Reentrant calls from inside a task are not
+  /// supported. If any task throws, the remaining tasks of this call are
+  /// skipped and the first exception is rethrown here.
+  void parallel_for(int n, const std::function<void(int)>& fn);
+
+  /// std::thread::hardware_concurrency(), clamped to >= 1.
+  static int hardware_threads();
+
+ private:
+  struct Job;
+
+  struct Task {
+    Job* job = nullptr;
+    int index = 0;
+  };
+
+  /// One deque per worker, individually locked (contention is rare: a worker
+  /// only touches a foreign deque when stealing).
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(int self);
+  bool find_task(int self, Task& out);
+  static void execute(const Task& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Wake-up channel: queued_ counts tasks sitting in deques (not yet
+  // popped); workers sleep only while it is zero and stop_ is false.
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  long queued_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace qtx::par

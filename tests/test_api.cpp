@@ -89,6 +89,52 @@ TEST(OptionsValidation, RejectsInconsistentNestedDissection) {
   EXPECT_NO_THROW(small_builder(st).nested_dissection(2).build());
 }
 
+TEST(OptionsValidation, RejectsNdPartitionsTheBackendIgnores) {
+  // nd_partitions used to be silently accepted (and ignored) whenever a
+  // non-partitioning Green's backend was selected explicitly; the
+  // cross-check makes the dead knob an actionable error instead.
+  const device::Structure st = device::make_test_structure(4);
+  SimulationOptions opt = small_builder(st).peek_options();
+  opt.greens_backend = "rgf";
+  opt.nd_partitions = 2;
+  expect_invalid(SimulationBuilder(st).options(opt), "has no effect");
+  expect_invalid(SimulationBuilder(st).options(opt),
+                 "set greens_backend = \"nested-dissection\"");
+  // The auto resolution still turns nd_partitions > 1 into the
+  // nested-dissection backend, so the legacy flat spelling keeps working.
+  opt.greens_backend = kAutoBackend;
+  EXPECT_NO_THROW(SimulationBuilder(st).options(opt).build());
+}
+
+TEST(OptionsValidation, RejectsBadParallelKnobs) {
+  const device::Structure st = device::make_test_structure(3);
+  expect_invalid(small_builder(st).num_threads(0), "num_threads must be >= 1");
+  expect_invalid(small_builder(st).num_threads(-4), "num_threads");
+  expect_invalid(small_builder(st).energy_batch(-1),
+                 "energy_batch must be >= 0");
+  expect_invalid(small_builder(st).executor("simd"),
+                 "unknown energy-loop executor");
+  EXPECT_NO_THROW(small_builder(st).num_threads(2).energy_batch(8).build());
+}
+
+TEST(OptionsValidation, RejectsOversubscribedNestedThreading) {
+  // Energy workers x spatial threads would oversubscribe every core; the
+  // two parallel axes are mutually exclusive by validation.
+  const device::Structure st = device::make_test_structure(4);
+  expect_invalid(
+      small_builder(st).nested_dissection(2, 2).num_threads(2),
+      "oversubscribe");
+  EXPECT_NO_THROW(small_builder(st).nested_dissection(2, 2).build());
+  EXPECT_NO_THROW(
+      small_builder(st).nested_dissection(2, 1).num_threads(2).build());
+  // nd_threads is inert outside nested-dissection, so it must not block
+  // energy-parallel rgf runs.
+  SimulationOptions rgf_opt = small_builder(st).peek_options();
+  rgf_opt.nd_threads = 2;
+  rgf_opt.num_threads = 4;
+  EXPECT_NO_THROW(SimulationBuilder(st).options(rgf_opt).build());
+}
+
 TEST(OptionsValidation, RejectsDuplicateChannels) {
   // Channels accumulate additively, so a duplicate key would silently
   // double that channel's Sigma contribution.

@@ -1,0 +1,182 @@
+// Golden-file physics regression suite: runs the canonical quickstart-device
+// simulation once and compares its observables — transmission, electron
+// density, spectral/terminal currents — against checked-in reference files
+// to 1e-12. Any change to the numerics (solver reordering, kernel rewrites,
+// parallel scheduling) that moves a result by more than floating-point dust
+// fails here first.
+//
+// Regenerating after an *intentional* physics change:
+//
+//     ./build/test_golden --update-golden        # or QTX_UPDATE_GOLDEN=1
+//
+// rewrites tests/golden/*.txt in the source tree (the build injects the
+// path via QTX_GOLDEN_DIR); commit the new files with the justification.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/observables.hpp"
+#include "core/simulation.hpp"
+
+#ifndef QTX_GOLDEN_DIR
+#error "QTX_GOLDEN_DIR must point at tests/golden (set by CMakeLists.txt)"
+#endif
+
+namespace qtx::core {
+namespace {
+
+bool g_update_golden = false;
+
+std::string golden_path(const std::string& name) {
+  return std::string(QTX_GOLDEN_DIR) + "/" + name + ".txt";
+}
+
+/// Reads a golden file: '#' lines are comments, every other line one double
+/// at full round-trip precision.
+std::vector<double> read_golden(const std::string& name) {
+  std::ifstream in(golden_path(name));
+  if (!in) {
+    ADD_FAILURE() << "missing golden file " << golden_path(name)
+                  << "; regenerate with ./test_golden --update-golden";
+    return {};
+  }
+  std::vector<double> values;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    values.push_back(std::strtod(line.c_str(), nullptr));
+  }
+  return values;
+}
+
+void write_golden(const std::string& name, const std::vector<double>& values,
+                  const std::string& description) {
+  std::ofstream out(golden_path(name));
+  ASSERT_TRUE(out) << "cannot write " << golden_path(name);
+  out << "# golden: " << description << "\n";
+  out << "# regenerate: ./test_golden --update-golden (see README, "
+         "\"Golden-file physics regression\")\n";
+  char buf[64];
+  for (const double v : values) {
+    std::snprintf(buf, sizeof buf, "%.17g\n", v);
+    out << buf;
+  }
+}
+
+/// 1e-12 relative (with an absolute floor of the same magnitude for values
+/// near zero) — tight enough to catch any real numerics change, loose
+/// enough to absorb compiler-flag-level rounding differences.
+void compare_golden(const std::string& name, const std::vector<double>& got,
+                    const std::string& description) {
+  if (g_update_golden) {
+    write_golden(name, got, description);
+    return;
+  }
+  const std::vector<double> want = read_golden(name);
+  ASSERT_EQ(got.size(), want.size()) << "golden " << name << " shape changed";
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double tol = 1e-12 * (1.0 + std::abs(want[i]));
+    EXPECT_NEAR(got[i], want[i], tol)
+        << "golden " << name << " entry " << i << " drifted";
+  }
+}
+
+/// The canonical golden run: the quickstart device and solver settings
+/// (examples/quickstart.cpp) with a fixed 4-iteration budget so the suite
+/// pins a deterministic mid-convergence state in a few seconds.
+class GoldenFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const device::Structure st = device::make_test_structure(4);
+    const auto gap = st.band_gap();
+    sim_ = new Simulation(
+        SimulationBuilder(st)
+            .grid(-6.0, 6.0, 64)
+            .eta(0.02)
+            .contacts(gap.conduction_min + 0.3, gap.conduction_min + 0.1)
+            .gw(0.3)
+            .mixing(0.4)
+            .max_iterations(4)
+            .tolerance(1e-3)
+            .obc_backend("memoized")
+            .greens_backend("rgf")
+            .build());
+    result_ = new TransportResult(sim_->run());
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+    delete sim_;
+    sim_ = nullptr;
+  }
+
+  static Simulation* sim_;
+  static TransportResult* result_;
+};
+
+Simulation* GoldenFixture::sim_ = nullptr;
+TransportResult* GoldenFixture::result_ = nullptr;
+
+TEST_F(GoldenFixture, RunCompletesTheFixedBudget) {
+  EXPECT_EQ(result_->iterations, 4);
+  EXPECT_EQ(result_->stop_reason, StopReason::kBudgetExhausted);
+}
+
+TEST_F(GoldenFixture, Transmission) {
+  compare_golden("quickstart_transmission", transmission(*sim_),
+                 "quickstart device, T(E) per energy point after 4 SCBA "
+                 "iterations");
+}
+
+TEST_F(GoldenFixture, ElectronDensity) {
+  compare_golden("quickstart_density", electron_density(*sim_),
+                 "quickstart device, electron density per transport cell");
+}
+
+TEST_F(GoldenFixture, Currents) {
+  // One file for the current observables: terminal currents first, then the
+  // left-contact Meir-Wingreen spectral current per energy point.
+  std::vector<double> currents;
+  currents.push_back(terminal_current_left(*sim_));
+  currents.push_back(terminal_current_right(*sim_));
+  for (const double v : spectral_current_left(*sim_)) currents.push_back(v);
+  compare_golden("quickstart_current", currents,
+                 "quickstart device, [I_L, I_R, i_L(E)...]");
+}
+
+TEST_F(GoldenFixture, TotalDos) {
+  compare_golden("quickstart_dos", total_dos(*sim_),
+                 "quickstart device, total DOS(E)");
+}
+
+TEST_F(GoldenFixture, ConvergenceTrace) {
+  std::vector<double> updates;
+  for (const IterationResult& it : result_->history)
+    updates.push_back(it.sigma_update);
+  compare_golden("quickstart_sigma_updates", updates,
+                 "quickstart device, ||dSigma<||/||Sigma<|| per iteration");
+}
+
+}  // namespace
+}  // namespace qtx::core
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0)
+      qtx::core::g_update_golden = true;
+  }
+  if (const char* env = std::getenv("QTX_UPDATE_GOLDEN"))
+    if (env[0] != '\0' && env[0] != '0') qtx::core::g_update_golden = true;
+  if (qtx::core::g_update_golden)
+    std::printf("[golden] update mode: rewriting %s/*.txt\n", QTX_GOLDEN_DIR);
+  return RUN_ALL_TESTS();
+}
