@@ -1,0 +1,241 @@
+// qtx — the scenario-driven command-line driver of the NEGF+GW transport
+// stack. Wraps the library layers (io/scenario_parser, io/scenario_runner,
+// io/result_writer) behind five subcommands; every tutorial in docs/ drives
+// this binary.
+//
+//   qtx run   <scenario.ini> [--out DIR] [--threads N] [--quiet]
+//   qtx sweep <scenario.ini> [--out DIR] [--threads N] [--quiet]
+//   qtx print <scenario.ini>      # parse + validate, emit canonical form
+//   qtx list-backends             # the StageRegistry catalog, generated
+//   qtx list-presets              # the device catalog (src/device/presets)
+//   qtx --help | --version
+//
+// Exit codes: 0 success, 1 scenario/runtime error, 2 usage error.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "io/scenario_runner.hpp"
+
+namespace {
+
+constexpr const char* kVersion = "qtx 0.1.0 (quatrex-cpp)";
+
+constexpr const char* kUsage =
+    "qtx — scenario-driven NEGF+GW quantum-transport driver\n"
+    "\n"
+    "usage:\n"
+    "  qtx run   <scenario.ini> [--out DIR] [--threads N] [--quiet]\n"
+    "  qtx sweep <scenario.ini> [--out DIR] [--threads N] [--quiet]\n"
+    "  qtx print <scenario.ini>\n"
+    "  qtx list-backends\n"
+    "  qtx list-presets\n"
+    "  qtx --help | --version\n"
+    "\n"
+    "run            solve one scenario and write CSV/JSON results\n"
+    "sweep          iterate the scenario's [sweep] values (bias,\n"
+    "               temperature, or any solver option key)\n"
+    "print          parse + validate, then print the canonical scenario\n"
+    "list-backends  print every registered stage backend key\n"
+    "list-presets   print the device scenario catalog\n"
+    "\n"
+    "--out DIR      override the scenario's [output] directory\n"
+    "--threads N    override the scenario's solver num_threads\n"
+    "--quiet        suppress per-iteration progress lines\n"
+    "\n"
+    "Scenario-file schema and tutorials: docs/userguide.md, docs/tutorials/.\n";
+
+struct CliArgs {
+  std::string command;
+  std::string scenario_path;
+  std::string out_dir;
+  int threads = 0;  ///< 0 = keep the scenario's value
+  bool quiet = false;
+};
+
+int usage_error(const std::string& message) {
+  std::fprintf(stderr, "qtx: %s\n\n%s", message.c_str(), kUsage);
+  return 2;
+}
+
+bool parse_cli(int argc, char** argv, CliArgs& args, int& exit_code) {
+  if (argc < 2) {
+    exit_code = usage_error("missing command");
+    return false;
+  }
+  args.command = argv[1];
+  if (args.command == "--help" || args.command == "-h" ||
+      args.command == "help") {
+    std::printf("%s", kUsage);
+    exit_code = 0;
+    return false;
+  }
+  if (args.command == "--version") {
+    std::printf("%s\n", kVersion);
+    exit_code = 0;
+    return false;
+  }
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (++i >= argc) {
+        exit_code = usage_error("--out needs a directory argument");
+        return false;
+      }
+      args.out_dir = argv[i];
+    } else if (arg == "--threads") {
+      if (++i >= argc) {
+        exit_code = usage_error("--threads needs a worker count");
+        return false;
+      }
+      try {
+        args.threads = qtx::strings::parse_int32(argv[i]);
+      } catch (const std::runtime_error& e) {
+        exit_code = usage_error(std::string("--threads: ") + e.what());
+        return false;
+      }
+      if (args.threads < 1) {
+        exit_code = usage_error("--threads needs a positive worker count");
+        return false;
+      }
+    } else if (arg == "--quiet") {
+      args.quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      exit_code = usage_error("unknown flag \"" + arg + "\"");
+      return false;
+    } else if (args.scenario_path.empty()) {
+      args.scenario_path = arg;
+    } else {
+      exit_code = usage_error("unexpected argument \"" + arg + "\"");
+      return false;
+    }
+  }
+  return true;
+}
+
+qtx::io::Scenario load_scenario(const CliArgs& args) {
+  if (args.scenario_path.empty()) {
+    throw qtx::io::ScenarioError("command \"" + args.command +
+                                 "\" needs a scenario file argument");
+  }
+  qtx::io::Scenario s = qtx::io::parse_scenario_file(args.scenario_path);
+  if (!args.out_dir.empty()) s.output.directory = args.out_dir;
+  if (args.threads > 0) s.solver.num_threads = args.threads;
+  return s;
+}
+
+qtx::io::ProgressFn progress_printer(bool quiet) {
+  if (quiet) return nullptr;
+  return [](const qtx::core::IterationResult& it) {
+    std::printf("  iter %2d: |dSigma|/|Sigma| = %.3e  (%.2f s)\n",
+                it.iteration, it.sigma_update, it.seconds);
+    std::fflush(stdout);
+  };
+}
+
+int cmd_run(const CliArgs& args) {
+  const qtx::io::Scenario s = load_scenario(args);
+  if (!args.quiet)
+    std::printf("scenario \"%s\": device preset \"%s\", %d cells x %d "
+                "orbitals, %d energy points\n",
+                s.name.c_str(), s.device_preset.c_str(),
+                s.device.num_cells, s.device.orbitals_per_puc * s.device.nu,
+                s.solver.grid.n);
+  const qtx::io::RunOutcome out = qtx::io::run_scenario(
+      s, qtx::core::StageRegistry::global(), progress_printer(args.quiet));
+  const qtx::core::TransportResult& res = out.results.result;
+  std::printf("%s after %d iteration%s (final update %.3e)\n",
+              qtx::core::to_string(res.stop_reason), res.iterations,
+              res.iterations == 1 ? "" : "s", res.final_update);
+  std::printf("I_L = %.6e, I_R = %.6e (e/hbar per spin)\n",
+              out.results.terminal_left, out.results.terminal_right);
+  for (const std::string& f : out.files)
+    std::printf("wrote %s\n", f.c_str());
+  if (out.files.empty())
+    std::printf("(no output directory configured; use --out DIR or the "
+                "[output] section)\n");
+  return 0;
+}
+
+int cmd_sweep(const CliArgs& args) {
+  const qtx::io::Scenario s = load_scenario(args);
+  if (!s.has_sweep()) {
+    throw qtx::io::ScenarioError(
+        "scenario \"" + s.name + "\" has no [sweep] section; add one or "
+        "use \"qtx run\" (see docs/userguide.md, \"Sweep mode\")");
+  }
+  if (!args.quiet)
+    std::printf("sweep \"%s\" over %zu values of \"%s\"\n", s.name.c_str(),
+                s.sweep.values.size(), s.sweep.parameter.c_str());
+  const qtx::io::SweepOutcome out = qtx::io::run_sweep(
+      s, qtx::core::StageRegistry::global(), progress_printer(args.quiet));
+  std::printf("%-14s %16s %16s %6s %10s\n", s.sweep.parameter.c_str(),
+              "I_L", "I_R", "iters", "converged");
+  for (const qtx::io::SweepRow& r : out.rows)
+    std::printf("%-14.6g %16.6e %16.6e %6d %10s\n", r.value,
+                r.terminal_left, r.terminal_right, r.iterations,
+                r.converged ? "yes" : "no");
+  std::printf("(energy pipeline built %d time%s for %zu points)\n",
+              out.pipeline_builds, out.pipeline_builds == 1 ? "" : "s",
+              out.rows.size());
+  for (const std::string& f : out.files)
+    std::printf("wrote %s\n", f.c_str());
+  return 0;
+}
+
+int cmd_print(const CliArgs& args) {
+  const qtx::io::Scenario s = load_scenario(args);
+  // Validate the physics before echoing, so "qtx print" doubles as a
+  // scenario linter (same checks a run would perform, minus the solve).
+  const qtx::device::Structure structure = qtx::io::make_structure(s);
+  qtx::io::resolved_solver_options(s, structure).validate(
+      structure.num_cells());
+  std::printf("%s", qtx::io::serialize_scenario(s).c_str());
+  return 0;
+}
+
+int cmd_list_backends() {
+  const auto backends = qtx::core::StageRegistry::global().describe();
+  std::printf("%-10s %-20s %s\n", "kind", "key", "description");
+  std::printf("%-10s %-20s %s\n", "----", "---", "-----------");
+  for (const qtx::core::BackendDescription& b : backends)
+    std::printf("%-10s %-20s %s\n", b.kind.c_str(), b.key.c_str(),
+                b.description.c_str());
+  return 0;
+}
+
+int cmd_list_presets() {
+  std::printf("%-18s %s\n", "preset", "description");
+  std::printf("%-18s %s\n", "------", "-----------");
+  for (const qtx::device::DevicePreset& p : qtx::device::device_presets())
+    std::printf("%-18s %s\n", p.name.c_str(), p.description.c_str());
+  std::printf("\nOverride any parameter per-key in the scenario's [device] "
+              "section (keys: ");
+  const auto keys = qtx::device::structure_param_keys();
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    std::printf("%s%s", i ? ", " : "", keys[i].c_str());
+  std::printf(").\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  int exit_code = 0;
+  if (!parse_cli(argc, argv, args, exit_code)) return exit_code;
+  try {
+    if (args.command == "run") return cmd_run(args);
+    if (args.command == "sweep") return cmd_sweep(args);
+    if (args.command == "print") return cmd_print(args);
+    if (args.command == "list-backends") return cmd_list_backends();
+    if (args.command == "list-presets") return cmd_list_presets();
+    return usage_error("unknown command \"" + args.command + "\"");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "qtx: error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -6,6 +6,9 @@
 #   ./ci.sh tsan         # ThreadSanitizer build running the "api" and
 #                        # "parallel" ctest labels (the suites that exercise
 #                        # the energy pipeline's threading)
+#   ./ci.sh docs         # doxygen (skipped if unavailable); fails on
+#                        # undocumented-public-symbol warnings in the
+#                        # tracked core/io headers
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -53,15 +56,41 @@ tsan() {
     -j "$JOBS"
 }
 
+docs() {
+  # Non-fatal when doxygen is absent (e.g. minimal containers); when it
+  # runs, undocumented-public-symbol warnings in the tracked headers are
+  # hard failures — the API-reference contract of docs/userguide.md.
+  if ! command -v doxygen > /dev/null 2>&1; then
+    echo "=== [docs] doxygen not found — skipping (install doxygen to run"
+    echo "    the documentation check locally) ==="
+    return 0
+  fi
+  echo "=== [docs] doxygen ==="
+  mkdir -p build-docs
+  doxygen Doxyfile
+  tracked='src/core/simulation\.hpp|src/core/options\.hpp|src/core/stages\.hpp|src/core/stage_registry\.hpp|src/io/[a-z_]*\.hpp'
+  if grep -E "$tracked" build-docs/doxygen-warnings.log 2>/dev/null \
+      | grep -i "is not documented" > build-docs/undocumented.log; then
+    echo "=== [docs] FAILED: undocumented public symbols in tracked" \
+         "headers ===" >&2
+    cat build-docs/undocumented.log >&2
+    return 1
+  fi
+  echo "=== [docs] tracked headers fully documented" \
+       "(html in build-docs/html) ==="
+}
+
 case "$STAGE" in
   build-test) build_test ;;
   tsan) tsan ;;
+  docs) docs ;;
   all)
     build_test
     tsan
+    docs
     ;;
   *)
-    echo "unknown stage '$STAGE' (expected: build-test, tsan, all)" >&2
+    echo "unknown stage '$STAGE' (expected: build-test, tsan, docs, all)" >&2
     exit 2
     ;;
 esac

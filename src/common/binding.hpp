@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file binding.hpp
+/// Generic text binding of plain option structs: one `FieldBinder<Obj>`
+/// per field (a dotted key, a strict text setter, a canonical-text getter)
+/// plus table-level apply/serialize/keys helpers. The SimulationOptions
+/// binding (core/options.cpp) and the StructureParams binding
+/// (device/presets.cpp) are both instances of this framework, so their
+/// key lookup, diagnostics ("unknown <kind> \"x\"; known keys: ..."), and
+/// round-trip guarantees cannot diverge.
+///
+/// Values are formatted round-trippably (doubles as "%.17g"); setters
+/// throw std::runtime_error naming the expected type and offending text
+/// (common/strings.hpp), which `set_field` prefixes with the kind + key.
+
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace qtx::binding {
+
+/// One bindable field of \p Obj: dotted key, text setter, canonical getter.
+template <class Obj>
+struct FieldBinder {
+  const char* key;  ///< dotted key, e.g. "contacts.mu_left"
+  std::function<void(Obj&, const std::string&)> set;      ///< strict parser
+  std::function<std::string(const Obj&)> get;             ///< canonical text
+};
+
+/// Binder for a flat double field ("%.17g" canonical form).
+template <class Obj>
+FieldBinder<Obj> bind_double(const char* key, double Obj::*field) {
+  return {key,
+          [field](Obj& o, const std::string& v) {
+            o.*field = strings::parse_double(v);
+          },
+          [field](const Obj& o) { return strings::format_double(o.*field); }};
+}
+
+/// Binder for a flat int field (range-checked 32-bit parse).
+template <class Obj>
+FieldBinder<Obj> bind_int(const char* key, int Obj::*field) {
+  return {key,
+          [field](Obj& o, const std::string& v) {
+            o.*field = strings::parse_int32(v);
+          },
+          [field](const Obj& o) { return std::to_string(o.*field); }};
+}
+
+/// Binder for a flat bool field ("true"/"false" canonical form).
+template <class Obj>
+FieldBinder<Obj> bind_bool(const char* key, bool Obj::*field) {
+  return {key,
+          [field](Obj& o, const std::string& v) {
+            o.*field = strings::parse_bool(v);
+          },
+          [field](const Obj& o) {
+            return std::string((o.*field) ? "true" : "false");
+          }};
+}
+
+/// Binder for a flat string field (trimmed verbatim).
+template <class Obj>
+FieldBinder<Obj> bind_string(const char* key, std::string Obj::*field) {
+  return {key,
+          [field](Obj& o, const std::string& v) {
+            o.*field = strings::trim(v);
+          },
+          [field](const Obj& o) { return o.*field; }};
+}
+
+/// Set the field addressed by \p key from text. \p kind labels diagnostics
+/// ("option key", "device parameter"): unknown keys throw
+/// "unknown <kind> \"<key>\"; known keys: ...", malformed values throw
+/// "<kind> \"<key>\": <expected-type message>".
+template <class Obj>
+void set_field(const std::vector<FieldBinder<Obj>>& table, const char* kind,
+               Obj& obj, const std::string& key, const std::string& value) {
+  for (const FieldBinder<Obj>& b : table) {
+    if (key == b.key) {
+      try {
+        b.set(obj, value);
+      } catch (const std::runtime_error& e) {
+        std::ostringstream os;
+        os << kind << " \"" << key << "\": " << e.what();
+        throw std::runtime_error(os.str());
+      }
+      return;
+    }
+  }
+  std::ostringstream os;
+  os << "unknown " << kind << " \"" << key << "\"; known keys: ";
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (i) os << ", ";
+    os << table[i].key;
+  }
+  throw std::runtime_error(os.str());
+}
+
+/// Every field as {key, canonical value}, in table order. Applying the
+/// pairs to a default-constructed Obj reproduces \p obj exactly.
+template <class Obj>
+std::vector<std::pair<std::string, std::string>> serialize_fields(
+    const std::vector<FieldBinder<Obj>>& table, const Obj& obj) {
+  std::vector<std::pair<std::string, std::string>> kvs;
+  kvs.reserve(table.size());
+  for (const FieldBinder<Obj>& b : table) kvs.emplace_back(b.key, b.get(obj));
+  return kvs;
+}
+
+/// All keys of \p table, in serialization order.
+template <class Obj>
+std::vector<std::string> field_keys(
+    const std::vector<FieldBinder<Obj>>& table) {
+  std::vector<std::string> keys;
+  keys.reserve(table.size());
+  for (const FieldBinder<Obj>& b : table) keys.push_back(b.key);
+  return keys;
+}
+
+}  // namespace qtx::binding

@@ -1,0 +1,155 @@
+#pragma once
+
+/// \file strings.hpp
+/// Small string utilities shared by the option/scenario text bindings
+/// (core/options.hpp, device/presets.hpp, io/scenario_parser.hpp): trimming,
+/// tokenizing, round-trippable number formatting, and strict scalar parsers
+/// that throw std::runtime_error with the offending text on malformed input.
+///
+/// Doubles are formatted with "%.17g", which round-trips every IEEE-754
+/// binary64 value through strtod bit-identically — the property the
+/// parse -> serialize -> parse identity of scenario files rests on.
+
+#include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qtx::strings {
+
+/// Strip leading and trailing ASCII whitespace.
+inline std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Split on whitespace and/or commas; empty tokens are dropped, so
+/// "1, 2 3" and "1 2 3" tokenize identically.
+inline std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      if (!current.empty()) tokens.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+/// Round-trippable double formatting ("%.17g"): strtod(format_double(x))
+/// reproduces x bit-identically for every finite binary64 value.
+inline std::string format_double(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+[[noreturn]] inline void parse_error(const char* what,
+                                     const std::string& text) {
+  std::ostringstream os;
+  os << "expected " << what << ", got \"" << text << "\"";
+  throw std::runtime_error(os.str());
+}
+
+/// Strict double parser: the whole (trimmed) token must be consumed, and
+/// overflow to +-inf is rejected ("1e999" is a typo, not a value).
+/// Gradual underflow to subnormals is accepted — serialized tiny values
+/// must keep round-tripping.
+inline double parse_double(const std::string& s) {
+  const std::string t = trim(s);
+  if (t.empty()) parse_error("a number", s);
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(t.c_str(), &end);
+  if (end != t.c_str() + t.size()) parse_error("a number", s);
+  if (!std::isfinite(v))
+    parse_error("a finite number (inf/nan and overflowing values are "
+                "rejected)",
+                s);
+  return v;
+}
+
+/// Strict integer parser (base 10; the whole token must be consumed;
+/// out-of-range values are rejected, never clamped).
+inline long long parse_int(const std::string& s) {
+  const std::string t = trim(s);
+  if (t.empty()) parse_error("an integer", s);
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(t.c_str(), &end, 10);
+  if (end != t.c_str() + t.size()) parse_error("an integer", s);
+  if (errno == ERANGE) parse_error("an integer in 64-bit range", s);
+  return v;
+}
+
+/// Strict 32-bit integer parser: parse_int plus an int range check, so
+/// option fields of type int never truncate silently.
+inline int parse_int32(const std::string& s) {
+  const long long v = parse_int(s);
+  if (v < INT_MIN || v > INT_MAX)
+    parse_error("an integer in 32-bit range", s);
+  return static_cast<int>(v);
+}
+
+/// Strict unsigned 64-bit parser (for RNG seeds); rejects overflow.
+inline unsigned long long parse_uint64(const std::string& s) {
+  const std::string t = trim(s);
+  if (t.empty() || t[0] == '-') parse_error("an unsigned integer", s);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(t.c_str(), &end, 10);
+  if (end != t.c_str() + t.size()) parse_error("an unsigned integer", s);
+  if (errno == ERANGE) parse_error("an unsigned integer in 64-bit range", s);
+  return v;
+}
+
+/// Boolean parser: true/false, 1/0, yes/no, on/off (case-sensitive,
+/// lowercase — the canonical serialization emits "true"/"false").
+inline bool parse_bool(const std::string& s) {
+  const std::string t = trim(s);
+  if (t == "true" || t == "1" || t == "yes" || t == "on") return true;
+  if (t == "false" || t == "0" || t == "no" || t == "off") return false;
+  parse_error("a boolean (true/false, 1/0, yes/no, on/off)", s);
+}
+
+/// Parse a whitespace/comma-separated list of doubles ("" -> empty).
+inline std::vector<double> parse_double_list(const std::string& s) {
+  std::vector<double> values;
+  for (const std::string& tok : split_list(s))
+    values.push_back(parse_double(tok));
+  return values;
+}
+
+/// Serialize a list of doubles, space-separated, round-trippable.
+inline std::string format_double_list(const std::vector<double>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ' ';
+    out += format_double(values[i]);
+  }
+  return out;
+}
+
+/// Serialize a list of words, space-separated.
+inline std::string join(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (i) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+}  // namespace qtx::strings

@@ -76,10 +76,30 @@ class EnergyPipeline {
   /// so the aggregate is deterministic as well).
   obc::MemoizerStats obc_stats() const;
 
+  /// Drop every batch workspace's cross-iteration state (OBC caches and
+  /// dispatch counters), returning the pipeline to its freshly constructed
+  /// state. A reused pipeline therefore produces bit-identical results to a
+  /// newly built one — the invariant the sweep mode's pipeline sharing
+  /// rests on.
+  void reset();
+
+  /// Empty string when this pipeline can be reused for a run over
+  /// \p n_energies points with \p opt (same batch layout, same resolved
+  /// backend and executor keys, same worker count); otherwise a
+  /// human-readable reason for the mismatch.
+  std::string reuse_mismatch(int n_energies, const SimulationOptions& opt)
+      const;
+
  private:
   std::vector<EnergyBatch> batches_;
   std::vector<StageWorkspace> workspaces_;
   std::unique_ptr<EnergyLoopExecutor> executor_;
+  // Options the solver workspaces were *constructed* with: reset() cannot
+  // change these, so reuse_mismatch must reject runs that need different
+  // values (a symmetrize or nd_partitions sweep rebuilds per point).
+  bool built_symmetrize_ = true;
+  int built_nd_partitions_ = 1;
+  int built_nd_threads_ = 1;
 };
 
 /// Deterministic ordered reduction: folds the partials in index order,

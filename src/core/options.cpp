@@ -1,5 +1,7 @@
 #include "core/options.hpp"
 
+#include "common/binding.hpp"
+
 namespace qtx::core {
 
 std::string SimulationOptions::resolved_obc_backend() const {
@@ -146,6 +148,135 @@ void SimulationOptions::validate(int num_cells) const {
                                   "its Sigma contribution");
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// String binding (instance of the common/binding.hpp framework)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+namespace qs = qtx::strings;
+using Binder = qtx::binding::FieldBinder<SimulationOptions>;
+
+/// Binder for a double nested one struct deep (grid.*, contacts.*,
+/// ephonon.*): member-pointer chains keep the table declarative.
+template <class Sub>
+Binder bind_sub_double(const char* key, Sub SimulationOptions::*sub,
+                       double Sub::*field) {
+  return {key,
+          [sub, field](SimulationOptions& o, const std::string& v) {
+            o.*sub.*field = qs::parse_double(v);
+          },
+          [sub, field](const SimulationOptions& o) {
+            return qs::format_double(o.*sub.*field);
+          }};
+}
+
+/// The full binding table, in serialization order. Keys mirror the C++
+/// field paths so the scenario schema and the struct stay in sync by
+/// inspection (documented in docs/userguide.md, "Scenario file schema").
+const std::vector<Binder>& binders() {
+  namespace qb = qtx::binding;
+  static const std::vector<Binder> table = [] {
+    std::vector<Binder> b;
+    // Physics.
+    b.push_back(bind_sub_double("grid.e_min", &SimulationOptions::grid,
+                                &EnergyGrid::e_min));
+    b.push_back(bind_sub_double("grid.e_max", &SimulationOptions::grid,
+                                &EnergyGrid::e_max));
+    b.push_back({"grid.n",
+                 [](SimulationOptions& o, const std::string& v) {
+                   o.grid.n = qs::parse_int32(v);
+                 },
+                 [](const SimulationOptions& o) {
+                   return std::to_string(o.grid.n);
+                 }});
+    b.push_back(qb::bind_double("eta", &SimulationOptions::eta));
+    b.push_back(bind_sub_double("contacts.mu_left",
+                                &SimulationOptions::contacts,
+                                &ContactParams::mu_left));
+    b.push_back(bind_sub_double("contacts.mu_right",
+                                &SimulationOptions::contacts,
+                                &ContactParams::mu_right));
+    b.push_back(bind_sub_double("contacts.temperature_k",
+                                &SimulationOptions::contacts,
+                                &ContactParams::temperature_k));
+    b.push_back(qb::bind_double("mixing", &SimulationOptions::mixing));
+    b.push_back(
+        qb::bind_int("max_iterations", &SimulationOptions::max_iterations));
+    b.push_back(qb::bind_double("tol", &SimulationOptions::tol));
+    b.push_back(qb::bind_double("gw_scale", &SimulationOptions::gw_scale));
+    b.push_back(
+        qb::bind_double("fock_scale", &SimulationOptions::fock_scale));
+    b.push_back({"cell_potential",
+                 [](SimulationOptions& o, const std::string& v) {
+                   o.cell_potential = qs::parse_double_list(v);
+                 },
+                 [](const SimulationOptions& o) {
+                   return qs::format_double_list(o.cell_potential);
+                 }});
+    // Electron-phonon channel.
+    b.push_back(bind_sub_double("ephonon.coupling_ev",
+                                &SimulationOptions::ephonon,
+                                &EPhononParams::coupling_ev));
+    b.push_back(bind_sub_double("ephonon.phonon_energy_ev",
+                                &SimulationOptions::ephonon,
+                                &EPhononParams::phonon_energy_ev));
+    b.push_back(bind_sub_double("ephonon.temperature_k",
+                                &SimulationOptions::ephonon,
+                                &EPhononParams::temperature_k));
+    b.push_back({"ephonon.diagonal_blocks_only",
+                 [](SimulationOptions& o, const std::string& v) {
+                   o.ephonon.diagonal_blocks_only = qs::parse_bool(v);
+                 },
+                 [](const SimulationOptions& o) {
+                   return std::string(
+                       o.ephonon.diagonal_blocks_only ? "true" : "false");
+                 }});
+    // Legacy backend knobs.
+    b.push_back(
+        qb::bind_bool("use_memoizer", &SimulationOptions::use_memoizer));
+    b.push_back(qb::bind_bool("symmetrize", &SimulationOptions::symmetrize));
+    b.push_back(
+        qb::bind_int("nd_partitions", &SimulationOptions::nd_partitions));
+    b.push_back(qb::bind_int("nd_threads", &SimulationOptions::nd_threads));
+    // Parallel energy loop.
+    b.push_back(
+        qb::bind_int("num_threads", &SimulationOptions::num_threads));
+    b.push_back(
+        qb::bind_int("energy_batch", &SimulationOptions::energy_batch));
+    // Backend selection.
+    b.push_back(
+        qb::bind_string("obc_backend", &SimulationOptions::obc_backend));
+    b.push_back(qb::bind_string("greens_backend",
+                                &SimulationOptions::greens_backend));
+    b.push_back({"self_energy_channels",
+                 [](SimulationOptions& o, const std::string& v) {
+                   o.self_energy_channels = qs::split_list(v);
+                 },
+                 [](const SimulationOptions& o) {
+                   return qs::join(o.self_energy_channels);
+                 }});
+    b.push_back(qb::bind_string("executor", &SimulationOptions::executor));
+    return b;
+  }();
+  return table;
+}
+
+}  // namespace
+
+void set_option(SimulationOptions& opt, const std::string& key,
+                const std::string& value) {
+  qtx::binding::set_field(binders(), "option key", opt, key, value);
+}
+
+std::vector<OptionKV> serialize_options(const SimulationOptions& opt) {
+  return qtx::binding::serialize_fields(binders(), opt);
+}
+
+std::vector<std::string> option_keys() {
+  return qtx::binding::field_keys(binders());
 }
 
 }  // namespace qtx::core

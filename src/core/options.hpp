@@ -23,6 +23,7 @@
 /// work starts; every constructor of `Simulation` calls it.
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/energy_grid.hpp"
@@ -34,7 +35,7 @@ namespace qtx::core {
 struct ContactParams {
   double mu_left = 0.0;   ///< left chemical potential (eV)
   double mu_right = 0.0;  ///< right chemical potential (eV)
-  double temperature_k = kRoomTemperatureK;
+  double temperature_k = kRoomTemperatureK;  ///< contact temperature (K)
 };
 
 /// Sentinel backend key: resolve from the legacy flat options.
@@ -44,14 +45,14 @@ inline constexpr const char* kAutoBackend = "auto";
 /// fill fields directly; `SimulationBuilder` provides the fluent spelling.
 struct SimulationOptions {
   // --- physics ------------------------------------------------------------
-  EnergyGrid grid;
+  EnergyGrid grid;        ///< fermionic energy window and point count
   double eta = 0.05;  ///< retarded broadening (eV); must be > 0
-  ContactParams contacts;
+  ContactParams contacts; ///< lead chemical potentials and temperature
   double mixing = 0.5;  ///< Sigma update damping, in (0, 1]
-  int max_iterations = 15;
+  int max_iterations = 15;  ///< SCBA iteration budget
   double tol = 1e-4;      ///< on the relative Sigma< update; must be > 0
   double gw_scale = 1.0;  ///< scales V in the GW loop; 0 = ballistic NEGF
-  double fock_scale = 1.0;
+  double fock_scale = 1.0;  ///< scales the static (Fock) exchange
   std::vector<double> cell_potential;  ///< optional gate/bias profile
   /// Electron-phonon channel (paper §8 extension); composes with GW.
   EPhononParams ephonon;
@@ -60,7 +61,7 @@ struct SimulationOptions {
   bool use_memoizer = true;  ///< paper §5.3
   bool symmetrize = true;    ///< paper §5.2
   int nd_partitions = 1;     ///< P_S; 1 = sequential RGF (paper §5.4)
-  int nd_threads = 1;
+  int nd_threads = 1;        ///< threads per nested-dissection solve
 
   // --- parallel energy-loop execution (core/energy_pipeline.hpp) ----------
   /// Worker threads of the energy pipeline; 1 = sequential energy loop.
@@ -73,8 +74,8 @@ struct SimulationOptions {
   int energy_batch = 0;
 
   // --- backend selection by registry key ----------------------------------
-  std::string obc_backend = kAutoBackend;
-  std::string greens_backend = kAutoBackend;
+  std::string obc_backend = kAutoBackend;     ///< "memoized", "beyn", ...
+  std::string greens_backend = kAutoBackend;  ///< "rgf", "nested-dissection"
   /// Self-energy channels, composed additively. {"auto"} resolves from
   /// gw_scale / ephonon.coupling_ev; an explicit empty list is ballistic.
   std::vector<std::string> self_energy_channels = {kAutoBackend};
@@ -97,5 +98,35 @@ struct SimulationOptions {
 /// Historic name of the option struct; kept as a plain alias so existing
 /// option-building code compiles unchanged against the new facade.
 using ScbaOptions = SimulationOptions;
+
+// ---------------------------------------------------------------------------
+// String binding — the text interface of SimulationOptions
+//
+// Every field of SimulationOptions is addressable by a dotted key string
+// ("eta", "grid.n", "contacts.mu_left", "self_energy_channels", ...). The
+// scenario-file layer (io/scenario_parser.hpp) and the sweep mode are built
+// on this binding, and `serialize_options` feeds the provenance headers the
+// result writers stamp on every output file. Doubles are formatted with
+// "%.17g", so parse -> serialize -> parse is an identity.
+// ---------------------------------------------------------------------------
+
+/// One serialized option: {key, value} as canonical text.
+using OptionKV = std::pair<std::string, std::string>;
+
+/// Set the option addressed by \p key from text. Throws std::runtime_error
+/// on an unknown key (the message lists every known key) or a value of the
+/// wrong type (the message names the expected type and the offending text).
+void set_option(SimulationOptions& opt, const std::string& key,
+                const std::string& value);
+
+/// Every bindable option as {key, canonical value} in a fixed documented
+/// order — the provenance block of the result writers. Round-trips:
+/// applying the pairs to a default-constructed SimulationOptions with
+/// set_option reproduces \p opt exactly.
+std::vector<OptionKV> serialize_options(const SimulationOptions& opt);
+
+/// All bindable option keys, in serialization order (for error messages,
+/// docs, and the userguide schema table test).
+std::vector<std::string> option_keys();
 
 }  // namespace qtx::core

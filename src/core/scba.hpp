@@ -5,9 +5,10 @@
 ///
 /// The monolithic `Scba` driver of the pre-facade releases was redesigned
 /// into `Simulation` + `SimulationBuilder` + `StageRegistry` (see
-/// core/simulation.hpp and the README "Public API" section). `Scba` remains
-/// for one release as a thin deprecated subclass that preserves the historic
-/// constructor and the materialize-everything `run()` contract.
+/// core/simulation.hpp and the migration notes in docs/userguide.md,
+/// "Migrating from Scba"). `Scba` remains for one release as a thin
+/// deprecated subclass that preserves the historic constructor and the
+/// materialize-everything `run()` contract.
 ///
 /// Migration:
 ///   - `ScbaOptions` is now an alias of `SimulationOptions` (core/options.hpp)
@@ -28,7 +29,9 @@ namespace qtx::core {
 /// vector-returning `run()` differs.
 class [[deprecated(
     "Scba is a compatibility shim; use qtx::core::Simulation / "
-    "SimulationBuilder (core/simulation.hpp)")]] Scba : public Simulation {
+    "SimulationBuilder (core/simulation.hpp) — migration notes in "
+    "docs/userguide.md, \"Migrating from Scba\"")]] Scba
+    : public Simulation {
  public:
   Scba(const device::Structure& structure, const ScbaOptions& opt)
       : Simulation(structure, opt) {}

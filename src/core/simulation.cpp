@@ -32,18 +32,34 @@ const SimulationOptions& validated(const SimulationOptions& opt,
   return opt;
 }
 
+/// Reuse \p pipeline when compatible with the run (reset to its cold state
+/// so the results match a fresh build bit-identically), else build anew.
+std::shared_ptr<EnergyPipeline> acquire_pipeline(
+    std::shared_ptr<EnergyPipeline> pipeline, const SimulationOptions& opt,
+    const StageRegistry& registry) {
+  if (pipeline) {
+    const std::string mismatch = pipeline->reuse_mismatch(opt.grid.n, opt);
+    QTX_CHECK_MSG(mismatch.empty(),
+                  "cannot reuse the provided EnergyPipeline: " << mismatch);
+    pipeline->reset();
+    return pipeline;
+  }
+  return std::make_shared<EnergyPipeline>(opt.grid.n, opt, registry);
+}
+
 }  // namespace
 
 Simulation::Simulation(const device::Structure& structure,
                        const SimulationOptions& opt,
-                       const StageRegistry& registry)
+                       const StageRegistry& registry,
+                       std::shared_ptr<EnergyPipeline> pipeline)
     : structure_(structure),
       opt_(validated(opt, structure.num_cells())),
       h_eff_(structure.hamiltonian_bt()),
       v_(structure.coulomb_bt()),
       layout_{structure.num_cells(), structure.block_size()},
       engine_(opt.grid, layout_),
-      pipeline_(opt_.grid.n, opt_, registry) {
+      pipeline_(acquire_pipeline(std::move(pipeline), opt_, registry)) {
   for (const std::string& key : opt_.resolved_channels())
     channels_.push_back(registry.make_channel(key, opt_, layout_));
   for (const auto& ch : channels_)
@@ -105,7 +121,7 @@ void Simulation::solve_g() {
   // Assemble -> OBC -> RGF per energy, batches possibly concurrent. Every
   // write lands in this energy's own slot and every solver call uses this
   // batch's private workspace, so the schedule cannot change the result.
-  pipeline_.for_each_energy([&](int e, int batch) {
+  pipeline_->for_each_energy([&](int e, int batch) {
     const double energy = opt_.grid.energy(e);
     BlockTridiag m;
     ElectronObc ob;
@@ -113,7 +129,7 @@ void Simulation::solve_g() {
       ScopedTimer t("G: OBC");
       FlopPhase f("G: OBC");
       m = assemble_electron_lhs(energy, opt_.eta, h_eff_, sigma_retarded(e));
-      ob = electron_obc(m, energy, opt_.contacts, pipeline_.obc(batch), e);
+      ob = electron_obc(m, energy, opt_.contacts, pipeline_->obc(batch), e);
       m.diag(0) -= ob.sigma_r_left;
       m.diag(nb - 1) -= ob.sigma_r_right;
       obc_r_l_[e] = ob.sigma_r_left;
@@ -132,7 +148,7 @@ void Simulation::solve_g() {
       bl.diag(nb - 1) += ob.sigma_l_right;
       bg.diag(0) += ob.sigma_g_left;
       bg.diag(nb - 1) += ob.sigma_g_right;
-      rgf::SelectedSolution sel = pipeline_.greens(batch).solve(m, bl, bg);
+      rgf::SelectedSolution sel = pipeline_->greens(batch).solve(m, bl, bg);
       gr_[e] = std::move(sel.xr);
       glt_[e] = std::move(sel.xl);
       ggt_[e] = std::move(sel.xg);
@@ -145,7 +161,7 @@ void Simulation::compute_polarization() {
   FlopPhase f("Other: P-FFT");
   const int ne = opt_.grid.n;
   std::vector<std::vector<cplx>> g_lt(ne), g_gt(ne);
-  pipeline_.for_each_energy([&](int e, int) {
+  pipeline_->for_each_energy([&](int e, int) {
     g_lt[e] = serialize_sym(glt_[e]);
     g_gt[e] = serialize_sym(ggt_[e]);
   });
@@ -154,7 +170,7 @@ void Simulation::compute_polarization() {
 
 void Simulation::solve_w() {
   const int nb = layout_.nb;
-  pipeline_.for_each_energy([&](int w, int batch) {
+  pipeline_->for_each_energy([&](int w, int batch) {
     BlockTridiag m, bl, bg;
     {
       ScopedTimer t("W: Assembly: LHS");
@@ -173,7 +189,7 @@ void Simulation::solve_w() {
       bl = assemble_w_rhs(v_, p_lt);
       bg = assemble_w_rhs(v_, p_gt);
     }
-    const WObc ob = w_obc(m, bl, bg, pipeline_.obc(batch), w);
+    const WObc ob = w_obc(m, bl, bg, pipeline_->obc(batch), w);
     m.diag(0) -= ob.br_left;
     m.diag(nb - 1) -= ob.br_right;
     bl.diag(0) += ob.bl_left;
@@ -183,7 +199,7 @@ void Simulation::solve_w() {
     {
       ScopedTimer t("W: RGF");
       FlopPhase f("W: RGF");
-      rgf::SelectedSolution sel = pipeline_.greens(batch).solve(m, bl, bg);
+      rgf::SelectedSolution sel = pipeline_->greens(batch).solve(m, bl, bg);
       wlt_[w] = std::move(sel.xl);
       wgt_[w] = std::move(sel.xg);
     }
@@ -198,7 +214,7 @@ double Simulation::compute_sigma_and_mix() {
   {
     ScopedTimer t("Other: Sigma-FFT");
     FlopPhase f("Other: Sigma-FFT");
-    pipeline_.for_each_energy([&](int e, int) {
+    pipeline_->for_each_energy([&](int e, int) {
       g_lt[e] = serialize_sym(glt_[e]);
       g_gt[e] = serialize_sym(ggt_[e]);
     });
@@ -216,7 +232,7 @@ double Simulation::compute_sigma_and_mix() {
     if (needs_w_) {
       w_lt.resize(ne);
       w_gt.resize(ne);
-      pipeline_.for_each_energy([&](int e, int) {
+      pipeline_->for_each_energy([&](int e, int) {
         w_lt[e] = serialize_sym(wlt_[e]);
         w_gt[e] = serialize_sym(wgt_[e]);
       });
@@ -236,7 +252,7 @@ double Simulation::compute_sigma_and_mix() {
   // is bit-stable for every thread count and batch layout.
   const double alpha = opt_.mixing;
   std::vector<double> diff2(ne, 0.0), norm2(ne, 0.0);
-  pipeline_.for_each_energy([&](int e, int) {
+  pipeline_->for_each_energy([&](int e, int) {
     double d2 = 0.0, n2 = 0.0;
     for (std::int64_t k = 0; k < layout_.num_elements(); ++k) {
       const cplx delta = s_lt[e][k] - sig_lt_[e][k];
@@ -419,6 +435,12 @@ SimulationBuilder& SimulationBuilder::executor(std::string key) {
   return *this;
 }
 
+SimulationBuilder& SimulationBuilder::pipeline(
+    std::shared_ptr<EnergyPipeline> p) {
+  pipeline_ = std::move(p);
+  return *this;
+}
+
 SimulationBuilder& SimulationBuilder::memoizer(bool enabled) {
   opt_.use_memoizer = enabled;
   return *this;
@@ -480,8 +502,11 @@ SimulationBuilder& SimulationBuilder::on_kernel_timing(
 }
 
 Simulation SimulationBuilder::build() const {
+  // The reuse handle is one-shot (see pipeline()): moving it out keeps two
+  // build() calls from wiring both Simulations to one mutable engine.
   Simulation sim(*structure_, opt_,
-                 registry_ ? *registry_ : StageRegistry::global());
+                 registry_ ? *registry_ : StageRegistry::global(),
+                 std::move(pipeline_));
   for (const auto& cb : iteration_observers_) sim.on_iteration(cb);
   for (const auto& cb : kernel_observers_) sim.on_kernel_timing(cb);
   return sim;

@@ -60,15 +60,15 @@ const char* to_string(StopReason reason);
 
 /// Timing/convergence record of one SCBA iteration.
 struct IterationResult {
-  int iteration = 0;
+  int iteration = 0;          ///< 1-based SCBA iteration number
   double sigma_update = 0.0;  ///< ||dSigma<|| / ||Sigma<||
-  double seconds = 0.0;
+  double seconds = 0.0;       ///< wall time of this iteration
   /// Final-iteration annotations, set by run(): whether the loop had
   /// converged at this point and why it stopped (kNone mid-run).
   bool converged = false;
-  StopReason stop = StopReason::kNone;
-  std::map<std::string, double> kernel_seconds;
-  std::map<std::string, std::int64_t> kernel_flops;
+  StopReason stop = StopReason::kNone;  ///< see `converged` above
+  std::map<std::string, double> kernel_seconds;       ///< Table 4 rows (s)
+  std::map<std::string, std::int64_t> kernel_flops;   ///< Table 4 rows
 };
 
 /// One per-kernel timing sample, streamed after every iteration (Table 4
@@ -76,15 +76,15 @@ struct IterationResult {
 struct KernelTiming {
   std::string kernel;        ///< Table 4 row name, e.g. "G: RGF"
   int iteration = 0;         ///< SCBA iteration the sample belongs to
-  double seconds = 0.0;
-  std::int64_t flops = 0;
+  double seconds = 0.0;      ///< wall seconds spent in this kernel
+  std::int64_t flops = 0;    ///< FLOPs attributed to this kernel
 };
 
 /// Structured outcome of a `Simulation::run()`.
 struct TransportResult {
-  bool converged = false;
-  int iterations = 0;
-  StopReason stop_reason = StopReason::kNone;
+  bool converged = false;  ///< did the Sigma update fall below tol?
+  int iterations = 0;      ///< iterations performed by this run()
+  StopReason stop_reason = StopReason::kNone;  ///< why the loop ended
   double final_update = 0.0;   ///< last ||dSigma<|| / ||Sigma<||
   double total_seconds = 0.0;  ///< wall time of the whole loop
   /// Per-kernel ledgers summed over all iterations (Table 4 rows).
@@ -100,16 +100,24 @@ struct TransportResult {
 /// self-energies to the observables layer (core/observables.hpp).
 class Simulation {
  public:
+  /// Observer signature for per-iteration results (see on_iteration).
   using IterationCallback = std::function<void(const IterationResult&)>;
+  /// Observer signature for per-kernel timing samples (see on_kernel_timing).
   using KernelTimingCallback = std::function<void(const KernelTiming&)>;
 
   /// Validates \p opt (throws std::runtime_error on inconsistent input) and
-  /// resolves the configured backends against \p registry.
+  /// resolves the configured backends against \p registry. When \p pipeline
+  /// is non-null the engine is *reused* instead of rebuilt — the sweep
+  /// mode's lever for keeping one thread pool across scenario points. The
+  /// pipeline must match the new options (`EnergyPipeline::reuse_mismatch`
+  /// must be empty; checked here) and is reset to its cold state first, so
+  /// a reused pipeline yields bit-identical results to a fresh one.
   Simulation(const device::Structure& structure, const SimulationOptions& opt,
-             const StageRegistry& registry = StageRegistry::global());
+             const StageRegistry& registry = StageRegistry::global(),
+             std::shared_ptr<EnergyPipeline> pipeline = nullptr);
 
-  Simulation(Simulation&&) = default;
-  Simulation& operator=(Simulation&&) = default;
+  Simulation(Simulation&&) = default;             ///< movable, not copyable
+  Simulation& operator=(Simulation&&) = default;  ///< movable, not copyable
 
   /// One SCBA iteration (G -> P -> W -> Sigma -> mix). Streams per-kernel
   /// timings to the kernel observers; iteration observers fire from run().
@@ -126,15 +134,19 @@ class Simulation {
   void on_iteration(IterationCallback cb);
   void on_kernel_timing(KernelTimingCallback cb);
 
+  /// Has the Sigma update fallen below tol?
   bool converged() const { return last_update_ <= opt_.tol; }
+  /// Total iterations performed (including manual iterate() calls).
   int iteration() const { return iteration_; }
+  /// The most recent ||dSigma<|| / ||Sigma<||.
   double last_update() const { return last_update_; }
 
   // --- backends ----------------------------------------------------------
   /// First batch workspace's backends (every batch runs the same backend
   /// kind; per-batch instances only isolate mutable solver state).
-  const ObcSolver& obc_solver() const { return pipeline_.obc(0); }
-  const GreensSolver& greens_solver() const { return pipeline_.greens(0); }
+  const ObcSolver& obc_solver() const { return pipeline_->obc(0); }
+  const GreensSolver& greens_solver() const { return pipeline_->greens(0); }
+  /// The resolved self-energy channels, in configuration order.
   const std::vector<std::unique_ptr<SelfEnergyChannel>>& channels() const {
     return channels_;
   }
@@ -142,30 +154,52 @@ class Simulation {
   /// workspaces (kept under the historic name; valid for every backend,
   /// not just "memoized"). Returned by value: the aggregate is a snapshot,
   /// so successive calls never alias each other.
-  obc::MemoizerStats memoizer_stats() const { return pipeline_.obc_stats(); }
+  obc::MemoizerStats memoizer_stats() const { return pipeline_->obc_stats(); }
   /// The parallel energy-loop engine (executor policy, batch layout).
-  const EnergyPipeline& pipeline() const { return pipeline_; }
+  const EnergyPipeline& pipeline() const { return *pipeline_; }
+  /// Shared handle to the engine, for reuse by a later Simulation (the
+  /// sweep mode passes it back through the constructor / builder so N
+  /// sweep points share one thread pool instead of building N).
+  ///
+  /// Handing the pipeline to a new Simulation is a *transfer*: adoption
+  /// resets the per-batch solver workspaces, so this Simulation must not
+  /// iterate() afterwards (its observables and accessors stay valid —
+  /// they read materialized state, not the pipeline).
+  std::shared_ptr<EnergyPipeline> shared_pipeline() const {
+    return pipeline_;
+  }
 
   // --- state accessors (energy-major) ------------------------------------
+  /// Retarded Green's function, one BlockTridiag per energy point.
   const std::vector<BlockTridiag>& g_retarded() const { return gr_; }
+  /// Lesser Green's function, one BlockTridiag per energy point.
   const std::vector<BlockTridiag>& g_lesser() const { return glt_; }
+  /// Greater Green's function, one BlockTridiag per energy point.
   const std::vector<BlockTridiag>& g_greater() const { return ggt_; }
   /// Scattering self-energy, materialized for energy index \p e.
   BlockTridiag sigma_retarded(int e) const;
+  /// Lesser scattering self-energy, materialized for energy index \p e.
   BlockTridiag sigma_lesser(int e) const;
   /// Boundary (contact) injections stored during the last G solve.
   const std::vector<la::Matrix>& obc_lesser_left() const { return obc_lt_l_; }
+  /// Greater contact injection at the left lead, per energy.
   const std::vector<la::Matrix>& obc_greater_left() const { return obc_gt_l_; }
+  /// Lesser contact injection at the right lead, per energy.
   const std::vector<la::Matrix>& obc_lesser_right() const { return obc_lt_r_; }
+  /// Greater contact injection at the right lead, per energy.
   const std::vector<la::Matrix>& obc_greater_right() const {
     return obc_gt_r_;
   }
   /// Assembled eM(E) including OBC corner corrections (for observables).
   BlockTridiag effective_system_matrix(int e) const;
 
+  /// The validated option set this simulation runs with.
   const SimulationOptions& options() const { return opt_; }
+  /// The device being simulated (copied at construction).
   const device::Structure& structure() const { return structure_; }
+  /// Element layout of the serialized stacks (core/gw.hpp).
   const SymLayout& layout() const { return layout_; }
+  /// Effective Hamiltonian (device H + external cell potential).
   const BlockTridiag& hamiltonian() const { return h_eff_; }
 
  private:
@@ -182,8 +216,9 @@ class Simulation {
   GwEngine engine_;  ///< element-wise P stage (paper §4.4)
 
   // Parallel energy-loop engine: executor policy plus per-batch OBC /
-  // Green's-function workspaces (resolved from the registry).
-  EnergyPipeline pipeline_;
+  // Green's-function workspaces (resolved from the registry). Held shared
+  // so sweep drivers can hand one engine from run to run.
+  std::shared_ptr<EnergyPipeline> pipeline_;
   // Self-energy channels (shared across batches; they run in the global
   // sequential reduction stage, never on pipeline workers).
   std::vector<std::unique_ptr<SelfEnergyChannel>> channels_;
@@ -217,6 +252,7 @@ class Simulation {
 /// configuration can be forked per scenario (see examples/nanoribbon_iv).
 class SimulationBuilder {
  public:
+  /// Builds against \p structure (held by pointer; must outlive build()).
   explicit SimulationBuilder(const device::Structure& structure)
       : structure_(&structure) {}
 
@@ -224,20 +260,29 @@ class SimulationBuilder {
   SimulationBuilder& options(const SimulationOptions& opt);
 
   // --- physics ------------------------------------------------------------
+  /// Uniform energy grid: \p n points on [\p e_min, \p e_max] (eV).
   SimulationBuilder& grid(double e_min, double e_max, int n);
+  /// Set the energy grid directly.
   SimulationBuilder& grid(const EnergyGrid& g);
+  /// Retarded broadening (eV); must be > 0.
   SimulationBuilder& eta(double value);
+  /// Contact chemical potentials (eV) and temperature (K).
   SimulationBuilder& contacts(double mu_left, double mu_right,
                               double temperature_k = kRoomTemperatureK);
+  /// Sigma update damping, in (0, 1].
   SimulationBuilder& mixing(double value);
+  /// SCBA iteration budget.
   SimulationBuilder& max_iterations(int value);
+  /// Convergence threshold on the relative Sigma< update.
   SimulationBuilder& tolerance(double value);
   /// Enable the GW channel: scales V by \p scale (0 = ballistic) and the
   /// static exchange by \p fock_scale.
   SimulationBuilder& gw(double scale, double fock_scale = 1.0);
   /// Ballistic NEGF: no interaction channels, single exact pass.
   SimulationBuilder& ballistic();
+  /// Per-transport-cell gate/bias potential (eV); one entry per cell.
   SimulationBuilder& cell_potential(std::vector<double> phi);
+  /// Electron-phonon channel parameters (enables it if coupling != 0).
   SimulationBuilder& ephonon(const EPhononParams& params);
 
   // --- parallel execution -------------------------------------------------
@@ -249,23 +294,42 @@ class SimulationBuilder {
   /// Execution policy key ("sequential", "omp"); default "auto" resolves
   /// from num_threads.
   SimulationBuilder& executor(std::string key);
+  /// Reuse an existing energy pipeline (e.g. a previous run's
+  /// `Simulation::shared_pipeline()`) instead of building a new one. The
+  /// pipeline must match the final options at build() time; it is reset, so
+  /// results stay bit-identical to a fresh build. One-shot: the handle is
+  /// *consumed* by the next build() — a second build() of this builder
+  /// constructs its own engine rather than silently sharing mutable
+  /// solver workspaces between two live Simulations. (A builder copied
+  /// *before* build() still duplicates the handle: fork first, then set
+  /// the pipeline on the fork that will run.)
+  SimulationBuilder& pipeline(std::shared_ptr<EnergyPipeline> p);
 
   // --- backend selection --------------------------------------------------
+  /// Legacy knob behind obc_backend = "auto" (paper §5.3).
   SimulationBuilder& memoizer(bool enabled);
+  /// Exploit the lesser/greater symmetry (paper §5.2).
   SimulationBuilder& symmetrize(bool enabled);
+  /// OBC backend by registry key ("memoized", "beyn", "lyapunov").
   SimulationBuilder& obc_backend(std::string key);
+  /// Green's-function backend by key ("rgf", "nested-dissection").
   SimulationBuilder& greens_backend(std::string key);
   /// Select "nested-dissection" with P_S = \p partitions (paper §5.4).
   SimulationBuilder& nested_dissection(int partitions, int threads = 1);
+  /// Replace the self-energy channel list (keys compose additively).
   SimulationBuilder& self_energy_channels(std::vector<std::string> keys);
+  /// Append one self-energy channel key (drops the "auto" sentinel).
   SimulationBuilder& add_channel(std::string key);
   /// Resolve backends against \p registry instead of StageRegistry::global().
   SimulationBuilder& registry(const StageRegistry& reg);
 
   // --- observers ----------------------------------------------------------
+  /// Register a per-iteration observer on the built Simulation.
   SimulationBuilder& on_iteration(Simulation::IterationCallback cb);
+  /// Register a per-kernel timing observer on the built Simulation.
   SimulationBuilder& on_kernel_timing(Simulation::KernelTimingCallback cb);
 
+  /// The options accumulated so far (pre-validation).
   const SimulationOptions& peek_options() const { return opt_; }
 
   /// Validate and construct. Throws std::runtime_error on invalid options
@@ -276,6 +340,8 @@ class SimulationBuilder {
   const device::Structure* structure_;
   SimulationOptions opt_;
   const StageRegistry* registry_ = nullptr;
+  // mutable: build() is const but consumes the one-shot reuse handle.
+  mutable std::shared_ptr<EnergyPipeline> pipeline_;
   std::vector<Simulation::IterationCallback> iteration_observers_;
   std::vector<Simulation::KernelTimingCallback> kernel_observers_;
 };

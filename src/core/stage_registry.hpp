@@ -27,17 +27,30 @@
 
 namespace qtx::core {
 
+/// One registered backend, for docs and the `qtx list-backends` command:
+/// the stage kind ("obc", "greens", "channel", "executor"), the registry
+/// key, and a one-line human-readable description.
+struct BackendDescription {
+  std::string kind;         ///< "obc", "greens", "channel", or "executor"
+  std::string key;          ///< registry key, e.g. "memoized"
+  std::string description;  ///< one-line human-readable summary
+};
+
 /// String-keyed factories for the three stage kinds. A `Simulation` resolves
 /// its backends against one registry at construction; `global()` comes with
 /// the built-in backends pre-registered.
 class StageRegistry {
  public:
+  /// Factory signature for OBC backends.
   using ObcFactory =
       std::function<std::unique_ptr<ObcSolver>(const SimulationOptions&)>;
+  /// Factory signature for Green's-function backends.
   using GreensFactory =
       std::function<std::unique_ptr<GreensSolver>(const SimulationOptions&)>;
+  /// Factory signature for self-energy channels.
   using ChannelFactory = std::function<std::unique_ptr<SelfEnergyChannel>(
       const SimulationOptions&, const SymLayout&)>;
+  /// Factory signature for energy-loop execution policies.
   using ExecutorFactory = std::function<std::unique_ptr<EnergyLoopExecutor>(
       const SimulationOptions&)>;
 
@@ -52,11 +65,17 @@ class StageRegistry {
   static StageRegistry& global();
 
   /// Register a backend under \p key (re-registering replaces, so tests can
-  /// shadow built-ins). Keys must be non-empty and not "auto".
-  void register_obc(const std::string& key, ObcFactory factory);
-  void register_greens(const std::string& key, GreensFactory factory);
-  void register_channel(const std::string& key, ChannelFactory factory);
-  void register_executor(const std::string& key, ExecutorFactory factory);
+  /// shadow built-ins). Keys must be non-empty and not "auto". The optional
+  /// \p description is the one-liner surfaced by `describe()` and
+  /// `qtx list-backends`.
+  void register_obc(const std::string& key, ObcFactory factory,
+                    std::string description = "");
+  void register_greens(const std::string& key, GreensFactory factory,
+                       std::string description = "");
+  void register_channel(const std::string& key, ChannelFactory factory,
+                        std::string description = "");
+  void register_executor(const std::string& key, ExecutorFactory factory,
+                         std::string description = "");
 
   /// Instantiate a backend; throws with the known-key list on unknown keys.
   std::unique_ptr<ObcSolver> make_obc(const std::string& key,
@@ -75,11 +94,24 @@ class StageRegistry {
   std::vector<std::string> channel_keys() const;
   std::vector<std::string> executor_keys() const;
 
+  /// Every registered backend with its kind, key, and one-line description,
+  /// ordered by kind (obc, greens, channel, executor) then key. This is the
+  /// single generated source of the backend table: `qtx list-backends`
+  /// prints it, and a test asserts every key appears in docs/userguide.md.
+  std::vector<BackendDescription> describe() const;
+
  private:
-  std::map<std::string, ObcFactory> obc_;
-  std::map<std::string, GreensFactory> greens_;
-  std::map<std::string, ChannelFactory> channels_;
-  std::map<std::string, ExecutorFactory> executors_;
+  /// Factory plus the describe() one-liner.
+  template <class Factory>
+  struct Entry {
+    Factory factory;
+    std::string description;
+  };
+
+  std::map<std::string, Entry<ObcFactory>> obc_;
+  std::map<std::string, Entry<GreensFactory>> greens_;
+  std::map<std::string, Entry<ChannelFactory>> channels_;
+  std::map<std::string, Entry<ExecutorFactory>> executors_;
 };
 
 }  // namespace qtx::core

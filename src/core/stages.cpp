@@ -278,27 +278,31 @@ void check_key(const std::string& key) {
 
 }  // namespace
 
-void StageRegistry::register_obc(const std::string& key, ObcFactory factory) {
+void StageRegistry::register_obc(const std::string& key, ObcFactory factory,
+                                 std::string description) {
   check_key(key);
-  obc_[key] = std::move(factory);
+  obc_[key] = {std::move(factory), std::move(description)};
 }
 
 void StageRegistry::register_greens(const std::string& key,
-                                    GreensFactory factory) {
+                                    GreensFactory factory,
+                                    std::string description) {
   check_key(key);
-  greens_[key] = std::move(factory);
+  greens_[key] = {std::move(factory), std::move(description)};
 }
 
 void StageRegistry::register_channel(const std::string& key,
-                                     ChannelFactory factory) {
+                                     ChannelFactory factory,
+                                     std::string description) {
   check_key(key);
-  channels_[key] = std::move(factory);
+  channels_[key] = {std::move(factory), std::move(description)};
 }
 
 void StageRegistry::register_executor(const std::string& key,
-                                      ExecutorFactory factory) {
+                                      ExecutorFactory factory,
+                                      std::string description) {
   check_key(key);
-  executors_[key] = std::move(factory);
+  executors_[key] = {std::move(factory), std::move(description)};
 }
 
 std::unique_ptr<ObcSolver> StageRegistry::make_obc(
@@ -307,7 +311,7 @@ std::unique_ptr<ObcSolver> StageRegistry::make_obc(
   QTX_CHECK_MSG(it != obc_.end(), "unknown OBC backend \""
                                       << key << "\"; registered keys: "
                                       << key_list(obc_));
-  return it->second(opt);
+  return it->second.factory(opt);
 }
 
 std::unique_ptr<GreensSolver> StageRegistry::make_greens(
@@ -316,7 +320,7 @@ std::unique_ptr<GreensSolver> StageRegistry::make_greens(
   QTX_CHECK_MSG(it != greens_.end(), "unknown Green's-function backend \""
                                          << key << "\"; registered keys: "
                                          << key_list(greens_));
-  return it->second(opt);
+  return it->second.factory(opt);
 }
 
 std::unique_ptr<SelfEnergyChannel> StageRegistry::make_channel(
@@ -326,7 +330,7 @@ std::unique_ptr<SelfEnergyChannel> StageRegistry::make_channel(
   QTX_CHECK_MSG(it != channels_.end(), "unknown self-energy channel \""
                                            << key << "\"; registered keys: "
                                            << key_list(channels_));
-  return it->second(opt, layout);
+  return it->second.factory(opt, layout);
 }
 
 std::unique_ptr<EnergyLoopExecutor> StageRegistry::make_executor(
@@ -335,7 +339,7 @@ std::unique_ptr<EnergyLoopExecutor> StageRegistry::make_executor(
   QTX_CHECK_MSG(it != executors_.end(), "unknown energy-loop executor \""
                                             << key << "\"; registered keys: "
                                             << key_list(executors_));
-  return it->second(opt);
+  return it->second.factory(opt);
 }
 
 std::vector<std::string> StageRegistry::obc_keys() const {
@@ -351,48 +355,96 @@ std::vector<std::string> StageRegistry::executor_keys() const {
   return sorted_keys(executors_);
 }
 
+std::vector<BackendDescription> StageRegistry::describe() const {
+  std::vector<BackendDescription> out;
+  out.reserve(obc_.size() + greens_.size() + channels_.size() +
+              executors_.size());
+  for (const auto& [k, e] : obc_) out.push_back({"obc", k, e.description});
+  for (const auto& [k, e] : greens_)
+    out.push_back({"greens", k, e.description});
+  for (const auto& [k, e] : channels_)
+    out.push_back({"channel", k, e.description});
+  for (const auto& [k, e] : executors_)
+    out.push_back({"executor", k, e.description});
+  return out;  // std::map iterates sorted within each kind
+}
+
 StageRegistry StageRegistry::with_builtins() {
   StageRegistry reg;
-  reg.register_obc("memoized", [](const SimulationOptions&) {
-    obc::MemoizerOptions mopt;
-    mopt.enabled = true;
-    return std::make_unique<MemoizedObcSolver>(mopt);
-  });
-  reg.register_obc("beyn", [](const SimulationOptions&) {
-    return std::make_unique<BeynObcSolver>(obc::MemoizerOptions{}
-                                               .beyn_quadrature);
-  });
-  reg.register_obc("lyapunov", [](const SimulationOptions&) {
-    return std::make_unique<LyapunovObcSolver>();
-  });
-  reg.register_greens("rgf", [](const SimulationOptions& opt) {
-    return std::make_unique<SequentialRgfSolver>(opt.symmetrize);
-  });
-  reg.register_greens("nested-dissection", [](const SimulationOptions& opt) {
-    rgf::NdOptions nopt;
-    nopt.num_partitions = opt.nd_partitions;
-    nopt.num_threads = opt.nd_threads;
-    nopt.symmetrize = opt.symmetrize;
-    return std::make_unique<NestedDissectionSolver>(nopt);
-  });
+  reg.register_obc(
+      "memoized",
+      [](const SimulationOptions&) {
+        obc::MemoizerOptions mopt;
+        mopt.enabled = true;
+        return std::make_unique<MemoizedObcSolver>(mopt);
+      },
+      "warm-started fixed-point OBC solves with direct fallback (paper "
+      "§5.3); the default");
+  reg.register_obc(
+      "beyn",
+      [](const SimulationOptions&) {
+        return std::make_unique<BeynObcSolver>(
+            obc::MemoizerOptions{}.beyn_quadrature);
+      },
+      "direct Beyn contour-integral surface solves + Schur Stein solves, "
+      "no cross-iteration state");
+  reg.register_obc(
+      "lyapunov",
+      [](const SimulationOptions&) {
+        return std::make_unique<LyapunovObcSolver>();
+      },
+      "Sancho-Rubio decimation surface solves + Lyapunov doubling Stein "
+      "solves, direct fallback");
+  reg.register_greens(
+      "rgf",
+      [](const SimulationOptions& opt) {
+        return std::make_unique<SequentialRgfSolver>(opt.symmetrize);
+      },
+      "sequential recursive Green's-function selected solver (paper "
+      "§4.3.2); the default");
+  reg.register_greens(
+      "nested-dissection",
+      [](const SimulationOptions& opt) {
+        rgf::NdOptions nopt;
+        nopt.num_partitions = opt.nd_partitions;
+        nopt.num_threads = opt.nd_threads;
+        nopt.symmetrize = opt.symmetrize;
+        return std::make_unique<NestedDissectionSolver>(nopt);
+      },
+      "spatial domain decomposition over nd_partitions transport-cell "
+      "partitions (paper §5.4)");
   reg.register_channel(
-      "gw", [](const SimulationOptions& opt, const SymLayout& layout) {
+      "gw",
+      [](const SimulationOptions& opt, const SymLayout& layout) {
         return std::make_unique<GwChannel>(opt, layout);
-      });
+      },
+      "dynamic GW self-energy plus static Fock exchange (paper §4.4)");
   reg.register_channel(
-      "fock", [](const SimulationOptions& opt, const SymLayout&) {
+      "fock",
+      [](const SimulationOptions& opt, const SymLayout&) {
         return std::make_unique<FockChannel>(opt.fock_scale);
-      });
+      },
+      "static Hartree-Fock exchange only; skips the P and W stages");
   reg.register_channel(
-      "ephonon", [](const SimulationOptions& opt, const SymLayout& layout) {
+      "ephonon",
+      [](const SimulationOptions& opt, const SymLayout& layout) {
         return std::make_unique<EPhononChannel>(opt, layout);
-      });
-  reg.register_executor("sequential", [](const SimulationOptions&) {
-    return std::make_unique<SequentialExecutor>();
-  });
-  reg.register_executor("omp", [](const SimulationOptions& opt) {
-    return std::make_unique<OmpExecutor>(opt.num_threads);
-  });
+      },
+      "deformation-potential electron-phonon SCBA channel (paper §8)");
+  reg.register_executor(
+      "sequential",
+      [](const SimulationOptions&) {
+        return std::make_unique<SequentialExecutor>();
+      },
+      "one energy batch after the other on the calling thread; the "
+      "reference schedule");
+  reg.register_executor(
+      "omp",
+      [](const SimulationOptions& opt) {
+        return std::make_unique<OmpExecutor>(opt.num_threads);
+      },
+      "fork-join energy batches over the work-stealing thread pool "
+      "(num_threads workers)");
   return reg;
 }
 

@@ -93,10 +93,10 @@ class GreensSolver {
 /// element stacks (layout: core/gw.hpp SymLayout). The screened-interaction
 /// stacks are only populated when some configured channel requested them.
 struct SelfEnergyInput {
-  const EnergyGrid* grid = nullptr;
-  const SymLayout* layout = nullptr;
-  const std::vector<std::vector<cplx>>* g_lesser = nullptr;
-  const std::vector<std::vector<cplx>>* g_greater = nullptr;
+  const EnergyGrid* grid = nullptr;    ///< the fermionic energy grid
+  const SymLayout* layout = nullptr;   ///< element layout of the stacks
+  const std::vector<std::vector<cplx>>* g_lesser = nullptr;   ///< G< stack
+  const std::vector<std::vector<cplx>>* g_greater = nullptr;  ///< G> stack
   const std::vector<std::vector<cplx>>* w_lesser = nullptr;   ///< may be null
   const std::vector<std::vector<cplx>>* w_greater = nullptr;  ///< may be null
   const std::vector<cplx>* v_elements = nullptr;  ///< serialized scaled V
@@ -105,8 +105,8 @@ struct SelfEnergyInput {
 /// Accumulation targets: zero-initialized by the driver each iteration;
 /// channels *add* their contribution so multiple channels compose.
 struct SelfEnergyAccumulator {
-  std::vector<std::vector<cplx>>* s_lesser = nullptr;
-  std::vector<std::vector<cplx>>* s_greater = nullptr;
+  std::vector<std::vector<cplx>>* s_lesser = nullptr;    ///< Sigma< target
+  std::vector<std::vector<cplx>>* s_greater = nullptr;   ///< Sigma> target
   std::vector<std::vector<cplx>>* s_retarded = nullptr;  ///< dynamic part
   std::vector<cplx>* s_fock = nullptr;  ///< static (Hermitian) part
 };

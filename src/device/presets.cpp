@@ -1,0 +1,170 @@
+#include "device/presets.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/binding.hpp"
+
+namespace qtx::device {
+namespace {
+
+namespace qs = qtx::strings;
+
+StructureParams quickstart_params() {
+  // Exactly make_test_structure(4): the device of the README quickstart,
+  // the golden-file suite, and the CLI smoke test. Keep in sync with
+  // device/structure.cpp (asserted by tests/test_io.cpp).
+  StructureParams p;
+  p.orbitals_per_puc = 8;
+  p.nu = 2;
+  p.nu_h = 2;
+  p.num_cells = 4;
+  p.hopping_ev = 2.0;
+  p.dimerization = 0.15;
+  p.r_cut_nm = 1.0;
+  return p;
+}
+
+StructureParams nanoribbon_params() {
+  // Longer channel with a narrower gap: room for a source - gated channel -
+  // drain profile (cell_potential) and bias sweeps.
+  StructureParams p;
+  p.orbitals_per_puc = 8;
+  p.nu = 2;
+  p.nu_h = 2;
+  p.num_cells = 6;
+  p.hopping_ev = 2.0;
+  p.dimerization = 0.10;
+  p.r_cut_nm = 1.0;
+  return p;
+}
+
+StructureParams nanowire_vacancy_params() {
+  // Quickstart-like wire with a periodic vacancy defect: one orbital per
+  // PUC pushed out of the transport window, plus a mild onsite spread —
+  // backscattering without breaking the block periodicity.
+  StructureParams p = quickstart_params();
+  p.num_cells = 6;
+  p.vacancy_orbital = 3;
+  p.vacancy_shift_ev = 8.0;
+  p.onsite_disorder_ev = 0.05;
+  return p;
+}
+
+StructureParams cnt_params() {
+  // CNT-like periodic cell: one PUC per transport cell, graphene-like
+  // nearest-neighbour hopping (2.7 eV) with weak dimerization (a small
+  // curvature-induced gap) and a graphene-scale lattice period.
+  StructureParams p;
+  p.orbitals_per_puc = 10;
+  p.nu = 1;
+  p.nu_h = 1;
+  p.num_cells = 8;
+  p.puc_length_nm = 0.426;
+  p.hopping_ev = 2.7;
+  p.dimerization = 0.05;
+  p.decay_length_nm = 0.02;
+  p.coulomb_onsite_ev = 3.0;
+  p.r_cut_nm = 0.8;
+  return p;
+}
+
+using Binder = qtx::binding::FieldBinder<StructureParams>;
+
+const std::vector<Binder>& binders() {
+  namespace qb = qtx::binding;
+  static const std::vector<Binder> table = [] {
+    std::vector<Binder> b;
+    b.push_back(qb::bind_int("orbitals_per_puc",
+                             &StructureParams::orbitals_per_puc));
+    b.push_back(qb::bind_int("nu", &StructureParams::nu));
+    b.push_back(qb::bind_int("nu_h", &StructureParams::nu_h));
+    b.push_back(qb::bind_int("num_cells", &StructureParams::num_cells));
+    b.push_back(qb::bind_double("puc_length_nm",
+                                &StructureParams::puc_length_nm));
+    b.push_back(qb::bind_double("hopping_ev", &StructureParams::hopping_ev));
+    b.push_back(
+        qb::bind_double("dimerization", &StructureParams::dimerization));
+    b.push_back(qb::bind_double("decay_length_nm",
+                                &StructureParams::decay_length_nm));
+    b.push_back(qb::bind_double("coulomb_onsite_ev",
+                                &StructureParams::coulomb_onsite_ev));
+    b.push_back(qb::bind_double("coulomb_screening_nm",
+                                &StructureParams::coulomb_screening_nm));
+    b.push_back(qb::bind_double("r_cut_nm", &StructureParams::r_cut_nm));
+    b.push_back(qb::bind_double("onsite_disorder_ev",
+                                &StructureParams::onsite_disorder_ev));
+    b.push_back({"seed",
+                 [](StructureParams& p, const std::string& v) {
+                   p.seed = qs::parse_uint64(v);
+                 },
+                 [](const StructureParams& p) {
+                   return std::to_string(p.seed);
+                 }});
+    b.push_back(qb::bind_int("vacancy_orbital",
+                             &StructureParams::vacancy_orbital));
+    b.push_back(qb::bind_double("vacancy_shift_ev",
+                                &StructureParams::vacancy_shift_ev));
+    return b;
+  }();
+  return table;
+}
+
+}  // namespace
+
+const std::vector<DevicePreset>& device_presets() {
+  static const std::vector<DevicePreset> catalog = {
+      {"quickstart",
+       "4-cell dimerized test chain (the golden-file device; gap ~0.6 eV)",
+       quickstart_params()},
+      {"nanoribbon",
+       "6-cell narrower-gap ribbon for gate/bias sweeps (source - channel - "
+       "drain)",
+       nanoribbon_params()},
+      {"nanowire-vacancy",
+       "6-cell wire with a periodic vacancy defect (one dangling site per "
+       "PUC) and mild onsite disorder",
+       nanowire_vacancy_params()},
+      {"cnt",
+       "CNT-like periodic cell: 1 PUC per transport cell, graphene-like "
+       "hopping, weak dimerization",
+       cnt_params()},
+  };
+  return catalog;
+}
+
+std::vector<std::string> device_preset_names() {
+  std::vector<std::string> names;
+  names.reserve(device_presets().size());
+  for (const DevicePreset& p : device_presets()) names.push_back(p.name);
+  return names;
+}
+
+StructureParams device_preset(const std::string& name) {
+  for (const DevicePreset& p : device_presets())
+    if (p.name == name) return p.params;
+  std::ostringstream os;
+  os << "unknown device preset \"" << name << "\"; known presets: ";
+  const auto names = device_preset_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i) os << ", ";
+    os << names[i];
+  }
+  throw std::runtime_error(os.str());
+}
+
+void set_structure_param(StructureParams& params, const std::string& key,
+                         const std::string& value) {
+  qtx::binding::set_field(binders(), "device parameter", params, key, value);
+}
+
+std::vector<std::pair<std::string, std::string>> serialize_structure_params(
+    const StructureParams& params) {
+  return qtx::binding::serialize_fields(binders(), params);
+}
+
+std::vector<std::string> structure_param_keys() {
+  return qtx::binding::field_keys(binders());
+}
+
+}  // namespace qtx::device

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file presets.hpp
+/// Device scenario catalog: named, parameterized `StructureParams` presets
+/// plus a text binding so scenario files (io/scenario_parser.hpp) and the
+/// `qtx` CLI can select a geometry by name and override any parameter
+/// per-key — the reproduction's stand-in for the paper's per-device input
+/// decks (Table 3 geometries).
+///
+/// Presets:
+///   - "quickstart"       — the canonical 4-cell test chain every tutorial,
+///                          golden file, and smoke test runs
+///   - "nanoribbon"       — longer, narrower-gap ribbon for I-V sweeps
+///                          (source - gated channel - drain studies)
+///   - "nanowire-vacancy" — quickstart-like wire with a periodic vacancy
+///                          defect (one dangling site per PUC)
+///   - "cnt"              — CNT-like cell: single-PUC transport cells with
+///                          graphene-like hopping and weak dimerization
+///
+/// Every preset is a plain `StructureParams` value; overriding a key with
+/// `set_structure_param` composes naturally ("preset = nanoribbon" then
+/// "num_cells = 12" in a scenario's [device] section).
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "device/structure.hpp"
+
+namespace qtx::device {
+
+/// One catalog entry: name, one-line description, and the parameter set.
+struct DevicePreset {
+  std::string name;
+  std::string description;
+  StructureParams params;
+};
+
+/// The full catalog, in documentation order (see docs/userguide.md).
+const std::vector<DevicePreset>& device_presets();
+
+/// Catalog names, in catalog order (for CLI listings and error messages).
+std::vector<std::string> device_preset_names();
+
+/// Look up a preset's parameters by name. Throws std::runtime_error listing
+/// the known names on an unknown \p name.
+StructureParams device_preset(const std::string& name);
+
+/// Set one StructureParams field from text by its dotted key (field names:
+/// "orbitals_per_puc", "nu", "nu_h", "num_cells", "puc_length_nm",
+/// "hopping_ev", "dimerization", "decay_length_nm", "coulomb_onsite_ev",
+/// "coulomb_screening_nm", "r_cut_nm", "onsite_disorder_ev", "seed",
+/// "vacancy_orbital", "vacancy_shift_ev"). Throws std::runtime_error on an
+/// unknown key (listing the known keys) or a malformed value.
+void set_structure_param(StructureParams& params, const std::string& key,
+                         const std::string& value);
+
+/// Every bindable device parameter as {key, canonical value}, in a fixed
+/// order; round-trips through `set_structure_param` exactly (doubles are
+/// "%.17g"-formatted).
+std::vector<std::pair<std::string, std::string>> serialize_structure_params(
+    const StructureParams& params);
+
+/// All bindable device-parameter keys, in serialization order.
+std::vector<std::string> structure_param_keys();
+
+}  // namespace qtx::device

@@ -18,6 +18,14 @@ Structure::Structure(const StructureParams& p) : p_(p) {
   std::vector<double> onsite(m, 0.0);
   for (int o = 0; o < m; ++o)
     onsite[o] = p.onsite_disorder_ev * rng.uniform();
+  // Vacancy defect: push one orbital per PUC out of the transport window.
+  if (p.vacancy_orbital >= 0) {
+    QTX_CHECK_MSG(p.vacancy_orbital < m,
+                  "vacancy_orbital must index an orbital of the PUC (got "
+                      << p.vacancy_orbital << ", PUC has " << m
+                      << " orbitals)");
+    onsite[p.vacancy_orbital] += p.vacancy_shift_ev;
+  }
 
   // Hamiltonian blocks h_[d](o, o') couple orbital o of PUC 0 with orbital
   // o' of PUC d. Chain index n = puc * m + o; hoppings depend on the chain

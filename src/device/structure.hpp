@@ -46,6 +46,12 @@ struct StructureParams {
   double r_cut_nm = 1.0;             ///< interaction cutoff (paper r_cut)
   double onsite_disorder_ev = 0.0;   ///< deterministic per-orbital spread
   std::uint64_t seed = 1234;         ///< seed for the onsite spread
+  /// Vacancy-defect model: orbital index within the PUC whose onsite energy
+  /// is shifted by `vacancy_shift_ev`, pushing it out of the transport
+  /// window — a periodic vacancy superlattice (one dangling site per PUC).
+  /// -1 (the default) disables the defect.
+  int vacancy_orbital = -1;
+  double vacancy_shift_ev = 8.0;  ///< onsite shift of the vacancy orbital
 };
 
 class Structure {

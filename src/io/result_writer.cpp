@@ -1,0 +1,375 @@
+#include "io/result_writer.hpp"
+
+#include <fstream>
+#include <istream>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace qtx::io {
+namespace {
+
+namespace qs = qtx::strings;
+
+std::ofstream open_for_write(const std::string& path) {
+  std::ofstream out(path);
+  QTX_CHECK_MSG(out.good(), "cannot write \"" << path
+                                              << "\" (does the output "
+                                                 "directory exist?)");
+  return out;
+}
+
+std::string join_path(const std::string& dir, const std::string& name) {
+  if (dir.empty() || dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+std::vector<std::string> provenance_lines(
+    const Scenario& scenario, const core::SimulationOptions& resolved) {
+  std::vector<std::string> lines;
+  lines.push_back("qtx scenario: " + scenario.name);
+  lines.push_back("device.preset = " + scenario.device_preset);
+  for (const auto& [key, value] :
+       device::serialize_structure_params(scenario.device))
+    lines.push_back("device." + key + " = " + value);
+  for (const core::OptionKV& kv : core::serialize_options(resolved))
+    lines.push_back("solver." + kv.first + " = " + kv.second);
+  return lines;
+}
+
+void write_csv(std::ostream& os, const std::vector<std::string>& header,
+               const std::vector<CsvColumn>& columns) {
+  QTX_CHECK_MSG(!columns.empty(), "write_csv needs at least one column");
+  const std::size_t rows = columns.front().values->size();
+  for (const CsvColumn& c : columns)
+    QTX_CHECK_MSG(c.values->size() == rows,
+                  "CSV column \"" << c.name << "\" has " << c.values->size()
+                                  << " rows, expected " << rows);
+  for (const std::string& line : header) os << "# " << line << "\n";
+  for (std::size_t c = 0; c < columns.size(); ++c)
+    os << (c ? "," : "") << columns[c].name;
+  os << "\n";
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c)
+      os << (c ? "," : "") << qs::format_double((*columns[c].values)[r]);
+    os << "\n";
+  }
+}
+
+std::vector<double> read_csv_column(std::istream& is, int column) {
+  std::vector<double> values;
+  std::string line;
+  bool seen_names = false;
+  while (std::getline(is, line)) {
+    const std::string t = qs::trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    if (!seen_names) {  // the column-name row
+      seen_names = true;
+      continue;
+    }
+    std::vector<std::string> fields;
+    std::string field;
+    for (const char ch : t) {
+      if (ch == ',') {
+        fields.push_back(field);
+        field.clear();
+      } else {
+        field.push_back(ch);
+      }
+    }
+    fields.push_back(field);
+    QTX_CHECK_MSG(column >= 0 && column < static_cast<int>(fields.size()),
+                  "CSV row \"" << t << "\" has no column " << column);
+    values.push_back(qs::parse_double(fields[column]));
+  }
+  return values;
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+// ---------------------------------------------------------------------------
+
+void JsonWriter::separator() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_) os_ << ",";
+  newline_indent();
+  first_ = false;
+}
+
+void JsonWriter::newline_indent() {
+  if (depth_ == 0) return;
+  os_ << "\n";
+  for (int i = 0; i < depth_; ++i) os_ << "  ";
+}
+
+void JsonWriter::escape(const std::string& s) {
+  os_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os_ << "\\\"";
+        break;
+      case '\\':
+        os_ << "\\\\";
+        break;
+      case '\n':
+        os_ << "\\n";
+        break;
+      case '\t':
+        os_ << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+void JsonWriter::begin_object() {
+  separator();
+  os_ << "{";
+  ++depth_;
+  first_ = true;
+}
+
+void JsonWriter::end_object() {
+  --depth_;
+  if (!first_) newline_indent();
+  os_ << "}";
+  first_ = false;
+}
+
+void JsonWriter::begin_array() {
+  separator();
+  os_ << "[";
+  ++depth_;
+  first_ = true;
+}
+
+void JsonWriter::end_array() {
+  --depth_;
+  if (!first_) newline_indent();
+  os_ << "]";
+  first_ = false;
+}
+
+void JsonWriter::key(const std::string& k) {
+  separator();
+  escape(k);
+  os_ << ": ";
+  after_key_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  separator();
+  escape(v);
+}
+
+void JsonWriter::value(const char* v) { value(std::string(v)); }
+
+void JsonWriter::value(double v) {
+  separator();
+  os_ << qs::format_double(v);
+}
+
+void JsonWriter::value(int v) {
+  separator();
+  os_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  separator();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::kv_array(const std::string& k,
+                          const std::vector<double>& values) {
+  key(k);
+  begin_array();
+  for (const double v : values) value(v);
+  end_array();
+}
+
+// ---------------------------------------------------------------------------
+// Result files
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> write_result_csvs(
+    const std::string& directory, const Scenario& scenario,
+    const core::SimulationOptions& resolved, const ScenarioResults& results) {
+  const std::vector<std::string> header =
+      provenance_lines(scenario, resolved);
+  std::vector<std::string> paths;
+
+  const auto write_series = [&](const std::string& file,
+                                const std::vector<CsvColumn>& cols) {
+    const std::string path = join_path(directory, file);
+    std::ofstream out = open_for_write(path);
+    write_csv(out, header, cols);
+    paths.push_back(path);
+  };
+
+  write_series("transmission.csv", {{"energy_ev", &results.energies},
+                                    {"transmission", &results.transmission}});
+  write_series("dos.csv",
+               {{"energy_ev", &results.energies}, {"dos", &results.dos}});
+  {
+    std::vector<double> cell(results.density.size());
+    for (std::size_t i = 0; i < cell.size(); ++i)
+      cell[i] = static_cast<double>(i);
+    write_series("density.csv",
+                 {{"cell", &cell}, {"density", &results.density}});
+  }
+  {
+    std::vector<std::string> current_header = header;
+    current_header.push_back(
+        "terminal_current_left = " + qs::format_double(results.terminal_left));
+    current_header.push_back("terminal_current_right = " +
+                             qs::format_double(results.terminal_right));
+    const std::string path = join_path(directory, "currents.csv");
+    std::ofstream out = open_for_write(path);
+    write_csv(out, current_header,
+              {{"energy_ev", &results.energies},
+               {"spectral_current_left", &results.current_left},
+               {"spectral_current_right", &results.current_right}});
+    paths.push_back(path);
+  }
+  {
+    std::vector<double> iter, update, seconds, converged;
+    for (const core::IterationResult& it : results.result.history) {
+      iter.push_back(it.iteration);
+      update.push_back(it.sigma_update);
+      seconds.push_back(it.seconds);
+      converged.push_back(it.converged ? 1.0 : 0.0);
+    }
+    write_series("trace.csv", {{"iteration", &iter},
+                               {"sigma_update", &update},
+                               {"seconds", &seconds},
+                               {"converged", &converged}});
+  }
+  {
+    // Kernel timings: one row per Table 4 ledger entry, summed over the run.
+    const std::string path = join_path(directory, "timings.csv");
+    std::ofstream out = open_for_write(path);
+    for (const std::string& line : header) out << "# " << line << "\n";
+    out << "kernel,seconds,flops\n";
+    for (const auto& [kernel, sec] : results.result.kernel_seconds) {
+      const auto it = results.result.kernel_flops.find(kernel);
+      const long long flops =
+          (it == results.result.kernel_flops.end()) ? 0 : it->second;
+      out << '"' << kernel << "\"," << qs::format_double(sec) << ","
+          << flops << "\n";
+    }
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+std::string write_result_json(const std::string& directory,
+                              const Scenario& scenario,
+                              const core::SimulationOptions& resolved,
+                              const ScenarioResults& results) {
+  const std::string path = join_path(directory, "results.json");
+  std::ofstream out = open_for_write(path);
+  JsonWriter j(out);
+  j.begin_object();
+  j.kv("scenario", scenario.name);
+
+  j.key("provenance");
+  j.begin_object();
+  j.key("device");
+  j.begin_object();
+  j.kv("preset", scenario.device_preset);
+  for (const auto& [key, value] :
+       device::serialize_structure_params(scenario.device))
+    j.kv(key, value);
+  j.end_object();
+  j.key("solver");
+  j.begin_object();
+  for (const core::OptionKV& kv : core::serialize_options(resolved))
+    j.kv(kv.first, kv.second);
+  j.end_object();
+  j.end_object();
+
+  j.key("result");
+  j.begin_object();
+  j.kv("converged", results.result.converged);
+  j.kv("iterations", results.result.iterations);
+  j.kv("stop_reason", core::to_string(results.result.stop_reason));
+  j.kv("final_update", results.result.final_update);
+  j.kv("total_seconds", results.result.total_seconds);
+  j.key("history");
+  j.begin_array();
+  for (const core::IterationResult& it : results.result.history) {
+    j.begin_object();
+    j.kv("iteration", it.iteration);
+    j.kv("sigma_update", it.sigma_update);
+    j.kv("seconds", it.seconds);
+    j.kv("converged", it.converged);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+
+  j.key("observables");
+  j.begin_object();
+  j.kv_array("energy_ev", results.energies);
+  j.kv_array("transmission", results.transmission);
+  j.kv_array("dos", results.dos);
+  j.kv_array("density", results.density);
+  j.kv_array("spectral_current_left", results.current_left);
+  j.kv_array("spectral_current_right", results.current_right);
+  j.kv("terminal_current_left", results.terminal_left);
+  j.kv("terminal_current_right", results.terminal_right);
+  j.end_object();
+
+  j.key("kernel_seconds");
+  j.begin_object();
+  for (const auto& [kernel, sec] : results.result.kernel_seconds)
+    j.kv(kernel, sec);
+  j.end_object();
+
+  j.end_object();
+  out << "\n";
+  return path;
+}
+
+std::string write_sweep_csv(const std::string& directory,
+                            const Scenario& scenario,
+                            const core::SimulationOptions& resolved,
+                            const std::vector<SweepRow>& rows) {
+  const std::string path = join_path(directory, scenario.sweep.output);
+  std::ofstream out = open_for_write(path);
+  std::vector<std::string> header = provenance_lines(scenario, resolved);
+  header.push_back("sweep.parameter = " + scenario.sweep.parameter);
+  std::vector<double> value, il, ir, iters, conv, update;
+  for (const SweepRow& r : rows) {
+    value.push_back(r.value);
+    il.push_back(r.terminal_left);
+    ir.push_back(r.terminal_right);
+    iters.push_back(r.iterations);
+    conv.push_back(r.converged ? 1.0 : 0.0);
+    update.push_back(r.final_update);
+  }
+  write_csv(out, header,
+            {{scenario.sweep.parameter, &value},
+             {"terminal_current_left", &il},
+             {"terminal_current_right", &ir},
+             {"iterations", &iters},
+             {"converged", &conv},
+             {"final_update", &update}});
+  return path;
+}
+
+}  // namespace qtx::io

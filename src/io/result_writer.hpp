@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file result_writer.hpp
+/// Structured result output for the `qtx` driver: CSV series files
+/// (transmission, DOS, density, currents, iteration trace, kernel timings,
+/// sweep summaries) and an all-in-one results.json — each stamped with a
+/// provenance header so a result file always records the exact resolved
+/// device parameters and solver options that produced it (round-trippable
+/// "%.17g" values; re-running the header's scenario reproduces the file
+/// bit-identically).
+///
+/// The writers are deliberately deterministic: no timestamps, no
+/// environment capture — the golden-file tests diff their output verbatim.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "io/scenario_parser.hpp"
+
+namespace qtx::io {
+
+/// One named column of a CSV series file.
+struct CsvColumn {
+  std::string name;  ///< column header (no commas)
+  const std::vector<double>* values = nullptr;  ///< column data (borrowed)
+};
+
+/// Provenance block for output headers: the scenario name, the device
+/// preset + resolved parameters, and the resolved solver options, one
+/// "key = value" per line (no '#' prefix; the writers add their own
+/// comment markers). \p resolved is the post-resolution option set the
+/// simulation actually ran with (contacts materialized, backends resolved).
+std::vector<std::string> provenance_lines(
+    const Scenario& scenario, const core::SimulationOptions& resolved);
+
+/// Write a CSV file: '#'-prefixed header lines, a column-name row, then one
+/// row per index. All columns must have equal length; doubles are
+/// "%.17g"-formatted so readers recover them bit-identically.
+void write_csv(std::ostream& os, const std::vector<std::string>& header,
+               const std::vector<CsvColumn>& columns);
+
+/// Read back the \p column-th numeric column of a CSV written by
+/// `write_csv` (skips '#' comments and the name row). The inverse the CLI
+/// smoke test uses to diff a transmission CSV against the golden file.
+std::vector<double> read_csv_column(std::istream& is, int column);
+
+/// Minimal JSON emitter (objects, arrays, strings, numbers, booleans) —
+/// enough for results.json without external dependencies. Numbers are
+/// "%.17g"; strings are escaped per RFC 8259.
+class JsonWriter {
+ public:
+  /// Writes JSON onto \p os (borrowed; must outlive the writer).
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();  ///< emit '{' (as a value or array element)
+  void end_object();    ///< emit the matching '}'
+  void begin_array();   ///< emit '[' (as a value or array element)
+  void end_array();     ///< emit the matching ']'
+  /// Start a "key": inside an object; follow with a value call.
+  void key(const std::string& k);
+  void value(const std::string& v);  ///< emit an escaped string value
+  void value(const char* v);         ///< emit an escaped string value
+  void value(double v);              ///< emit a "%.17g" number
+  void value(int v);                 ///< emit an integer
+  void value(bool v);                ///< emit true/false
+  /// Shorthand: key + scalar value.
+  template <class T>
+  void kv(const std::string& k, const T& v) {
+    key(k);
+    value(v);
+  }
+  /// key + array of doubles.
+  void kv_array(const std::string& k, const std::vector<double>& values);
+
+ private:
+  void separator();
+  void newline_indent();
+  void escape(const std::string& s);
+
+  std::ostream& os_;
+  int depth_ = 0;
+  bool first_ = true;       ///< no separator needed before the next item
+  bool after_key_ = false;  ///< value follows a key on the same line
+};
+
+/// Everything `run_scenario` materializes for the writers: the observables
+/// of the converged (or budget-exhausted) state plus the run record.
+struct ScenarioResults {
+  core::TransportResult result;       ///< the run record (history, timings)
+  std::vector<double> energies;       ///< grid energies, for CSV axes
+  std::vector<double> transmission;   ///< T(E)
+  std::vector<double> dos;            ///< total DOS(E)
+  std::vector<double> density;        ///< electrons per transport cell
+  std::vector<double> current_left;   ///< spectral current i_L(E)
+  std::vector<double> current_right;  ///< spectral current i_R(E)
+  double terminal_left = 0.0;
+  double terminal_right = 0.0;
+};
+
+/// Write the CSV set into \p directory (transmission.csv, dos.csv,
+/// density.csv, currents.csv, trace.csv, timings.csv). Returns the paths
+/// written. The directory must already exist (run_scenario creates it).
+std::vector<std::string> write_result_csvs(
+    const std::string& directory, const Scenario& scenario,
+    const core::SimulationOptions& resolved, const ScenarioResults& results);
+
+/// Write the all-in-one results.json; returns its path.
+std::string write_result_json(const std::string& directory,
+                              const Scenario& scenario,
+                              const core::SimulationOptions& resolved,
+                              const ScenarioResults& results);
+
+/// One sweep point for the summary CSV.
+struct SweepRow {
+  double value = 0.0;             ///< the swept parameter's value
+  double terminal_left = 0.0;     ///< I_L at this point (e/hbar per spin)
+  double terminal_right = 0.0;    ///< I_R at this point
+  int iterations = 0;             ///< SCBA iterations performed
+  bool converged = false;         ///< did the point converge?
+  double final_update = 0.0;      ///< last ||dSigma<||/||Sigma<||
+};
+
+/// Write the sweep summary CSV (one row per sweep point); returns its path.
+std::string write_sweep_csv(const std::string& directory,
+                            const Scenario& scenario,
+                            const core::SimulationOptions& resolved,
+                            const std::vector<SweepRow>& rows);
+
+}  // namespace qtx::io

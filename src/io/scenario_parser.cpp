@@ -1,0 +1,264 @@
+#include "io/scenario_parser.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace qtx::io {
+namespace {
+
+namespace qs = qtx::strings;
+
+/// Line-scoped diagnostic context: every throw is prefixed "<file>:<line>:".
+struct LineContext {
+  const std::string& source;
+  int line = 0;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    std::ostringstream os;
+    os << source << ":" << line << ": " << message;
+    throw ScenarioError(os.str());
+  }
+
+  /// Run \p fn, rethrowing any std::runtime_error with the file:line prefix.
+  template <class Fn>
+  void wrap(Fn&& fn) const {
+    try {
+      fn();
+    } catch (const ScenarioError&) {
+      throw;  // already located
+    } catch (const std::runtime_error& e) {
+      fail(e.what());
+    }
+  }
+};
+
+/// Strip a trailing '#' or ';' comment. Consequence: values (names,
+/// output paths) cannot contain either character — a documented format
+/// limitation, not an escape-syntax TODO.
+std::string strip_comment(const std::string& line) {
+  const std::size_t pos = line.find_first_of("#;");
+  return (pos == std::string::npos) ? line : line.substr(0, pos);
+}
+
+std::string file_stem(const std::string& path) {
+  std::size_t begin = path.find_last_of("/\\");
+  begin = (begin == std::string::npos) ? 0 : begin + 1;
+  std::size_t end = path.rfind('.');
+  if (end == std::string::npos || end <= begin) end = path.size();
+  return path.substr(begin, end - begin);
+}
+
+void apply_solver_key(Scenario& s, const LineContext& ctx,
+                      const std::string& key, const std::string& value) {
+  if (key == "grid") {
+    const std::vector<std::string> parts = qs::split_list(value);
+    if (parts.size() != 3)
+      ctx.fail("option \"grid\" expects \"<e_min> <e_max> <n>\" (3 values), "
+               "got \"" + value + "\"");
+    ctx.wrap([&] {
+      s.solver.grid.e_min = qs::parse_double(parts[0]);
+      s.solver.grid.e_max = qs::parse_double(parts[1]);
+      s.solver.grid.n = qs::parse_int32(parts[2]);
+    });
+    return;
+  }
+  if (key == "tolerance") {  // friendly alias of the builder spelling
+    ctx.wrap([&] { s.solver.tol = qs::parse_double(value); });
+    return;
+  }
+  if (key == "mu_reference") {
+    if (value != "absolute" && value != "midgap" && value != "valence-max" &&
+        value != "conduction-min") {
+      ctx.fail("mu_reference must be one of absolute, midgap, valence-max, "
+               "conduction-min; got \"" + value + "\"");
+    }
+    s.mu_reference = value;
+    s.has_mu_spec = true;
+    return;
+  }
+  if (key == "mu_left") {
+    ctx.wrap([&] { s.mu_left = qs::parse_double(value); });
+    s.has_mu_spec = true;
+    return;
+  }
+  if (key == "mu_right") {
+    ctx.wrap([&] { s.mu_right = qs::parse_double(value); });
+    s.has_mu_spec = true;
+    return;
+  }
+  ctx.wrap([&] { core::set_option(s.solver, key, value); });
+}
+
+void apply_output_key(Scenario& s, const LineContext& ctx,
+                      const std::string& key, const std::string& value) {
+  if (key == "directory") {
+    s.output.directory = value;
+    return;
+  }
+  if (key == "formats") {
+    s.output.csv = false;
+    s.output.json = false;
+    for (const std::string& fmt : qs::split_list(value)) {
+      if (fmt == "csv") {
+        s.output.csv = true;
+      } else if (fmt == "json") {
+        s.output.json = true;
+      } else {
+        ctx.fail("unknown output format \"" + fmt +
+                 "\"; known formats: csv, json");
+      }
+    }
+    return;
+  }
+  ctx.fail("unknown [output] key \"" + key +
+           "\"; known keys: directory, formats");
+}
+
+void apply_sweep_key(Scenario& s, const LineContext& ctx,
+                     const std::string& key, const std::string& value) {
+  if (key == "parameter") {
+    s.sweep.parameter = value;
+    return;
+  }
+  if (key == "values") {
+    ctx.wrap([&] { s.sweep.values = qs::parse_double_list(value); });
+    return;
+  }
+  if (key == "output") {
+    s.sweep.output = value;
+    return;
+  }
+  ctx.fail("unknown [sweep] key \"" + key +
+           "\"; known keys: parameter, values, output");
+}
+
+}  // namespace
+
+Scenario parse_scenario_text(const std::string& text,
+                             const std::string& source_name) {
+  Scenario s;
+  LineContext ctx{source_name};
+  std::istringstream in(text);
+  std::string raw, section;
+  bool device_overridden = false;  // any non-preset [device] key seen yet
+  while (std::getline(in, raw)) {
+    ++ctx.line;
+    const std::string line = qs::trim(strip_comment(raw));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']')
+        ctx.fail("malformed section header \"" + line + "\" (missing ']')");
+      section = qs::trim(line.substr(1, line.size() - 2));
+      if (section != "scenario" && section != "device" &&
+          section != "solver" && section != "output" && section != "sweep") {
+        ctx.fail("unknown section [" + section +
+                 "]; known sections: [scenario], [device], [solver], "
+                 "[output], [sweep]");
+      }
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos)
+      ctx.fail("expected \"key = value\" or \"[section]\", got \"" + line +
+               "\"");
+    const std::string key = qs::trim(line.substr(0, eq));
+    const std::string value = qs::trim(line.substr(eq + 1));
+    if (key.empty()) ctx.fail("empty key before '='");
+    if (section.empty())
+      ctx.fail("key \"" + key +
+               "\" appears before any [section] header; start with "
+               "[scenario], [device], [solver], [output], or [sweep]");
+
+    if (section == "scenario") {
+      if (key == "name") {
+        s.name = value;
+      } else {
+        ctx.fail("unknown [scenario] key \"" + key + "\"; known keys: name");
+      }
+    } else if (section == "device") {
+      if (key == "preset") {
+        // A preset resets every device parameter, so accepting one after
+        // overrides would silently discard them.
+        if (device_overridden)
+          ctx.fail("\"preset\" must come before per-key device overrides "
+                   "(selecting a preset resets all device parameters)");
+        ctx.wrap([&] {
+          s.device = device::device_preset(value);
+          s.device_preset = value;
+        });
+      } else {
+        ctx.wrap([&] { device::set_structure_param(s.device, key, value); });
+        device_overridden = true;
+      }
+    } else if (section == "solver") {
+      apply_solver_key(s, ctx, key, value);
+    } else if (section == "output") {
+      apply_output_key(s, ctx, key, value);
+    } else {  // sweep
+      apply_sweep_key(s, ctx, key, value);
+    }
+  }
+  if (!s.sweep.values.empty() && s.sweep.parameter.empty()) {
+    ctx.fail("[sweep] lists values but no parameter; add \"parameter = "
+             "bias\" (or temperature, or any option key)");
+  }
+  return s;
+}
+
+Scenario parse_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ScenarioError("cannot open scenario file \"" + path + "\"");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Scenario s = parse_scenario_text(buf.str(), path);
+  if (s.name.empty()) s.name = file_stem(path);
+  return s;
+}
+
+std::string serialize_scenario(const Scenario& s) {
+  std::ostringstream os;
+  os << "[scenario]\n";
+  os << "name = " << s.name << "\n\n";
+
+  os << "[device]\n";
+  os << "preset = " << s.device_preset << "\n";
+  // Emit only the keys that differ from the preset: the canonical form
+  // stays minimal and re-applying "preset" then the overrides reproduces
+  // the params exactly.
+  const auto preset_kvs =
+      device::serialize_structure_params(device::device_preset(s.device_preset));
+  const auto device_kvs = device::serialize_structure_params(s.device);
+  for (std::size_t i = 0; i < device_kvs.size(); ++i)
+    if (device_kvs[i].second != preset_kvs[i].second)
+      os << device_kvs[i].first << " = " << device_kvs[i].second << "\n";
+  os << "\n";
+
+  os << "[solver]\n";
+  for (const core::OptionKV& kv : core::serialize_options(s.solver))
+    os << kv.first << " = " << kv.second << "\n";
+  if (s.has_mu_spec) {
+    os << "mu_reference = " << s.mu_reference << "\n";
+    os << "mu_left = " << qs::format_double(s.mu_left) << "\n";
+    os << "mu_right = " << qs::format_double(s.mu_right) << "\n";
+  }
+  os << "\n";
+
+  os << "[output]\n";
+  os << "directory = " << s.output.directory << "\n";
+  os << "formats =";
+  if (s.output.csv) os << " csv";
+  if (s.output.json) os << " json";
+  os << "\n";
+
+  if (s.has_sweep()) {
+    os << "\n[sweep]\n";
+    os << "parameter = " << s.sweep.parameter << "\n";
+    os << "values = " << qs::format_double_list(s.sweep.values) << "\n";
+    os << "output = " << s.sweep.output << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace qtx::io

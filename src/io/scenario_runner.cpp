@@ -1,0 +1,154 @@
+#include "io/scenario_runner.hpp"
+
+#include <filesystem>
+#include <utility>
+
+#include "common/strings.hpp"
+
+namespace qtx::io {
+namespace {
+
+void ensure_directory(const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    throw ScenarioError("cannot create output directory \"" + directory +
+                        "\": " + ec.message());
+  }
+}
+
+}  // namespace
+
+device::Structure make_structure(const Scenario& s) {
+  return device::Structure(s.device);
+}
+
+core::SimulationOptions resolved_solver_options(
+    const Scenario& s, const device::Structure& structure) {
+  core::SimulationOptions opt = s.solver;
+  if (!s.has_mu_spec) return opt;
+  double base = 0.0;
+  if (s.mu_reference != "absolute") {
+    const device::Structure::GapInfo gap = structure.band_gap();
+    if (s.mu_reference == "midgap") {
+      base = gap.midgap();
+    } else if (s.mu_reference == "valence-max") {
+      base = gap.valence_max;
+    } else {  // "conduction-min" (the parser admits nothing else)
+      base = gap.conduction_min;
+    }
+  }
+  opt.contacts.mu_left = base + s.mu_left;
+  opt.contacts.mu_right = base + s.mu_right;
+  return opt;
+}
+
+RunOutcome run_scenario(const Scenario& s,
+                        const core::StageRegistry& registry,
+                        const ProgressFn& progress,
+                        std::shared_ptr<core::EnergyPipeline> pipeline) {
+  const device::Structure structure = make_structure(s);
+  RunOutcome out;
+  out.resolved = resolved_solver_options(s, structure);
+  core::Simulation sim(structure, out.resolved, registry,
+                       std::move(pipeline));
+  if (progress) sim.on_iteration(progress);
+  out.results.result = sim.run();
+
+  const core::EnergyGrid& grid = out.resolved.grid;
+  out.results.energies.resize(grid.n);
+  for (int e = 0; e < grid.n; ++e)
+    out.results.energies[e] = grid.energy(e);
+  out.results.transmission = core::transmission(sim);
+  out.results.dos = core::total_dos(sim);
+  out.results.density = core::electron_density(sim);
+  out.results.current_left = core::spectral_current_left(sim);
+  out.results.current_right = core::spectral_current_right(sim);
+  out.results.terminal_left = core::terminal_current_left(sim);
+  out.results.terminal_right = core::terminal_current_right(sim);
+
+  if (!s.output.directory.empty()) {
+    ensure_directory(s.output.directory);
+    if (s.output.csv) {
+      std::vector<std::string> paths = write_result_csvs(
+          s.output.directory, s, out.resolved, out.results);
+      out.files.insert(out.files.end(), paths.begin(), paths.end());
+    }
+    if (s.output.json) {
+      out.files.push_back(write_result_json(s.output.directory, s,
+                                            out.resolved, out.results));
+    }
+  }
+  return out;
+}
+
+void apply_sweep_value(core::SimulationOptions& opt,
+                       const std::string& parameter, double value) {
+  if (parameter == "bias") {
+    // Split the bias window symmetrically around the current midpoint, so
+    // the sweep is centred on the scenario's operating point.
+    const double mid =
+        0.5 * (opt.contacts.mu_left + opt.contacts.mu_right);
+    opt.contacts.mu_left = mid + 0.5 * value;
+    opt.contacts.mu_right = mid - 0.5 * value;
+    return;
+  }
+  if (parameter == "temperature") {
+    opt.contacts.temperature_k = value;
+    return;
+  }
+  core::set_option(opt, parameter, strings::format_double(value));
+}
+
+SweepOutcome run_sweep(const Scenario& s,
+                       const core::StageRegistry& registry,
+                       const ProgressFn& progress) {
+  if (!s.has_sweep()) {
+    throw ScenarioError("scenario \"" + s.name +
+                        "\" has no [sweep] section; use run_scenario");
+  }
+  if (s.sweep.values.empty()) {
+    throw ScenarioError("scenario \"" + s.name +
+                        "\" sweeps \"" + s.sweep.parameter +
+                        "\" over an empty value list");
+  }
+  const device::Structure structure = make_structure(s);
+  const core::SimulationOptions base =
+      resolved_solver_options(s, structure);
+
+  SweepOutcome out;
+  std::shared_ptr<core::EnergyPipeline> pipe;
+  for (const double value : s.sweep.values) {
+    core::SimulationOptions opt = base;
+    apply_sweep_value(opt, s.sweep.parameter, value);
+    // Reuse the previous point's engine when the batch layout and backend
+    // keys still match (always true for bias/temperature sweeps); an
+    // energy-resolution sweep rebuilds per point.
+    std::shared_ptr<core::EnergyPipeline> reuse =
+        (pipe && pipe->reuse_mismatch(opt.grid.n, opt).empty()) ? pipe
+                                                                : nullptr;
+    if (!reuse) ++out.pipeline_builds;
+    core::Simulation sim(structure, opt, registry, std::move(reuse));
+    if (progress) sim.on_iteration(progress);
+    const core::TransportResult res = sim.run();
+    SweepRow row;
+    row.value = value;
+    row.terminal_left = core::terminal_current_left(sim);
+    row.terminal_right = core::terminal_current_right(sim);
+    row.iterations = res.iterations;
+    row.converged = res.converged;
+    row.final_update = res.final_update;
+    out.rows.push_back(row);
+    if (out.rows.size() == 1) out.base_resolved = opt;
+    pipe = sim.shared_pipeline();
+  }
+
+  if (!s.output.directory.empty()) {
+    ensure_directory(s.output.directory);
+    out.files.push_back(
+        write_sweep_csv(s.output.directory, s, out.base_resolved, out.rows));
+  }
+  return out;
+}
+
+}  // namespace qtx::io

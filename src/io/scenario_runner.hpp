@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file scenario_runner.hpp
+/// Execution of parsed scenarios (io/scenario_parser.hpp): builds the
+/// device from the preset catalog, resolves band-edge-relative contacts,
+/// runs the simulation through the `qtx::core::Simulation` facade, and
+/// writes the configured result files (io/result_writer.hpp). This is the
+/// whole `qtx run` / `qtx sweep` logic — the CLI binary only parses
+/// arguments and prints; everything here is library code the test suite
+/// exercises in-process.
+///
+/// Sweep runs share one `EnergyPipeline` across points whenever the grid,
+/// batch layout, and backend keys stay fixed (bias/temperature sweeps):
+/// the engine is reset — not rebuilt — between points, so a sweep with
+/// `num_threads = 8` spins up one thread pool instead of one per point,
+/// and every point's numbers stay bit-identical to a standalone run.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/observables.hpp"
+#include "core/simulation.hpp"
+#include "io/result_writer.hpp"
+#include "io/scenario_parser.hpp"
+
+namespace qtx::io {
+
+/// Build the scenario's device structure (preset params + overrides).
+device::Structure make_structure(const Scenario& s);
+
+/// The options the simulation actually runs with: the scenario's solver
+/// options with `mu_reference`-relative contacts materialized against the
+/// device's band edges (no-op when the scenario carries no mu spec).
+core::SimulationOptions resolved_solver_options(
+    const Scenario& s, const device::Structure& structure);
+
+/// Outcome of one `run_scenario` call.
+struct RunOutcome {
+  ScenarioResults results;            ///< observables + run record
+  core::SimulationOptions resolved;   ///< provenance: the options used
+  std::vector<std::string> files;     ///< paths written (empty if no output)
+};
+
+/// Per-iteration progress hook (e.g. the CLI's live convergence print).
+using ProgressFn = std::function<void(const core::IterationResult&)>;
+
+/// Run one scenario end-to-end: build, solve, collect observables, and —
+/// when the scenario's output directory is non-empty — write the
+/// configured CSV/JSON files (the directory is created if missing).
+/// \p pipeline optionally reuses a previous run's energy pipeline (must
+/// match the scenario's grid/backends; see Simulation's constructor).
+RunOutcome run_scenario(const Scenario& s,
+                        const core::StageRegistry& registry =
+                            core::StageRegistry::global(),
+                        const ProgressFn& progress = nullptr,
+                        std::shared_ptr<core::EnergyPipeline> pipeline =
+                            nullptr);
+
+/// Outcome of a `run_sweep` call: the summary rows plus every file written.
+struct SweepOutcome {
+  std::vector<SweepRow> rows;  ///< one row per sweep value, in order
+  core::SimulationOptions base_resolved;  ///< point-0 options (provenance)
+  std::vector<std::string> files;  ///< paths written (empty if no output)
+  int pipeline_builds = 0;  ///< energy pipelines constructed (1 = fully reused)
+};
+
+/// Apply one sweep point to \p opt: "bias" splits the value symmetrically
+/// around the current contact midpoint (mu_left/right = mid ± value/2),
+/// "temperature" sets contacts.temperature_k, and any other parameter is
+/// routed through `core::set_option` (so "grid.n", "eta", ... all sweep).
+void apply_sweep_value(core::SimulationOptions& opt,
+                       const std::string& parameter, double value);
+
+/// Run the scenario's [sweep]: one simulation per value (reusing the
+/// energy pipeline whenever compatible), collecting terminal currents and
+/// convergence per point, and writing the sweep summary CSV when the
+/// output directory is non-empty. Throws ScenarioError if the scenario has
+/// no sweep section.
+SweepOutcome run_sweep(const Scenario& s,
+                       const core::StageRegistry& registry =
+                           core::StageRegistry::global(),
+                       const ProgressFn& progress = nullptr);
+
+}  // namespace qtx::io
