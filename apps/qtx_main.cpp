@@ -3,9 +3,9 @@
 // io/result_writer) behind five subcommands; every tutorial in docs/ drives
 // this binary.
 //
-//   qtx run   <scenario.ini> [--out DIR] [--threads N] [--quiet]
-//   qtx sweep <scenario.ini> [--out DIR] [--threads N] [--quiet]
-//   qtx print <scenario.ini>      # parse + validate, emit canonical form
+//   qtx run   <scenario.ini> [--out DIR] [--threads N] [--set k=v]... [--quiet]
+//   qtx sweep <scenario.ini> [--out DIR] [--threads N] [--set k=v]... [--quiet]
+//   qtx print <scenario.ini> [--set k=v]...  # parse + validate, emit canonical
 //   qtx list-backends             # the StageRegistry catalog, generated
 //   qtx list-presets              # the device catalog (src/device/presets)
 //   qtx --help | --version
@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <exception>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/strings.hpp"
@@ -28,9 +29,11 @@ constexpr const char* kUsage =
     "qtx — scenario-driven NEGF+GW quantum-transport driver\n"
     "\n"
     "usage:\n"
-    "  qtx run   <scenario.ini> [--out DIR] [--threads N] [--quiet]\n"
-    "  qtx sweep <scenario.ini> [--out DIR] [--threads N] [--quiet]\n"
-    "  qtx print <scenario.ini>\n"
+    "  qtx run   <scenario.ini> [--out DIR] [--threads N] [--set KEY=VALUE]"
+    "... [--quiet]\n"
+    "  qtx sweep <scenario.ini> [--out DIR] [--threads N] [--set KEY=VALUE]"
+    "... [--quiet]\n"
+    "  qtx print <scenario.ini> [--set KEY=VALUE]...\n"
     "  qtx list-backends\n"
     "  qtx list-presets\n"
     "  qtx --help | --version\n"
@@ -44,6 +47,10 @@ constexpr const char* kUsage =
     "\n"
     "--out DIR      override the scenario's [output] directory\n"
     "--threads N    override the scenario's solver num_threads\n"
+    "--set KEY=VALUE  override any [solver] or [device] deck key without\n"
+    "               editing the file (repeatable; device keys take a\n"
+    "               \"device.\" prefix, e.g. --set device.num_cells=8\n"
+    "               --set mixer=anderson)\n"
     "--quiet        suppress per-iteration progress lines\n"
     "\n"
     "Scenario-file schema and tutorials: docs/userguide.md, docs/tutorials/.\n";
@@ -54,6 +61,8 @@ struct CliArgs {
   std::string out_dir;
   int threads = 0;  ///< 0 = keep the scenario's value
   bool quiet = false;
+  /// --set KEY=VALUE deck overrides, in command-line order.
+  std::vector<std::pair<std::string, std::string>> sets;
 };
 
 int usage_error(const std::string& message) {
@@ -101,6 +110,19 @@ bool parse_cli(int argc, char** argv, CliArgs& args, int& exit_code) {
         exit_code = usage_error("--threads needs a positive worker count");
         return false;
       }
+    } else if (arg == "--set") {
+      if (++i >= argc) {
+        exit_code = usage_error("--set needs a KEY=VALUE argument");
+        return false;
+      }
+      const std::string kv = argv[i];
+      const std::size_t eq = kv.find('=');
+      if (eq == 0 || eq == std::string::npos) {
+        exit_code = usage_error("--set expects KEY=VALUE, got \"" + kv +
+                                "\"");
+        return false;
+      }
+      args.sets.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
     } else if (arg == "--quiet") {
       args.quiet = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -122,6 +144,10 @@ qtx::io::Scenario load_scenario(const CliArgs& args) {
                                  "\" needs a scenario file argument");
   }
   qtx::io::Scenario s = qtx::io::parse_scenario_file(args.scenario_path);
+  // Deck overrides first (command-line order), then the dedicated flags —
+  // so --threads still wins over a conflicting --set num_threads=...
+  for (const auto& [key, value] : args.sets)
+    qtx::io::apply_scenario_override(s, key, value);
   if (!args.out_dir.empty()) s.output.directory = args.out_dir;
   if (args.threads > 0) s.solver.num_threads = args.threads;
   return s;

@@ -3,9 +3,10 @@
 #
 #   ./ci.sh              # all stages
 #   ./ci.sh build-test   # tier-1 verify: Debug + Release, -Werror, ctest
-#   ./ci.sh tsan         # ThreadSanitizer build running the "api" and
-#                        # "parallel" ctest labels (the suites that exercise
-#                        # the energy pipeline's threading)
+#   ./ci.sh tsan         # ThreadSanitizer build running the "api",
+#                        # "parallel", and "accel" ctest labels (the suites
+#                        # that exercise the energy pipeline's threading and
+#                        # the mixers' parallel energy loops)
 #   ./ci.sh docs         # doxygen (skipped if unavailable); fails on
 #                        # undocumented-public-symbol warnings in the
 #                        # tracked core/io headers
@@ -47,12 +48,14 @@ tsan() {
     -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
     -DQTX_BUILD_BENCHES=OFF \
     -DQTX_BUILD_EXAMPLES=OFF
-  echo "=== [TSan] build (api + parallel suites) ==="
-  cmake --build "$build_dir" -j "$JOBS" --target test_api test_parallel
-  echo "=== [TSan] ctest -L 'api|parallel' ==="
-  # The race-sensitive suites: the facade (observers, registry) and the
-  # energy pipeline (thread pool, work stealing, determinism at 8 workers).
-  ctest --test-dir "$build_dir" -L "api|parallel" --output-on-failure \
+  echo "=== [TSan] build (api + parallel + accel suites) ==="
+  cmake --build "$build_dir" -j "$JOBS" \
+    --target test_api test_parallel test_accel qtx
+  echo "=== [TSan] ctest -L 'api|parallel|accel' ==="
+  # The race-sensitive suites: the facade (observers, registry), the energy
+  # pipeline (thread pool, work stealing, determinism at 8 workers), and
+  # the accel layer (mixers running on the parallel energy loop).
+  ctest --test-dir "$build_dir" -L "api|parallel|accel" --output-on-failure \
     -j "$JOBS"
 }
 
@@ -68,7 +71,7 @@ docs() {
   echo "=== [docs] doxygen ==="
   mkdir -p build-docs
   doxygen Doxyfile
-  tracked='src/core/simulation\.hpp|src/core/options\.hpp|src/core/stages\.hpp|src/core/stage_registry\.hpp|src/io/[a-z_]*\.hpp'
+  tracked='src/core/simulation\.hpp|src/core/options\.hpp|src/core/stages\.hpp|src/core/stage_registry\.hpp|src/io/[a-z_]*\.hpp|src/accel/[a-z_]*\.hpp'
   if grep -E "$tracked" build-docs/doxygen-warnings.log 2>/dev/null \
       | grep -i "is not documented" > build-docs/undocumented.log; then
     echo "=== [docs] FAILED: undocumented public symbols in tracked" \

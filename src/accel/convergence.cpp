@@ -1,0 +1,69 @@
+#include "accel/convergence.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace qtx::accel {
+
+ConvergenceMonitor::ConvergenceMonitor(double divergence_factor, int window,
+                                       double stagnation_tol)
+    : divergence_factor_(divergence_factor),
+      window_(window),
+      stagnation_tol_(stagnation_tol) {
+  QTX_CHECK_MSG(divergence_factor >= 0.0,
+                "divergence_factor must be >= 0 (0 disables detection), got "
+                    << divergence_factor);
+  QTX_CHECK_MSG(window >= 2,
+                "the monitor window must be >= 2, got " << window);
+  QTX_CHECK_MSG(stagnation_tol >= 0.0,
+                "stagnation_tol must be >= 0, got " << stagnation_tol);
+}
+
+void ConvergenceMonitor::reset() {
+  history_.clear();
+  best_ = 0.0;
+}
+
+void ConvergenceMonitor::push(double residual) {
+  best_ = history_.empty() ? residual : std::min(best_, residual);
+  history_.push_back(residual);
+}
+
+double ConvergenceMonitor::ratio() const {
+  const std::size_t n = history_.size();
+  if (n < 2 || history_[n - 2] <= 0.0) return 0.0;
+  return history_[n - 1] / history_[n - 2];
+}
+
+bool ConvergenceMonitor::diverged() const {
+  if (divergence_factor_ <= 0.0 || history_.size() < 3) return false;
+  const std::size_t n = history_.size();
+  return history_[n - 1] > history_[n - 2] &&
+         history_[n - 1] > divergence_factor_ * best_;
+}
+
+bool ConvergenceMonitor::stagnated() const {
+  if (static_cast<int>(history_.size()) < window_) return false;
+  const auto begin = history_.end() - window_;
+  const double hi = *std::max_element(begin, history_.end());
+  const double lo = *std::min_element(begin, history_.end());
+  return hi > 0.0 && (hi - lo) <= stagnation_tol_ * hi;
+}
+
+double ConvergenceMonitor::oscillation() const {
+  const int n = static_cast<int>(history_.size());
+  const int span = std::min(n, window_ + 1);
+  if (span < 3) return 0.0;
+  int flips = 0, pairs = 0;
+  for (int i = n - span + 2; i < n; ++i) {
+    const double d_prev = history_[i - 1] - history_[i - 2];
+    const double d_cur = history_[i] - history_[i - 1];
+    ++pairs;
+    if ((d_prev > 0.0 && d_cur < 0.0) || (d_prev < 0.0 && d_cur > 0.0))
+      ++flips;
+  }
+  return pairs > 0 ? static_cast<double>(flips) / pairs : 0.0;
+}
+
+}  // namespace qtx::accel

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file convergence.hpp
+/// Convergence monitoring for the SCBA loop: residual history, divergence
+/// and stagnation detection, and an oscillation metric. The `Simulation`
+/// driver feeds every iteration's relative Σ< update into a
+/// `ConvergenceMonitor` and stops with `StopReason::kDiverged` when the
+/// monitor flags divergence — a diagnostic instead of a silently burned
+/// iteration budget.
+
+#include <vector>
+
+namespace qtx::accel {
+
+/// Residual-history analyzer of one self-consistency run. Push one relative
+/// residual per iteration; query divergence/stagnation/oscillation at any
+/// point. All queries are O(window) and allocation-free.
+class ConvergenceMonitor {
+ public:
+  /// \p divergence_factor flags divergence once the latest residual both
+  /// grew versus the previous iteration and exceeds `factor x` the best
+  /// residual seen (0 disables detection). \p window is the look-back span
+  /// of the stagnation and oscillation queries; \p stagnation_tol the
+  /// relative residual spread below which the loop counts as stagnated.
+  explicit ConvergenceMonitor(double divergence_factor = 10.0,
+                              int window = 4, double stagnation_tol = 0.02);
+
+  /// Drop all recorded history (start of a new run).
+  void reset();
+
+  /// Record one iteration's relative residual (in push order).
+  void push(double residual);
+
+  /// Number of residuals recorded so far.
+  int size() const { return static_cast<int>(history_.size()); }
+  /// The most recent residual (0 when empty).
+  double last() const { return history_.empty() ? 0.0 : history_.back(); }
+  /// The smallest residual seen so far (0 when empty).
+  double best() const { return history_.empty() ? 0.0 : best_; }
+  /// Growth ratio last/previous (0 with fewer than two residuals or a zero
+  /// previous residual) — the per-iteration `residual_ratio` diagnostic.
+  double ratio() const;
+
+  /// True when the run is diverging: at least three residuals recorded,
+  /// the latest grew versus the previous one, and it exceeds
+  /// `divergence_factor x best()`. Always false when the factor is 0.
+  bool diverged() const;
+
+  /// True when the last `window` residuals are all within
+  /// `stagnation_tol` relative spread of each other (the loop is neither
+  /// converging nor diverging).
+  bool stagnated() const;
+
+  /// Fraction of direction flips among consecutive residual differences in
+  /// the look-back window, in [0, 1]: 0 for monotone behaviour, 1 for a
+  /// perfect two-cycle. Returns 0 with fewer than three residuals.
+  double oscillation() const;
+
+  /// Every residual pushed so far, in iteration order.
+  const std::vector<double>& history() const { return history_; }
+
+ private:
+  double divergence_factor_;
+  int window_;
+  double stagnation_tol_;
+  std::vector<double> history_;
+  double best_ = 0.0;
+};
+
+}  // namespace qtx::accel

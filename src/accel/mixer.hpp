@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file mixer.hpp
+/// Self-consistency acceleration: pluggable mixers for the SCBA Σ update.
+///
+/// Every outer SCBA iteration re-runs the full G → P → W → Σ pipeline over
+/// all energy points, so cutting the iteration count is the highest-leverage
+/// speedup after energy parallelism. The historic driver hard-coded plain
+/// linear damping (`sigma += mixing * (proposal - sigma)`); this layer turns
+/// that update into a pluggable `Mixer` stage with three builtin policies:
+///
+///   - `make_linear_mixer`   — the damped fixed-point update, reproduced
+///                             bit-identically (the default; golden files
+///                             stay unchanged).
+///   - `make_anderson_mixer` — Anderson/DIIS acceleration: a regularized
+///                             least-squares combination of the residual
+///                             history (Pulay mixing), the scheme large-scale
+///                             GW codes rely on to stay tractable.
+///   - `make_adaptive_mixer` — linear mixing with automatic damping back-off
+///                             when the residual grows (and slow recovery
+///                             when it shrinks again).
+///
+/// Determinism contract: a mixer touches the per-energy Σ flats only inside
+/// the driver-supplied `EnergyLoop` (one callback per energy slot, each
+/// writing its own slot), and folds every scalar reduction from per-energy
+/// partials in ascending energy order. Multi-threaded runs are therefore
+/// bit-identical to sequential ones — the same guarantee the energy
+/// pipeline gives the G/W stages.
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qtx::accel {
+
+/// The mutable self-energy state a mixer updates in place: per-energy flat
+/// element vectors for the lesser/greater/retarded components plus the
+/// energy-independent static (Fock) part. `lesser` is mandatory — it
+/// carries the convergence metric; the other components may be null when a
+/// driver does not materialize them (e.g. the distributed benchmark loop),
+/// in which case the mixer skips them.
+struct SigmaState {
+  std::vector<std::vector<cplx>>* lesser = nullptr;    ///< Σ< (required)
+  std::vector<std::vector<cplx>>* greater = nullptr;   ///< Σ> (optional)
+  std::vector<std::vector<cplx>>* retarded = nullptr;  ///< Σ^R (optional)
+  std::vector<cplx>* fock = nullptr;  ///< static exchange (optional)
+};
+
+/// The raw SCBA proposal F(Σ) the channels accumulated this iteration —
+/// same shapes as the `SigmaState` it will be mixed into; components that
+/// are null in the state must be null here too.
+struct SigmaProposal {
+  const std::vector<std::vector<cplx>>* lesser = nullptr;    ///< Σ< proposal
+  const std::vector<std::vector<cplx>>* greater = nullptr;   ///< Σ> proposal
+  const std::vector<std::vector<cplx>>* retarded = nullptr;  ///< Σ^R proposal
+  const std::vector<cplx>* fock = nullptr;  ///< static-part proposal
+};
+
+/// Driver-supplied energy loop: invokes the callback once per energy slot
+/// `e` in `[0, ne)`, possibly concurrently (the Simulation facade forwards
+/// its `EnergyPipeline`). Mixers must only write slot `e` from the callback
+/// for slot `e` — that is what keeps parallel runs bit-identical.
+using EnergyLoop = std::function<void(const std::function<void(int)>&)>;
+
+/// Result of one `Mixer::mix` step.
+struct MixOutcome {
+  /// Relative residual ||F(Σ<) − Σ<|| / ||F(Σ<)|| measured *before* the
+  /// update — the SCBA convergence metric (identical to the historic
+  /// driver's `sigma_update`).
+  double update = 0.0;
+  /// Damping factor the step actually applied (adaptive mixers move it).
+  /// Contract: must be > 0 — `IterationResult::damping == 0` is reserved
+  /// for "no mixing stage ran" (ballistic), and the result writers key the
+  /// presence of the convergence-monitor columns on it.
+  double damping = 0.0;
+};
+
+/// Configuration shared by the builtin mixers (the core layer maps
+/// `SimulationOptions::{mixing, mixing_history, mixing_regularization}`
+/// onto this).
+struct MixerOptions {
+  double damping = 0.5;  ///< base damping factor β, in (0, 1]
+  int history = 4;       ///< Anderson residual-history window (≥ 1)
+  /// Relative Tikhonov regularization of the Anderson least-squares
+  /// system (scaled by the Gram matrix's largest diagonal entry).
+  double regularization = 1e-8;
+};
+
+/// One self-consistency mixing policy: consumes the per-iteration proposal
+/// and updates the Σ state in place. Stateful across iterations (residual
+/// histories, adaptive damping) — `reset()` returns it to the
+/// freshly-constructed state.
+class Mixer {
+ public:
+  virtual ~Mixer() = default;
+
+  /// Registry key of this policy (e.g. "anderson").
+  virtual std::string_view name() const = 0;
+
+  /// Drop all cross-iteration state (histories, adapted damping).
+  virtual void reset() = 0;
+
+  /// Number of previous iterates currently held (0 for memory-free
+  /// policies; never exceeds `MixerOptions::history` for Anderson).
+  virtual int history_size() const { return 0; }
+
+  /// One self-consistency update: measure the relative Σ< residual, then
+  /// overwrite \p state with the mixed iterate built from \p proposal (and
+  /// any internal history). All per-energy work runs through \p loop; see
+  /// the determinism contract in the file header.
+  virtual MixOutcome mix(const SigmaState& state,
+                         const SigmaProposal& proposal,
+                         const EnergyLoop& loop) = 0;
+};
+
+/// The damped fixed-point update `x += β (F(x) − x)` — bit-identical to the
+/// historic hard-coded driver loop.
+std::unique_ptr<Mixer> make_linear_mixer(const MixerOptions& opt);
+
+/// Anderson/DIIS acceleration: keeps a window of previous (iterate,
+/// residual) pairs, solves a regularized least-squares problem on the
+/// residual differences (via the `la` QR solver), and extrapolates. Falls
+/// back to the plain damped step on the first iteration and whenever the
+/// small solve is numerically unusable.
+std::unique_ptr<Mixer> make_anderson_mixer(const MixerOptions& opt);
+
+/// Linear mixing with automatic damping control: halves the damping when
+/// the residual grows (floor 0.01) and recovers it slowly (×1.05, capped at
+/// the configured base damping) while the residual shrinks.
+std::unique_ptr<Mixer> make_adaptive_mixer(const MixerOptions& opt);
+
+}  // namespace qtx::accel

@@ -1,0 +1,493 @@
+#include "accel/mixer.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "common/check.hpp"
+#include "common/reduction.hpp"
+#include "la/qr.hpp"
+
+namespace qtx::accel {
+namespace {
+
+/// The shared deterministic ordered reduction (common/reduction.hpp),
+/// under the name the mixing formulas use.
+using qtx::ordered_sum;
+
+/// Fail fast on a malformed mix() call: the lesser component is mandatory
+/// and every optional component must be present (or absent) in the state
+/// and the proposal alike — a mismatch would be a null dereference deep in
+/// the parallel energy loop otherwise.
+void check_shapes(const SigmaState& state, const SigmaProposal& proposal) {
+  QTX_CHECK_MSG(state.lesser != nullptr && proposal.lesser != nullptr,
+                "Mixer::mix needs the lesser component in both the state "
+                "and the proposal");
+  QTX_CHECK_MSG((state.greater == nullptr) == (proposal.greater == nullptr),
+                "Mixer::mix: the greater component must be present in the "
+                "state and the proposal alike (or absent from both)");
+  QTX_CHECK_MSG(
+      (state.retarded == nullptr) == (proposal.retarded == nullptr),
+      "Mixer::mix: the retarded component must be present in the state and "
+      "the proposal alike (or absent from both)");
+  QTX_CHECK_MSG((state.fock == nullptr) == (proposal.fock == nullptr),
+                "Mixer::mix: the fock component must be present in the "
+                "state and the proposal alike (or absent from both)");
+}
+
+/// The damped update of one component vector: x += beta * (p - x), written
+/// exactly like the historic driver loop so the linear mixer reproduces it
+/// bit-identically.
+void damped_update(std::vector<cplx>& x, const std::vector<cplx>& p,
+                   double beta) {
+  const std::size_t n = x.size();
+  for (std::size_t k = 0; k < n; ++k) x[k] += beta * (p[k] - x[k]);
+}
+
+/// Lesser-component residual metric partials of energy slot e, with the
+/// exact floating-point accumulation order of the historic driver loop
+/// (delta first, then |delta|^2, then |proposal|^2 per element).
+void metric_partials(const std::vector<cplx>& x, const std::vector<cplx>& p,
+                     double& d2, double& n2) {
+  d2 = 0.0;
+  n2 = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const cplx delta = p[k] - x[k];
+    d2 += std::norm(delta);
+    n2 += std::norm(p[k]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+class LinearMixer final : public Mixer {
+ public:
+  explicit LinearMixer(const MixerOptions& opt) : beta_(opt.damping) {}
+  std::string_view name() const override { return "linear"; }
+  void reset() override {}
+
+  MixOutcome mix(const SigmaState& state, const SigmaProposal& proposal,
+                 const EnergyLoop& loop) override {
+    check_shapes(state, proposal);
+    const int ne = static_cast<int>(state.lesser->size());
+    std::vector<double> diff2(ne, 0.0), norm2(ne, 0.0);
+    const double alpha = beta_;
+    loop([&](int e) {
+      std::vector<cplx>& xl = (*state.lesser)[e];
+      const std::vector<cplx>& pl = (*proposal.lesser)[e];
+      double d2 = 0.0, n2 = 0.0;
+      // One fused pass, replicating the historic driver's operation order
+      // (metric accumulation interleaved with the three component updates).
+      const std::size_t nk = xl.size();
+      std::vector<cplx>* xg = state.greater ? &(*state.greater)[e] : nullptr;
+      std::vector<cplx>* xr = state.retarded ? &(*state.retarded)[e]
+                                             : nullptr;
+      const std::vector<cplx>* pg =
+          proposal.greater ? &(*proposal.greater)[e] : nullptr;
+      const std::vector<cplx>* pr =
+          proposal.retarded ? &(*proposal.retarded)[e] : nullptr;
+      for (std::size_t k = 0; k < nk; ++k) {
+        const cplx delta = pl[k] - xl[k];
+        d2 += std::norm(delta);
+        n2 += std::norm(pl[k]);
+        xl[k] += alpha * delta;
+        if (xg) (*xg)[k] += alpha * ((*pg)[k] - (*xg)[k]);
+        if (xr) (*xr)[k] += alpha * ((*pr)[k] - (*xr)[k]);
+      }
+      diff2[e] = d2;
+      norm2[e] = n2;
+    });
+    if (state.fock) damped_update(*state.fock, *proposal.fock, alpha);
+    const double dsum = ordered_sum(diff2), nsum = ordered_sum(norm2);
+    MixOutcome out;
+    out.update = (nsum > 0.0) ? std::sqrt(dsum / nsum) : 0.0;
+    out.damping = alpha;
+    return out;
+  }
+
+ private:
+  double beta_;
+};
+
+// ---------------------------------------------------------------------------
+// Anderson / DIIS
+// ---------------------------------------------------------------------------
+
+/// Snapshot of one iterate: the state x_k and its residual r_k = F(x_k) -
+/// x_k, per component (empty vectors for components the driver does not
+/// carry).
+struct HistoryEntry {
+  std::vector<std::vector<cplx>> x_lt, r_lt;
+  std::vector<std::vector<cplx>> x_gt, r_gt;
+  std::vector<std::vector<cplx>> x_r, r_r;
+  std::vector<cplx> x_f, r_f;
+};
+
+class AndersonMixer final : public Mixer {
+ public:
+  explicit AndersonMixer(const MixerOptions& opt) : opt_(opt) {
+    QTX_CHECK_MSG(opt.history >= 1,
+                  "the Anderson mixer needs a history window >= 1, got "
+                      << opt.history);
+  }
+  std::string_view name() const override { return "anderson"; }
+  void reset() override {
+    hist_.clear();
+    prev_update_ = -1.0;
+    best_ = -1.0;
+  }
+  int history_size() const override { return static_cast<int>(hist_.size()); }
+
+  MixOutcome mix(const SigmaState& state, const SigmaProposal& proposal,
+                 const EnergyLoop& loop) override {
+    check_shapes(state, proposal);
+    const int ne = static_cast<int>(state.lesser->size());
+    // A shape change (new run geometry, or a different set of carried
+    // components) invalidates the stored history — every axis the
+    // extrapolation indexes along must match, or stale entries would be
+    // dereferenced out of bounds.
+    if (!hist_.empty()) {
+      const HistoryEntry& h = hist_.back();
+      const bool same_shape =
+          static_cast<int>(h.x_lt.size()) == ne &&
+          (ne == 0 || h.x_lt[0].size() == (*state.lesser)[0].size()) &&
+          h.x_gt.empty() == (state.greater == nullptr) &&
+          h.x_r.empty() == (state.retarded == nullptr) &&
+          h.x_f.size() == (state.fock ? state.fock->size() : 0);
+      if (!same_shape) hist_.clear();
+    }
+
+    // --- pass 1: snapshot (x_k, r_k) and the metric partials -------------
+    HistoryEntry cur;
+    cur.x_lt.resize(ne);
+    cur.r_lt.resize(ne);
+    if (state.greater) {
+      cur.x_gt.resize(ne);
+      cur.r_gt.resize(ne);
+    }
+    if (state.retarded) {
+      cur.x_r.resize(ne);
+      cur.r_r.resize(ne);
+    }
+    std::vector<double> diff2(ne, 0.0), norm2(ne, 0.0);
+    loop([&](int e) {
+      metric_partials((*state.lesser)[e], (*proposal.lesser)[e], diff2[e],
+                      norm2[e]);
+      snapshot((*state.lesser)[e], (*proposal.lesser)[e], cur.x_lt[e],
+               cur.r_lt[e]);
+      if (state.greater)
+        snapshot((*state.greater)[e], (*proposal.greater)[e], cur.x_gt[e],
+                 cur.r_gt[e]);
+      if (state.retarded)
+        snapshot((*state.retarded)[e], (*proposal.retarded)[e], cur.x_r[e],
+                 cur.r_r[e]);
+    });
+    if (state.fock) snapshot(*state.fock, *proposal.fock, cur.x_f, cur.r_f);
+    const double dsum = ordered_sum(diff2), nsum = ordered_sum(norm2);
+    MixOutcome out;
+    out.update = (nsum > 0.0) ? std::sqrt(dsum / nsum) : 0.0;
+    out.damping = opt_.damping;
+
+    // Safeguard: a residual that grew substantially — versus the previous
+    // step (overshoot) or versus the best residual since the last restart
+    // (slow creep) — means the extrapolation left the contraction basin.
+    // Restart the history so this step falls back to the plain damped
+    // update (the standard Anderson restart heuristic; without it AA can
+    // cycle on strongly nonlinear SCBA maps). Mild growth is tolerated:
+    // SCBA residuals plateau and wiggle, and restarting on every uptick
+    // degrades AA to plain damping.
+    const bool overshoot =
+        prev_update_ >= 0.0 && out.update > kRestartGrowth * prev_update_;
+    const bool creep =
+        best_ >= 0.0 && out.update > kRestartGrowth * best_;
+    if (overshoot || creep) {
+      hist_.clear();
+      best_ = -1.0;
+    }
+    best_ = (best_ < 0.0) ? out.update : std::min(best_, out.update);
+    prev_update_ = out.update;
+
+    // --- pass 2: least-squares coefficients on the residual history ------
+    // With m stored iterates plus the current one there are m residual
+    // differences dr_j = r_{j+1} - r_j; gamma solves the regularized normal
+    // equations (G + lambda I) gamma = <dr_j, r_cur> built from ordered
+    // per-energy partials, so the coefficients are schedule-independent.
+    const int m = static_cast<int>(hist_.size());
+    std::vector<double> gamma;
+    if (m > 0) gamma = solve_gamma(cur, ne, loop);
+
+    // --- pass 3: extrapolate -------------------------------------------
+    // x_new = x_k + beta r_k - sum_j gamma_j (dx_j + beta dr_j); with an
+    // empty history the sum vanishes and this is exactly the damped step.
+    const double beta = opt_.damping;
+    loop([&](int e) {
+      apply_component(e, state.lesser, cur.x_lt, cur.r_lt,
+                      [](const HistoryEntry& h) { return &h.x_lt; },
+                      [](const HistoryEntry& h) { return &h.r_lt; }, gamma,
+                      beta);
+      if (state.greater)
+        apply_component(e, state.greater, cur.x_gt, cur.r_gt,
+                        [](const HistoryEntry& h) { return &h.x_gt; },
+                        [](const HistoryEntry& h) { return &h.r_gt; }, gamma,
+                        beta);
+      if (state.retarded)
+        apply_component(e, state.retarded, cur.x_r, cur.r_r,
+                        [](const HistoryEntry& h) { return &h.x_r; },
+                        [](const HistoryEntry& h) { return &h.r_r; }, gamma,
+                        beta);
+    });
+    if (state.fock) apply_fock(state, cur, gamma, beta);
+
+    hist_.push_back(std::move(cur));
+    while (static_cast<int>(hist_.size()) > opt_.history) hist_.pop_front();
+    return out;
+  }
+
+ private:
+  static void snapshot(const std::vector<cplx>& x, const std::vector<cplx>& p,
+                       std::vector<cplx>& x_out, std::vector<cplx>& r_out) {
+    const std::size_t n = x.size();
+    x_out = x;
+    r_out.resize(n);
+    for (std::size_t k = 0; k < n; ++k) r_out[k] = p[k] - x[k];
+  }
+
+  /// Re<a1 - a2, b1 - b2> accumulated in element order, without
+  /// materializing the difference vectors.
+  static double dot_diff_re(const std::vector<cplx>& a1,
+                            const std::vector<cplx>& a2,
+                            const std::vector<cplx>& b1,
+                            const std::vector<cplx>& b2) {
+    double s = 0.0;
+    const std::size_t n = a1.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const cplx da = a1[k] - a2[k];
+      const cplx db = b1[k] - b2[k];
+      s += da.real() * db.real() + da.imag() * db.imag();
+    }
+    return s;
+  }
+
+  /// Re<a1 - a2, b> accumulated in element order.
+  static double dot_diff_plain_re(const std::vector<cplx>& a1,
+                                  const std::vector<cplx>& a2,
+                                  const std::vector<cplx>& b) {
+    double s = 0.0;
+    const std::size_t n = a1.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const cplx da = a1[k] - a2[k];
+      s += da.real() * b[k].real() + da.imag() * b[k].imag();
+    }
+    return s;
+  }
+
+  /// Gram matrix + right-hand side of the Anderson least squares on the
+  /// lesser-component residual differences (the component the convergence
+  /// metric is defined on; the other components are extrapolated with the
+  /// same coefficients), then the regularized solve via the la QR solver.
+  /// Returns an empty vector when the solve is unusable (falls back to the
+  /// plain damped step).
+  std::vector<double> solve_gamma(const HistoryEntry& cur, int ne,
+                                  const EnergyLoop& loop) {
+    const int m = static_cast<int>(hist_.size());
+    // Residual sequence r_0 .. r_m with r_m = cur; difference j spans
+    // (j, j+1). Per-energy partials of every Gram entry and rhs component,
+    // folded in ascending energy order.
+    const auto res = [&](int j) -> const std::vector<std::vector<cplx>>& {
+      return (j < m) ? hist_[j].r_lt : cur.r_lt;
+    };
+    std::vector<std::vector<double>> gram_part(
+        static_cast<std::size_t>(m) * m, std::vector<double>(ne, 0.0));
+    std::vector<std::vector<double>> rhs_part(m,
+                                              std::vector<double>(ne, 0.0));
+    loop([&](int e) {
+      for (int j = 0; j < m; ++j) {
+        rhs_part[j][e] =
+            dot_diff_plain_re(res(j + 1)[e], res(j)[e], cur.r_lt[e]);
+        for (int l = j; l < m; ++l) {
+          gram_part[j * m + l][e] = dot_diff_re(res(j + 1)[e], res(j)[e],
+                                                res(l + 1)[e], res(l)[e]);
+        }
+      }
+    });
+    la::Matrix a(m, m);
+    la::Matrix b(m, 1);
+    double max_diag = 0.0;
+    for (int j = 0; j < m; ++j) {
+      b(j, 0) = ordered_sum(rhs_part[j]);
+      for (int l = j; l < m; ++l) {
+        const double g = ordered_sum(gram_part[j * m + l]);
+        a(j, l) = g;
+        a(l, j) = g;
+      }
+      max_diag = std::max(max_diag, a(j, j).real());
+    }
+    if (!(max_diag > 0.0)) return {};  // degenerate history: damped step
+    const double lambda = opt_.regularization * max_diag;
+    for (int j = 0; j < m; ++j) a(j, j) += lambda;
+    const la::Matrix g = la::qr_least_squares(a, b);
+    std::vector<double> gamma(m);
+    double l1 = 0.0;
+    for (int j = 0; j < m; ++j) {
+      gamma[j] = g(j, 0).real();
+      if (!std::isfinite(gamma[j])) return {};  // unusable: damped step
+      l1 += std::abs(gamma[j]);
+    }
+    // Far from the fixed point the secant model is poor and unconstrained
+    // coefficients over-extrapolate (the classic early-AA blow-up); scale
+    // them back to a trust region instead of trusting the model.
+    if (l1 > kGammaCap)
+      for (double& gj : gamma) gj *= kGammaCap / l1;
+    return gamma;
+  }
+
+  /// The extrapolation kernel shared by every component:
+  /// out[k] = x[k] + beta r[k]
+  ///          - sum_j gamma_j ((x_next_j[k] - x_j[k]) + beta (r_next_j[k]
+  ///          - r_j[k])),
+  /// over pre-resolved per-history pointer spans so the per-element loop
+  /// is free of deque lookups.
+  static void extrapolate(std::size_t nk, const cplx* x, const cplx* r,
+                          const std::vector<const cplx*>& xj,
+                          const std::vector<const cplx*>& rj,
+                          const std::vector<const cplx*>& x_next,
+                          const std::vector<const cplx*>& r_next,
+                          const std::vector<double>& gamma, double beta,
+                          cplx* out) {
+    const int m = static_cast<int>(gamma.size());
+    for (std::size_t k = 0; k < nk; ++k) {
+      cplx corr(0.0);
+      for (int j = 0; j < m; ++j) {
+        corr += gamma[j] * ((x_next[j][k] - xj[j][k]) +
+                            beta * (r_next[j][k] - rj[j][k]));
+      }
+      out[k] = x[k] + beta * r[k] - corr;
+    }
+  }
+
+  /// Extrapolate one component's energy slot e.
+  template <class GetX, class GetR>
+  void apply_component(int e, std::vector<std::vector<cplx>>* target,
+                       const std::vector<std::vector<cplx>>& x_cur,
+                       const std::vector<std::vector<cplx>>& r_cur,
+                       const GetX& get_x, const GetR& get_r,
+                       const std::vector<double>& gamma, double beta) {
+    std::vector<cplx>& out = (*target)[e];
+    const std::vector<cplx>& x = x_cur[e];
+    const std::vector<cplx>& r = r_cur[e];
+    const int m = static_cast<int>(gamma.size());
+    std::vector<const cplx*> xj(m), rj(m), x_next(m), r_next(m);
+    for (int j = 0; j < m; ++j) {
+      xj[j] = (*get_x(hist_[j]))[e].data();
+      rj[j] = (*get_r(hist_[j]))[e].data();
+      x_next[j] = (j + 1 < m) ? (*get_x(hist_[j + 1]))[e].data() : x.data();
+      r_next[j] = (j + 1 < m) ? (*get_r(hist_[j + 1]))[e].data() : r.data();
+    }
+    extrapolate(out.size(), x.data(), r.data(), xj, rj, x_next, r_next,
+                gamma, beta, out.data());
+  }
+
+  /// The fock component is energy-independent; extrapolate it sequentially
+  /// with the same coefficients.
+  void apply_fock(const SigmaState& state, const HistoryEntry& cur,
+                  const std::vector<double>& gamma, double beta) {
+    std::vector<cplx>& out = *state.fock;
+    const int m = static_cast<int>(gamma.size());
+    std::vector<const cplx*> xj(m), rj(m), x_next(m), r_next(m);
+    for (int j = 0; j < m; ++j) {
+      xj[j] = hist_[j].x_f.data();
+      rj[j] = hist_[j].r_f.data();
+      x_next[j] = (j + 1 < m) ? hist_[j + 1].x_f.data() : cur.x_f.data();
+      r_next[j] = (j + 1 < m) ? hist_[j + 1].r_f.data() : cur.r_f.data();
+    }
+    extrapolate(out.size(), cur.x_f.data(), cur.r_f.data(), xj, rj, x_next,
+                r_next, gamma, beta, out.data());
+  }
+
+  /// Residual growth ratio beyond which the history restarts.
+  static constexpr double kRestartGrowth = 1.5;
+  /// Trust region on the l1 norm of the extrapolation coefficients.
+  static constexpr double kGammaCap = 2.0;
+  MixerOptions opt_;
+  std::deque<HistoryEntry> hist_;
+  double prev_update_ = -1.0;  ///< restart-safeguard memory
+  double best_ = -1.0;         ///< best residual since the last restart
+};
+
+// ---------------------------------------------------------------------------
+// Adaptive damping
+// ---------------------------------------------------------------------------
+
+class AdaptiveMixer final : public Mixer {
+ public:
+  explicit AdaptiveMixer(const MixerOptions& opt)
+      : base_(opt.damping), alpha_(opt.damping) {}
+  std::string_view name() const override { return "adaptive"; }
+  void reset() override {
+    alpha_ = base_;
+    prev_update_ = -1.0;
+  }
+
+  MixOutcome mix(const SigmaState& state, const SigmaProposal& proposal,
+                 const EnergyLoop& loop) override {
+    check_shapes(state, proposal);
+    const int ne = static_cast<int>(state.lesser->size());
+    // Pass 1: measure the residual before deciding this step's damping.
+    std::vector<double> diff2(ne, 0.0), norm2(ne, 0.0);
+    loop([&](int e) {
+      metric_partials((*state.lesser)[e], (*proposal.lesser)[e], diff2[e],
+                      norm2[e]);
+    });
+    const double dsum = ordered_sum(diff2), nsum = ordered_sum(norm2);
+    const double update = (nsum > 0.0) ? std::sqrt(dsum / nsum) : 0.0;
+    if (prev_update_ >= 0.0) {
+      // The band keeps a flat (plateaued) residual from reading as growth
+      // through floating-point wiggle — only real growth backs off.
+      if (update > kGrowthBand * prev_update_) {
+        alpha_ = std::max(0.5 * alpha_, kFloor);  // residual grew: back off
+      } else {
+        alpha_ = std::min(1.05 * alpha_, base_);  // shrinking: recover
+      }
+    }
+    prev_update_ = update;
+    // Pass 2: the damped update at the adapted factor.
+    const double alpha = alpha_;
+    loop([&](int e) {
+      damped_update((*state.lesser)[e], (*proposal.lesser)[e], alpha);
+      if (state.greater)
+        damped_update((*state.greater)[e], (*proposal.greater)[e], alpha);
+      if (state.retarded)
+        damped_update((*state.retarded)[e], (*proposal.retarded)[e], alpha);
+    });
+    if (state.fock) damped_update(*state.fock, *proposal.fock, alpha);
+    MixOutcome out;
+    out.update = update;
+    out.damping = alpha;
+    return out;
+  }
+
+ private:
+  static constexpr double kFloor = 0.01;
+  static constexpr double kGrowthBand = 1.001;
+  double base_;
+  double alpha_;
+  double prev_update_ = -1.0;
+};
+
+}  // namespace
+
+std::unique_ptr<Mixer> make_linear_mixer(const MixerOptions& opt) {
+  return std::make_unique<LinearMixer>(opt);
+}
+
+std::unique_ptr<Mixer> make_anderson_mixer(const MixerOptions& opt) {
+  return std::make_unique<AndersonMixer>(opt);
+}
+
+std::unique_ptr<Mixer> make_adaptive_mixer(const MixerOptions& opt) {
+  return std::make_unique<AdaptiveMixer>(opt);
+}
+
+}  // namespace qtx::accel

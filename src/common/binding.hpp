@@ -30,6 +30,14 @@ struct FieldBinder {
   const char* key;  ///< dotted key, e.g. "contacts.mu_left"
   std::function<void(Obj&, const std::string&)> set;      ///< strict parser
   std::function<std::string(const Obj&)> get;             ///< canonical text
+  /// Sticky-default marker: when non-empty, `serialize_fields` omits the
+  /// field while its canonical value equals this text. Fields added to a
+  /// table *after* output formats shipped use this so default-configuration
+  /// provenance stays byte-identical (append-only provenance policy);
+  /// applying the emitted pairs to a default-constructed Obj still
+  /// reproduces the serialized state exactly, because every omitted field
+  /// holds its default.
+  std::string omit_when = {};
 };
 
 /// Binder for a flat double field ("%.17g" canonical form).
@@ -102,14 +110,20 @@ void set_field(const std::vector<FieldBinder<Obj>>& table, const char* kind,
   throw std::runtime_error(os.str());
 }
 
-/// Every field as {key, canonical value}, in table order. Applying the
-/// pairs to a default-constructed Obj reproduces \p obj exactly.
+/// Every field as {key, canonical value}, in table order — minus
+/// sticky-default fields currently holding their `omit_when` value (see
+/// FieldBinder). Applying the pairs to a default-constructed Obj reproduces
+/// \p obj exactly.
 template <class Obj>
 std::vector<std::pair<std::string, std::string>> serialize_fields(
     const std::vector<FieldBinder<Obj>>& table, const Obj& obj) {
   std::vector<std::pair<std::string, std::string>> kvs;
   kvs.reserve(table.size());
-  for (const FieldBinder<Obj>& b : table) kvs.emplace_back(b.key, b.get(obj));
+  for (const FieldBinder<Obj>& b : table) {
+    std::string value = b.get(obj);
+    if (!b.omit_when.empty() && value == b.omit_when) continue;
+    kvs.emplace_back(b.key, std::move(value));
+  }
   return kvs;
 }
 

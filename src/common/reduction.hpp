@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file reduction.hpp
+/// Deterministic scalar reductions shared by every layer that folds
+/// per-energy partials (the accel mixers, the core energy pipeline).
+
+#include <vector>
+
+namespace qtx {
+
+/// Deterministic ordered reduction: folds the partials in index order,
+/// independent of the schedule that produced them, so the sum is
+/// bit-stable across thread counts and batch layouts.
+inline double ordered_sum(const std::vector<double>& partials) {
+  double sum = 0.0;
+  for (const double p : partials) sum += p;
+  return sum;
+}
+
+}  // namespace qtx

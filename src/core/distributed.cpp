@@ -1,5 +1,6 @@
 #include "core/distributed.hpp"
 
+#include <memory>
 #include <mutex>
 
 #include "common/timer.hpp"
@@ -163,17 +164,47 @@ DistributedStats distributed_iteration(par::CommWorld& world,
     }
     compute_s += phase.seconds();
     phase.restart();
-    (void)transposer.to_energy_layout(comm, s_lt_elem);
-    (void)transposer.to_energy_layout(comm, s_gt_elem);
+    std::vector<cplx> s_lt_en = transposer.to_energy_layout(comm, s_lt_elem);
+    std::vector<cplx> s_gt_en = transposer.to_energy_layout(comm, s_gt_elem);
     comm_s += phase.seconds();
+    // ---- mix (energy layout, per rank) ---------------------------------
+    // The same registry dispatch Simulation::compute_sigma_and_mix
+    // performs: each rank mixes its grid slice through the resolved
+    // accel::Mixer, starting from this iteration's zero self-energy.
+    phase.restart();
+    std::vector<std::vector<cplx>> cur_lt(
+        ne_mine, std::vector<cplx>(layout.num_elements(), cplx(0.0)));
+    std::vector<std::vector<cplx>> cur_gt = cur_lt;
+    std::vector<std::vector<cplx>> new_lt(ne_mine), new_gt(ne_mine);
+    pipeline.for_each_energy([&](int el, int) {
+      new_lt[el].assign(s_lt_en.begin() + el * layout.num_elements(),
+                        s_lt_en.begin() + (el + 1) * layout.num_elements());
+      new_gt[el].assign(s_gt_en.begin() + el * layout.num_elements(),
+                        s_gt_en.begin() + (el + 1) * layout.num_elements());
+    });
+    const std::unique_ptr<accel::Mixer> mixer =
+        StageRegistry::global().make_mixer(opt.resolved_mixer(), opt);
+    accel::SigmaState state;
+    state.lesser = &cur_lt;
+    state.greater = &cur_gt;
+    accel::SigmaProposal proposal;
+    proposal.lesser = &new_lt;
+    proposal.greater = &new_gt;
+    const accel::MixOutcome mixed = mixer->mix(
+        state, proposal, [&](const std::function<void(int)>& fn) {
+          pipeline.for_each_energy([&](int el, int) { fn(el); });
+        });
+    compute_s += phase.seconds();
     // ---- aggregate ------------------------------------------------------
     const double max_compute = comm.allreduce_max(compute_s);
     const double max_comm = comm.allreduce_max(comm_s);
+    const double max_update = comm.allreduce_max(mixed.update);
     if (comm.rank() == 0) {
       std::lock_guard<std::mutex> lock(stats_mutex);
       stats.compute_s = max_compute;
       stats.comm_s = max_comm;
       stats.total_s = max_compute + max_comm;
+      stats.sigma_update = max_update;
     }
   });
   stats.bytes_sent = world.total_bytes_sent();

@@ -21,6 +21,11 @@ struct DistributedStats {
   double comm_s = 0.0;     ///< max across ranks (transposition waits)
   double total_s = 0.0;
   std::int64_t bytes_sent = 0;  ///< total across ranks
+  /// Relative Sigma< update of the mixing stage (max across ranks). The
+  /// iteration starts from zero self-energy, so this is 1 by construction
+  /// whenever the computed Sigma is non-zero — it validates that every
+  /// rank dispatches its mix through the registry-resolved accel::Mixer.
+  double sigma_update = 0.0;
 };
 
 /// Run one G -> P -> W -> Sigma iteration with the grid distributed over
@@ -29,7 +34,9 @@ struct DistributedStats {
 /// rank runs its grid slice through its own EnergyPipeline (the same
 /// batching / executor / per-batch-workspace engine that backs Simulation),
 /// resolved from \p opt's backend keys against the global StageRegistry;
-/// opt.num_threads > 1 nests shared-memory workers inside every rank.
+/// opt.num_threads > 1 nests shared-memory workers inside every rank. The
+/// final Sigma mix also dispatches per rank through the registry-resolved
+/// accel::Mixer (opt.mixer), mirroring Simulation::compute_sigma_and_mix.
 DistributedStats distributed_iteration(par::CommWorld& world,
                                        const device::Structure& structure,
                                        const SimulationOptions& opt);

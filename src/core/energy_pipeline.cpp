@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/reduction.hpp"
+
 namespace qtx::core {
 
 EnergyPipeline::EnergyPipeline(int n_energies, const SimulationOptions& opt,
@@ -111,9 +113,7 @@ std::string EnergyPipeline::reuse_mismatch(
 }
 
 double ordered_sum(const std::vector<double>& partials) {
-  double sum = 0.0;
-  for (const double p : partials) sum += p;
-  return sum;
+  return qtx::ordered_sum(partials);  // one definition: common/reduction.hpp
 }
 
 }  // namespace qtx::core

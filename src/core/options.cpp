@@ -19,6 +19,10 @@ std::string SimulationOptions::resolved_executor() const {
   return (num_threads > 1) ? "omp" : "sequential";
 }
 
+std::string SimulationOptions::resolved_mixer() const {
+  return (mixer == kAutoBackend) ? "linear" : mixer;
+}
+
 std::vector<std::string> SimulationOptions::resolved_channels() const {
   if (!(self_energy_channels.size() == 1 &&
         self_energy_channels[0] == kAutoBackend)) {
@@ -48,6 +52,19 @@ void SimulationOptions::validate(int num_cells) const {
                                   "G^R and every OBC solver");
   QTX_CHECK_MSG(mixing > 0.0 && mixing <= 1.0,
                 "mixing (Sigma damping) must lie in (0, 1], got " << mixing);
+  QTX_CHECK_MSG(mixing_history >= 1,
+                "mixing_history (Anderson residual window) must be >= 1, "
+                "got "
+                    << mixing_history);
+  QTX_CHECK_MSG(mixing_regularization >= 0.0,
+                "mixing_regularization must be >= 0, got "
+                    << mixing_regularization);
+  QTX_CHECK_MSG(divergence_factor == 0.0 || divergence_factor > 1.0,
+                "divergence_factor must be 0 (detection disabled) or > 1, "
+                "got "
+                    << divergence_factor
+                    << "; a factor <= 1 would flag ordinary residual noise "
+                       "as divergence");
   QTX_CHECK_MSG(max_iterations >= 1,
                 "max_iterations must be >= 1, got " << max_iterations);
   QTX_CHECK_MSG(tol > 0.0, "tol (SCBA convergence threshold) must be > 0, "
@@ -134,6 +151,9 @@ void SimulationOptions::validate(int num_cells) const {
                 "greens_backend must not be empty");
   QTX_CHECK_MSG(!resolved_executor().empty(),
                 "executor must not be empty; use \"sequential\" or \"omp\"");
+  QTX_CHECK_MSG(!resolved_mixer().empty(),
+                "mixer must not be empty; use \"linear\", \"anderson\", or "
+                "\"adaptive\"");
   const std::vector<std::string> channels = resolved_channels();
   for (std::size_t i = 0; i < channels.size(); ++i) {
     const std::string& key = channels[i];
@@ -171,6 +191,13 @@ Binder bind_sub_double(const char* key, Sub SimulationOptions::*sub,
           [sub, field](const SimulationOptions& o) {
             return qs::format_double(o.*sub.*field);
           }};
+}
+
+/// Mark \p b sticky-default: serialize_options omits it at \p default_text
+/// (the append-only provenance policy — see the header comment).
+Binder sticky_default(Binder b, std::string default_text) {
+  b.omit_when = std::move(default_text);
+  return b;
 }
 
 /// The full binding table, in serialization order. Keys mirror the C++
@@ -259,6 +286,22 @@ const std::vector<Binder>& binders() {
                    return qs::join(o.self_energy_channels);
                  }});
     b.push_back(qb::bind_string("executor", &SimulationOptions::executor));
+    // Self-consistency acceleration (sticky-default: a default-configured
+    // run serializes exactly as it did before the mixer family existed, so
+    // provenance golden files never churn; see common/binding.hpp).
+    b.push_back(sticky_default(
+        qb::bind_string("mixer", &SimulationOptions::mixer), kAutoBackend));
+    b.push_back(sticky_default(
+        qb::bind_int("mixing_history", &SimulationOptions::mixing_history),
+        std::to_string(SimulationOptions{}.mixing_history)));
+    b.push_back(sticky_default(
+        qb::bind_double("mixing_regularization",
+                        &SimulationOptions::mixing_regularization),
+        qs::format_double(SimulationOptions{}.mixing_regularization)));
+    b.push_back(sticky_default(
+        qb::bind_double("divergence_factor",
+                        &SimulationOptions::divergence_factor),
+        qs::format_double(SimulationOptions{}.divergence_factor)));
     return b;
   }();
   return table;

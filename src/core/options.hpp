@@ -12,6 +12,8 @@
 ///   - `obc_backend`:    "memoized" (§5.3), "beyn", "lyapunov"
 ///   - `greens_backend`: "rgf" (§4.3.2), "nested-dissection" (§5.4)
 ///   - `self_energy_channels`: any combination of "gw", "fock", "ephonon"
+///   - `mixer`:          "linear" (the historic damped update), "anderson"
+///                       (DIIS over mixing_history residuals), "adaptive"
 ///
 /// The sentinel `kAutoBackend` ("auto", the default) picks the backend the
 /// legacy flat options imply: `use_memoizer`, `nd_partitions`, `gw_scale`,
@@ -51,6 +53,17 @@ struct SimulationOptions {
   double mixing = 0.5;  ///< Sigma update damping, in (0, 1]
   int max_iterations = 15;  ///< SCBA iteration budget
   double tol = 1e-4;      ///< on the relative Sigma< update; must be > 0
+
+  // --- self-consistency acceleration (src/accel) ---------------------------
+  /// Anderson residual-history window (iterates kept); used by the
+  /// "anderson" mixer, ignored by "linear"/"adaptive".
+  int mixing_history = 4;
+  /// Relative Tikhonov regularization of the Anderson least-squares system.
+  double mixing_regularization = 1e-8;
+  /// Divergence threshold of the convergence monitor: stop with
+  /// StopReason::kDiverged once the residual grew and exceeds this factor
+  /// times the best residual seen. 0 disables detection.
+  double divergence_factor = 10.0;
   double gw_scale = 1.0;  ///< scales V in the GW loop; 0 = ballistic NEGF
   double fock_scale = 1.0;  ///< scales the static (Fock) exchange
   std::vector<double> cell_potential;  ///< optional gate/bias profile
@@ -82,12 +95,18 @@ struct SimulationOptions {
   /// Energy-loop execution policy: "sequential" or "omp" (fork-join over
   /// the work-stealing thread pool). "auto" picks "omp" iff num_threads > 1.
   std::string executor = kAutoBackend;
+  /// Self-consistency mixer key: "linear", "anderson", "adaptive" (or a
+  /// custom registration). "auto" resolves to "linear" — the damped update
+  /// the driver has always performed, bit-identically.
+  std::string mixer = kAutoBackend;
 
   /// Resolve the "auto" sentinels against the legacy flat knobs.
   std::string resolved_obc_backend() const;
   std::string resolved_greens_backend() const;
   std::vector<std::string> resolved_channels() const;
   std::string resolved_executor() const;
+  /// Resolve the "auto" mixer sentinel (defaults to "linear").
+  std::string resolved_mixer() const;
 
   /// Reject inconsistent inputs with actionable messages (throws
   /// std::runtime_error). \p num_cells is the device's transport-cell count,
@@ -108,6 +127,12 @@ using ScbaOptions = SimulationOptions;
 // on this binding, and `serialize_options` feeds the provenance headers the
 // result writers stamp on every output file. Doubles are formatted with
 // "%.17g", so parse -> serialize -> parse is an identity.
+//
+// Append-only provenance: option keys added after the output formats
+// shipped (the mixer family) are sticky-default — serialize_options omits
+// them while they hold their default, so default-configuration provenance
+// headers (and the golden files pinning them) stay byte-identical across
+// releases. Non-default values always serialize and round-trip.
 // ---------------------------------------------------------------------------
 
 /// One serialized option: {key, value} as canonical text.

@@ -17,6 +17,8 @@ const char* to_string(StopReason reason) {
       return "budget-exhausted";
     case StopReason::kNonInteracting:
       return "non-interacting";
+    case StopReason::kDiverged:
+      return "diverged";
   }
   return "unknown";
 }
@@ -59,7 +61,9 @@ Simulation::Simulation(const device::Structure& structure,
       v_(structure.coulomb_bt()),
       layout_{structure.num_cells(), structure.block_size()},
       engine_(opt.grid, layout_),
-      pipeline_(acquire_pipeline(std::move(pipeline), opt_, registry)) {
+      pipeline_(acquire_pipeline(std::move(pipeline), opt_, registry)),
+      mixer_(registry.make_mixer(opt_.resolved_mixer(), opt_)),
+      monitor_(opt_.divergence_factor) {
   for (const std::string& key : opt_.resolved_channels())
     channels_.push_back(registry.make_channel(key, opt_, layout_));
   for (const auto& ch : channels_)
@@ -206,7 +210,7 @@ void Simulation::solve_w() {
   });
 }
 
-double Simulation::compute_sigma_and_mix() {
+accel::MixOutcome Simulation::compute_sigma_and_mix() {
   const int ne = opt_.grid.n;
   std::vector<std::vector<cplx>> g_lt(ne), g_gt(ne), w_lt, w_gt;
   std::vector<std::vector<cplx>> s_lt, s_gt, s_r;
@@ -246,29 +250,26 @@ double Simulation::compute_sigma_and_mix() {
     acc.s_fock = &s_fock;
     for (const auto& ch : channels_) ch->accumulate(in, acc);
   }
-  // Mixing and convergence metric on the Sigma< flats. Each energy mixes
-  // into its own Sigma slot and records its scalar partials; the partials
-  // are then folded in ascending energy order (ordered_sum), so the metric
-  // is bit-stable for every thread count and batch layout.
-  const double alpha = opt_.mixing;
-  std::vector<double> diff2(ne, 0.0), norm2(ne, 0.0);
-  pipeline_->for_each_energy([&](int e, int) {
-    double d2 = 0.0, n2 = 0.0;
-    for (std::int64_t k = 0; k < layout_.num_elements(); ++k) {
-      const cplx delta = s_lt[e][k] - sig_lt_[e][k];
-      d2 += std::norm(delta);
-      n2 += std::norm(s_lt[e][k]);
-      sig_lt_[e][k] += alpha * delta;
-      sig_gt_[e][k] += alpha * (s_gt[e][k] - sig_gt_[e][k]);
-      sig_r_[e][k] += alpha * (s_r[e][k] - sig_r_[e][k]);
-    }
-    diff2[e] = d2;
-    norm2[e] = n2;
-  });
-  for (std::int64_t k = 0; k < layout_.num_elements(); ++k)
-    sig_fock_[k] += alpha * (s_fock[k] - sig_fock_[k]);
-  const double dsum = ordered_sum(diff2), nsum = ordered_sum(norm2);
-  return (nsum > 0.0) ? std::sqrt(dsum / nsum) : 0.0;
+  // Mixing and convergence metric on the Sigma< flats, dispatched through
+  // the resolved accel::Mixer. The mixer touches per-energy slots only
+  // inside the pipeline's energy loop and folds its scalar reductions in
+  // ascending energy order, so the metric — and the mixed state — stay
+  // bit-stable for every thread count and batch layout (the default
+  // "linear" policy reproduces the historic damped update exactly).
+  accel::SigmaState state;
+  state.lesser = &sig_lt_;
+  state.greater = &sig_gt_;
+  state.retarded = &sig_r_;
+  state.fock = &sig_fock_;
+  accel::SigmaProposal proposal;
+  proposal.lesser = &s_lt;
+  proposal.greater = &s_gt;
+  proposal.retarded = &s_r;
+  proposal.fock = &s_fock;
+  const accel::EnergyLoop loop = [this](const std::function<void(int)>& fn) {
+    pipeline_->for_each_energy([&](int e, int) { fn(e); });
+  };
+  return mixer_->mix(state, proposal, loop);
 }
 
 IterationResult Simulation::iterate() {
@@ -281,14 +282,20 @@ IterationResult Simulation::iterate() {
     solve_w();
   }
   if (!channels_.empty()) {
-    last_update_ = compute_sigma_and_mix();
+    const accel::MixOutcome mixed = compute_sigma_and_mix();
+    last_update_ = mixed.update;
+    last_damping_ = mixed.damping;
+    monitor_.push(mixed.update);
   } else {
     last_update_ = 0.0;  // ballistic: nothing to update
+    last_damping_ = 0.0;
   }
   ++iteration_;
   IterationResult r;
   r.iteration = iteration_;
   r.sigma_update = last_update_;
+  r.damping = last_damping_;
+  r.residual_ratio = channels_.empty() ? 0.0 : monitor_.ratio();
   r.seconds = total.seconds();
   for (const auto& [name, sec] : TimerRegistry::all()) {
     const auto it = t0.find(name);
@@ -326,6 +333,11 @@ TransportResult Simulation::run() {
     } else if (it > 0 && converged()) {
       r.stop = StopReason::kConverged;
       r.converged = true;
+    } else if (monitor_.diverged()) {
+      // Residual growth past divergence_factor x the best residual seen:
+      // stop with a diagnostic instead of burning the iteration budget.
+      r.stop = StopReason::kDiverged;
+      r.converged = false;
     } else if (it + 1 == opt_.max_iterations) {
       r.stop = StopReason::kBudgetExhausted;
       r.converged = converged();
@@ -385,6 +397,26 @@ SimulationBuilder& SimulationBuilder::contacts(double mu_left,
 
 SimulationBuilder& SimulationBuilder::mixing(double value) {
   opt_.mixing = value;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::mixer(std::string key) {
+  opt_.mixer = std::move(key);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::mixing_history(int value) {
+  opt_.mixing_history = value;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::mixing_regularization(double value) {
+  opt_.mixing_regularization = value;
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::divergence_factor(double value) {
+  opt_.divergence_factor = value;
   return *this;
 }
 

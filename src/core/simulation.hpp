@@ -37,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include "accel/convergence.hpp"
+#include "accel/mixer.hpp"
 #include "core/assembly.hpp"
 #include "core/contacts.hpp"
 #include "core/energy_pipeline.hpp"
@@ -53,6 +55,7 @@ enum class StopReason {
   kConverged,           ///< sigma_update fell below tol
   kBudgetExhausted,     ///< max_iterations reached without convergence
   kNonInteracting,      ///< ballistic run: one pass is exact
+  kDiverged,            ///< the convergence monitor flagged residual growth
 };
 
 /// Human-readable stop reason (for logs and benches).
@@ -63,6 +66,12 @@ struct IterationResult {
   int iteration = 0;          ///< 1-based SCBA iteration number
   double sigma_update = 0.0;  ///< ||dSigma<|| / ||Sigma<||
   double seconds = 0.0;       ///< wall time of this iteration
+  /// Damping the mixer actually applied this iteration (0 when no mixing
+  /// stage ran, i.e. ballistic; adaptive mixers move it between steps).
+  double damping = 0.0;
+  /// Residual growth ratio sigma_update / previous sigma_update, from the
+  /// convergence monitor (0 on the first interacting iteration).
+  double residual_ratio = 0.0;
   /// Final-iteration annotations, set by run(): whether the loop had
   /// converged at this point and why it stopped (kNone mid-run).
   bool converged = false;
@@ -150,6 +159,10 @@ class Simulation {
   const std::vector<std::unique_ptr<SelfEnergyChannel>>& channels() const {
     return channels_;
   }
+  /// The resolved self-consistency mixer (registry key opt.mixer).
+  const accel::Mixer& mixer() const { return *mixer_; }
+  /// Residual history + divergence/stagnation diagnostics of this run.
+  const accel::ConvergenceMonitor& monitor() const { return monitor_; }
   /// OBC dispatch counters of the active backend, summed over all batch
   /// workspaces (kept under the historic name; valid for every backend,
   /// not just "memoized"). Returned by value: the aggregate is a snapshot,
@@ -206,7 +219,7 @@ class Simulation {
   void solve_g();
   void compute_polarization();
   void solve_w();
-  double compute_sigma_and_mix();
+  accel::MixOutcome compute_sigma_and_mix();
 
   device::Structure structure_;
   SimulationOptions opt_;
@@ -223,6 +236,11 @@ class Simulation {
   // sequential reduction stage, never on pipeline workers).
   std::vector<std::unique_ptr<SelfEnergyChannel>> channels_;
   bool needs_w_ = false;  ///< some channel consumes W≶
+  // Self-consistency acceleration (src/accel): the mixing policy the Sigma
+  // stage dispatches through, and the residual monitor feeding
+  // StopReason::kDiverged and the per-iteration diagnostics.
+  std::unique_ptr<accel::Mixer> mixer_;
+  accel::ConvergenceMonitor monitor_;
 
   // Streaming observers.
   std::vector<IterationCallback> iteration_observers_;
@@ -245,6 +263,7 @@ class Simulation {
 
   int iteration_ = 0;
   double last_update_ = 1e300;
+  double last_damping_ = 0.0;  ///< damping the last mix step applied
 };
 
 /// Fluent builder for `Simulation`. Collects options and observers, then
@@ -271,6 +290,15 @@ class SimulationBuilder {
                               double temperature_k = kRoomTemperatureK);
   /// Sigma update damping, in (0, 1].
   SimulationBuilder& mixing(double value);
+  /// Self-consistency mixer key ("linear", "anderson", "adaptive");
+  /// default "auto" resolves to "linear".
+  SimulationBuilder& mixer(std::string key);
+  /// Anderson residual-history window (iterates kept).
+  SimulationBuilder& mixing_history(int value);
+  /// Relative regularization of the Anderson least-squares solve.
+  SimulationBuilder& mixing_regularization(double value);
+  /// Divergence threshold of the convergence monitor (0 disables).
+  SimulationBuilder& divergence_factor(double value);
   /// SCBA iteration budget.
   SimulationBuilder& max_iterations(int value);
   /// Convergence threshold on the relative Sigma< update.

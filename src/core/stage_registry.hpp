@@ -9,12 +9,14 @@
 ///   - ObcSolver:          "memoized" (§5.3), "beyn", "lyapunov"
 ///   - GreensSolver:       "rgf" (§4.3.2), "nested-dissection" (§5.4)
 ///   - SelfEnergyChannel:  "gw", "fock", "ephonon"
+///   - accel::Mixer:       "linear", "anderson", "adaptive" (src/accel)
 ///   - EnergyLoopExecutor: "sequential", "omp" (work-stealing thread pool)
 ///
 /// Unknown keys fail fast with the list of known keys. New backends
 /// register with `register_obc` / `register_greens` / `register_channel` /
-/// `register_executor` on a local registry (or on `global()` for
-/// process-wide availability) — no recompilation of the driver required.
+/// `register_mixer` / `register_executor` on a local registry (or on
+/// `global()` for process-wide availability) — no recompilation of the
+/// driver required.
 
 #include <functional>
 #include <map>
@@ -22,16 +24,17 @@
 #include <string>
 #include <vector>
 
+#include "accel/mixer.hpp"
 #include "core/options.hpp"
 #include "core/stages.hpp"
 
 namespace qtx::core {
 
 /// One registered backend, for docs and the `qtx list-backends` command:
-/// the stage kind ("obc", "greens", "channel", "executor"), the registry
-/// key, and a one-line human-readable description.
+/// the stage kind ("obc", "greens", "channel", "mixer", "executor"), the
+/// registry key, and a one-line human-readable description.
 struct BackendDescription {
-  std::string kind;         ///< "obc", "greens", "channel", or "executor"
+  std::string kind;  ///< "obc", "greens", "channel", "mixer", or "executor"
   std::string key;          ///< registry key, e.g. "memoized"
   std::string description;  ///< one-line human-readable summary
 };
@@ -53,6 +56,9 @@ class StageRegistry {
   /// Factory signature for energy-loop execution policies.
   using ExecutorFactory = std::function<std::unique_ptr<EnergyLoopExecutor>(
       const SimulationOptions&)>;
+  /// Factory signature for self-consistency mixers (src/accel).
+  using MixerFactory =
+      std::function<std::unique_ptr<accel::Mixer>(const SimulationOptions&)>;
 
   /// Empty registry (no backends). Most callers want `with_builtins()`.
   StageRegistry() = default;
@@ -76,6 +82,8 @@ class StageRegistry {
                         std::string description = "");
   void register_executor(const std::string& key, ExecutorFactory factory,
                          std::string description = "");
+  void register_mixer(const std::string& key, MixerFactory factory,
+                      std::string description = "");
 
   /// Instantiate a backend; throws with the known-key list on unknown keys.
   std::unique_ptr<ObcSolver> make_obc(const std::string& key,
@@ -87,17 +95,21 @@ class StageRegistry {
       const SymLayout& layout) const;
   std::unique_ptr<EnergyLoopExecutor> make_executor(
       const std::string& key, const SimulationOptions& opt) const;
+  std::unique_ptr<accel::Mixer> make_mixer(const std::string& key,
+                                           const SimulationOptions& opt) const;
 
   /// Registered keys, sorted (for docs, error messages, and tests).
   std::vector<std::string> obc_keys() const;
   std::vector<std::string> greens_keys() const;
   std::vector<std::string> channel_keys() const;
   std::vector<std::string> executor_keys() const;
+  std::vector<std::string> mixer_keys() const;
 
   /// Every registered backend with its kind, key, and one-line description,
-  /// ordered by kind (obc, greens, channel, executor) then key. This is the
-  /// single generated source of the backend table: `qtx list-backends`
-  /// prints it, and a test asserts every key appears in docs/userguide.md.
+  /// ordered by kind (obc, greens, channel, mixer, executor) then key. This
+  /// is the single generated source of the backend table:
+  /// `qtx list-backends` prints it, and a test asserts every key appears in
+  /// docs/userguide.md.
   std::vector<BackendDescription> describe() const;
 
  private:
@@ -112,6 +124,7 @@ class StageRegistry {
   std::map<std::string, Entry<GreensFactory>> greens_;
   std::map<std::string, Entry<ChannelFactory>> channels_;
   std::map<std::string, Entry<ExecutorFactory>> executors_;
+  std::map<std::string, Entry<MixerFactory>> mixers_;
 };
 
 }  // namespace qtx::core

@@ -247,6 +247,19 @@ class EPhononChannel final : public SelfEnergyChannel {
 };
 
 // ---------------------------------------------------------------------------
+// Self-consistency mixers (adapters over src/accel)
+// ---------------------------------------------------------------------------
+
+/// Map the facade's option fields onto the accel layer's MixerOptions.
+accel::MixerOptions mixer_options(const SimulationOptions& opt) {
+  accel::MixerOptions m;
+  m.damping = opt.mixing;
+  m.history = opt.mixing_history;
+  m.regularization = opt.mixing_regularization;
+  return m;
+}
+
+// ---------------------------------------------------------------------------
 // Registry plumbing
 // ---------------------------------------------------------------------------
 
@@ -305,6 +318,13 @@ void StageRegistry::register_executor(const std::string& key,
   executors_[key] = {std::move(factory), std::move(description)};
 }
 
+void StageRegistry::register_mixer(const std::string& key,
+                                   MixerFactory factory,
+                                   std::string description) {
+  check_key(key);
+  mixers_[key] = {std::move(factory), std::move(description)};
+}
+
 std::unique_ptr<ObcSolver> StageRegistry::make_obc(
     const std::string& key, const SimulationOptions& opt) const {
   const auto it = obc_.find(key);
@@ -342,6 +362,15 @@ std::unique_ptr<EnergyLoopExecutor> StageRegistry::make_executor(
   return it->second.factory(opt);
 }
 
+std::unique_ptr<accel::Mixer> StageRegistry::make_mixer(
+    const std::string& key, const SimulationOptions& opt) const {
+  const auto it = mixers_.find(key);
+  QTX_CHECK_MSG(it != mixers_.end(), "unknown self-consistency mixer \""
+                                         << key << "\"; registered keys: "
+                                         << key_list(mixers_));
+  return it->second.factory(opt);
+}
+
 std::vector<std::string> StageRegistry::obc_keys() const {
   return sorted_keys(obc_);
 }
@@ -355,15 +384,21 @@ std::vector<std::string> StageRegistry::executor_keys() const {
   return sorted_keys(executors_);
 }
 
+std::vector<std::string> StageRegistry::mixer_keys() const {
+  return sorted_keys(mixers_);
+}
+
 std::vector<BackendDescription> StageRegistry::describe() const {
   std::vector<BackendDescription> out;
   out.reserve(obc_.size() + greens_.size() + channels_.size() +
-              executors_.size());
+              mixers_.size() + executors_.size());
   for (const auto& [k, e] : obc_) out.push_back({"obc", k, e.description});
   for (const auto& [k, e] : greens_)
     out.push_back({"greens", k, e.description});
   for (const auto& [k, e] : channels_)
     out.push_back({"channel", k, e.description});
+  for (const auto& [k, e] : mixers_)
+    out.push_back({"mixer", k, e.description});
   for (const auto& [k, e] : executors_)
     out.push_back({"executor", k, e.description});
   return out;  // std::map iterates sorted within each kind
@@ -431,6 +466,26 @@ StageRegistry StageRegistry::with_builtins() {
         return std::make_unique<EPhononChannel>(opt, layout);
       },
       "deformation-potential electron-phonon SCBA channel (paper §8)");
+  reg.register_mixer(
+      "linear",
+      [](const SimulationOptions& opt) {
+        return accel::make_linear_mixer(mixer_options(opt));
+      },
+      "damped fixed-point Sigma update (sigma += mixing * delta), "
+      "bit-identical to the historic driver; the default");
+  reg.register_mixer(
+      "anderson",
+      [](const SimulationOptions& opt) {
+        return accel::make_anderson_mixer(mixer_options(opt));
+      },
+      "Anderson/DIIS acceleration over a mixing_history residual window "
+      "(regularized least squares)");
+  reg.register_mixer(
+      "adaptive",
+      [](const SimulationOptions& opt) {
+        return accel::make_adaptive_mixer(mixer_options(opt));
+      },
+      "linear mixing with automatic damping back-off on residual growth");
   reg.register_executor(
       "sequential",
       [](const SimulationOptions&) {

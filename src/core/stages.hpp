@@ -27,6 +27,11 @@
 /// every configured channel accumulate into them, so GW + e-phonon (or any
 /// custom channel) coexist without driver changes.
 ///
+/// A fourth pluggable stage kind — the self-consistency `accel::Mixer`
+/// ("linear", "anderson", "adaptive") that turns the raw Sigma proposal
+/// into the next iterate — lives in src/accel/mixer.hpp (below this layer)
+/// and is registered/resolved through the same `StageRegistry`.
+///
 /// This header carries only the abstract interfaces, so low-level consumers
 /// (core/contacts.hpp) stay free of the facade's dependency tree; the
 /// string-keyed `StageRegistry` that instantiates backends lives in

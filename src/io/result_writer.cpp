@@ -246,17 +246,30 @@ std::vector<std::string> write_result_csvs(
     paths.push_back(path);
   }
   {
-    std::vector<double> iter, update, seconds, converged;
+    std::vector<double> iter, update, seconds, converged, damping, ratio;
+    bool has_mixer_data = false;
     for (const core::IterationResult& it : results.result.history) {
       iter.push_back(it.iteration);
       update.push_back(it.sigma_update);
       seconds.push_back(it.seconds);
       converged.push_back(it.converged ? 1.0 : 0.0);
+      damping.push_back(it.damping);
+      ratio.push_back(it.residual_ratio);
+      has_mixer_data = has_mixer_data || it.damping > 0.0;
     }
-    write_series("trace.csv", {{"iteration", &iter},
-                               {"sigma_update", &update},
-                               {"seconds", &seconds},
-                               {"converged", &converged}});
+    // The convergence-monitor columns appear only when a mixing stage ran
+    // (damping > 0): append-only provenance — histories recorded before
+    // the accel layer existed (and the goldens pinning them) keep their
+    // exact byte layout.
+    std::vector<CsvColumn> cols = {{"iteration", &iter},
+                                   {"sigma_update", &update},
+                                   {"seconds", &seconds},
+                                   {"converged", &converged}};
+    if (has_mixer_data) {
+      cols.push_back({"damping", &damping});
+      cols.push_back({"residual_ratio", &ratio});
+    }
+    write_series("trace.csv", cols);
   }
   {
     // Kernel timings: one row per Table 4 ledger entry, summed over the run.
@@ -311,12 +324,20 @@ std::string write_result_json(const std::string& directory,
   j.kv("total_seconds", results.result.total_seconds);
   j.key("history");
   j.begin_array();
+  bool has_mixer_data = false;
+  for (const core::IterationResult& it : results.result.history)
+    has_mixer_data = has_mixer_data || it.damping > 0.0;
   for (const core::IterationResult& it : results.result.history) {
     j.begin_object();
     j.kv("iteration", it.iteration);
     j.kv("sigma_update", it.sigma_update);
     j.kv("seconds", it.seconds);
     j.kv("converged", it.converged);
+    // Monitor diagnostics only when a mixing stage ran (see trace.csv).
+    if (has_mixer_data) {
+      j.kv("damping", it.damping);
+      j.kv("residual_ratio", it.residual_ratio);
+    }
     j.end_object();
   }
   j.end_array();

@@ -1,6 +1,8 @@
 #include "io/scenario_parser.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "common/strings.hpp"
@@ -119,6 +121,34 @@ void apply_output_key(Scenario& s, const LineContext& ctx,
 void apply_sweep_key(Scenario& s, const LineContext& ctx,
                      const std::string& key, const std::string& value) {
   if (key == "parameter") {
+    // Validate eagerly so a typo'd sweep key fails at its own line instead
+    // of after the first point has already been solved.
+    if (value != "bias" && value != "temperature") {
+      const std::vector<std::string> keys = core::option_keys();
+      if (std::find(keys.begin(), keys.end(), value) == keys.end()) {
+        std::string known = "bias, temperature";
+        for (const std::string& k : keys) known += ", " + k;
+        ctx.fail("[sweep] parameter \"" + value +
+                 "\" is neither \"bias\", \"temperature\", nor a solver "
+                 "option key; known parameters: " + known);
+      }
+      // Sweep values are numbers, so string-typed keys (mixer,
+      // obc_backend, ...) can never sweep — probing the binding with a
+      // non-numeric sentinel exposes them: only string setters accept it.
+      core::SimulationOptions scratch;
+      bool accepts_text = true;
+      try {
+        core::set_option(scratch, value, "not-a-number?");
+      } catch (const std::runtime_error&) {
+        accepts_text = false;
+      }
+      if (accepts_text) {
+        ctx.fail("[sweep] parameter \"" + value +
+                 "\" is a string-typed option; sweep values are numbers — "
+                 "run one scenario per " + value +
+                 " (e.g. via qtx run --set " + value + "=...)");
+      }
+    }
     s.sweep.parameter = value;
     return;
   }
@@ -143,6 +173,7 @@ Scenario parse_scenario_text(const std::string& text,
   std::istringstream in(text);
   std::string raw, section;
   bool device_overridden = false;  // any non-preset [device] key seen yet
+  std::set<std::string> seen;      // "<section>.<key>" pairs already set
   while (std::getline(in, raw)) {
     ++ctx.line;
     const std::string line = qs::trim(strip_comment(raw));
@@ -170,6 +201,12 @@ Scenario parse_scenario_text(const std::string& text,
       ctx.fail("key \"" + key +
                "\" appears before any [section] header; start with "
                "[scenario], [device], [solver], [output], or [sweep]");
+    // A repeated key would silently last-win; reject it so a copy-paste
+    // slip in a long deck cannot shadow an earlier setting.
+    if (!seen.insert(section + "." + key).second)
+      ctx.fail("duplicate key \"" + key + "\" in [" + section +
+               "] (already set earlier in this deck; each key may appear "
+               "once)");
 
     if (section == "scenario") {
       if (key == "name") {
@@ -215,6 +252,39 @@ Scenario parse_scenario_file(const std::string& path) {
   Scenario s = parse_scenario_text(buf.str(), path);
   if (s.name.empty()) s.name = file_stem(path);
   return s;
+}
+
+void apply_scenario_override(Scenario& s, const std::string& key,
+                             const std::string& value) {
+  try {
+    if (key.rfind("device.", 0) == 0) {
+      const std::string dev_key = key.substr(7);
+      if (dev_key == "preset") {
+        s.device = device::device_preset(value);
+        s.device_preset = value;
+      } else {
+        device::set_structure_param(s.device, dev_key, value);
+      }
+      return;
+    }
+    // The [solver] path, including the grid/tolerance/mu_* shorthands.
+    // The context's source labels diagnostics; line 0 keeps the prefix
+    // readable ("--set eta:0:" never appears because apply_solver_key only
+    // uses ctx to *wrap* binding errors, which this catch re-prefixes).
+    LineContext ctx{key, 0};
+    try {
+      apply_solver_key(s, ctx, key, value);
+    } catch (const ScenarioError& e) {
+      // Strip the synthetic "<key>:0: " location; the catch below adds the
+      // uniform "--set <key>:" prefix instead.
+      const std::string msg = e.what();
+      const std::string prefix = key + ":0: ";
+      throw std::runtime_error(
+          msg.rfind(prefix, 0) == 0 ? msg.substr(prefix.size()) : msg);
+    }
+  } catch (const std::runtime_error& e) {
+    throw ScenarioError("--set " + key + "=" + value + ": " + e.what());
+  }
 }
 
 std::string serialize_scenario(const Scenario& s) {

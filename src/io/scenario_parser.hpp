@@ -115,4 +115,13 @@ Scenario parse_scenario_file(const std::string& path);
 /// order. Reparsing reproduces \p s exactly.
 std::string serialize_scenario(const Scenario& s);
 
+/// Apply one command-line override (`qtx run --set key=value`) to a parsed
+/// scenario: keys prefixed "device." route to the [device] binding
+/// ("device.preset" re-selects the preset and therefore resets every device
+/// parameter), everything else takes the [solver] key path — including the
+/// `grid`, `tolerance`, and `mu_*` shorthands. Throws ScenarioError with a
+/// "--set <key>:" prefix on unknown keys or malformed values.
+void apply_scenario_override(Scenario& s, const std::string& key,
+                             const std::string& value);
+
 }  // namespace qtx::io

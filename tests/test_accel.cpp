@@ -1,0 +1,585 @@
+// Self-consistency acceleration suite (ctest label "accel"):
+//
+//  - Mixer registry round-trip: builtin keys, unknown-key diagnostics,
+//    custom mixer registration resolved by a Simulation
+//  - linear mixer: hand-computed damped update + metric
+//  - anderson: first step bit-identical to linear, history window bounded
+//    by mixing_history, affine fixed-point solved in fewer iterations than
+//    linear damping
+//  - adaptive: damping backs off on residual growth and recovers
+//  - ConvergenceMonitor: ratio/divergence/stagnation/oscillation queries
+//  - Simulation integration: multi-threaded anderson runs bit-identical to
+//    sequential ones; an over-driven run stops with StopReason::kDiverged
+//    instead of burning the budget
+//  - qtx CLI: scenario decks select each builtin mixer through the real
+//    binary; a diverging deck records "diverged" in results.json
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "accel/convergence.hpp"
+#include "accel/mixer.hpp"
+#include "core/observables.hpp"
+#include "core/simulation.hpp"
+#include "device/presets.hpp"
+
+#ifndef QTX_QTX_BIN
+#error "QTX_QTX_BIN must point at the qtx binary (set by CMakeLists.txt)"
+#endif
+
+namespace qtx {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Synthetic mixer fixtures
+// ---------------------------------------------------------------------------
+
+using Flats = std::vector<std::vector<cplx>>;
+
+/// Sequential energy loop for driving mixers outside a Simulation.
+const accel::EnergyLoop kSeqLoop = [](const std::function<void(int)>& fn) {
+  for (int e = 0; e < 3; ++e) fn(e);
+};
+
+Flats make_flats(double scale, double imag) {
+  Flats f(3);
+  for (int e = 0; e < 3; ++e) {
+    f[e].resize(4);
+    for (int k = 0; k < 4; ++k)
+      f[e][k] = cplx(scale * (e + 1) + 0.1 * k, imag * (k - e));
+  }
+  return f;
+}
+
+struct MixFixture {
+  Flats lt, gt, rr;
+  std::vector<cplx> fock;
+  Flats p_lt, p_gt, p_rr;
+  std::vector<cplx> p_fock;
+
+  MixFixture() {
+    lt = make_flats(1.0, 0.5);
+    gt = make_flats(-0.5, 0.25);
+    rr = make_flats(0.25, -1.0);
+    fock = {cplx(1.0, 2.0), cplx(-0.5, 0.125)};
+    p_lt = make_flats(2.0, -0.5);
+    p_gt = make_flats(0.5, 1.0);
+    p_rr = make_flats(-1.0, 0.5);
+    p_fock = {cplx(0.5, -1.0), cplx(2.0, 0.25)};
+  }
+
+  accel::SigmaState state() {
+    accel::SigmaState s;
+    s.lesser = &lt;
+    s.greater = &gt;
+    s.retarded = &rr;
+    s.fock = &fock;
+    return s;
+  }
+  accel::SigmaProposal proposal() const {
+    accel::SigmaProposal p;
+    p.lesser = &p_lt;
+    p.greater = &p_gt;
+    p.retarded = &p_rr;
+    p.fock = &p_fock;
+    return p;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Registry round-trip
+// ---------------------------------------------------------------------------
+
+TEST(MixerRegistry, BuiltinKeysAndDescriptions) {
+  const core::StageRegistry& reg = core::StageRegistry::global();
+  EXPECT_EQ(reg.mixer_keys(),
+            (std::vector<std::string>{"adaptive", "anderson", "linear"}));
+  bool saw_mixer_kind = false;
+  for (const core::BackendDescription& b : reg.describe()) {
+    if (b.kind != "mixer") continue;
+    saw_mixer_kind = true;
+    EXPECT_FALSE(b.description.empty()) << b.key;
+  }
+  EXPECT_TRUE(saw_mixer_kind) << "describe() must cover the mixer kind";
+}
+
+TEST(MixerRegistry, UnknownKeyListsRegisteredKeys) {
+  core::SimulationOptions opt;
+  try {
+    core::StageRegistry::global().make_mixer("pulay", opt);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown self-consistency mixer \"pulay\""),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("anderson"), std::string::npos) << msg;
+  }
+}
+
+TEST(MixerRegistry, ResolvedMixerDefaultsToLinear) {
+  core::SimulationOptions opt;
+  EXPECT_EQ(opt.resolved_mixer(), "linear");
+  opt.mixer = "anderson";
+  EXPECT_EQ(opt.resolved_mixer(), "anderson");
+}
+
+/// A do-nothing mixer that counts its calls — proves custom registrations
+/// flow from a registry key to the Simulation's mixing stage.
+class CountingMixer final : public accel::Mixer {
+ public:
+  explicit CountingMixer(int* calls) : calls_(calls) {}
+  std::string_view name() const override { return "counting"; }
+  void reset() override {}
+  accel::MixOutcome mix(const accel::SigmaState&, const accel::SigmaProposal&,
+                        const accel::EnergyLoop&) override {
+    ++*calls_;
+    accel::MixOutcome out;
+    out.update = 1.0 / *calls_;
+    out.damping = 0.125;
+    return out;
+  }
+
+ private:
+  int* calls_;
+};
+
+TEST(MixerRegistry, CustomMixerResolvesThroughSimulation) {
+  core::StageRegistry reg = core::StageRegistry::with_builtins();
+  int calls = 0;
+  reg.register_mixer(
+      "counting",
+      [&calls](const core::SimulationOptions&) {
+        return std::make_unique<CountingMixer>(&calls);
+      },
+      "test-only call counter");
+  const device::Structure st = device::make_test_structure(3);
+  core::Simulation sim = core::SimulationBuilder(st)
+                             .grid(-2.0, 2.0, 6)
+                             .gw(0.2)
+                             .mixer("counting")
+                             .max_iterations(3)
+                             .tolerance(1e-30)
+                             .registry(reg)
+                             .build();
+  const core::TransportResult res = sim.run();
+  EXPECT_EQ(calls, 3) << "every iteration must dispatch through the mixer";
+  EXPECT_EQ(res.history.back().damping, 0.125);
+  EXPECT_EQ(sim.mixer().name(), "counting");
+}
+
+// ---------------------------------------------------------------------------
+// Linear mixer
+// ---------------------------------------------------------------------------
+
+TEST(LinearMixer, MatchesHandComputedDampedUpdate) {
+  MixFixture f;
+  const MixFixture ref;  // pristine copy for the hand computation
+  accel::MixerOptions mopt;
+  mopt.damping = 0.25;
+  auto mixer = accel::make_linear_mixer(mopt);
+  EXPECT_EQ(mixer->name(), "linear");
+  const accel::MixOutcome out = mixer->mix(f.state(), f.proposal(), kSeqLoop);
+
+  double d2 = 0.0, n2 = 0.0;
+  for (int e = 0; e < 3; ++e) {
+    for (int k = 0; k < 4; ++k) {
+      const cplx delta = ref.p_lt[e][k] - ref.lt[e][k];
+      d2 += std::norm(delta);
+      n2 += std::norm(ref.p_lt[e][k]);
+      EXPECT_EQ(f.lt[e][k], ref.lt[e][k] + 0.25 * delta);
+      EXPECT_EQ(f.gt[e][k],
+                ref.gt[e][k] + 0.25 * (ref.p_gt[e][k] - ref.gt[e][k]));
+      EXPECT_EQ(f.rr[e][k],
+                ref.rr[e][k] + 0.25 * (ref.p_rr[e][k] - ref.rr[e][k]));
+    }
+  }
+  for (std::size_t k = 0; k < ref.fock.size(); ++k)
+    EXPECT_EQ(f.fock[k],
+              ref.fock[k] + 0.25 * (ref.p_fock[k] - ref.fock[k]));
+  EXPECT_EQ(out.update, std::sqrt(d2 / n2));
+  EXPECT_EQ(out.damping, 0.25);
+  EXPECT_EQ(mixer->history_size(), 0);
+}
+
+TEST(LinearMixer, NullOptionalComponentsAreSkipped) {
+  MixFixture f;
+  accel::SigmaState s;
+  s.lesser = &f.lt;  // greater/retarded/fock absent (distributed driver)
+  accel::SigmaProposal p;
+  p.lesser = &f.p_lt;
+  auto mixer = accel::make_linear_mixer({});
+  const accel::MixOutcome out = mixer->mix(s, p, kSeqLoop);
+  EXPECT_GT(out.update, 0.0);
+  EXPECT_EQ(f.gt, MixFixture().gt) << "absent components must stay untouched";
+}
+
+// ---------------------------------------------------------------------------
+// Anderson mixer
+// ---------------------------------------------------------------------------
+
+TEST(AndersonMixer, FirstStepBitIdenticalToLinear) {
+  MixFixture lin, and_;
+  accel::MixerOptions mopt;
+  mopt.damping = 0.4;
+  auto linear = accel::make_linear_mixer(mopt);
+  auto anderson = accel::make_anderson_mixer(mopt);
+  const accel::MixOutcome ol =
+      linear->mix(lin.state(), lin.proposal(), kSeqLoop);
+  const accel::MixOutcome oa =
+      anderson->mix(and_.state(), and_.proposal(), kSeqLoop);
+  EXPECT_EQ(ol.update, oa.update);
+  EXPECT_EQ(lin.lt, and_.lt);  // exact double equality, all components
+  EXPECT_EQ(lin.gt, and_.gt);
+  EXPECT_EQ(lin.rr, and_.rr);
+  EXPECT_EQ(lin.fock, and_.fock);
+  EXPECT_EQ(anderson->history_size(), 1);
+}
+
+TEST(AndersonMixer, HistoryWindowNeverExceedsConfiguredSize) {
+  accel::MixerOptions mopt;
+  mopt.history = 3;
+  auto mixer = accel::make_anderson_mixer(mopt);
+  MixFixture f;
+  for (int it = 1; it <= 7; ++it) {
+    // A mildly contracting proposal keeps the residual shrinking so the
+    // restart safeguard never clears the window under test.
+    for (int e = 0; e < 3; ++e)
+      for (int k = 0; k < 4; ++k)
+        f.p_lt[e][k] = 0.5 * f.lt[e][k] + cplx(1.0, -0.5);
+    mixer->mix(f.state(), f.proposal(), kSeqLoop);
+    EXPECT_EQ(mixer->history_size(), std::min(it, 3)) << "iteration " << it;
+  }
+  mixer->reset();
+  EXPECT_EQ(mixer->history_size(), 0);
+}
+
+/// Iterations a mixer needs to drive the affine fixed point x = C x + b
+/// below the tolerance (proposal recomputed from the mixed state each
+/// step — the same protocol the SCBA driver follows). The contraction
+/// factors are real (0.5 + 0.1 k, slowest mode 0.8) so the real-coefficient
+/// least squares can span the spectrum.
+int iterations_to_converge(accel::Mixer& mixer, double tol, int budget) {
+  Flats x(3, std::vector<cplx>(4, cplx(0.0)));
+  Flats p = x;
+  accel::SigmaState s;
+  s.lesser = &x;
+  accel::SigmaProposal prop;
+  prop.lesser = &p;
+  for (int it = 1; it <= budget; ++it) {
+    for (int e = 0; e < 3; ++e)
+      for (int k = 0; k < 4; ++k)
+        p[e][k] = (0.5 + 0.1 * k) * x[e][k] + cplx(1.0 + e, -0.5 * k);
+    const accel::MixOutcome out = mixer.mix(s, prop, kSeqLoop);
+    if (out.update < tol) return it;
+  }
+  return budget + 1;
+}
+
+TEST(AndersonMixer, SolvesAffineFixedPointInFewerIterationsThanLinear) {
+  accel::MixerOptions mopt;
+  mopt.damping = 0.5;
+  mopt.history = 6;  // spans the four distinct contraction factors
+  auto linear = accel::make_linear_mixer(mopt);
+  auto anderson = accel::make_anderson_mixer(mopt);
+  const int linear_iters = iterations_to_converge(*linear, 1e-10, 300);
+  const int anderson_iters = iterations_to_converge(*anderson, 1e-10, 300);
+  // At least a 2x iteration cut (the trust-region safeguard deliberately
+  // trades DIIS exactness on synthetic affine maps for robustness on the
+  // nonlinear SCBA maps the bench gates on).
+  EXPECT_LT(2 * anderson_iters, linear_iters);
+  EXPECT_LE(anderson_iters, 100);
+  EXPECT_GT(linear_iters, 150) << "damped iteration should be much slower";
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive mixer
+// ---------------------------------------------------------------------------
+
+TEST(AdaptiveMixer, BacksOffOnGrowthAndRecoversOnDecay) {
+  accel::MixerOptions mopt;
+  mopt.damping = 0.5;
+  auto mixer = accel::make_adaptive_mixer(mopt);
+  MixFixture f;
+  const auto propose = [&](double factor) {
+    for (int e = 0; e < 3; ++e)
+      for (int k = 0; k < 4; ++k) f.p_lt[e][k] = factor * f.lt[e][k];
+  };
+  // Relative residual 1/3 (p = 1.5 x), then 2 (p = -x): genuine growth —
+  // the damping must back off from the base.
+  propose(1.5);
+  EXPECT_EQ(mixer->mix(f.state(), f.proposal(), kSeqLoop).damping, 0.5);
+  propose(-1.0);
+  const double backed_off =
+      mixer->mix(f.state(), f.proposal(), kSeqLoop).damping;
+  EXPECT_LT(backed_off, 0.5);
+  // A flat residual (p = 0.5 x gives exactly 1 every step) counts as
+  // recovery, not growth: the damping must creep back toward the base and
+  // never exceed it.
+  double recovered = backed_off;
+  for (int it = 0; it < 20; ++it) {
+    propose(0.5);
+    recovered = mixer->mix(f.state(), f.proposal(), kSeqLoop).damping;
+  }
+  EXPECT_GT(recovered, backed_off);
+  EXPECT_LE(recovered, 0.5) << "recovery is capped at the base damping";
+  mixer->reset();
+  MixFixture g;
+  EXPECT_EQ(mixer->mix(g.state(), g.proposal(), kSeqLoop).damping, 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// ConvergenceMonitor
+// ---------------------------------------------------------------------------
+
+TEST(ConvergenceMonitor, RatioAndBestTrackTheHistory) {
+  accel::ConvergenceMonitor m(10.0);
+  EXPECT_EQ(m.size(), 0);
+  EXPECT_EQ(m.ratio(), 0.0);
+  m.push(1.0);
+  m.push(0.5);
+  m.push(0.25);
+  EXPECT_EQ(m.size(), 3);
+  EXPECT_EQ(m.last(), 0.25);
+  EXPECT_EQ(m.best(), 0.25);
+  EXPECT_EQ(m.ratio(), 0.5);
+  EXPECT_FALSE(m.diverged());
+  m.reset();
+  EXPECT_EQ(m.size(), 0);
+}
+
+TEST(ConvergenceMonitor, FlagsDivergenceOnlyAfterGrowthPastTheFactor) {
+  accel::ConvergenceMonitor m(4.0);
+  m.push(1.0);
+  m.push(0.5);
+  m.push(1.8);  // grew, but only 3.6x the best
+  EXPECT_FALSE(m.diverged());
+  m.push(2.5);  // grew and 5x the best
+  EXPECT_TRUE(m.diverged());
+}
+
+TEST(ConvergenceMonitor, FactorZeroDisablesDetection) {
+  accel::ConvergenceMonitor m(0.0);
+  m.push(1.0);
+  m.push(10.0);
+  m.push(100.0);
+  m.push(1000.0);
+  EXPECT_FALSE(m.diverged());
+}
+
+TEST(ConvergenceMonitor, StagnationNeedsAFullFlatWindow) {
+  accel::ConvergenceMonitor m(10.0, 4, 0.02);
+  for (const double r : {1.0, 0.5, 0.25, 0.12})
+    m.push(r);  // still converging
+  EXPECT_FALSE(m.stagnated());
+  accel::ConvergenceMonitor flat(10.0, 4, 0.02);
+  for (const double r : {1.0, 0.101, 0.1, 0.1005, 0.1001}) flat.push(r);
+  EXPECT_TRUE(flat.stagnated());
+}
+
+TEST(ConvergenceMonitor, OscillationMeasuresDirectionFlips) {
+  accel::ConvergenceMonitor mono(10.0, 4);
+  for (const double r : {1.0, 0.8, 0.6, 0.4, 0.2}) mono.push(r);
+  EXPECT_EQ(mono.oscillation(), 0.0);
+  accel::ConvergenceMonitor cyc(10.0, 4);
+  for (const double r : {1.0, 0.2, 0.9, 0.15, 0.85}) cyc.push(r);
+  EXPECT_EQ(cyc.oscillation(), 1.0);
+  accel::ConvergenceMonitor empty(10.0, 4);
+  empty.push(1.0);
+  EXPECT_EQ(empty.oscillation(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Simulation integration
+// ---------------------------------------------------------------------------
+
+TEST(StopReasonNames, DivergedHasAStableName) {
+  EXPECT_STREQ(core::to_string(core::StopReason::kDiverged), "diverged");
+}
+
+core::SimulationBuilder mini_builder(const device::Structure& st) {
+  const auto gap = st.band_gap();
+  return core::SimulationBuilder(st)
+      .grid(-5.0, 5.0, 12)
+      .eta(0.05)
+      .contacts(gap.conduction_min + 0.3, gap.conduction_min + 0.1)
+      .gw(0.2)
+      .mixing(0.5)
+      .max_iterations(4)
+      .tolerance(1e-12);
+}
+
+TEST(SimulationMixer, IterationResultsCarryDampingAndRatio) {
+  const device::Structure st = device::make_test_structure(4);
+  core::Simulation sim = mini_builder(st).build();
+  const core::TransportResult res = sim.run();
+  ASSERT_GE(res.history.size(), 2u);
+  EXPECT_EQ(res.history[0].damping, 0.5);
+  EXPECT_EQ(res.history[0].residual_ratio, 0.0);
+  EXPECT_GT(res.history[1].residual_ratio, 0.0);
+  EXPECT_EQ(res.history[1].residual_ratio,
+            res.history[1].sigma_update / res.history[0].sigma_update);
+  EXPECT_EQ(sim.monitor().size(), static_cast<int>(res.history.size()));
+}
+
+TEST(SimulationMixer, BallisticRunsRecordNoDamping) {
+  const device::Structure st = device::make_test_structure(4);
+  core::Simulation sim = mini_builder(st).ballistic().build();
+  const core::TransportResult res = sim.run();
+  EXPECT_EQ(res.history.back().damping, 0.0);
+  EXPECT_EQ(res.history.back().residual_ratio, 0.0);
+  EXPECT_EQ(res.stop_reason, core::StopReason::kNonInteracting);
+}
+
+/// Multi-threaded anderson must be bit-identical to the sequential run —
+/// the per-energy-slot contract of the accel layer (acceptance criterion).
+TEST(SimulationMixer, AndersonIsBitIdenticalAcrossThreadCounts) {
+  const device::Structure st = device::make_test_structure(4);
+  std::vector<std::vector<double>> updates;
+  std::vector<std::vector<double>> transmissions;
+  for (const int threads : {1, 2, 4}) {
+    core::Simulation sim = mini_builder(st)
+                               .mixer("anderson")
+                               .num_threads(threads)
+                               .build();
+    const core::TransportResult res = sim.run();
+    std::vector<double> u;
+    for (const core::IterationResult& it : res.history)
+      u.push_back(it.sigma_update);
+    updates.push_back(u);
+    transmissions.push_back(core::transmission(sim));
+  }
+  for (std::size_t i = 1; i < updates.size(); ++i) {
+    EXPECT_EQ(updates[i], updates[0]) << "thread count run " << i;
+    EXPECT_EQ(transmissions[i], transmissions[0]) << "run " << i;
+  }
+}
+
+TEST(SimulationMixer, LinearAndAutoMixerAreIdentical) {
+  const device::Structure st = device::make_test_structure(4);
+  core::Simulation auto_sim = mini_builder(st).build();
+  core::Simulation linear_sim = mini_builder(st).mixer("linear").build();
+  const core::TransportResult a = auto_sim.run();
+  const core::TransportResult l = linear_sim.run();
+  ASSERT_EQ(a.history.size(), l.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i)
+    EXPECT_EQ(a.history[i].sigma_update, l.history[i].sigma_update);
+}
+
+core::SimulationBuilder overdriven_builder(const device::Structure& st) {
+  // Mixing 1 (no damping) + a strong interaction + a hard bias: the SCBA
+  // residual grows without bound — the monitor must cut the run short.
+  const auto gap = st.band_gap();
+  return core::SimulationBuilder(st)
+      .grid(-5.0, 5.0, 10)
+      .eta(0.05)
+      .contacts(gap.conduction_min + 0.4, gap.conduction_min - 0.4)
+      .gw(3.0)
+      .mixing(1.0)
+      .max_iterations(25)
+      .tolerance(1e-8);
+}
+
+TEST(SimulationMixer, OverdrivenRunStopsWithDivergedDiagnostic) {
+  const device::Structure st = device::make_test_structure(4);
+  core::Simulation sim = overdriven_builder(st).build();
+  const core::TransportResult res = sim.run();
+  EXPECT_EQ(res.stop_reason, core::StopReason::kDiverged);
+  EXPECT_FALSE(res.converged);
+  EXPECT_LT(res.iterations, 25)
+      << "divergence must stop the loop before the budget burns";
+  EXPECT_TRUE(sim.monitor().diverged());
+  EXPECT_GT(res.final_update, 10.0 * sim.monitor().best());
+}
+
+TEST(SimulationMixer, DivergenceFactorZeroBurnsTheBudgetInstead) {
+  const device::Structure st = device::make_test_structure(4);
+  core::Simulation sim =
+      overdriven_builder(st).divergence_factor(0.0).build();
+  const core::TransportResult res = sim.run();
+  EXPECT_EQ(res.stop_reason, core::StopReason::kBudgetExhausted);
+  EXPECT_EQ(res.iterations, 25);
+}
+
+// ---------------------------------------------------------------------------
+// qtx CLI: scenario decks select mixers through the real binary
+// ---------------------------------------------------------------------------
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+int run_cli(const std::string& args, const std::string& log) {
+  const std::string cmd =
+      std::string("\"") + QTX_QTX_BIN + "\" " + args + " > " + log + " 2>&1";
+  return std::system(cmd.c_str());
+}
+
+void write_mixer_deck(const std::string& path, const std::string& mixer) {
+  std::ofstream out(path);
+  out << "[device]\npreset = quickstart\n\n"
+         "[solver]\ngrid = -5 5 8\neta = 0.05\ngw_scale = 0.2\n"
+         "mixing = 0.5\nmax_iterations = 3\ntolerance = 1e-12\n"
+         "mu_reference = conduction-min\nmu_left = 0.3\nmu_right = 0.1\n"
+         "mixer = " << mixer << "\n";
+}
+
+TEST(QtxCliMixers, EveryBuiltinMixerRunsFromAScenarioDeck) {
+  for (const char* mixer : {"linear", "anderson", "adaptive"}) {
+    SCOPED_TRACE(mixer);
+    const std::string deck =
+        "accel_cli_" + std::string(mixer) + ".ini";
+    const std::string out_dir = "accel_cli_out_" + std::string(mixer);
+    write_mixer_deck(deck, mixer);
+    fs::remove_all(out_dir);
+    ASSERT_EQ(run_cli("run " + deck + " --out " + out_dir + " --quiet",
+                      "accel_cli_" + std::string(mixer) + ".log"),
+              0)
+        << read_file("accel_cli_" + std::string(mixer) + ".log");
+    const std::string json = read_file(out_dir + "/results.json");
+    EXPECT_NE(json.find("\"mixer\": \"" + std::string(mixer) + "\""),
+              std::string::npos)
+        << "provenance must record the non-default mixer key";
+    const std::string trace = read_file(out_dir + "/trace.csv");
+    EXPECT_NE(trace.find("damping,residual_ratio"), std::string::npos)
+        << "the trace must carry the monitor columns";
+  }
+}
+
+TEST(QtxCliMixers, DivergingDeckRecordsTheDiagnosis) {
+  const std::string deck = "accel_cli_diverge.ini";
+  {
+    std::ofstream out(deck);
+    out << "[device]\npreset = quickstart\n\n"
+           "[solver]\ngrid = -5 5 10\neta = 0.05\ngw_scale = 3\n"
+           "mixing = 1\nmax_iterations = 25\ntolerance = 1e-8\n"
+           "mu_reference = conduction-min\nmu_left = 0.4\nmu_right = -0.4\n";
+  }
+  const std::string out_dir = "accel_cli_diverge_out";
+  fs::remove_all(out_dir);
+  ASSERT_EQ(run_cli("run " + deck + " --out " + out_dir + " --quiet",
+                    "accel_cli_diverge.log"),
+            0)
+      << read_file("accel_cli_diverge.log");
+  const std::string json = read_file(out_dir + "/results.json");
+  EXPECT_NE(json.find("\"stop_reason\": \"diverged\""), std::string::npos)
+      << json.substr(0, 2000);
+  const std::string log = read_file("accel_cli_diverge.log");
+  EXPECT_NE(log.find("diverged"), std::string::npos) << log;
+}
+
+}  // namespace
+}  // namespace qtx

@@ -30,6 +30,10 @@ TEST_P(DistributedSweep, RunsAndAccountsTime) {
   EXPECT_GT(stats.compute_s, 0.0);
   EXPECT_GE(stats.comm_s, 0.0);
   EXPECT_NEAR(stats.total_s, stats.compute_s + stats.comm_s, 1e-12);
+  // The per-rank mix dispatches through the registry-resolved mixer; from
+  // this iteration's zero initial Sigma the relative update is exactly 1
+  // whenever the computed Sigma is non-zero (cold-start semantics).
+  EXPECT_EQ(stats.sigma_update, 1.0);
   if (GetParam() > 1) {
     EXPECT_GT(stats.bytes_sent, 0);
   }

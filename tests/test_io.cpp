@@ -180,12 +180,52 @@ TEST(OptionsBinding, RejectsNumericOverflowInsteadOfClamping) {
 
 TEST(OptionsBinding, KeysAreStableAndComplete) {
   const std::vector<std::string> keys = core::option_keys();
-  EXPECT_EQ(keys.size(), core::serialize_options({}).size());
+  // Sticky-default keys (the mixer family) are omitted from a default
+  // serialization — the append-only provenance policy — so the serialized
+  // set is a subset of the key list, never the other way around.
+  const std::vector<core::OptionKV> defaults = core::serialize_options({});
+  EXPECT_LT(defaults.size(), keys.size());
+  for (const core::OptionKV& kv : defaults)
+    EXPECT_NE(std::find(keys.begin(), keys.end(), kv.first), keys.end())
+        << kv.first;
   // Spot-check the documented schema anchors (docs/userguide.md table).
   for (const char* k :
        {"grid.n", "eta", "contacts.mu_left", "gw_scale", "obc_backend",
-        "greens_backend", "executor", "num_threads", "self_energy_channels"})
+        "greens_backend", "executor", "num_threads", "self_energy_channels",
+        "mixer", "mixing_history", "mixing_regularization",
+        "divergence_factor"})
     EXPECT_NE(std::find(keys.begin(), keys.end(), k), keys.end()) << k;
+}
+
+TEST(OptionsBinding, StickyDefaultMixerKeysSerializeOnlyWhenSet) {
+  // Default configuration: byte-stable provenance — no mixer keys at all.
+  for (const core::OptionKV& kv : core::serialize_options({}))
+    for (const char* sticky : {"mixer", "mixing_history",
+                               "mixing_regularization", "divergence_factor"})
+      EXPECT_NE(kv.first, sticky);
+  // Non-default values must serialize and round-trip exactly.
+  core::SimulationOptions opt;
+  opt.mixer = "anderson";
+  opt.mixing_history = 7;
+  opt.mixing_regularization = 1e-3;
+  opt.divergence_factor = 25.0;
+  const std::vector<core::OptionKV> kvs = core::serialize_options(opt);
+  const auto has = [&](const char* key) {
+    for (const core::OptionKV& kv : kvs)
+      if (kv.first == key) return true;
+    return false;
+  };
+  EXPECT_TRUE(has("mixer"));
+  EXPECT_TRUE(has("mixing_history"));
+  EXPECT_TRUE(has("mixing_regularization"));
+  EXPECT_TRUE(has("divergence_factor"));
+  core::SimulationOptions rebuilt;
+  for (const core::OptionKV& kv : kvs)
+    core::set_option(rebuilt, kv.first, kv.second);
+  EXPECT_EQ(rebuilt.mixer, "anderson");
+  EXPECT_EQ(rebuilt.mixing_history, 7);
+  EXPECT_EQ(rebuilt.mixing_regularization, 1e-3);
+  EXPECT_EQ(rebuilt.divergence_factor, 25.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -322,6 +362,40 @@ TEST(ScenarioParser, DiagnosticsPointAtFileAndLine) {
                      "no parameter");  // reported at the last line read
   expect_parse_error("[device]\nnum_cells = 12\npreset = cnt\n", "3:",
                      "\"preset\" must come before");
+}
+
+TEST(ScenarioParser, DuplicateKeysAreRejectedWithFileLine) {
+  expect_parse_error("[solver]\neta = 0.02\nmixing = 0.5\neta = 0.03\n",
+                     "4:", "duplicate key \"eta\" in [solver]");
+  expect_parse_error("[device]\npreset = cnt\nnum_cells = 6\nnum_cells = 8\n",
+                     "4:", "duplicate key \"num_cells\" in [device]");
+  // A reopened section does not reset the bookkeeping.
+  expect_parse_error(
+      "[solver]\neta = 0.02\n[device]\npreset = cnt\n[solver]\neta = 0.05\n",
+      "6:", "duplicate key \"eta\"");
+}
+
+TEST(ScenarioParser, SweepOverUnknownOptionKeyFailsAtItsLine) {
+  expect_parse_error("[sweep]\nparameter = etaa\nvalues = 1 2\n", "2:",
+                     "[sweep] parameter \"etaa\"");
+  expect_parse_error("[sweep]\nparameter = etaa\nvalues = 1 2\n", "2:",
+                     "known parameters: bias, temperature");
+  // String-typed option keys cannot take numeric sweep values: reject at
+  // the parameter line instead of failing after the first solved point.
+  expect_parse_error("[sweep]\nparameter = mixer\nvalues = 1 2\n", "2:",
+                     "string-typed option");
+  expect_parse_error("[sweep]\nparameter = obc_backend\nvalues = 1\n", "2:",
+                     "string-typed option");
+  // bias/temperature and numeric option keys (including the mixer family)
+  // all pass the eager validation.
+  for (const char* good :
+       {"bias", "temperature", "grid.n", "mixing_history",
+        "divergence_factor"}) {
+    const io::Scenario s = io::parse_scenario_text(
+        std::string("[sweep]\nparameter = ") + good + "\nvalues = 1\n",
+        "deck.ini");
+    EXPECT_EQ(s.sweep.parameter, good);
+  }
 }
 
 TEST(ScenarioParser, CommentsAndWhitespaceAreTolerated) {
@@ -726,6 +800,73 @@ TEST(QtxCli, PrintValidatesAndEchoesTheCanonicalForm) {
   EXPECT_NE(out.find("preset = quickstart"), std::string::npos);
   // The echoed canonical form must itself parse (print | run round trip).
   EXPECT_NO_THROW(io::parse_scenario_text(out, "printed.ini"));
+}
+
+TEST(ScenarioOverride, RoutesSolverAndDeviceKeys) {
+  io::Scenario s = mini_scenario();
+  io::apply_scenario_override(s, "eta", "0.125");
+  EXPECT_EQ(s.solver.eta, 0.125);
+  io::apply_scenario_override(s, "mixer", "anderson");
+  EXPECT_EQ(s.solver.mixer, "anderson");
+  io::apply_scenario_override(s, "grid", "-2 2 16");  // shorthand works
+  EXPECT_EQ(s.solver.grid.n, 16);
+  io::apply_scenario_override(s, "mu_left", "0.5");  // contact spec works
+  EXPECT_EQ(s.mu_left, 0.5);
+  io::apply_scenario_override(s, "device.num_cells", "6");
+  EXPECT_EQ(s.device.num_cells, 6);
+  io::apply_scenario_override(s, "device.preset", "cnt");
+  EXPECT_EQ(s.device_preset, "cnt");
+  EXPECT_EQ(s.device.num_cells, device::device_preset("cnt").num_cells)
+      << "re-selecting a preset resets the device parameters";
+}
+
+TEST(ScenarioOverride, DiagnosticsCarryTheSetPrefix) {
+  io::Scenario s = mini_scenario();
+  try {
+    io::apply_scenario_override(s, "etaa", "3");
+    FAIL() << "expected ScenarioError";
+  } catch (const io::ScenarioError& e) {
+    const std::string msg = e.what();
+    EXPECT_EQ(msg.rfind("--set etaa=3:", 0), 0) << msg;
+    EXPECT_NE(msg.find("unknown option key"), std::string::npos) << msg;
+  }
+  EXPECT_THROW(io::apply_scenario_override(s, "eta", "banana"),
+               io::ScenarioError);
+  EXPECT_THROW(io::apply_scenario_override(s, "device.num_cellz", "4"),
+               io::ScenarioError);
+}
+
+TEST(QtxCli, SetOverridesDeckKeysWithoutEditingTheFile) {
+  const std::string out_dir = "qtx_set_out";
+  fs::remove_all(out_dir);
+  ASSERT_EQ(run_cli("run \"" + scenario_path("quickstart.ini") +
+                        "\" --out " + out_dir +
+                        " --set max_iterations=1 --set mixer=adaptive "
+                        "--set device.num_cells=6 --quiet",
+                    "qtx_set_run.log"),
+            0)
+      << read_file("qtx_set_run.log");
+  const std::string json = read_file(out_dir + "/results.json");
+  EXPECT_NE(json.find("\"iterations\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"mixer\": \"adaptive\""), std::string::npos);
+  EXPECT_NE(json.find("\"num_cells\": \"6\""), std::string::npos);
+}
+
+TEST(QtxCli, BadSetValuesFailWithUsefulDiagnostics) {
+  // Unknown key: scenario error (exit 1) carrying the --set prefix.
+  EXPECT_NE(run_cli("run \"" + scenario_path("quickstart.ini") +
+                        "\" --set etaa=3",
+                    "qtx_set_err.log"),
+            0);
+  const std::string err = read_file("qtx_set_err.log");
+  EXPECT_NE(err.find("--set etaa=3"), std::string::npos) << err;
+  // Malformed KEY=VALUE: usage error.
+  EXPECT_NE(run_cli("run \"" + scenario_path("quickstart.ini") +
+                        "\" --set eta",
+                    "qtx_set_err2.log"),
+            0);
+  EXPECT_NE(read_file("qtx_set_err2.log").find("KEY=VALUE"),
+            std::string::npos);
 }
 
 TEST(QtxCli, ErrorsExitNonZeroWithFileLineDiagnostics) {
