@@ -7,6 +7,12 @@
 #                        # "parallel", and "accel" ctest labels (the suites
 #                        # that exercise the energy pipeline's threading and
 #                        # the mixers' parallel energy loops)
+#   ./ci.sh blas         # Release build with QTX_WITH_BLAS=ON running the
+#                        # "la-backend" ctest label (kernel equivalence of
+#                        # every registered la backend + the table4 bench
+#                        # gate). Degrades gracefully: without CBLAS/LAPACKE
+#                        # the "blas" backend simply isn't registered and
+#                        # the label covers reference + native only.
 #   ./ci.sh docs         # doxygen (skipped if unavailable); fails on
 #                        # undocumented-public-symbol warnings in the
 #                        # tracked core/io headers
@@ -59,6 +65,26 @@ tsan() {
     -j "$JOBS"
 }
 
+blas() {
+  build_dir="build-ci-blas"
+  echo "=== [BLAS] configure (QTX_WITH_BLAS=ON) ==="
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DQTX_WERROR=ON \
+    -DQTX_WITH_BLAS=ON 2>&1 | tee "${build_dir}-configure.log"
+  if ! grep -q 'la "blas" backend: /' "${build_dir}-configure.log"; then
+    echo "=== [BLAS] note: CBLAS/LAPACKE not found — the la-backend label" \
+         "runs against reference + native only ==="
+  fi
+  echo "=== [BLAS] build ==="
+  cmake --build "$build_dir" -j "$JOBS"
+  echo "=== [BLAS] ctest -L la-backend ==="
+  # test_la_backends iterates the registry at runtime, so the "blas" rows
+  # are exercised exactly when the configure step found the libraries;
+  # bench.table4_kernels emits BENCH_table4_kernels.json either way.
+  ctest --test-dir "$build_dir" -L la-backend --output-on-failure -j "$JOBS"
+}
+
 docs() {
   # Non-fatal when doxygen is absent (e.g. minimal containers); when it
   # runs, undocumented-public-symbol warnings in the tracked headers are
@@ -86,14 +112,17 @@ docs() {
 case "$STAGE" in
   build-test) build_test ;;
   tsan) tsan ;;
+  blas) blas ;;
   docs) docs ;;
   all)
     build_test
     tsan
+    blas
     docs
     ;;
   *)
-    echo "unknown stage '$STAGE' (expected: build-test, tsan, docs, all)" >&2
+    echo "unknown stage '$STAGE' (expected: build-test, tsan, blas, docs," \
+         "all)" >&2
     exit 2
     ;;
 esac

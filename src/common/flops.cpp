@@ -7,8 +7,12 @@ namespace qtx {
 namespace {
 
 /// Per-thread counter block, registered in a global list so totals can be
-/// aggregated across threads.
+/// aggregated across threads. The per-block mutex makes the counters safely
+/// publishable to observer threads polling mid-run: the owner thread takes
+/// it uncontended in add() (a few nanoseconds — no hot-path contention),
+/// observers take the registry mutex plus each block's mutex in turn.
 struct ThreadCounters {
+  std::mutex mutex;
   std::map<std::string, std::int64_t> by_phase;
   std::string current_phase = "unattributed";
 };
@@ -33,36 +37,50 @@ ThreadCounters& local() {
 
 void FlopLedger::add(std::int64_t flops) {
   auto& tc = local();
+  std::lock_guard<std::mutex> lock(tc.mutex);
   tc.by_phase[tc.current_phase] += flops;
 }
 
 void FlopLedger::begin_phase(const std::string& name) {
-  local().current_phase = name;
+  auto& tc = local();
+  std::lock_guard<std::mutex> lock(tc.mutex);
+  tc.current_phase = name;
 }
 
 std::int64_t FlopLedger::total() {
   std::int64_t sum = 0;
   std::lock_guard<std::mutex> lock(g_registry_mutex);
-  for (const auto* tc : registry())
+  for (auto* tc : registry()) {
+    std::lock_guard<std::mutex> block(tc->mutex);
     for (const auto& [_, v] : tc->by_phase) sum += v;
+  }
   return sum;
 }
 
 std::map<std::string, std::int64_t> FlopLedger::by_phase() {
   std::map<std::string, std::int64_t> out;
   std::lock_guard<std::mutex> lock(g_registry_mutex);
-  for (const auto* tc : registry())
+  for (auto* tc : registry()) {
+    std::lock_guard<std::mutex> block(tc->mutex);
     for (const auto& [k, v] : tc->by_phase) out[k] += v;
+  }
   return out;
 }
 
 void FlopLedger::reset() {
   std::lock_guard<std::mutex> lock(g_registry_mutex);
-  for (auto* tc : registry()) tc->by_phase.clear();
+  for (auto* tc : registry()) {
+    std::lock_guard<std::mutex> block(tc->mutex);
+    tc->by_phase.clear();
+  }
 }
 
 FlopPhase::FlopPhase(const std::string& name) {
-  previous_ = local().current_phase;
+  {
+    auto& tc = local();
+    std::lock_guard<std::mutex> lock(tc.mutex);
+    previous_ = tc.current_phase;
+  }
   FlopLedger::begin_phase(name);
 }
 

@@ -9,7 +9,10 @@
 ///
 /// Counters are thread-local and aggregated on demand, so OpenMP-style
 /// threaded kernels and the thread-backed communicator ranks can record
-/// concurrently without synchronization on the hot path.
+/// concurrently without contention on the hot path: add() takes only the
+/// calling thread's own (uncontended) block mutex, which also makes the
+/// counters safe for observer threads to poll mid-run (total() / by_phase()
+/// lock each block in turn — no torn reads).
 
 #include <cstdint>
 #include <map>

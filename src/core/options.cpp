@@ -23,6 +23,10 @@ std::string SimulationOptions::resolved_mixer() const {
   return (mixer == kAutoBackend) ? "linear" : mixer;
 }
 
+std::string SimulationOptions::resolved_la_backend() const {
+  return (la_backend == kAutoBackend) ? "reference" : la_backend;
+}
+
 std::vector<std::string> SimulationOptions::resolved_channels() const {
   if (!(self_energy_channels.size() == 1 &&
         self_energy_channels[0] == kAutoBackend)) {
@@ -154,6 +158,9 @@ void SimulationOptions::validate(int num_cells) const {
   QTX_CHECK_MSG(!resolved_mixer().empty(),
                 "mixer must not be empty; use \"linear\", \"anderson\", or "
                 "\"adaptive\"");
+  QTX_CHECK_MSG(!resolved_la_backend().empty(),
+                "la_backend must not be empty; use \"reference\", "
+                "\"native\", or \"blas\"");
   const std::vector<std::string> channels = resolved_channels();
   for (std::size_t i = 0; i < channels.size(); ++i) {
     const std::string& key = channels[i];
@@ -302,6 +309,10 @@ const std::vector<Binder>& binders() {
         qb::bind_double("divergence_factor",
                         &SimulationOptions::divergence_factor),
         qs::format_double(SimulationOptions{}.divergence_factor)));
+    // Dense-kernel backend (sticky-default, same append-only policy).
+    b.push_back(sticky_default(
+        qb::bind_string("la_backend", &SimulationOptions::la_backend),
+        kAutoBackend));
     return b;
   }();
   return table;

@@ -14,6 +14,9 @@
 ///   - `self_energy_channels`: any combination of "gw", "fock", "ephonon"
 ///   - `mixer`:          "linear" (the historic damped update), "anderson"
 ///                       (DIIS over mixing_history residuals), "adaptive"
+///   - `la_backend`:     "reference" (portable oracle loops), "native"
+///                       (cache-blocked split-complex), "blas" (optional
+///                       CBLAS/LAPACKE bindings, when compiled in)
 ///
 /// The sentinel `kAutoBackend` ("auto", the default) picks the backend the
 /// legacy flat options imply: `use_memoizer`, `nd_partitions`, `gw_scale`,
@@ -99,6 +102,15 @@ struct SimulationOptions {
   /// custom registration). "auto" resolves to "linear" — the damped update
   /// the driver has always performed, bit-identically.
   std::string mixer = kAutoBackend;
+  /// Dense linear-algebra kernel backend key (la/backend.hpp):
+  /// "reference" (portable oracle loops — golden files are pinned to this
+  /// path), "native" (cache-blocked split-complex kernels), "blas" (system
+  /// CBLAS/LAPACKE, registered only when compiled in). "auto" resolves to
+  /// "reference". The selection is installed process-globally at
+  /// Simulation construction (the kernels are invoked deep inside the
+  /// RGF/OBC layers with no options context), so the most recently
+  /// constructed Simulation's choice wins.
+  std::string la_backend = kAutoBackend;
 
   /// Resolve the "auto" sentinels against the legacy flat knobs.
   std::string resolved_obc_backend() const;
@@ -107,6 +119,8 @@ struct SimulationOptions {
   std::string resolved_executor() const;
   /// Resolve the "auto" mixer sentinel (defaults to "linear").
   std::string resolved_mixer() const;
+  /// Resolve the "auto" la-backend sentinel (defaults to "reference").
+  std::string resolved_la_backend() const;
 
   /// Reject inconsistent inputs with actionable messages (throws
   /// std::runtime_error). \p num_cells is the device's transport-cell count,

@@ -1,8 +1,10 @@
 #include "core/perf_model.hpp"
 
 #include <cmath>
+#include <cstdint>
 
 #include "common/check.hpp"
+#include "common/timer.hpp"
 
 namespace qtx::core {
 
@@ -171,6 +173,75 @@ FullScaleRow project_full_scale(const MachineSpec& machine,
   row.pct_rpeak =
       100.0 * row.pflops * 1e3 / (machine.unit_rpeak_tflops * units);
   return row;
+}
+
+// ---------------------------------------------------------------------------
+// Measured host peak
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One batch of independent multiply-add chains: kLanes accumulators x
+/// \p iters fused multiply-adds each. The lane loop has no cross-lane
+/// dependency, so the compiler vectorizes it at whatever SIMD width the
+/// build targets — the same ceiling the la kernels compile against — while
+/// the per-lane carry across iterations keeps it from collapsing the loop.
+constexpr int kPeakLanes = 64;
+
+double fma_batch(std::int64_t iters, double seed) {
+  double acc[kPeakLanes];
+  for (int l = 0; l < kPeakLanes; ++l) acc[l] = seed + 0.01 * l;
+  const double m = 1.0 + 1e-9, c = 1e-9;
+  for (std::int64_t i = 0; i < iters; ++i)
+    for (int l = 0; l < kPeakLanes; ++l) acc[l] = acc[l] * m + c;
+  double sum = 0.0;
+  for (int l = 0; l < kPeakLanes; ++l) sum += acc[l];
+  return sum;
+}
+
+HostPeak measure_host_peak_impl() {
+  HostPeak peak;
+  Stopwatch total;
+  // Calibrate the batch size to ~2 ms, then take the best of 5 timed runs
+  // (best-of filters scheduler noise; the peak is a ceiling, not a mean).
+  std::int64_t iters = 1 << 16;
+  volatile double sink = 0.0;
+  for (;;) {
+    Stopwatch sw;
+    sink = sink + fma_batch(iters, 1.0);
+    const double s = sw.seconds();
+    if (s >= 2e-3 || iters >= (std::int64_t{1} << 26)) break;
+    iters *= 2;
+  }
+  double best = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    Stopwatch sw;
+    sink = sink + fma_batch(iters, 1.0 + rep);
+    const double s = sw.seconds();
+    // kPeakLanes chains x (1 mul + 1 add) per iteration.
+    const double gflops =
+        2.0 * kPeakLanes * static_cast<double>(iters) / s / 1e9;
+    if (gflops > best) best = gflops;
+  }
+  peak.fma_gflops = best;
+  peak.measure_seconds = total.seconds();
+  return peak;
+}
+
+}  // namespace
+
+const HostPeak& measure_host_peak() {
+  static const HostPeak peak = measure_host_peak_impl();
+  return peak;
+}
+
+double achieved_gflops(double flops, double seconds) {
+  return seconds > 0.0 ? flops / seconds / 1e9 : 0.0;
+}
+
+double pct_of_host_peak(double gflops) {
+  const double peak = measure_host_peak().fma_gflops;
+  return peak > 0.0 ? 100.0 * gflops / peak : 0.0;
 }
 
 }  // namespace qtx::core

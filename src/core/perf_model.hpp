@@ -106,4 +106,31 @@ FullScaleRow project_full_scale(const MachineSpec& machine,
                                 int nodes, int total_energies,
                                 const ScalingConfig& cfg);
 
+// ---------------------------------------------------------------------------
+// Measured host peak — the denominator of "achieved GFLOP/s vs peak"
+// ---------------------------------------------------------------------------
+
+/// Single-core FP64 peak of the *host this process runs on*, measured (not
+/// read from a spec sheet) so the kernel-efficiency numbers emitted into
+/// BENCH_table4_kernels.json and results.json are comparable across hosts.
+struct HostPeak {
+  /// Sustained GFLOP/s of a register-resident FMA chain on one core. This
+  /// is the practical single-thread ceiling the la backends are scored
+  /// against; 0 only if measurement failed.
+  double fma_gflops = 0.0;
+  double measure_seconds = 0.0;  ///< wall time spent measuring
+};
+
+/// Measure (once) and cache the host peak for this process. The microkernel
+/// runs ~10 ms of independent FMA chains on one thread; repeated calls
+/// return the cached result, so result writers can stamp it for free.
+const HostPeak& measure_host_peak();
+
+/// Achieved GFLOP/s of a kernel that executed \p flops in \p seconds.
+double achieved_gflops(double flops, double seconds);
+
+/// \p gflops as a percentage of the measured host FMA peak (0 if the peak
+/// measurement failed).
+double pct_of_host_peak(double gflops);
+
 }  // namespace qtx::core

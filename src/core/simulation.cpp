@@ -64,6 +64,11 @@ Simulation::Simulation(const device::Structure& structure,
       pipeline_(acquire_pipeline(std::move(pipeline), opt_, registry)),
       mixer_(registry.make_mixer(opt_.resolved_mixer(), opt_)),
       monitor_(opt_.divergence_factor) {
+  // Dense-kernel backend: installed process-globally because the la kernels
+  // are invoked deep inside the RGF/OBC layers with no options context. The
+  // most recently constructed Simulation's choice wins (see options.hpp).
+  la::set_active_backend(std::shared_ptr<const la::Backend>(
+      registry.make_la(opt_.resolved_la_backend(), opt_)));
   for (const std::string& key : opt_.resolved_channels())
     channels_.push_back(registry.make_channel(key, opt_, layout_));
   for (const auto& ch : channels_)
@@ -490,6 +495,11 @@ SimulationBuilder& SimulationBuilder::obc_backend(std::string key) {
 
 SimulationBuilder& SimulationBuilder::greens_backend(std::string key) {
   opt_.greens_backend = std::move(key);
+  return *this;
+}
+
+SimulationBuilder& SimulationBuilder::la_backend(std::string key) {
+  opt_.la_backend = std::move(key);
   return *this;
 }
 

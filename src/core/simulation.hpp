@@ -342,6 +342,9 @@ class SimulationBuilder {
   SimulationBuilder& obc_backend(std::string key);
   /// Green's-function backend by key ("rgf", "nested-dissection").
   SimulationBuilder& greens_backend(std::string key);
+  /// Dense linear-algebra backend by key ("reference", "native", "blas").
+  /// Installed process-globally at construction; see options.hpp.
+  SimulationBuilder& la_backend(std::string key);
   /// Select "nested-dissection" with P_S = \p partitions (paper §5.4).
   SimulationBuilder& nested_dissection(int partitions, int threads = 1);
   /// Replace the self-energy channel list (keys compose additively).

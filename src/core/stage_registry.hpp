@@ -11,12 +11,14 @@
 ///   - SelfEnergyChannel:  "gw", "fock", "ephonon"
 ///   - accel::Mixer:       "linear", "anderson", "adaptive" (src/accel)
 ///   - EnergyLoopExecutor: "sequential", "omp" (work-stealing thread pool)
+///   - la::Backend:        "reference", "native", and "blas" when compiled
+///                         against CBLAS/LAPACKE (src/la/backend.hpp)
 ///
 /// Unknown keys fail fast with the list of known keys. New backends
 /// register with `register_obc` / `register_greens` / `register_channel` /
-/// `register_mixer` / `register_executor` on a local registry (or on
-/// `global()` for process-wide availability) — no recompilation of the
-/// driver required.
+/// `register_mixer` / `register_executor` / `register_la` on a local
+/// registry (or on `global()` for process-wide availability) — no
+/// recompilation of the driver required.
 
 #include <functional>
 #include <map>
@@ -27,6 +29,7 @@
 #include "accel/mixer.hpp"
 #include "core/options.hpp"
 #include "core/stages.hpp"
+#include "la/backend.hpp"
 
 namespace qtx::core {
 
@@ -34,7 +37,8 @@ namespace qtx::core {
 /// the stage kind ("obc", "greens", "channel", "mixer", "executor"), the
 /// registry key, and a one-line human-readable description.
 struct BackendDescription {
-  std::string kind;  ///< "obc", "greens", "channel", "mixer", or "executor"
+  /// "obc", "greens", "channel", "mixer", "executor", or "la".
+  std::string kind;
   std::string key;          ///< registry key, e.g. "memoized"
   std::string description;  ///< one-line human-readable summary
 };
@@ -59,6 +63,9 @@ class StageRegistry {
   /// Factory signature for self-consistency mixers (src/accel).
   using MixerFactory =
       std::function<std::unique_ptr<accel::Mixer>(const SimulationOptions&)>;
+  /// Factory signature for dense linear-algebra kernel backends (src/la).
+  using LaFactory =
+      std::function<std::unique_ptr<la::Backend>(const SimulationOptions&)>;
 
   /// Empty registry (no backends). Most callers want `with_builtins()`.
   StageRegistry() = default;
@@ -84,6 +91,8 @@ class StageRegistry {
                          std::string description = "");
   void register_mixer(const std::string& key, MixerFactory factory,
                       std::string description = "");
+  void register_la(const std::string& key, LaFactory factory,
+                   std::string description = "");
 
   /// Instantiate a backend; throws with the known-key list on unknown keys.
   std::unique_ptr<ObcSolver> make_obc(const std::string& key,
@@ -97,6 +106,8 @@ class StageRegistry {
       const std::string& key, const SimulationOptions& opt) const;
   std::unique_ptr<accel::Mixer> make_mixer(const std::string& key,
                                            const SimulationOptions& opt) const;
+  std::unique_ptr<la::Backend> make_la(const std::string& key,
+                                       const SimulationOptions& opt) const;
 
   /// Registered keys, sorted (for docs, error messages, and tests).
   std::vector<std::string> obc_keys() const;
@@ -104,9 +115,11 @@ class StageRegistry {
   std::vector<std::string> channel_keys() const;
   std::vector<std::string> executor_keys() const;
   std::vector<std::string> mixer_keys() const;
+  std::vector<std::string> la_keys() const;
 
   /// Every registered backend with its kind, key, and one-line description,
-  /// ordered by kind (obc, greens, channel, mixer, executor) then key. This
+  /// ordered by kind (obc, greens, channel, mixer, executor, la) then key.
+  /// This
   /// is the single generated source of the backend table:
   /// `qtx list-backends` prints it, and a test asserts every key appears in
   /// docs/userguide.md.
@@ -125,6 +138,7 @@ class StageRegistry {
   std::map<std::string, Entry<ChannelFactory>> channels_;
   std::map<std::string, Entry<ExecutorFactory>> executors_;
   std::map<std::string, Entry<MixerFactory>> mixers_;
+  std::map<std::string, Entry<LaFactory>> la_;
 };
 
 }  // namespace qtx::core

@@ -325,6 +325,12 @@ void StageRegistry::register_mixer(const std::string& key,
   mixers_[key] = {std::move(factory), std::move(description)};
 }
 
+void StageRegistry::register_la(const std::string& key, LaFactory factory,
+                                std::string description) {
+  check_key(key);
+  la_[key] = {std::move(factory), std::move(description)};
+}
+
 std::unique_ptr<ObcSolver> StageRegistry::make_obc(
     const std::string& key, const SimulationOptions& opt) const {
   const auto it = obc_.find(key);
@@ -384,14 +390,27 @@ std::vector<std::string> StageRegistry::executor_keys() const {
   return sorted_keys(executors_);
 }
 
+std::unique_ptr<la::Backend> StageRegistry::make_la(
+    const std::string& key, const SimulationOptions& opt) const {
+  const auto it = la_.find(key);
+  QTX_CHECK_MSG(it != la_.end(), "unknown linear-algebra backend \""
+                                     << key << "\"; registered keys: "
+                                     << key_list(la_));
+  return it->second.factory(opt);
+}
+
 std::vector<std::string> StageRegistry::mixer_keys() const {
   return sorted_keys(mixers_);
+}
+
+std::vector<std::string> StageRegistry::la_keys() const {
+  return sorted_keys(la_);
 }
 
 std::vector<BackendDescription> StageRegistry::describe() const {
   std::vector<BackendDescription> out;
   out.reserve(obc_.size() + greens_.size() + channels_.size() +
-              mixers_.size() + executors_.size());
+              mixers_.size() + executors_.size() + la_.size());
   for (const auto& [k, e] : obc_) out.push_back({"obc", k, e.description});
   for (const auto& [k, e] : greens_)
     out.push_back({"greens", k, e.description});
@@ -401,6 +420,7 @@ std::vector<BackendDescription> StageRegistry::describe() const {
     out.push_back({"mixer", k, e.description});
   for (const auto& [k, e] : executors_)
     out.push_back({"executor", k, e.description});
+  for (const auto& [k, e] : la_) out.push_back({"la", k, e.description});
   return out;  // std::map iterates sorted within each kind
 }
 
@@ -500,6 +520,23 @@ StageRegistry StageRegistry::with_builtins() {
       },
       "fork-join energy batches over the work-stealing thread pool "
       "(num_threads workers)");
+  reg.register_la(
+      "reference",
+      [](const SimulationOptions&) { return la::make_reference_backend(); },
+      "portable unit-stride oracle loops for gemm/LU; golden files are "
+      "pinned to this path; the default");
+  reg.register_la(
+      "native",
+      [](const SimulationOptions&) { return la::make_native_backend(); },
+      "cache-blocked split-complex gemm/LU kernels, same pivoting as "
+      "reference; validated by the la-backend equivalence suite");
+  if (la::blas_backend_available()) {
+    reg.register_la(
+        "blas",
+        [](const SimulationOptions&) { return la::make_blas_backend(); },
+        "system CBLAS/LAPACKE bindings (zgemm/zgetrf/zgetrs); available "
+        "because the build found cblas.h and lapacke.h");
+  }
   return reg;
 }
 

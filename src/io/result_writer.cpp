@@ -361,6 +361,35 @@ std::string write_result_json(const std::string& directory,
     j.kv(kernel, sec);
   j.end_object();
 
+  // Achieved GFLOP/s per kernel against the measured host peak; present
+  // only when run_scenario measured one (see ScenarioResults).
+  if (results.host_peak_gflops > 0.0) {
+    j.key("performance");
+    j.begin_object();
+    j.kv("host_peak_gflops", results.host_peak_gflops);
+    j.kv("la_backend", resolved.resolved_la_backend());
+    j.key("kernels");
+    j.begin_object();
+    for (const auto& [kernel, sec] : results.result.kernel_seconds) {
+      const auto it = results.result.kernel_flops.find(kernel);
+      const double flops =
+          (it == results.result.kernel_flops.end())
+              ? 0.0
+              : static_cast<double>(it->second);
+      const double gflops = (sec > 0.0) ? flops / sec / 1e9 : 0.0;
+      j.key(kernel);
+      j.begin_object();
+      j.kv("seconds", sec);
+      j.kv("flops", flops);
+      j.kv("gflops", gflops);
+      j.kv("pct_of_host_peak",
+           100.0 * gflops / results.host_peak_gflops);
+      j.end_object();
+    }
+    j.end_object();
+    j.end_object();
+  }
+
   j.end_object();
   out << "\n";
   return path;

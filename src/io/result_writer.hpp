@@ -97,6 +97,12 @@ struct ScenarioResults {
   std::vector<double> current_right;  ///< spectral current i_R(E)
   double terminal_left = 0.0;
   double terminal_right = 0.0;
+  /// Measured single-core FP64 FMA peak of the host (GFLOP/s), from
+  /// core::measure_host_peak(); run_scenario stamps it. When nonzero,
+  /// results.json gains a "performance" section scoring each kernel's
+  /// achieved GFLOP/s against it. 0 (the default) omits the section — the
+  /// append-only policy that keeps pre-existing golden files byte-exact.
+  double host_peak_gflops = 0.0;
 };
 
 /// Write the CSV set into \p directory (transmission.csv, dos.csv,

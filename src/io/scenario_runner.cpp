@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/strings.hpp"
+#include "core/perf_model.hpp"
 
 namespace qtx::io {
 namespace {
@@ -66,6 +67,9 @@ RunOutcome run_scenario(const Scenario& s,
   out.results.current_right = core::spectral_current_right(sim);
   out.results.terminal_left = core::terminal_current_left(sim);
   out.results.terminal_right = core::terminal_current_right(sim);
+  // Score the kernels against the measured (process-cached) host peak so
+  // results.json carries achieved GFLOP/s vs peak for every run.
+  out.results.host_peak_gflops = core::measure_host_peak().fma_gflops;
 
   if (!s.output.directory.empty()) {
     ensure_directory(s.output.directory);

@@ -1,0 +1,85 @@
+#include "la/backend.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+namespace qtx::la {
+namespace {
+
+std::mutex g_backend_mutex;
+
+/// Backends ever installed, retained for the process lifetime so the
+/// lock-free readers of g_active can never observe a destroyed instance.
+std::vector<std::shared_ptr<const Backend>>& retained() {
+  static std::vector<std::shared_ptr<const Backend>> r;
+  return r;
+}
+
+const Backend* reference_singleton() {
+  static const std::unique_ptr<Backend> ref = make_reference_backend();
+  return ref.get();
+}
+
+std::atomic<const Backend*>& active_slot() {
+  static std::atomic<const Backend*> slot{nullptr};
+  return slot;
+}
+
+}  // namespace
+
+std::vector<std::string> builtin_backend_names() {
+  std::vector<std::string> names = {"native", "reference"};
+  if (blas_backend_available()) names.insert(names.begin(), "blas");
+  return names;  // sorted
+}
+
+std::unique_ptr<Backend> make_builtin_backend(const std::string& name) {
+  if (name == "reference") return make_reference_backend();
+  if (name == "native") return make_native_backend();
+  if (name == "blas" && blas_backend_available()) return make_blas_backend();
+  std::ostringstream os;
+  os << "unknown la backend \"" << name << "\"; builtin keys:";
+  for (const std::string& k : builtin_backend_names()) os << " \"" << k << '"';
+  if (name == "blas")
+    os << " (\"blas\" exists but this build found no CBLAS/LAPACKE)";
+  throw std::runtime_error(os.str());
+}
+
+const Backend& active_backend() {
+  const Backend* b = active_slot().load(std::memory_order_acquire);
+  return b ? *b : *reference_singleton();
+}
+
+std::string active_backend_name() {
+  return std::string(active_backend().name());
+}
+
+void set_active_backend(std::shared_ptr<const Backend> backend) {
+  std::lock_guard<std::mutex> lock(g_backend_mutex);
+  const Backend* raw = backend ? backend.get() : reference_singleton();
+  if (backend) retained().push_back(std::move(backend));
+  active_slot().store(raw, std::memory_order_release);
+}
+
+void set_active_backend(const std::string& name) {
+  if (name == "reference") {
+    // Use the shared singleton instead of piling up retained instances on
+    // the common restore-the-default path.
+    std::lock_guard<std::mutex> lock(g_backend_mutex);
+    active_slot().store(reference_singleton(), std::memory_order_release);
+    return;
+  }
+  set_active_backend(
+      std::shared_ptr<const Backend>(make_builtin_backend(name)));
+}
+
+BackendGuard::BackendGuard(const std::string& name)
+    : previous_(active_backend_name()) {
+  set_active_backend(name);
+}
+
+BackendGuard::~BackendGuard() { set_active_backend(previous_); }
+
+}  // namespace qtx::la

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file backend.hpp
+/// Pluggable dense-kernel backends for the `la` layer.
+///
+/// The free functions `la::gemm` / `la::lu_factor` / `la::lu_solve` /
+/// `la::lu_solve_right` stay the public kernel API, but their O(n^3) bodies
+/// dispatch through a process-global *active backend*:
+///
+///   - "reference": the original portable unit-stride loops — the oracle
+///     every other backend is checked against; all golden files are pinned
+///     to this path (the default).
+///   - "native":    cache-blocked, split real/imaginary arithmetic (avoids
+///     the __muldc3 slow path of std::complex multiplies) with
+///     small-matrix fast paths.
+///   - "blas":      system CBLAS/LAPACKE bindings, compiled in only when
+///     CMake finds the headers and libraries (QTX_HAVE_CBLAS).
+///
+/// The dispatcher — not the backend — owns shape checks, aliasing checks,
+/// beta pre-scaling, and FlopLedger accounting, so every backend is counted
+/// and validated identically and a backend body only ever *accumulates*
+/// into c.
+///
+/// The active backend is process-global because the kernels are invoked
+/// deep inside the RGF/OBC/bsparse layers with no options context. It is
+/// stored behind an atomic pointer (safe to read from concurrent energy
+/// workers); installing a backend retains it for the process lifetime, so a
+/// stale reader can never observe a destroyed backend. Running two
+/// Simulations with *different* la backends concurrently in one process is
+/// not supported — the most recently installed backend wins.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "la/gemm.hpp"
+#include "la/lu.hpp"
+#include "la/matrix.hpp"
+
+namespace qtx::la {
+
+/// Abstract dense-kernel backend. Implementations must be stateless (or
+/// internally synchronized): one instance serves every thread of the
+/// parallel energy loop.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Registry key of this backend ("reference", "native", "blas", ...).
+  virtual std::string_view name() const = 0;
+
+  /// C += alpha * op(A) * op(B). The dispatcher has already validated the
+  /// shapes, rejected aliasing, applied beta to c, and charged the
+  /// FlopLedger.
+  virtual void gemm_accumulate(cplx alpha, const Matrix& a, Op opa,
+                               const Matrix& b, Op opb, Matrix& c) const = 0;
+
+  /// P·A = L·U with partial pivoting. Must follow the LuFactors
+  /// conventions of lu.hpp exactly (0-based piv, "row k swapped with
+  /// piv[k] at step k", singular flag with the elimination step skipped on
+  /// a zero pivot) so factors interoperate across backends.
+  virtual LuFactors lu_factor(const Matrix& a) const = 0;
+
+  /// Solve A X = B from factors of A (the dispatcher rejects singular f).
+  virtual Matrix lu_solve(const LuFactors& f, const Matrix& b) const = 0;
+
+  /// Solve X A = B from factors of A.
+  virtual Matrix lu_solve_right(const LuFactors& f, const Matrix& b) const = 0;
+};
+
+/// The portable oracle backend (the historic loops, unchanged).
+std::unique_ptr<Backend> make_reference_backend();
+
+/// Cache-blocked split-complex backend.
+std::unique_ptr<Backend> make_native_backend();
+
+/// CBLAS/LAPACKE backend; returns nullptr when compiled without
+/// QTX_HAVE_CBLAS (use blas_backend_available() to probe).
+std::unique_ptr<Backend> make_blas_backend();
+
+/// Was the "blas" backend compiled in (CMake found CBLAS + LAPACKE)?
+bool blas_backend_available();
+
+/// Keys of the builtin backends available in this build, sorted
+/// ("blas" only when compiled in).
+std::vector<std::string> builtin_backend_names();
+
+/// Instantiate a builtin by key; throws std::runtime_error with the known
+/// keys on an unknown (or unavailable) key.
+std::unique_ptr<Backend> make_builtin_backend(const std::string& name);
+
+/// The backend the free kernel functions currently dispatch through.
+/// Defaults to "reference"; never null.
+const Backend& active_backend();
+
+/// Key of the active backend (for logs and benches).
+std::string active_backend_name();
+
+/// Install \p backend as the process-global active backend. The instance
+/// is retained for the process lifetime (see the file comment); passing
+/// nullptr restores "reference".
+void set_active_backend(std::shared_ptr<const Backend> backend);
+
+/// Convenience: install a builtin by key (throws on unknown keys).
+void set_active_backend(const std::string& name);
+
+/// RAII guard: installs \p name on construction, restores the previously
+/// active backend on destruction. For tests and benches that compare
+/// backends without leaking the selection into later tests.
+class BackendGuard {
+ public:
+  explicit BackendGuard(const std::string& name);
+  ~BackendGuard();
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+}  // namespace qtx::la

@@ -1,0 +1,109 @@
+// The optional "blas" backend: bindings to system CBLAS/LAPACKE, compiled
+// in only when CMake finds both (QTX_HAVE_CBLAS). On builds without them
+// this translation unit degrades to the two availability stubs, keeping
+// the la layer free of any *hard* BLAS/LAPACK dependency (CONTRIBUTING).
+
+#include "la/backend.hpp"
+
+#ifdef QTX_HAVE_CBLAS
+
+#include <cblas.h>
+#include <lapacke.h>
+
+namespace qtx::la {
+namespace {
+
+/// LAPACK ipiv is 1-based with the same "row i swapped with ipiv[i] at
+/// step i" convention as LuFactors::piv; shift on the way in/out.
+std::vector<lapack_int> to_lapack_piv(const std::vector<int>& piv) {
+  std::vector<lapack_int> out(piv.size());
+  for (std::size_t i = 0; i < piv.size(); ++i)
+    out[i] = static_cast<lapack_int>(piv[i] + 1);
+  return out;
+}
+
+/// Plain (non-conjugating) transpose, for routing X A = B through
+/// zgetrs('T'): A^T X^T = B^T.
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (int j = 0; j < a.cols(); ++j)
+    for (int i = 0; i < a.rows(); ++i) t(j, i) = a(i, j);
+  return t;
+}
+
+class BlasBackend final : public Backend {
+ public:
+  std::string_view name() const override { return "blas"; }
+
+  void gemm_accumulate(cplx alpha, const Matrix& a, Op opa, const Matrix& b,
+                       Op opb, Matrix& c) const override {
+    const int m = c.rows(), n = c.cols();
+    const int k = (opa == Op::kNone) ? a.cols() : a.rows();
+    if (m == 0 || n == 0) return;
+    const cplx beta(1.0);  // the dispatcher already applied the real beta
+    cblas_zgemm(CblasColMajor,
+                opa == Op::kNone ? CblasNoTrans : CblasConjTrans,
+                opb == Op::kNone ? CblasNoTrans : CblasConjTrans, m, n, k,
+                &alpha, a.data(), a.rows() > 0 ? a.rows() : 1, b.data(),
+                b.rows() > 0 ? b.rows() : 1, &beta, c.data(), m);
+  }
+
+  LuFactors lu_factor(const Matrix& a) const override {
+    const int n = a.rows();
+    LuFactors f{a, std::vector<int>(n), false};
+    std::vector<lapack_int> ipiv(n);
+    const lapack_int info = LAPACKE_zgetrf(
+        LAPACK_COL_MAJOR, n, n,
+        reinterpret_cast<lapack_complex_double*>(f.lu.data()), n > 0 ? n : 1,
+        ipiv.data());
+    f.singular = info > 0;
+    for (int i = 0; i < n; ++i) f.piv[i] = static_cast<int>(ipiv[i]) - 1;
+    return f;
+  }
+
+  Matrix lu_solve(const LuFactors& f, const Matrix& b) const override {
+    const int n = f.lu.rows();
+    Matrix x = b;
+    std::vector<lapack_int> ipiv = to_lapack_piv(f.piv);
+    LAPACKE_zgetrs(
+        LAPACK_COL_MAJOR, 'N', n, x.cols(),
+        reinterpret_cast<const lapack_complex_double*>(f.lu.data()),
+        n > 0 ? n : 1, ipiv.data(),
+        reinterpret_cast<lapack_complex_double*>(x.data()), n > 0 ? n : 1);
+    return x;
+  }
+
+  Matrix lu_solve_right(const LuFactors& f, const Matrix& b) const override {
+    const int n = f.lu.rows();
+    Matrix xt = transpose(b);  // A^T X^T = B^T
+    std::vector<lapack_int> ipiv = to_lapack_piv(f.piv);
+    LAPACKE_zgetrs(
+        LAPACK_COL_MAJOR, 'T', n, xt.cols(),
+        reinterpret_cast<const lapack_complex_double*>(f.lu.data()),
+        n > 0 ? n : 1, ipiv.data(),
+        reinterpret_cast<lapack_complex_double*>(xt.data()), n > 0 ? n : 1);
+    return transpose(xt);
+  }
+};
+
+}  // namespace
+
+bool blas_backend_available() { return true; }
+
+std::unique_ptr<Backend> make_blas_backend() {
+  return std::make_unique<BlasBackend>();
+}
+
+}  // namespace qtx::la
+
+#else  // !QTX_HAVE_CBLAS
+
+namespace qtx::la {
+
+bool blas_backend_available() { return false; }
+
+std::unique_ptr<Backend> make_blas_backend() { return nullptr; }
+
+}  // namespace qtx::la
+
+#endif

@@ -1,0 +1,208 @@
+// The "reference" backend: the original portable loops of gemm.cpp/lu.cpp,
+// moved here verbatim. This is the oracle every optimized backend is
+// checked against (tests/test_la_backends.cpp) and the path all golden
+// files are pinned to — do not "optimize" it; change the numerics only
+// with a golden regeneration.
+
+#include <cmath>
+
+#include "la/backend.hpp"
+
+namespace qtx::la {
+namespace {
+
+/// C += alpha * A * B, column-major, jki order: the inner loop is a
+/// unit-stride complex axpy over a column of A into a column of C.
+void gemm_nn(cplx alpha, const Matrix& a, const Matrix& b, Matrix& c) {
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int j = 0; j < n; ++j) {
+    cplx* cj = c.col(j);
+    const cplx* bj = b.col(j);
+    for (int l = 0; l < k; ++l) {
+      const cplx w = alpha * bj[l];
+      if (w == cplx(0.0)) continue;
+      const cplx* al = a.col(l);
+      for (int i = 0; i < m; ++i) cj[i] += w * al[i];
+    }
+  }
+}
+
+/// C += alpha * A† * B: inner loop is a unit-stride dot product of two
+/// columns.
+void gemm_cn(cplx alpha, const Matrix& a, const Matrix& b, Matrix& c) {
+  const int m = a.cols(), k = a.rows(), n = b.cols();
+  for (int j = 0; j < n; ++j) {
+    cplx* cj = c.col(j);
+    const cplx* bj = b.col(j);
+    for (int i = 0; i < m; ++i) {
+      const cplx* ai = a.col(i);
+      cplx s = 0.0;
+      for (int l = 0; l < k; ++l) s += std::conj(ai[l]) * bj[l];
+      cj[i] += alpha * s;
+    }
+  }
+}
+
+/// C += alpha * A * B†: axpy of column l of A scaled by conj(B(j,l)).
+void gemm_nc(cplx alpha, const Matrix& a, const Matrix& b, Matrix& c) {
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  for (int j = 0; j < n; ++j) {
+    cplx* cj = c.col(j);
+    for (int l = 0; l < k; ++l) {
+      const cplx w = alpha * std::conj(b(j, l));
+      if (w == cplx(0.0)) continue;
+      const cplx* al = a.col(l);
+      for (int i = 0; i < m; ++i) cj[i] += w * al[i];
+    }
+  }
+}
+
+/// C += alpha * A† * B†: dot of column i of A with row j of B.
+void gemm_cc(cplx alpha, const Matrix& a, const Matrix& b, Matrix& c) {
+  const int m = a.cols(), k = a.rows(), n = b.rows();
+  for (int j = 0; j < n; ++j) {
+    cplx* cj = c.col(j);
+    for (int i = 0; i < m; ++i) {
+      const cplx* ai = a.col(i);
+      cplx s = 0.0;
+      for (int l = 0; l < k; ++l) s += std::conj(ai[l]) * std::conj(b(j, l));
+      cj[i] += alpha * s;
+    }
+  }
+}
+
+class ReferenceBackend final : public Backend {
+ public:
+  std::string_view name() const override { return "reference"; }
+
+  void gemm_accumulate(cplx alpha, const Matrix& a, Op opa, const Matrix& b,
+                       Op opb, Matrix& c) const override {
+    if (opa == Op::kNone && opb == Op::kNone) {
+      gemm_nn(alpha, a, b, c);
+    } else if (opa == Op::kConjTrans && opb == Op::kNone) {
+      gemm_cn(alpha, a, b, c);
+    } else if (opa == Op::kNone && opb == Op::kConjTrans) {
+      gemm_nc(alpha, a, b, c);
+    } else {
+      gemm_cc(alpha, a, b, c);
+    }
+  }
+
+  LuFactors lu_factor(const Matrix& a) const override {
+    const int n = a.rows();
+    LuFactors f{a, std::vector<int>(n), false};
+    Matrix& m = f.lu;
+    for (int k = 0; k < n; ++k) {
+      // Partial pivoting: largest magnitude in column k at/below the
+      // diagonal.
+      int p = k;
+      double best = std::abs(m(k, k));
+      for (int i = k + 1; i < n; ++i) {
+        const double v = std::abs(m(i, k));
+        if (v > best) {
+          best = v;
+          p = i;
+        }
+      }
+      f.piv[k] = p;
+      if (best == 0.0) {
+        f.singular = true;
+        continue;
+      }
+      if (p != k)
+        for (int j = 0; j < n; ++j) std::swap(m(k, j), m(p, j));
+      const cplx inv_piv = 1.0 / m(k, k);
+      for (int i = k + 1; i < n; ++i) m(i, k) *= inv_piv;
+      for (int j = k + 1; j < n; ++j) {
+        const cplx ukj = m(k, j);
+        if (ukj == cplx(0.0)) continue;
+        cplx* mj = m.col(j);
+        const cplx* mk = m.col(k);
+        for (int i = k + 1; i < n; ++i) mj[i] -= mk[i] * ukj;
+      }
+    }
+    return f;
+  }
+
+  Matrix lu_solve(const LuFactors& f, const Matrix& b) const override {
+    const int n = f.lu.rows();
+    const int nrhs = b.cols();
+    Matrix x = b;
+    // Apply the recorded row swaps.
+    for (int k = 0; k < n; ++k) {
+      const int p = f.piv[k];
+      if (p != k)
+        for (int j = 0; j < nrhs; ++j) std::swap(x(k, j), x(p, j));
+    }
+    // Forward substitution with unit lower-triangular L.
+    for (int j = 0; j < nrhs; ++j) {
+      cplx* xj = x.col(j);
+      for (int k = 0; k < n; ++k) {
+        const cplx xk = xj[k];
+        if (xk == cplx(0.0)) continue;
+        const cplx* lk = f.lu.col(k);
+        for (int i = k + 1; i < n; ++i) xj[i] -= lk[i] * xk;
+      }
+    }
+    // Back substitution with U.
+    for (int j = 0; j < nrhs; ++j) {
+      cplx* xj = x.col(j);
+      for (int k = n - 1; k >= 0; --k) {
+        xj[k] /= f.lu(k, k);
+        const cplx xk = xj[k];
+        if (xk == cplx(0.0)) continue;
+        const cplx* uk = f.lu.col(k);
+        for (int i = 0; i < k; ++i) xj[i] -= uk[i] * xk;
+      }
+    }
+    return x;
+  }
+
+  Matrix lu_solve_right(const LuFactors& f, const Matrix& b) const override {
+    // X A = B with P A = L U means X = ((B U^-1) L^-1) P, evaluated as two
+    // triangular sweeps over columns followed by the column permutation.
+    const int n = f.lu.rows();
+    const int nlhs = b.rows();
+    Matrix x = b;
+    // Solve X' U = B  (forward over columns k): X'(:,k) = (B(:,k) -
+    // sum_{j<k} X'(:,j) U(j,k)) / U(k,k).
+    for (int k = 0; k < n; ++k) {
+      const cplx* uk = f.lu.col(k);
+      cplx* xk = x.col(k);
+      for (int j = 0; j < k; ++j) {
+        const cplx ujk = uk[j];
+        if (ujk == cplx(0.0)) continue;
+        const cplx* xj = x.col(j);
+        for (int i = 0; i < nlhs; ++i) xk[i] -= xj[i] * ujk;
+      }
+      const cplx inv = 1.0 / uk[k];
+      for (int i = 0; i < nlhs; ++i) xk[i] *= inv;
+    }
+    // Solve X'' L = X' (backward over columns k, unit diagonal).
+    for (int k = n - 1; k >= 0; --k) {
+      cplx* xk = x.col(k);
+      for (int j = k + 1; j < n; ++j) {
+        const cplx ljk = f.lu(j, k);
+        if (ljk == cplx(0.0)) continue;
+        const cplx* xj = x.col(j);
+        for (int i = 0; i < nlhs; ++i) xk[i] -= xj[i] * ljk;
+      }
+    }
+    // Undo the row permutation: columns of X were computed in pivoted
+    // order.
+    for (int k = n - 1; k >= 0; --k) {
+      const int p = f.piv[k];
+      if (p != k)
+        for (int i = 0; i < nlhs; ++i) std::swap(x(i, k), x(i, p));
+    }
+    return x;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_reference_backend() {
+  return std::make_unique<ReferenceBackend>();
+}
+
+}  // namespace qtx::la

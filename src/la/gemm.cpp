@@ -1,71 +1,9 @@
 #include "la/gemm.hpp"
 
 #include "common/flops.hpp"
+#include "la/backend.hpp"
 
 namespace qtx::la {
-namespace {
-
-/// C += alpha * A * B, column-major, jki order: the inner loop is a
-/// unit-stride complex axpy over a column of A into a column of C.
-void gemm_nn(cplx alpha, const Matrix& a, const Matrix& b, Matrix& c) {
-  const int m = a.rows(), k = a.cols(), n = b.cols();
-  for (int j = 0; j < n; ++j) {
-    cplx* cj = c.col(j);
-    const cplx* bj = b.col(j);
-    for (int l = 0; l < k; ++l) {
-      const cplx w = alpha * bj[l];
-      if (w == cplx(0.0)) continue;
-      const cplx* al = a.col(l);
-      for (int i = 0; i < m; ++i) cj[i] += w * al[i];
-    }
-  }
-}
-
-/// C += alpha * A† * B: inner loop is a unit-stride dot product of two
-/// columns.
-void gemm_cn(cplx alpha, const Matrix& a, const Matrix& b, Matrix& c) {
-  const int m = a.cols(), k = a.rows(), n = b.cols();
-  for (int j = 0; j < n; ++j) {
-    cplx* cj = c.col(j);
-    const cplx* bj = b.col(j);
-    for (int i = 0; i < m; ++i) {
-      const cplx* ai = a.col(i);
-      cplx s = 0.0;
-      for (int l = 0; l < k; ++l) s += std::conj(ai[l]) * bj[l];
-      cj[i] += alpha * s;
-    }
-  }
-}
-
-/// C += alpha * A * B†: axpy of column l of A scaled by conj(B(j,l)).
-void gemm_nc(cplx alpha, const Matrix& a, const Matrix& b, Matrix& c) {
-  const int m = a.rows(), k = a.cols(), n = b.rows();
-  for (int j = 0; j < n; ++j) {
-    cplx* cj = c.col(j);
-    for (int l = 0; l < k; ++l) {
-      const cplx w = alpha * std::conj(b(j, l));
-      if (w == cplx(0.0)) continue;
-      const cplx* al = a.col(l);
-      for (int i = 0; i < m; ++i) cj[i] += w * al[i];
-    }
-  }
-}
-
-/// C += alpha * A† * B†: dot of column i of A with row j of B.
-void gemm_cc(cplx alpha, const Matrix& a, const Matrix& b, Matrix& c) {
-  const int m = a.cols(), k = a.rows(), n = b.rows();
-  for (int j = 0; j < n; ++j) {
-    cplx* cj = c.col(j);
-    for (int i = 0; i < m; ++i) {
-      const cplx* ai = a.col(i);
-      cplx s = 0.0;
-      for (int l = 0; l < k; ++l) s += std::conj(ai[l]) * std::conj(b(j, l));
-      cj[i] += alpha * s;
-    }
-  }
-}
-
-}  // namespace
 
 void gemm(cplx alpha, const Matrix& a, Op opa, const Matrix& b, Op opb,
           cplx beta, Matrix& c) {
@@ -79,21 +17,19 @@ void gemm(cplx alpha, const Matrix& a, Op opa, const Matrix& b, Op opb,
                 "gemm output shape mismatch: got " << c.rows() << "x"
                                                    << c.cols() << ", want "
                                                    << m << "x" << n);
+  // c is scaled/zeroed before a and b are read, so an aliased output would
+  // silently corrupt the product.
+  QTX_CHECK_MSG(&c != &a && &c != &b,
+                "gemm output c must not alias an input operand (c "
+                "is scaled by beta before op(a)*op(b) is read); use a "
+                "temporary");
   if (beta == cplx(0.0)) {
     c.fill(0.0);
   } else if (beta != cplx(1.0)) {
     c *= beta;
   }
   FlopLedger::add(flop_count::gemm(m, n, k));
-  if (opa == Op::kNone && opb == Op::kNone) {
-    gemm_nn(alpha, a, b, c);
-  } else if (opa == Op::kConjTrans && opb == Op::kNone) {
-    gemm_cn(alpha, a, b, c);
-  } else if (opa == Op::kNone && opb == Op::kConjTrans) {
-    gemm_nc(alpha, a, b, c);
-  } else {
-    gemm_cc(alpha, a, b, c);
-  }
+  active_backend().gemm_accumulate(alpha, a, opa, b, opb, c);
 }
 
 Matrix mm(const Matrix& a, const Matrix& b) {

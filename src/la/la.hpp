@@ -3,6 +3,7 @@
 /// \file la.hpp
 /// Umbrella header for the dense linear-algebra substrate.
 
+#include "la/backend.hpp"
 #include "la/eig_herm.hpp"
 #include "la/gemm.hpp"
 #include "la/lu.hpp"

@@ -1,125 +1,30 @@
 #include "la/lu.hpp"
 
-#include <cmath>
-
 #include "common/flops.hpp"
+#include "la/backend.hpp"
 
 namespace qtx::la {
 
 LuFactors lu_factor(const Matrix& a) {
   QTX_CHECK(a.square());
-  const int n = a.rows();
-  LuFactors f{a, std::vector<int>(n), false};
-  Matrix& m = f.lu;
-  FlopLedger::add(flop_count::lu(n));
-  for (int k = 0; k < n; ++k) {
-    // Partial pivoting: largest magnitude in column k at/below the diagonal.
-    int p = k;
-    double best = std::abs(m(k, k));
-    for (int i = k + 1; i < n; ++i) {
-      const double v = std::abs(m(i, k));
-      if (v > best) {
-        best = v;
-        p = i;
-      }
-    }
-    f.piv[k] = p;
-    if (best == 0.0) {
-      f.singular = true;
-      continue;
-    }
-    if (p != k)
-      for (int j = 0; j < n; ++j) std::swap(m(k, j), m(p, j));
-    const cplx inv_piv = 1.0 / m(k, k);
-    for (int i = k + 1; i < n; ++i) m(i, k) *= inv_piv;
-    for (int j = k + 1; j < n; ++j) {
-      const cplx ukj = m(k, j);
-      if (ukj == cplx(0.0)) continue;
-      cplx* mj = m.col(j);
-      const cplx* mk = m.col(k);
-      for (int i = k + 1; i < n; ++i) mj[i] -= mk[i] * ukj;
-    }
-  }
-  return f;
+  FlopLedger::add(flop_count::lu(a.rows()));
+  return active_backend().lu_factor(a);
 }
 
 Matrix lu_solve(const LuFactors& f, const Matrix& b) {
   QTX_CHECK_MSG(!f.singular, "lu_solve on singular factorization");
   const int n = f.lu.rows();
   QTX_CHECK(b.rows() == n);
-  const int nrhs = b.cols();
-  Matrix x = b;
-  FlopLedger::add(flop_count::lu_solve(n, nrhs));
-  // Apply the recorded row swaps.
-  for (int k = 0; k < n; ++k) {
-    const int p = f.piv[k];
-    if (p != k)
-      for (int j = 0; j < nrhs; ++j) std::swap(x(k, j), x(p, j));
-  }
-  // Forward substitution with unit lower-triangular L.
-  for (int j = 0; j < nrhs; ++j) {
-    cplx* xj = x.col(j);
-    for (int k = 0; k < n; ++k) {
-      const cplx xk = xj[k];
-      if (xk == cplx(0.0)) continue;
-      const cplx* lk = f.lu.col(k);
-      for (int i = k + 1; i < n; ++i) xj[i] -= lk[i] * xk;
-    }
-  }
-  // Back substitution with U.
-  for (int j = 0; j < nrhs; ++j) {
-    cplx* xj = x.col(j);
-    for (int k = n - 1; k >= 0; --k) {
-      xj[k] /= f.lu(k, k);
-      const cplx xk = xj[k];
-      if (xk == cplx(0.0)) continue;
-      const cplx* uk = f.lu.col(k);
-      for (int i = 0; i < k; ++i) xj[i] -= uk[i] * xk;
-    }
-  }
-  return x;
+  FlopLedger::add(flop_count::lu_solve(n, b.cols()));
+  return active_backend().lu_solve(f, b);
 }
 
 Matrix lu_solve_right(const LuFactors& f, const Matrix& b) {
-  // X A = B with P A = L U means X = ((B U^-1) L^-1) P, evaluated as two
-  // triangular sweeps over columns followed by the column permutation.
   QTX_CHECK_MSG(!f.singular, "lu_solve_right on singular factorization");
   const int n = f.lu.rows();
   QTX_CHECK(b.cols() == n);
-  const int nlhs = b.rows();
-  Matrix x = b;
-  FlopLedger::add(flop_count::lu_solve(n, nlhs));
-  // Solve X' U = B  (forward over columns k): X'(:,k) = (B(:,k) - sum_{j<k}
-  // X'(:,j) U(j,k)) / U(k,k).
-  for (int k = 0; k < n; ++k) {
-    const cplx* uk = f.lu.col(k);
-    cplx* xk = x.col(k);
-    for (int j = 0; j < k; ++j) {
-      const cplx ujk = uk[j];
-      if (ujk == cplx(0.0)) continue;
-      const cplx* xj = x.col(j);
-      for (int i = 0; i < nlhs; ++i) xk[i] -= xj[i] * ujk;
-    }
-    const cplx inv = 1.0 / uk[k];
-    for (int i = 0; i < nlhs; ++i) xk[i] *= inv;
-  }
-  // Solve X'' L = X' (backward over columns k, unit diagonal).
-  for (int k = n - 1; k >= 0; --k) {
-    cplx* xk = x.col(k);
-    for (int j = k + 1; j < n; ++j) {
-      const cplx ljk = f.lu(j, k);
-      if (ljk == cplx(0.0)) continue;
-      const cplx* xj = x.col(j);
-      for (int i = 0; i < nlhs; ++i) xk[i] -= xj[i] * ljk;
-    }
-  }
-  // Undo the row permutation: columns of X were computed in pivoted order.
-  for (int k = n - 1; k >= 0; --k) {
-    const int p = f.piv[k];
-    if (p != k)
-      for (int i = 0; i < nlhs; ++i) std::swap(x(i, k), x(i, p));
-  }
-  return x;
+  FlopLedger::add(flop_count::lu_solve(n, b.rows()));
+  return active_backend().lu_solve_right(f, b);
 }
 
 Matrix inverse(const Matrix& a) {

@@ -175,7 +175,10 @@ class Matrix {
 
   /// Contiguous sub-matrix copy: rows [r0, r0+nr), cols [c0, c0+nc).
   Matrix block(int r0, int c0, int nr, int nc) const {
-    QTX_CHECK(r0 >= 0 && c0 >= 0 && r0 + nr <= rows_ && c0 + nc <= cols_);
+    // nr/nc checked for sign explicitly: "r0 + nr <= rows_" alone would
+    // admit negative extents.
+    QTX_CHECK(r0 >= 0 && c0 >= 0 && nr >= 0 && nc >= 0 &&
+              r0 + nr <= rows_ && c0 + nc <= cols_);
     Matrix out(nr, nc);
     for (int j = 0; j < nc; ++j)
       for (int i = 0; i < nr; ++i) out(i, j) = (*this)(r0 + i, c0 + j);
@@ -184,7 +187,8 @@ class Matrix {
 
   /// Write \p src into the sub-matrix starting at (r0, c0).
   void set_block(int r0, int c0, const Matrix& src) {
-    QTX_CHECK(r0 + src.rows() <= rows_ && c0 + src.cols() <= cols_);
+    QTX_CHECK(r0 >= 0 && c0 >= 0 && r0 + src.rows() <= rows_ &&
+              c0 + src.cols() <= cols_);
     for (int j = 0; j < src.cols(); ++j)
       for (int i = 0; i < src.rows(); ++i)
         (*this)(r0 + i, c0 + j) = src(i, j);
@@ -192,7 +196,8 @@ class Matrix {
 
   /// Accumulate \p src into the sub-matrix starting at (r0, c0).
   void add_block(int r0, int c0, const Matrix& src, cplx scale = 1.0) {
-    QTX_CHECK(r0 + src.rows() <= rows_ && c0 + src.cols() <= cols_);
+    QTX_CHECK(r0 >= 0 && c0 >= 0 && r0 + src.rows() <= rows_ &&
+              c0 + src.cols() <= cols_);
     for (int j = 0; j < src.cols(); ++j)
       for (int i = 0; i < src.rows(); ++i)
         (*this)(r0 + i, c0 + j) += scale * src(i, j);

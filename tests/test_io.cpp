@@ -752,6 +752,35 @@ TEST(QtxCli, RunReproducesTheGoldenTransmissionBitIdentically) {
   EXPECT_TRUE(fs::exists(out_dir + "/trace.csv"));
 }
 
+TEST(QtxCli, NativeLaBackendMatchesTheGoldenTransmissionNumerically) {
+  // The native split-complex kernels reassociate complex arithmetic, so
+  // this path is *numerically* equivalent (kernel-equivalence tolerance),
+  // not bit-identical — only the "reference" path pins the goldens.
+  const std::string out_dir = "qtx_native_out";
+  fs::remove_all(out_dir);
+  ASSERT_EQ(run_cli("run \"" + scenario_path("quickstart.ini") +
+                        "\" --out " + out_dir +
+                        " --set la_backend=native --quiet",
+                    "qtx_native_run.log"),
+            0)
+      << read_file("qtx_native_run.log");
+  const std::string json = read_file(out_dir + "/results.json");
+  EXPECT_NE(json.find("\"la_backend\": \"native\""), std::string::npos)
+      << "provenance must record the non-default la backend key";
+  EXPECT_NE(json.find("\"performance\""), std::string::npos)
+      << "results.json must carry the achieved-GFLOP/s section";
+  EXPECT_NE(json.find("\"host_peak_gflops\""), std::string::npos);
+  std::ifstream csv(out_dir + "/transmission.csv");
+  ASSERT_TRUE(csv.good());
+  const std::vector<double> got = io::read_csv_column(csv, 1);
+  const std::vector<double> want =
+      read_golden_values("quickstart_transmission");
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i)
+    EXPECT_NEAR(got[i], want[i], 1e-8)
+        << "native transmission drifted from the reference at entry " << i;
+}
+
 TEST(QtxCli, SweepWritesAMultiPointCsv) {
   // A tiny bias sweep written to a temp deck so the smoke test stays fast.
   const std::string deck = "qtx_smoke_sweep.ini";

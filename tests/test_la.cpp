@@ -77,6 +77,27 @@ TEST(Matrix, BlockExtractAndSet) {
   EXPECT_EQ(b(0, 0), cplx(0.0));
 }
 
+TEST(Matrix, BlockRejectsNegativeOffsetsAndExtents) {
+  // Regression: negative r0/c0 (and negative extents, which wrap the
+  // unsigned copy loops) used to slip past the bounds check because
+  // r0 + nr <= rows() holds for e.g. r0 = -1, nr = 0.
+  Rng rng(6);
+  const Matrix a = Matrix::random(4, 4, rng);
+  EXPECT_THROW(a.block(-1, 0, 2, 2), std::runtime_error);
+  EXPECT_THROW(a.block(0, -1, 2, 2), std::runtime_error);
+  EXPECT_THROW(a.block(0, 0, -1, 2), std::runtime_error);
+  EXPECT_THROW(a.block(0, 0, 2, -1), std::runtime_error);
+  EXPECT_THROW(a.block(3, 0, -2, 1), std::runtime_error);
+  Matrix b(4, 4);
+  const Matrix blk = a.block(0, 0, 2, 2);
+  EXPECT_THROW(b.set_block(-1, 0, blk), std::runtime_error);
+  EXPECT_THROW(b.set_block(0, -1, blk), std::runtime_error);
+  EXPECT_THROW(b.add_block(-1, 0, blk), std::runtime_error);
+  EXPECT_THROW(b.add_block(0, -3, blk), std::runtime_error);
+  // Degenerate-but-valid extents still work.
+  EXPECT_EQ(a.block(2, 2, 0, 0).rows(), 0);
+}
+
 TEST(Matrix, FrobeniusNormMatchesDefinition) {
   Matrix m(2, 2);
   m(0, 0) = cplx(3.0, 4.0);  // |.| = 5
@@ -127,6 +148,20 @@ TEST(Gemm, AccumulateWithBeta) {
   Matrix want = mm(a, b) * cplx(2.0);
   want.add_scaled(0.5, c0);
   EXPECT_LT(max_abs_diff(c, want), kTol);
+}
+
+TEST(Gemm, RejectsAliasedOutput) {
+  // Regression: gemm scales c by beta before reading op(a)*op(b), so
+  // c aliasing an input silently corrupted the product. The dispatcher now
+  // rejects the aliasing up front instead.
+  Rng rng(11);
+  Matrix a = Matrix::random(3, 3, rng);
+  const Matrix b = Matrix::random(3, 3, rng);
+  EXPECT_THROW(gemm(cplx(1.0), a, Op::kNone, b, Op::kNone, cplx(0.0), a),
+               std::runtime_error);
+  EXPECT_THROW(
+      gemm(cplx(1.0), b, Op::kNone, a, Op::kConjTrans, cplx(1.0), a),
+      std::runtime_error);
 }
 
 TEST(Gemm, AssociativityProperty) {

@@ -10,8 +10,10 @@
 #include <bit>
 #include <cstdint>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "common/flops.hpp"
 #include "core/observables.hpp"
 #include "core/simulation.hpp"
 #include "par/thread_pool.hpp"
@@ -41,6 +43,38 @@ TEST(ThreadPool, HandlesEmptyAndTinyRanges) {
   // Fewer tasks than workers: every index still runs exactly once.
   pool.parallel_for(3, [&](int) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, FlopLedgerSafeToPollDuringThreadedRun) {
+  // Regression (data race): total()/by_phase() used to read the per-thread
+  // counter blocks without synchronizing against the owners' lock-free
+  // add() writes. Under TSan this test reported the race; it now passes
+  // because observers take each block's mutex. The observer polls total()
+  // and by_phase() continuously while pool workers hammer add().
+  FlopLedger::reset();
+  par::ThreadPool pool(4);
+  std::atomic<bool> stop{false};
+  std::int64_t max_seen = 0;
+  std::thread observer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::int64_t t = FlopLedger::total();
+      EXPECT_GE(t, max_seen);  // totals only grow while workers add
+      max_seen = t;
+      for (const auto& [phase, flops] : FlopLedger::by_phase())
+        EXPECT_GE(flops, 0) << phase;
+    }
+  });
+  const int n = 2000, per_task = 7;
+  pool.parallel_for(n, [&](int i) {
+    FlopPhase phase(i % 2 == 0 ? "even" : "odd");
+    for (int k = 0; k < 100; ++k) FlopLedger::add(per_task);
+  });
+  stop.store(true, std::memory_order_release);
+  observer.join();
+  EXPECT_EQ(FlopLedger::total(), std::int64_t{n} * 100 * per_task);
+  const auto phases = FlopLedger::by_phase();
+  EXPECT_EQ(phases.at("even") + phases.at("odd"), FlopLedger::total());
+  FlopLedger::reset();
 }
 
 TEST(ThreadPool, ReusableAcrossManyCalls) {
