@@ -1,0 +1,95 @@
+// qtx-lint — project-specific static analysis for the qtx source tree.
+//
+//   qtx-lint [--root <dir>] [--check <name>]... [--report <file>]
+//   qtx-lint --list-checks
+//
+// Walks <root>/src (default: the current directory) and enforces the
+// project invariants documented in CONTRIBUTING.md "Invariants": the
+// per-layer include DAG, the determinism rules, and the concurrency /
+// hygiene rules. Exit codes: 0 = clean, 1 = violations found, 2 = usage
+// error (unknown flag or check name, missing src/ under the root).
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: qtx-lint [--root <dir>] [--check <name>]... [--report <file>]\n"
+    "       qtx-lint --list-checks\n"
+    "\n"
+    "  --root <dir>     repository root to scan (<root>/src; default: .)\n"
+    "  --check <name>   run only the named check (repeatable; default: all)\n"
+    "  --report <file>  additionally write the report to <file>\n"
+    "  --list-checks    print every registered check and exit\n"
+    "\n"
+    "exit codes: 0 clean, 1 violations found, 2 usage error\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string report_path;
+  qtx::analysis::LintOptions opts;
+  bool list_checks = false;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto need_value = [&](const char* flag) -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::cerr << "qtx-lint: " << flag << " needs a value\n" << kUsage;
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (a == "--root") {
+      root = need_value("--root");
+    } else if (a == "--check") {
+      opts.checks.push_back(need_value("--check"));
+    } else if (a == "--report") {
+      report_path = need_value("--report");
+    } else if (a == "--list-checks") {
+      list_checks = true;
+    } else if (a == "--help" || a == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else {
+      std::cerr << "qtx-lint: unknown argument '" << a << "'\n" << kUsage;
+      return 2;
+    }
+  }
+
+  if (list_checks) {
+    for (const auto& c : qtx::analysis::lint_checks())
+      std::cout << c.name << "\n    " << c.summary << "\n";
+    return 0;
+  }
+
+  try {
+    const qtx::analysis::LintReport report =
+        qtx::analysis::run_lint(root, opts);
+    const std::string text = qtx::analysis::format_report(report);
+    std::cout << text;
+    if (!report_path.empty()) {
+      std::ofstream out(report_path);
+      if (!out) {
+        std::cerr << "qtx-lint: cannot write report to '" << report_path
+                  << "'\n";
+        return 2;
+      }
+      out << text;
+    }
+    return report.clean() ? 0 : 1;
+  } catch (const qtx::analysis::LintUsageError& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "qtx-lint: " << e.what() << "\n";
+    return 2;
+  }
+}

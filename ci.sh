@@ -3,19 +3,31 @@
 #
 #   ./ci.sh              # all stages
 #   ./ci.sh build-test   # tier-1 verify: Debug + Release, -Werror, ctest
-#   ./ci.sh tsan         # ThreadSanitizer build running the "api",
+#   ./ci.sh lint         # qtx-lint static analysis: the repo's own src/
+#                        # tree must be violation-free (layer DAG,
+#                        # determinism, hygiene — see CONTRIBUTING.md
+#                        # "Invariants"), plus the lint fixture suite.
+#                        # Writes build-ci-lint/lint-report.txt.
+#   ./ci.sh tsan         # QTX_SANITIZE=thread build running the "api",
 #                        # "parallel", and "accel" ctest labels (the suites
 #                        # that exercise the energy pipeline's threading and
 #                        # the mixers' parallel energy loops)
+#   ./ci.sh asan-ubsan   # QTX_SANITIZE=address,undefined build running the
+#                        # FULL ctest suite; UBSan findings are fatal
+#                        # (-fno-sanitize-recover), so any signed overflow,
+#                        # invalid read, or leak fails the stage
 #   ./ci.sh blas         # Release build with QTX_WITH_BLAS=ON running the
 #                        # "la-backend" ctest label (kernel equivalence of
 #                        # every registered la backend + the table4 bench
 #                        # gate). Degrades gracefully: without CBLAS/LAPACKE
 #                        # the "blas" backend simply isn't registered and
 #                        # the label covers reference + native only.
+#   ./ci.sh tidy         # clang-tidy over the src/ tree with the curated
+#                        # .clang-tidy check set (skipped with a notice when
+#                        # clang-tidy is not installed)
 #   ./ci.sh docs         # doxygen (skipped if unavailable); fails on
 #                        # undocumented-public-symbol warnings in the
-#                        # tracked core/io headers
+#                        # tracked core/io/analysis headers
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -46,12 +58,30 @@ build_test() {
   done
 }
 
+lint() {
+  build_dir="build-ci-lint"
+  echo "=== [lint] configure ==="
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DQTX_WERROR=ON \
+    -DQTX_BUILD_BENCHES=OFF \
+    -DQTX_BUILD_EXAMPLES=OFF
+  echo "=== [lint] build qtx-lint + fixture suite ==="
+  cmake --build "$build_dir" -j "$JOBS" --target qtx_lint test_lint
+  echo "=== [lint] qtx-lint over the repository src/ tree ==="
+  # The report is uploaded as a CI artifact by the analyze job; --report
+  # still writes it when violations are found (exit 1 fails the stage).
+  "$build_dir/qtx-lint" --root . --report "$build_dir/lint-report.txt"
+  echo "=== [lint] ctest -L lint (fixture diagnostics + exit codes) ==="
+  ctest --test-dir "$build_dir" -L lint --output-on-failure -j "$JOBS"
+}
+
 tsan() {
   build_dir="build-ci-tsan"
-  echo "=== [TSan] configure ==="
+  echo "=== [TSan] configure (QTX_SANITIZE=thread) ==="
   cmake -B "$build_dir" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+    -DQTX_SANITIZE=thread \
     -DQTX_BUILD_BENCHES=OFF \
     -DQTX_BUILD_EXAMPLES=OFF
   echo "=== [TSan] build (api + parallel + accel suites) ==="
@@ -63,6 +93,23 @@ tsan() {
   # the accel layer (mixers running on the parallel energy loop).
   ctest --test-dir "$build_dir" -L "api|parallel|accel" --output-on-failure \
     -j "$JOBS"
+}
+
+asan_ubsan() {
+  build_dir="build-ci-asan"
+  echo "=== [ASan+UBSan] configure (QTX_SANITIZE=address,undefined) ==="
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DQTX_SANITIZE=address,undefined
+  echo "=== [ASan+UBSan] build (full tree) ==="
+  cmake --build "$build_dir" -j "$JOBS"
+  echo "=== [ASan+UBSan] ctest (full suite) ==="
+  # halt_on_error makes ASan failures terminate the offending test;
+  # leak detection stays on where the kernel allows ptrace (it degrades to
+  # a notice inside restricted containers).
+  ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
 }
 
 blas() {
@@ -85,6 +132,27 @@ blas() {
   ctest --test-dir "$build_dir" -L la-backend --output-on-failure -j "$JOBS"
 }
 
+tidy() {
+  # Non-fatal when clang-tidy is absent (e.g. minimal containers); when it
+  # runs, the curated .clang-tidy check set (bugprone-*, concurrency-*,
+  # performance-*) is a hard gate over every library/app translation unit.
+  if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "=== [tidy] clang-tidy not found — skipping (install clang-tidy"
+    echo "    to run the static-analysis check locally) ==="
+    return 0
+  fi
+  build_dir="build-ci-tidy"
+  echo "=== [tidy] configure (compile_commands.json) ==="
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DQTX_BUILD_BENCHES=OFF
+  echo "=== [tidy] clang-tidy over src/ + apps/ ==="
+  # shellcheck disable=SC2046
+  clang-tidy -p "$build_dir" --quiet \
+    $(find src apps -name '*.cpp' | sort)
+}
+
 docs() {
   # Non-fatal when doxygen is absent (e.g. minimal containers); when it
   # runs, undocumented-public-symbol warnings in the tracked headers are
@@ -97,7 +165,7 @@ docs() {
   echo "=== [docs] doxygen ==="
   mkdir -p build-docs
   doxygen Doxyfile
-  tracked='src/core/simulation\.hpp|src/core/options\.hpp|src/core/stages\.hpp|src/core/stage_registry\.hpp|src/io/[a-z_]*\.hpp|src/accel/[a-z_]*\.hpp'
+  tracked='src/core/simulation\.hpp|src/core/options\.hpp|src/core/stages\.hpp|src/core/stage_registry\.hpp|src/io/[a-z_]*\.hpp|src/accel/[a-z_]*\.hpp|src/analysis/[a-z_]*\.hpp'
   if grep -E "$tracked" build-docs/doxygen-warnings.log 2>/dev/null \
       | grep -i "is not documented" > build-docs/undocumented.log; then
     echo "=== [docs] FAILED: undocumented public symbols in tracked" \
@@ -111,18 +179,24 @@ docs() {
 
 case "$STAGE" in
   build-test) build_test ;;
+  lint) lint ;;
   tsan) tsan ;;
+  asan-ubsan) asan_ubsan ;;
   blas) blas ;;
+  tidy) tidy ;;
   docs) docs ;;
   all)
     build_test
+    lint
     tsan
+    asan_ubsan
     blas
+    tidy
     docs
     ;;
   *)
-    echo "unknown stage '$STAGE' (expected: build-test, tsan, blas, docs," \
-         "all)" >&2
+    echo "unknown stage '$STAGE' (expected: build-test, lint, tsan," \
+         "asan-ubsan, blas, tidy, docs, all)" >&2
     exit 2
     ;;
 esac

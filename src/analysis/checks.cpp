@@ -1,0 +1,341 @@
+#include "analysis/checks.hpp"
+
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+
+namespace qtx::analysis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+void emit(const SourceFile& sf, int line, const char* check,
+          std::string message, std::vector<Diagnostic>& out) {
+  if (sf.line_allows(line, check)) return;
+  out.push_back(Diagnostic{sf.path, line, check, std::move(message)});
+}
+
+/// The directive is detected on the stripped line (so commented-out
+/// includes never count), but the path itself must come from the raw line
+/// because the stripper blanks string-literal contents.
+bool extract_include(const std::string& code_line, const std::string& raw_line,
+                     std::string& path) {
+  static const std::regex directive(R"(^\s*#\s*include\s*\")");
+  if (!std::regex_search(code_line, directive)) return false;
+  const auto open = raw_line.find('"');
+  if (open == std::string::npos) return false;
+  const auto close = raw_line.find('"', open + 1);
+  if (close == std::string::npos) return false;
+  path = raw_line.substr(open + 1, close - open - 1);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// layering — the per-layer include DAG from CMakeLists.txt
+// ---------------------------------------------------------------------------
+
+/// Direct dependencies of each layer, mirroring the qtx_add_layer calls in
+/// CMakeLists.txt. The lint closes this table transitively: a layer may
+/// include itself, its deps, and everything its deps may include. Adding a
+/// layer (or an edge) in CMake means updating this table — the fixture
+/// test and the repo-wide `lint.repo` ctest case keep the two in sync.
+const std::map<std::string, std::set<std::string>>& layer_deps() {
+  static const std::map<std::string, std::set<std::string>> deps = {
+      {"common", {}},
+      {"la", {"common"}},
+      {"fft", {"common"}},
+      {"par", {"common"}},
+      {"analysis", {"common"}},
+      {"accel", {"la"}},
+      {"bsparse", {"la"}},
+      {"obc", {"la"}},
+      {"device", {"bsparse"}},
+      {"rgf", {"bsparse"}},
+      {"core", {"accel", "device", "fft", "obc", "par", "rgf"}},
+      {"io", {"core"}},
+  };
+  return deps;
+}
+
+/// Transitive closure of `layer_deps()` (includes the layer itself).
+const std::map<std::string, std::set<std::string>>& layer_closure() {
+  static const std::map<std::string, std::set<std::string>> closure = [] {
+    std::map<std::string, std::set<std::string>> out;
+    // Depth-first expansion; the graph is tiny and acyclic.
+    for (const auto& [layer, _] : layer_deps()) {
+      std::set<std::string>& reach = out[layer];
+      std::vector<std::string> stack = {layer};
+      while (!stack.empty()) {
+        const std::string cur = stack.back();
+        stack.pop_back();
+        if (!reach.insert(cur).second) continue;
+        const auto it = layer_deps().find(cur);
+        if (it != layer_deps().end())
+          for (const std::string& d : it->second) stack.push_back(d);
+      }
+    }
+    return out;
+  }();
+  return closure;
+}
+
+void check_layering(const SourceFile& sf, std::vector<Diagnostic>& out) {
+  if (sf.layer.empty()) return;
+  const auto reach_it = layer_closure().find(sf.layer);
+  if (reach_it == layer_closure().end()) return;  // unknown layer: no rules
+  const std::set<std::string>& reach = reach_it->second;
+  for (std::size_t li = 0; li < sf.code.size(); ++li) {
+    std::string inc;
+    if (!extract_include(sf.code[li], sf.raw[li], inc)) continue;
+    const auto slash = inc.find('/');
+    if (slash == std::string::npos) continue;  // system-style or flat path
+    const std::string target = inc.substr(0, slash);
+    if (layer_deps().count(target) == 0) continue;  // not a layer path
+    if (reach.count(target)) continue;
+    std::string allowed;
+    for (const std::string& r : reach) {
+      if (!allowed.empty()) allowed += ", ";
+      allowed += r;
+    }
+    emit(sf, static_cast<int>(li + 1), "layering",
+         "include edge " + sf.layer + " -> " + target +
+             " violates the layer DAG ('" + inc + "'; " + sf.layer +
+             " may include only: " + allowed +
+             ") — add the dependency in CMakeLists.txt and "
+             "src/analysis/checks.cpp together, or restructure",
+         out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// raw-accumulate — determinism of floating-point folds in src/{par,core,accel}
+// ---------------------------------------------------------------------------
+
+/// Same-statement range-for fold: `for (... : ...) x += ...`.
+bool is_range_for_fold(const std::string& line) {
+  const auto f = line.find("for");
+  if (f == std::string::npos) return false;
+  // Token check: "for" must not be part of a longer identifier.
+  const auto isw = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  if (f > 0 && isw(line[f - 1])) return false;
+  if (f + 3 < line.size() && isw(line[f + 3])) return false;
+  auto i = line.find('(', f);
+  if (i == std::string::npos) return false;
+  int depth = 0;
+  bool has_colon = false;
+  for (; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '(') ++depth;
+    if (c == ')' && --depth == 0) break;
+    if (c == ':' && depth == 1) {
+      // "::" is scope resolution, not the range-for separator.
+      const bool dbl = (i + 1 < line.size() && line[i + 1] == ':') ||
+                       (i > 0 && line[i - 1] == ':');
+      if (!dbl) has_colon = true;
+    }
+  }
+  if (i == line.size() || !has_colon) return false;
+  return line.find("+=", i) != std::string::npos;
+}
+
+/// Scalar fold over an energy index: `x += ...[e]...` where the
+/// left-hand side is a plain (un-indexed) identifier — i.e. cross-energy
+/// accumulation into a scalar, the pattern whose result depends on fold
+/// order once energies run on the pipeline.
+bool is_energy_index_fold(const std::string& line) {
+  static const std::regex lhs_plus(R"(([A-Za-z_][A-Za-z_0-9]*)\s*\+=)");
+  static const std::regex energy_index(R"(\[\s*i?e\s*\])");
+  for (auto it = std::sregex_iterator(line.begin(), line.end(), lhs_plus);
+       it != std::sregex_iterator(); ++it) {
+    const auto pos = static_cast<std::size_t>(it->position(0));
+    if (pos > 0) {
+      const char before = line[pos - 1];
+      if (before == ']' || before == ')' || before == '.' ||
+          std::isalnum(static_cast<unsigned char>(before)) || before == '_')
+        continue;  // indexed slot, call result, or member access — not a
+                   // plain scalar accumulator
+    }
+    const std::string rhs = line.substr(pos + it->length(0));
+    if (std::regex_search(rhs, energy_index)) return true;
+  }
+  return false;
+}
+
+void check_raw_accumulate(const SourceFile& sf,
+                          std::vector<Diagnostic>& out) {
+  if (sf.layer != "par" && sf.layer != "core" && sf.layer != "accel") return;
+  for (std::size_t li = 0; li < sf.code.size(); ++li) {
+    const std::string& line = sf.code[li];
+    if (line.find("+=") == std::string::npos) continue;
+    if (is_range_for_fold(line) || is_energy_index_fold(line)) {
+      emit(sf, static_cast<int>(li + 1), "raw-accumulate",
+           "raw '+=' fold over per-energy partials — route the reduction "
+           "through common/reduction.hpp (ordered_sum) so it stays "
+           "bit-identical across schedules, or waive a provably "
+           "fixed-order fold with // qtx-lint: allow(raw-accumulate)",
+           out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unordered-io — deterministic iteration feeding writers/serialization
+// ---------------------------------------------------------------------------
+
+void check_unordered_io(const SourceFile& sf, std::vector<Diagnostic>& out) {
+  if (sf.layer != "io") return;
+  for (std::size_t li = 0; li < sf.code.size(); ++li) {
+    if (sf.code[li].find("std::unordered_") != std::string::npos) {
+      emit(sf, static_cast<int>(li + 1), "unordered-io",
+           "std::unordered_* in the io layer — iteration order is "
+           "unspecified and would leak into writers/serialization; use "
+           "std::map/std::set or sort before emitting",
+           out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// rng — all randomness flows through the seeded common/rng.hpp wrapper
+// ---------------------------------------------------------------------------
+
+void check_rng(const SourceFile& sf, std::vector<Diagnostic>& out) {
+  if (sf.path == "src/common/rng.hpp") return;  // the one sanctioned home
+  static const std::regex forbidden(
+      R"(std::random_device|std::mt19937|std::default_random_engine)"
+      R"(|std::minstd_rand|\bsrand\s*\(|\brand\s*\()");
+  for (std::size_t li = 0; li < sf.code.size(); ++li) {
+    if (std::regex_search(sf.code[li], forbidden)) {
+      emit(sf, static_cast<int>(li + 1), "rng",
+           "raw/unseeded RNG outside common/rng.hpp — construct a "
+           "qtx::Rng with an explicit seed so every run is reproducible",
+           out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// pragma-once / namespace-qtx — header hygiene
+// ---------------------------------------------------------------------------
+
+void check_pragma_once(const SourceFile& sf, std::vector<Diagnostic>& out) {
+  if (!sf.is_header) return;
+  static const std::regex pragma(R"(^\s*#\s*pragma\s+once\b)");
+  for (const std::string& line : sf.code)
+    if (std::regex_search(line, pragma)) return;
+  emit(sf, 1, "pragma-once",
+       "header without #pragma once — every src/**/*.hpp must be "
+       "double-include safe (the qtx_header_check target compiles each "
+       "one twice)",
+       out);
+}
+
+void check_namespace_qtx(const SourceFile& sf, std::vector<Diagnostic>& out) {
+  if (!sf.is_header) return;
+  if (!sf.has_non_preprocessor_code()) return;  // umbrella headers exempt
+  static const std::regex ns(R"(namespace\s+qtx\b)");
+  for (const std::string& line : sf.code)
+    if (std::regex_search(line, ns)) return;
+  emit(sf, 1, "namespace-qtx",
+       "header declares symbols outside namespace qtx — every src header "
+       "must wrap its declarations in namespace qtx (or a nested "
+       "qtx::<layer>)",
+       out);
+}
+
+// ---------------------------------------------------------------------------
+// iostream — library code never writes to the console
+// ---------------------------------------------------------------------------
+
+void check_iostream(const SourceFile& sf, std::vector<Diagnostic>& out) {
+  static const std::regex console(R"(std::(cout|cerr|clog)\b)");
+  for (std::size_t li = 0; li < sf.code.size(); ++li) {
+    if (std::regex_search(sf.code[li], console)) {
+      emit(sf, static_cast<int>(li + 1), "iostream",
+           "console write in library code — report through return "
+           "values/exceptions/observers; only apps/, tests/, bench/, and "
+           "examples/ own the console",
+           out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// thread-detach — every thread is joined, exceptions propagate
+// ---------------------------------------------------------------------------
+
+void check_thread_detach(const SourceFile& sf, std::vector<Diagnostic>& out) {
+  static const std::regex detach(R"(\.\s*detach\s*\()");
+  for (std::size_t li = 0; li < sf.code.size(); ++li) {
+    if (std::regex_search(sf.code[li], detach)) {
+      emit(sf, static_cast<int>(li + 1), "thread-detach",
+           "detached thread — join every worker (see par::ThreadPool / "
+           "par::CommWorld) so shutdown is deterministic and exceptions "
+           "propagate",
+           out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// volatile — not a synchronization primitive
+// ---------------------------------------------------------------------------
+
+void check_volatile(const SourceFile& sf, std::vector<Diagnostic>& out) {
+  static const std::regex vol(R"(\bvolatile\b)");
+  for (std::size_t li = 0; li < sf.code.size(); ++li) {
+    if (std::regex_search(sf.code[li], vol)) {
+      emit(sf, static_cast<int>(li + 1), "volatile",
+           "'volatile' is not a synchronization primitive — use "
+           "std::atomic or a mutex; waive a genuine optimizer sink with "
+           "// qtx-lint: allow(volatile)",
+           out);
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<Check>& all_checks() {
+  static const std::vector<Check> checks = {
+      {"layering",
+       "per-layer include DAG from CMakeLists.txt (common <- la <- "
+       "bsparse/fft/par <- obc/rgf/device/accel <- core <- io)",
+       &check_layering},
+      {"raw-accumulate",
+       "no raw floating-point '+=' folds over per-energy partials in "
+       "src/{par,core,accel} — reductions go through common/reduction.hpp",
+       &check_raw_accumulate},
+      {"unordered-io",
+       "no std::unordered_map/set in src/io — iteration order must never "
+       "reach writers or serialization",
+       &check_unordered_io},
+      {"rng",
+       "no rand()/std::random_device/raw engines outside common/rng.hpp — "
+       "all randomness is explicitly seeded",
+       &check_rng},
+      {"pragma-once", "every src/**/*.hpp carries #pragma once",
+       &check_pragma_once},
+      {"namespace-qtx",
+       "every declaring src header wraps its symbols in namespace qtx",
+       &check_namespace_qtx},
+      {"iostream",
+       "no std::cout/cerr/clog in library code (apps/tests/bench/examples "
+       "are exempt)",
+       &check_iostream},
+      {"thread-detach", "no std::thread::detach — workers are always joined",
+       &check_thread_detach},
+      {"volatile",
+       "no volatile-as-synchronization — std::atomic or mutexes only",
+       &check_volatile},
+  };
+  return checks;
+}
+
+}  // namespace qtx::analysis

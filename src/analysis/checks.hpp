@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file checks.hpp
+/// Internal registry of the individual `qtx-lint` checks. Each check is a
+/// pure function from one preprocessed `SourceFile` to diagnostics; the
+/// driver (`lint.cpp`) owns file discovery, ordering, and suppression-free
+/// formatting. New checks register here — see CONTRIBUTING.md
+/// "Invariants" for the recipe.
+
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "analysis/source.hpp"
+
+namespace qtx::analysis {
+
+/// One registered check: stable name, one-line summary, and the scan
+/// function. The function must honor `SourceFile::line_allows` for every
+/// diagnostic it emits.
+struct Check {
+  const char* name;     ///< stable kebab-case identifier
+  const char* summary;  ///< one-line description of the enforced invariant
+  void (*fn)(const SourceFile&, std::vector<Diagnostic>&);  ///< scanner
+};
+
+/// The full check registry, in execution order.
+const std::vector<Check>& all_checks();
+
+}  // namespace qtx::analysis

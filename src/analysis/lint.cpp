@@ -1,0 +1,108 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "analysis/checks.hpp"
+
+namespace qtx::analysis {
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Resolve the requested check subset against the registry (empty = all).
+std::vector<const Check*> resolve_checks(const LintOptions& opts) {
+  std::vector<const Check*> run;
+  if (opts.checks.empty()) {
+    for (const Check& c : all_checks()) run.push_back(&c);
+    return run;
+  }
+  for (const std::string& name : opts.checks) {
+    const Check* found = nullptr;
+    for (const Check& c : all_checks())
+      if (name == c.name) found = &c;
+    if (found == nullptr) {
+      std::string known;
+      for (const Check& c : all_checks()) {
+        if (!known.empty()) known += ", ";
+        known += c.name;
+      }
+      throw LintUsageError("qtx-lint: unknown check '" + name +
+                           "' (known checks: " + known + ")");
+    }
+    run.push_back(found);
+  }
+  return run;
+}
+
+}  // namespace
+
+std::vector<CheckInfo> lint_checks() {
+  std::vector<CheckInfo> out;
+  for (const Check& c : all_checks())
+    out.push_back(CheckInfo{c.name, c.summary});
+  return out;
+}
+
+LintReport run_lint_on(const std::vector<SourceFile>& files,
+                       const LintOptions& opts) {
+  const std::vector<const Check*> run = resolve_checks(opts);
+  LintReport report;
+  for (const Check* c : run) report.checks_run.push_back(c->name);
+  report.files_scanned = static_cast<int>(files.size());
+  for (const SourceFile& sf : files)
+    for (const Check* c : run) c->fn(sf, report.diagnostics);
+  std::sort(report.diagnostics.begin(), report.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.check < b.check;
+            });
+  return report;
+}
+
+LintReport run_lint(const std::string& root, const LintOptions& opts) {
+  resolve_checks(opts);  // surface unknown-check errors before any io
+  const fs::path src = fs::path(root) / "src";
+  std::error_code ec;
+  if (!fs::is_directory(src, ec))
+    throw LintUsageError("qtx-lint: no src/ directory under root '" + root +
+                         "'");
+  // Deterministic order: collect, then sort by the relative path the
+  // diagnostics will carry.
+  std::vector<std::pair<std::string, std::string>> paths;  // rel, abs
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp") continue;
+    const std::string rel =
+        fs::relative(entry.path(), fs::path(root)).generic_string();
+    paths.emplace_back(rel, entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const auto& [rel, abs] : paths)
+    files.push_back(load_source_file(abs, rel));
+  return run_lint_on(files, opts);
+}
+
+std::string format_diagnostic(const Diagnostic& d) {
+  std::ostringstream os;
+  os << d.file << ":" << d.line << ": [" << d.check << "] " << d.message;
+  return os.str();
+}
+
+std::string format_report(const LintReport& r) {
+  std::ostringstream os;
+  for (const Diagnostic& d : r.diagnostics)
+    os << format_diagnostic(d) << "\n";
+  os << "qtx-lint: " << r.diagnostics.size() << " violation"
+     << (r.diagnostics.size() == 1 ? "" : "s") << " across "
+     << r.files_scanned << " files (" << r.checks_run.size()
+     << " checks)\n";
+  return os.str();
+}
+
+}  // namespace qtx::analysis

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file lint.hpp
+/// `qtx-lint` — the project-specific static-analysis pass. Walks the
+/// `src/` tree under a repository root and enforces the invariants the
+/// exascale claim rests on (see CONTRIBUTING.md "Invariants"): the
+/// per-layer include DAG, the determinism rules (ordered reductions,
+/// deterministic iteration feeding serialization, seeded RNG only), and
+/// the concurrency/hygiene rules (`#pragma once`, `namespace qtx`, no
+/// console writes in library code, no detached threads, no
+/// volatile-as-synchronization).
+///
+/// Diagnostics follow the io layer's `<file>:<line>:` convention so a
+/// violation in a 100-file tree is a one-glance fix. A finding can be
+/// waived in place with a justification comment:
+///
+///     // qtx-lint: allow(<check-name>) — <why this is safe>
+///
+/// which applies to its own line (or the next line when the comment
+/// stands alone).
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/source.hpp"
+
+namespace qtx::analysis {
+
+/// One lint finding, formatted as `<file>:<line>: [<check>] <message>`.
+struct Diagnostic {
+  std::string file;     ///< lint-root-relative path, '/'-separated
+  int line = 0;         ///< 1-based line number
+  std::string check;    ///< the check name that fired (stable identifier)
+  std::string message;  ///< what is wrong and how to fix or waive it
+};
+
+/// Name + one-line summary of a registered check (`qtx-lint --list-checks`).
+struct CheckInfo {
+  std::string name;     ///< stable kebab-case identifier
+  std::string summary;  ///< one-line description of the enforced invariant
+};
+
+/// Options for one lint run.
+struct LintOptions {
+  /// Check names to run; empty = every registered check. Unknown names
+  /// throw `LintUsageError`.
+  std::vector<std::string> checks;
+};
+
+/// Result of one lint run over a tree.
+struct LintReport {
+  /// Findings in deterministic order (path, then line, then check).
+  std::vector<Diagnostic> diagnostics;
+  /// Checks that ran, in registry order.
+  std::vector<std::string> checks_run;
+  /// Number of files scanned.
+  int files_scanned = 0;
+  /// True when no check fired.
+  bool clean() const { return diagnostics.empty(); }
+};
+
+/// A malformed request (unknown check name, missing `src/` under the
+/// root) — the CLI maps this to exit code 2, distinct from "violations
+/// found" (1).
+class LintUsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Every registered check, in execution order.
+std::vector<CheckInfo> lint_checks();
+
+/// Run the configured checks over every `*.hpp` / `*.cpp` under
+/// `<root>/src`, in sorted path order. Throws `LintUsageError` on unknown
+/// check names or when `<root>/src` does not exist.
+LintReport run_lint(const std::string& root, const LintOptions& opts = {});
+
+/// Run the configured checks over already-loaded sources (the unit-test
+/// seam behind `run_lint`).
+LintReport run_lint_on(const std::vector<SourceFile>& files,
+                       const LintOptions& opts = {});
+
+/// `<file>:<line>: [<check>] <message>`.
+std::string format_diagnostic(const Diagnostic& d);
+
+/// Full human-readable report: one line per diagnostic plus a trailing
+/// summary line (also what `qtx-lint --report <file>` writes).
+std::string format_report(const LintReport& r);
+
+}  // namespace qtx::analysis

@@ -1,0 +1,260 @@
+#include "analysis/source.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qtx::analysis {
+namespace {
+
+/// Split text into lines ('\n'-separated; a trailing newline does not add
+/// an empty final line, matching how editors count lines).
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+/// Parse the check list out of one comment body if it carries a
+/// `qtx-lint: allow(a, b)` annotation; empty set otherwise.
+std::set<std::string> parse_allows(const std::string& comment) {
+  std::set<std::string> out;
+  const std::string marker = "qtx-lint:";
+  const auto m = comment.find(marker);
+  if (m == std::string::npos) return out;
+  auto pos = comment.find("allow", m + marker.size());
+  if (pos == std::string::npos) return out;
+  pos = comment.find('(', pos);
+  if (pos == std::string::npos) return out;
+  const auto end = comment.find(')', pos);
+  if (end == std::string::npos) return out;
+  std::string name;
+  for (auto i = pos + 1; i < end; ++i) {
+    const char c = comment[i];
+    if (c == ',') {
+      if (!name.empty()) out.insert(name);
+      name.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      name.push_back(c);
+    }
+  }
+  if (!name.empty()) out.insert(name);
+  return out;
+}
+
+/// True when the stripped line holds nothing but whitespace.
+bool is_blank(const std::string& line) {
+  for (const char c : line)
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  return true;
+}
+
+}  // namespace
+
+bool SourceFile::has_non_preprocessor_code() const {
+  for (const std::string& line : code) {
+    std::size_t i = 0;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (i == line.size()) continue;
+    if (line[i] == '#') continue;  // preprocessor directive
+    return true;
+  }
+  return false;
+}
+
+SourceFile preprocess_source(const std::string& text,
+                             const std::string& rel_path) {
+  SourceFile sf;
+  sf.path = rel_path;
+  sf.is_header = rel_path.size() >= 4 &&
+                 rel_path.compare(rel_path.size() - 4, 4, ".hpp") == 0;
+  // Layer = first component under "src/".
+  const std::string prefix = "src/";
+  if (rel_path.compare(0, prefix.size(), prefix) == 0) {
+    const auto slash = rel_path.find('/', prefix.size());
+    if (slash != std::string::npos)
+      sf.layer = rel_path.substr(prefix.size(), slash - prefix.size());
+  }
+  sf.raw = split_lines(text);
+  sf.code.assign(sf.raw.size(), std::string());
+  sf.allows.assign(sf.raw.size(), {});
+
+  // One linear pass over the raw lines with cross-line lexer state. The
+  // goal is not a full C++ lexer — just enough to blank what the checks
+  // must never match: comment text and literal contents.
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;        // raw-string closing delimiter: )<tag>"
+  std::string comment_buffer;   // accumulates block-comment text
+  std::size_t comment_start = 0;  // 0-based line the open comment began on
+
+  for (std::size_t li = 0; li < sf.raw.size(); ++li) {
+    const std::string& in = sf.raw[li];
+    std::string out;
+    out.reserve(in.size());
+    std::size_t i = 0;
+    while (i < in.size()) {
+      const char c = in[i];
+      const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            // Line comment: record a possible suppression, blank the rest.
+            const std::set<std::string> names =
+                parse_allows(in.substr(i + 2));
+            // Attach to this line; the post-pass below moves annotations
+            // on comment-only lines down to the next code-bearing line.
+            sf.allows[li].insert(names.begin(), names.end());
+            out.append(in.size() - i, ' ');
+            i = in.size();
+            break;
+          }
+          if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            comment_buffer.clear();
+            comment_start = li;
+            out.append(2, ' ');
+            i += 2;
+            break;
+          }
+          if (c == '"') {
+            // Raw string literal? Look back for the R prefix.
+            if (!out.empty() && out.back() == 'R') {
+              const auto close = in.find('(', i + 1);
+              if (close != std::string::npos) {
+                raw_delim = ")";
+                raw_delim.append(in, i + 1, close - i - 1);
+                raw_delim.push_back('"');
+                state = State::kRawString;
+                out.append(close - i + 1, ' ');
+                out[out.size() - (close - i + 1)] = '"';
+                i = close + 1;
+                break;
+              }
+            }
+            state = State::kString;
+            out.push_back('"');
+            ++i;
+            break;
+          }
+          if (c == '\'') {
+            // A quote right after a digit is a C++14 digit separator
+            // (1'000'000), not a character literal.
+            if (!out.empty() &&
+                std::isdigit(static_cast<unsigned char>(out.back()))) {
+              out.push_back('\'');
+              ++i;
+              break;
+            }
+            state = State::kChar;
+            out.push_back('\'');
+            ++i;
+            break;
+          }
+          out.push_back(c);
+          ++i;
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            const std::set<std::string> names = parse_allows(comment_buffer);
+            if (!names.empty())
+              sf.allows[comment_start].insert(names.begin(), names.end());
+            state = State::kCode;
+            out.append(2, ' ');
+            i += 2;
+          } else {
+            comment_buffer.push_back(c);
+            out.push_back(' ');
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\' && next != '\0') {
+            out.append(2, ' ');
+            i += 2;
+          } else if (c == '"') {
+            state = State::kCode;
+            out.push_back('"');
+            ++i;
+          } else {
+            out.push_back(' ');
+            ++i;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\' && next != '\0') {
+            out.append(2, ' ');
+            i += 2;
+          } else if (c == '\'') {
+            state = State::kCode;
+            out.push_back('\'');
+            ++i;
+          } else {
+            out.push_back(' ');
+            ++i;
+          }
+          break;
+        case State::kRawString: {
+          const auto close = in.find(raw_delim, i);
+          if (close == std::string::npos) {
+            out.append(in.size() - i, ' ');
+            i = in.size();
+          } else {
+            out.append(close - i, ' ');
+            out.push_back('"');
+            out.append(raw_delim.size() - 1, ' ');
+            i = close + raw_delim.size();
+            state = State::kCode;
+          }
+          break;
+        }
+      }
+    }
+    // Unterminated string/char literal at end of line: plain (non-raw)
+    // literals cannot span lines — recover so one bad line does not blind
+    // the checks for the rest of the file.
+    if (state == State::kString || state == State::kChar)
+      state = State::kCode;
+    sf.code[li] = out;
+  }
+
+  // Post-pass: a suppression on a comment-only line governs the next line
+  // that carries code, so multi-line justification comments work:
+  //
+  //     // qtx-lint: allow(volatile) — optimizer sink,
+  //     // not synchronization.
+  //     volatile double sink = 0.0;
+  for (std::size_t li = sf.raw.size(); li-- > 0;) {
+    if (sf.allows[li].empty() || !is_blank(sf.code[li])) continue;
+    for (std::size_t j = li + 1; j < sf.raw.size(); ++j) {
+      if (is_blank(sf.code[j])) continue;
+      sf.allows[j].insert(sf.allows[li].begin(), sf.allows[li].end());
+      break;
+    }
+  }
+  return sf;
+}
+
+SourceFile load_source_file(const std::string& abs_path,
+                            const std::string& rel_path) {
+  std::ifstream in(abs_path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("qtx-lint: cannot read '" + abs_path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return preprocess_source(ss.str(), rel_path);
+}
+
+}  // namespace qtx::analysis

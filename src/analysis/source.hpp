@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file source.hpp
+/// Source-file model for the `qtx-lint` static-analysis pass: loads a file,
+/// blanks comments and string/character-literal contents (so checks never
+/// fire on text that the compiler ignores or that is data, not code), and
+/// collects `qtx-lint: allow(<check>, ...)` suppression annotations from
+/// the comments before they are blanked.
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace qtx::analysis {
+
+/// One repo file prepared for linting. Lines are 1-based everywhere a line
+/// number crosses the public API — matching the `<file>:<line>` diagnostic
+/// convention of the io layer.
+struct SourceFile {
+  /// Path relative to the lint root, '/'-separated (diagnostic label).
+  std::string path;
+  /// First path component under `src/` ("core", "la", ...); the key the
+  /// layering rules are expressed in.
+  std::string layer;
+  /// True for `.hpp` files (header-only rules key off this).
+  bool is_header = false;
+  /// The file verbatim, split into lines.
+  std::vector<std::string> raw;
+  /// Same lines with comments and string/char-literal *contents* replaced
+  /// by spaces — what every textual check matches against. Always the same
+  /// size as `raw`.
+  std::vector<std::string> code;
+  /// Per-line suppressed check names (same size as `raw`); entry i holds
+  /// the checks allowed on line i+1. A `qtx-lint: allow(...)` comment
+  /// applies to its own line, or to the next line when it stands alone.
+  std::vector<std::set<std::string>> allows;
+
+  /// True when \p check is suppressed on 1-based \p line.
+  bool line_allows(int line, const std::string& check) const {
+    const auto idx = static_cast<std::size_t>(line - 1);
+    return idx < allows.size() && allows[idx].count(check) > 0;
+  }
+
+  /// True when the stripped file contains any code beyond blank lines and
+  /// preprocessor directives (umbrella headers that only `#include` are
+  /// exempt from the namespace rule).
+  bool has_non_preprocessor_code() const;
+};
+
+/// Load and preprocess one file. \p abs_path is read from disk; \p rel_path
+/// becomes `SourceFile::path` and seeds `layer` / `is_header`. Throws
+/// `std::runtime_error` when the file cannot be read.
+SourceFile load_source_file(const std::string& abs_path,
+                            const std::string& rel_path);
+
+/// Preprocess in-memory text (the unit-test seam behind
+/// `load_source_file`): strips comments/literals into `code`, extracts
+/// suppressions into `allows`.
+SourceFile preprocess_source(const std::string& text,
+                             const std::string& rel_path);
+
+}  // namespace qtx::analysis

@@ -17,16 +17,24 @@ struct ThreadCounters {
   std::string current_phase = "unattributed";
 };
 
-std::mutex g_registry_mutex;
+// Both the registry and its mutex are heap-allocated and never destroyed:
+// the per-thread blocks must stay reachable through them at process exit
+// (otherwise static destruction frees the vector's buffer, orphaning the
+// blocks — LeakSanitizer reports them — and any thread outliving static
+// destruction would push into a destroyed vector).
+std::mutex& registry_mutex() {
+  static auto* m = new std::mutex();
+  return *m;
+}
 std::vector<ThreadCounters*>& registry() {
-  static std::vector<ThreadCounters*> r;
-  return r;
+  static auto* r = new std::vector<ThreadCounters*>();
+  return *r;
 }
 
 ThreadCounters& local() {
   thread_local ThreadCounters* tc = [] {
     auto* p = new ThreadCounters();  // lives for process lifetime
-    std::lock_guard<std::mutex> lock(g_registry_mutex);
+    std::lock_guard<std::mutex> lock(registry_mutex());
     registry().push_back(p);
     return p;
   }();
@@ -49,7 +57,7 @@ void FlopLedger::begin_phase(const std::string& name) {
 
 std::int64_t FlopLedger::total() {
   std::int64_t sum = 0;
-  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  std::lock_guard<std::mutex> lock(registry_mutex());
   for (auto* tc : registry()) {
     std::lock_guard<std::mutex> block(tc->mutex);
     for (const auto& [_, v] : tc->by_phase) sum += v;
@@ -59,7 +67,7 @@ std::int64_t FlopLedger::total() {
 
 std::map<std::string, std::int64_t> FlopLedger::by_phase() {
   std::map<std::string, std::int64_t> out;
-  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  std::lock_guard<std::mutex> lock(registry_mutex());
   for (auto* tc : registry()) {
     std::lock_guard<std::mutex> block(tc->mutex);
     for (const auto& [k, v] : tc->by_phase) out[k] += v;
@@ -68,7 +76,7 @@ std::map<std::string, std::int64_t> FlopLedger::by_phase() {
 }
 
 void FlopLedger::reset() {
-  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  std::lock_guard<std::mutex> lock(registry_mutex());
   for (auto* tc : registry()) {
     std::lock_guard<std::mutex> block(tc->mutex);
     tc->by_phase.clear();

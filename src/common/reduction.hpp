@@ -6,6 +6,8 @@
 
 #include <vector>
 
+#include "common/types.hpp"
+
 namespace qtx {
 
 /// Deterministic ordered reduction: folds the partials in index order,
@@ -14,6 +16,21 @@ namespace qtx {
 inline double ordered_sum(const std::vector<double>& partials) {
   double sum = 0.0;
   for (const double p : partials) sum += p;
+  return sum;
+}
+
+/// Complex overload: folds real and imaginary parts in index order.
+inline cplx ordered_sum(const std::vector<cplx>& partials) {
+  cplx sum = 0.0;
+  for (const cplx& p : partials) sum += p;
+  return sum;
+}
+
+/// Folds only the real parts of \p partials in index order (the rank-wise
+/// scalar all-reduce in par::Comm ships scalars as complex payloads).
+inline double ordered_sum_real(const std::vector<cplx>& partials) {
+  double sum = 0.0;
+  for (const cplx& p : partials) sum += p.real();
   return sum;
 }
 

@@ -1,6 +1,7 @@
 #include "core/gw.hpp"
 
 #include "common/flops.hpp"
+#include "common/reduction.hpp"
 
 namespace qtx::core {
 
@@ -141,14 +142,15 @@ void GwEngine::self_energy(const std::vector<std::vector<cplx>>& g_lt,
   std::vector<cplx> glt(ne), ggt(ne), wlt(ne), wgt(ne);
   std::vector<cplx> out_lt, out_gt, out_r;
   for (std::int64_t k = 0; k < nk; ++k) {
-    cplx gsum = 0.0;
     for (int e = 0; e < ne; ++e) {
       glt[e] = g_lt[e][k];
       ggt[e] = g_gt[e][k];
       wlt[e] = w_lt[e][k];
       wgt[e] = w_gt[e][k];
-      gsum += glt[e];
     }
+    // Fold through the shared ordered reduction (ascending energy index,
+    // bit-identical to the historic running sum).
+    const cplx gsum = ordered_sum(glt);
     conv_.self_energy(glt, ggt, wlt, wgt, out_lt, out_gt);
     conv_.retarded_fermion(out_lt, out_gt, out_r);
     for (int e = 0; e < ne; ++e) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/reduction.hpp"
+
 namespace qtx::core {
 namespace {
 
@@ -19,8 +21,9 @@ std::vector<double> total_dos(const Simulation& s) {
   const int nb = s.layout().nb;
   std::vector<double> dos(ne, 0.0);
   for (int e = 0; e < ne; ++e) {
+    const auto& gr = s.g_retarded()[e];
     double t = 0.0;
-    for (int i = 0; i < nb; ++i) t += im_trace(s.g_retarded()[e].diag(i));
+    for (int i = 0; i < nb; ++i) t += im_trace(gr.diag(i));
     dos[e] = -t / kPi;
   }
   return dos;
@@ -86,32 +89,30 @@ std::vector<double> spectral_current_right(const Simulation& s) {
 
 double terminal_current_left(const Simulation& s) {
   const auto cur = spectral_current_left(s);
-  double sum = 0.0;
-  for (const double c : cur) sum += c;
-  return sum * s.options().grid.de() / (2.0 * kPi);
+  return ordered_sum(cur) * s.options().grid.de() / (2.0 * kPi);
 }
 
 double terminal_current_right(const Simulation& s) {
   const auto cur = spectral_current_right(s);
-  double sum = 0.0;
-  for (const double c : cur) sum += c;
-  return sum * s.options().grid.de() / (2.0 * kPi);
+  return ordered_sum(cur) * s.options().grid.de() / (2.0 * kPi);
 }
 
 double energy_current_left(const Simulation& s) {
   const auto cur = spectral_current_left(s);
   const auto& grid = s.options().grid;
-  double sum = 0.0;
-  for (int e = 0; e < grid.n; ++e) sum += grid.energy(e) * cur[e];
-  return sum * grid.de() / (2.0 * kPi);
+  std::vector<double> terms(static_cast<std::size_t>(grid.n));
+  for (int e = 0; e < grid.n; ++e)
+    terms[static_cast<std::size_t>(e)] = grid.energy(e) * cur[e];
+  return ordered_sum(terms) * grid.de() / (2.0 * kPi);
 }
 
 double energy_current_right(const Simulation& s) {
   const auto cur = spectral_current_right(s);
   const auto& grid = s.options().grid;
-  double sum = 0.0;
-  for (int e = 0; e < grid.n; ++e) sum += grid.energy(e) * cur[e];
-  return sum * grid.de() / (2.0 * kPi);
+  std::vector<double> terms(static_cast<std::size_t>(grid.n));
+  for (int e = 0; e < grid.n; ++e)
+    terms[static_cast<std::size_t>(e)] = grid.energy(e) * cur[e];
+  return ordered_sum(terms) * grid.de() / (2.0 * kPi);
 }
 
 std::vector<double> bond_currents(const Simulation& s) {
@@ -169,16 +170,16 @@ std::vector<double> transmission(const Simulation& s) {
 
 double landauer_current(const Simulation& s, const std::vector<double>& t) {
   const auto& opt = s.options();
-  double sum = 0.0;
+  std::vector<double> terms(static_cast<std::size_t>(opt.grid.n));
   for (int e = 0; e < opt.grid.n; ++e) {
     const double en = opt.grid.energy(e);
     const double fl =
         fermi_dirac(en, opt.contacts.mu_left, opt.contacts.temperature_k);
     const double fr =
         fermi_dirac(en, opt.contacts.mu_right, opt.contacts.temperature_k);
-    sum += t[e] * (fl - fr);
+    terms[static_cast<std::size_t>(e)] = t[e] * (fl - fr);
   }
-  return sum * opt.grid.de() / (2.0 * kPi);
+  return ordered_sum(terms) * opt.grid.de() / (2.0 * kPi);
 }
 
 BandRenormalization band_renormalization(const Simulation& s, int nk) {

@@ -205,6 +205,8 @@ HostPeak measure_host_peak_impl() {
   // Calibrate the batch size to ~2 ms, then take the best of 5 timed runs
   // (best-of filters scheduler noise; the peak is a ceiling, not a mean).
   std::int64_t iters = 1 << 16;
+  // qtx-lint: allow(volatile) — optimizer sink for the FMA microkernel
+  // result, not synchronization; single-threaded calibration loop.
   volatile double sink = 0.0;
   for (;;) {
     Stopwatch sw;

@@ -1,5 +1,6 @@
 #include "core/stage_registry.hpp"
 
+#include "common/reduction.hpp"
 #include "par/thread_pool.hpp"
 #include "rgf/nested_dissection.hpp"
 
@@ -219,9 +220,13 @@ class FockChannel final : public SelfEnergyChannel {
     const int ne = in.grid->n;
     const std::int64_t nk = in.layout->num_elements();
     const cplx pref = kI * in.grid->de() / (2.0 * kPi) * fock_scale_;
+    std::vector<cplx> glt(static_cast<std::size_t>(ne));
     for (std::int64_t k = 0; k < nk; ++k) {
-      cplx gsum = 0.0;
-      for (int e = 0; e < ne; ++e) gsum += (*in.g_lesser)[e][k];
+      for (int e = 0; e < ne; ++e)
+        glt[static_cast<std::size_t>(e)] = (*in.g_lesser)[e][k];
+      // Ascending-energy fold via the shared ordered reduction —
+      // bit-identical to the historic running sum.
+      const cplx gsum = ordered_sum(glt);
       (*out.s_fock)[k] += pref * (*in.v_elements)[k] * gsum;
     }
   }

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <thread>
 
+#include "common/reduction.hpp"
+
 namespace qtx::par {
 
 CommWorld::CommWorld(int size, Backend backend)
@@ -37,6 +39,8 @@ void CommWorld::run(const std::function<void(Comm&)>& fn) {
 
 std::int64_t CommWorld::total_bytes_sent() const {
   std::int64_t sum = 0;
+  // qtx-lint: allow(raw-accumulate) — exact integer byte counters;
+  // associativity holds bit-for-bit at any fold order.
   for (const auto b : bytes_sent_) sum += b;
   return sum;
 }
@@ -132,9 +136,8 @@ std::vector<std::vector<cplx>> Comm::alltoall(
 double Comm::allreduce_sum(double v) {
   std::vector<cplx> mine = {cplx(v, 0.0)};
   const std::vector<cplx> all = allgather(mine);
-  double s = 0.0;
-  for (const auto& x : all) s += x.real();
-  return s;
+  // allgather returns in rank order, so the fold is rank-deterministic.
+  return ordered_sum_real(all);
 }
 
 double Comm::allreduce_max(double v) {

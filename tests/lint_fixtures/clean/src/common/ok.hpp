@@ -1,0 +1,5 @@
+#pragma once
+
+namespace qtx {
+inline int ok() { return 0; }
+}  // namespace qtx

@@ -1,0 +1,10 @@
+// Forbidden tokens inside comments and string literals must never fire:
+// std::cout, rand(), volatile, std::unordered_map, t.detach().
+
+namespace qtx::core {
+inline const char* doc() {
+  return "std::cout rand( volatile std::unordered_map .detach( "
+         "for (x : xs) s += p[e]";
+}
+inline int separator() { return 1'000'000; }
+}  // namespace qtx::core

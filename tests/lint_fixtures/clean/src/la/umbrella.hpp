@@ -1,0 +1,6 @@
+#pragma once
+
+/// Umbrella header fixture: include-only headers are exempt from the
+/// namespace-qtx rule.
+
+#include "common/ok.hpp"

@@ -1,0 +1,12 @@
+#include <vector>
+
+namespace qtx::core {
+double waived(const std::vector<double>& xs) {
+  double sum = 0.0;
+  // qtx-lint: allow(raw-accumulate) — fixture: provably fixed-order
+  // fold, waived with a multi-line justification comment.
+  for (const double x : xs) sum += x;
+  return sum;
+}
+volatile int sink = 0;  // qtx-lint: allow(volatile) — fixture sink.
+}  // namespace qtx::core

@@ -1,0 +1,14 @@
+#include <vector>
+
+namespace qtx::core {
+double fold_a(const std::vector<double>& partials) {
+  double sum = 0.0;
+  for (const double p : partials) sum += p;
+  return sum;
+}
+double fold_b(const std::vector<double>& g, int ne) {
+  double acc = 0.0;
+  for (int e = 0; e < ne; ++e) acc += g[e];
+  return acc;
+}
+}  // namespace qtx::core

@@ -1,0 +1,8 @@
+#include <random>
+
+namespace qtx::device {
+double bad() {
+  std::mt19937 gen(42);
+  return static_cast<double>(gen());
+}
+}  // namespace qtx::device

@@ -1,0 +1,3 @@
+namespace qtx::fft {
+inline int f() { return 2; }
+}  // namespace qtx::fft

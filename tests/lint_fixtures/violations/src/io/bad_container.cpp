@@ -1,0 +1,8 @@
+#include <unordered_map>
+
+namespace qtx::io {
+int bad() {
+  std::unordered_map<int, int> m;
+  return static_cast<int>(m.size());
+}
+}  // namespace qtx::io

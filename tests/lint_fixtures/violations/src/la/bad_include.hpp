@@ -1,0 +1,7 @@
+#pragma once
+
+#include "core/simulation.hpp"
+
+namespace qtx::la {
+inline int bad() { return 1; }
+}  // namespace qtx::la

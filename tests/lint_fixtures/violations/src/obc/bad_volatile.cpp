@@ -1,0 +1,3 @@
+namespace qtx::obc {
+volatile int flag = 0;
+}  // namespace qtx::obc

@@ -1,0 +1,5 @@
+#include <iostream>
+
+namespace qtx::par {
+void report() { std::cout << 42; }
+}  // namespace qtx::par

@@ -1,0 +1,8 @@
+#include <thread>
+
+namespace qtx::par {
+void spawn() {
+  std::thread t([] {});
+  t.detach();
+}
+}  // namespace qtx::par

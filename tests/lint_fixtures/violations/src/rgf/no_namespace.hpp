@@ -1,0 +1,3 @@
+#pragma once
+
+inline int bare_symbol() { return 3; }

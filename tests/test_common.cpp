@@ -11,6 +11,7 @@
 
 #include "common/check.hpp"
 #include "common/flops.hpp"
+#include "common/reduction.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
@@ -252,6 +253,60 @@ TEST(Types, FermiDiracMonotoneDecreasing) {
     EXPECT_LE(f, prev + 1e-15);
     prev = f;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Reduction
+// ---------------------------------------------------------------------------
+
+TEST(Reduction, OrderedSumMatchesManualAscendingFold) {
+  // The contract is the *exact* fold order, not just the value: the result
+  // must be bit-identical to a left-to-right accumulation in index order.
+  std::vector<double> partials;
+  Rng rng(1234);
+  for (int i = 0; i < 64; ++i) partials.push_back(rng.uniform());
+  double manual = 0.0;
+  for (const double p : partials) manual += p;
+  EXPECT_EQ(ordered_sum(partials), manual);
+}
+
+TEST(Reduction, OrderedSumComplexFoldsBothParts) {
+  std::vector<cplx> partials;
+  Rng rng(99);
+  for (int i = 0; i < 32; ++i) partials.push_back(rng.complex_uniform());
+  cplx manual = 0.0;
+  for (const cplx& p : partials) manual += p;
+  const cplx got = ordered_sum(partials);
+  EXPECT_EQ(got.real(), manual.real());
+  EXPECT_EQ(got.imag(), manual.imag());
+}
+
+TEST(Reduction, OrderedSumRealDropsImaginaryParts) {
+  // par::Comm ships scalars as complex payloads; the real fold must be
+  // bit-identical to summing the real parts alone in index order.
+  const std::vector<cplx> partials = {
+      {0.1, 7.0}, {0.2, -3.0}, {0.3, 1.5}, {-0.05, 100.0}};
+  double manual = 0.0;
+  for (const cplx& p : partials) manual += p.real();
+  EXPECT_EQ(ordered_sum_real(partials), manual);
+}
+
+TEST(Reduction, EmptyPartialsSumToZero) {
+  EXPECT_EQ(ordered_sum(std::vector<double>{}), 0.0);
+  EXPECT_EQ(ordered_sum(std::vector<cplx>{}), cplx(0.0));
+  EXPECT_EQ(ordered_sum_real({}), 0.0);
+}
+
+TEST(Reduction, OrderSensitivityIsRealAndPinned) {
+  // Floating-point addition is not associative: reversing the fold order of
+  // these values changes the result ((0.1 + 0.2) + 0.3 != (0.3 + 0.2) + 0.1
+  // in binary64). This is exactly why raw `+=` folds over per-energy
+  // partials are banned (qtx-lint check `raw-accumulate`) — a refactor that
+  // reorders the loop silently changes physics output.
+  const std::vector<double> forward = {0.1, 0.2, 0.3};
+  const std::vector<double> reversed(forward.rbegin(), forward.rend());
+  EXPECT_NE(ordered_sum(forward), ordered_sum(reversed));
+  EXPECT_NEAR(ordered_sum(forward), ordered_sum(reversed), 1e-15);
 }
 
 }  // namespace

@@ -1,0 +1,315 @@
+// Tests for the qtx-lint static-analysis pass (src/analysis):
+//
+//  - preprocessing: comment/string blanking, digit separators, raw
+//    strings, suppression annotations, umbrella-header detection
+//  - every check fires on its seeded fixture violation with the exact
+//    <file>:<line> diagnostic (tests/lint_fixtures/violations)
+//  - clean and suppressed fixture trees report zero findings
+//  - the qtx-lint binary's exit-code contract: 0 clean / 1 violations /
+//    2 usage error
+//
+// The repo-wide gate (the real src/ tree must lint clean) is the separate
+// `lint.repo` ctest case registered in CMakeLists.txt.
+
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/lint.hpp"
+#include "analysis/source.hpp"
+
+#ifndef QTX_LINT_FIXTURE_DIR
+#error "QTX_LINT_FIXTURE_DIR must point at tests/lint_fixtures"
+#endif
+#ifndef QTX_LINT_BIN
+#error "QTX_LINT_BIN must point at the qtx-lint binary"
+#endif
+
+namespace {
+
+using qtx::analysis::Diagnostic;
+using qtx::analysis::LintOptions;
+using qtx::analysis::LintReport;
+using qtx::analysis::LintUsageError;
+using qtx::analysis::preprocess_source;
+using qtx::analysis::run_lint;
+using qtx::analysis::run_lint_on;
+using qtx::analysis::SourceFile;
+
+std::string fixture(const std::string& tree) {
+  return std::string(QTX_LINT_FIXTURE_DIR) + "/" + tree;
+}
+
+/// Runs the real binary, returns its exit code (not the raw wait status).
+int run_lint_binary(const std::string& args, const std::string& log) {
+  const std::string cmd =
+      std::string("\"") + QTX_LINT_BIN + "\" " + args + " > " + log + " 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+bool has_diag(const LintReport& r, const std::string& file, int line,
+              const std::string& check) {
+  return std::any_of(r.diagnostics.begin(), r.diagnostics.end(),
+                     [&](const Diagnostic& d) {
+                       return d.file == file && d.line == line &&
+                              d.check == check;
+                     });
+}
+
+// ---------------------------------------------------------------------------
+//
+
+TEST(LintSource, BlanksCommentsAndStringLiterals) {
+  const SourceFile sf = preprocess_source(
+      "int a = 1; // std::cout here\n"
+      "const char* s = \"volatile rand(\";\n"
+      "/* block volatile\n"
+      "   comment */ int b = 2;\n",
+      "src/core/x.cpp");
+  ASSERT_EQ(sf.code.size(), 4u);
+  EXPECT_EQ(sf.code[0].find("std::cout"), std::string::npos);
+  EXPECT_EQ(sf.code[1].find("volatile"), std::string::npos);
+  EXPECT_NE(sf.code[1].find("const char* s ="), std::string::npos);
+  EXPECT_EQ(sf.code[2].find("volatile"), std::string::npos);
+  EXPECT_NE(sf.code[3].find("int b = 2;"), std::string::npos);
+}
+
+TEST(LintSource, DigitSeparatorIsNotACharLiteral) {
+  const SourceFile sf = preprocess_source(
+      "int n = 1'000'000; int detach_me = 0; // volatile\n",
+      "src/core/x.cpp");
+  // The digit separator must not open a char literal that swallows the
+  // rest of the line.
+  EXPECT_NE(sf.code[0].find("int detach_me = 0;"), std::string::npos);
+  EXPECT_EQ(sf.code[0].find("volatile"), std::string::npos);
+}
+
+TEST(LintSource, RawStringLiteralIsBlanked) {
+  const SourceFile sf = preprocess_source(
+      "const char* re = R\"(std::cout volatile)\"; int c = 3;\n",
+      "src/core/x.cpp");
+  EXPECT_EQ(sf.code[0].find("volatile"), std::string::npos);
+  EXPECT_NE(sf.code[0].find("int c = 3;"), std::string::npos);
+}
+
+TEST(LintSource, LayerAndHeaderDetection) {
+  EXPECT_EQ(preprocess_source("", "src/core/x.cpp").layer, "core");
+  EXPECT_EQ(preprocess_source("", "src/la/m.hpp").layer, "la");
+  EXPECT_TRUE(preprocess_source("", "src/la/m.hpp").is_header);
+  EXPECT_FALSE(preprocess_source("", "src/la/m.cpp").is_header);
+  EXPECT_EQ(preprocess_source("", "apps/main.cpp").layer, "");
+}
+
+TEST(LintSource, SuppressionOnOwnLine) {
+  const SourceFile sf = preprocess_source(
+      "volatile int x = 0;  // qtx-lint: allow(volatile) — sink\n",
+      "src/core/x.cpp");
+  EXPECT_TRUE(sf.line_allows(1, "volatile"));
+  EXPECT_FALSE(sf.line_allows(1, "rng"));
+}
+
+TEST(LintSource, StandaloneSuppressionGovernsNextCodeLine) {
+  const SourceFile sf = preprocess_source(
+      "// qtx-lint: allow(volatile, raw-accumulate) — two-name list,\n"
+      "// continued justification on a second comment line.\n"
+      "volatile int x = 0;\n",
+      "src/core/x.cpp");
+  EXPECT_TRUE(sf.line_allows(3, "volatile"));
+  EXPECT_TRUE(sf.line_allows(3, "raw-accumulate"));
+  EXPECT_FALSE(sf.line_allows(2, "rng"));
+}
+
+TEST(LintSource, UmbrellaHeaderHasNoNonPreprocessorCode) {
+  const SourceFile umbrella = preprocess_source(
+      "#pragma once\n// doc\n#include \"la/gemm.hpp\"\n", "src/la/la.hpp");
+  EXPECT_FALSE(umbrella.has_non_preprocessor_code());
+  const SourceFile decl = preprocess_source(
+      "#pragma once\nint f();\n", "src/la/f.hpp");
+  EXPECT_TRUE(decl.has_non_preprocessor_code());
+}
+
+// ---------------------------------------------------------------------------
+// Every check fires on its seeded fixture violation, with exact file:line.
+// ---------------------------------------------------------------------------
+
+class LintViolations : public ::testing::Test {
+ protected:
+  static const LintReport& report() {
+    static const LintReport r = run_lint(fixture("violations"));
+    return r;
+  }
+};
+
+TEST_F(LintViolations, LayeringEdgeIsNamed) {
+  EXPECT_TRUE(has_diag(report(), "src/la/bad_include.hpp", 3, "layering"));
+  // The diagnostic names the offending edge.
+  const auto it = std::find_if(
+      report().diagnostics.begin(), report().diagnostics.end(),
+      [](const Diagnostic& d) { return d.check == "layering"; });
+  ASSERT_NE(it, report().diagnostics.end());
+  EXPECT_NE(it->message.find("la -> core"), std::string::npos);
+}
+
+TEST_F(LintViolations, RawAccumulateFiresOnBothFoldShapes) {
+  EXPECT_TRUE(
+      has_diag(report(), "src/core/bad_fold.cpp", 6, "raw-accumulate"));
+  EXPECT_TRUE(
+      has_diag(report(), "src/core/bad_fold.cpp", 11, "raw-accumulate"));
+}
+
+TEST_F(LintViolations, UnorderedContainerInIo) {
+  EXPECT_TRUE(
+      has_diag(report(), "src/io/bad_container.cpp", 5, "unordered-io"));
+}
+
+TEST_F(LintViolations, RawRngEngine) {
+  EXPECT_TRUE(has_diag(report(), "src/device/bad_rng.cpp", 5, "rng"));
+}
+
+TEST_F(LintViolations, MissingPragmaOnce) {
+  EXPECT_TRUE(has_diag(report(), "src/fft/no_pragma.hpp", 1, "pragma-once"));
+}
+
+TEST_F(LintViolations, MissingNamespace) {
+  EXPECT_TRUE(
+      has_diag(report(), "src/rgf/no_namespace.hpp", 1, "namespace-qtx"));
+}
+
+TEST_F(LintViolations, ConsoleWriteInLibraryCode) {
+  EXPECT_TRUE(has_diag(report(), "src/par/bad_console.cpp", 4, "iostream"));
+}
+
+TEST_F(LintViolations, DetachedThread) {
+  EXPECT_TRUE(
+      has_diag(report(), "src/par/bad_detach.cpp", 6, "thread-detach"));
+}
+
+TEST_F(LintViolations, VolatileAsSynchronization) {
+  EXPECT_TRUE(has_diag(report(), "src/obc/bad_volatile.cpp", 2, "volatile"));
+}
+
+TEST_F(LintViolations, ExactlyTheSeededViolationsAndNothingElse) {
+  EXPECT_EQ(report().diagnostics.size(), 10u);
+  // Deterministic ordering: sorted by path, then line, then check.
+  for (std::size_t i = 1; i < report().diagnostics.size(); ++i) {
+    const Diagnostic& a = report().diagnostics[i - 1];
+    const Diagnostic& b = report().diagnostics[i];
+    EXPECT_LE(std::tie(a.file, a.line, a.check),
+              std::tie(b.file, b.line, b.check));
+  }
+}
+
+TEST_F(LintViolations, EveryRegisteredCheckFiredOnTheFixtureTree) {
+  // The fixture tree stays in lockstep with the registry: a new check
+  // needs a seeded violation (this fails until one is added).
+  std::vector<std::string> fired;
+  for (const Diagnostic& d : report().diagnostics) fired.push_back(d.check);
+  for (const auto& c : qtx::analysis::lint_checks())
+    EXPECT_NE(std::find(fired.begin(), fired.end(), c.name), fired.end())
+        << "check '" << c.name
+        << "' has no seeded violation under tests/lint_fixtures/violations";
+}
+
+// ---------------------------------------------------------------------------
+// Clean + suppressed trees, check subsets, usage errors
+// ---------------------------------------------------------------------------
+
+TEST(LintRun, CleanTreeIsClean) {
+  const LintReport r = run_lint(fixture("clean"));
+  EXPECT_TRUE(r.clean()) << qtx::analysis::format_report(r);
+  EXPECT_EQ(r.files_scanned, 3);
+  EXPECT_EQ(r.checks_run.size(), qtx::analysis::lint_checks().size());
+}
+
+TEST(LintRun, SuppressedTreeIsClean) {
+  const LintReport r = run_lint(fixture("suppressed"));
+  EXPECT_TRUE(r.clean()) << qtx::analysis::format_report(r);
+}
+
+TEST(LintRun, CheckSubsetRunsOnlyThatCheck) {
+  LintOptions opts;
+  opts.checks = {"volatile"};
+  const LintReport r = run_lint(fixture("violations"), opts);
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].check, "volatile");
+  EXPECT_EQ(r.checks_run, std::vector<std::string>{"volatile"});
+}
+
+TEST(LintRun, UnknownCheckNameThrowsUsageError) {
+  LintOptions opts;
+  opts.checks = {"no-such-check"};
+  EXPECT_THROW(run_lint(fixture("clean"), opts), LintUsageError);
+}
+
+TEST(LintRun, MissingSrcDirectoryThrowsUsageError) {
+  EXPECT_THROW(run_lint(fixture("does-not-exist")), LintUsageError);
+}
+
+TEST(LintRun, RegistryHasAtLeastEightChecks) {
+  EXPECT_GE(qtx::analysis::lint_checks().size(), 8u);
+}
+
+TEST(LintRun, FormatDiagnosticMatchesIoConvention) {
+  const Diagnostic d{"src/la/x.cpp", 12, "volatile", "message text"};
+  EXPECT_EQ(qtx::analysis::format_diagnostic(d),
+            "src/la/x.cpp:12: [volatile] message text");
+}
+
+// ---------------------------------------------------------------------------
+// The binary's exit-code contract: 0 clean / 1 violations / 2 usage.
+// ---------------------------------------------------------------------------
+
+TEST(LintBinary, CleanTreeExitsZero) {
+  EXPECT_EQ(run_lint_binary("--root " + fixture("clean"), "lint_clean.log"),
+            0);
+}
+
+TEST(LintBinary, ViolationsExitOne) {
+  EXPECT_EQ(run_lint_binary("--root " + fixture("violations"),
+                            "lint_violations.log"),
+            1);
+}
+
+TEST(LintBinary, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_lint_binary("--frobnicate", "lint_usage1.log"), 2);
+  EXPECT_EQ(run_lint_binary("--root " + fixture("clean") +
+                                " --check no-such-check",
+                            "lint_usage2.log"),
+            2);
+  EXPECT_EQ(run_lint_binary("--root " + fixture("does-not-exist"),
+                            "lint_usage3.log"),
+            2);
+}
+
+TEST(LintBinary, ListChecksExitsZero) {
+  ASSERT_EQ(run_lint_binary("--list-checks", "lint_list.log"), 0);
+  std::ifstream in("lint_list.log");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  for (const auto& c : qtx::analysis::lint_checks())
+    EXPECT_NE(buf.str().find(c.name), std::string::npos);
+}
+
+TEST(LintBinary, ReportFileMatchesStdout) {
+  ASSERT_EQ(run_lint_binary("--root " + fixture("violations") +
+                                " --report lint_report_out.txt",
+                            "lint_report.log"),
+            1);
+  std::ifstream report("lint_report_out.txt");
+  ASSERT_TRUE(report.good());
+  std::ostringstream buf;
+  buf << report.rdbuf();
+  EXPECT_NE(buf.str().find("src/obc/bad_volatile.cpp:2: [volatile]"),
+            std::string::npos);
+  EXPECT_NE(buf.str().find("10 violations"), std::string::npos);
+}
+
+}  // namespace
