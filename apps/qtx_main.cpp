@@ -3,7 +3,8 @@
 // io/result_writer) behind five subcommands; every tutorial in docs/ drives
 // this binary.
 //
-//   qtx run   <scenario.ini> [--out DIR] [--threads N] [--set k=v]... [--quiet]
+//   qtx run   <scenario.ini> [--out DIR] [--threads N] [--ranks N]
+//             [--rank-timeout SECONDS] [--set k=v]... [--quiet]
 //   qtx sweep <scenario.ini> [--out DIR] [--threads N] [--set k=v]... [--quiet]
 //   qtx print <scenario.ini> [--set k=v]...  # parse + validate, emit canonical
 //   qtx list-backends             # the StageRegistry catalog, generated
@@ -29,8 +30,8 @@ constexpr const char* kUsage =
     "qtx — scenario-driven NEGF+GW quantum-transport driver\n"
     "\n"
     "usage:\n"
-    "  qtx run   <scenario.ini> [--out DIR] [--threads N] [--set KEY=VALUE]"
-    "... [--quiet]\n"
+    "  qtx run   <scenario.ini> [--out DIR] [--threads N] [--ranks N]\n"
+    "            [--rank-timeout SECONDS] [--set KEY=VALUE]... [--quiet]\n"
     "  qtx sweep <scenario.ini> [--out DIR] [--threads N] [--set KEY=VALUE]"
     "... [--quiet]\n"
     "  qtx print <scenario.ini> [--set KEY=VALUE]...\n"
@@ -47,6 +48,12 @@ constexpr const char* kUsage =
     "\n"
     "--out DIR      override the scenario's [output] directory\n"
     "--threads N    override the scenario's solver num_threads\n"
+    "--ranks N      (run only) fork N worker processes and shard the\n"
+    "               energy grid over them via the \"socket\" comm backend;\n"
+    "               rank 0 writes the output files, bit-identical to a\n"
+    "               sequential run\n"
+    "--rank-timeout SECONDS  kill and reap the workers if the ranked run\n"
+    "               exceeds this wall-clock budget (default 300)\n"
     "--set KEY=VALUE  override any [solver] or [device] deck key without\n"
     "               editing the file (repeatable; device keys take a\n"
     "               \"device.\" prefix, e.g. --set device.num_cells=8\n"
@@ -60,6 +67,8 @@ struct CliArgs {
   std::string scenario_path;
   std::string out_dir;
   int threads = 0;  ///< 0 = keep the scenario's value
+  int ranks = 0;    ///< 0 = in-process run; N > 0 forks N workers
+  double rank_timeout = 300.0;  ///< seconds before a ranked run is killed
   bool quiet = false;
   /// --set KEY=VALUE deck overrides, in command-line order.
   std::vector<std::pair<std::string, std::string>> sets;
@@ -108,6 +117,36 @@ bool parse_cli(int argc, char** argv, CliArgs& args, int& exit_code) {
       }
       if (args.threads < 1) {
         exit_code = usage_error("--threads needs a positive worker count");
+        return false;
+      }
+    } else if (arg == "--ranks") {
+      if (++i >= argc) {
+        exit_code = usage_error("--ranks needs a process count");
+        return false;
+      }
+      try {
+        args.ranks = qtx::strings::parse_int32(argv[i]);
+      } catch (const std::runtime_error& e) {
+        exit_code = usage_error(std::string("--ranks: ") + e.what());
+        return false;
+      }
+      if (args.ranks < 1) {
+        exit_code = usage_error("--ranks needs a positive process count");
+        return false;
+      }
+    } else if (arg == "--rank-timeout") {
+      if (++i >= argc) {
+        exit_code = usage_error("--rank-timeout needs a seconds argument");
+        return false;
+      }
+      try {
+        args.rank_timeout = qtx::strings::parse_double(argv[i]);
+      } catch (const std::runtime_error& e) {
+        exit_code = usage_error(std::string("--rank-timeout: ") + e.what());
+        return false;
+      }
+      if (!(args.rank_timeout > 0.0)) {
+        exit_code = usage_error("--rank-timeout needs a positive duration");
         return false;
       }
     } else if (arg == "--set") {
@@ -170,6 +209,28 @@ int cmd_run(const CliArgs& args) {
                 s.name.c_str(), s.device_preset.c_str(),
                 s.device.num_cells, s.device.orbitals_per_puc * s.device.nu,
                 s.solver.grid.n);
+  if (args.ranks > 0) {
+    // Multi-process path: fork the workers over the socket transport.
+    // Rank 0 writes the usual files; the parent only supervises, so the
+    // summary here is the launch report, not in-process observables.
+    const qtx::io::RankedOutcome ranked = qtx::io::run_scenario_ranked(
+        s, args.ranks, args.rank_timeout, qtx::core::StageRegistry::global(),
+        progress_printer(args.quiet));
+    if (!ranked.launch.ok()) {
+      std::fprintf(stderr, "qtx: ranked run failed: %s\n",
+                   ranked.launch.diagnostic.c_str());
+      return ranked.launch.exit_code != 0 ? ranked.launch.exit_code : 1;
+    }
+    std::printf("ranked run complete: %d worker process%s\n", ranked.ranks,
+                ranked.ranks == 1 ? "" : "es");
+    if (!s.output.directory.empty())
+      std::printf("rank 0 wrote results under %s\n",
+                  s.output.directory.c_str());
+    else
+      std::printf("(no output directory configured; use --out DIR or the "
+                  "[output] section)\n");
+    return 0;
+  }
   const qtx::io::RunOutcome out = qtx::io::run_scenario(
       s, qtx::core::StageRegistry::global(), progress_printer(args.quiet));
   const qtx::core::TransportResult& res = out.results.result;
@@ -253,6 +314,8 @@ int main(int argc, char** argv) {
   CliArgs args;
   int exit_code = 0;
   if (!parse_cli(argc, argv, args, exit_code)) return exit_code;
+  if (args.ranks > 0 && args.command != "run")
+    return usage_error("--ranks is only valid with \"qtx run\"");
   try {
     if (args.command == "run") return cmd_run(args);
     if (args.command == "sweep") return cmd_sweep(args);

@@ -1,24 +1,84 @@
 // Fig. 6 reproduction: weak scaling in the number of energy points.
 //
 // Part A (measured): the real distributed pipeline (G-solve -> transpose ->
-// P-FFT -> transpose -> W-solve -> transpose -> Sigma-FFT) over the
-// thread-backed communicator, with both backends (*CCL-analogue zero-copy
-// vs host-staged MPI-analogue), rank counts 1..8, constant energies/rank.
+// P-FFT -> transpose -> W-solve -> transpose -> Sigma-FFT) over EVERY comm
+// transport registered with the StageRegistry ("device-direct" *CCL
+// analogue, "host-staged" MPI analogue, "socket" wire transport), rank
+// counts 1..8, constant energies/rank — plus a real-process mode that
+// forks the socket ranks with par::launch_ranks, the same engine behind
+// `qtx run --ranks`.
 //
 // Part B (projected): the calibrated machine model over the paper's node
 // counts for NR-40 (Frontier) and NR-23 (Alps), annotated with the parallel
 // efficiency at the largest scale (paper: 82.0% / 84.7%).
+//
+// Emits BENCH_fig6_weak_scaling.json (current working directory) and exits
+// non-zero if the in-process transports disagree on the bytes-moved
+// accounting (they must all move the same payload bytes — that is what
+// makes the Fig. 6 backend curves comparable).
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/distributed.hpp"
 #include "core/perf_model.hpp"
+#include "core/stage_registry.hpp"
+#include "par/launcher.hpp"
 
 using namespace qtx;
 using namespace qtx::core;
 
+namespace {
+
+struct MeasuredRow {
+  std::string backend;
+  std::string mode;  // "threads" (CommGroup) or "processes" (launch_ranks)
+  int ranks = 0;
+  int energies = 0;
+  DistributedStats stats;
+};
+
+/// Fork \p ranks real worker processes over the socket transport and run
+/// one distributed iteration; rank 0 hands its (world-aggregated) stats
+/// back to the parent through a temp file, since the workers share no
+/// memory with us. Returns false if the launch failed.
+bool run_process_mode(int ranks, const device::Structure& st,
+                      const SimulationOptions& opt, DistributedStats& out) {
+  const char* path = "BENCH_fig6_ranked_stats.tmp";
+  std::remove(path);
+  const par::LaunchReport report =
+      par::launch_ranks(ranks, 600.0, [&](par::Comm& c) {
+        const DistributedStats s = distributed_iteration(c, st, opt);
+        if (c.rank() == 0) {
+          FILE* f = std::fopen(path, "w");
+          if (f != nullptr) {
+            std::fprintf(f, "%.17g %.17g %.17g %lld\n", s.compute_s,
+                         s.comm_s, s.total_s,
+                         static_cast<long long>(s.bytes_sent));
+            std::fclose(f);
+          }
+        }
+      });
+  if (!report.ok()) {
+    std::printf("  launch failed: %s\n", report.diagnostic.c_str());
+    return false;
+  }
+  FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return false;
+  long long bytes = 0;
+  const int got = std::fscanf(f, "%lg %lg %lg %lld", &out.compute_s,
+                              &out.comm_s, &out.total_s, &bytes);
+  std::fclose(f);
+  std::remove(path);
+  out.bytes_sent = bytes;
+  return got == 4;
+}
+
+}  // namespace
+
 int main() {
-  std::printf("=== Fig. 6 (A): measured weak scaling, thread ranks ===\n\n");
+  std::printf("=== Fig. 6 (A): measured weak scaling, all transports ===\n\n");
   const device::Structure st = device::make_test_structure(4);
   SimulationOptions opt;
   opt.eta = 0.05;
@@ -27,29 +87,63 @@ int main() {
   opt.contacts.mu_right = gap.conduction_min + 0.1;
   opt.gw_scale = 0.3;
   const int energies_per_rank = 8;
-  for (const auto backend :
-       {par::Backend::kDeviceDirect, par::Backend::kHostStaged}) {
-    std::printf("backend: %s\n", backend == par::Backend::kDeviceDirect
-                                     ? "*CCL-like (device direct)"
-                                     : "host-MPI-like (staged)");
+
+  std::vector<MeasuredRow> rows;
+  for (const std::string& key : StageRegistry::global().comm_keys()) {
+    std::printf("backend: %s (thread ranks)\n", key.c_str());
     std::printf("%6s %6s %12s %12s %12s %10s %12s\n", "ranks", "N_E",
                 "compute[s]", "comm[s]", "total[s]", "eff", "GB moved");
     double t1 = 0.0;
     for (const int ranks : {1, 2, 4, 8}) {
       opt.grid = EnergyGrid{-6.0, 6.0, ranks * energies_per_rank};
-      par::CommWorld world(ranks, backend);
-      const DistributedStats s = distributed_iteration(world, st, opt);
+      const auto world =
+          StageRegistry::global().make_comm(key, ranks, opt);
+      const DistributedStats s = distributed_iteration(*world, st, opt);
       if (ranks == 1) t1 = s.total_s;
       std::printf("%6d %6d %12.3f %12.3f %12.3f %10.2f %12.3f\n", ranks,
                   opt.grid.n, s.compute_s, s.comm_s, s.total_s,
                   t1 / s.total_s, s.bytes_sent / 1e9);
+      rows.push_back({key, "threads", ranks, opt.grid.n, s});
     }
     std::printf("\n");
   }
+
+  // Real-process mode: the socket transport spanning forked workers — the
+  // engine behind `qtx run --ranks N`, here driving the same iteration.
+  std::printf("backend: socket (forked worker processes)\n");
+  std::printf("%6s %6s %12s %12s %12s %12s\n", "ranks", "N_E", "compute[s]",
+              "comm[s]", "total[s]", "GB moved");
+  for (const int ranks : {1, 2, 4}) {
+    opt.grid = EnergyGrid{-6.0, 6.0, ranks * energies_per_rank};
+    DistributedStats s;
+    if (!run_process_mode(ranks, st, opt, s)) continue;
+    std::printf("%6d %6d %12.3f %12.3f %12.3f %12.3f\n", ranks, opt.grid.n,
+                s.compute_s, s.comm_s, s.total_s, s.bytes_sent / 1e9);
+    rows.push_back({"socket", "processes", ranks, opt.grid.n, s});
+  }
   std::printf(
-      "(one physical core serves all ranks here, so wall-clock efficiency\n"
+      "\n(one physical core serves all ranks here, so wall-clock efficiency\n"
       "reflects serialized compute; the communication column and the\n"
       "backend gap are the measured quantities of interest)\n\n");
+
+  // Accounting gate: every in-process transport must report the same
+  // payload-byte total for the same (ranks, N_E) configuration.
+  bool bytes_match = true;
+  for (const MeasuredRow& r : rows) {
+    if (r.mode != "threads") continue;
+    for (const MeasuredRow& ref : rows) {
+      if (ref.mode != "threads" || ref.ranks != r.ranks) continue;
+      if (ref.stats.bytes_sent != r.stats.bytes_sent) {
+        std::printf("BYTE MISMATCH at %d ranks: %s moved %lld, %s moved "
+                    "%lld\n",
+                    r.ranks, r.backend.c_str(),
+                    static_cast<long long>(r.stats.bytes_sent),
+                    ref.backend.c_str(),
+                    static_cast<long long>(ref.stats.bytes_sent));
+        bytes_match = false;
+      }
+    }
+  }
 
   std::printf("=== Fig. 6 (B): projected weak scaling (machine model) ===\n");
   struct Series {
@@ -89,5 +183,31 @@ int main() {
       "\nPaper anchors: 82.0%% efficiency for NR-40 at 9,400 Frontier\n"
       "nodes; 84.7%% for NR-23 on Alps; host MPI overtakes *CCL at scale\n"
       "(the *CCL instability of §7.2).\n");
-  return 0;
+
+  FILE* json = std::fopen("BENCH_fig6_weak_scaling.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"fig6_weak_scaling\",\n"
+                 "  \"energies_per_rank\": %d,\n"
+                 "  \"bytes_accounting_match\": %s,\n"
+                 "  \"measured\": [\n",
+                 energies_per_rank, bytes_match ? "true" : "false");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const MeasuredRow& r = rows[i];
+      std::fprintf(json,
+                   "    {\"backend\": \"%s\", \"mode\": \"%s\", "
+                   "\"ranks\": %d, \"energies\": %d, "
+                   "\"compute_s\": %.6f, \"comm_s\": %.6f, "
+                   "\"total_s\": %.6f, \"bytes_sent\": %lld}%s\n",
+                   r.backend.c_str(), r.mode.c_str(), r.ranks, r.energies,
+                   r.stats.compute_s, r.stats.comm_s, r.stats.total_s,
+                   static_cast<long long>(r.stats.bytes_sent),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_fig6_weak_scaling.json\n");
+  }
+  return bytes_match ? 0 : 1;
 }

@@ -22,6 +22,15 @@
 #                        # gate). Degrades gracefully: without CBLAS/LAPACKE
 #                        # the "blas" backend simply isn't registered and
 #                        # the label covers reference + native only.
+#   ./ci.sh ranks        # Release build running the "comm" ctest label
+#                        # (collective contract of every registered comm
+#                        # backend + the forked-process launcher's fault
+#                        # handling), the golden.ranked_quickstart
+#                        # cross-process determinism gate, and the Fig. 6
+#                        # weak-scaling bench (emits
+#                        # BENCH_fig6_weak_scaling.json). Ranks are
+#                        # processes, not threads — runs on a single-core
+#                        # container.
 #   ./ci.sh tidy         # clang-tidy over the src/ tree with the curated
 #                        # .clang-tidy check set (skipped with a notice when
 #                        # clang-tidy is not installed)
@@ -84,15 +93,17 @@ tsan() {
     -DQTX_SANITIZE=thread \
     -DQTX_BUILD_BENCHES=OFF \
     -DQTX_BUILD_EXAMPLES=OFF
-  echo "=== [TSan] build (api + parallel + accel suites) ==="
+  echo "=== [TSan] build (api + parallel + accel + comm suites) ==="
   cmake --build "$build_dir" -j "$JOBS" \
-    --target test_api test_parallel test_accel qtx
-  echo "=== [TSan] ctest -L 'api|parallel|accel' ==="
+    --target test_api test_parallel test_accel test_comm_transport qtx
+  echo "=== [TSan] ctest -L 'api|parallel|accel|comm' ==="
   # The race-sensitive suites: the facade (observers, registry), the energy
-  # pipeline (thread pool, work stealing, determinism at 8 workers), and
-  # the accel layer (mixers running on the parallel energy loop).
-  ctest --test-dir "$build_dir" -L "api|parallel|accel" --output-on-failure \
-    -j "$JOBS"
+  # pipeline (thread pool, work stealing, determinism at 8 workers), the
+  # accel layer (mixers running on the parallel energy loop), and the comm
+  # transports (the socket wire framing runs its ranks as threads here, so
+  # TSan sees every frame enqueue/drain).
+  ctest --test-dir "$build_dir" -L "api|parallel|accel|comm" \
+    --output-on-failure -j "$JOBS"
 }
 
 asan_ubsan() {
@@ -130,6 +141,28 @@ blas() {
   # are exercised exactly when the configure step found the libraries;
   # bench.table4_kernels emits BENCH_table4_kernels.json either way.
   ctest --test-dir "$build_dir" -L la-backend --output-on-failure -j "$JOBS"
+}
+
+ranks() {
+  build_dir="build-ci-ranks"
+  echo "=== [ranks] configure (Release) ==="
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DQTX_WERROR=ON \
+    -DQTX_BUILD_EXAMPLES=OFF
+  echo "=== [ranks] build (comm suite + qtx + fig6 bench) ==="
+  cmake --build "$build_dir" -j "$JOBS" \
+    --target test_comm_transport qtx bench_fig6_weak_scaling
+  echo "=== [ranks] ctest -L 'comm|golden' ==="
+  # The collective contract against every registered transport, the
+  # launcher fault-injection cases, and the 1/2/4-rank cross-process
+  # determinism goldens. Ranks are forked processes, not threads, so this
+  # stage is meaningful even on a single-core runner.
+  ctest --test-dir "$build_dir" -L "comm|golden" --output-on-failure \
+    -j "$JOBS"
+  echo "=== [ranks] Fig. 6 weak-scaling bench (all transports +" \
+       "real-process mode) ==="
+  (cd "$build_dir" && ./bench_fig6_weak_scaling)
 }
 
 tidy() {
@@ -183,6 +216,7 @@ case "$STAGE" in
   tsan) tsan ;;
   asan-ubsan) asan_ubsan ;;
   blas) blas ;;
+  ranks) ranks ;;
   tidy) tidy ;;
   docs) docs ;;
   all)
@@ -191,12 +225,13 @@ case "$STAGE" in
     tsan
     asan_ubsan
     blas
+    ranks
     tidy
     docs
     ;;
   *)
     echo "unknown stage '$STAGE' (expected: build-test, lint, tsan," \
-         "asan-ubsan, blas, tidy, docs, all)" >&2
+         "asan-ubsan, blas, ranks, tidy, docs, all)" >&2
     exit 2
     ;;
 esac

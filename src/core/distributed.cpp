@@ -1,5 +1,6 @@
 #include "core/distributed.hpp"
 
+#include <cmath>
 #include <memory>
 #include <mutex>
 
@@ -13,7 +14,55 @@
 
 namespace qtx::core {
 
-DistributedStats distributed_iteration(par::CommWorld& world,
+// ---------------------------------------------------------------------------
+// EnergyShardExchange
+// ---------------------------------------------------------------------------
+
+EnergyShardExchange::EnergyShardExchange(par::Comm& comm,
+                                         par::BlockDistribution dist)
+    : comm_(&comm), dist_(dist) {
+  QTX_CHECK(dist_.parts == comm.size());
+}
+
+void EnergyShardExchange::post(int e, const std::vector<cplx>& payload) {
+  QTX_CHECK_MSG(dist_.owner(e) == comm_->rank(),
+                "EnergyShardExchange::post: energy "
+                    << e << " is owned by rank " << dist_.owner(e)
+                    << ", not by posting rank " << comm_->rank());
+  // First cell tags the message with its energy index, so receivers match
+  // payloads regardless of the order concurrent workers posted them in.
+  std::vector<cplx> msg;
+  msg.reserve(payload.size() + 1);
+  msg.push_back(cplx(static_cast<double>(e), 0.0));
+  msg.insert(msg.end(), payload.begin(), payload.end());
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (int r = 0; r < comm_->size(); ++r)
+    if (r != comm_->rank()) comm_->send(r, msg);
+}
+
+void EnergyShardExchange::complete(
+    const std::function<void(int, std::vector<cplx>)>& fill) {
+  for (int r = 0; r < comm_->size(); ++r) {
+    if (r == comm_->rank()) continue;
+    const std::int64_t expected = dist_.count(r);
+    for (std::int64_t m = 0; m < expected; ++m) {
+      std::vector<cplx> msg = comm_->recv(r);
+      QTX_CHECK(!msg.empty());
+      const int e = static_cast<int>(std::llround(msg.front().real()));
+      QTX_CHECK_MSG(dist_.owner(e) == r, "EnergyShardExchange: rank "
+                                             << r << " sent energy " << e
+                                             << " it does not own");
+      msg.erase(msg.begin());
+      fill(e, std::move(msg));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// distributed_iteration
+// ---------------------------------------------------------------------------
+
+DistributedStats distributed_iteration(par::Comm& comm,
                                        const device::Structure& structure,
                                        const SimulationOptions& opt) {
   opt.validate(structure.num_cells());
@@ -23,190 +72,202 @@ DistributedStats distributed_iteration(par::CommWorld& world,
   if (!opt.cell_potential.empty()) apply_cell_potential(h, opt.cell_potential);
   BlockTridiag v = structure.coulomb_bt();
   v *= cplx(opt.gw_scale, 0.0);
-  const std::vector<cplx> v_flat = serialize_sym(v);
-  par::Transposer transposer(ne, layout.num_elements(), world.size());
-  world.reset_byte_counter();
-
-  DistributedStats stats;
-  std::mutex stats_mutex;
+  par::Transposer transposer(ne, layout.num_elements(), comm.size());
   const int nb = layout.nb;
   const BlockTridiag zero_sigma(nb, layout.bs);
+  const std::int64_t bytes_at_entry = comm.bytes_sent();
 
+  double compute_s = 0.0, comm_s = 0.0;
+  Stopwatch phase;
+  const std::int64_t e0 = transposer.energies().offset(comm.rank());
+  const std::int64_t ne_mine = transposer.energies().count(comm.rank());
+  // Per-rank energy pipeline over this rank's grid slice — the same
+  // engine (batching, executor policy, per-batch OBC caches) that backs
+  // Simulation, resolved from the same registry keys. With the default
+  // num_threads = 1 each rank runs its slice sequentially; > 1 nests
+  // shared-memory workers inside every rank.
+  EnergyPipeline pipeline(static_cast<int>(ne_mine), opt,
+                          StageRegistry::global());
+  // ---- G stage (energy layout) --------------------------------------
+  phase.restart();
+  std::vector<cplx> g_lt_flat(ne_mine * layout.num_elements());
+  std::vector<cplx> g_gt_flat(ne_mine * layout.num_elements());
+  pipeline.for_each_energy([&](int el, int ws) {
+    const int e = static_cast<int>(e0 + el);
+    BlockTridiag m =
+        assemble_electron_lhs(opt.grid.energy(e), opt.eta, h, zero_sigma);
+    const ElectronObc ob = electron_obc(m, opt.grid.energy(e), opt.contacts,
+                                        pipeline.obc(ws), e);
+    m.diag(0) -= ob.sigma_r_left;
+    m.diag(nb - 1) -= ob.sigma_r_right;
+    BlockTridiag bl(nb, layout.bs), bg(nb, layout.bs);
+    bl.diag(0) += ob.sigma_l_left;
+    bl.diag(nb - 1) += ob.sigma_l_right;
+    bg.diag(0) += ob.sigma_g_left;
+    bg.diag(nb - 1) += ob.sigma_g_right;
+    const rgf::SelectedSolution sel = pipeline.greens(ws).solve(m, bl, bg);
+    const std::vector<cplx> lt = serialize_sym(sel.xl);
+    const std::vector<cplx> gt = serialize_sym(sel.xg);
+    std::copy(lt.begin(), lt.end(),
+              g_lt_flat.begin() + el * layout.num_elements());
+    std::copy(gt.begin(), gt.end(),
+              g_gt_flat.begin() + el * layout.num_elements());
+  });
+  compute_s += phase.seconds();
+  // ---- transpose to element layout ----------------------------------
+  phase.restart();
+  std::vector<cplx> lt_elem = transposer.to_element_layout(comm, g_lt_flat);
+  std::vector<cplx> gt_elem = transposer.to_element_layout(comm, g_gt_flat);
+  comm_s += phase.seconds();
+  // ---- P stage (element layout) -------------------------------------
+  phase.restart();
+  const std::int64_t k_mine = transposer.elements().count(comm.rank());
+  fft::EnergyConvolver conv(ne, opt.grid.de());
+  std::vector<cplx> p_lt_elem(k_mine * ne), p_gt_elem(k_mine * ne),
+      p_r_elem(k_mine * ne);
+  {
+    std::vector<cplx> slt(ne), sgt(ne), olt, ogt, org;
+    for (std::int64_t k = 0; k < k_mine; ++k) {
+      for (int e = 0; e < ne; ++e) {
+        slt[e] = lt_elem[k * ne + e];
+        sgt[e] = gt_elem[k * ne + e];
+      }
+      conv.polarization(slt, sgt, olt, ogt);
+      conv.retarded_boson(olt, ogt, org);
+      for (int e = 0; e < ne; ++e) {
+        p_lt_elem[k * ne + e] = olt[e];
+        p_gt_elem[k * ne + e] = ogt[e];
+        p_r_elem[k * ne + e] = org[e];
+      }
+    }
+  }
+  compute_s += phase.seconds();
+  // ---- transpose P back, solve W (energy layout) ---------------------
+  phase.restart();
+  std::vector<cplx> p_lt_en = transposer.to_energy_layout(comm, p_lt_elem);
+  std::vector<cplx> p_gt_en = transposer.to_energy_layout(comm, p_gt_elem);
+  std::vector<cplx> p_r_en = transposer.to_energy_layout(comm, p_r_elem);
+  comm_s += phase.seconds();
+  phase.restart();
+  std::vector<cplx> w_lt_flat(ne_mine * layout.num_elements());
+  std::vector<cplx> w_gt_flat(ne_mine * layout.num_elements());
+  pipeline.for_each_energy([&](int el, int ws) {
+    const int w = static_cast<int>(e0 + el);
+    std::vector<cplx> flt(layout.num_elements()), fgt(layout.num_elements()),
+        fr(layout.num_elements()), jump(layout.num_elements());
+    for (std::int64_t k = 0; k < layout.num_elements(); ++k) {
+      flt[k] = p_lt_en[el * layout.num_elements() + k];
+      fgt[k] = p_gt_en[el * layout.num_elements() + k];
+      fr[k] = p_r_en[el * layout.num_elements() + k];
+      jump[k] = fgt[k] - flt[k];
+    }
+    const BlockTridiag p_r = deserialize_retarded(fr, jump, layout);
+    const BlockTridiag p_lt = deserialize_lesser(flt, layout);
+    const BlockTridiag p_gt = deserialize_lesser(fgt, layout);
+    BlockTridiag m = assemble_w_lhs(v, p_r);
+    BlockTridiag bl = assemble_w_rhs(v, p_lt);
+    BlockTridiag bg = assemble_w_rhs(v, p_gt);
+    const WObc ob = w_obc(m, bl, bg, pipeline.obc(ws), w);
+    m.diag(0) -= ob.br_left;
+    m.diag(nb - 1) -= ob.br_right;
+    bl.diag(0) += ob.bl_left;
+    bl.diag(nb - 1) += ob.bl_right;
+    bg.diag(0) += ob.bg_left;
+    bg.diag(nb - 1) += ob.bg_right;
+    const rgf::SelectedSolution sel = pipeline.greens(ws).solve(m, bl, bg);
+    const std::vector<cplx> lt = serialize_sym(sel.xl);
+    const std::vector<cplx> gt = serialize_sym(sel.xg);
+    std::copy(lt.begin(), lt.end(),
+              w_lt_flat.begin() + el * layout.num_elements());
+    std::copy(gt.begin(), gt.end(),
+              w_gt_flat.begin() + el * layout.num_elements());
+  });
+  compute_s += phase.seconds();
+  // ---- transpose W, Sigma convolution, transpose back ----------------
+  phase.restart();
+  std::vector<cplx> wlt_elem = transposer.to_element_layout(comm, w_lt_flat);
+  std::vector<cplx> wgt_elem = transposer.to_element_layout(comm, w_gt_flat);
+  comm_s += phase.seconds();
+  phase.restart();
+  std::vector<cplx> s_lt_elem(k_mine * ne), s_gt_elem(k_mine * ne);
+  {
+    std::vector<cplx> slt(ne), sgt(ne), wl(ne), wg(ne), olt, ogt;
+    for (std::int64_t k = 0; k < k_mine; ++k) {
+      for (int e = 0; e < ne; ++e) {
+        slt[e] = lt_elem[k * ne + e];
+        sgt[e] = gt_elem[k * ne + e];
+        wl[e] = wlt_elem[k * ne + e];
+        wg[e] = wgt_elem[k * ne + e];
+      }
+      conv.self_energy(slt, sgt, wl, wg, olt, ogt);
+      for (int e = 0; e < ne; ++e) {
+        s_lt_elem[k * ne + e] = olt[e];
+        s_gt_elem[k * ne + e] = ogt[e];
+      }
+    }
+  }
+  compute_s += phase.seconds();
+  phase.restart();
+  std::vector<cplx> s_lt_en = transposer.to_energy_layout(comm, s_lt_elem);
+  std::vector<cplx> s_gt_en = transposer.to_energy_layout(comm, s_gt_elem);
+  comm_s += phase.seconds();
+  // ---- mix (energy layout, per rank) ---------------------------------
+  // The same registry dispatch Simulation::compute_sigma_and_mix
+  // performs: each rank mixes its grid slice through the resolved
+  // accel::Mixer, starting from this iteration's zero self-energy.
+  phase.restart();
+  std::vector<std::vector<cplx>> cur_lt(
+      ne_mine, std::vector<cplx>(layout.num_elements(), cplx(0.0)));
+  std::vector<std::vector<cplx>> cur_gt = cur_lt;
+  std::vector<std::vector<cplx>> new_lt(ne_mine), new_gt(ne_mine);
+  pipeline.for_each_energy([&](int el, int) {
+    new_lt[el].assign(s_lt_en.begin() + el * layout.num_elements(),
+                      s_lt_en.begin() + (el + 1) * layout.num_elements());
+    new_gt[el].assign(s_gt_en.begin() + el * layout.num_elements(),
+                      s_gt_en.begin() + (el + 1) * layout.num_elements());
+  });
+  const std::unique_ptr<accel::Mixer> mixer =
+      StageRegistry::global().make_mixer(opt.resolved_mixer(), opt);
+  accel::SigmaState state;
+  state.lesser = &cur_lt;
+  state.greater = &cur_gt;
+  accel::SigmaProposal proposal;
+  proposal.lesser = &new_lt;
+  proposal.greater = &new_gt;
+  const accel::MixOutcome mixed = mixer->mix(
+      state, proposal, [&](const std::function<void(int)>& fn) {
+        pipeline.for_each_energy([&](int el, int) { fn(el); });
+      });
+  compute_s += phase.seconds();
+  // ---- aggregate ------------------------------------------------------
+  DistributedStats stats;
+  stats.compute_s = comm.allreduce_max(compute_s);
+  stats.comm_s = comm.allreduce_max(comm_s);
+  stats.total_s = stats.compute_s + stats.comm_s;
+  stats.sigma_update = comm.allreduce_max(mixed.update);
+  // Exact below 2^53 bytes: integer counters carried through the double
+  // allreduce (the fold itself is ordered, see Comm::allreduce_sum).
+  const double bytes_mine =
+      static_cast<double>(comm.bytes_sent() - bytes_at_entry);
+  stats.bytes_sent = static_cast<std::int64_t>(comm.allreduce_sum(bytes_mine));
+  return stats;
+}
+
+DistributedStats distributed_iteration(par::CommGroup& world,
+                                       const device::Structure& structure,
+                                       const SimulationOptions& opt) {
+  world.reset_byte_counter();
+  DistributedStats stats;
+  std::mutex stats_mutex;
   world.run([&](par::Comm& comm) {
-    double compute_s = 0.0, comm_s = 0.0;
-    Stopwatch phase;
-    const std::int64_t e0 = transposer.energies().offset(comm.rank());
-    const std::int64_t ne_mine = transposer.energies().count(comm.rank());
-    // Per-rank energy pipeline over this rank's grid slice — the same
-    // engine (batching, executor policy, per-batch OBC caches) that backs
-    // Simulation, resolved from the same registry keys. With the default
-    // num_threads = 1 each rank runs its slice sequentially; > 1 nests
-    // shared-memory workers inside every rank.
-    EnergyPipeline pipeline(static_cast<int>(ne_mine), opt,
-                            StageRegistry::global());
-    // ---- G stage (energy layout) --------------------------------------
-    phase.restart();
-    std::vector<cplx> g_lt_flat(ne_mine * layout.num_elements());
-    std::vector<cplx> g_gt_flat(ne_mine * layout.num_elements());
-    pipeline.for_each_energy([&](int el, int ws) {
-      const int e = static_cast<int>(e0 + el);
-      BlockTridiag m =
-          assemble_electron_lhs(opt.grid.energy(e), opt.eta, h, zero_sigma);
-      const ElectronObc ob = electron_obc(m, opt.grid.energy(e), opt.contacts,
-                                          pipeline.obc(ws), e);
-      m.diag(0) -= ob.sigma_r_left;
-      m.diag(nb - 1) -= ob.sigma_r_right;
-      BlockTridiag bl(nb, layout.bs), bg(nb, layout.bs);
-      bl.diag(0) += ob.sigma_l_left;
-      bl.diag(nb - 1) += ob.sigma_l_right;
-      bg.diag(0) += ob.sigma_g_left;
-      bg.diag(nb - 1) += ob.sigma_g_right;
-      const rgf::SelectedSolution sel = pipeline.greens(ws).solve(m, bl, bg);
-      const std::vector<cplx> lt = serialize_sym(sel.xl);
-      const std::vector<cplx> gt = serialize_sym(sel.xg);
-      std::copy(lt.begin(), lt.end(),
-                g_lt_flat.begin() + el * layout.num_elements());
-      std::copy(gt.begin(), gt.end(),
-                g_gt_flat.begin() + el * layout.num_elements());
-    });
-    compute_s += phase.seconds();
-    // ---- transpose to element layout ----------------------------------
-    phase.restart();
-    std::vector<cplx> lt_elem = transposer.to_element_layout(comm, g_lt_flat);
-    std::vector<cplx> gt_elem = transposer.to_element_layout(comm, g_gt_flat);
-    comm_s += phase.seconds();
-    // ---- P stage (element layout) -------------------------------------
-    phase.restart();
-    const std::int64_t k_mine = transposer.elements().count(comm.rank());
-    fft::EnergyConvolver conv(ne, opt.grid.de());
-    std::vector<cplx> p_lt_elem(k_mine * ne), p_gt_elem(k_mine * ne),
-        p_r_elem(k_mine * ne);
-    {
-      std::vector<cplx> slt(ne), sgt(ne), olt, ogt, org;
-      for (std::int64_t k = 0; k < k_mine; ++k) {
-        for (int e = 0; e < ne; ++e) {
-          slt[e] = lt_elem[k * ne + e];
-          sgt[e] = gt_elem[k * ne + e];
-        }
-        conv.polarization(slt, sgt, olt, ogt);
-        conv.retarded_boson(olt, ogt, org);
-        for (int e = 0; e < ne; ++e) {
-          p_lt_elem[k * ne + e] = olt[e];
-          p_gt_elem[k * ne + e] = ogt[e];
-          p_r_elem[k * ne + e] = org[e];
-        }
-      }
-    }
-    compute_s += phase.seconds();
-    // ---- transpose P back, solve W (energy layout) ---------------------
-    phase.restart();
-    std::vector<cplx> p_lt_en = transposer.to_energy_layout(comm, p_lt_elem);
-    std::vector<cplx> p_gt_en = transposer.to_energy_layout(comm, p_gt_elem);
-    std::vector<cplx> p_r_en = transposer.to_energy_layout(comm, p_r_elem);
-    comm_s += phase.seconds();
-    phase.restart();
-    std::vector<cplx> w_lt_flat(ne_mine * layout.num_elements());
-    std::vector<cplx> w_gt_flat(ne_mine * layout.num_elements());
-    pipeline.for_each_energy([&](int el, int ws) {
-      const int w = static_cast<int>(e0 + el);
-      std::vector<cplx> flt(layout.num_elements()), fgt(layout.num_elements()),
-          fr(layout.num_elements()), jump(layout.num_elements());
-      for (std::int64_t k = 0; k < layout.num_elements(); ++k) {
-        flt[k] = p_lt_en[el * layout.num_elements() + k];
-        fgt[k] = p_gt_en[el * layout.num_elements() + k];
-        fr[k] = p_r_en[el * layout.num_elements() + k];
-        jump[k] = fgt[k] - flt[k];
-      }
-      const BlockTridiag p_r = deserialize_retarded(fr, jump, layout);
-      const BlockTridiag p_lt = deserialize_lesser(flt, layout);
-      const BlockTridiag p_gt = deserialize_lesser(fgt, layout);
-      BlockTridiag m = assemble_w_lhs(v, p_r);
-      BlockTridiag bl = assemble_w_rhs(v, p_lt);
-      BlockTridiag bg = assemble_w_rhs(v, p_gt);
-      const WObc ob = w_obc(m, bl, bg, pipeline.obc(ws), w);
-      m.diag(0) -= ob.br_left;
-      m.diag(nb - 1) -= ob.br_right;
-      bl.diag(0) += ob.bl_left;
-      bl.diag(nb - 1) += ob.bl_right;
-      bg.diag(0) += ob.bg_left;
-      bg.diag(nb - 1) += ob.bg_right;
-      const rgf::SelectedSolution sel = pipeline.greens(ws).solve(m, bl, bg);
-      const std::vector<cplx> lt = serialize_sym(sel.xl);
-      const std::vector<cplx> gt = serialize_sym(sel.xg);
-      std::copy(lt.begin(), lt.end(),
-                w_lt_flat.begin() + el * layout.num_elements());
-      std::copy(gt.begin(), gt.end(),
-                w_gt_flat.begin() + el * layout.num_elements());
-    });
-    compute_s += phase.seconds();
-    // ---- transpose W, Sigma convolution, transpose back ----------------
-    phase.restart();
-    std::vector<cplx> wlt_elem = transposer.to_element_layout(comm, w_lt_flat);
-    std::vector<cplx> wgt_elem = transposer.to_element_layout(comm, w_gt_flat);
-    comm_s += phase.seconds();
-    phase.restart();
-    std::vector<cplx> s_lt_elem(k_mine * ne), s_gt_elem(k_mine * ne);
-    {
-      std::vector<cplx> slt(ne), sgt(ne), wl(ne), wg(ne), olt, ogt;
-      for (std::int64_t k = 0; k < k_mine; ++k) {
-        for (int e = 0; e < ne; ++e) {
-          slt[e] = lt_elem[k * ne + e];
-          sgt[e] = gt_elem[k * ne + e];
-          wl[e] = wlt_elem[k * ne + e];
-          wg[e] = wgt_elem[k * ne + e];
-        }
-        conv.self_energy(slt, sgt, wl, wg, olt, ogt);
-        for (int e = 0; e < ne; ++e) {
-          s_lt_elem[k * ne + e] = olt[e];
-          s_gt_elem[k * ne + e] = ogt[e];
-        }
-      }
-    }
-    compute_s += phase.seconds();
-    phase.restart();
-    std::vector<cplx> s_lt_en = transposer.to_energy_layout(comm, s_lt_elem);
-    std::vector<cplx> s_gt_en = transposer.to_energy_layout(comm, s_gt_elem);
-    comm_s += phase.seconds();
-    // ---- mix (energy layout, per rank) ---------------------------------
-    // The same registry dispatch Simulation::compute_sigma_and_mix
-    // performs: each rank mixes its grid slice through the resolved
-    // accel::Mixer, starting from this iteration's zero self-energy.
-    phase.restart();
-    std::vector<std::vector<cplx>> cur_lt(
-        ne_mine, std::vector<cplx>(layout.num_elements(), cplx(0.0)));
-    std::vector<std::vector<cplx>> cur_gt = cur_lt;
-    std::vector<std::vector<cplx>> new_lt(ne_mine), new_gt(ne_mine);
-    pipeline.for_each_energy([&](int el, int) {
-      new_lt[el].assign(s_lt_en.begin() + el * layout.num_elements(),
-                        s_lt_en.begin() + (el + 1) * layout.num_elements());
-      new_gt[el].assign(s_gt_en.begin() + el * layout.num_elements(),
-                        s_gt_en.begin() + (el + 1) * layout.num_elements());
-    });
-    const std::unique_ptr<accel::Mixer> mixer =
-        StageRegistry::global().make_mixer(opt.resolved_mixer(), opt);
-    accel::SigmaState state;
-    state.lesser = &cur_lt;
-    state.greater = &cur_gt;
-    accel::SigmaProposal proposal;
-    proposal.lesser = &new_lt;
-    proposal.greater = &new_gt;
-    const accel::MixOutcome mixed = mixer->mix(
-        state, proposal, [&](const std::function<void(int)>& fn) {
-          pipeline.for_each_energy([&](int el, int) { fn(el); });
-        });
-    compute_s += phase.seconds();
-    // ---- aggregate ------------------------------------------------------
-    const double max_compute = comm.allreduce_max(compute_s);
-    const double max_comm = comm.allreduce_max(comm_s);
-    const double max_update = comm.allreduce_max(mixed.update);
+    const DistributedStats mine = distributed_iteration(comm, structure, opt);
     if (comm.rank() == 0) {
       std::lock_guard<std::mutex> lock(stats_mutex);
-      stats.compute_s = max_compute;
-      stats.comm_s = max_comm;
-      stats.total_s = max_compute + max_comm;
-      stats.sigma_update = max_update;
+      stats = mine;
     }
   });
+  // The world counter also covers the stats allreduces themselves — keep
+  // the historic exact accounting for in-process worlds.
   stats.bytes_sent = world.total_bytes_sent();
   return stats;
 }

@@ -1,14 +1,25 @@
 #pragma once
 
 /// \file distributed.hpp
-/// One distributed SCBA iteration over the thread-backed communicator —
-/// the measured counterpart of the paper's Fig. 3 pipeline: every rank owns
-/// a slice of the energy grid for the solver stages and a slice of the
+/// One distributed SCBA iteration over a pluggable communicator — the
+/// measured counterpart of the paper's Fig. 3 pipeline: every rank owns a
+/// slice of the energy grid for the solver stages and a slice of the
 /// selected elements for the FFT stages, with all-to-all transpositions in
 /// between. Used by the weak-scaling benchmark (Fig. 6 reproduction) with
-/// both communication backends.
+/// every registered comm backend, and — through the per-rank overload — by
+/// real multi-process worlds launched with `par::launch_ranks`.
+///
+/// `EnergyShardExchange` is the building block behind sharded
+/// `Simulation` runs (`Simulation::distribute_over`): each rank solves only
+/// its owned energy points and posts the per-energy results to its peers
+/// *as they complete*, so the Σ exchange overlaps the remaining G/W solves;
+/// received payloads are bitwise copies of the owner's state, which keeps
+/// multi-rank runs bit-identical to sequential ones.
 
 #include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
 
 #include "core/options.hpp"
 #include "device/structure.hpp"
@@ -37,8 +48,47 @@ struct DistributedStats {
 /// opt.num_threads > 1 nests shared-memory workers inside every rank. The
 /// final Sigma mix also dispatches per rank through the registry-resolved
 /// accel::Mixer (opt.mixer), mirroring Simulation::compute_sigma_and_mix.
-DistributedStats distributed_iteration(par::CommWorld& world,
+DistributedStats distributed_iteration(par::CommGroup& world,
                                        const device::Structure& structure,
                                        const SimulationOptions& opt);
+
+/// Per-rank body of the distributed iteration, for callers that already
+/// *are* a rank — worker processes forked by `par::launch_ranks`, or a
+/// custom `CommGroup::run` closure. Every rank returns the same aggregated
+/// timings (allreduce_max folds); bytes_sent is the exact world total of
+/// this iteration's traffic (integer counters allreduced, exact below
+/// 2^53 bytes).
+DistributedStats distributed_iteration(par::Comm& comm,
+                                       const device::Structure& structure,
+                                       const SimulationOptions& opt);
+
+/// Asynchronous replication of per-energy solver state across ranks. Each
+/// rank posts every energy point it owns (under \p dist) as soon as its
+/// solve completes — sends are *posted* (mailboxes never block; the socket
+/// transport enqueues frames and flushes opportunistically), so the
+/// exchange overlaps the remaining solves. complete() then receives
+/// dist.count(peer) messages from every peer and hands each to the caller
+/// keyed by its energy index, after which every rank holds bitwise-equal
+/// state for the full grid. post() is thread-safe (pipeline workers post
+/// concurrently); complete() must be called once, after the local solve
+/// loop has joined.
+class EnergyShardExchange {
+ public:
+  /// \p dist shards [0, dist.total) energy indices over comm.size() ranks.
+  EnergyShardExchange(par::Comm& comm, par::BlockDistribution dist);
+
+  /// Post owned energy \p e's serialized state to every peer rank.
+  void post(int e, const std::vector<cplx>& payload);
+
+  /// Receive every peer-owned energy's payload; calls
+  /// \p fill(e, payload) once per non-owned energy (in arrival order —
+  /// payloads are self-identifying, so arrival order does not matter).
+  void complete(const std::function<void(int, std::vector<cplx>)>& fill);
+
+ private:
+  par::Comm* comm_;
+  par::BlockDistribution dist_;
+  std::mutex mutex_;  ///< serializes posts from concurrent pipeline workers
+};
 
 }  // namespace qtx::core

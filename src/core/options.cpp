@@ -27,6 +27,10 @@ std::string SimulationOptions::resolved_la_backend() const {
   return (la_backend == kAutoBackend) ? "reference" : la_backend;
 }
 
+std::string SimulationOptions::resolved_comm_backend() const {
+  return (comm_backend == kAutoBackend) ? "device-direct" : comm_backend;
+}
+
 std::vector<std::string> SimulationOptions::resolved_channels() const {
   if (!(self_energy_channels.size() == 1 &&
         self_energy_channels[0] == kAutoBackend)) {
@@ -161,6 +165,9 @@ void SimulationOptions::validate(int num_cells) const {
   QTX_CHECK_MSG(!resolved_la_backend().empty(),
                 "la_backend must not be empty; use \"reference\", "
                 "\"native\", or \"blas\"");
+  QTX_CHECK_MSG(!resolved_comm_backend().empty(),
+                "comm_backend must not be empty; use \"device-direct\", "
+                "\"host-staged\", or \"socket\"");
   const std::vector<std::string> channels = resolved_channels();
   for (std::size_t i = 0; i < channels.size(); ++i) {
     const std::string& key = channels[i];
@@ -312,6 +319,10 @@ const std::vector<Binder>& binders() {
     // Dense-kernel backend (sticky-default, same append-only policy).
     b.push_back(sticky_default(
         qb::bind_string("la_backend", &SimulationOptions::la_backend),
+        kAutoBackend));
+    // Communicator transport (sticky-default, same append-only policy).
+    b.push_back(sticky_default(
+        qb::bind_string("comm_backend", &SimulationOptions::comm_backend),
         kAutoBackend));
     return b;
   }();

@@ -111,6 +111,14 @@ struct SimulationOptions {
   /// RGF/OBC layers with no options context), so the most recently
   /// constructed Simulation's choice wins.
   std::string la_backend = kAutoBackend;
+  /// Communicator transport key (par/comm.hpp, registry kind "comm"):
+  /// "device-direct" (in-process mailbox, zero-copy hand-off — the *CCL
+  /// analogue), "host-staged" (in-process mailbox with host staging copies
+  /// — the host-MPI analogue), "socket" (AF_UNIX length-prefixed frames,
+  /// the transport behind multi-process `qtx run --ranks`). "auto"
+  /// resolves to "device-direct" for in-process worlds; the `qtx run`
+  /// launcher requires "socket" (or "auto") in ranked mode.
+  std::string comm_backend = kAutoBackend;
 
   /// Resolve the "auto" sentinels against the legacy flat knobs.
   std::string resolved_obc_backend() const;
@@ -121,6 +129,8 @@ struct SimulationOptions {
   std::string resolved_mixer() const;
   /// Resolve the "auto" la-backend sentinel (defaults to "reference").
   std::string resolved_la_backend() const;
+  /// Resolve the "auto" comm-backend sentinel (defaults to "device-direct").
+  std::string resolved_comm_backend() const;
 
   /// Reject inconsistent inputs with actionable messages (throws
   /// std::runtime_error). \p num_cells is the device's transport-cell count,

@@ -4,6 +4,7 @@
 
 #include "common/flops.hpp"
 #include "common/timer.hpp"
+#include "core/distributed.hpp"
 
 namespace qtx::core {
 
@@ -49,7 +50,41 @@ std::shared_ptr<EnergyPipeline> acquire_pipeline(
   return std::make_shared<EnergyPipeline>(opt.grid.n, opt, registry);
 }
 
+// --- shard-exchange wire helpers: bitwise flat (de)serialization ----------
+
+void append_matrix(const la::Matrix& m, std::vector<cplx>& out) {
+  out.insert(out.end(), m.data(),
+             m.data() + static_cast<std::size_t>(m.rows()) * m.cols());
+}
+
+void read_matrix(la::Matrix& m, const std::vector<cplx>& in,
+                 std::size_t& pos) {
+  const std::size_t n = static_cast<std::size_t>(m.rows()) * m.cols();
+  std::copy(in.begin() + static_cast<std::ptrdiff_t>(pos),
+            in.begin() + static_cast<std::ptrdiff_t>(pos + n), m.data());
+  pos += n;
+}
+
+void append_bt(const BlockTridiag& b, std::vector<cplx>& out) {
+  for (int i = 0; i < b.num_blocks(); ++i) append_matrix(b.diag(i), out);
+  for (int i = 0; i + 1 < b.num_blocks(); ++i) append_matrix(b.upper(i), out);
+  for (int i = 0; i + 1 < b.num_blocks(); ++i) append_matrix(b.lower(i), out);
+}
+
+void read_bt(BlockTridiag& b, const std::vector<cplx>& in, std::size_t& pos) {
+  for (int i = 0; i < b.num_blocks(); ++i) read_matrix(b.diag(i), in, pos);
+  for (int i = 0; i + 1 < b.num_blocks(); ++i) read_matrix(b.upper(i), in, pos);
+  for (int i = 0; i + 1 < b.num_blocks(); ++i) read_matrix(b.lower(i), in, pos);
+}
+
 }  // namespace
+
+void Simulation::distribute_over(par::Comm& comm) {
+  QTX_CHECK_MSG(comm.size() <= opt_.grid.n,
+                "distribute_over: " << comm.size() << " ranks for only "
+                                    << opt_.grid.n << " energy points");
+  comm_ = &comm;
+}
 
 Simulation::Simulation(const device::Structure& structure,
                        const SimulationOptions& opt,
@@ -127,10 +162,19 @@ BlockTridiag Simulation::effective_system_matrix(int e) const {
 
 void Simulation::solve_g() {
   const int nb = layout_.nb;
+  // Energy sharding (distribute_over): each rank solves only its owned
+  // energies and posts the per-energy state to its peers as it completes,
+  // overlapping the exchange with the remaining solves.
+  const bool sharded = comm_ != nullptr && comm_->size() > 1;
+  const par::BlockDistribution dist{opt_.grid.n,
+                                    sharded ? comm_->size() : 1};
+  std::unique_ptr<EnergyShardExchange> exchange;
+  if (sharded) exchange = std::make_unique<EnergyShardExchange>(*comm_, dist);
   // Assemble -> OBC -> RGF per energy, batches possibly concurrent. Every
   // write lands in this energy's own slot and every solver call uses this
   // batch's private workspace, so the schedule cannot change the result.
   pipeline_->for_each_energy([&](int e, int batch) {
+    if (sharded && dist.owner(e) != comm_->rank()) return;
     const double energy = opt_.grid.energy(e);
     BlockTridiag m;
     ElectronObc ob;
@@ -162,7 +206,42 @@ void Simulation::solve_g() {
       glt_[e] = std::move(sel.xl);
       ggt_[e] = std::move(sel.xg);
     }
+    if (sharded) {
+      std::vector<cplx> payload;
+      append_bt(gr_[e], payload);
+      append_bt(glt_[e], payload);
+      append_bt(ggt_[e], payload);
+      append_matrix(obc_r_l_[e], payload);
+      append_matrix(obc_r_r_[e], payload);
+      append_matrix(obc_lt_l_[e], payload);
+      append_matrix(obc_gt_l_[e], payload);
+      append_matrix(obc_lt_r_[e], payload);
+      append_matrix(obc_gt_r_[e], payload);
+      exchange->post(e, payload);
+    }
   });
+  if (sharded) {
+    const int bs = layout_.bs;
+    exchange->complete([&](int e, std::vector<cplx> payload) {
+      std::size_t pos = 0;
+      read_bt(gr_[e], payload, pos);
+      read_bt(glt_[e], payload, pos);
+      read_bt(ggt_[e], payload, pos);
+      obc_r_l_[e] = la::Matrix(bs, bs);
+      obc_r_r_[e] = la::Matrix(bs, bs);
+      obc_lt_l_[e] = la::Matrix(bs, bs);
+      obc_gt_l_[e] = la::Matrix(bs, bs);
+      obc_lt_r_[e] = la::Matrix(bs, bs);
+      obc_gt_r_[e] = la::Matrix(bs, bs);
+      read_matrix(obc_r_l_[e], payload, pos);
+      read_matrix(obc_r_r_[e], payload, pos);
+      read_matrix(obc_lt_l_[e], payload, pos);
+      read_matrix(obc_gt_l_[e], payload, pos);
+      read_matrix(obc_lt_r_[e], payload, pos);
+      read_matrix(obc_gt_r_[e], payload, pos);
+      QTX_CHECK(pos == payload.size());
+    });
+  }
 }
 
 void Simulation::compute_polarization() {
@@ -179,7 +258,13 @@ void Simulation::compute_polarization() {
 
 void Simulation::solve_w() {
   const int nb = layout_.nb;
+  const bool sharded = comm_ != nullptr && comm_->size() > 1;
+  const par::BlockDistribution dist{opt_.grid.n,
+                                    sharded ? comm_->size() : 1};
+  std::unique_ptr<EnergyShardExchange> exchange;
+  if (sharded) exchange = std::make_unique<EnergyShardExchange>(*comm_, dist);
   pipeline_->for_each_energy([&](int w, int batch) {
+    if (sharded && dist.owner(w) != comm_->rank()) return;
     BlockTridiag m, bl, bg;
     {
       ScopedTimer t("W: Assembly: LHS");
@@ -212,7 +297,21 @@ void Simulation::solve_w() {
       wlt_[w] = std::move(sel.xl);
       wgt_[w] = std::move(sel.xg);
     }
+    if (sharded) {
+      std::vector<cplx> payload;
+      append_bt(wlt_[w], payload);
+      append_bt(wgt_[w], payload);
+      exchange->post(w, payload);
+    }
   });
+  if (sharded) {
+    exchange->complete([&](int w, std::vector<cplx> payload) {
+      std::size_t pos = 0;
+      read_bt(wlt_[w], payload, pos);
+      read_bt(wgt_[w], payload, pos);
+      QTX_CHECK(pos == payload.size());
+    });
+  }
 }
 
 accel::MixOutcome Simulation::compute_sigma_and_mix() {

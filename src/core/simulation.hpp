@@ -143,6 +143,17 @@ class Simulation {
   void on_iteration(IterationCallback cb);
   void on_kernel_timing(KernelTimingCallback cb);
 
+  /// Shard the energy grid over \p comm's ranks: this rank solves only its
+  /// owned energy points in the G and W stages and replicates the rest from
+  /// its peers through an `EnergyShardExchange` (core/distributed.hpp) —
+  /// per-energy payloads are posted asynchronously as each solve completes,
+  /// so the exchange overlaps the remaining solves. Received state is a
+  /// bitwise copy of the owner's, and the P / Sigma / mixing stages run
+  /// replicated on the full grid, so every rank (and therefore a ranked
+  /// `qtx run`) stays bit-identical to the sequential run. \p comm must
+  /// outlive this Simulation; call before iterate()/run().
+  void distribute_over(par::Comm& comm);
+
   /// Has the Sigma update fallen below tol?
   bool converged() const { return last_update_ <= opt_.tol; }
   /// Total iterations performed (including manual iterate() calls).
@@ -241,6 +252,10 @@ class Simulation {
   // StopReason::kDiverged and the per-iteration diagnostics.
   std::unique_ptr<accel::Mixer> mixer_;
   accel::ConvergenceMonitor monitor_;
+  // Energy-grid sharding (distribute_over): non-null means the G/W stages
+  // solve only this rank's energy points and replicate the rest via the
+  // shard exchange. Not owned.
+  par::Comm* comm_ = nullptr;
 
   // Streaming observers.
   std::vector<IterationCallback> iteration_observers_;

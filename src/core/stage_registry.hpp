@@ -13,12 +13,15 @@
 ///   - EnergyLoopExecutor: "sequential", "omp" (work-stealing thread pool)
 ///   - la::Backend:        "reference", "native", and "blas" when compiled
 ///                         against CBLAS/LAPACKE (src/la/backend.hpp)
+///   - par::CommGroup:     "device-direct", "host-staged" (in-process
+///                         mailbox transports), "socket" (AF_UNIX frame
+///                         transport shared with `qtx run --ranks`)
 ///
 /// Unknown keys fail fast with the list of known keys. New backends
 /// register with `register_obc` / `register_greens` / `register_channel` /
-/// `register_mixer` / `register_executor` / `register_la` on a local
-/// registry (or on `global()` for process-wide availability) — no
-/// recompilation of the driver required.
+/// `register_mixer` / `register_executor` / `register_la` / `register_comm`
+/// on a local registry (or on `global()` for process-wide availability) —
+/// no recompilation of the driver required.
 
 #include <functional>
 #include <map>
@@ -30,6 +33,7 @@
 #include "core/options.hpp"
 #include "core/stages.hpp"
 #include "la/backend.hpp"
+#include "par/comm.hpp"
 
 namespace qtx::core {
 
@@ -37,7 +41,7 @@ namespace qtx::core {
 /// the stage kind ("obc", "greens", "channel", "mixer", "executor"), the
 /// registry key, and a one-line human-readable description.
 struct BackendDescription {
-  /// "obc", "greens", "channel", "mixer", "executor", or "la".
+  /// "obc", "greens", "channel", "mixer", "executor", "la", or "comm".
   std::string kind;
   std::string key;          ///< registry key, e.g. "memoized"
   std::string description;  ///< one-line human-readable summary
@@ -66,6 +70,10 @@ class StageRegistry {
   /// Factory signature for dense linear-algebra kernel backends (src/la).
   using LaFactory =
       std::function<std::unique_ptr<la::Backend>(const SimulationOptions&)>;
+  /// Factory signature for communicator transports (src/par): builds a
+  /// \p size-rank world of the keyed transport family.
+  using CommFactory = std::function<std::unique_ptr<par::CommGroup>(
+      int size, const SimulationOptions&)>;
 
   /// Empty registry (no backends). Most callers want `with_builtins()`.
   StageRegistry() = default;
@@ -93,6 +101,8 @@ class StageRegistry {
                       std::string description = "");
   void register_la(const std::string& key, LaFactory factory,
                    std::string description = "");
+  void register_comm(const std::string& key, CommFactory factory,
+                     std::string description = "");
 
   /// Instantiate a backend; throws with the known-key list on unknown keys.
   std::unique_ptr<ObcSolver> make_obc(const std::string& key,
@@ -108,6 +118,9 @@ class StageRegistry {
                                            const SimulationOptions& opt) const;
   std::unique_ptr<la::Backend> make_la(const std::string& key,
                                        const SimulationOptions& opt) const;
+  /// Instantiate a \p size-rank communicator world of the keyed transport.
+  std::unique_ptr<par::CommGroup> make_comm(const std::string& key, int size,
+                                            const SimulationOptions& opt) const;
 
   /// Registered keys, sorted (for docs, error messages, and tests).
   std::vector<std::string> obc_keys() const;
@@ -116,9 +129,11 @@ class StageRegistry {
   std::vector<std::string> executor_keys() const;
   std::vector<std::string> mixer_keys() const;
   std::vector<std::string> la_keys() const;
+  std::vector<std::string> comm_keys() const;
 
   /// Every registered backend with its kind, key, and one-line description,
-  /// ordered by kind (obc, greens, channel, mixer, executor, la) then key.
+  /// ordered by kind (obc, greens, channel, mixer, executor, la, comm) then
+  /// key.
   /// This
   /// is the single generated source of the backend table:
   /// `qtx list-backends` prints it, and a test asserts every key appears in
@@ -139,6 +154,7 @@ class StageRegistry {
   std::map<std::string, Entry<ExecutorFactory>> executors_;
   std::map<std::string, Entry<MixerFactory>> mixers_;
   std::map<std::string, Entry<LaFactory>> la_;
+  std::map<std::string, Entry<CommFactory>> comm_;
 };
 
 }  // namespace qtx::core

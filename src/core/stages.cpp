@@ -1,6 +1,7 @@
 #include "core/stage_registry.hpp"
 
 #include "common/reduction.hpp"
+#include "par/comm_socket.hpp"
 #include "par/thread_pool.hpp"
 #include "rgf/nested_dissection.hpp"
 
@@ -336,6 +337,12 @@ void StageRegistry::register_la(const std::string& key, LaFactory factory,
   la_[key] = {std::move(factory), std::move(description)};
 }
 
+void StageRegistry::register_comm(const std::string& key, CommFactory factory,
+                                  std::string description) {
+  check_key(key);
+  comm_[key] = {std::move(factory), std::move(description)};
+}
+
 std::unique_ptr<ObcSolver> StageRegistry::make_obc(
     const std::string& key, const SimulationOptions& opt) const {
   const auto it = obc_.find(key);
@@ -412,10 +419,23 @@ std::vector<std::string> StageRegistry::la_keys() const {
   return sorted_keys(la_);
 }
 
+std::unique_ptr<par::CommGroup> StageRegistry::make_comm(
+    const std::string& key, int size, const SimulationOptions& opt) const {
+  const auto it = comm_.find(key);
+  QTX_CHECK_MSG(it != comm_.end(), "unknown comm backend \""
+                                       << key << "\"; registered keys: "
+                                       << key_list(comm_));
+  return it->second.factory(size, opt);
+}
+
+std::vector<std::string> StageRegistry::comm_keys() const {
+  return sorted_keys(comm_);
+}
+
 std::vector<BackendDescription> StageRegistry::describe() const {
   std::vector<BackendDescription> out;
   out.reserve(obc_.size() + greens_.size() + channels_.size() +
-              mixers_.size() + executors_.size() + la_.size());
+              mixers_.size() + executors_.size() + la_.size() + comm_.size());
   for (const auto& [k, e] : obc_) out.push_back({"obc", k, e.description});
   for (const auto& [k, e] : greens_)
     out.push_back({"greens", k, e.description});
@@ -426,6 +446,7 @@ std::vector<BackendDescription> StageRegistry::describe() const {
   for (const auto& [k, e] : executors_)
     out.push_back({"executor", k, e.description});
   for (const auto& [k, e] : la_) out.push_back({"la", k, e.description});
+  for (const auto& [k, e] : comm_) out.push_back({"comm", k, e.description});
   return out;  // std::map iterates sorted within each kind
 }
 
@@ -542,6 +563,29 @@ StageRegistry StageRegistry::with_builtins() {
         "system CBLAS/LAPACKE bindings (zgemm/zgetrf/zgetrs); available "
         "because the build found cblas.h and lapacke.h");
   }
+  reg.register_comm(
+      "device-direct",
+      [](int size, const SimulationOptions&) {
+        return std::make_unique<par::CommWorld>(size,
+                                                par::Backend::kDeviceDirect);
+      },
+      "in-process mailbox transport with zero-copy payload hand-off (the "
+      "*CCL analogue of Fig. 6); the default");
+  reg.register_comm(
+      "host-staged",
+      [](int size, const SimulationOptions&) {
+        return std::make_unique<par::CommWorld>(size,
+                                                par::Backend::kHostStaged);
+      },
+      "in-process mailbox transport staging every payload through a host "
+      "buffer (the host-MPI analogue of Fig. 6)");
+  reg.register_comm(
+      "socket",
+      [](int size, const SimulationOptions&) {
+        return std::make_unique<par::SocketWorld>(size);
+      },
+      "length-prefixed frames over AF_UNIX socket pairs — the wire "
+      "transport behind multi-process `qtx run --ranks`");
   return reg;
 }
 

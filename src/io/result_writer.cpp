@@ -390,6 +390,17 @@ std::string write_result_json(const std::string& directory,
     j.end_object();
   }
 
+  // Multi-rank provenance; present only when the run was sharded over a
+  // communicator (see ScenarioResults) — sequential runs omit it.
+  if (results.comm_ranks > 0) {
+    j.key("comm");
+    j.begin_object();
+    j.kv("ranks", results.comm_ranks);
+    j.kv("backend", results.comm_backend);
+    j.kv("bytes_sent", results.comm_bytes_sent);
+    j.end_object();
+  }
+
   j.end_object();
   out << "\n";
   return path;

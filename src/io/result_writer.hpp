@@ -103,6 +103,15 @@ struct ScenarioResults {
   /// achieved GFLOP/s against it. 0 (the default) omits the section — the
   /// append-only policy that keeps pre-existing golden files byte-exact.
   double host_peak_gflops = 0.0;
+  /// Multi-rank provenance, stamped when the run was sharded over a
+  /// communicator (`qtx run --ranks`, or run_scenario with a comm). When
+  /// comm_ranks > 0, results.json gains a "comm" section recording the
+  /// world size, the transport key, and the total bytes exchanged. 0 (the
+  /// default) omits the section — same append-only policy as above, so
+  /// sequential runs stay byte-identical to the checked-in goldens.
+  int comm_ranks = 0;
+  std::string comm_backend;      ///< registry key of the transport used
+  double comm_bytes_sent = 0.0;  ///< world-total payload bytes (allreduced)
 };
 
 /// Write the CSV set into \p directory (transmission.csv, dos.csv,

@@ -1,6 +1,12 @@
 #include "io/scenario_runner.hpp"
 
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <filesystem>
+#include <thread>
 #include <utility>
 
 #include "common/strings.hpp"
@@ -16,6 +22,20 @@ void ensure_directory(const std::string& directory) {
     throw ScenarioError("cannot create output directory \"" + directory +
                         "\": " + ec.message());
   }
+}
+
+/// Test-only fault injection for ranked workers (see run_scenario_ranked's
+/// header docs): fail the calling process the way QTX_RANKED_FAIL_MODE
+/// asks. Never returns to the simulation.
+[[noreturn]] void inject_ranked_fault(const std::string& mode) {
+  if (mode == "throw") {
+    throw ScenarioError("injected fault (QTX_RANKED_FAIL_MODE=throw)");
+  }
+  if (mode == "kill") ::raise(SIGKILL);  // does not return
+  if (mode == "hang") {
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(60));
+  }
+  ::_exit(7);  // "exit" (the default mode): die with a nonzero status
 }
 
 }  // namespace
@@ -47,12 +67,14 @@ core::SimulationOptions resolved_solver_options(
 RunOutcome run_scenario(const Scenario& s,
                         const core::StageRegistry& registry,
                         const ProgressFn& progress,
-                        std::shared_ptr<core::EnergyPipeline> pipeline) {
+                        std::shared_ptr<core::EnergyPipeline> pipeline,
+                        par::Comm* comm) {
   const device::Structure structure = make_structure(s);
   RunOutcome out;
   out.resolved = resolved_solver_options(s, structure);
   core::Simulation sim(structure, out.resolved, registry,
                        std::move(pipeline));
+  if (comm != nullptr) sim.distribute_over(*comm);
   if (progress) sim.on_iteration(progress);
   out.results.result = sim.run();
 
@@ -70,8 +92,20 @@ RunOutcome run_scenario(const Scenario& s,
   // Score the kernels against the measured (process-cached) host peak so
   // results.json carries achieved GFLOP/s vs peak for every run.
   out.results.host_peak_gflops = core::measure_host_peak().fma_gflops;
+  if (comm != nullptr) {
+    out.results.comm_ranks = comm->size();
+    out.results.comm_backend = out.resolved.resolved_comm_backend();
+    // World-total payload bytes — a collective, so every rank must reach
+    // this point (they all do: the comm path above is rank-uniform).
+    out.results.comm_bytes_sent =
+        comm->allreduce_sum(static_cast<double>(comm->bytes_sent()));
+  }
 
-  if (!s.output.directory.empty()) {
+  // In a multi-rank world the observables are replicated bit-identically
+  // on every rank; only rank 0 writes files, so N ranks don't race on them.
+  const bool writes_output = !s.output.directory.empty() &&
+                             (comm == nullptr || comm->rank() == 0);
+  if (writes_output) {
     ensure_directory(s.output.directory);
     if (s.output.csv) {
       std::vector<std::string> paths = write_result_csvs(
@@ -83,6 +117,52 @@ RunOutcome run_scenario(const Scenario& s,
                                             out.resolved, out.results));
     }
   }
+  return out;
+}
+
+RankedOutcome run_scenario_ranked(const Scenario& s, int ranks,
+                                  double timeout_s,
+                                  const core::StageRegistry& registry,
+                                  const ProgressFn& progress) {
+  if (ranks < 1) {
+    throw ScenarioError("ranked run needs at least 1 rank, got " +
+                        std::to_string(ranks));
+  }
+  Scenario local = s;
+  if (local.solver.comm_backend == core::kAutoBackend) {
+    local.solver.comm_backend = "socket";  // auto => socket in ranked mode
+  } else if (local.solver.resolved_comm_backend() != "socket") {
+    throw ScenarioError(
+        "comm_backend \"" + local.solver.resolved_comm_backend() +
+        "\" is an in-process transport and cannot span the worker "
+        "processes of a ranked run; use comm_backend = \"socket\" (or "
+        "leave it on \"auto\") with --ranks");
+  }
+
+  // Read the fault-injection hooks in the parent so every worker sees a
+  // consistent view even if the environment changes mid-launch.
+  const char* fail_rank_env = std::getenv("QTX_RANKED_FAIL_RANK");
+  const int fail_rank =
+      (fail_rank_env != nullptr) ? std::atoi(fail_rank_env) : -1;
+  const char* fail_mode_env = std::getenv("QTX_RANKED_FAIL_MODE");
+  const std::string fail_mode =
+      (fail_mode_env != nullptr) ? fail_mode_env : "exit";
+
+  RankedOutcome out;
+  out.ranks = ranks;
+  out.launch =
+      par::launch_ranks(ranks, timeout_s, [&](par::Comm& comm) {
+        // The CLI's live print belongs to rank 0 only; a faulting rank
+        // trades its hook for the injection trigger (fires after the
+        // first completed iteration, i.e. mid-run).
+        ProgressFn hook = (comm.rank() == 0) ? progress : ProgressFn{};
+        if (comm.rank() == fail_rank) {
+          hook = [&fail_mode](const core::IterationResult&) {
+            inject_ranked_fault(fail_mode);
+          };
+        }
+        run_scenario(local, registry, hook, nullptr, &comm);
+      });
   return out;
 }
 

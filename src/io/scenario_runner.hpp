@@ -23,6 +23,7 @@
 #include "core/simulation.hpp"
 #include "io/result_writer.hpp"
 #include "io/scenario_parser.hpp"
+#include "par/launcher.hpp"
 
 namespace qtx::io {
 
@@ -50,12 +51,50 @@ using ProgressFn = std::function<void(const core::IterationResult&)>;
 /// configured CSV/JSON files (the directory is created if missing).
 /// \p pipeline optionally reuses a previous run's energy pipeline (must
 /// match the scenario's grid/backends; see Simulation's constructor).
+/// \p comm, when non-null, shards the solver stages over its world
+/// (`Simulation::distribute_over`): every rank of the world must call
+/// run_scenario with its own rank's Comm, observables are replicated and
+/// bit-identical on every rank, and only rank 0 writes output files (the
+/// other ranks return an empty `files` list). The results carry the comm
+/// provenance (ranks / backend / world-total bytes) for results.json.
 RunOutcome run_scenario(const Scenario& s,
                         const core::StageRegistry& registry =
                             core::StageRegistry::global(),
                         const ProgressFn& progress = nullptr,
                         std::shared_ptr<core::EnergyPipeline> pipeline =
-                            nullptr);
+                            nullptr,
+                        par::Comm* comm = nullptr);
+
+/// Outcome of a multi-process `run_scenario_ranked` launch. The worker
+/// processes run the scenario (rank 0 writes the output files); the parent
+/// only supervises, so the outcome is the launch report — results live in
+/// the files the workers wrote.
+struct RankedOutcome {
+  par::LaunchReport launch;  ///< exit code, failed ranks, diagnostic
+  int ranks = 0;             ///< world size that was launched
+};
+
+/// Run \p s sharded over \p ranks forked worker processes wired by the
+/// socket transport (`par::launch_ranks` + `SocketComm`): this is the
+/// `qtx run --ranks N` engine. The scenario's comm_backend must resolve to
+/// "socket" — "auto" is resolved to "socket" here; an explicit in-process
+/// backend ("device-direct", "host-staged") throws ScenarioError, since
+/// those transports cannot span processes. \p timeout_s bounds the whole
+/// run; on expiry the supervisor kills and reaps every worker and the
+/// report says so. \p progress fires in the rank-0 worker process only.
+/// Call from a single-threaded process state (the workers are forked).
+///
+/// Test-only fault injection: when the environment variable
+/// `QTX_RANKED_FAIL_RANK` names a rank, that worker fails after its first
+/// iteration according to `QTX_RANKED_FAIL_MODE` — "exit" (default,
+/// nonzero _exit), "throw" (uncaught C++ exception), "kill" (SIGKILL
+/// itself), or "hang" (sleep past any timeout). Exercised by the
+/// fault-injection tests in tests/test_comm_transport.cpp.
+RankedOutcome run_scenario_ranked(const Scenario& s, int ranks,
+                                  double timeout_s,
+                                  const core::StageRegistry& registry =
+                                      core::StageRegistry::global(),
+                                  const ProgressFn& progress = nullptr);
 
 /// Outcome of a `run_sweep` call: the summary rows plus every file written.
 struct SweepOutcome {

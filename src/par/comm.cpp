@@ -1,11 +1,129 @@
 #include "par/comm.hpp"
 
 #include <cstring>
+#include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "common/reduction.hpp"
 
 namespace qtx::par {
+
+// ---------------------------------------------------------------------------
+// Base-class collectives: shared algorithms over the transport's
+// point-to-point primitives. Byte ordering is identical for every transport.
+// ---------------------------------------------------------------------------
+
+void Comm::broadcast(std::vector<cplx>& data, int root) {
+  if (size() == 1) return;
+  if (rank() == root) {
+    for (int r = 0; r < size(); ++r)
+      if (r != root) send(r, data);
+  } else {
+    data = recv(root);
+  }
+}
+
+std::vector<cplx> Comm::allgather(const std::vector<cplx>& mine) {
+  if (size() == 1) return mine;
+  for (int r = 0; r < size(); ++r)
+    if (r != rank()) send(r, mine);
+  // Collect in rank order; sizes may differ per rank.
+  std::vector<std::vector<cplx>> parts(size());
+  parts[rank()] = mine;
+  for (int r = 0; r < size(); ++r)
+    if (r != rank()) parts[r] = recv(r);
+  std::vector<cplx> out;
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+std::vector<std::vector<cplx>> Comm::alltoall(
+    std::vector<std::vector<cplx>> send_bufs) {
+  QTX_CHECK(static_cast<int>(send_bufs.size()) == size());
+  std::vector<std::vector<cplx>> recv_bufs(size());
+  recv_bufs[rank()] = std::move(send_bufs[rank()]);
+  for (int r = 0; r < size(); ++r)
+    if (r != rank()) send(r, std::move(send_bufs[r]));
+  for (int r = 0; r < size(); ++r)
+    if (r != rank()) recv_bufs[r] = recv(r);
+  return recv_bufs;
+}
+
+double Comm::allreduce_sum(double v) {
+  std::vector<cplx> mine = {cplx(v, 0.0)};
+  const std::vector<cplx> all = allgather(mine);
+  // allgather returns in rank order, so the fold is rank-deterministic.
+  return ordered_sum_real(all);
+}
+
+double Comm::allreduce_max(double v) {
+  std::vector<cplx> mine = {cplx(v, 0.0)};
+  const std::vector<cplx> all = allgather(mine);
+  double s = all.front().real();
+  for (const auto& x : all) s = std::max(s, x.real());
+  return s;
+}
+
+namespace detail {
+
+void rethrow_rank_failures(const std::vector<std::exception_ptr>& errors) {
+  int failed = 0;
+  for (const auto& e : errors)
+    if (e) ++failed;
+  if (failed == 0) return;
+  if (failed == 1) {
+    // One failing rank: rethrow its exception unchanged so callers keep
+    // catching the original type.
+    for (const auto& e : errors)
+      if (e) std::rethrow_exception(e);
+  }
+  // Multiple failures: one diagnostic naming every failed rank — a single
+  // rank's error must not mask the others.
+  std::ostringstream os;
+  os << failed << " ranks failed:";
+  for (std::size_t r = 0; r < errors.size(); ++r) {
+    if (!errors[r]) continue;
+    os << " [rank " << r << "] ";
+    try {
+      std::rethrow_exception(errors[r]);
+    } catch (const std::exception& ex) {
+      os << ex.what();
+    } catch (...) {
+      os << "unknown exception";
+    }
+  }
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// CommWorld: the in-process mailbox transport
+// ---------------------------------------------------------------------------
+
+/// Per-rank handle into a CommWorld: mutex/CV mailbox point-to-point with
+/// the kDeviceDirect / kHostStaged copy semantics.
+class MailboxComm final : public Comm {
+ public:
+  MailboxComm(CommWorld& world, int rank) : world_(&world), rank_(rank) {}
+
+  int rank() const override { return rank_; }
+  int size() const override { return world_->size(); }
+
+  void barrier() override { world_->barrier_wait(); }
+
+  void send(int dst, std::vector<cplx> data) override;
+  std::vector<cplx> recv(int src) override;
+
+  std::int64_t bytes_sent() const override {
+    return world_->bytes_sent_[rank_];
+  }
+
+ private:
+  CommWorld* world_;
+  int rank_;
+};
 
 CommWorld::CommWorld(int size, Backend backend)
     : size_(size), backend_(backend), bytes_sent_(size, 0) {
@@ -16,7 +134,7 @@ CommWorld::CommWorld(int size, Backend backend)
 
 void CommWorld::run(const std::function<void(Comm&)>& fn) {
   if (size_ == 1) {
-    Comm c(*this, 0);
+    MailboxComm c(*this, 0);
     fn(c);
     return;
   }
@@ -25,7 +143,7 @@ void CommWorld::run(const std::function<void(Comm&)>& fn) {
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([&, r] {
       try {
-        Comm c(*this, r);
+        MailboxComm c(*this, r);
         fn(c);
       } catch (...) {
         errors[r] = std::current_exception();
@@ -33,8 +151,7 @@ void CommWorld::run(const std::function<void(Comm&)>& fn) {
     });
   }
   for (auto& t : threads) t.join();
-  for (auto& e : errors)
-    if (e) std::rethrow_exception(e);
+  detail::rethrow_rank_failures(errors);
 }
 
 std::int64_t CommWorld::total_bytes_sent() const {
@@ -61,7 +178,7 @@ void CommWorld::barrier_wait() {
   }
 }
 
-void Comm::send(int dst, std::vector<cplx> data) {
+void MailboxComm::send(int dst, std::vector<cplx> data) {
   QTX_CHECK(dst >= 0 && dst < size());
   world_->bytes_sent_[rank_] +=
       static_cast<std::int64_t>(data.size()) * sizeof(cplx);
@@ -81,7 +198,7 @@ void Comm::send(int dst, std::vector<cplx> data) {
   mb.cv.notify_one();
 }
 
-std::vector<cplx> Comm::recv(int src) {
+std::vector<cplx> MailboxComm::recv(int src) {
   QTX_CHECK(src >= 0 && src < size());
   auto& mb = world_->mailbox(src, rank_);
   std::unique_lock<std::mutex> lock(mb.mutex);
@@ -96,58 +213,5 @@ std::vector<cplx> Comm::recv(int src) {
   }
   return data;
 }
-
-void Comm::broadcast(std::vector<cplx>& data, int root) {
-  if (size() == 1) return;
-  if (rank_ == root) {
-    for (int r = 0; r < size(); ++r)
-      if (r != root) send(r, data);
-  } else {
-    data = recv(root);
-  }
-}
-
-std::vector<cplx> Comm::allgather(const std::vector<cplx>& mine) {
-  if (size() == 1) return mine;
-  for (int r = 0; r < size(); ++r)
-    if (r != rank_) send(r, mine);
-  // Collect in rank order; sizes may differ per rank.
-  std::vector<std::vector<cplx>> parts(size());
-  parts[rank_] = mine;
-  for (int r = 0; r < size(); ++r)
-    if (r != rank_) parts[r] = recv(r);
-  std::vector<cplx> out;
-  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
-  return out;
-}
-
-std::vector<std::vector<cplx>> Comm::alltoall(
-    std::vector<std::vector<cplx>> send_bufs) {
-  QTX_CHECK(static_cast<int>(send_bufs.size()) == size());
-  std::vector<std::vector<cplx>> recv_bufs(size());
-  recv_bufs[rank_] = std::move(send_bufs[rank_]);
-  for (int r = 0; r < size(); ++r)
-    if (r != rank_) send(r, std::move(send_bufs[r]));
-  for (int r = 0; r < size(); ++r)
-    if (r != rank_) recv_bufs[r] = recv(r);
-  return recv_bufs;
-}
-
-double Comm::allreduce_sum(double v) {
-  std::vector<cplx> mine = {cplx(v, 0.0)};
-  const std::vector<cplx> all = allgather(mine);
-  // allgather returns in rank order, so the fold is rank-deterministic.
-  return ordered_sum_real(all);
-}
-
-double Comm::allreduce_max(double v) {
-  std::vector<cplx> mine = {cplx(v, 0.0)};
-  const std::vector<cplx> all = allgather(mine);
-  double s = all.front().real();
-  for (const auto& x : all) s = std::max(s, x.real());
-  return s;
-}
-
-std::int64_t Comm::bytes_sent() const { return world_->bytes_sent_[rank_]; }
 
 }  // namespace qtx::par

@@ -1,26 +1,35 @@
 #pragma once
 
 /// \file comm.hpp
-/// In-process communicator — the reproduction's substitute for MPI/NCCL/RCCL
-/// across GPU nodes (paper §5.1, §7.2). Ranks are threads sharing a
-/// CommWorld; the collective set mirrors what QuaTrEx uses: barrier,
+/// Communicator abstraction — the reproduction's substitute for MPI/NCCL/RCCL
+/// across GPU nodes (paper §5.1, §7.2). A `Comm` is one rank's handle into a
+/// transport; the collective set mirrors what QuaTrEx uses: barrier,
 /// broadcast, allgather, all-to-all (the energy<->element transposition),
-/// and reductions.
+/// and reductions. The collectives are *non-virtual* base-class algorithms
+/// over the transport's point-to-point primitives, so every transport moves
+/// the same bytes in the same order — the bit-identity guarantee does not
+/// depend on which backend carries the frames.
 ///
-/// Two backends reproduce the paper's *CCL vs "host MPI" distinction
-/// (Fig. 6):
-///  - kDeviceDirect moves payload buffers by pointer hand-off (the zero-copy
-///    device-to-device path of NCCL/RCCL);
-///  - kHostStaged copies every payload through an intermediate staging
+/// Transports form a pluggable family (registered as the "comm" kind of
+/// `core::StageRegistry`, selected by the `comm_backend` option):
+///  - `CommWorld` (this header) runs ranks as threads in one process, with
+///    two in-process backends reproducing the paper's *CCL vs "host MPI"
+///    distinction (Fig. 6): kDeviceDirect moves payload buffers by pointer
+///    hand-off (the zero-copy device-to-device path of NCCL/RCCL), while
+///    kHostStaged copies every payload through an intermediate staging
 ///    buffer on both sides (the copy-to-host path of host MPI), paying the
 ///    extra memory-bandwidth cost that separates the two curves in Fig. 6.
+///  - `SocketWorld` (par/comm_socket.hpp) moves length-prefixed frames over
+///    AF_UNIX socket pairs — the same wire transport `par::launch_ranks`
+///    (par/launcher.hpp) uses for real multi-process runs.
 /// Every rank counts the bytes it sends, so benchmarks can report
 /// communication volume (the §5.2 symmetry ablation halves it).
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
-#include <map>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <vector>
@@ -35,27 +44,96 @@ enum class Backend {
   kHostStaged,    ///< staged copies through a host buffer (host-MPI analogue)
 };
 
-class Comm;
+/// Per-rank communicator handle passed to the function run on each rank.
+/// Transports implement the point-to-point primitives (send/recv/barrier);
+/// the collectives below are final base-class algorithms over them, so the
+/// byte ordering — and therefore the ordered-reduction bit-identity — is
+/// the same on every transport.
+class Comm {
+ public:
+  virtual ~Comm() = default;
 
-/// Shared state for a group of ranks. Construct once, then run() a function
-/// on every rank concurrently (or sequentially for size == 1).
-class CommWorld {
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+
+  /// Block until every rank of the group has entered the barrier.
+  virtual void barrier() = 0;
+
+  /// Point-to-point: blocking send/recv of complex payloads. Messages from
+  /// one src to one dst are delivered in send order; empty payloads are
+  /// valid messages.
+  virtual void send(int dst, std::vector<cplx> data) = 0;
+  virtual std::vector<cplx> recv(int src) = 0;
+
+  /// Bytes this rank has sent since construction (or the group's last
+  /// reset_byte_counter()).
+  virtual std::int64_t bytes_sent() const = 0;
+
+  /// Root's data replaces everyone's.
+  void broadcast(std::vector<cplx>& data, int root);
+
+  /// Concatenation of every rank's vector, ordered by rank.
+  std::vector<cplx> allgather(const std::vector<cplx>& mine);
+
+  /// send[r] goes to rank r; returns what every rank sent to me (recv[r]
+  /// from rank r). The collective behind the energy<->element transposition.
+  std::vector<std::vector<cplx>> alltoall(std::vector<std::vector<cplx>> send);
+
+  /// Ordered rank-index fold (common/reduction.hpp), bit-identical on every
+  /// transport.
+  double allreduce_sum(double v);
+  double allreduce_max(double v);
+};
+
+namespace detail {
+
+/// Shared rethrow policy of every CommGroup::run implementation: nothing
+/// pending is a no-op; exactly one failed rank rethrows the original
+/// exception unchanged; multiple failures throw one std::runtime_error
+/// whose message names *every* failed rank with its diagnostic (a single
+/// rank's error must not mask the others — see test_par's regression).
+void rethrow_rank_failures(const std::vector<std::exception_ptr>& errors);
+
+}  // namespace detail
+
+/// A group of ranks sharing one transport. Construct once, then run() a
+/// function on every rank concurrently (or sequentially for size == 1).
+/// This is the factory product of the registry's "comm" kind.
+class CommGroup {
+ public:
+  virtual ~CommGroup() = default;
+
+  virtual int size() const = 0;
+
+  /// Execute \p fn(comm) on every rank, each on its own thread. Blocks
+  /// until all ranks return. Rank failures are aggregated per
+  /// detail::rethrow_rank_failures.
+  virtual void run(const std::function<void(Comm&)>& fn) = 0;
+
+  /// Total bytes sent across all ranks since construction/reset.
+  virtual std::int64_t total_bytes_sent() const = 0;
+  virtual void reset_byte_counter() = 0;
+};
+
+class MailboxComm;
+
+/// In-process transport: ranks are threads sharing mutex/condition-variable
+/// mailboxes. The historic (and default) transport — tests and the Fig. 6
+/// CCL-vs-host-MPI curves are pinned to its two backends.
+class CommWorld final : public CommGroup {
  public:
   explicit CommWorld(int size, Backend backend = Backend::kDeviceDirect);
 
-  int size() const { return size_; }
+  int size() const override { return size_; }
   Backend backend() const { return backend_; }
 
-  /// Execute \p fn(comm) on every rank, each on its own thread. Blocks until
-  /// all ranks return. Exceptions on any rank are rethrown on the caller.
-  void run(const std::function<void(Comm&)>& fn);
+  void run(const std::function<void(Comm&)>& fn) override;
 
-  /// Total bytes sent across all ranks since construction/reset.
-  std::int64_t total_bytes_sent() const;
-  void reset_byte_counter();
+  std::int64_t total_bytes_sent() const override;
+  void reset_byte_counter() override;
 
  private:
-  friend class Comm;
+  friend class MailboxComm;
 
   struct Message {
     std::vector<cplx> payload;
@@ -82,41 +160,6 @@ class CommWorld {
   int barrier_count_ = 0;
   int barrier_generation_ = 0;
   std::vector<std::int64_t> bytes_sent_;
-};
-
-/// Per-rank handle passed to the function run on each rank.
-class Comm {
- public:
-  Comm(CommWorld& world, int rank) : world_(&world), rank_(rank) {}
-
-  int rank() const { return rank_; }
-  int size() const { return world_->size(); }
-  Backend backend() const { return world_->backend(); }
-
-  void barrier() { world_->barrier_wait(); }
-
-  /// Point-to-point: blocking send/recv of complex payloads.
-  void send(int dst, std::vector<cplx> data);
-  std::vector<cplx> recv(int src);
-
-  /// Root's data replaces everyone's.
-  void broadcast(std::vector<cplx>& data, int root);
-
-  /// Concatenation of every rank's vector, ordered by rank.
-  std::vector<cplx> allgather(const std::vector<cplx>& mine);
-
-  /// send[r] goes to rank r; returns what every rank sent to me (recv[r]
-  /// from rank r). The collective behind the energy<->element transposition.
-  std::vector<std::vector<cplx>> alltoall(std::vector<std::vector<cplx>> send);
-
-  double allreduce_sum(double v);
-  double allreduce_max(double v);
-
-  std::int64_t bytes_sent() const;
-
- private:
-  CommWorld* world_;
-  int rank_;
 };
 
 }  // namespace qtx::par

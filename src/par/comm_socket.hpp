@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file comm_socket.hpp
+/// Socket-backed transport: ranks exchange length-prefixed frames over
+/// AF_UNIX socket pairs — the multi-process member of the pluggable comm
+/// family (registry key "socket"). The same `SocketComm` wire protocol
+/// serves two world shapes:
+///  - `SocketWorld` runs ranks as threads over a real socket mesh, so the
+///    collective contract suite (and TSan/ASan) exercises the framing,
+///    flow control, and byte accounting in-process;
+///  - `par::launch_ranks` (par/launcher.hpp) forks the ranks into worker
+///    *processes* over an identical pre-fork mesh — the deployment shape
+///    behind `qtx run --ranks N`.
+///
+/// Wire format: every frame is a 16-byte header — {u64 type, u64 count} in
+/// native byte order (both ends live on one host) — followed by `count`
+/// complex payload values. Type 0 carries data, type 1 a barrier token.
+/// Sockets are non-blocking; each peer keeps an outbox of pending frame
+/// bytes flushed by a poll()-driven progress engine, so send() never blocks
+/// (posted exchanges genuinely overlap compute) and recv() makes progress
+/// on every channel while it waits.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "par/comm.hpp"
+
+namespace qtx::par {
+
+/// Full socket-pair mesh for \p size ranks: result[r][p] is rank r's fd
+/// towards peer p (-1 for r == p). Every fd is non-blocking and
+/// close-on-exec. The caller owns the fds (SocketComm adopts one rank's
+/// row; launch_ranks closes the foreign rows in each child).
+std::vector<std::vector<int>> make_socket_mesh(int size);
+
+/// One rank's handle into a socket mesh. Owns its row of fds (closed on
+/// destruction). Not thread-safe: one rank drives its comm from one thread
+/// at a time (or serializes access externally, as the shard exchange does).
+class SocketComm final : public Comm {
+ public:
+  /// \p fds is this rank's mesh row (fds[rank] ignored); adopted.
+  SocketComm(int rank, int size, std::vector<int> fds);
+  ~SocketComm() override;
+
+  SocketComm(const SocketComm&) = delete;
+  SocketComm& operator=(const SocketComm&) = delete;
+
+  int rank() const override { return rank_; }
+  int size() const override { return size_; }
+
+  /// Message barrier through rank 0: every other rank posts a token to 0
+  /// and waits for the release token; rank 0 collects size-1 tokens, then
+  /// releases everyone.
+  void barrier() override;
+
+  void send(int dst, std::vector<cplx> data) override;
+  std::vector<cplx> recv(int src) override;
+
+  std::int64_t bytes_sent() const override { return bytes_sent_; }
+
+ private:
+  struct Peer {
+    int fd = -1;
+    bool hung_up = false;  ///< peer closed its end (process died / finished)
+    std::vector<unsigned char> outbox;  ///< pending frame bytes
+    std::size_t outbox_pos = 0;         ///< flushed prefix of outbox
+    std::vector<unsigned char> inbuf;   ///< partial incoming frame bytes
+    std::deque<std::vector<cplx>> inbox;  ///< parsed data payloads, in order
+    int barrier_tokens = 0;             ///< parsed barrier frames
+  };
+
+  void enqueue_frame(Peer& p, std::uint64_t type, const cplx* payload,
+                     std::uint64_t count);
+  void flush(Peer& p);        ///< non-blocking write of the pending outbox
+  void drain_input(Peer& p);  ///< non-blocking read + frame parsing
+  /// One engine step: poll every live peer, flush writable outboxes, parse
+  /// readable frames. \p wait blocks until at least one channel moves.
+  void progress(bool wait);
+  void wait_barrier_token(int src);
+  [[noreturn]] void throw_peer_dead(int peer, const char* while_doing) const;
+
+  int rank_;
+  int size_;
+  std::vector<Peer> peers_;
+  std::int64_t bytes_sent_ = 0;
+};
+
+/// Socket-transport world: ranks as threads over a fresh AF_UNIX mesh per
+/// run() call. Registered as comm backend "socket"; the in-process twin of
+/// the forked `launch_ranks` deployment, sharing SocketComm verbatim.
+class SocketWorld final : public CommGroup {
+ public:
+  explicit SocketWorld(int size);
+
+  int size() const override { return size_; }
+  void run(const std::function<void(Comm&)>& fn) override;
+  std::int64_t total_bytes_sent() const override;
+  void reset_byte_counter() override;
+
+ private:
+  int size_;
+  std::vector<std::int64_t> bytes_sent_;  ///< per-rank, summed across runs
+};
+
+}  // namespace qtx::par

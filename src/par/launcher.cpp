@@ -1,0 +1,208 @@
+#include "par/launcher.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "par/comm_socket.hpp"
+
+namespace qtx::par {
+
+namespace {
+
+struct Child {
+  pid_t pid = -1;
+  int err_fd = -1;  ///< read end of this child's error pipe
+  bool exited = false;
+  int status = 0;  ///< raw waitpid status once exited
+  bool killed_by_us = false;
+};
+
+/// Drain a pipe to EOF (the child has exited and every write end is closed,
+/// so EOF is guaranteed).
+std::string read_all(int fd) {
+  std::string out;
+  char buf[512];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  return out;
+}
+
+void write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n > 0) {
+      data += n;
+      len -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // best effort: the diagnostic is advisory
+  }
+}
+
+}  // namespace
+
+LaunchReport launch_ranks(int ranks, double timeout_s,
+                          const std::function<void(Comm&)>& fn) {
+  QTX_CHECK(ranks >= 1);
+  QTX_CHECK(timeout_s > 0.0);
+
+  auto mesh = make_socket_mesh(ranks);
+  std::vector<std::array<int, 2>> err_pipes(static_cast<std::size_t>(ranks));
+  for (auto& pfd : err_pipes) {
+    if (::pipe(pfd.data()) != 0)
+      throw std::runtime_error(std::string("launch_ranks: pipe: ") +
+                               std::strerror(errno));
+  }
+
+  // Don't let buffered stdio get duplicated into every child.
+  std::fflush(nullptr);
+
+  std::vector<Child> children(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      const int fork_errno = errno;
+      for (int q = 0; q < r; ++q) ::kill(children[q].pid, SIGKILL);
+      for (int q = 0; q < r; ++q) ::waitpid(children[q].pid, nullptr, 0);
+      throw std::runtime_error(std::string("launch_ranks: fork: ") +
+                               std::strerror(fork_errno));
+    }
+    if (pid == 0) {
+      // ----- child: rank r -----
+      for (int other = 0; other < ranks; ++other) {
+        if (other == r) continue;
+        for (int fd : mesh[static_cast<std::size_t>(other)])
+          if (fd >= 0) ::close(fd);
+      }
+      for (int q = 0; q < ranks; ++q) {
+        ::close(err_pipes[static_cast<std::size_t>(q)][0]);
+        if (q != r) ::close(err_pipes[static_cast<std::size_t>(q)][1]);
+      }
+      const int err_fd = err_pipes[static_cast<std::size_t>(r)][1];
+      int status = 0;
+      try {
+        SocketComm comm(r, ranks, std::move(mesh[static_cast<std::size_t>(r)]));
+        fn(comm);
+      } catch (const std::exception& ex) {
+        write_all(err_fd, ex.what(), std::strlen(ex.what()));
+        status = 1;
+      } catch (...) {
+        const char msg[] = "unknown exception";
+        write_all(err_fd, msg, sizeof(msg) - 1);
+        status = 1;
+      }
+      ::close(err_fd);
+      // _exit, not exit: skip atexit handlers / stdio flushes inherited
+      // from the parent (also keeps LSan's atexit pass out of children).
+      ::_exit(status);
+    }
+    children[static_cast<std::size_t>(r)].pid = pid;
+    children[static_cast<std::size_t>(r)].err_fd =
+        err_pipes[static_cast<std::size_t>(r)][0];
+  }
+
+  // ----- parent: supervise -----
+  for (auto& row : mesh)
+    for (int fd : row)
+      if (fd >= 0) ::close(fd);
+  for (auto& pfd : err_pipes) ::close(pfd[1]);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  LaunchReport report;
+  int alive = ranks;
+  bool tearing_down = false;
+  while (alive > 0) {
+    bool progressed = false;
+    for (int r = 0; r < ranks; ++r) {
+      Child& c = children[static_cast<std::size_t>(r)];
+      if (c.exited) continue;
+      int status = 0;
+      const pid_t w = ::waitpid(c.pid, &status, WNOHANG);
+      if (w != c.pid) continue;
+      c.exited = true;
+      c.status = status;
+      --alive;
+      progressed = true;
+      const bool failed = !(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+      if (failed && !c.killed_by_us) {
+        report.failed_ranks.push_back(r);
+        if (report.exit_code == 0)
+          report.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 1;
+        tearing_down = true;
+      }
+    }
+    if (alive > 0 && !report.timed_out &&
+        std::chrono::steady_clock::now() >= deadline) {
+      report.timed_out = true;
+      if (report.exit_code == 0) report.exit_code = 1;
+      tearing_down = true;
+    }
+    if (tearing_down) {
+      for (auto& c : children) {
+        if (!c.exited && !c.killed_by_us) {
+          c.killed_by_us = true;
+          ::kill(c.pid, SIGKILL);
+        }
+      }
+    }
+    if (alive > 0 && !progressed)
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // Every child is reaped; collect per-rank diagnostics.
+  std::ostringstream os;
+  for (int r = 0; r < ranks; ++r) {
+    Child& c = children[static_cast<std::size_t>(r)];
+    const std::string msg = read_all(c.err_fd);
+    ::close(c.err_fd);
+    if (std::find(report.failed_ranks.begin(), report.failed_ranks.end(), r) ==
+        report.failed_ranks.end())
+      continue;
+    os << " [rank " << r << "] ";
+    if (!msg.empty())
+      os << msg;
+    else if (WIFSIGNALED(c.status))
+      os << "killed by signal " << WTERMSIG(c.status);
+    else if (WIFEXITED(c.status))
+      os << "exit code " << WEXITSTATUS(c.status);
+    else
+      os << "abnormal termination";
+  }
+  if (!report.failed_ranks.empty()) {
+    std::ostringstream head;
+    head << report.failed_ranks.size()
+         << (report.failed_ranks.size() == 1 ? " rank failed:"
+                                             : " ranks failed:");
+    report.diagnostic = head.str() + os.str();
+  }
+  if (report.timed_out) {
+    std::ostringstream tail;
+    if (!report.diagnostic.empty()) tail << report.diagnostic << "; ";
+    tail << "timed out after " << timeout_s
+         << " s; remaining workers were killed";
+    report.diagnostic = tail.str();
+  }
+  return report;
+}
+
+}  // namespace qtx::par

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file launcher.hpp
+/// Multi-process launcher/supervisor behind `qtx run --ranks N`: forks one
+/// worker process per rank over a pre-built socket mesh (par/comm_socket.hpp),
+/// runs the rank function in each child, and supervises the world — exit-code
+/// propagation, per-rank failure diagnostics (collected over error pipes, so
+/// library code never touches stderr), a hard wall-clock timeout, and a
+/// guarantee that every child is reaped before returning (no orphans, no
+/// zombies). On the first genuine failure the remaining workers are killed;
+/// ranks killed by the supervisor itself are *not* reported as failures.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "par/comm.hpp"
+
+namespace qtx::par {
+
+/// Outcome of one launch_ranks() world. ok() means every rank ran the
+/// function to completion and exited 0 within the timeout.
+struct LaunchReport {
+  /// 0 on success; otherwise the first failing child's exit code (1 for
+  /// signal deaths and timeouts).
+  int exit_code = 0;
+  /// Ranks that genuinely failed (non-zero exit, uncaught exception, or an
+  /// external signal) — ranks the supervisor killed while tearing down a
+  /// failed or timed-out world are excluded.
+  std::vector<int> failed_ranks;
+  /// True when the wall-clock timeout expired and the supervisor SIGKILLed
+  /// the remaining workers.
+  bool timed_out = false;
+  /// Human-readable failure summary naming every failed rank with its
+  /// diagnostic; empty on success.
+  std::string diagnostic;
+
+  /// Convenience: did the whole world succeed?
+  bool ok() const {
+    return exit_code == 0 && !timed_out && failed_ranks.empty();
+  }
+};
+
+/// Fork \p ranks worker processes over a fresh AF_UNIX socket mesh and run
+/// \p fn(comm) in each child with that rank's `SocketComm`. The parent
+/// supervises: a child throwing reports its `what()` through an error pipe
+/// and exits 1; on the first genuine failure (or after \p timeout_s seconds)
+/// every remaining worker is SIGKILLed. All children are reaped before this
+/// returns. Call from a single-threaded process state (forking with live
+/// threads is undefined behavior for the children); `qtx run --ranks` forks
+/// before any thread pool exists.
+LaunchReport launch_ranks(int ranks, double timeout_s,
+                          const std::function<void(Comm&)>& fn);
+
+}  // namespace qtx::par

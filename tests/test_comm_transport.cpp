@@ -1,0 +1,403 @@
+// Transport contract suite for the pluggable comm backends (src/par +
+// the StageRegistry "comm" kind), plus the multi-process launcher:
+//
+//  - every registered comm backend ("device-direct", "host-staged",
+//    "socket") must satisfy the same collective contract — barrier,
+//    broadcast, allgather, all-to-all, reductions, empty payloads,
+//    1-rank worlds, and byte-counter accounting — because the
+//    collectives are non-virtual Comm base methods and the bit-identity
+//    guarantee rides on every transport moving the same bytes;
+//  - par::launch_ranks must supervise real forked worker processes:
+//    propagate exit codes, name every failed rank in one diagnostic,
+//    kill and reap on timeout, and never leave orphans;
+//  - `qtx run --ranks N` must reproduce the checked-in sequential golden
+//    transmission bit-identically for N in {1, 2, 4} (the RankedGolden
+//    cases, also wired into the `golden` ctest label), and fail fast
+//    (non-zero, no hang) when a worker dies mid-iteration.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/stage_registry.hpp"
+#include "io/result_writer.hpp"
+#include "par/comm.hpp"
+#include "par/launcher.hpp"
+
+#ifndef QTX_QTX_BIN
+#error "QTX_QTX_BIN must point at the qtx binary (set by CMakeLists.txt)"
+#endif
+#ifndef QTX_SCENARIO_DIR
+#error "QTX_SCENARIO_DIR must point at scenarios/ (set by CMakeLists.txt)"
+#endif
+#ifndef QTX_GOLDEN_DIR
+#error "QTX_GOLDEN_DIR must point at tests/golden (set by CMakeLists.txt)"
+#endif
+
+namespace qtx {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// ---------------------------------------------------------------------------
+// Collective contract, run against EVERY registered comm backend
+// ---------------------------------------------------------------------------
+
+/// (registry key, world size) — the suite instantiates the cross product
+/// of all registered transports with the interesting world sizes.
+class TransportContract
+    : public ::testing::TestWithParam<std::pair<std::string, int>> {
+ protected:
+  std::unique_ptr<par::CommGroup> make_world() const {
+    const auto [key, size] = GetParam();
+    return core::StageRegistry::global().make_comm(key, size,
+                                                   core::SimulationOptions{});
+  }
+};
+
+TEST_P(TransportContract, RegistryBuildsTheRequestedWorldSize) {
+  const auto world = make_world();
+  EXPECT_EQ(world->size(), GetParam().second);
+}
+
+TEST_P(TransportContract, BarrierSynchronizesAllRanks) {
+  const auto world = make_world();
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violated{false};
+  world->run([&](par::Comm& c) {
+    phase1.fetch_add(1);
+    c.barrier();
+    if (phase1.load() != c.size()) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST_P(TransportContract, BroadcastDistributesRootData) {
+  const auto world = make_world();
+  world->run([&](par::Comm& c) {
+    std::vector<cplx> data;
+    if (c.rank() == 0) data = {cplx(1.0, 2.0), cplx(3.0, -4.0)};
+    c.broadcast(data, 0);
+    ASSERT_EQ(data.size(), 2u);
+    EXPECT_EQ(data[0], cplx(1.0, 2.0));
+    EXPECT_EQ(data[1], cplx(3.0, -4.0));
+  });
+}
+
+TEST_P(TransportContract, AllgatherConcatenatesInRankOrder) {
+  const auto world = make_world();
+  world->run([&](par::Comm& c) {
+    const std::vector<cplx> mine(3, cplx(static_cast<double>(c.rank()), 0.5));
+    const std::vector<cplx> all = c.allgather(mine);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(3 * c.size()));
+    for (int r = 0; r < c.size(); ++r)
+      for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(all[static_cast<std::size_t>(r) * 3 + i],
+                  cplx(static_cast<double>(r), 0.5));
+  });
+}
+
+TEST_P(TransportContract, AlltoallRoutesPairwisePayloads) {
+  const auto world = make_world();
+  world->run([&](par::Comm& c) {
+    // Rank r sends {r + p*i} to peer p; peer p must receive the block
+    // addressed to it from every rank, in rank order.
+    std::vector<std::vector<cplx>> outgoing(c.size());
+    for (int p = 0; p < c.size(); ++p)
+      outgoing[p] = {cplx(static_cast<double>(c.rank()),
+                          static_cast<double>(p))};
+    const std::vector<std::vector<cplx>> incoming = c.alltoall(outgoing);
+    ASSERT_EQ(incoming.size(), static_cast<std::size_t>(c.size()));
+    for (int r = 0; r < c.size(); ++r) {
+      ASSERT_EQ(incoming[r].size(), 1u);
+      EXPECT_EQ(incoming[r][0], cplx(static_cast<double>(r),
+                                     static_cast<double>(c.rank())));
+    }
+  });
+}
+
+TEST_P(TransportContract, ReductionsFoldAcrossRanks) {
+  const auto world = make_world();
+  const int size = world->size();
+  world->run([&](par::Comm& c) {
+    const double sum = c.allreduce_sum(static_cast<double>(c.rank() + 1));
+    EXPECT_EQ(sum, static_cast<double>(size * (size + 1) / 2));
+    const double mx = c.allreduce_max(static_cast<double>(c.rank()));
+    EXPECT_EQ(mx, static_cast<double>(size - 1));
+  });
+}
+
+TEST_P(TransportContract, EmptyPayloadsRoundTrip) {
+  const auto world = make_world();
+  world->run([&](par::Comm& c) {
+    // Zero-length frames must flow like any other message (the solver
+    // sends empty slices when a rank owns no points of a stage).
+    const std::vector<cplx> all = c.allgather({});
+    EXPECT_TRUE(all.empty());
+    if (c.size() > 1) {
+      if (c.rank() == 0) {
+        c.send(1, {});
+      } else if (c.rank() == 1) {
+        EXPECT_TRUE(c.recv(0).empty());
+      }
+    }
+    c.barrier();
+  });
+}
+
+TEST_P(TransportContract, ByteCounterCountsPayloadBytesOnly) {
+  const auto world = make_world();
+  if (world->size() < 2) GTEST_SKIP() << "needs a peer to send to";
+  world->reset_byte_counter();
+  world->run([&](par::Comm& c) {
+    if (c.rank() == 0) {
+      c.send(1, std::vector<cplx>(64));
+    } else if (c.rank() == 1) {
+      (void)c.recv(0);
+    }
+  });
+  // Framing/headers must NOT be charged: every transport reports the same
+  // payload-byte total, which is what keeps the Fig. 6 bytes-sent curves
+  // comparable across backends.
+  EXPECT_EQ(world->total_bytes_sent(),
+            static_cast<std::int64_t>(64 * sizeof(cplx)));
+  world->reset_byte_counter();
+  EXPECT_EQ(world->total_bytes_sent(), 0);
+}
+
+std::vector<std::pair<std::string, int>> transport_contract_cases() {
+  std::vector<std::pair<std::string, int>> cases;
+  for (const std::string& key :
+       core::StageRegistry::global().comm_keys())
+    for (const int size : {1, 2, 4, 7}) cases.emplace_back(key, size);
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, TransportContract,
+    ::testing::ValuesIn(transport_contract_cases()),
+    [](const ::testing::TestParamInfo<std::pair<std::string, int>>& info) {
+      std::string name = info.param.first;
+      for (char& ch : name)
+        if (ch == '-') ch = '_';
+      return name + "_x" + std::to_string(info.param.second);
+    });
+
+TEST(TransportRegistry, AllThreeBuiltinsAreRegistered) {
+  const std::vector<std::string> keys =
+      core::StageRegistry::global().comm_keys();
+  for (const char* want : {"device-direct", "host-staged", "socket"})
+    EXPECT_NE(std::find(keys.begin(), keys.end(), want), keys.end())
+        << "builtin comm backend \"" << want << "\" missing";
+  EXPECT_THROW(core::StageRegistry::global().make_comm(
+                   "no-such-transport", 2, core::SimulationOptions{}),
+               std::exception);
+}
+
+// ---------------------------------------------------------------------------
+// launch_ranks: real forked processes over the socket transport
+// ---------------------------------------------------------------------------
+
+TEST(LaunchRanks, HealthyWorldRunsCollectivesAndReportsOk) {
+  const par::LaunchReport report =
+      par::launch_ranks(4, 60.0, [](par::Comm& c) {
+        const double sum =
+            c.allreduce_sum(static_cast<double>(c.rank() + 1));
+        if (sum != 10.0) throw std::runtime_error("bad reduction");
+        c.barrier();
+      });
+  EXPECT_TRUE(report.ok()) << report.diagnostic;
+  EXPECT_EQ(report.exit_code, 0);
+  EXPECT_TRUE(report.failed_ranks.empty());
+  EXPECT_FALSE(report.timed_out);
+  // Everything must be reaped: no zombie children may remain.
+  EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD) << "launch_ranks left an unreaped child";
+}
+
+TEST(LaunchRanks, WorkerExceptionNamesTheRankInTheDiagnostic) {
+  const par::LaunchReport report =
+      par::launch_ranks(3, 60.0, [](par::Comm& c) {
+        if (c.rank() == 1)
+          throw std::runtime_error("injected worker failure");
+        c.barrier();  // the healthy ranks block on the dead peer
+      });
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.exit_code, 0);
+  // The healthy ranks may fail too (they lose their peer mid-barrier), so
+  // the contract is that the injected rank is *among* the failures and its
+  // message survives into the aggregated diagnostic.
+  EXPECT_NE(std::find(report.failed_ranks.begin(), report.failed_ranks.end(),
+                      1),
+            report.failed_ranks.end())
+      << report.diagnostic;
+  EXPECT_NE(report.diagnostic.find("[rank 1]"), std::string::npos)
+      << report.diagnostic;
+  EXPECT_NE(report.diagnostic.find("injected worker failure"),
+            std::string::npos)
+      << report.diagnostic;
+  EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+}
+
+TEST(LaunchRanks, KilledWorkerIsReportedBySignal) {
+  const par::LaunchReport report =
+      par::launch_ranks(2, 60.0, [](par::Comm& c) {
+        if (c.rank() == 1) ::raise(SIGKILL);
+        c.barrier();
+      });
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(std::find(report.failed_ranks.begin(), report.failed_ranks.end(),
+                      1),
+            report.failed_ranks.end())
+      << report.diagnostic;
+  EXPECT_NE(report.diagnostic.find("signal"), std::string::npos)
+      << report.diagnostic;
+  EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD);
+}
+
+TEST(LaunchRanks, HangingWorldTimesOutAndKillsEveryWorker) {
+  const par::LaunchReport report =
+      par::launch_ranks(2, 2.0, [](par::Comm& c) {
+        if (c.rank() == 1) {
+          for (;;) std::this_thread::sleep_for(std::chrono::seconds(60));
+        }
+        c.barrier();  // rank 0 waits forever on the hung peer
+      });
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.timed_out);
+  EXPECT_NE(report.exit_code, 0);
+  EXPECT_NE(report.diagnostic.find("timed out"), std::string::npos)
+      << report.diagnostic;
+  EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+  EXPECT_EQ(errno, ECHILD) << "timeout teardown left an unreaped child";
+}
+
+// ---------------------------------------------------------------------------
+// qtx run --ranks: cross-process determinism golden + fault injection
+// ---------------------------------------------------------------------------
+
+int run_cli(const std::string& args, const std::string& log) {
+  const std::string cmd =
+      std::string("\"") + QTX_QTX_BIN + "\" " + args + " > " + log + " 2>&1";
+  return std::system(cmd.c_str());
+}
+
+std::string quickstart_deck() {
+  return std::string("\"") + QTX_SCENARIO_DIR + "/quickstart.ini\"";
+}
+
+/// Golden .txt reader (same format as test_golden: '#' comments, one
+/// double per line at %.17g).
+std::vector<double> read_golden_values(const std::string& name) {
+  std::ifstream in(std::string(QTX_GOLDEN_DIR) + "/" + name + ".txt");
+  EXPECT_TRUE(in.good()) << "missing golden " << name;
+  std::vector<double> values;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    values.push_back(std::strtod(line.c_str(), nullptr));
+  }
+  return values;
+}
+
+class RankedGolden : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankedGolden, ReproducesSequentialTransmissionBitIdentically) {
+  const int ranks = GetParam();
+  const std::string out_dir = "ranked_golden_" + std::to_string(ranks);
+  fs::remove_all(out_dir);
+  ASSERT_EQ(run_cli("run " + quickstart_deck() + " --out " + out_dir +
+                        " --ranks " + std::to_string(ranks) + " --quiet",
+                    out_dir + ".log"),
+            0)
+      << read_file(out_dir + ".log");
+
+  std::ifstream csv(out_dir + "/transmission.csv");
+  ASSERT_TRUE(csv.good()) << "rank 0 must write transmission.csv";
+  const std::vector<double> got = io::read_csv_column(csv, 1);
+  const std::vector<double> want =
+      read_golden_values("quickstart_transmission");
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i)
+    EXPECT_EQ(got[i], want[i])
+        << ranks << "-rank transmission drifted from the sequential "
+        << "golden at entry " << i << " — the bit-identity contract of "
+        << "the ordered reductions / bitwise shard exchange is broken";
+
+  // Provenance: results.json must record the multi-process run.
+  const std::string json = read_file(out_dir + "/results.json");
+  EXPECT_NE(json.find("\"comm\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ranks\": " + std::to_string(ranks)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"backend\": \"socket\""), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(Worlds, RankedGolden, ::testing::Values(1, 2, 4));
+
+TEST(RankedCli, WorkerDeathMidIterationFailsFastWithoutOrphans) {
+  // Kill rank 1 after its first iteration: the run must exit non-zero
+  // within the timeout (no hang), name the failing rank, and leave no
+  // worker behind.
+  const std::string log = "ranked_fault.log";
+  const int status = std::system(
+      (std::string("QTX_RANKED_FAIL_RANK=1 QTX_RANKED_FAIL_MODE=kill \"") +
+       QTX_QTX_BIN + "\" run " + quickstart_deck() +
+       " --ranks 2 --rank-timeout 120 --quiet > " + log + " 2>&1")
+          .c_str());
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_NE(WEXITSTATUS(status), 0) << read_file(log);
+  const std::string text = read_file(log);
+  EXPECT_NE(text.find("rank 1"), std::string::npos) << text;
+}
+
+TEST(RankedCli, ExitingWorkerPropagatesItsExitCode) {
+  const std::string log = "ranked_exit.log";
+  const int status = std::system(
+      (std::string("QTX_RANKED_FAIL_RANK=0 QTX_RANKED_FAIL_MODE=exit \"") +
+       QTX_QTX_BIN + "\" run " + quickstart_deck() +
+       " --ranks 2 --rank-timeout 120 --quiet > " + log + " 2>&1")
+          .c_str());
+  ASSERT_TRUE(WIFEXITED(status));
+  // The injected fault dies with _exit(7); the supervisor propagates it.
+  EXPECT_EQ(WEXITSTATUS(status), 7) << read_file(log);
+  EXPECT_NE(read_file(log).find("[rank 0]"), std::string::npos)
+      << read_file(log);
+}
+
+TEST(RankedCli, InProcessBackendsAreRejectedWithAnActionableError) {
+  const std::string log = "ranked_reject.log";
+  const int status =
+      run_cli("run " + quickstart_deck() +
+                  " --ranks 2 --set comm_backend=device-direct --quiet",
+              log);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_NE(WEXITSTATUS(status), 0);
+  const std::string text = read_file(log);
+  EXPECT_NE(text.find("in-process transport"), std::string::npos) << text;
+  EXPECT_NE(text.find("socket"), std::string::npos)
+      << "the error must tell the user which backend to use: " << text;
+}
+
+}  // namespace
+}  // namespace qtx

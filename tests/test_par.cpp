@@ -132,6 +132,39 @@ TEST(Comm, ExceptionsPropagateToCaller) {
                std::runtime_error);
 }
 
+TEST(Comm, SingleFailureRethrowsTheOriginalException) {
+  // One failing rank must surface its own exception object (type and
+  // message preserved), not a wrapped summary.
+  CommWorld world(3);
+  try {
+    world.run([](Comm& c) {
+      if (c.rank() == 2) throw std::invalid_argument("just rank 2");
+    });
+    FAIL() << "run() must rethrow the failing rank's exception";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "just rank 2");
+  }
+}
+
+TEST(Comm, MultipleFailuresAggregateIntoOneDiagnostic) {
+  // Regression: run() used to rethrow only the first failing rank's
+  // exception, silently discarding the others. Every failed rank must now
+  // be named in a single aggregated diagnostic.
+  CommWorld world(4);
+  try {
+    world.run([](Comm& c) {
+      if (c.rank() == 1) throw std::runtime_error("boom one");
+      if (c.rank() == 3) throw std::runtime_error("boom three");
+    });
+    FAIL() << "run() must throw when ranks fail";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 ranks failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("[rank 1] boom one"), std::string::npos) << what;
+    EXPECT_NE(what.find("[rank 3] boom three"), std::string::npos) << what;
+  }
+}
+
 TEST(BlockDistribution, CountsAndOffsetsPartition) {
   for (const auto& [total, parts] :
        std::vector<std::pair<std::int64_t, int>>{
