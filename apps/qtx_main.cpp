@@ -1,26 +1,34 @@
 // qtx — the scenario-driven command-line driver of the NEGF+GW transport
 // stack. Wraps the library layers (io/scenario_parser, io/scenario_runner,
-// io/result_writer) behind five subcommands; every tutorial in docs/ drives
-// this binary.
+// io/result_writer, serve/server) behind its subcommands; every tutorial in
+// docs/ drives this binary.
 //
-//   qtx run   <scenario.ini> [--out DIR] [--threads N] [--ranks N]
-//             [--rank-timeout SECONDS] [--set k=v]... [--quiet]
-//   qtx sweep <scenario.ini> [--out DIR] [--threads N] [--set k=v]... [--quiet]
-//   qtx print <scenario.ini> [--set k=v]...  # parse + validate, emit canonical
+//   qtx run    <scenario.ini> [--out DIR] [--threads N] [--ranks N]
+//              [--rank-timeout SECONDS] [--set k=v]... [--quiet]
+//   qtx sweep  <scenario.ini> [--out DIR] [--threads N] [--set k=v]... [--quiet]
+//   qtx print  <scenario.ini> [--set k=v]...  # parse + validate, emit canonical
+//   qtx serve  --socket PATH [--workers N] [--queue N] [--cache-mb MB]
+//              [--request-timeout SECONDS] [--quiet]   # long-lived daemon
+//   qtx submit <scenario.ini> --socket PATH [--set k=v]... | --shutdown
 //   qtx list-backends             # the StageRegistry catalog, generated
 //   qtx list-presets              # the device catalog (src/device/presets)
 //   qtx --help | --version
 //
 // Exit codes: 0 success, 1 scenario/runtime error, 2 usage error.
 
+#include <csignal>
 #include <cstdio>
 #include <exception>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/strings.hpp"
 #include "io/scenario_runner.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -35,6 +43,11 @@ constexpr const char* kUsage =
     "  qtx sweep <scenario.ini> [--out DIR] [--threads N] [--set KEY=VALUE]"
     "... [--quiet]\n"
     "  qtx print <scenario.ini> [--set KEY=VALUE]...\n"
+    "  qtx serve --socket PATH [--workers N] [--queue N] [--cache-mb MB]\n"
+    "            [--request-timeout SECONDS] [--quiet]\n"
+    "  qtx submit <scenario.ini> --socket PATH [--set KEY=VALUE]... "
+    "[--quiet]\n"
+    "  qtx submit --socket PATH --shutdown\n"
     "  qtx list-backends\n"
     "  qtx list-presets\n"
     "  qtx --help | --version\n"
@@ -43,6 +56,12 @@ constexpr const char* kUsage =
     "sweep          iterate the scenario's [sweep] values (bias,\n"
     "               temperature, or any solver option key)\n"
     "print          parse + validate, then print the canonical scenario\n"
+    "serve          long-lived daemon: accept decks on an AF_UNIX socket,\n"
+    "               reuse warm pipelines and cached results across\n"
+    "               requests; SIGTERM (or submit --shutdown) drains\n"
+    "               gracefully\n"
+    "submit         send a deck to a running qtx serve and print the\n"
+    "               results.json reply (bit-identical to a cold qtx run)\n"
     "list-backends  print every registered stage backend key\n"
     "list-presets   print the device scenario catalog\n"
     "\n"
@@ -59,6 +78,16 @@ constexpr const char* kUsage =
     "               \"device.\" prefix, e.g. --set device.num_cells=8\n"
     "               --set mixer=anderson)\n"
     "--quiet        suppress per-iteration progress lines\n"
+    "--socket PATH  (serve/submit) AF_UNIX socket path of the daemon\n"
+    "--workers N    (serve) solver worker threads (default 1)\n"
+    "--queue N      (serve) pending-request capacity before new requests\n"
+    "               are answered with a queue-full error (default 16)\n"
+    "--cache-mb MB  (serve) result-cache byte budget in MiB; 0 disables\n"
+    "               caching (default 64)\n"
+    "--request-timeout SECONDS  (serve) max queue wait before a request\n"
+    "               is answered with a timeout error (default 300)\n"
+    "--shutdown     (submit) ask the daemon to drain and exit instead of\n"
+    "               submitting a deck\n"
     "\n"
     "Scenario-file schema and tutorials: docs/userguide.md, docs/tutorials/.\n";
 
@@ -70,6 +99,12 @@ struct CliArgs {
   int ranks = 0;    ///< 0 = in-process run; N > 0 forks N workers
   double rank_timeout = 300.0;  ///< seconds before a ranked run is killed
   bool quiet = false;
+  std::string socket_path;        ///< serve/submit: AF_UNIX socket path
+  int workers = 1;                ///< serve: solver worker threads
+  int queue = 16;                 ///< serve: pending-request capacity
+  double cache_mb = 64.0;         ///< serve: result-cache budget in MiB
+  double request_timeout = 300.0; ///< serve: max queue wait in seconds
+  bool shutdown = false;          ///< submit: drain the daemon instead
   /// --set KEY=VALUE deck overrides, in command-line order.
   std::vector<std::pair<std::string, std::string>> sets;
 };
@@ -164,6 +199,77 @@ bool parse_cli(int argc, char** argv, CliArgs& args, int& exit_code) {
       args.sets.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
     } else if (arg == "--quiet") {
       args.quiet = true;
+    } else if (arg == "--socket") {
+      if (++i >= argc) {
+        exit_code = usage_error("--socket needs a path argument");
+        return false;
+      }
+      args.socket_path = argv[i];
+    } else if (arg == "--workers") {
+      if (++i >= argc) {
+        exit_code = usage_error("--workers needs a thread count");
+        return false;
+      }
+      try {
+        args.workers = qtx::strings::parse_int32(argv[i]);
+      } catch (const std::runtime_error& e) {
+        exit_code = usage_error(std::string("--workers: ") + e.what());
+        return false;
+      }
+      if (args.workers < 1) {
+        exit_code = usage_error("--workers needs a positive thread count");
+        return false;
+      }
+    } else if (arg == "--queue") {
+      if (++i >= argc) {
+        exit_code = usage_error("--queue needs a capacity argument");
+        return false;
+      }
+      try {
+        args.queue = qtx::strings::parse_int32(argv[i]);
+      } catch (const std::runtime_error& e) {
+        exit_code = usage_error(std::string("--queue: ") + e.what());
+        return false;
+      }
+      if (args.queue < 1) {
+        exit_code = usage_error("--queue needs a positive capacity");
+        return false;
+      }
+    } else if (arg == "--cache-mb") {
+      if (++i >= argc) {
+        exit_code = usage_error("--cache-mb needs a MiB argument");
+        return false;
+      }
+      try {
+        args.cache_mb = qtx::strings::parse_double(argv[i]);
+      } catch (const std::runtime_error& e) {
+        exit_code = usage_error(std::string("--cache-mb: ") + e.what());
+        return false;
+      }
+      if (args.cache_mb < 0.0) {
+        exit_code = usage_error("--cache-mb cannot be negative");
+        return false;
+      }
+    } else if (arg == "--request-timeout") {
+      if (++i >= argc) {
+        exit_code =
+            usage_error("--request-timeout needs a seconds argument");
+        return false;
+      }
+      try {
+        args.request_timeout = qtx::strings::parse_double(argv[i]);
+      } catch (const std::runtime_error& e) {
+        exit_code =
+            usage_error(std::string("--request-timeout: ") + e.what());
+        return false;
+      }
+      if (!(args.request_timeout > 0.0)) {
+        exit_code =
+            usage_error("--request-timeout needs a positive duration");
+        return false;
+      }
+    } else if (arg == "--shutdown") {
+      args.shutdown = true;
     } else if (!arg.empty() && arg[0] == '-') {
       exit_code = usage_error("unknown flag \"" + arg + "\"");
       return false;
@@ -284,6 +390,100 @@ int cmd_print(const CliArgs& args) {
   return 0;
 }
 
+/// The server a signal handler must reach. Only one `qtx serve` runs per
+/// process, and Server::request_stop() is async-signal-safe (a single
+/// write(2) to its stop pipe), so a plain pointer handoff is enough.
+qtx::serve::Server* g_serve_server = nullptr;
+
+extern "C" void serve_signal_handler(int) {
+  if (g_serve_server != nullptr) g_serve_server->request_stop();
+}
+
+int cmd_serve(const CliArgs& args) {
+  if (args.socket_path.empty())
+    return usage_error("\"qtx serve\" needs --socket PATH");
+  qtx::serve::ServerOptions opt;
+  opt.socket_path = args.socket_path;
+  opt.workers = args.workers;
+  opt.queue_capacity = args.queue;
+  opt.cache_bytes =
+      static_cast<std::size_t>(args.cache_mb * (1024.0 * 1024.0));
+  opt.request_timeout_s = args.request_timeout;
+
+  qtx::serve::Server server(opt);
+  server.start();
+  g_serve_server = &server;
+  std::signal(SIGTERM, serve_signal_handler);
+  std::signal(SIGINT, serve_signal_handler);
+  if (!args.quiet) {
+    std::printf("qtx serve: listening on %s (%d worker%s, queue %d, "
+                "cache %.0f MiB)\n",
+                opt.socket_path.c_str(), opt.workers,
+                opt.workers == 1 ? "" : "s", opt.queue_capacity,
+                args.cache_mb);
+    std::printf("qtx serve: stop with SIGTERM or \"qtx submit --socket %s "
+                "--shutdown\"\n",
+                opt.socket_path.c_str());
+    std::fflush(stdout);
+  }
+  server.wait();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  g_serve_server = nullptr;
+  const qtx::serve::ServerStats stats = server.stats();
+  if (!args.quiet) {
+    std::printf("qtx serve: drained — %llu request%s ok, %llu error%s; "
+                "cache %llu hit%s / %llu miss%s; pipeline pool %llu warm "
+                "/ %llu cold\n",
+                static_cast<unsigned long long>(stats.requests_ok),
+                stats.requests_ok == 1 ? "" : "s",
+                static_cast<unsigned long long>(stats.requests_error),
+                stats.requests_error == 1 ? "" : "s",
+                static_cast<unsigned long long>(stats.cache.hits),
+                stats.cache.hits == 1 ? "" : "s",
+                static_cast<unsigned long long>(stats.cache.misses),
+                stats.cache.misses == 1 ? "" : "es",
+                static_cast<unsigned long long>(stats.pool.warm_hits),
+                static_cast<unsigned long long>(stats.pool.cold_builds));
+  }
+  return 0;
+}
+
+int cmd_submit(const CliArgs& args) {
+  if (args.socket_path.empty())
+    return usage_error("\"qtx submit\" needs --socket PATH");
+  qtx::serve::Client client(args.socket_path);
+  if (args.shutdown) {
+    if (client.shutdown()) {
+      if (!args.quiet)
+        std::printf("qtx submit: server at %s acknowledged shutdown\n",
+                    args.socket_path.c_str());
+    } else if (!args.quiet) {
+      std::printf("qtx submit: nothing listening at %s (already down)\n",
+                  args.socket_path.c_str());
+    }
+    return 0;
+  }
+  if (args.scenario_path.empty())
+    return usage_error("\"qtx submit\" needs a scenario file (or "
+                       "--shutdown)");
+  std::ifstream in(args.scenario_path, std::ios::binary);
+  if (!in) {
+    throw qtx::io::ScenarioError("cannot open scenario file \"" +
+                                 args.scenario_path + "\"");
+  }
+  std::ostringstream deck;
+  deck << in.rdbuf();
+  const qtx::serve::Client::Response reply =
+      client.submit(deck.str(), args.scenario_path, args.sets);
+  if (!reply.ok) {
+    std::fprintf(stderr, "qtx: serve error: %s\n", reply.error.c_str());
+    return 1;
+  }
+  std::fwrite(reply.payload.data(), 1, reply.payload.size(), stdout);
+  return 0;
+}
+
 int cmd_list_backends() {
   const auto backends = qtx::core::StageRegistry::global().describe();
   std::printf("%-10s %-20s %s\n", "kind", "key", "description");
@@ -316,10 +516,18 @@ int main(int argc, char** argv) {
   if (!parse_cli(argc, argv, args, exit_code)) return exit_code;
   if (args.ranks > 0 && args.command != "run")
     return usage_error("--ranks is only valid with \"qtx run\"");
+  if (!args.socket_path.empty() && args.command != "serve" &&
+      args.command != "submit")
+    return usage_error(
+        "--socket is only valid with \"qtx serve\" or \"qtx submit\"");
+  if (args.shutdown && args.command != "submit")
+    return usage_error("--shutdown is only valid with \"qtx submit\"");
   try {
     if (args.command == "run") return cmd_run(args);
     if (args.command == "sweep") return cmd_sweep(args);
     if (args.command == "print") return cmd_print(args);
+    if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "submit") return cmd_submit(args);
     if (args.command == "list-backends") return cmd_list_backends();
     if (args.command == "list-presets") return cmd_list_presets();
     return usage_error("unknown command \"" + args.command + "\"");

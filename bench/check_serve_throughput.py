@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Gate BENCH_serve_throughput.json against bench/references.json.
+
+Usage: check_serve_throughput.py <BENCH_serve_throughput.json> [references.json]
+
+Stdlib only. Each reference gate names a metric in the bench JSON plus a
+floor ("min") or an exact expectation ("equals"). Gates flagged
+wall_time only bind when the bench machine reported hardware_threads >= 2
+— a single-core box serializes the phases and makes every speedup ratio
+noise — matching the in-binary gate policy of bench_serve_throughput.cpp.
+Exits 0 when every binding gate holds, 1 otherwise.
+"""
+
+import json
+import os
+import sys
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    bench_path = argv[1]
+    refs_path = (
+        argv[2]
+        if len(argv) > 2
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "references.json")
+    )
+    with open(bench_path) as f:
+        bench = json.load(f)
+    with open(refs_path) as f:
+        refs = json.load(f)
+
+    name = bench.get("bench", "")
+    gates = refs.get(name, {}).get("gates", [])
+    if not gates:
+        print(f"no reference gates for bench {name!r} in {refs_path}")
+        return 1
+
+    hw = int(bench.get("hardware_threads", 1))
+    failures = 0
+    for gate in gates:
+        metric = gate["metric"]
+        value = bench.get(metric)
+        binding = not gate.get("wall_time", False) or hw >= 2
+        if value is None:
+            print(f"FAIL {metric}: missing from {bench_path}")
+            failures += 1
+            continue
+        if "equals" in gate:
+            ok = value == gate["equals"]
+            want = f"== {gate['equals']}"
+        else:
+            ok = float(value) >= float(gate["min"])
+            want = f">= {gate['min']}"
+        status = "PASS" if ok else ("SKIP" if not binding else "FAIL")
+        note = "" if binding else " (wall-time gate, single core)"
+        print(f"{status} {metric}: {value} (want {want}){note}")
+        if binding and not ok:
+            failures += 1
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

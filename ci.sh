@@ -31,6 +31,13 @@
 #                        # BENCH_fig6_weak_scaling.json). Ranks are
 #                        # processes, not threads — runs on a single-core
 #                        # container.
+#   ./ci.sh serve        # Release build running the "serve|golden" ctest
+#                        # labels (serve daemon unit + end-to-end suites,
+#                        # the golden.served_quickstart determinism gate)
+#                        # and the serve-throughput bench (emits
+#                        # BENCH_serve_throughput.json, gated against
+#                        # bench/references.json by
+#                        # bench/check_serve_throughput.py)
 #   ./ci.sh tidy         # clang-tidy over the src/ tree with the curated
 #                        # .clang-tidy check set (skipped with a notice when
 #                        # clang-tidy is not installed)
@@ -93,16 +100,18 @@ tsan() {
     -DQTX_SANITIZE=thread \
     -DQTX_BUILD_BENCHES=OFF \
     -DQTX_BUILD_EXAMPLES=OFF
-  echo "=== [TSan] build (api + parallel + accel + comm suites) ==="
+  echo "=== [TSan] build (api + parallel + accel + comm + serve suites) ==="
   cmake --build "$build_dir" -j "$JOBS" \
-    --target test_api test_parallel test_accel test_comm_transport qtx
-  echo "=== [TSan] ctest -L 'api|parallel|accel|comm' ==="
+    --target test_api test_parallel test_accel test_comm_transport \
+    test_serve qtx
+  echo "=== [TSan] ctest -L 'api|parallel|accel|comm|serve' ==="
   # The race-sensitive suites: the facade (observers, registry), the energy
   # pipeline (thread pool, work stealing, determinism at 8 workers), the
-  # accel layer (mixers running on the parallel energy loop), and the comm
+  # accel layer (mixers running on the parallel energy loop), the comm
   # transports (the socket wire framing runs its ranks as threads here, so
-  # TSan sees every frame enqueue/drain).
-  ctest --test-dir "$build_dir" -L "api|parallel|accel|comm" \
+  # TSan sees every frame enqueue/drain), and the serve daemon (acceptor +
+  # worker threads sharing the pipeline pool, result cache, and stats).
+  ctest --test-dir "$build_dir" -L "api|parallel|accel|comm|serve" \
     --output-on-failure -j "$JOBS"
 }
 
@@ -165,6 +174,36 @@ ranks() {
   (cd "$build_dir" && ./bench_fig6_weak_scaling)
 }
 
+serve() {
+  build_dir="build-ci-serve"
+  echo "=== [serve] configure (Release) ==="
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DQTX_WERROR=ON \
+    -DQTX_BUILD_EXAMPLES=OFF
+  echo "=== [serve] build (serve suite + qtx + throughput bench) ==="
+  cmake --build "$build_dir" -j "$JOBS" \
+    --target test_serve test_golden qtx bench_serve_throughput
+  echo "=== [serve] ctest -L 'serve|golden' ==="
+  # The daemon's unit suites (cache, pool, frame/request codecs), the
+  # end-to-end socket tests (bit-identity, drain, backpressure,
+  # timeouts), and the golden determinism gates including
+  # golden.served_quickstart (a served quickstart deck must reproduce
+  # tests/golden/quickstart_transmission.txt exactly).
+  ctest --test-dir "$build_dir" -L "serve|golden" --output-on-failure \
+    -j "$JOBS"
+  echo "=== [serve] throughput bench (cold vs warm pool vs cache) ==="
+  (cd "$build_dir" && ./bench_serve_throughput)
+  if command -v python3 > /dev/null 2>&1; then
+    echo "=== [serve] gate BENCH_serve_throughput.json against" \
+         "bench/references.json ==="
+    python3 bench/check_serve_throughput.py \
+      "$build_dir/BENCH_serve_throughput.json"
+  else
+    echo "=== [serve] python3 not found — skipping the reference gate ==="
+  fi
+}
+
 tidy() {
   # Non-fatal when clang-tidy is absent (e.g. minimal containers); when it
   # runs, the curated .clang-tidy check set (bugprone-*, concurrency-*,
@@ -198,7 +237,7 @@ docs() {
   echo "=== [docs] doxygen ==="
   mkdir -p build-docs
   doxygen Doxyfile
-  tracked='src/core/simulation\.hpp|src/core/options\.hpp|src/core/stages\.hpp|src/core/stage_registry\.hpp|src/io/[a-z_]*\.hpp|src/accel/[a-z_]*\.hpp|src/analysis/[a-z_]*\.hpp'
+  tracked='src/core/simulation\.hpp|src/core/options\.hpp|src/core/stages\.hpp|src/core/stage_registry\.hpp|src/io/[a-z_]*\.hpp|src/accel/[a-z_]*\.hpp|src/analysis/[a-z_]*\.hpp|src/serve/[a-z_]*\.hpp'
   if grep -E "$tracked" build-docs/doxygen-warnings.log 2>/dev/null \
       | grep -i "is not documented" > build-docs/undocumented.log; then
     echo "=== [docs] FAILED: undocumented public symbols in tracked" \
@@ -217,6 +256,7 @@ case "$STAGE" in
   asan-ubsan) asan_ubsan ;;
   blas) blas ;;
   ranks) ranks ;;
+  serve) serve ;;
   tidy) tidy ;;
   docs) docs ;;
   all)
@@ -226,12 +266,13 @@ case "$STAGE" in
     asan_ubsan
     blas
     ranks
+    serve
     tidy
     docs
     ;;
   *)
     echo "unknown stage '$STAGE' (expected: build-test, lint, tsan," \
-         "asan-ubsan, blas, ranks, tidy, docs, all)" >&2
+         "asan-ubsan, blas, ranks, serve, tidy, docs, all)" >&2
     exit 2
     ;;
 esac

@@ -57,6 +57,7 @@ const std::map<std::string, std::set<std::string>>& layer_deps() {
       {"rgf", {"bsparse"}},
       {"core", {"accel", "device", "fft", "obc", "par", "rgf"}},
       {"io", {"core"}},
+      {"serve", {"io", "core", "par"}},
   };
   return deps;
 }

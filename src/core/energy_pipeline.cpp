@@ -112,6 +112,26 @@ std::string EnergyPipeline::reuse_mismatch(
   return {};
 }
 
+std::string pipeline_reuse_key(int n_energies, const SimulationOptions& opt) {
+  // Keyed on the batch *layout* (not the raw energy_batch value): distinct
+  // energy_batch settings that clamp to the same sharding are genuinely
+  // interchangeable, and reuse_mismatch compares spans, not settings.
+  std::ostringstream os;
+  os << "batches=";
+  for (const EnergyBatch& b : make_energy_batches(n_energies,
+                                                  opt.energy_batch))
+    os << b.begin << "-" << b.end << ",";
+  os << "|obc=" << opt.resolved_obc_backend()
+     << "|greens=" << opt.resolved_greens_backend()
+     << "|exec=" << opt.resolved_executor();
+  // Worker count only constrains reuse under the threaded executor — the
+  // same asymmetry reuse_mismatch applies.
+  if (opt.resolved_executor() == "omp") os << "x" << opt.num_threads;
+  os << "|symmetrize=" << (opt.symmetrize ? 1 : 0)
+     << "|nd=" << opt.nd_partitions << "/" << opt.nd_threads;
+  return os.str();
+}
+
 double ordered_sum(const std::vector<double>& partials) {
   return qtx::ordered_sum(partials);  // one definition: common/reduction.hpp
 }

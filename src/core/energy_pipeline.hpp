@@ -102,6 +102,17 @@ class EnergyPipeline {
   int built_nd_threads_ = 1;
 };
 
+/// Canonical reuse key of a run over \p n_energies points with \p opt: the
+/// exact fields `reuse_mismatch` compares (batch layout, resolved OBC /
+/// Green's-function / executor keys, worker count when the executor is
+/// "omp", and the build-time symmetrize / nested-dissection settings),
+/// folded into one deterministic string. Two runs share a key exactly when
+/// a pipeline built for either is reusable for the other, which makes the
+/// key safe to shelve warm pipelines under — the serve layer's
+/// `PipelinePool` keys its checkouts with it (prefixed by the device
+/// layout, which the pipeline itself never sees).
+std::string pipeline_reuse_key(int n_energies, const SimulationOptions& opt);
+
 /// Deterministic ordered reduction: folds the partials in index order,
 /// independent of the schedule that produced them, so the sum is bit-stable
 /// across thread counts and batch layouts.

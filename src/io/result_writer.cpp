@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <istream>
+#include <sstream>
 
 #include "common/check.hpp"
 #include "common/strings.hpp"
@@ -63,6 +64,15 @@ std::vector<double> read_csv_column(std::istream& is, int column) {
   std::string line;
   bool seen_names = false;
   while (std::getline(is, line)) {
+    // CRLF reads identically to LF; a CR *inside* the line means the file
+    // uses CR-only endings that getline cannot split — without this check
+    // the whole file collapses into the name row and the function would
+    // silently return no values at all.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    QTX_CHECK_MSG(line.find('\r') == std::string::npos,
+                  "CSV line contains a bare CR — CR-only (classic Mac) "
+                  "line endings are not supported; convert the file to LF "
+                  "or CRLF");
     const std::string t = qs::trim(line);
     if (t.empty() || t[0] == '#') continue;
     if (!seen_names) {  // the column-name row
@@ -289,12 +299,13 @@ std::vector<std::string> write_result_csvs(
   return paths;
 }
 
-std::string write_result_json(const std::string& directory,
-                              const Scenario& scenario,
-                              const core::SimulationOptions& resolved,
-                              const ScenarioResults& results) {
-  const std::string path = join_path(directory, "results.json");
-  std::ofstream out = open_for_write(path);
+namespace {
+
+/// The results.json document body; both the file writer and the in-memory
+/// renderer stream through here, so their bytes cannot drift apart.
+void stream_result_json(std::ostream& out, const Scenario& scenario,
+                        const core::SimulationOptions& resolved,
+                        const ScenarioResults& results) {
   JsonWriter j(out);
   j.begin_object();
   j.kv("scenario", scenario.name);
@@ -403,6 +414,25 @@ std::string write_result_json(const std::string& directory,
 
   j.end_object();
   out << "\n";
+}
+
+}  // namespace
+
+std::string render_result_json(const Scenario& scenario,
+                               const core::SimulationOptions& resolved,
+                               const ScenarioResults& results) {
+  std::ostringstream out;
+  stream_result_json(out, scenario, resolved, results);
+  return out.str();
+}
+
+std::string write_result_json(const std::string& directory,
+                              const Scenario& scenario,
+                              const core::SimulationOptions& resolved,
+                              const ScenarioResults& results) {
+  const std::string path = join_path(directory, "results.json");
+  std::ofstream out = open_for_write(path);
+  stream_result_json(out, scenario, resolved, results);
   return path;
 }
 

@@ -44,6 +44,11 @@ void write_csv(std::ostream& os, const std::vector<std::string>& header,
 /// Read back the \p column-th numeric column of a CSV written by
 /// `write_csv` (skips '#' comments and the name row). The inverse the CLI
 /// smoke test uses to diff a transmission CSV against the golden file.
+/// Line endings: LF and CRLF read identically (the trailing CR is stripped
+/// before field splitting); a bare CR inside a line — a CR-only (classic
+/// Mac) file, which previously made this function silently return an empty
+/// vector because the whole file collapsed into the name row — fails a
+/// QTX_CHECK with a "convert to LF or CRLF" diagnostic.
 std::vector<double> read_csv_column(std::istream& is, int column);
 
 /// Minimal JSON emitter (objects, arrays, strings, numbers, booleans) —
@@ -120,6 +125,14 @@ struct ScenarioResults {
 std::vector<std::string> write_result_csvs(
     const std::string& directory, const Scenario& scenario,
     const core::SimulationOptions& resolved, const ScenarioResults& results);
+
+/// Render the all-in-one results.json document as a string — the exact
+/// bytes `write_result_json` puts on disk (trailing newline included), so
+/// in-memory consumers (the serve layer's response path and result cache)
+/// stay bit-identical to `qtx run`'s file output by construction.
+std::string render_result_json(const Scenario& scenario,
+                               const core::SimulationOptions& resolved,
+                               const ScenarioResults& results);
 
 /// Write the all-in-one results.json; returns its path.
 std::string write_result_json(const std::string& directory,

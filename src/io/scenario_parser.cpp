@@ -176,6 +176,18 @@ Scenario parse_scenario_text(const std::string& text,
   std::set<std::string> seen;      // "<section>.<key>" pairs already set
   while (std::getline(in, raw)) {
     ++ctx.line;
+    // CRLF parses identically to LF: strip the trailing CR before any
+    // splitting (locale-independent, unlike relying on trim's isspace).
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+    // A CR that is *not* a line terminator means the file uses CR-only
+    // (classic Mac) endings, which getline cannot split — the whole deck
+    // arrives as one mega-line. Fail with a conversion hint instead of
+    // reporting a baffling "expected key = value" on the joined text.
+    if (raw.find('\r') != std::string::npos) {
+      ctx.fail("bare CR within the line — CR-only (classic Mac) line "
+               "endings are not supported; convert the deck to LF or "
+               "CRLF");
+    }
     const std::string line = qs::trim(strip_comment(raw));
     if (line.empty()) continue;
     if (line.front() == '[') {
@@ -250,8 +262,12 @@ Scenario parse_scenario_file(const std::string& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   Scenario s = parse_scenario_text(buf.str(), path);
-  if (s.name.empty()) s.name = file_stem(path);
+  if (s.name.empty()) s.name = scenario_path_stem(path);
   return s;
+}
+
+std::string scenario_path_stem(const std::string& path) {
+  return file_stem(path);
 }
 
 void apply_scenario_override(Scenario& s, const std::string& key,
@@ -329,6 +345,29 @@ std::string serialize_scenario(const Scenario& s) {
     os << "output = " << s.sweep.output << "\n";
   }
   return os.str();
+}
+
+std::uint64_t canonical_deck_hash(const Scenario& s) {
+  // FNV-1a 64-bit over the canonical serialized form: simple, dependency-
+  // free, and byte-deterministic across platforms (the canonical text is
+  // "%.17g"-stable, so equal scenarios hash equal everywhere).
+  const std::string text = serialize_scenario(s);
+  std::uint64_t h = 14695981039346656037ULL;  // FNV offset basis
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::string canonical_deck_hash_hex(const Scenario& s) {
+  std::uint64_t h = canonical_deck_hash(s);
+  std::string hex(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    hex[i] = "0123456789abcdef"[h & 0xF];
+    h >>= 4;
+  }
+  return hex;
 }
 
 }  // namespace qtx::io

@@ -38,6 +38,7 @@
 /// parse(serialize(parse(x))) == parse(x) holds exactly (doubles are
 /// "%.17g"-formatted).
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -104,6 +105,13 @@ struct Scenario {
 
 /// Parse scenario text. \p source_name labels diagnostics ("<file>:<line>:
 /// ..."); pass the path when parsing a file, any tag when parsing strings.
+/// Line endings: LF and CRLF parse identically (the trailing CR is
+/// stripped before any key/value splitting), so decks written on Windows
+/// or arriving over a socket behave exactly like on-disk LF decks. A bare
+/// CR appearing *inside* a line — the signature of classic-Mac CR-only
+/// files, which std::getline cannot split — is rejected with a located
+/// "convert to LF or CRLF" diagnostic instead of mis-parsing the whole
+/// file as one line.
 Scenario parse_scenario_text(const std::string& text,
                              const std::string& source_name);
 
@@ -114,6 +122,27 @@ Scenario parse_scenario_file(const std::string& path);
 /// Canonical INI form of \p s: every section with every key in binding
 /// order. Reparsing reproduces \p s exactly.
 std::string serialize_scenario(const Scenario& s);
+
+/// Content address of a deck: the FNV-1a 64-bit hash of
+/// `serialize_scenario(s)`. Because the canonical form resolves every key,
+/// two decks hash equal exactly when they parse to the same scenario —
+/// round-tripping (parse → serialize → parse) preserves the hash, and any
+/// single key/value change alters it. This is the cache-correctness
+/// invariant the serve layer's `ResultCache` rests on (test_io pins it
+/// with a property test). Collisions are possible in principle (64-bit
+/// hash); the result cache tolerates them as a stale-result risk bounded
+/// by 2^-64 per pair, the usual content-address trade-off.
+std::uint64_t canonical_deck_hash(const Scenario& s);
+
+/// `canonical_deck_hash` as 16 lowercase hex digits (stable textual form
+/// for logs, provenance, and pool keys).
+std::string canonical_deck_hash_hex(const Scenario& s);
+
+/// Stem of a path ("scenarios/quickstart.ini" → "quickstart") — the rule
+/// `parse_scenario_file` uses to default a deck's scenario name. Exposed
+/// so other entry points handing decks to the parser (serve requests,
+/// tests) can apply the identical fallback.
+std::string scenario_path_stem(const std::string& path);
 
 /// Apply one command-line override (`qtx run --set key=value`) to a parsed
 /// scenario: keys prefixed "device." route to the [device] binding

@@ -101,6 +101,10 @@ RunOutcome run_scenario(const Scenario& s,
         comm->allreduce_sum(static_cast<double>(comm->bytes_sent()));
   }
 
+  // Hand the engine out for reuse: the local Simulation dies at return, so
+  // this is the shared_pipeline() ownership transfer, not aliasing.
+  out.pipeline = sim.shared_pipeline();
+
   // In a multi-rank world the observables are replicated bit-identically
   // on every rank; only rank 0 writes files, so N ranks don't race on them.
   const bool writes_output = !s.output.directory.empty() &&

@@ -41,6 +41,13 @@ struct RunOutcome {
   ScenarioResults results;            ///< observables + run record
   core::SimulationOptions resolved;   ///< provenance: the options used
   std::vector<std::string> files;     ///< paths written (empty if no output)
+  /// The run's energy pipeline, handed out for reuse (the
+  /// `shared_pipeline()` transfer — the Simulation that ran is gone by the
+  /// time run_scenario returns, so the caller owns the only live handle).
+  /// Pass it back as run_scenario's \p pipeline — or shelve it in a
+  /// serve::PipelinePool — to skip the engine build on the next compatible
+  /// run; drop it to discard the warm state.
+  std::shared_ptr<core::EnergyPipeline> pipeline;
 };
 
 /// Per-iteration progress hook (e.g. the CLI's live convergence print).

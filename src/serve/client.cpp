@@ -1,0 +1,140 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "serve/protocol.hpp"
+
+namespace qtx::serve {
+namespace {
+
+/// Connect to \p path; returns the fd or -1 with errno set.
+int try_connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    errno = ENAMETOOLONG;
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
+/// Responses are results.json documents — megabytes at the very most; the
+/// reader limit only guards against a corrupt length prefix.
+constexpr std::size_t kMaxResponseBytes = 1ull << 30;
+
+}  // namespace
+
+Client::Client(std::string socket_path)
+    : socket_path_(std::move(socket_path)) {}
+
+int Client::connect_fd() const {
+  const int fd = try_connect(socket_path_);
+  if (fd < 0) {
+    throw FrameError("cannot connect to qtx serve at \"" + socket_path_ +
+                     "\": " + std::strerror(errno));
+  }
+  return fd;
+}
+
+Client::Response Client::submit(
+    const std::string& deck_text, const std::string& deck_name,
+    const std::vector<std::pair<std::string, std::string>>& overrides)
+    const {
+  Request request;
+  request.deck_text = deck_text;
+  request.deck_name = deck_name;
+  request.overrides = overrides;
+
+  const int fd = connect_fd();
+  Response response;
+  try {
+    try {
+      write_frame(fd, kFrameRequest, encode_request(request));
+    } catch (const FrameError&) {
+      // The server may reject straight from the header (oversized
+      // request) and close its end while we are still sending the
+      // payload — the send surfaces EPIPE, but the error frame is
+      // already queued on our side of the socket. Only when no error
+      // frame can be read either is the send failure the real story.
+      Frame rejected;
+      bool got_reply = false;
+      try {
+        got_reply = read_frame(fd, rejected, kMaxResponseBytes);
+      } catch (const FrameError&) {
+        got_reply = false;
+      }
+      if (!got_reply || rejected.type != kFrameError) throw;
+      response.error = std::move(rejected.payload);
+      ::close(fd);
+      return response;
+    }
+    Frame frame;
+    if (!read_frame(fd, frame, kMaxResponseBytes)) {
+      response.error = "server closed the connection without replying";
+    } else if (frame.type == kFrameResponse) {
+      response.ok = true;
+      response.payload = std::move(frame.payload);
+    } else if (frame.type == kFrameError) {
+      response.error = std::move(frame.payload);
+    } else {
+      response.error =
+          "unexpected frame type " + std::to_string(frame.type) +
+          " in reply";
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  return response;
+}
+
+bool Client::shutdown() const {
+  const int fd = try_connect(socket_path_);
+  if (fd < 0) return false;  // nothing listening — already down
+  bool acked = false;
+  try {
+    write_frame(fd, kFrameShutdown, "");
+    Frame frame;
+    acked = read_frame(fd, frame, kMaxResponseBytes) &&
+            frame.type == kFrameShutdownAck;
+  } catch (const FrameError&) {
+    acked = false;
+  }
+  ::close(fd);
+  return acked;
+}
+
+bool Client::wait_ready(const std::string& socket_path, double timeout_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  for (;;) {
+    const int fd = try_connect(socket_path);
+    if (fd >= 0) {
+      ::close(fd);  // probe only; the server reads EOF and moves on
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace qtx::serve

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file client.hpp
+/// Blocking client of the `qtx serve` daemon — the single wire-path
+/// implementation the `qtx submit` CLI, the serve tests, and
+/// `bench_serve_throughput` all go through, so every consumer exercises
+/// the real frame protocol rather than an in-process shortcut. One
+/// connection per call (the protocol's one-request-per-connection rule);
+/// no state is kept between calls beyond the socket path.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qtx::serve {
+
+class Client {
+ public:
+  /// Outcome of one `submit`.
+  struct Response {
+    bool ok = false;      ///< true when a response frame arrived
+    std::string payload;  ///< results.json bytes (with "serve" section)
+    std::string error;    ///< the error-frame message when !ok
+  };
+
+  /// Client for the daemon listening on \p socket_path. Nothing connects
+  /// until a call is made.
+  explicit Client(std::string socket_path);
+
+  /// Submit \p deck_text for solving: connect, send the request frame
+  /// (deck + \p overrides applied in order; \p deck_name labels file:line
+  /// diagnostics and the scenario-name fallback), and block until the
+  /// response or error frame arrives. Throws FrameError when the daemon
+  /// cannot be reached or the connection dies mid-exchange.
+  Response submit(const std::string& deck_text,
+                  const std::string& deck_name = "request.ini",
+                  const std::vector<std::pair<std::string, std::string>>&
+                      overrides = {}) const;
+
+  /// Ask the daemon to drain and exit. Returns true when the shutdown-ack
+  /// frame came back, false when nothing is listening (already gone).
+  bool shutdown() const;
+
+  /// Poll-connect until the daemon accepts on \p socket_path or
+  /// \p timeout_s elapses (10 ms retry cadence). The probe connection is
+  /// closed without sending — the server treats that as a no-op. For
+  /// scripts and tests racing a freshly forked `qtx serve`.
+  static bool wait_ready(const std::string& socket_path, double timeout_s);
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  int connect_fd() const;  // throws FrameError when nothing listens
+
+  std::string socket_path_;
+};
+
+}  // namespace qtx::serve

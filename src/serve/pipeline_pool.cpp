@@ -1,0 +1,49 @@
+#include "serve/pipeline_pool.hpp"
+
+namespace qtx::serve {
+
+PipelinePool::PipelinePool(int max_idle_per_key)
+    : max_idle_per_key_(max_idle_per_key) {}
+
+std::shared_ptr<core::EnergyPipeline> PipelinePool::checkout(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = shelves_.find(key);
+  if (it == shelves_.end() || it->second.empty()) {
+    ++cold_builds_;
+    return nullptr;
+  }
+  std::shared_ptr<core::EnergyPipeline> pipeline =
+      std::move(it->second.back());
+  it->second.pop_back();
+  if (it->second.empty()) shelves_.erase(it);
+  --idle_;
+  ++warm_hits_;
+  return pipeline;
+}
+
+void PipelinePool::checkin(const std::string& key,
+                           std::shared_ptr<core::EnergyPipeline> pipeline) {
+  if (!pipeline) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& shelf = shelves_[key];
+  if (static_cast<int>(shelf.size()) >= max_idle_per_key_) {
+    if (shelf.empty()) shelves_.erase(key);  // max_idle_per_key_ == 0
+    ++discarded_;
+    return;
+  }
+  shelf.push_back(std::move(pipeline));
+  ++idle_;
+}
+
+PipelinePool::Stats PipelinePool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.warm_hits = warm_hits_;
+  s.cold_builds = cold_builds_;
+  s.discarded = discarded_;
+  s.idle = idle_;
+  return s;
+}
+
+}  // namespace qtx::serve

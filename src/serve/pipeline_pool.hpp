@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file pipeline_pool.hpp
+/// Warm-engine pool of the serve daemon: idle `core::EnergyPipeline`
+/// instances shelved under their reuse key — the device layout hash
+/// prefixed to `core::pipeline_reuse_key` (batch layout + resolved
+/// backend/executor keys + build-time solver settings) — and checked out
+/// by later requests for the same configuration. This is the PR 4
+/// `shared_pipeline()`/`reset()` machinery lifted across *requests*
+/// instead of sweep points: a checked-out pipeline skips the engine build
+/// (thread-pool spin-up, per-batch solver construction) while the
+/// Simulation's reuse-mismatch validation still guards the handoff, so an
+/// incompatible deck can only ever force a cold build, never a wrong one.
+/// Reused pipelines produce bit-identical numbers to freshly built ones —
+/// the invariant `reset()` documents and test_serve re-pins end to end.
+///
+/// Thread-safe: checkout/checkin take the internal mutex. A checked-out
+/// pipeline is owned by exactly one request at a time (the pool holds no
+/// reference while it is out), so workers never share a live engine.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/energy_pipeline.hpp"
+
+namespace qtx::serve {
+
+class PipelinePool {
+ public:
+  /// Warm-hit / cold-build counters (`stats()`).
+  struct Stats {
+    long long warm_hits = 0;    ///< checkouts served from the shelf
+    long long cold_builds = 0;  ///< checkouts that found nothing
+    long long discarded = 0;    ///< checkins dropped by the idle cap
+    long long idle = 0;         ///< pipelines shelved right now
+  };
+
+  /// Pool keeping at most \p max_idle_per_key idle pipelines per reuse
+  /// key. 0 disables pooling: every checkout is a cold build and every
+  /// checkin is discarded (the cold bench phase's configuration).
+  explicit PipelinePool(int max_idle_per_key = 2);
+
+  /// Take a warm pipeline for \p key, or nullptr when none is shelved
+  /// (count a cold build). The caller owns the result until checkin.
+  std::shared_ptr<core::EnergyPipeline> checkout(const std::string& key);
+
+  /// Return \p pipeline to the shelf for \p key; dropped (not shelved)
+  /// when the key already holds max_idle_per_key idle pipelines or
+  /// \p pipeline is null.
+  void checkin(const std::string& key,
+               std::shared_ptr<core::EnergyPipeline> pipeline);
+
+  Stats stats() const;  ///< consistent snapshot of the counters
+
+ private:
+  mutable std::mutex mutex_;
+  int max_idle_per_key_;
+  std::map<std::string,
+           std::vector<std::shared_ptr<core::EnergyPipeline>>>
+      shelves_;
+  long long warm_hits_ = 0;
+  long long cold_builds_ = 0;
+  long long discarded_ = 0;
+  long long idle_ = 0;
+};
+
+}  // namespace qtx::serve

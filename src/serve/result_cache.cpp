@@ -1,0 +1,61 @@
+#include "serve/result_cache.hpp"
+
+namespace qtx::serve {
+
+ResultCache::ResultCache(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+bool ResultCache::lookup(std::uint64_t key, std::string& payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  // Refresh recency: move the entry to the MRU front (iterators stay
+  // valid across splice, so the index needs no update).
+  lru_.splice(lru_.begin(), lru_, it->second);
+  payload = it->second->second;
+  ++hits_;
+  return true;
+}
+
+void ResultCache::insert(std::uint64_t key, const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (payload.size() > max_bytes_) return;  // covers max_bytes_ == 0
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh in place (same deck re-solved, e.g. after eviction races).
+    held_bytes_ -= it->second->second.size();
+    held_bytes_ += payload.size();
+    it->second->second = payload;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.emplace_front(key, payload);
+    index_[key] = lru_.begin();
+    held_bytes_ += payload.size();
+  }
+  evict_to_budget();
+}
+
+void ResultCache::evict_to_budget() {
+  while (held_bytes_ > max_bytes_ && !lru_.empty()) {
+    const auto& victim = lru_.back();
+    held_bytes_ -= victim.second.size();
+    index_.erase(victim.first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = static_cast<long long>(lru_.size());
+  s.bytes = static_cast<long long>(held_bytes_);
+  return s;
+}
+
+}  // namespace qtx::serve

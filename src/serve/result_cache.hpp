@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file result_cache.hpp
+/// Content-addressed result cache of the serve daemon: canonical deck hash
+/// (`io::canonical_deck_hash`) → rendered results.json bytes, evicted LRU
+/// under a byte budget. Because the key is the hash of the *canonical*
+/// serialized deck, two requests hit the same entry exactly when they
+/// parse to the same scenario — formatting, comment, and key-order
+/// differences all collapse — and any single key/value change is a miss
+/// (the property test_io pins on the hash). Cached payloads carry no
+/// "serve" section; per-request provenance is appended at response time,
+/// so a hit returns the stored bytes verbatim and stays bit-identical to
+/// the cold run that populated it.
+///
+/// Thread-safe: every operation takes the internal mutex (lookups from N
+/// workers race only on the LRU order, which the mutex serializes).
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace qtx::serve {
+
+class ResultCache {
+ public:
+  /// Hit/miss/eviction counters plus the current occupancy, as one
+  /// consistent snapshot (`stats()`).
+  struct Stats {
+    long long hits = 0;        ///< lookups that returned a payload
+    long long misses = 0;      ///< lookups that found nothing
+    long long evictions = 0;   ///< entries displaced by the byte budget
+    long long entries = 0;     ///< live entries right now
+    long long bytes = 0;       ///< payload bytes held right now
+  };
+
+  /// Cache holding at most \p max_bytes of payload. 0 disables caching
+  /// entirely: every lookup misses and every insert is dropped (the
+  /// configuration the bit-identity tests and the cold bench phase use).
+  explicit ResultCache(std::size_t max_bytes);
+
+  /// Look up \p key; on a hit copies the payload into \p payload, marks the
+  /// entry most-recently-used, and returns true. Counts a hit or a miss.
+  bool lookup(std::uint64_t key, std::string& payload);
+
+  /// Insert (or refresh) \p key → \p payload, then evict least-recently-
+  /// used entries until the byte budget holds again. A payload larger than
+  /// the whole budget is not inserted at all (it could only evict
+  /// everything and then fail to fit).
+  void insert(std::uint64_t key, const std::string& payload);
+
+  Stats stats() const;  ///< consistent snapshot of the counters
+
+ private:
+  void evict_to_budget();  // callers hold mutex_
+
+  mutable std::mutex mutex_;
+  std::size_t max_bytes_;
+  std::size_t held_bytes_ = 0;
+  /// MRU order, front = most recent; the map points into the list.
+  std::list<std::pair<std::uint64_t, std::string>> lru_;
+  std::map<std::uint64_t,
+           std::list<std::pair<std::uint64_t, std::string>>::iterator>
+      index_;
+  long long hits_ = 0;
+  long long misses_ = 0;
+  long long evictions_ = 0;
+};
+
+}  // namespace qtx::serve

@@ -1,0 +1,359 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "io/result_writer.hpp"
+#include "io/scenario_parser.hpp"
+#include "io/scenario_runner.hpp"
+
+namespace qtx::serve {
+namespace {
+
+/// Monotonic seconds for queue-wait and solve-time provenance.
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void close_quiet(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+/// Best-effort error reply: the peer may already be gone, which must not
+/// take the server down with it.
+void try_reply_error(int fd, const std::string& message) {
+  try {
+    write_frame(fd, kFrameError, message);
+  } catch (const FrameError&) {
+  }
+}
+
+/// The device half of a pool key: preset + every structure parameter, so
+/// two requests share warm engines only when they run the same layout
+/// (the pipeline itself never sees the device, hence the prefix).
+std::string device_layout_key(const io::Scenario& s) {
+  std::ostringstream os;
+  os << "preset=" << s.device_preset;
+  for (const auto& [key, value] :
+       device::serialize_structure_params(s.device))
+    os << "|" << key << "=" << value;
+  return os.str();
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options, const core::StageRegistry& registry)
+    : options_(std::move(options)),
+      registry_(&registry),
+      cache_(options_.cache_bytes),
+      pool_(options_.pool_max_idle) {}
+
+Server::~Server() {
+  if (started_ && !joined_) {
+    request_stop();
+    wait();
+  }
+  close_quiet(stop_pipe_rd_);
+  close_quiet(stop_pipe_wr_);
+  if (!options_.socket_path.empty())
+    ::unlink(options_.socket_path.c_str());
+}
+
+void Server::start() {
+  if (started_) throw std::runtime_error("serve::Server already started");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error(
+        "socket path \"" + options_.socket_path +
+        "\" is empty or too long for an AF_UNIX address (max " +
+        std::to_string(sizeof addr.sun_path - 1) + " bytes)");
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw std::runtime_error(std::string("cannot create stop pipe: ") +
+                             std::strerror(errno));
+  }
+  stop_pipe_rd_ = pipe_fds[0];
+  stop_pipe_wr_ = pipe_fds[1];
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("cannot create socket: ") +
+                             std::strerror(errno));
+  }
+  ::unlink(options_.socket_path.c_str());  // stale path from a dead server
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    close_quiet(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("cannot bind/listen on \"" +
+                             options_.socket_path + "\": " + err);
+  }
+
+  started_ = true;
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void Server::request_stop() {
+  // Async-signal-safe: one write(2), no locks, no allocation. The acceptor
+  // converts the byte into the locked drain transition.
+  if (stop_pipe_wr_ >= 0) {
+    const char byte = 'x';
+    [[maybe_unused]] const ssize_t r = ::write(stop_pipe_wr_, &byte, 1);
+  }
+}
+
+void Server::wait() {
+  if (!started_ || joined_) return;
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  close_quiet(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+  joined_ = true;
+}
+
+void Server::stop() {
+  request_stop();
+  wait();
+}
+
+bool Server::running() const { return started_ && !joined_; }
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.requests_ok = requests_ok_;
+    s.requests_error = requests_error_;
+  }
+  s.cache = cache_.stats();
+  s.pool = pool_.stats();
+  return s;
+}
+
+void Server::begin_drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Server::acceptor_loop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {stop_pipe_rd_, POLLIN, 0};
+    const int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // poll itself failed — drain rather than spin
+    }
+    if (fds[1].revents != 0) break;  // request_stop() fired
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket is gone
+    }
+    handle_connection(fd);
+    // A shutdown frame flips stopping_; stop accepting from then on.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+    }
+  }
+  begin_drain();
+}
+
+void Server::handle_connection(int fd) {
+  // Bound the header/payload read so a stalled client cannot wedge the
+  // acceptor (workers never read from sockets, only reply).
+  timeval timeout{30, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+
+  Frame frame;
+  try {
+    if (!read_frame(fd, frame, options_.max_request_bytes)) {
+      close_quiet(fd);  // connect-probe (e.g. Client::wait_ready)
+      return;
+    }
+  } catch (const FrameError& e) {
+    try_reply_error(fd, std::string("request rejected: ") + e.what());
+    close_quiet(fd);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++requests_error_;
+    return;
+  }
+
+  if (frame.type == kFrameShutdown) {
+    try {
+      write_frame(fd, kFrameShutdownAck, "");
+    } catch (const FrameError&) {
+    }
+    close_quiet(fd);
+    begin_drain();
+    return;
+  }
+  if (frame.type != kFrameRequest) {
+    try_reply_error(fd, "request rejected: unknown frame type " +
+                            std::to_string(frame.type));
+    close_quiet(fd);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++requests_error_;
+    return;
+  }
+
+  PendingRequest pending;
+  pending.fd = fd;
+  pending.payload = std::move(frame.payload);
+  pending.arrival_seconds = now_seconds();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (static_cast<int>(queue_.size()) >= options_.queue_capacity) {
+      ++requests_error_;
+      try_reply_error(
+          fd, "server queue is full (" +
+                  std::to_string(options_.queue_capacity) +
+                  " pending requests) — retry later or raise --queue");
+      close_quiet(fd);
+      return;
+    }
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_one();
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    PendingRequest req;
+    bool draining = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to answer
+      req = std::move(queue_.front());
+      queue_.pop_front();
+      draining = stopping_;
+    }
+    const double queue_seconds = now_seconds() - req.arrival_seconds;
+    if (draining) {
+      // Graceful drain: in-flight solves complete, but requests that were
+      // still queued when the stop arrived get a clear error.
+      try_reply_error(req.fd,
+                      "server is draining (shutdown requested) — this "
+                      "request was still queued; resubmit elsewhere");
+      close_quiet(req.fd);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++requests_error_;
+      continue;
+    }
+    if (queue_seconds > options_.request_timeout_s) {
+      std::ostringstream os;
+      os << "request timed out in the queue (waited "
+         << static_cast<long long>(queue_seconds)
+         << " s, --request-timeout is "
+         << static_cast<long long>(options_.request_timeout_s) << " s)";
+      try_reply_error(req.fd, os.str());
+      close_quiet(req.fd);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++requests_error_;
+      continue;
+    }
+    handle_request(req.fd, req.payload, queue_seconds);
+  }
+}
+
+void Server::handle_request(int fd, const std::string& payload,
+                            double queue_seconds) {
+  ServeInfo info;
+  info.queue_seconds = queue_seconds;
+  try {
+    const std::string body = solve(payload, info);
+    write_frame(fd, kFrameResponse, append_serve_section(body, info));
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++requests_ok_;
+  } catch (const std::exception& e) {
+    try_reply_error(fd, e.what());
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++requests_error_;
+  }
+  close_quiet(fd);
+}
+
+std::string Server::solve(const std::string& payload, ServeInfo& info) {
+  const Request request = decode_request(payload);
+  io::Scenario s = io::parse_scenario_text(request.deck_text,
+                                           request.deck_name);
+  if (s.name.empty()) s.name = io::scenario_path_stem(request.deck_name);
+  for (const auto& [key, value] : request.overrides)
+    io::apply_scenario_override(s, key, value);
+  if (s.has_sweep()) {
+    throw io::ScenarioError(
+        request.deck_name +
+        ": [sweep] decks cannot be served — submit one request per sweep "
+        "point (the pipeline pool makes the repeats warm)");
+  }
+  // The daemon never writes files; blanking the output spec also folds
+  // output-only deck differences into one cache entry.
+  s.output = io::OutputSpec{};
+  s.output.directory.clear();
+
+  const std::uint64_t key = io::canonical_deck_hash(s);
+  std::string body;
+  if (cache_.lookup(key, body)) {
+    info.cache_hit = true;
+    return body;
+  }
+
+  const device::Structure structure = io::make_structure(s);
+  const core::SimulationOptions resolved =
+      io::resolved_solver_options(s, structure);
+  const std::string pool_key =
+      device_layout_key(s) + "||" +
+      core::pipeline_reuse_key(resolved.grid.n, resolved);
+  std::shared_ptr<core::EnergyPipeline> pipeline = pool_.checkout(pool_key);
+  // The Simulation constructor throws on a reuse mismatch; the key should
+  // make one impossible, but a cold build beats taking the request down.
+  if (pipeline &&
+      !pipeline->reuse_mismatch(resolved.grid.n, resolved).empty()) {
+    pipeline.reset();
+  }
+  info.warm_pipeline = pipeline != nullptr;
+  const double t0 = now_seconds();
+  io::RunOutcome out =
+      io::run_scenario(s, *registry_, nullptr, std::move(pipeline));
+  info.solve_seconds = now_seconds() - t0;
+  pool_.checkin(pool_key, std::move(out.pipeline));
+  body = io::render_result_json(s, out.resolved, out.results);
+  cache_.insert(key, body);
+  return body;
+}
+
+}  // namespace qtx::serve

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "io/scenario_runner.hpp"
 
 #ifndef QTX_GOLDEN_DIR
@@ -455,6 +456,96 @@ TEST(ScenarioParser, MuReferenceResolvesAgainstBandEdges) {
 }
 
 // ---------------------------------------------------------------------------
+// Line endings and the canonical deck hash
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioParser, CrlfDecksParseIdenticallyToLf) {
+  const std::string lf =
+      "[device]\npreset = quickstart\nnum_cells = 3\n"
+      "[solver]\neta = 0.05\nmax_iterations = 2\n";
+  std::string crlf;
+  for (const char c : lf) crlf += (c == '\n') ? std::string("\r\n") : std::string(1, c);
+  const io::Scenario a = io::parse_scenario_text(lf, "lf.ini");
+  const io::Scenario b = io::parse_scenario_text(crlf, "crlf.ini");
+  EXPECT_EQ(io::serialize_scenario(a), io::serialize_scenario(b));
+  EXPECT_EQ(io::canonical_deck_hash(a), io::canonical_deck_hash(b));
+}
+
+TEST(ScenarioParser, BareCrLineEndingsAreRejectedWithALocatedError) {
+  // A CR-only (classic Mac) deck arrives as one getline "line" full of
+  // embedded CRs — reject it with a conversion hint instead of silently
+  // mis-parsing everything past the first CR.
+  expect_parse_error("[solver]\reta = 0.05\rmax_iterations = 2\r", "1:",
+                     "CR-only");
+}
+
+TEST(DeckHash, CanonicalTextRoundTripsToTheSameHash) {
+  const io::Scenario s = io::parse_scenario_text(
+      "[device]\npreset = quickstart\n[solver]\neta = 0.04\n", "a.ini");
+  const io::Scenario back =
+      io::parse_scenario_text(io::serialize_scenario(s), "b.ini");
+  EXPECT_EQ(io::canonical_deck_hash(back), io::canonical_deck_hash(s));
+  EXPECT_EQ(io::canonical_deck_hash_hex(s).size(), 16u);
+}
+
+TEST(DeckHash, FormattingAndCommentDifferencesCollapse) {
+  const io::Scenario plain = io::parse_scenario_text(
+      "[solver]\neta = 0.05\nmax_iterations = 3\n", "plain.ini");
+  const io::Scenario noisy = io::parse_scenario_text(
+      "# a comment\n\n[solver]   ; section\n"
+      "max_iterations=3\n  eta   =   0.05   # trailing\n",
+      "noisy.ini");
+  EXPECT_EQ(io::canonical_deck_hash(noisy), io::canonical_deck_hash(plain));
+}
+
+TEST(DeckHash, SingleKeyValueMutationsChangeTheHash) {
+  // Property fuzz: for random decks, mutating any one value of the
+  // canonical text that survives reparsing must land on a different hash
+  // — the guarantee the serve ResultCache keys on.
+  Rng rng(20250808);
+  auto randint = [&rng](int lo, int hi) {
+    return lo + static_cast<int>((rng.uniform() + 1.0) / 2.0 * (hi - lo));
+  };
+  int mutations_checked = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    std::ostringstream deck;
+    deck << "[device]\npreset = quickstart\nnum_cells = " << randint(2, 4)
+         << "\n[solver]\ngrid = -2.0 2.0 " << randint(4, 16)
+         << "\neta = 0.0" << randint(1, 9)
+         << "\nmax_iterations = " << randint(1, 4)
+         << "\nmixing = 0." << randint(1, 9) << "\n";
+    const io::Scenario s = io::parse_scenario_text(deck.str(), "fuzz.ini");
+    const std::string canon = io::serialize_scenario(s);
+    const std::uint64_t hash = io::canonical_deck_hash(s);
+
+    std::istringstream lines(canon);
+    std::string line;
+    std::size_t offset = 0;
+    while (std::getline(lines, line)) {
+      const std::size_t line_start = offset;
+      offset += line.size() + 1;
+      if (line.find(" = ") == std::string::npos) continue;
+      // Append a digit to the value: numeric values change magnitude,
+      // string values usually stop parsing (those mutants are skipped).
+      std::string mutated = canon;
+      mutated.insert(line_start + line.size(), "1");
+      io::Scenario m;
+      try {
+        m = io::parse_scenario_text(mutated, "mutant.ini");
+      } catch (const io::ScenarioError&) {
+        continue;
+      }
+      if (io::serialize_scenario(m) == canon) continue;  // no-op mutant
+      EXPECT_NE(io::canonical_deck_hash(m), hash)
+          << "mutated line collided: " << line;
+      ++mutations_checked;
+    }
+  }
+  // The fuzz must actually have exercised a healthy number of mutants.
+  EXPECT_GT(mutations_checked, 20);
+}
+
+// ---------------------------------------------------------------------------
 // Result writers (golden files; regenerate with QTX_UPDATE_GOLDEN=1)
 // ---------------------------------------------------------------------------
 
@@ -545,6 +636,28 @@ TEST(ResultWriter, CsvColumnsReadBackBitIdentically) {
   EXPECT_EQ(io::read_csv_column(in, 1), ys);  // exact double equality
   std::istringstream in2(os.str());
   EXPECT_EQ(io::read_csv_column(in2, 0), xs);
+}
+
+TEST(ResultWriter, CsvReaderHandlesCrlfAndRejectsBareCr) {
+  // CRLF files (Windows editors, git autocrlf) read back exactly like LF
+  // ones — the trailing CR must not corrupt the last column.
+  std::istringstream crlf("# note\r\nx,y\r\n1,2\r\n3,4\r\n");
+  EXPECT_EQ(io::read_csv_column(crlf, 1), (std::vector<double>{2.0, 4.0}));
+  // CR-only files used to yield a silently empty column (getline never
+  // fires); now they are rejected with a conversion hint.
+  std::istringstream cr_only("x,y\r1,2\r3,4\r");
+  EXPECT_THROW(io::read_csv_column(cr_only, 1), std::runtime_error);
+}
+
+TEST(ResultWriter, RenderMatchesTheWrittenFileBytes) {
+  // render_result_json is documented as "the exact bytes write_result_json
+  // puts on disk" — the serve daemon depends on that equivalence.
+  const io::Scenario s = synthetic_scenario();
+  const io::ScenarioResults r = synthetic_results();
+  const std::string dir = "test_io_writer_out";
+  fs::create_directories(dir);
+  const std::string path = io::write_result_json(dir, s, s.solver, r);
+  EXPECT_EQ(io::render_result_json(s, s.solver, r), read_file(path));
 }
 
 TEST(ResultWriter, ProvenanceRoundTripsThroughTheBindings) {
