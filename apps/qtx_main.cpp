@@ -4,12 +4,14 @@
 // docs/ drives this binary.
 //
 //   qtx run    <scenario.ini> [--out DIR] [--threads N] [--ranks N]
-//              [--rank-timeout SECONDS] [--set k=v]... [--quiet]
+//              [--rank-timeout SECONDS] [--trace FILE] [--metrics FILE]
+//              [--set k=v]... [--quiet]
 //   qtx sweep  <scenario.ini> [--out DIR] [--threads N] [--set k=v]... [--quiet]
 //   qtx print  <scenario.ini> [--set k=v]...  # parse + validate, emit canonical
 //   qtx serve  --socket PATH [--workers N] [--queue N] [--cache-mb MB]
 //              [--request-timeout SECONDS] [--quiet]   # long-lived daemon
 //   qtx submit <scenario.ini> --socket PATH [--set k=v]... | --shutdown
+//              | --stats
 //   qtx list-backends             # the StageRegistry catalog, generated
 //   qtx list-presets              # the device catalog (src/device/presets)
 //   qtx --help | --version
@@ -27,6 +29,8 @@
 
 #include "common/strings.hpp"
 #include "io/scenario_runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 
@@ -39,7 +43,8 @@ constexpr const char* kUsage =
     "\n"
     "usage:\n"
     "  qtx run   <scenario.ini> [--out DIR] [--threads N] [--ranks N]\n"
-    "            [--rank-timeout SECONDS] [--set KEY=VALUE]... [--quiet]\n"
+    "            [--rank-timeout SECONDS] [--trace FILE] [--metrics FILE]\n"
+    "            [--set KEY=VALUE]... [--quiet]\n"
     "  qtx sweep <scenario.ini> [--out DIR] [--threads N] [--set KEY=VALUE]"
     "... [--quiet]\n"
     "  qtx print <scenario.ini> [--set KEY=VALUE]...\n"
@@ -47,7 +52,7 @@ constexpr const char* kUsage =
     "            [--request-timeout SECONDS] [--quiet]\n"
     "  qtx submit <scenario.ini> --socket PATH [--set KEY=VALUE]... "
     "[--quiet]\n"
-    "  qtx submit --socket PATH --shutdown\n"
+    "  qtx submit --socket PATH --shutdown | --stats\n"
     "  qtx list-backends\n"
     "  qtx list-presets\n"
     "  qtx --help | --version\n"
@@ -73,6 +78,14 @@ constexpr const char* kUsage =
     "               sequential run\n"
     "--rank-timeout SECONDS  kill and reap the workers if the ranked run\n"
     "               exceeds this wall-clock budget (default 300)\n"
+    "--trace FILE   (run only) record an execution trace and write it as\n"
+    "               Chrome/Perfetto trace-event JSON (open in\n"
+    "               https://ui.perfetto.dev or chrome://tracing); with\n"
+    "               --ranks N the per-rank traces are merged into FILE\n"
+    "--metrics FILE (run only) write the process metrics snapshot after\n"
+    "               the run — counters, gauges, and histograms under the\n"
+    "               qtx.* namespace; \".prom\" suffix selects Prometheus\n"
+    "               text format, anything else JSON\n"
     "--set KEY=VALUE  override any [solver] or [device] deck key without\n"
     "               editing the file (repeatable; device keys take a\n"
     "               \"device.\" prefix, e.g. --set device.num_cells=8\n"
@@ -88,6 +101,9 @@ constexpr const char* kUsage =
     "               is answered with a timeout error (default 300)\n"
     "--shutdown     (submit) ask the daemon to drain and exit instead of\n"
     "               submitting a deck\n"
+    "--stats        (submit) scrape the daemon's live metrics snapshot\n"
+    "               (JSON) without submitting a deck; answered without\n"
+    "               queueing behind in-flight requests\n"
     "\n"
     "Scenario-file schema and tutorials: docs/userguide.md, docs/tutorials/.\n";
 
@@ -105,6 +121,9 @@ struct CliArgs {
   double cache_mb = 64.0;         ///< serve: result-cache budget in MiB
   double request_timeout = 300.0; ///< serve: max queue wait in seconds
   bool shutdown = false;          ///< submit: drain the daemon instead
+  bool stats = false;             ///< submit: scrape the daemon's metrics
+  std::string trace_path;         ///< run: Chrome trace JSON output path
+  std::string metrics_path;       ///< run: metrics snapshot output path
   /// --set KEY=VALUE deck overrides, in command-line order.
   std::vector<std::pair<std::string, std::string>> sets;
 };
@@ -270,6 +289,20 @@ bool parse_cli(int argc, char** argv, CliArgs& args, int& exit_code) {
       }
     } else if (arg == "--shutdown") {
       args.shutdown = true;
+    } else if (arg == "--stats") {
+      args.stats = true;
+    } else if (arg == "--trace") {
+      if (++i >= argc) {
+        exit_code = usage_error("--trace needs an output file argument");
+        return false;
+      }
+      args.trace_path = argv[i];
+    } else if (arg == "--metrics") {
+      if (++i >= argc) {
+        exit_code = usage_error("--metrics needs an output file argument");
+        return false;
+      }
+      args.metrics_path = argv[i];
     } else if (!arg.empty() && arg[0] == '-') {
       exit_code = usage_error("unknown flag \"" + arg + "\"");
       return false;
@@ -319,9 +352,11 @@ int cmd_run(const CliArgs& args) {
     // Multi-process path: fork the workers over the socket transport.
     // Rank 0 writes the usual files; the parent only supervises, so the
     // summary here is the launch report, not in-process observables.
+    // Tracing/metrics are handled inside the workers (per-rank trace
+    // partials merged after the launch; see run_scenario_ranked).
     const qtx::io::RankedOutcome ranked = qtx::io::run_scenario_ranked(
         s, args.ranks, args.rank_timeout, qtx::core::StageRegistry::global(),
-        progress_printer(args.quiet));
+        progress_printer(args.quiet), args.trace_path, args.metrics_path);
     if (!ranked.launch.ok()) {
       std::fprintf(stderr, "qtx: ranked run failed: %s\n",
                    ranked.launch.diagnostic.c_str());
@@ -335,7 +370,20 @@ int cmd_run(const CliArgs& args) {
     else
       std::printf("(no output directory configured; use --out DIR or the "
                   "[output] section)\n");
+    if (!args.trace_path.empty())
+      std::printf("wrote %s (merged %d rank trace%s)\n",
+                  args.trace_path.c_str(), ranked.ranks,
+                  ranked.ranks == 1 ? "" : "s");
+    if (!args.metrics_path.empty())
+      std::printf("wrote %s\n", args.metrics_path.c_str());
     return 0;
+  }
+  if (!args.trace_path.empty()) {
+    // Full detail for an explicitly requested trace: stage spans and the
+    // per-kernel la spans. Off (the default) costs one atomic load per
+    // would-be span.
+    qtx::obs::set_tracing_enabled(true);
+    qtx::obs::set_kernel_tracing_enabled(true);
   }
   const qtx::io::RunOutcome out = qtx::io::run_scenario(
       s, qtx::core::StageRegistry::global(), progress_printer(args.quiet));
@@ -350,6 +398,14 @@ int cmd_run(const CliArgs& args) {
   if (out.files.empty())
     std::printf("(no output directory configured; use --out DIR or the "
                 "[output] section)\n");
+  if (!args.trace_path.empty()) {
+    qtx::obs::write_chrome_trace(args.trace_path);
+    std::printf("wrote %s\n", args.trace_path.c_str());
+  }
+  if (!args.metrics_path.empty()) {
+    qtx::obs::write_metrics(args.metrics_path);
+    std::printf("wrote %s\n", args.metrics_path.c_str());
+  }
   return 0;
 }
 
@@ -453,6 +509,15 @@ int cmd_submit(const CliArgs& args) {
   if (args.socket_path.empty())
     return usage_error("\"qtx submit\" needs --socket PATH");
   qtx::serve::Client client(args.socket_path);
+  if (args.stats) {
+    const qtx::serve::Client::Response reply = client.stats();
+    if (!reply.ok) {
+      std::fprintf(stderr, "qtx: serve error: %s\n", reply.error.c_str());
+      return 1;
+    }
+    std::fwrite(reply.payload.data(), 1, reply.payload.size(), stdout);
+    return 0;
+  }
   if (args.shutdown) {
     if (client.shutdown()) {
       if (!args.quiet)
@@ -522,6 +587,14 @@ int main(int argc, char** argv) {
         "--socket is only valid with \"qtx serve\" or \"qtx submit\"");
   if (args.shutdown && args.command != "submit")
     return usage_error("--shutdown is only valid with \"qtx submit\"");
+  if (args.stats && args.command != "submit")
+    return usage_error("--stats is only valid with \"qtx submit\"");
+  if (args.stats && args.shutdown)
+    return usage_error("--stats and --shutdown are mutually exclusive");
+  if (!args.trace_path.empty() && args.command != "run")
+    return usage_error("--trace is only valid with \"qtx run\"");
+  if (!args.metrics_path.empty() && args.command != "run")
+    return usage_error("--metrics is only valid with \"qtx run\"");
   try {
     if (args.command == "run") return cmd_run(args);
     if (args.command == "sweep") return cmd_sweep(args);

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Gate BENCH_*.json outputs against bench/references.json.
+
+Usage: check_bench.py <BENCH_*.json>... [--references refs.json]
+                      [--trajectory trajectory.jsonl]
+
+Stdlib only. Every bench binary emits a BENCH_<name>.json with a
+top-level "bench" key; this script looks that name up in the references
+file and checks each listed gate. A gate names a metric in the bench
+JSON plus a floor ("min") or an exact expectation ("equals"). Gates
+flagged wall_time only bind when the bench machine reported
+hardware_threads >= 2 (benches that omit the key count as single-core) —
+a one-core box serializes the phases and makes every speedup ratio
+noise — matching the in-binary gate policy of the benches themselves.
+
+A bench JSON whose name has no gates in the references file is a hard
+failure: every bench that emits JSON must be gated (ROADMAP item 5), so
+adding a bench without references is caught here rather than silently
+unchecked.
+
+With --trajectory, one JSON line per checked bench is appended to the
+given file: {"date", "bench", "hardware_threads", "pass", "metrics"}
+where metrics holds the gated values. The file is an append-only log —
+the speed story across PRs — so this script never rewrites prior lines.
+
+Exits 0 when every binding gate of every given bench holds, 1 otherwise.
+"""
+
+import datetime
+import json
+import os
+import sys
+
+
+def check_bench(bench_path, refs):
+    """Gate one bench JSON; returns (failures, trajectory_record)."""
+    with open(bench_path) as f:
+        bench = json.load(f)
+
+    name = bench.get("bench", "")
+    gates = refs.get(name, {}).get("gates", [])
+    if not gates:
+        print(f"FAIL {bench_path}: no reference gates for bench {name!r}"
+              " (every BENCH_*.json must be gated — add an entry to"
+              " bench/references.json)")
+        return 1, None
+
+    hw = int(bench.get("hardware_threads", 1))
+    failures = 0
+    metrics = {}
+    for gate in gates:
+        metric = gate["metric"]
+        value = bench.get(metric)
+        binding = not gate.get("wall_time", False) or hw >= 2
+        if value is None:
+            print(f"FAIL {name}.{metric}: missing from {bench_path}")
+            failures += 1
+            continue
+        metrics[metric] = value
+        if "equals" in gate:
+            ok = value == gate["equals"]
+            want = f"== {gate['equals']}"
+        else:
+            ok = float(value) >= float(gate["min"])
+            want = f">= {gate['min']}"
+        status = "PASS" if ok else ("SKIP" if not binding else "FAIL")
+        note = "" if binding else " (wall-time gate, single core)"
+        print(f"{status} {name}.{metric}: {value} (want {want}){note}")
+        if binding and not ok:
+            failures += 1
+
+    record = {
+        "date": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "bench": name,
+        "hardware_threads": hw,
+        "pass": failures == 0,
+        "metrics": metrics,
+    }
+    return failures, record
+
+
+def main(argv):
+    bench_paths = []
+    refs_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "references.json")
+    trajectory_path = None
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--references":
+            i += 1
+            refs_path = argv[i]
+        elif arg == "--trajectory":
+            i += 1
+            trajectory_path = argv[i]
+        else:
+            bench_paths.append(arg)
+        i += 1
+    if not bench_paths:
+        print(__doc__.strip())
+        return 2
+
+    with open(refs_path) as f:
+        refs = json.load(f)
+
+    failures = 0
+    records = []
+    for bench_path in sorted(bench_paths):
+        bench_failures, record = check_bench(bench_path, refs)
+        failures += bench_failures
+        if record is not None:
+            records.append(record)
+
+    if trajectory_path is not None and records:
+        with open(trajectory_path, "a") as f:
+            for record in records:
+                f.write(json.dumps(record, sort_keys=True) + "\n")
+        print(f"appended {len(records)} record(s) to {trajectory_path}")
+
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

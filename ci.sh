@@ -36,8 +36,15 @@
 #                        # the golden.served_quickstart determinism gate)
 #                        # and the serve-throughput bench (emits
 #                        # BENCH_serve_throughput.json, gated against
-#                        # bench/references.json by
-#                        # bench/check_serve_throughput.py)
+#                        # bench/references.json by bench/check_bench.py)
+#   ./ci.sh obs          # Release build running the "obs" ctest label
+#                        # (span nesting/determinism, trace + metrics
+#                        # rendering, serve stats round trip), then an
+#                        # end-to-end traced quickstart: qtx run --trace
+#                        # --metrics, python3 validates the Chrome trace
+#                        # JSON (>= 1 span per SCBA iteration per stage
+#                        # kind) and the metrics snapshot, and a live
+#                        # daemon is scraped via qtx submit --stats
 #   ./ci.sh tidy         # clang-tidy over the src/ tree with the curated
 #                        # .clang-tidy check set (skipped with a notice when
 #                        # clang-tidy is not installed)
@@ -72,6 +79,17 @@ build_test() {
     echo "=== [$config] ctest (includes the -L api facade suite) ==="
     ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
   done
+  if command -v python3 > /dev/null 2>&1; then
+    echo "=== [build-test] gate every BENCH_*.json against" \
+         "bench/references.json ==="
+    # The Release ctest pass above ran the bench label, so the Release
+    # tree holds a fresh BENCH_*.json per bench binary; each run is also
+    # appended to the bench/trajectory.jsonl perf log (ROADMAP item 5).
+    python3 bench/check_bench.py build-ci-release/BENCH_*.json \
+      --trajectory bench/trajectory.jsonl
+  else
+    echo "=== [build-test] python3 not found — skipping the bench gate ==="
+  fi
 }
 
 lint() {
@@ -100,18 +118,21 @@ tsan() {
     -DQTX_SANITIZE=thread \
     -DQTX_BUILD_BENCHES=OFF \
     -DQTX_BUILD_EXAMPLES=OFF
-  echo "=== [TSan] build (api + parallel + accel + comm + serve suites) ==="
+  echo "=== [TSan] build (api + parallel + accel + comm + serve + obs" \
+       "suites) ==="
   cmake --build "$build_dir" -j "$JOBS" \
     --target test_api test_parallel test_accel test_comm_transport \
-    test_serve qtx
-  echo "=== [TSan] ctest -L 'api|parallel|accel|comm|serve' ==="
+    test_serve test_obs qtx
+  echo "=== [TSan] ctest -L 'api|parallel|accel|comm|serve|obs' ==="
   # The race-sensitive suites: the facade (observers, registry), the energy
   # pipeline (thread pool, work stealing, determinism at 8 workers), the
   # accel layer (mixers running on the parallel energy loop), the comm
   # transports (the socket wire framing runs its ranks as threads here, so
-  # TSan sees every frame enqueue/drain), and the serve daemon (acceptor +
-  # worker threads sharing the pipeline pool, result cache, and stats).
-  ctest --test-dir "$build_dir" -L "api|parallel|accel|comm|serve" \
+  # TSan sees every frame enqueue/drain), the serve daemon (acceptor +
+  # worker threads sharing the pipeline pool, result cache, and stats), and
+  # the obs layer (per-thread span buffers and metrics polled mid-run —
+  # including TimerRegistry::all()/seconds() against concurrent add()).
+  ctest --test-dir "$build_dir" -L "api|parallel|accel|comm|serve|obs" \
     --output-on-failure -j "$JOBS"
 }
 
@@ -172,6 +193,14 @@ ranks() {
   echo "=== [ranks] Fig. 6 weak-scaling bench (all transports +" \
        "real-process mode) ==="
   (cd "$build_dir" && ./bench_fig6_weak_scaling)
+  if command -v python3 > /dev/null 2>&1; then
+    echo "=== [ranks] gate BENCH_fig6_weak_scaling.json against" \
+         "bench/references.json ==="
+    python3 bench/check_bench.py "$build_dir/BENCH_fig6_weak_scaling.json" \
+      --trajectory bench/trajectory.jsonl
+  else
+    echo "=== [ranks] python3 not found — skipping the reference gate ==="
+  fi
 }
 
 serve() {
@@ -197,11 +226,87 @@ serve() {
   if command -v python3 > /dev/null 2>&1; then
     echo "=== [serve] gate BENCH_serve_throughput.json against" \
          "bench/references.json ==="
-    python3 bench/check_serve_throughput.py \
-      "$build_dir/BENCH_serve_throughput.json"
+    python3 bench/check_bench.py \
+      "$build_dir/BENCH_serve_throughput.json" \
+      --trajectory bench/trajectory.jsonl
   else
     echo "=== [serve] python3 not found — skipping the reference gate ==="
   fi
+}
+
+obs() {
+  build_dir="build-ci-obs"
+  echo "=== [obs] configure (Release) ==="
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DQTX_WERROR=ON \
+    -DQTX_BUILD_BENCHES=OFF \
+    -DQTX_BUILD_EXAMPLES=OFF
+  echo "=== [obs] build (obs suite + qtx) ==="
+  cmake --build "$build_dir" -j "$JOBS" --target test_obs qtx
+  echo "=== [obs] ctest -L obs ==="
+  # Span nesting + cross-thread-count determinism, Chrome trace rendering
+  # and per-rank merge, metrics snapshot/JSON/Prometheus stability, and
+  # the serve stats frame round trip against an in-process daemon.
+  ctest --test-dir "$build_dir" -L obs --output-on-failure -j "$JOBS"
+  echo "=== [obs] traced quickstart (qtx run --trace --metrics) ==="
+  "$build_dir/qtx" run scenarios/quickstart.ini \
+    --out "$build_dir/obs-quickstart" \
+    --trace "$build_dir/trace.json" \
+    --metrics "$build_dir/metrics.json" --quiet
+  if command -v python3 > /dev/null 2>&1; then
+    echo "=== [obs] validate the trace + metrics JSON ==="
+    # Hard acceptance invariant: the trace is valid JSON with at least one
+    # span per SCBA iteration per stage kind, and the metrics snapshot is
+    # valid JSON carrying the FLOP totals.
+    python3 - "$build_dir/trace.json" "$build_dir/metrics.json" << 'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+stages = {}
+for e in events:
+    if e["cat"] == "stage" and "iteration" in e["args"]:
+        stages.setdefault(e["args"]["iteration"], set()).add(e["name"])
+iterations = sorted(a["iteration"] for a in
+                    (e["args"] for e in events if e["cat"] == "iteration"))
+assert iterations, "no scba.iteration spans in the trace"
+required = {"G: OBC", "G: RGF", "W: Assembly: LHS", "W: Assembly: RHS",
+            "W: RGF", "Other: P-FFT", "Other: Sigma-FFT", "mix"}
+for it in iterations:
+    missing = required - stages.get(it, set())
+    assert not missing, f"iteration {it} missing stage spans: {missing}"
+assert any(e["cat"] == "kernel" for e in events), "no la kernel spans"
+metrics = json.load(open(sys.argv[2]))
+assert metrics["counters"].get("qtx.flops.total", 0) > 0
+assert metrics["counters"].get("qtx.run.completed") == 1
+print(f"trace ok: {len(events)} spans over {len(iterations)} iterations;"
+      f" metrics ok: {len(metrics['counters'])} counters,"
+      f" {len(metrics['gauges'])} gauges")
+EOF
+  else
+    echo "=== [obs] python3 not found — skipping the JSON validation ==="
+  fi
+  echo "=== [obs] live daemon scrape (qtx submit --stats) ==="
+  sock="$build_dir/obs-ci.sock"
+  "$build_dir/qtx" serve --socket "$sock" --workers 1 --quiet \
+    > "$build_dir/obs-serve.log" 2>&1 &
+  serve_pid=$!
+  trap 'kill "$serve_pid" 2> /dev/null || true' RETURN
+  for _ in $(seq 1 50); do
+    [ -S "$sock" ] && break
+    sleep 0.2
+  done
+  "$build_dir/qtx" submit scenarios/quickstart.ini --socket "$sock" \
+    --quiet > /dev/null
+  stats="$("$build_dir/qtx" submit --stats --socket "$sock")"
+  echo "$stats" | grep -q '"qtx.serve.requests_ok": 1' \
+    || { echo "stats scrape missing qtx.serve.requests_ok=1:"; \
+         echo "$stats"; kill "$serve_pid" 2> /dev/null; exit 1; }
+  echo "$stats" > "$build_dir/serve-stats.json"
+  "$build_dir/qtx" submit --shutdown --socket "$sock" --quiet > /dev/null
+  wait "$serve_pid" 2> /dev/null || true
+  trap - RETURN
+  echo "=== [obs] stats scrape ok (snapshot in $build_dir/serve-stats.json) ==="
 }
 
 tidy() {
@@ -237,7 +342,7 @@ docs() {
   echo "=== [docs] doxygen ==="
   mkdir -p build-docs
   doxygen Doxyfile
-  tracked='src/core/simulation\.hpp|src/core/options\.hpp|src/core/stages\.hpp|src/core/stage_registry\.hpp|src/io/[a-z_]*\.hpp|src/accel/[a-z_]*\.hpp|src/analysis/[a-z_]*\.hpp|src/serve/[a-z_]*\.hpp'
+  tracked='src/core/simulation\.hpp|src/core/options\.hpp|src/core/stages\.hpp|src/core/stage_registry\.hpp|src/io/[a-z_]*\.hpp|src/accel/[a-z_]*\.hpp|src/analysis/[a-z_]*\.hpp|src/serve/[a-z_]*\.hpp|src/obs/[a-z_]*\.hpp'
   if grep -E "$tracked" build-docs/doxygen-warnings.log 2>/dev/null \
       | grep -i "is not documented" > build-docs/undocumented.log; then
     echo "=== [docs] FAILED: undocumented public symbols in tracked" \
@@ -257,6 +362,7 @@ case "$STAGE" in
   blas) blas ;;
   ranks) ranks ;;
   serve) serve ;;
+  obs) obs ;;
   tidy) tidy ;;
   docs) docs ;;
   all)
@@ -267,12 +373,13 @@ case "$STAGE" in
     blas
     ranks
     serve
+    obs
     tidy
     docs
     ;;
   *)
     echo "unknown stage '$STAGE' (expected: build-test, lint, tsan," \
-         "asan-ubsan, blas, ranks, serve, tidy, docs, all)" >&2
+         "asan-ubsan, blas, ranks, serve, obs, tidy, docs, all)" >&2
     exit 2
     ;;
 esac

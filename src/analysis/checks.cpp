@@ -46,7 +46,8 @@ bool extract_include(const std::string& code_line, const std::string& raw_line,
 const std::map<std::string, std::set<std::string>>& layer_deps() {
   static const std::map<std::string, std::set<std::string>> deps = {
       {"common", {}},
-      {"la", {"common"}},
+      {"obs", {"common"}},
+      {"la", {"common", "obs"}},
       {"fft", {"common"}},
       {"par", {"common"}},
       {"analysis", {"common"}},
@@ -55,7 +56,7 @@ const std::map<std::string, std::set<std::string>>& layer_deps() {
       {"obc", {"la"}},
       {"device", {"bsparse"}},
       {"rgf", {"bsparse"}},
-      {"core", {"accel", "device", "fft", "obc", "par", "rgf"}},
+      {"core", {"accel", "device", "fft", "obc", "par", "rgf", "obs"}},
       {"io", {"core"}},
       {"serve", {"io", "core", "par"}},
   };
@@ -285,6 +286,29 @@ void check_thread_detach(const SourceFile& sf, std::vector<Diagnostic>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// raw-clock — all timing flows through the instrumented entry points
+// ---------------------------------------------------------------------------
+
+void check_raw_clock(const SourceFile& sf, std::vector<Diagnostic>& out) {
+  // Sanctioned homes: the timer primitives themselves and the obs layer's
+  // trace clock (which needs raw monotonic microseconds for span stamps).
+  if (sf.path == "src/common/timer.hpp") return;
+  if (sf.path.rfind("src/obs/", 0) == 0) return;
+  static const std::regex clock(
+      R"(std::chrono::(steady_clock|system_clock|high_resolution_clock)\b)");
+  for (std::size_t li = 0; li < sf.code.size(); ++li) {
+    if (std::regex_search(sf.code[li], clock)) {
+      emit(sf, static_cast<int>(li + 1), "raw-clock",
+           "direct std::chrono clock use outside common/timer.hpp and "
+           "src/obs — time through qtx::Stopwatch / qtx::ScopedTimer / "
+           "qtx::monotonic_seconds so all timing flows through the "
+           "instrumented entry points",
+           out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // volatile — not a synchronization primitive
 // ---------------------------------------------------------------------------
 
@@ -332,6 +356,12 @@ const std::vector<Check>& all_checks() {
        &check_iostream},
       {"thread-detach", "no std::thread::detach — workers are always joined",
        &check_thread_detach},
+      {"raw-clock",
+       "no direct std::chrono steady/system/high_resolution clock use "
+       "outside common/timer.hpp and src/obs — timing flows through the "
+       "instrumented qtx::Stopwatch/ScopedTimer/monotonic_seconds entry "
+       "points",
+       &check_raw_clock},
       {"volatile",
        "no volatile-as-synchronization — std::atomic or mutexes only",
        &check_volatile},

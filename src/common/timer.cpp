@@ -1,37 +1,79 @@
 #include "common/timer.hpp"
 
 #include <mutex>
+#include <vector>
 
 namespace qtx {
 namespace {
 
-std::mutex g_mutex;
-std::map<std::string, double>& timers() {
-  static std::map<std::string, double> t;
-  return t;
+/// Per-thread timer block, mirroring FlopLedger's counter blocks: the
+/// owning thread takes its own (uncontended) mutex in add() — no global
+/// contention when pipeline workers time kernels concurrently — while
+/// observer threads polling seconds()/all() mid-run take the registry
+/// mutex plus each block's mutex in turn, so no read is torn.
+struct ThreadTimers {
+  std::mutex mutex;
+  std::map<std::string, double> by_name;
+};
+
+// Registry and mutex are heap-allocated immortals: the per-thread blocks
+// must stay reachable at process exit (static destruction would orphan
+// them — LeakSanitizer reports — and any thread outliving static
+// destruction would touch a destroyed vector).
+std::mutex& registry_mutex() {
+  static auto* m = new std::mutex();
+  return *m;
+}
+std::vector<ThreadTimers*>& registry() {
+  static auto* r = new std::vector<ThreadTimers*>();
+  return *r;
+}
+
+ThreadTimers& local() {
+  thread_local ThreadTimers* tt = [] {
+    auto* p = new ThreadTimers();  // lives for process lifetime
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    registry().push_back(p);
+    return p;
+  }();
+  return *tt;
 }
 
 }  // namespace
 
 void TimerRegistry::add(const std::string& name, double seconds) {
-  std::lock_guard<std::mutex> lock(g_mutex);
-  timers()[name] += seconds;
+  auto& tt = local();
+  std::lock_guard<std::mutex> lock(tt.mutex);
+  tt.by_name[name] += seconds;
 }
 
 double TimerRegistry::seconds(const std::string& name) {
-  std::lock_guard<std::mutex> lock(g_mutex);
-  auto it = timers().find(name);
-  return it == timers().end() ? 0.0 : it->second;
+  double sum = 0.0;
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (auto* tt : registry()) {
+    std::lock_guard<std::mutex> block(tt->mutex);
+    const auto it = tt->by_name.find(name);
+    if (it != tt->by_name.end()) sum += it->second;
+  }
+  return sum;
 }
 
 std::map<std::string, double> TimerRegistry::all() {
-  std::lock_guard<std::mutex> lock(g_mutex);
-  return timers();
+  std::map<std::string, double> out;
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (auto* tt : registry()) {
+    std::lock_guard<std::mutex> block(tt->mutex);
+    for (const auto& [k, v] : tt->by_name) out[k] += v;
+  }
+  return out;
 }
 
 void TimerRegistry::reset() {
-  std::lock_guard<std::mutex> lock(g_mutex);
-  timers().clear();
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (auto* tt : registry()) {
+    std::lock_guard<std::mutex> block(tt->mutex);
+    tt->by_name.clear();
+  }
 }
 
 }  // namespace qtx

@@ -3,7 +3,10 @@
 /// \file timer.hpp
 /// Wall-clock timers mirroring the paper's per-kernel time measurements
 /// (Table 4 rows). TimerRegistry accumulates named durations; ScopedTimer is
-/// the RAII entry point used around each SCBA kernel.
+/// the RAII entry point used around each SCBA kernel. This header is the
+/// one sanctioned home of raw std::chrono clocks outside src/obs (enforced
+/// by the qtx-lint `raw-clock` check) — everything else times through
+/// Stopwatch, ScopedTimer, or monotonic_seconds().
 
 #include <chrono>
 #include <map>
@@ -12,6 +15,20 @@
 
 namespace qtx {
 
+/// Seconds on the process-wide monotonic clock (arbitrary epoch). The
+/// building block for deadline arithmetic outside this header.
+inline double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Process-wide named wall-clock accumulators. Thread-safe: add() appends
+/// to the calling thread's own per-thread block (uncontended mutex, same
+/// pattern as FlopLedger), so pipeline workers timing kernels concurrently
+/// never contend, and observer threads can poll seconds()/all() mid-run
+/// without torn reads. Absorbed into obs::MetricsRegistry snapshots as
+/// `qtx.time.<name>.seconds` gauges (obs/metrics.hpp).
 class TimerRegistry {
  public:
   /// Accumulate \p seconds into the timer named \p name.

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "common/timer.hpp"
 #include "core/assembly.hpp"
@@ -11,6 +12,7 @@
 #include "core/gw.hpp"
 #include "core/stage_registry.hpp"
 #include "fft/convolution.hpp"
+#include "obs/trace.hpp"
 
 namespace qtx::core {
 
@@ -88,7 +90,11 @@ DistributedStats distributed_iteration(par::Comm& comm,
   // shared-memory workers inside every rank.
   EnergyPipeline pipeline(static_cast<int>(ne_mine), opt,
                           StageRegistry::global());
+  // Phase spans: optional::emplace ends the previous phase's span before
+  // the next begins, mirroring the compute_s/comm_s bookkeeping exactly.
+  std::optional<obs::Span> pspan;
   // ---- G stage (energy layout) --------------------------------------
+  pspan.emplace("dist: G", obs::SpanKind::kStage);
   phase.restart();
   std::vector<cplx> g_lt_flat(ne_mine * layout.num_elements());
   std::vector<cplx> g_gt_flat(ne_mine * layout.num_elements());
@@ -115,11 +121,13 @@ DistributedStats distributed_iteration(par::Comm& comm,
   });
   compute_s += phase.seconds();
   // ---- transpose to element layout ----------------------------------
+  pspan.emplace("dist: exchange G", obs::SpanKind::kStage);
   phase.restart();
   std::vector<cplx> lt_elem = transposer.to_element_layout(comm, g_lt_flat);
   std::vector<cplx> gt_elem = transposer.to_element_layout(comm, g_gt_flat);
   comm_s += phase.seconds();
   // ---- P stage (element layout) -------------------------------------
+  pspan.emplace("dist: P", obs::SpanKind::kStage);
   phase.restart();
   const std::int64_t k_mine = transposer.elements().count(comm.rank());
   fft::EnergyConvolver conv(ne, opt.grid.de());
@@ -143,11 +151,13 @@ DistributedStats distributed_iteration(par::Comm& comm,
   }
   compute_s += phase.seconds();
   // ---- transpose P back, solve W (energy layout) ---------------------
+  pspan.emplace("dist: exchange P", obs::SpanKind::kStage);
   phase.restart();
   std::vector<cplx> p_lt_en = transposer.to_energy_layout(comm, p_lt_elem);
   std::vector<cplx> p_gt_en = transposer.to_energy_layout(comm, p_gt_elem);
   std::vector<cplx> p_r_en = transposer.to_energy_layout(comm, p_r_elem);
   comm_s += phase.seconds();
+  pspan.emplace("dist: W", obs::SpanKind::kStage);
   phase.restart();
   std::vector<cplx> w_lt_flat(ne_mine * layout.num_elements());
   std::vector<cplx> w_gt_flat(ne_mine * layout.num_elements());
@@ -184,10 +194,12 @@ DistributedStats distributed_iteration(par::Comm& comm,
   });
   compute_s += phase.seconds();
   // ---- transpose W, Sigma convolution, transpose back ----------------
+  pspan.emplace("dist: exchange W", obs::SpanKind::kStage);
   phase.restart();
   std::vector<cplx> wlt_elem = transposer.to_element_layout(comm, w_lt_flat);
   std::vector<cplx> wgt_elem = transposer.to_element_layout(comm, w_gt_flat);
   comm_s += phase.seconds();
+  pspan.emplace("dist: Sigma", obs::SpanKind::kStage);
   phase.restart();
   std::vector<cplx> s_lt_elem(k_mine * ne), s_gt_elem(k_mine * ne);
   {
@@ -207,6 +219,7 @@ DistributedStats distributed_iteration(par::Comm& comm,
     }
   }
   compute_s += phase.seconds();
+  pspan.emplace("dist: exchange Sigma", obs::SpanKind::kStage);
   phase.restart();
   std::vector<cplx> s_lt_en = transposer.to_energy_layout(comm, s_lt_elem);
   std::vector<cplx> s_gt_en = transposer.to_energy_layout(comm, s_gt_elem);
@@ -215,6 +228,7 @@ DistributedStats distributed_iteration(par::Comm& comm,
   // The same registry dispatch Simulation::compute_sigma_and_mix
   // performs: each rank mixes its grid slice through the resolved
   // accel::Mixer, starting from this iteration's zero self-energy.
+  pspan.emplace("dist: mix", obs::SpanKind::kStage);
   phase.restart();
   std::vector<std::vector<cplx>> cur_lt(
       ne_mine, std::vector<cplx>(layout.num_elements(), cplx(0.0)));
@@ -239,6 +253,7 @@ DistributedStats distributed_iteration(par::Comm& comm,
         pipeline.for_each_energy([&](int el, int) { fn(el); });
       });
   compute_s += phase.seconds();
+  pspan.reset();
   // ---- aggregate ------------------------------------------------------
   DistributedStats stats;
   stats.compute_s = comm.allreduce_max(compute_s);

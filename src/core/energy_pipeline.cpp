@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/reduction.hpp"
+#include "obs/trace.hpp"
 
 namespace qtx::core {
 
@@ -26,12 +27,18 @@ EnergyPipeline::EnergyPipeline(int n_energies, const SimulationOptions& opt,
 
 void EnergyPipeline::for_each_batch(
     const std::function<void(const EnergyBatch&)>& fn) {
-  executor_->for_each_batch(batches_, fn);
+  // The obs span wraps the batch *inside* the executor, so it lands on the
+  // worker thread that actually ran the batch (stage spans nest under it).
+  executor_->for_each_batch(batches_, [&fn](const EnergyBatch& b) {
+    const obs::Span span("pipeline.batch", obs::SpanKind::kPipeline,
+                         {.batch = b.index});
+    fn(b);
+  });
 }
 
 void EnergyPipeline::for_each_energy(
     const std::function<void(int, int)>& fn) {
-  executor_->for_each_batch(batches_, [&fn](const EnergyBatch& b) {
+  for_each_batch([&fn](const EnergyBatch& b) {
     for (int e = b.begin; e < b.end; ++e) fn(e, b.index);
   });
 }

@@ -5,6 +5,7 @@
 #include "common/flops.hpp"
 #include "common/timer.hpp"
 #include "core/distributed.hpp"
+#include "obs/trace.hpp"
 
 namespace qtx::core {
 
@@ -181,6 +182,9 @@ void Simulation::solve_g() {
     {
       ScopedTimer t("G: OBC");
       FlopPhase f("G: OBC");
+      const obs::Span span("G: OBC", obs::SpanKind::kStage,
+                           {.iteration = iteration_ + 1, .energy = e,
+                            .batch = batch});
       m = assemble_electron_lhs(energy, opt_.eta, h_eff_, sigma_retarded(e));
       ob = electron_obc(m, energy, opt_.contacts, pipeline_->obc(batch), e);
       m.diag(0) -= ob.sigma_r_left;
@@ -195,6 +199,9 @@ void Simulation::solve_g() {
     {
       ScopedTimer t("G: RGF");
       FlopPhase f("G: RGF");
+      const obs::Span span("G: RGF", obs::SpanKind::kStage,
+                           {.iteration = iteration_ + 1, .energy = e,
+                            .batch = batch});
       BlockTridiag bl = deserialize_lesser(sig_lt_[e], layout_);
       BlockTridiag bg = deserialize_lesser(sig_gt_[e], layout_);
       bl.diag(0) += ob.sigma_l_left;
@@ -247,6 +254,8 @@ void Simulation::solve_g() {
 void Simulation::compute_polarization() {
   ScopedTimer t("Other: P-FFT");
   FlopPhase f("Other: P-FFT");
+  const obs::Span span("Other: P-FFT", obs::SpanKind::kStage,
+                       {.iteration = iteration_ + 1});
   const int ne = opt_.grid.n;
   std::vector<std::vector<cplx>> g_lt(ne), g_gt(ne);
   pipeline_->for_each_energy([&](int e, int) {
@@ -269,6 +278,9 @@ void Simulation::solve_w() {
     {
       ScopedTimer t("W: Assembly: LHS");
       FlopPhase f("W: Assembly: LHS");
+      const obs::Span span("W: Assembly: LHS", obs::SpanKind::kStage,
+                           {.iteration = iteration_ + 1, .energy = w,
+                            .batch = batch});
       std::vector<cplx> jump(layout_.num_elements());
       for (std::int64_t k = 0; k < layout_.num_elements(); ++k)
         jump[k] = p_gt_[w][k] - p_lt_[w][k];
@@ -278,6 +290,9 @@ void Simulation::solve_w() {
     {
       ScopedTimer t("W: Assembly: RHS");
       FlopPhase f("W: Assembly: RHS");
+      const obs::Span span("W: Assembly: RHS", obs::SpanKind::kStage,
+                           {.iteration = iteration_ + 1, .energy = w,
+                            .batch = batch});
       const BlockTridiag p_lt = deserialize_lesser(p_lt_[w], layout_);
       const BlockTridiag p_gt = deserialize_lesser(p_gt_[w], layout_);
       bl = assemble_w_rhs(v_, p_lt);
@@ -293,6 +308,9 @@ void Simulation::solve_w() {
     {
       ScopedTimer t("W: RGF");
       FlopPhase f("W: RGF");
+      const obs::Span span("W: RGF", obs::SpanKind::kStage,
+                           {.iteration = iteration_ + 1, .energy = w,
+                            .batch = batch});
       rgf::SelectedSolution sel = pipeline_->greens(batch).solve(m, bl, bg);
       wlt_[w] = std::move(sel.xl);
       wgt_[w] = std::move(sel.xg);
@@ -322,6 +340,8 @@ accel::MixOutcome Simulation::compute_sigma_and_mix() {
   {
     ScopedTimer t("Other: Sigma-FFT");
     FlopPhase f("Other: Sigma-FFT");
+    const obs::Span span("Other: Sigma-FFT", obs::SpanKind::kStage,
+                         {.iteration = iteration_ + 1});
     pipeline_->for_each_energy([&](int e, int) {
       g_lt[e] = serialize_sym(glt_[e]);
       g_gt[e] = serialize_sym(ggt_[e]);
@@ -373,11 +393,15 @@ accel::MixOutcome Simulation::compute_sigma_and_mix() {
   const accel::EnergyLoop loop = [this](const std::function<void(int)>& fn) {
     pipeline_->for_each_energy([&](int e, int) { fn(e); });
   };
+  const obs::Span span("mix", obs::SpanKind::kStage,
+                       {.iteration = iteration_ + 1});
   return mixer_->mix(state, proposal, loop);
 }
 
 IterationResult Simulation::iterate() {
   Stopwatch total;
+  const obs::Span span("scba.iteration", obs::SpanKind::kIteration,
+                       {.iteration = iteration_ + 1});
   const auto t0 = TimerRegistry::all();
   const auto f0 = FlopLedger::by_phase();
   solve_g();
@@ -428,6 +452,7 @@ IterationResult Simulation::iterate() {
 TransportResult Simulation::run() {
   TransportResult res;
   Stopwatch total;
+  const obs::Span span("simulation.run", obs::SpanKind::kRun);
   const bool interacting = !channels_.empty();
   for (int it = 0; it < opt_.max_iterations; ++it) {
     IterationResult r = iterate();

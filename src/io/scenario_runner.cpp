@@ -11,6 +11,8 @@
 
 #include "common/strings.hpp"
 #include "core/perf_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace qtx::io {
 namespace {
@@ -105,6 +107,36 @@ RunOutcome run_scenario(const Scenario& s,
   // this is the shared_pipeline() ownership transfer, not aliasing.
   out.pipeline = sim.shared_pipeline();
 
+  // Publish run-level counters into the process metrics registry (the
+  // snapshot `qtx run --metrics` and the serve stats frame render). Gauges
+  // reflect the most recent run; per-phase time and flops are absorbed
+  // from their own ledgers at snapshot time (obs::snapshot_process).
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  if (out.pipeline) {
+    const obc::MemoizerStats ms = out.pipeline->obc_stats();
+    metrics.set_gauge("qtx.obc.direct_calls",
+                      static_cast<double>(ms.direct_calls));
+    metrics.set_gauge("qtx.obc.memoized_calls",
+                      static_cast<double>(ms.memoized_calls));
+    metrics.set_gauge("qtx.obc.fpi_iterations",
+                      static_cast<double>(ms.fpi_iterations));
+    const double calls =
+        static_cast<double>(ms.direct_calls + ms.memoized_calls);
+    metrics.set_gauge("qtx.obc.memoize_hit_rate",
+                      calls > 0.0
+                          ? static_cast<double>(ms.memoized_calls) / calls
+                          : 0.0);
+  }
+  metrics.set_gauge("qtx.run.iterations",
+                    static_cast<double>(out.results.result.iterations));
+  metrics.add_counter("qtx.run.completed");
+  if (comm != nullptr) {
+    metrics.set_gauge("qtx.comm.ranks", static_cast<double>(comm->size()));
+    metrics.set_gauge(
+        "qtx.comm.bytes_sent",
+        static_cast<double>(out.results.comm_bytes_sent));
+  }
+
   // In a multi-rank world the observables are replicated bit-identically
   // on every rank; only rank 0 writes files, so N ranks don't race on them.
   const bool writes_output = !s.output.directory.empty() &&
@@ -127,7 +159,9 @@ RunOutcome run_scenario(const Scenario& s,
 RankedOutcome run_scenario_ranked(const Scenario& s, int ranks,
                                   double timeout_s,
                                   const core::StageRegistry& registry,
-                                  const ProgressFn& progress) {
+                                  const ProgressFn& progress,
+                                  const std::string& trace_path,
+                                  const std::string& metrics_path) {
   if (ranks < 1) {
     throw ScenarioError("ranked run needs at least 1 rank, got " +
                         std::to_string(ranks));
@@ -156,6 +190,15 @@ RankedOutcome run_scenario_ranked(const Scenario& s, int ranks,
   out.ranks = ranks;
   out.launch =
       par::launch_ranks(ranks, timeout_s, [&](par::Comm& comm) {
+        if (!trace_path.empty()) {
+          // Tracing is per-process state: each forked worker enables its
+          // own buffers and tags them with its rank. steady_clock's
+          // timebase survives the fork, so the per-rank files merge onto
+          // one consistent timeline.
+          obs::set_tracing_enabled(true);
+          obs::set_kernel_tracing_enabled(true);
+          obs::set_trace_rank(comm.rank());
+        }
         // The CLI's live print belongs to rank 0 only; a faulting rank
         // trades its hook for the injection trigger (fires after the
         // first completed iteration, i.e. mid-run).
@@ -166,7 +209,24 @@ RankedOutcome run_scenario_ranked(const Scenario& s, int ranks,
           };
         }
         run_scenario(local, registry, hook, nullptr, &comm);
+        if (!trace_path.empty()) {
+          obs::write_chrome_trace(trace_path + ".rank" +
+                                  std::to_string(comm.rank()));
+        }
+        if (!metrics_path.empty() && comm.rank() == 0)
+          obs::write_metrics(metrics_path);
       });
+  if (!trace_path.empty() && out.launch.ok()) {
+    std::vector<std::string> partials;
+    partials.reserve(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r)
+      partials.push_back(trace_path + ".rank" + std::to_string(r));
+    obs::merge_chrome_traces(partials, trace_path);
+    for (const std::string& p : partials) {
+      std::error_code ec;
+      std::filesystem::remove(p, ec);  // best effort: partials are advisory
+    }
+  }
   return out;
 }
 

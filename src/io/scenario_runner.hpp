@@ -97,11 +97,20 @@ struct RankedOutcome {
 /// nonzero _exit), "throw" (uncaught C++ exception), "kill" (SIGKILL
 /// itself), or "hang" (sleep past any timeout). Exercised by the
 /// fault-injection tests in tests/test_comm_transport.cpp.
+///
+/// Observability (`qtx run --ranks N --trace/--metrics`): a non-empty
+/// \p trace_path enables obs tracing in every worker (tagged with its
+/// rank); each rank writes `<trace_path>.rank<r>` and, after a clean
+/// launch, the supervisor merges them into \p trace_path and removes the
+/// partials. A non-empty \p metrics_path makes rank 0 — the rank that owns
+/// the output files — write its obs metrics snapshot there.
 RankedOutcome run_scenario_ranked(const Scenario& s, int ranks,
                                   double timeout_s,
                                   const core::StageRegistry& registry =
                                       core::StageRegistry::global(),
-                                  const ProgressFn& progress = nullptr);
+                                  const ProgressFn& progress = nullptr,
+                                  const std::string& trace_path = "",
+                                  const std::string& metrics_path = "");
 
 /// Outcome of a `run_sweep` call: the summary rows plus every file written.
 struct SweepOutcome {

@@ -2,6 +2,7 @@
 
 #include "common/flops.hpp"
 #include "la/backend.hpp"
+#include "obs/trace.hpp"
 
 namespace qtx::la {
 
@@ -29,6 +30,9 @@ void gemm(cplx alpha, const Matrix& a, Op opa, const Matrix& b, Op opb,
     c *= beta;
   }
   FlopLedger::add(flop_count::gemm(m, n, k));
+  // Kernel-detail spans are double-gated (see set_kernel_tracing_enabled):
+  // at default trace verbosity this is one relaxed atomic load.
+  const obs::Span span("la.gemm", obs::SpanKind::kKernel);
   active_backend().gemm_accumulate(alpha, a, opa, b, opb, c);
 }
 

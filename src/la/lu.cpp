@@ -2,12 +2,14 @@
 
 #include "common/flops.hpp"
 #include "la/backend.hpp"
+#include "obs/trace.hpp"
 
 namespace qtx::la {
 
 LuFactors lu_factor(const Matrix& a) {
   QTX_CHECK(a.square());
   FlopLedger::add(flop_count::lu(a.rows()));
+  const obs::Span span("la.lu_factor", obs::SpanKind::kKernel);
   return active_backend().lu_factor(a);
 }
 
@@ -16,6 +18,7 @@ Matrix lu_solve(const LuFactors& f, const Matrix& b) {
   const int n = f.lu.rows();
   QTX_CHECK(b.rows() == n);
   FlopLedger::add(flop_count::lu_solve(n, b.cols()));
+  const obs::Span span("la.lu_solve", obs::SpanKind::kKernel);
   return active_backend().lu_solve(f, b);
 }
 
@@ -24,6 +27,7 @@ Matrix lu_solve_right(const LuFactors& f, const Matrix& b) {
   const int n = f.lu.rows();
   QTX_CHECK(b.cols() == n);
   FlopLedger::add(flop_count::lu_solve(n, b.rows()));
+  const obs::Span span("la.lu_solve_right", obs::SpanKind::kKernel);
   return active_backend().lu_solve_right(f, b);
 }
 

@@ -1,0 +1,177 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "common/flops.hpp"
+#include "common/timer.hpp"
+
+namespace qtx::obs {
+namespace {
+
+void append_json_key(std::string& out, const std::string& key) {
+  out += '"';
+  for (const char c : key) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; we map everything else
+/// (dots, spaces, the "G: OBC" kernel names) to '_'.
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name[0] >= '0' && name[0] <= '9') out += '_';
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::add_counter(const std::string& name,
+                                  std::int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_.counters[name] += delta;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_.gauges[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& h = data_.histograms[name];
+  if (h.count == 0 || value < h.min) h.min = value;
+  if (h.count == 0 || value > h.max) h.max = value;
+  h.sum += value;
+  ++h.count;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_ = MetricsSnapshot{};
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Immortal: serve worker threads may scrape during static destruction.
+  static auto* r = new MetricsRegistry();
+  return *r;
+}
+
+MetricsSnapshot snapshot_process(MetricsRegistry& registry) {
+  MetricsSnapshot snap = registry.snapshot();
+  std::int64_t flops_total = 0;
+  for (const auto& [phase, flops] : FlopLedger::by_phase()) {
+    snap.counters["qtx.flops.phase." + phase] += flops;
+    flops_total += flops;
+  }
+  if (flops_total > 0) snap.counters["qtx.flops.total"] += flops_total;
+  for (const auto& [name, seconds] : TimerRegistry::all()) {
+    snap.gauges["qtx.time." + name + ".seconds"] = seconds;
+  }
+  return snap;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out += "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_key(out, name);
+    out += ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_key(out, name);
+    out += ": " + format_double(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_json_key(out, name);
+    out += ": {\"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + format_double(h.sum);
+    out += ", \"min\": " + format_double(h.min);
+    out += ", \"max\": " + format_double(h.max) + "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " counter\n";
+    out += p + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " gauge\n";
+    out += p + " " + format_double(value) + "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string p = prometheus_name(name);
+    out += "# TYPE " + p + " summary\n";
+    out += p + "_count " + std::to_string(h.count) + "\n";
+    out += p + "_sum " + format_double(h.sum) + "\n";
+    out += p + "_min " + format_double(h.min) + "\n";
+    out += p + "_max " + format_double(h.max) + "\n";
+  }
+  return out;
+}
+
+void write_metrics(const std::string& path) {
+  const MetricsSnapshot snap = snapshot_process();
+  const bool prom =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0;
+  const std::string doc = prom ? to_prometheus(snap) : to_json(snap);
+  std::ofstream f(path, std::ios::binary);
+  QTX_CHECK_MSG(f.good(),
+                "cannot open metrics output file \"" + path + "\"");
+  f << doc;
+  f.close();
+  QTX_CHECK_MSG(f.good(), "failed writing metrics output file \"" + path +
+                              "\"");
+}
+
+}  // namespace qtx::obs

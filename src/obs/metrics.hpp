@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Metrics half of the qtx::obs observability layer: a process-wide
+/// registry of counters, gauges, and histograms under one dotted
+/// namespace (`qtx.flops.*`, `qtx.time.*`, `qtx.comm.*`, `qtx.obc.*`,
+/// `qtx.serve.*`), with deterministic ordered snapshots exportable as
+/// JSON or Prometheus text exposition.
+///
+/// Layering note: `common` cannot depend on `obs`, so the legacy
+/// telemetry sources (TimerRegistry, FlopLedger) are *pulled* into the
+/// snapshot by snapshot_process() rather than pushing on their hot
+/// paths; higher layers (io, serve) push their own metrics directly.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace qtx::obs {
+
+/// Summary statistics of an observed-value series (histogram metric).
+struct HistogramStats {
+  std::uint64_t count = 0;  ///< number of observations
+  double sum = 0.0;         ///< sum of observed values
+  double min = 0.0;         ///< smallest observed value (0 when count == 0)
+  double max = 0.0;         ///< largest observed value (0 when count == 0)
+};
+
+/// A point-in-time copy of every metric, ordered by name (std::map), so
+/// rendered output is byte-stable for identical inputs.
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;    ///< monotone counts
+  std::map<std::string, double> gauges;            ///< last-set values
+  std::map<std::string, HistogramStats> histograms;  ///< value series
+};
+
+/// Thread-safe metric store. All operations take one internal mutex —
+/// callers are snapshot-time pushes and per-request serve updates, never
+/// per-kernel hot paths (those stay on FlopLedger/TimerRegistry's
+/// per-thread blocks and are absorbed by snapshot_process()).
+class MetricsRegistry {
+ public:
+  /// Add \p delta to the counter named \p name (created at 0).
+  void add_counter(const std::string& name, std::int64_t delta = 1);
+
+  /// Set the gauge named \p name to \p value.
+  void set_gauge(const std::string& name, double value);
+
+  /// Record \p value into the histogram named \p name.
+  void observe(const std::string& name, double value);
+
+  /// Copy out every metric, ordered by name.
+  MetricsSnapshot snapshot() const;
+
+  /// Drop every metric.
+  void reset();
+
+  /// The process-wide registry used by the runner, the serve daemon, and
+  /// the `--metrics` CLI flag. Never destroyed (immortal heap singleton).
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  MetricsSnapshot data_;
+};
+
+/// Snapshot \p registry and absorb the legacy telemetry sources:
+/// TimerRegistry totals become `qtx.time.<kernel>.seconds` gauges and
+/// FlopLedger per-phase totals become `qtx.flops.phase.<phase>` counters
+/// plus `qtx.flops.total`.
+MetricsSnapshot snapshot_process(
+    MetricsRegistry& registry = MetricsRegistry::global());
+
+/// Render \p snapshot as a deterministic JSON document
+/// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Render \p snapshot in the Prometheus text exposition format. Metric
+/// names are sanitized ([^a-zA-Z0-9_] → '_'); histograms expand to
+/// _count / _sum / _min / _max series.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// snapshot_process() + render + write to \p path: Prometheus text when
+/// \p path ends in ".prom", JSON otherwise. Throws std::runtime_error
+/// when the file cannot be written.
+void write_metrics(const std::string& path);
+
+}  // namespace qtx::obs

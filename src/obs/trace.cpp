@@ -1,0 +1,316 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace qtx::obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_kernel_enabled{false};
+std::atomic<int> g_rank{0};
+std::atomic<std::uint64_t> g_next_id{0};
+std::atomic<int> g_next_thread_index{0};
+
+/// Monotonic microseconds. steady_clock is CLOCK_MONOTONIC on Linux and
+/// survives fork with the same timebase, so per-rank traces merged by the
+/// launcher stay aligned on one axis.
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-thread event buffer, registered in a global list so collection can
+/// aggregate across threads. Same lifetime discipline as FlopLedger: the
+/// owner thread takes its own (uncontended) block mutex on the hot path;
+/// collectors take the registry mutex plus each block's mutex in turn.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::vector<std::uint64_t> stack;  // open span ids; owner thread only
+  int thread_index = 0;
+};
+
+// Registry and its mutex are heap-allocated immortals: per-thread blocks
+// must stay reachable through them at process exit (static destruction
+// would orphan the blocks and break threads outliving it).
+std::mutex& registry_mutex() {
+  static auto* m = new std::mutex();
+  return *m;
+}
+std::vector<ThreadBuffer*>& registry() {
+  static auto* r = new std::vector<ThreadBuffer*>();
+  return *r;
+}
+
+ThreadBuffer& local() {
+  thread_local ThreadBuffer* tb = [] {
+    auto* p = new ThreadBuffer();  // lives for process lifetime
+    p->thread_index =
+        g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    registry().push_back(p);
+    return p;
+  }();
+  return *tb;
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  out += buf;
+}
+
+}  // namespace
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kRun: return "run";
+    case SpanKind::kIteration: return "iteration";
+    case SpanKind::kStage: return "stage";
+    case SpanKind::kKernel: return "kernel";
+    case SpanKind::kPipeline: return "pipeline";
+    case SpanKind::kServe: return "serve";
+  }
+  return "unknown";
+}
+
+bool tracing_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_tracing_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool kernel_tracing_enabled() {
+  return g_enabled.load(std::memory_order_relaxed) &&
+         g_kernel_enabled.load(std::memory_order_relaxed);
+}
+
+void set_kernel_tracing_enabled(bool on) {
+  g_kernel_enabled.store(on, std::memory_order_relaxed);
+}
+
+int trace_rank() { return g_rank.load(std::memory_order_relaxed); }
+
+void set_trace_rank(int rank) {
+  g_rank.store(rank, std::memory_order_relaxed);
+}
+
+Span::Span(const char* name, SpanKind kind, SpanArgs args) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  if (kind == SpanKind::kKernel &&
+      !g_kernel_enabled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  active_ = true;
+  name_ = name;
+  kind_ = kind;
+  args_ = args;
+  id_ = g_next_id.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto& tb = local();
+  parent_id_ = tb.stack.empty() ? 0 : tb.stack.back();
+  depth_ = static_cast<int>(tb.stack.size());
+  tb.stack.push_back(id_);
+  start_us_ = now_us();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const double end_us = now_us();
+  auto& tb = local();
+  if (!tb.stack.empty() && tb.stack.back() == id_) tb.stack.pop_back();
+  TraceEvent e;
+  e.name = name_;
+  e.kind = kind_;
+  e.id = id_;
+  e.parent_id = parent_id_;
+  e.start_us = start_us_;
+  e.dur_us = end_us - start_us_;
+  e.thread_index = tb.thread_index;
+  e.rank = g_rank.load(std::memory_order_relaxed);
+  e.depth = depth_;
+  e.iteration = args_.iteration;
+  e.energy = args_.energy;
+  e.batch = args_.batch;
+  std::lock_guard<std::mutex> lock(tb.mutex);
+  tb.events.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> collect_trace() {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    for (auto* tb : registry()) {
+      std::lock_guard<std::mutex> block(tb->mutex);
+      out.insert(out.end(), tb->events.begin(), tb->events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.rank != b.rank) return a.rank < b.rank;
+              if (a.thread_index != b.thread_index) {
+                return a.thread_index < b.thread_index;
+              }
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.id < b.id;
+            });
+  return out;
+}
+
+void reset_trace() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  for (auto* tb : registry()) {
+    std::lock_guard<std::mutex> block(tb->mutex);
+    tb->events.clear();
+  }
+}
+
+std::string render_chrome_trace(const std::vector<TraceEvent>& events) {
+  std::string out;
+  out += "{\"traceEvents\": [\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  // Process/thread name metadata so Perfetto labels the rows.
+  std::vector<std::pair<int, int>> seen_threads;  // (rank, thread)
+  std::vector<int> seen_ranks;
+  for (const auto& e : events) {
+    if (std::find(seen_ranks.begin(), seen_ranks.end(), e.rank) ==
+        seen_ranks.end()) {
+      seen_ranks.push_back(e.rank);
+    }
+    const auto key = std::make_pair(e.rank, e.thread_index);
+    if (std::find(seen_threads.begin(), seen_threads.end(), key) ==
+        seen_threads.end()) {
+      seen_threads.push_back(key);
+    }
+  }
+  std::sort(seen_ranks.begin(), seen_ranks.end());
+  std::sort(seen_threads.begin(), seen_threads.end());
+  for (const int rank : seen_ranks) {
+    sep();
+    out += "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
+           std::to_string(rank) +
+           ", \"tid\": 0, \"args\": {\"name\": \"qtx rank " +
+           std::to_string(rank) + "\"}}";
+  }
+  for (const auto& [rank, tid] : seen_threads) {
+    sep();
+    out += "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " +
+           std::to_string(rank) + ", \"tid\": " + std::to_string(tid) +
+           ", \"args\": {\"name\": \"thread " + std::to_string(tid) +
+           "\"}}";
+  }
+  for (const auto& e : events) {
+    sep();
+    out += "  {\"name\": \"";
+    append_json_escaped(out, e.name);
+    out += "\", \"cat\": \"";
+    out += to_string(e.kind);
+    out += "\", \"ph\": \"X\", \"ts\": ";
+    append_number(out, e.start_us);
+    out += ", \"dur\": ";
+    append_number(out, e.dur_us);
+    out += ", \"pid\": " + std::to_string(e.rank);
+    out += ", \"tid\": " + std::to_string(e.thread_index);
+    out += ", \"args\": {\"id\": " + std::to_string(e.id);
+    out += ", \"parent\": " + std::to_string(e.parent_id);
+    out += ", \"depth\": " + std::to_string(e.depth);
+    if (e.iteration >= 0) {
+      out += ", \"iteration\": " + std::to_string(e.iteration);
+    }
+    if (e.energy >= 0) out += ", \"energy\": " + std::to_string(e.energy);
+    if (e.batch >= 0) out += ", \"batch\": " + std::to_string(e.batch);
+    out += "}}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+  const std::string doc = render_chrome_trace(collect_trace());
+  std::ofstream f(path, std::ios::binary);
+  QTX_CHECK_MSG(f.good(), "cannot open trace output file \"" + path + "\"");
+  f << doc;
+  f.close();
+  QTX_CHECK_MSG(f.good(), "failed writing trace output file \"" + path +
+                              "\"");
+}
+
+int merge_chrome_traces(const std::vector<std::string>& inputs,
+                        const std::string& output_path) {
+  // write_chrome_trace emits one event per line between the
+  // "{"traceEvents": [" header and the "]..." footer; merging is the
+  // concatenation of those event lines across inputs.
+  std::vector<std::string> event_lines;
+  int merged = 0;
+  for (const auto& path : inputs) {
+    std::ifstream f(path, std::ios::binary);
+    if (!f.good()) continue;
+    ++merged;
+    std::string line;
+    bool in_events = false;
+    while (std::getline(f, line)) {
+      if (!in_events) {
+        if (line.find("\"traceEvents\"") != std::string::npos) {
+          in_events = true;
+        }
+        continue;
+      }
+      const auto first = line.find_first_not_of(" \t");
+      if (first == std::string::npos) continue;
+      if (line[first] != '{') break;  // hit the closing "]" footer
+      std::string ev = line.substr(first);
+      while (!ev.empty() && (ev.back() == ',' || ev.back() == '\r')) {
+        ev.pop_back();
+      }
+      event_lines.push_back(std::move(ev));
+    }
+  }
+  std::string out;
+  out += "{\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < event_lines.size(); ++i) {
+    out += "  " + event_lines[i];
+    if (i + 1 < event_lines.size()) out += ",";
+    out += "\n";
+  }
+  out += "], \"displayTimeUnit\": \"ms\"}\n";
+  std::ofstream f(output_path, std::ios::binary);
+  QTX_CHECK_MSG(f.good(), "cannot open merged trace output file \"" +
+                              output_path + "\"");
+  f << out;
+  return merged;
+}
+
+}  // namespace qtx::obs

@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file trace.hpp
+/// Tracing half of the qtx::obs observability layer: RAII spans recorded
+/// into per-thread buffers and exported as Chrome/Perfetto trace-event
+/// JSON. The span hierarchy mirrors the paper's performance breakdowns —
+/// run → SCBA iteration → stage (OBC / G-RGF / W / Σ / mix) → la kernel —
+/// with each span tagged by thread, rank, and energy/batch so a traced run
+/// reproduces the Table 4 / Fig. 6 decomposition visually in Perfetto.
+///
+/// Tracing is off by default and allocation-light when disabled: a
+/// disabled Span construction is a single relaxed atomic load, no
+/// allocation, no clock read. Enabled spans append to the calling
+/// thread's own buffer (uncontended block mutex, same pattern as
+/// FlopLedger), so worker threads never contend; collect_trace() locks
+/// the registry plus each block in turn.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qtx::obs {
+
+/// Category of a trace span, mapped to the Chrome trace-event "cat" field.
+enum class SpanKind {
+  kRun,        ///< one full SCBA solve
+  kIteration,  ///< one SCBA outer iteration
+  kStage,      ///< a stage kernel block: G-OBC, G-RGF, P, W, Sigma, mix
+  kKernel,     ///< an individual la kernel call (gemm / LU) — detail level
+  kPipeline,   ///< an energy-pipeline batch execution
+  kServe,      ///< a serve-daemon request lifecycle
+};
+
+/// Stable lowercase name of \p kind ("run", "iteration", "stage", ...).
+const char* to_string(SpanKind kind);
+
+/// One completed span, flushed out of the per-thread buffers.
+struct TraceEvent {
+  std::string name;         ///< span name, e.g. "G: RGF"
+  SpanKind kind{};          ///< category
+  std::uint64_t id = 0;     ///< process-unique span id (1-based)
+  std::uint64_t parent_id = 0;  ///< enclosing span on the same thread; 0 = root
+  double start_us = 0.0;    ///< monotonic start timestamp, microseconds
+  double dur_us = 0.0;      ///< duration, microseconds
+  int thread_index = 0;     ///< stable per-thread index (registration order)
+  int rank = 0;             ///< communicator rank (0 for single-process runs)
+  int depth = 0;            ///< nesting depth on the owning thread (0 = root)
+  int iteration = -1;       ///< SCBA iteration tag, -1 when untagged
+  long long energy = -1;    ///< energy-point index tag, -1 when untagged
+  long long batch = -1;     ///< energy-batch index tag, -1 when untagged
+};
+
+/// Optional tags attached to a Span at construction.
+struct SpanArgs {
+  int iteration = -1;     ///< SCBA iteration number
+  long long energy = -1;  ///< energy-point index
+  long long batch = -1;   ///< energy-batch index
+};
+
+/// Whether span recording is currently enabled (default: off).
+bool tracing_enabled();
+
+/// Globally enable/disable span recording. Cheap to toggle; disabled spans
+/// cost one relaxed atomic load.
+void set_tracing_enabled(bool on);
+
+/// Whether kKernel spans are recorded (default: off — per-gemm spans are
+/// the detail level and can dominate trace size on large runs). Only
+/// consulted when tracing_enabled() is also true.
+bool kernel_tracing_enabled();
+
+/// Enable/disable the kKernel detail level.
+void set_kernel_tracing_enabled(bool on);
+
+/// Rank tag stamped on every span recorded by this process (default 0).
+int trace_rank();
+
+/// Set the rank tag — called by ranked workers after fork so merged traces
+/// attribute spans to the right process row in Perfetto.
+void set_trace_rank(int rank);
+
+/// RAII trace span. Construction opens the span (recording the monotonic
+/// start time and the enclosing span on this thread), destruction closes
+/// it and appends a TraceEvent to the calling thread's buffer. When
+/// tracing is disabled the constructor returns immediately.
+class Span {
+ public:
+  /// Open a span named \p name in category \p kind with optional tags.
+  /// \p name must outlive the span (string literals in practice).
+  Span(const char* name, SpanKind kind, SpanArgs args = {});
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_ = false;
+  const char* name_ = "";
+  SpanKind kind_{};
+  SpanArgs args_{};
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_id_ = 0;
+  int depth_ = 0;
+  double start_us_ = 0.0;
+};
+
+/// Snapshot every completed span recorded so far, across all threads,
+/// sorted deterministically by (rank, thread_index, start_us, id).
+std::vector<TraceEvent> collect_trace();
+
+/// Discard every recorded span (open spans keep their bookkeeping and
+/// will still record on close). Does not change the enabled flags.
+void reset_trace();
+
+/// Render \p events as a Chrome trace-event JSON document ("X" complete
+/// events plus process/thread-name metadata), loadable in Perfetto and
+/// chrome://tracing. One event per line, stable ordering.
+std::string render_chrome_trace(const std::vector<TraceEvent>& events);
+
+/// collect_trace() + render_chrome_trace() + write to \p path. Throws
+/// std::runtime_error when the file cannot be written.
+void write_chrome_trace(const std::string& path);
+
+/// Merge Chrome trace JSON files previously written by
+/// write_chrome_trace() (one per rank) into a single document at
+/// \p output_path. Inputs that do not exist are skipped; returns the
+/// number of inputs merged.
+int merge_chrome_traces(const std::vector<std::string>& inputs,
+                        const std::string& output_path);
+
+}  // namespace qtx::obs

@@ -14,6 +14,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/timer.hpp"
 #include "par/comm_socket.hpp"
 
 namespace qtx::par {
@@ -126,8 +127,7 @@ LaunchReport launch_ranks(int ranks, double timeout_s,
       if (fd >= 0) ::close(fd);
   for (auto& pfd : err_pipes) ::close(pfd[1]);
 
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(timeout_s);
+  const Stopwatch elapsed;
   LaunchReport report;
   int alive = ranks;
   bool tearing_down = false;
@@ -151,8 +151,7 @@ LaunchReport launch_ranks(int ranks, double timeout_s,
         tearing_down = true;
       }
     }
-    if (alive > 0 && !report.timed_out &&
-        std::chrono::steady_clock::now() >= deadline) {
+    if (alive > 0 && !report.timed_out && elapsed.seconds() >= timeout_s) {
       report.timed_out = true;
       if (report.exit_code == 0) report.exit_code = 1;
       tearing_down = true;

@@ -10,6 +10,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/timer.hpp"
 #include "serve/protocol.hpp"
 
 namespace qtx::serve {
@@ -107,6 +108,31 @@ Client::Response Client::submit(
   return response;
 }
 
+Client::Response Client::stats() const {
+  const int fd = connect_fd();
+  Response response;
+  try {
+    write_frame(fd, kFrameStats, "");
+    Frame frame;
+    if (!read_frame(fd, frame, kMaxResponseBytes)) {
+      response.error = "server closed the connection without replying";
+    } else if (frame.type == kFrameResponse) {
+      response.ok = true;
+      response.payload = std::move(frame.payload);
+    } else if (frame.type == kFrameError) {
+      response.error = std::move(frame.payload);
+    } else {
+      response.error = "unexpected frame type " +
+                       std::to_string(frame.type) + " in stats reply";
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  return response;
+}
+
 bool Client::shutdown() const {
   const int fd = try_connect(socket_path_);
   if (fd < 0) return false;  // nothing listening — already down
@@ -124,15 +150,14 @@ bool Client::shutdown() const {
 }
 
 bool Client::wait_ready(const std::string& socket_path, double timeout_s) {
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(timeout_s);
+  const Stopwatch elapsed;
   for (;;) {
     const int fd = try_connect(socket_path);
     if (fd >= 0) {
       ::close(fd);  // probe only; the server reads EOF and moves on
       return true;
     }
-    if (std::chrono::steady_clock::now() >= deadline) return false;
+    if (elapsed.seconds() >= timeout_s) return false;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
 }

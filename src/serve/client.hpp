@@ -41,6 +41,13 @@ class Client {
   /// frame came back, false when nothing is listening (already gone).
   bool shutdown() const;
 
+  /// Scrape the daemon's live metrics snapshot (a stats frame): `ok` with
+  /// the obs::MetricsRegistry JSON snapshot as the payload, or the error
+  /// message. Answered by the acceptor without entering the worker queue,
+  /// so scraping never disturbs in-flight requests. Throws FrameError
+  /// when the daemon cannot be reached.
+  Response stats() const;
+
   /// Poll-connect until the daemon accepts on \p socket_path or
   /// \p timeout_s elapses (10 ms retry cadence). The probe connection is
   /// closed without sending — the server treats that as a no-op. For

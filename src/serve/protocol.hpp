@@ -12,6 +12,10 @@
 ///   2 error         a located "<file>:<line>: ..." diagnostic string
 ///   3 shutdown      client asks the server to drain and exit (no payload)
 ///   4 shutdown-ack  server confirms the drain has begun (no payload)
+///   5 stats         client asks for a live metrics snapshot (no payload);
+///                   answered with a response frame carrying the
+///                   obs::MetricsRegistry JSON snapshot, synchronously
+///                   from the acceptor so it never queues behind solves
 ///
 /// One request per connection (connect → request frame → response/error
 /// frame → close): no pipelining, no reconnect state, so a crashed client
@@ -41,6 +45,7 @@ inline constexpr std::uint64_t kFrameResponse = 1;
 inline constexpr std::uint64_t kFrameError = 2;
 inline constexpr std::uint64_t kFrameShutdown = 3;
 inline constexpr std::uint64_t kFrameShutdownAck = 4;
+inline constexpr std::uint64_t kFrameStats = 5;
 
 /// Bytes of the {u64 type, u64 count} frame header.
 inline constexpr std::size_t kFrameHeaderBytes = 16;
@@ -62,7 +67,7 @@ class OversizedFrame : public FrameError {
 
 /// One decoded frame: the type code and the raw payload bytes.
 struct Frame {
-  std::uint64_t type = 0;  ///< kFrameRequest ... kFrameShutdownAck
+  std::uint64_t type = 0;  ///< kFrameRequest ... kFrameStats
   std::string payload;     ///< `count` bytes, verbatim
 };
 

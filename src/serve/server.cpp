@@ -6,25 +6,23 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <chrono>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "common/timer.hpp"
 #include "io/result_writer.hpp"
 #include "io/scenario_parser.hpp"
 #include "io/scenario_runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace qtx::serve {
 namespace {
 
 /// Monotonic seconds for queue-wait and solve-time provenance.
-double now_seconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+double now_seconds() { return monotonic_seconds(); }
 
 void close_quiet(int fd) {
   if (fd >= 0) ::close(fd);
@@ -157,6 +155,44 @@ ServerStats Server::stats() const {
   return s;
 }
 
+std::string Server::render_stats() const {
+  // Refresh the daemon gauges into the process registry, then export the
+  // full unified snapshot (which also absorbs TimerRegistry/FlopLedger).
+  auto& m = obs::MetricsRegistry::global();
+  const ServerStats s = stats();
+  m.set_gauge("qtx.serve.requests_ok", static_cast<double>(s.requests_ok));
+  m.set_gauge("qtx.serve.requests_error",
+              static_cast<double>(s.requests_error));
+  m.set_gauge("qtx.serve.cache.hits", static_cast<double>(s.cache.hits));
+  m.set_gauge("qtx.serve.cache.misses",
+              static_cast<double>(s.cache.misses));
+  m.set_gauge("qtx.serve.cache.evictions",
+              static_cast<double>(s.cache.evictions));
+  m.set_gauge("qtx.serve.cache.entries",
+              static_cast<double>(s.cache.entries));
+  m.set_gauge("qtx.serve.cache.bytes", static_cast<double>(s.cache.bytes));
+  const long long cache_lookups = s.cache.hits + s.cache.misses;
+  m.set_gauge("qtx.serve.cache.hit_rate",
+              cache_lookups > 0
+                  ? static_cast<double>(s.cache.hits) /
+                        static_cast<double>(cache_lookups)
+                  : 0.0);
+  m.set_gauge("qtx.serve.pool.warm_hits",
+              static_cast<double>(s.pool.warm_hits));
+  m.set_gauge("qtx.serve.pool.cold_builds",
+              static_cast<double>(s.pool.cold_builds));
+  m.set_gauge("qtx.serve.pool.discarded",
+              static_cast<double>(s.pool.discarded));
+  m.set_gauge("qtx.serve.pool.idle", static_cast<double>(s.pool.idle));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    m.set_gauge("qtx.serve.queue_depth",
+                static_cast<double>(queue_.size()));
+    m.set_gauge("qtx.serve.workers", static_cast<double>(options_.workers));
+  }
+  return obs::to_json(obs::snapshot_process(m));
+}
+
 void Server::begin_drain() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -219,6 +255,17 @@ void Server::handle_connection(int fd) {
     }
     close_quiet(fd);
     begin_drain();
+    return;
+  }
+  if (frame.type == kFrameStats) {
+    // Answered synchronously from the acceptor: a scrape never enters the
+    // worker queue, so it cannot disturb (or be blocked by) in-flight
+    // solves.
+    try {
+      write_frame(fd, kFrameResponse, render_stats());
+    } catch (const FrameError&) {
+    }
+    close_quiet(fd);
     return;
   }
   if (frame.type != kFrameRequest) {
@@ -292,17 +339,35 @@ void Server::worker_loop() {
 
 void Server::handle_request(int fd, const std::string& payload,
                             double queue_seconds) {
+  const obs::Span span("serve.request", obs::SpanKind::kServe);
   ServeInfo info;
   info.queue_seconds = queue_seconds;
+  auto& m = obs::MetricsRegistry::global();
+  m.observe("qtx.serve.queue_seconds", queue_seconds);
+  bool counted_ok = false;
   try {
     const std::string body = solve(payload, info);
-    write_frame(fd, kFrameResponse, append_serve_section(body, info));
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++requests_ok_;
+    const std::string reply = append_serve_section(body, info);
+    // Publish the request's metrics BEFORE the response frame goes out:
+    // a client that scrapes stats right after its submit returns must
+    // observe its own request in the counters.
+    m.observe("qtx.serve.solve_seconds", info.solve_seconds);
+    m.add_counter(info.cache_hit ? "qtx.serve.requests_cached"
+                                 : "qtx.serve.requests_solved");
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++requests_ok_;
+    }
+    counted_ok = true;
+    write_frame(fd, kFrameResponse, reply);
   } catch (const std::exception& e) {
     try_reply_error(fd, e.what());
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++requests_error_;
+    // A reply failure after a successful solve (client hung up) stays
+    // counted as ok — the solve itself did not fail.
+    if (!counted_ok) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++requests_error_;
+    }
   }
   close_quiet(fd);
 }

@@ -96,6 +96,12 @@ class Server {
   bool running() const;
 
   ServerStats stats() const;              ///< consistent counter snapshot
+
+  /// The metrics-snapshot JSON answered to a `stats` frame: refreshes the
+  /// daemon's `qtx.serve.*` gauges into obs::MetricsRegistry::global(),
+  /// then renders the unified process snapshot (obs::snapshot_process).
+  std::string render_stats() const;
+
   const ServerOptions& options() const { return options_; }
 
  private:

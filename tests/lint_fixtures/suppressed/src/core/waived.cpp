@@ -1,6 +1,12 @@
+#include <chrono>
 #include <vector>
 
 namespace qtx::core {
+double waived_now() {
+  // qtx-lint: allow(raw-clock) — fixture: sanctioned one-off timestamp.
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
 double waived(const std::vector<double>& xs) {
   double sum = 0.0;
   // qtx-lint: allow(raw-accumulate) — fixture: provably fixed-order

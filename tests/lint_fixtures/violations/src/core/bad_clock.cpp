@@ -1,0 +1,9 @@
+#include <chrono>
+
+namespace qtx::core {
+double bad_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace qtx::core

@@ -174,6 +174,11 @@ TEST_F(LintViolations, RawRngEngine) {
   EXPECT_TRUE(has_diag(report(), "src/device/bad_rng.cpp", 5, "rng"));
 }
 
+TEST_F(LintViolations, RawClockOutsideSanctionedHomes) {
+  EXPECT_TRUE(
+      has_diag(report(), "src/core/bad_clock.cpp", 6, "raw-clock"));
+}
+
 TEST_F(LintViolations, MissingPragmaOnce) {
   EXPECT_TRUE(has_diag(report(), "src/fft/no_pragma.hpp", 1, "pragma-once"));
 }
@@ -197,7 +202,7 @@ TEST_F(LintViolations, VolatileAsSynchronization) {
 }
 
 TEST_F(LintViolations, ExactlyTheSeededViolationsAndNothingElse) {
-  EXPECT_EQ(report().diagnostics.size(), 10u);
+  EXPECT_EQ(report().diagnostics.size(), 11u);
   // Deterministic ordering: sorted by path, then line, then check.
   for (std::size_t i = 1; i < report().diagnostics.size(); ++i) {
     const Diagnostic& a = report().diagnostics[i - 1];
@@ -309,7 +314,7 @@ TEST(LintBinary, ReportFileMatchesStdout) {
   buf << report.rdbuf();
   EXPECT_NE(buf.str().find("src/obc/bad_volatile.cpp:2: [volatile]"),
             std::string::npos);
-  EXPECT_NE(buf.str().find("10 violations"), std::string::npos);
+  EXPECT_NE(buf.str().find("11 violations"), std::string::npos);
 }
 
 }  // namespace

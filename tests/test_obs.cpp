@@ -1,0 +1,493 @@
+// Observability-layer suite (ctest label "obs"):
+//
+//  - Span lifecycle: disabled spans are no-ops, enabled spans record
+//    parent/depth nesting, kernel-detail spans honor their own gate
+//  - collect_trace determinism: the (name, iteration, energy) projection
+//    of a traced mini solve is identical at 1, 2, and 8 threads, and the
+//    acceptance invariant holds — every SCBA iteration contributes at
+//    least one span per stage kind
+//  - Chrome trace-event rendering: structural JSON checks (header,
+//    metadata events, one event per line) plus the per-rank merge
+//  - MetricsRegistry: counter/gauge/histogram semantics, byte-stable
+//    snapshots, JSON and Prometheus rendering, and snapshot_process's
+//    absorption of TimerRegistry and FlopLedger totals
+//  - serve integration: the stats frame round-trips against a live
+//    in-process daemon (via the real Client) without disturbing requests
+//  - CLI smoke: `qtx run --trace --metrics` writes both artifacts
+//
+// Tracing/metrics are process-global; every test that enables them
+// restores the disabled default on the way out (TraceGuard).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/flops.hpp"
+#include "common/timer.hpp"
+#include "io/scenario_runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+#ifndef QTX_GOLDEN_DIR
+#error "QTX_GOLDEN_DIR must point at tests/golden (set by CMakeLists.txt)"
+#endif
+#ifndef QTX_SCENARIO_DIR
+#error "QTX_SCENARIO_DIR must point at scenarios/ (set by CMakeLists.txt)"
+#endif
+#ifndef QTX_QTX_BIN
+#error "QTX_QTX_BIN must point at the qtx binary (set by CMakeLists.txt)"
+#endif
+
+namespace qtx {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Small-but-real deck (same shape as the serve suite's): 2 quickstart
+/// cells, 8 energies, 2 SCBA iterations.
+constexpr const char* kMiniDeck =
+    "[device]\n"
+    "preset = quickstart\n"
+    "num_cells = 2\n"
+    "\n"
+    "[solver]\n"
+    "grid = -2.0 2.0 8\n"
+    "eta = 0.05\n"
+    "max_iterations = 2\n"
+    "tolerance = 1e-3\n";
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/qtx_obs_XXXXXX";
+    const char* p = ::mkdtemp(tmpl);
+    EXPECT_NE(p, nullptr);
+    if (p != nullptr) path = p;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+/// Enables tracing for one test and restores the all-off default (and an
+/// empty trace buffer) on scope exit, so tests cannot leak spans into
+/// each other.
+struct TraceGuard {
+  explicit TraceGuard(bool kernels = false) {
+    obs::reset_trace();
+    obs::set_trace_rank(0);
+    obs::set_tracing_enabled(true);
+    obs::set_kernel_tracing_enabled(kernels);
+  }
+  ~TraceGuard() {
+    obs::set_tracing_enabled(false);
+    obs::set_kernel_tracing_enabled(false);
+    obs::set_trace_rank(0);
+    obs::reset_trace();
+  }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Solve the mini deck in-process with \p threads workers, tracing
+/// enabled, and return the collected events.
+std::vector<obs::TraceEvent> traced_mini_run(int threads) {
+  io::Scenario s = io::parse_scenario_text(kMiniDeck, "obs_mini.ini");
+  s.output = io::OutputSpec{};
+  s.output.directory.clear();
+  s.solver.num_threads = threads;
+  TraceGuard guard(/*kernels=*/true);
+  io::run_scenario(s, core::StageRegistry::global(), nullptr);
+  return obs::collect_trace();
+}
+
+/// The stage-kind projection determinism is asserted on: multiset of
+/// (name, iteration, energy) over all kStage spans.
+std::multiset<std::tuple<std::string, int, long long>> stage_projection(
+    const std::vector<obs::TraceEvent>& events) {
+  std::multiset<std::tuple<std::string, int, long long>> out;
+  for (const obs::TraceEvent& e : events) {
+    if (e.kind == obs::SpanKind::kStage)
+      out.insert({e.name, e.iteration, e.energy});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Span lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(ObsSpan, DisabledSpanRecordsNothing) {
+  obs::set_tracing_enabled(false);
+  obs::reset_trace();
+  {
+    const obs::Span outer("outer", obs::SpanKind::kRun);
+    const obs::Span inner("inner", obs::SpanKind::kStage);
+  }
+  EXPECT_FALSE(obs::tracing_enabled());
+  EXPECT_TRUE(obs::collect_trace().empty());
+}
+
+TEST(ObsSpan, NestedSpansRecordParentIdsAndDepths) {
+  TraceGuard guard;
+  {
+    const obs::Span outer("outer", obs::SpanKind::kRun);
+    {
+      const obs::Span mid("mid", obs::SpanKind::kIteration,
+                          {.iteration = 3});
+      const obs::Span leaf("leaf", obs::SpanKind::kStage,
+                           {.iteration = 3, .energy = 5, .batch = 1});
+    }
+  }
+  const std::vector<obs::TraceEvent> events = obs::collect_trace();
+  ASSERT_EQ(events.size(), 3u);
+  // Sorted by start time on one thread: outer opened first.
+  const obs::TraceEvent& outer = events[0];
+  const obs::TraceEvent& mid = events[1];
+  const obs::TraceEvent& leaf = events[2];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent_id, 0u);
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(mid.parent_id, outer.id);
+  EXPECT_EQ(mid.depth, 1);
+  EXPECT_EQ(mid.iteration, 3);
+  EXPECT_EQ(leaf.parent_id, mid.id);
+  EXPECT_EQ(leaf.depth, 2);
+  EXPECT_EQ(leaf.energy, 5);
+  EXPECT_EQ(leaf.batch, 1);
+  // Durations nest: the parent covers the child.
+  EXPECT_GE(leaf.start_us, mid.start_us);
+  EXPECT_LE(leaf.start_us + leaf.dur_us, mid.start_us + mid.dur_us + 1e-3);
+}
+
+TEST(ObsSpan, KernelSpansHaveTheirOwnGate) {
+  {
+    TraceGuard guard(/*kernels=*/false);
+    const obs::Span k("la.gemm", obs::SpanKind::kKernel);
+  }
+  // Guard reset the buffer; record again with the kernel gate open.
+  {
+    TraceGuard guard(/*kernels=*/true);
+    { const obs::Span k("la.gemm", obs::SpanKind::kKernel); }
+    const std::vector<obs::TraceEvent> events = obs::collect_trace();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, obs::SpanKind::kKernel);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Traced solve: coverage + determinism across thread counts
+// ---------------------------------------------------------------------------
+
+TEST(ObsTracedRun, EveryIterationCoversEveryStageKind) {
+  const std::vector<obs::TraceEvent> events = traced_mini_run(1);
+  int runs = 0;
+  std::set<int> iterations;
+  std::map<int, std::set<std::string>> stages_by_iteration;
+  bool saw_kernel = false, saw_pipeline = false;
+  for (const obs::TraceEvent& e : events) {
+    if (e.kind == obs::SpanKind::kRun) ++runs;
+    if (e.kind == obs::SpanKind::kIteration) iterations.insert(e.iteration);
+    if (e.kind == obs::SpanKind::kStage)
+      stages_by_iteration[e.iteration].insert(e.name);
+    if (e.kind == obs::SpanKind::kKernel) saw_kernel = true;
+    if (e.kind == obs::SpanKind::kPipeline) saw_pipeline = true;
+  }
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(iterations, (std::set<int>{1, 2}));
+  EXPECT_TRUE(saw_kernel);
+  EXPECT_TRUE(saw_pipeline);
+  // The acceptance invariant: >= 1 span per SCBA iteration per stage kind.
+  const std::vector<std::string> kStageNames = {
+      "G: OBC",      "G: RGF",           "W: Assembly: LHS",
+      "W: Assembly: RHS", "W: RGF",      "Other: P-FFT",
+      "Other: Sigma-FFT", "mix"};
+  for (const int it : {1, 2}) {
+    for (const std::string& name : kStageNames) {
+      EXPECT_TRUE(stages_by_iteration[it].count(name))
+          << "iteration " << it << " has no \"" << name << "\" span";
+    }
+  }
+}
+
+TEST(ObsTracedRun, StageProjectionIsIdenticalAt1And2And8Threads) {
+  const auto p1 = stage_projection(traced_mini_run(1));
+  const auto p2 = stage_projection(traced_mini_run(2));
+  const auto p8 = stage_projection(traced_mini_run(8));
+  ASSERT_FALSE(p1.empty());
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(p1, p8);
+}
+
+TEST(ObsTracedRun, CollectTraceOrderingIsDeterministic) {
+  TraceGuard guard;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 8; ++i) {
+        const obs::Span span("worker", obs::SpanKind::kStage,
+                             {.energy = t * 8 + i});
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<obs::TraceEvent> events = obs::collect_trace();
+  ASSERT_EQ(events.size(), 32u);
+  std::set<std::uint64_t> ids;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    ids.insert(events[i].id);
+    if (i == 0) continue;
+    const obs::TraceEvent& a = events[i - 1];
+    const obs::TraceEvent& b = events[i];
+    EXPECT_LE(std::tie(a.rank, a.thread_index, a.start_us, a.id),
+              std::tie(b.rank, b.thread_index, b.start_us, b.id));
+  }
+  EXPECT_EQ(ids.size(), 32u);  // span ids are process-unique
+  // Two collections of the same buffers are byte-identical projections.
+  const std::vector<obs::TraceEvent> again = obs::collect_trace();
+  ASSERT_EQ(again.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(again[i].id, events[i].id);
+    EXPECT_EQ(again[i].name, events[i].name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace rendering + merge
+// ---------------------------------------------------------------------------
+
+TEST(ObsChromeTrace, RendersStructurallyValidTraceEventJson) {
+  TraceGuard guard;
+  {
+    const obs::Span outer("run \"x\"", obs::SpanKind::kRun);
+    const obs::Span inner("G: RGF", obs::SpanKind::kStage,
+                          {.iteration = 1, .energy = 2, .batch = 0});
+  }
+  const std::string doc = obs::render_chrome_trace(obs::collect_trace());
+  EXPECT_EQ(doc.rfind("{\"traceEvents\": [", 0), 0u);
+  EXPECT_NE(doc.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(doc.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"cat\": \"stage\""), std::string::npos);
+  EXPECT_NE(doc.find("\\\"x\\\""), std::string::npos);  // escaped quotes
+  EXPECT_NE(doc.find("\"iteration\": 1"), std::string::npos);
+  // One event per line, each line's braces balanced (the merge relies on
+  // this rendering contract).
+  std::istringstream in(doc);
+  std::string line;
+  std::getline(in, line);  // header
+  int events = 0;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] != '{') break;
+    ++events;
+    int depth = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (in_string) {
+        if (c == '\\') ++i;
+        else if (c == '"') in_string = false;
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+      }
+    }
+    EXPECT_EQ(depth, 0) << "unbalanced braces in: " << line;
+  }
+  EXPECT_GE(events, 4);  // 2 metadata + 2 spans
+}
+
+TEST(ObsChromeTrace, MergeCombinesRankFilesAndSkipsMissingInputs) {
+  TempDir dir;
+  const std::string rank0 = dir.path + "/trace.json.rank0";
+  const std::string rank1 = dir.path + "/trace.json.rank1";
+  const std::string merged = dir.path + "/trace.json";
+  {
+    TraceGuard guard;
+    obs::set_trace_rank(0);
+    { const obs::Span s("rank0 work", obs::SpanKind::kStage); }
+    obs::write_chrome_trace(rank0);
+  }
+  {
+    TraceGuard guard;
+    obs::set_trace_rank(1);
+    { const obs::Span s("rank1 work", obs::SpanKind::kStage); }
+    obs::write_chrome_trace(rank1);
+  }
+  EXPECT_EQ(obs::merge_chrome_traces(
+                {rank0, rank1, dir.path + "/missing.json"}, merged),
+            2);
+  const std::string doc = read_file(merged);
+  EXPECT_EQ(doc.rfind("{\"traceEvents\": [", 0), 0u);
+  EXPECT_NE(doc.find("rank0 work"), std::string::npos);
+  EXPECT_NE(doc.find("rank1 work"), std::string::npos);
+  EXPECT_NE(doc.find("\"pid\": 0"), std::string::npos);
+  EXPECT_NE(doc.find("\"pid\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetrics, CounterGaugeHistogramSemantics) {
+  obs::MetricsRegistry reg;
+  reg.add_counter("qtx.test.count");
+  reg.add_counter("qtx.test.count", 4);
+  reg.set_gauge("qtx.test.gauge", 1.5);
+  reg.set_gauge("qtx.test.gauge", 2.5);  // last set wins
+  reg.observe("qtx.test.hist", 2.0);
+  reg.observe("qtx.test.hist", -1.0);
+  reg.observe("qtx.test.hist", 5.0);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("qtx.test.count"), 5);
+  EXPECT_EQ(snap.gauges.at("qtx.test.gauge"), 2.5);
+  const obs::HistogramStats& h = snap.histograms.at("qtx.test.hist");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.sum, 6.0);
+  EXPECT_EQ(h.min, -1.0);
+  EXPECT_EQ(h.max, 5.0);
+  reg.reset();
+  EXPECT_TRUE(reg.snapshot().counters.empty());
+}
+
+TEST(ObsMetrics, SnapshotRenderingIsByteStable) {
+  obs::MetricsRegistry reg;
+  reg.add_counter("b.count", 2);
+  reg.add_counter("a.count", 1);
+  reg.set_gauge("z.gauge", 0.125);
+  reg.observe("m.hist", 3.0);
+  const std::string j1 = obs::to_json(reg.snapshot());
+  const std::string j2 = obs::to_json(reg.snapshot());
+  EXPECT_EQ(j1, j2);
+  // Ordered by name inside each section regardless of insertion order.
+  EXPECT_LT(j1.find("\"a.count\""), j1.find("\"b.count\""));
+  EXPECT_NE(j1.find("\"z.gauge\": 0.125"), std::string::npos);
+  EXPECT_NE(j1.find("\"m.hist\": {\"count\": 1"), std::string::npos);
+}
+
+TEST(ObsMetrics, PrometheusRenderingSanitizesNames) {
+  obs::MetricsRegistry reg;
+  reg.add_counter("qtx.flops.phase.G: RGF", 7);
+  reg.set_gauge("qtx.serve.queue_depth", 3.0);
+  reg.observe("qtx.serve.solve_seconds", 0.25);
+  const std::string prom = obs::to_prometheus(reg.snapshot());
+  EXPECT_NE(prom.find("# TYPE qtx_flops_phase_G__RGF counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("qtx_flops_phase_G__RGF 7"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE qtx_serve_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("qtx_serve_solve_seconds_count 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("qtx_serve_solve_seconds_sum 0.25"),
+            std::string::npos);
+}
+
+TEST(ObsMetrics, SnapshotProcessAbsorbsTimersAndFlops) {
+  TimerRegistry::reset();
+  FlopLedger::reset();
+  TimerRegistry::add("Obs: Test", 1.25);
+  {
+    FlopPhase phase("obs-test-phase");
+    FlopLedger::add(321);
+  }
+  obs::MetricsRegistry reg;
+  reg.add_counter("qtx.test.pushed", 9);
+  const obs::MetricsSnapshot snap = obs::snapshot_process(reg);
+  EXPECT_EQ(snap.counters.at("qtx.test.pushed"), 9);
+  EXPECT_EQ(snap.counters.at("qtx.flops.phase.obs-test-phase"), 321);
+  EXPECT_GE(snap.counters.at("qtx.flops.total"), 321);
+  EXPECT_EQ(snap.gauges.at("qtx.time.Obs: Test.seconds"), 1.25);
+  TimerRegistry::reset();
+  FlopLedger::reset();
+}
+
+// ---------------------------------------------------------------------------
+// Serve stats frame round trip
+// ---------------------------------------------------------------------------
+
+TEST(ObsServeStats, LiveDaemonAnswersStatsWithoutADeck) {
+  TempDir dir;
+  serve::ServerOptions opt;
+  opt.socket_path = dir.path + "/obs.sock";
+  opt.workers = 1;
+  serve::Server server(opt);
+  server.start();
+  serve::Client client(opt.socket_path);
+
+  // Scrape an idle daemon: non-empty snapshot with the serve gauges.
+  const serve::Client::Response idle = client.stats();
+  ASSERT_TRUE(idle.ok) << idle.error;
+  EXPECT_NE(idle.payload.find("\"counters\""), std::string::npos);
+  EXPECT_NE(idle.payload.find("\"qtx.serve.workers\": 1"),
+            std::string::npos);
+  EXPECT_NE(idle.payload.find("\"qtx.serve.requests_ok\": 0"),
+            std::string::npos);
+
+  // Solve one deck, then scrape again: the counters moved.
+  const serve::Client::Response solved = client.submit(kMiniDeck);
+  ASSERT_TRUE(solved.ok) << solved.error;
+  const serve::Client::Response after = client.stats();
+  ASSERT_TRUE(after.ok) << after.error;
+  EXPECT_NE(after.payload.find("\"qtx.serve.requests_ok\": 1"),
+            std::string::npos);
+  EXPECT_NE(after.payload.find("\"qtx.serve.solve_seconds\""),
+            std::string::npos);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// CLI smoke: qtx run --trace --metrics
+// ---------------------------------------------------------------------------
+
+TEST(ObsCli, RunWritesTraceAndMetricsArtifacts) {
+  TempDir dir;
+  {
+    std::ofstream deck(dir.path + "/mini.ini");
+    deck << kMiniDeck;
+  }
+  const std::string cmd =
+      std::string(QTX_QTX_BIN) + " run " + dir.path + "/mini.ini --quiet" +
+      " --trace " + dir.path + "/trace.json" + " --metrics " + dir.path +
+      "/metrics.json > " + dir.path + "/run.log 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << read_file(dir.path + "/run.log");
+
+  const std::string trace = read_file(dir.path + "/trace.json");
+  EXPECT_EQ(trace.rfind("{\"traceEvents\": [", 0), 0u);
+  EXPECT_NE(trace.find("\"simulation.run\""), std::string::npos);
+  EXPECT_NE(trace.find("\"scba.iteration\""), std::string::npos);
+  EXPECT_NE(trace.find("\"G: RGF\""), std::string::npos);
+  EXPECT_NE(trace.find("\"la.gemm\""), std::string::npos);
+
+  const std::string metrics = read_file(dir.path + "/metrics.json");
+  EXPECT_EQ(metrics.rfind("{", 0), 0u);
+  EXPECT_NE(metrics.find("\"qtx.flops.total\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"qtx.run.completed\": 1"), std::string::npos);
+  EXPECT_NE(metrics.find("\"qtx.obc.direct_calls\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qtx

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/flops.hpp"
+#include "common/timer.hpp"
 #include "core/observables.hpp"
 #include "core/simulation.hpp"
 #include "par/thread_pool.hpp"
@@ -75,6 +76,41 @@ TEST(ThreadPool, FlopLedgerSafeToPollDuringThreadedRun) {
   const auto phases = FlopLedger::by_phase();
   EXPECT_EQ(phases.at("even") + phases.at("odd"), FlopLedger::total());
   FlopLedger::reset();
+}
+
+TEST(ThreadPool, TimerRegistrySafeToPollDuringThreadedRun) {
+  // Regression (data race): TimerRegistry::add used to accumulate into a
+  // single map under one global mutex, and all()/seconds() read it back
+  // while workers were mid-add. The registry now uses per-thread blocks
+  // (same immortal-block pattern as FlopLedger); observers lock the
+  // registry plus each block. The observer polls all() and seconds()
+  // continuously while pool workers hammer add().
+  TimerRegistry::reset();
+  par::ThreadPool pool(4);
+  std::atomic<bool> stop{false};
+  double max_seen = 0.0;
+  std::thread observer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const double t = TimerRegistry::seconds("poll: work");
+      EXPECT_GE(t, max_seen);  // totals only grow while workers add
+      max_seen = t;
+      for (const auto& [name, secs] : TimerRegistry::all())
+        EXPECT_GE(secs, 0.0) << name;
+    }
+  });
+  const int n = 2000;
+  const double per_task = 0.001;
+  pool.parallel_for(n, [&](int i) {
+    TimerRegistry::add("poll: work", per_task);
+    TimerRegistry::add(i % 2 == 0 ? "poll: even" : "poll: odd", per_task);
+  });
+  stop.store(true, std::memory_order_release);
+  observer.join();
+  EXPECT_NEAR(TimerRegistry::seconds("poll: work"), n * per_task, 1e-9);
+  const auto all = TimerRegistry::all();
+  EXPECT_NEAR(all.at("poll: even") + all.at("poll: odd"), n * per_task,
+              1e-9);
+  TimerRegistry::reset();
 }
 
 TEST(ThreadPool, ReusableAcrossManyCalls) {
